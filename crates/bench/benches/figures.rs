@@ -1,0 +1,182 @@
+//! Criterion benches, one group per paper table/figure, timing the
+//! simulation kernels that regenerate each result (host wall time of the
+//! simulator — the figure binaries report the *simulated* cycles).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use hyperprotobench::{Generator, ServiceProfile};
+use protoacc_bench::ubench::nonalloc_workloads;
+use protoacc_bench::{measure, Direction, SystemKind, Workload};
+use protoacc_cpu::CostTable;
+use protoacc_fleet::gwp::FleetProfile;
+use protoacc_fleet::protobufz::{estimate_size_histogram, ShapeModel};
+use protoacc_schema::FieldType;
+use protoacc_wire::hw::{CombVarintDecoder, CombVarintEncoder};
+use protoacc_wire::varint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/classify_all_field_types", |b| {
+        b.iter(|| {
+            for ft in FieldType::SCALARS {
+                black_box(ft.perf_class());
+                black_box(ft.wire_type());
+            }
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let profile = FleetProfile::google_2021();
+    c.bench_function("fig2/sample_and_estimate_10k_gwp_cycles", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(2),
+            |mut rng| {
+                let samples = profile.sample_cycles(&mut rng, 10_000);
+                black_box(FleetProfile::estimate_shares(&samples))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fig3_fig4(c: &mut Criterion) {
+    let model = ShapeModel::google_2021();
+    c.bench_function("fig3_fig4/sample_1k_messages_and_histogram", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(3),
+            |mut rng| {
+                let samples = model.sample_population(&mut rng, 1000);
+                black_box(estimate_size_histogram(&samples))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fig5_fig6(c: &mut Criterion) {
+    // One representative slice measurement (the full model runs 24).
+    c.bench_function("fig5_fig6/measure_varint5_slice_on_boom", |b| {
+        let cost = CostTable::boom();
+        b.iter(|| {
+            let model = protoacc_fleet::model24::Model24::build_single_for_bench(&cost);
+            black_box(model)
+        })
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let workloads = nonalloc_workloads();
+    let varint5 = workloads
+        .iter()
+        .find(|w| w.name == "varint-5")
+        .expect("varint-5 defined")
+        .clone();
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    for system in SystemKind::ALL {
+        group.bench_function(format!("varint5_deser_{}", system.label()), |b| {
+            b.iter(|| black_box(measure(system, &varint5, Direction::Deserialize)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig12_fig13(c: &mut Criterion) {
+    let bench = Generator::new(ServiceProfile::bench(0), 1).generate(8);
+    let workload = Workload {
+        name: bench.profile.label(),
+        schema: bench.schema,
+        type_id: bench.type_id,
+        messages: bench.messages,
+    };
+    let mut group = c.benchmark_group("fig12_fig13");
+    group.sample_size(10);
+    group.bench_function("bench0_accel_deser", |b| {
+        b.iter(|| black_box(measure(SystemKind::RiscvBoomAccel, &workload, Direction::Deserialize)))
+    });
+    group.bench_function("bench0_accel_ser", |b| {
+        b.iter(|| black_box(measure(SystemKind::RiscvBoomAccel, &workload, Direction::Serialize)))
+    });
+    group.finish();
+}
+
+fn bench_sec5_3(c: &mut Criterion) {
+    c.bench_function("sec5_3/asic_estimates", |b| {
+        let config = protoacc::AccelConfig::default();
+        b.iter(|| {
+            black_box(protoacc::asic::deserializer_estimate(&config));
+            black_box(protoacc::asic::serializer_estimate(&config))
+        })
+    });
+}
+
+fn bench_sec7(c: &mut Criterion) {
+    use protoacc::{AccelConfig, ProtoAccelerator};
+    use protoacc_mem::Memory;
+    use protoacc_runtime::{object, write_adts, BumpArena, MessageLayouts};
+    let bench = Generator::new(ServiceProfile::bench(0), 7).generate(4);
+    let layouts = MessageLayouts::compute(&bench.schema);
+    let mut group = c.benchmark_group("sec7");
+    group.sample_size(10);
+    group.bench_function("accel_merge_bench0", |b| {
+        b.iter_batched(
+            || {
+                let mut mem = Memory::new(protoacc_mem::MemConfig::default());
+                let mut setup = BumpArena::new(0x1_0000, 1 << 26);
+                let adts =
+                    write_adts(&bench.schema, &layouts, &mut mem.data, &mut setup).unwrap();
+                let dst = object::write_message(
+                    &mut mem.data, &bench.schema, &layouts, &mut setup, &bench.messages[0],
+                )
+                .unwrap();
+                let src = object::write_message(
+                    &mut mem.data, &bench.schema, &layouts, &mut setup, &bench.messages[1],
+                )
+                .unwrap();
+                let mut accel = ProtoAccelerator::new(AccelConfig::default());
+                accel.deser_assign_arena(0x1_0000_0000, 1 << 26);
+                (mem, adts.addr(bench.type_id), dst, src, accel)
+            },
+            |(mut mem, adt, dst, src, mut accel)| {
+                black_box(accel.do_proto_merge(&mut mem, adt, dst, src).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    let mut encoded = Vec::new();
+    varint::encode(0x0123_4567_89ab, &mut encoded);
+    let mut window = [0u8; 10];
+    window[..encoded.len()].copy_from_slice(&encoded);
+    group.bench_function("varint_software_decode", |b| {
+        b.iter(|| black_box(varint::decode(&encoded)))
+    });
+    group.bench_function("varint_comb_decode", |b| {
+        b.iter(|| black_box(CombVarintDecoder::decode(&window)))
+    });
+    group.bench_function("varint_comb_encode", |b| {
+        b.iter(|| black_box(CombVarintEncoder::encode(0x0123_4567_89ab)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig2,
+    bench_fig3_fig4,
+    bench_fig5_fig6,
+    bench_fig11,
+    bench_fig12_fig13,
+    bench_sec5_3,
+    bench_sec7,
+    bench_kernels
+);
+criterion_main!(figures);

@@ -1,0 +1,33 @@
+//! Exports the generated HyperProtoBench suite as `.proto` files — what the
+//! paper's published repository ships per service (§5.2).
+//!
+//! Writes `artifacts/hyperprotobench/bench<i>.proto` plus a summary of each
+//! benchmark's shape.
+
+use hyperprotobench::generate_suite;
+use protoacc_fleet::protodb::analyze_schema;
+
+fn main() {
+    let out_dir = std::path::Path::new("artifacts/hyperprotobench");
+    std::fs::create_dir_all(out_dir).expect("create output directory");
+    println!("Exporting HyperProtoBench schemas to {}/", out_dir.display());
+    println!(
+        "{:<10} {:<18} {:>8} {:>8} {:>10} {:>14}",
+        "bench", "service", "types", "fields", "repeated", "bytes/message"
+    );
+    for bench in generate_suite(16, 0xB0B) {
+        let path = out_dir.join(format!("bench{}.proto", bench.profile.index));
+        std::fs::write(&path, bench.proto_source()).expect("write schema");
+        let stats = analyze_schema(&bench.schema);
+        println!(
+            "{:<10} {:<18} {:>8} {:>8} {:>10} {:>14}",
+            bench.profile.label(),
+            bench.profile.name,
+            stats.message_types,
+            stats.fields,
+            stats.repeated_fields,
+            bench.total_wire_bytes() / bench.messages.len().max(1)
+        );
+    }
+    println!("\n(each file re-parses with protoacc_schema::parse_proto; see the\n hyperprotobench::generator tests)");
+}

@@ -1,0 +1,45 @@
+//! Regenerates Figure 2: fleet-wide C++ protobuf cycles by operation.
+//!
+//! Draws a large synthetic GWP sample population from the fleet profile and
+//! re-estimates the per-operation shares, printing both alongside the
+//! model's ground truth.
+
+use protoacc_fleet::gwp::{FleetProfile, ProtoOp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let profile = FleetProfile::google_2021();
+    let mut rng = StdRng::seed_from_u64(0x6F2);
+    let samples = profile.sample_cycles(&mut rng, 1_000_000);
+    let estimated = FleetProfile::estimate_shares(&samples);
+
+    println!("Figure 2: fleet-wide C++ protobuf cycles by operation");
+    println!(
+        "{:<14} {:>12} {:>12} {:>16}",
+        "Operation", "model %", "estimated %", "% of fleet cycles"
+    );
+    for (i, op) in ProtoOp::ALL.iter().enumerate() {
+        println!(
+            "{:<14} {:>11.1}% {:>11.1}% {:>15.2}%",
+            op.label(),
+            profile.op_shares[i] * 100.0,
+            estimated[i] * 100.0,
+            profile.fleet_fraction(*op) * 100.0
+        );
+    }
+    println!();
+    println!(
+        "protobuf ops are {:.1}% of fleet cycles; {:.0}% of protobuf cycles are C++",
+        profile.protobuf_fraction_of_fleet * 100.0,
+        profile.cpp_fraction_of_protobuf * 100.0
+    );
+    println!(
+        "acceleration opportunity (deser + ser + byte-size): {:.2}% of fleet cycles (paper: 3.45%)",
+        profile.acceleration_opportunity() * 100.0
+    );
+    println!(
+        "future-work merge/copy/clear (Section 7): {:.1}% of protobuf cycles (paper: 17.1%)",
+        profile.merge_copy_clear_share() * 100.0
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figure 3: fleet-wide top-level message size distribution.
+
+use protoacc_fleet::protobufz::{estimate_size_histogram, ShapeModel};
+use protoacc_fleet::{bucket_label, SIZE_BUCKET_COUNT};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = ShapeModel::google_2021();
+    let mut rng = StdRng::seed_from_u64(0xF163);
+    let samples = model.sample_population(&mut rng, 200_000);
+    let hist = estimate_size_histogram(&samples);
+
+    println!("Figure 3: fleet-wide top-level message size distribution");
+    println!("{:<18} {:>10} {:>12}", "Bucket (bytes)", "model %", "estimated %");
+    let total: f64 = model.size_bucket_weights.iter().sum();
+    for (i, share) in hist.iter().enumerate().take(SIZE_BUCKET_COUNT) {
+        println!(
+            "{:<18} {:>9.2}% {:>11.2}%",
+            bucket_label(i),
+            model.size_bucket_weights[i] / total * 100.0,
+            share * 100.0
+        );
+    }
+    let le8 = hist[0];
+    let le32 = hist[0] + hist[1];
+    let le512: f64 = hist[..6].iter().sum();
+    println!();
+    println!(
+        "cumulative: {:.0}% <= 8 B (paper: 24%), {:.0}% <= 32 B (paper: 56%), \
+         {:.0}% <= 512 B (paper: 93%)",
+        le8 * 100.0,
+        le32 * 100.0,
+        le512 * 100.0
+    );
+}

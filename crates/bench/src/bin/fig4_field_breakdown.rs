@@ -1,0 +1,54 @@
+//! Regenerates Figure 4: fleet-wide field type and bytes-field breakdowns.
+//!
+//! (a) % of fields observed by type; (b) % of message bytes by type;
+//! (c) % of bytes fields by field size.
+
+use protoacc_fleet::protobufz::{
+    estimate_bytes_field_size_histogram, estimate_field_bytes_shares,
+    estimate_field_count_shares, ShapeModel, TRACKED_TYPES,
+};
+use protoacc_fleet::{bucket_label, SIZE_BUCKET_COUNT};
+use protoacc_schema::PerfClass;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = ShapeModel::google_2021();
+    let mut rng = StdRng::seed_from_u64(0xF164);
+    let samples = model.sample_population(&mut rng, 100_000);
+
+    let counts = estimate_field_count_shares(&samples);
+    let bytes = estimate_field_bytes_shares(&samples);
+    println!("Figure 4a/4b: field-type breakdowns (fields observed vs message bytes)");
+    println!("{:<10} {:>12} {:>14}", "Type", "% of fields", "% of bytes");
+    for (i, t) in TRACKED_TYPES.iter().enumerate() {
+        println!(
+            "{:<10} {:>11.1}% {:>13.1}%",
+            t.keyword().expect("tracked scalar"),
+            counts[i] * 100.0,
+            bytes[i] * 100.0
+        );
+    }
+    let varint_fields: f64 = TRACKED_TYPES
+        .iter()
+        .zip(counts.iter())
+        .filter(|(t, _)| t.perf_class() == Some(PerfClass::VarintLike))
+        .map(|(_, &s)| s)
+        .sum();
+    let bytes_volume = bytes[0] + bytes[1];
+    println!();
+    println!(
+        "varint-like share of fields: {:.0}% (paper: >56%); string+bytes share of bytes: \
+         {:.0}% (paper: >92%)",
+        varint_fields * 100.0,
+        bytes_volume * 100.0
+    );
+
+    println!();
+    println!("Figure 4c: bytes-field size distribution");
+    let hist = estimate_bytes_field_size_histogram(&samples);
+    println!("{:<18} {:>12}", "Bucket (bytes)", "% of fields");
+    for (i, share) in hist.iter().enumerate().take(SIZE_BUCKET_COUNT) {
+        println!("{:<18} {:>11.2}%", bucket_label(i), share * 100.0);
+    }
+}

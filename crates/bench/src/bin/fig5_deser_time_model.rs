@@ -1,0 +1,30 @@
+//! Regenerates Figure 5: estimated fleet-wide deserialization time by
+//! field type and size, via the 24-slice model of §3.6.4.
+
+use protoacc_cpu::CostTable;
+use protoacc_fleet::model24::Model24;
+use protoacc_fleet::protobufz::ShapeModel;
+
+fn main() {
+    let model = Model24::build(&ShapeModel::google_2021(), &CostTable::boom());
+    let shares = model.deser_time_shares();
+    println!("Figure 5: estimated deserialization time by field type, fleet-wide");
+    println!(
+        "{:<24} {:>10} {:>12} {:>14}",
+        "Slice", "% bytes", "% of time", "Gbits/s"
+    );
+    for (slice, share) in model.slices().iter().zip(shares.iter()) {
+        println!(
+            "{:<24} {:>9.2}% {:>11.2}% {:>14.3}",
+            slice.label,
+            slice.bytes_fraction * 100.0,
+            share * 100.0,
+            model.deser_gbits(slice)
+        );
+    }
+    println!();
+    println!(
+        "time spent on data deserialized faster than 1 GB/s: {:.1}% (paper: 14%)",
+        model.deser_time_fraction_above(8.0) * 100.0
+    );
+}

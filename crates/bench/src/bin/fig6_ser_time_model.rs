@@ -1,0 +1,33 @@
+//! Regenerates Figure 6: estimated fleet-wide serialization time by field
+//! type and size, via the 24-slice model of §3.6.4.
+
+use protoacc_cpu::CostTable;
+use protoacc_fleet::model24::Model24;
+use protoacc_fleet::protobufz::ShapeModel;
+
+fn main() {
+    let model = Model24::build(&ShapeModel::google_2021(), &CostTable::boom());
+    let shares = model.ser_time_shares();
+    println!("Figure 6: estimated serialization time by field type, fleet-wide");
+    println!("{:<24} {:>10} {:>12}", "Slice", "% bytes", "% of time");
+    for (slice, share) in model.slices().iter().zip(shares.iter()) {
+        println!(
+            "{:<24} {:>9.2}% {:>11.2}%",
+            slice.label,
+            slice.bytes_fraction * 100.0,
+            share * 100.0
+        );
+    }
+    // The paper notes the largest byte bucket is relatively more significant
+    // for serialization than deserialization, but other types still matter.
+    let deser = Model24::build(&ShapeModel::google_2021(), &CostTable::boom());
+    let huge_ser = shares[19];
+    let huge_deser = deser.deser_time_shares()[19];
+    println!();
+    println!(
+        "largest bytes bucket share: ser {:.1}% vs deser {:.1}% (the paper finds the largest \n\
+         bucket relatively more significant for serialization; see EXPERIMENTS.md)",
+        huge_ser * 100.0,
+        huge_deser * 100.0
+    );
+}

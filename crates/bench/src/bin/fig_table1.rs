@@ -1,0 +1,23 @@
+//! Regenerates Table 1: classification of protobuf field types into
+//! performance-similar groups.
+
+use protoacc_schema::{FieldType, PerfClass};
+
+fn main() {
+    println!("Table 1: Classification of protobuf field types");
+    println!("{:<16} {:<44} Sizes (bytes)", "Perf class", "Protobuf types (incl. repeated)");
+    for class in PerfClass::ALL {
+        let types: Vec<&str> = FieldType::SCALARS
+            .iter()
+            .filter(|t| t.perf_class() == Some(class))
+            .map(|t| t.keyword().expect("scalar keyword"))
+            .collect();
+        let sizes = match class {
+            PerfClass::BytesLike => "see Fig. 4c buckets".to_owned(),
+            PerfClass::VarintLike => "1-10, by 1".to_owned(),
+            PerfClass::FloatLike | PerfClass::Fixed32Like => "4".to_owned(),
+            PerfClass::DoubleLike | PerfClass::Fixed64Like => "8".to_owned(),
+        };
+        println!("{:<16} {:<44} {}", class.label(), types.join(", "), sizes);
+    }
+}

@@ -1,0 +1,51 @@
+//! Regenerates Section 5.3: ASIC critical path and area for both units in
+//! the 22 nm structural model, plus the scaling knobs.
+
+use protoacc::asic::{deserializer_estimate, serializer_estimate};
+use protoacc::AccelConfig;
+
+fn main() {
+    let config = AccelConfig::default();
+    let deser = deserializer_estimate(&config);
+    let ser = serializer_estimate(&config);
+    println!("Section 5.3: ASIC critical path and area (22 nm structural model)");
+    println!(
+        "{:<14} {:>12} {:>12} {:>14} {:>12}",
+        "Unit", "area (mm^2)", "freq (GHz)", "logic (gates)", "SRAM (bits)"
+    );
+    println!(
+        "{:<14} {:>12.3} {:>12.2} {:>14.0} {:>12.0}",
+        "deserializer", deser.area_mm2, deser.freq_ghz, deser.gates, deser.sram_bits
+    );
+    println!(
+        "{:<14} {:>12.3} {:>12.2} {:>14.0} {:>12.0}",
+        "serializer", ser.area_mm2, ser.freq_ghz, ser.gates, ser.sram_bits
+    );
+    println!();
+    println!("paper (commercial 22 nm FinFET synthesis):");
+    println!("  deserializer: 0.133 mm^2 @ 1.95 GHz");
+    println!("  serializer:   0.278 mm^2 @ 1.84 GHz");
+    println!();
+    println!("scaling with field-serializer count:");
+    for fsus in [1usize, 2, 4, 8] {
+        let est = serializer_estimate(&AccelConfig {
+            field_serializers: fsus,
+            ..AccelConfig::default()
+        });
+        println!(
+            "  {fsus} FSUs: {:.3} mm^2 @ {:.2} GHz",
+            est.area_mm2, est.freq_ghz
+        );
+    }
+    println!("scaling with memloader window width:");
+    for window in [8usize, 16, 32, 64] {
+        let est = deserializer_estimate(&AccelConfig {
+            window_bytes: window,
+            ..AccelConfig::default()
+        });
+        println!(
+            "  {window} B window: {:.3} mm^2 @ {:.2} GHz",
+            est.area_mm2, est.freq_ghz
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! The three evaluated systems and the measurement machinery.
+
+use protoacc::{AccelConfig, ProtoAccelerator};
+use protoacc_cpu::{CostTable, SoftwareCodec};
+use protoacc_mem::{MemConfig, Memory};
+use protoacc_runtime::{object, reference, write_adts, BumpArena, MessageLayouts, MessageValue};
+use protoacc_schema::{MessageId, Schema};
+
+/// One of the paper's three evaluated systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Single-core BOOM-based RISC-V SoC at 2 GHz running the software
+    /// codec.
+    RiscvBoom,
+    /// One core of a Xeon E5-2686 v4 running the software codec.
+    Xeon,
+    /// The BOOM SoC with the protobuf accelerator attached.
+    RiscvBoomAccel,
+}
+
+impl SystemKind {
+    /// All systems, in the paper's legend order.
+    pub const ALL: [SystemKind; 3] = [
+        SystemKind::RiscvBoom,
+        SystemKind::Xeon,
+        SystemKind::RiscvBoomAccel,
+    ];
+
+    /// The paper's legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::RiscvBoom => "riscv-boom",
+            SystemKind::Xeon => "Xeon",
+            SystemKind::RiscvBoomAccel => "riscv-boom-accel",
+        }
+    }
+
+    /// Clock frequency used to convert cycles to throughput.
+    pub fn freq_ghz(self) -> f64 {
+        match self {
+            SystemKind::RiscvBoom => CostTable::boom().freq_ghz,
+            SystemKind::Xeon => CostTable::xeon().freq_ghz,
+            SystemKind::RiscvBoomAccel => AccelConfig::default().freq_ghz,
+        }
+    }
+}
+
+/// Which half of the codec is being measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Wire → objects.
+    Deserialize,
+    /// Objects → wire.
+    Serialize,
+}
+
+/// A benchmark workload: a schema plus a population of messages.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name (the paper's x-axis label).
+    pub name: String,
+    /// The schema the messages belong to.
+    pub schema: Schema,
+    /// Root message type.
+    pub type_id: MessageId,
+    /// The messages processed per pass.
+    pub messages: Vec<MessageValue>,
+}
+
+impl Workload {
+    /// Total wire bytes one pass over the messages moves.
+    pub fn wire_bytes(&self) -> u64 {
+        self.messages
+            .iter()
+            .map(|m| reference::encoded_len(m, &self.schema).expect("workload encodes") as u64)
+            .sum()
+    }
+}
+
+/// Result of measuring one (system, workload, direction) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// The measured system.
+    pub system: SystemKind,
+    /// Simulated cycles for all timed passes.
+    pub cycles: u64,
+    /// Wire bytes processed in the timed passes.
+    pub wire_bytes: u64,
+    /// Throughput in Gbits/s (the paper's y-axis).
+    pub gbits: f64,
+}
+
+/// Target volume of wire data per measurement; passes repeat until reached.
+const TARGET_BYTES: u64 = 2 * 1024 * 1024;
+/// Upper bound on total operations, so tiny-message workloads stay fast.
+const MAX_OPS: usize = 3000;
+
+/// Measures one cell: runs `workload` on `system` in `direction`, one warm-up
+/// pass plus enough timed passes to process the target volume (the paper's
+/// "timed batch of deserializations and serializations ... on a
+/// pre-populated set").
+pub fn measure(system: SystemKind, workload: &Workload, direction: Direction) -> Measurement {
+    let per_pass = workload.wire_bytes().max(1);
+    let mut passes = (TARGET_BYTES / per_pass).clamp(1, 64) as usize;
+    if workload.messages.len() * passes > MAX_OPS {
+        passes = (MAX_OPS / workload.messages.len().max(1)).max(1);
+    }
+    let (cycles, wire_bytes) = match system {
+        SystemKind::RiscvBoom => run_software(&CostTable::boom(), workload, direction, passes),
+        SystemKind::Xeon => run_software(&CostTable::xeon(), workload, direction, passes),
+        SystemKind::RiscvBoomAccel => {
+            run_accel(&AccelConfig::default(), workload, direction, passes)
+        }
+    };
+    Measurement {
+        system,
+        cycles,
+        wire_bytes,
+        gbits: if cycles == 0 {
+            0.0
+        } else {
+            wire_bytes as f64 * 8.0 * system.freq_ghz() / cycles as f64
+        },
+    }
+}
+
+/// Measures the accelerated system under a non-default configuration (for
+/// the ablation studies).
+pub fn measure_accel_config(
+    config: &AccelConfig,
+    workload: &Workload,
+    direction: Direction,
+) -> Measurement {
+    let per_pass = workload.wire_bytes().max(1);
+    let mut passes = (TARGET_BYTES / per_pass).clamp(1, 64) as usize;
+    if workload.messages.len() * passes > MAX_OPS {
+        passes = (MAX_OPS / workload.messages.len().max(1)).max(1);
+    }
+    let (cycles, wire_bytes) = run_accel(config, workload, direction, passes);
+    Measurement {
+        system: SystemKind::RiscvBoomAccel,
+        cycles,
+        wire_bytes,
+        gbits: if cycles == 0 {
+            0.0
+        } else {
+            wire_bytes as f64 * 8.0 * config.freq_ghz / cycles as f64
+        },
+    }
+}
+
+/// Guest-memory map used by the harness.
+mod map {
+    pub const INPUT: u64 = 0x2000_0000;
+    pub const OBJECTS: u64 = 0x8000_0000;
+    pub const OUTPUT: u64 = 0x4000_0000;
+    pub const ARENA: u64 = 0x1_0000_0000;
+    pub const PTRS: u64 = 0x6000_0000;
+    pub const ARENA_LEN: u64 = 1 << 30;
+}
+
+fn run_software(
+    cost: &CostTable,
+    workload: &Workload,
+    direction: Direction,
+    passes: usize,
+) -> (u64, u64) {
+    let layouts = MessageLayouts::compute(&workload.schema);
+    let mut mem = Memory::new(cost.mem);
+    let codec = SoftwareCodec::new(cost);
+    match direction {
+        Direction::Deserialize => {
+            let inputs = stage_inputs(&mut mem, workload);
+            let mut arena = BumpArena::new(map::ARENA, map::ARENA_LEN);
+            let run_pass = |mem: &mut Memory, arena: &mut BumpArena| -> u64 {
+                let mut cycles = 0;
+                for (addr, len, _) in &inputs {
+                    let dest = arena
+                        .alloc(layouts.layout(workload.type_id).object_size(), 8)
+                        .expect("bench arena sized for workload");
+                    let run = codec
+                        .deserialize(
+                            mem,
+                            &workload.schema,
+                            &layouts,
+                            workload.type_id,
+                            *addr,
+                            *len,
+                            dest,
+                            arena,
+                        )
+                        .expect("workload deserializes");
+                    cycles += run.cycles;
+                }
+                cycles
+            };
+            run_pass(&mut mem, &mut arena); // warm-up
+            arena.reset();
+            let mut cycles = 0;
+            for _ in 0..passes {
+                cycles += run_pass(&mut mem, &mut arena);
+                arena.reset();
+            }
+            (cycles, workload.wire_bytes() * passes as u64)
+        }
+        Direction::Serialize => {
+            let objects = stage_objects(&mut mem, workload, &layouts);
+            let run_pass = |mem: &mut Memory| -> u64 {
+                let mut cycles = 0;
+                let mut out = map::OUTPUT;
+                for &obj in &objects {
+                    let (run, len) = codec
+                        .serialize(mem, &workload.schema, &layouts, workload.type_id, obj, out)
+                        .expect("workload serializes");
+                    cycles += run.cycles;
+                    out += len + 64;
+                }
+                cycles
+            };
+            run_pass(&mut mem); // warm-up
+            let mut cycles = 0;
+            for _ in 0..passes {
+                cycles += run_pass(&mut mem);
+            }
+            (cycles, workload.wire_bytes() * passes as u64)
+        }
+    }
+}
+
+fn run_accel(
+    config: &AccelConfig,
+    workload: &Workload,
+    direction: Direction,
+    passes: usize,
+) -> (u64, u64) {
+    let layouts = MessageLayouts::compute(&workload.schema);
+    let mut mem = Memory::new(MemConfig::default());
+    let mut setup_arena = BumpArena::new(0x1_0000, 1 << 24);
+    let adts = write_adts(&workload.schema, &layouts, &mut mem.data, &mut setup_arena)
+        .expect("ADTs fit the setup arena");
+    let mut accel = ProtoAccelerator::new(*config);
+    let layout = layouts.layout(workload.type_id);
+    let min_field = layout.min_field();
+    match direction {
+        Direction::Deserialize => {
+            let inputs = stage_inputs(&mut mem, workload);
+            let mut dests = Vec::with_capacity(workload.messages.len());
+            let mut dest_arena = BumpArena::new(map::OBJECTS, map::ARENA_LEN);
+            for _ in &workload.messages {
+                dests.push(dest_arena.alloc(layout.object_size(), 8).expect("dest fits"));
+            }
+            let run_pass = |mem: &mut Memory, accel: &mut ProtoAccelerator| -> u64 {
+                accel.deser_assign_arena(map::ARENA, map::ARENA_LEN);
+                for ((addr, len, _), &dest) in inputs.iter().zip(&dests) {
+                    accel.deser_info(adts.addr(workload.type_id), dest);
+                    accel
+                        .do_proto_deser(mem, *addr, *len, min_field)
+                        .expect("workload deserializes on the accelerator");
+                }
+                accel.block_for_deser_completion()
+            };
+            run_pass(&mut mem, &mut accel); // warm-up
+            let mut cycles = 0;
+            for _ in 0..passes {
+                cycles += run_pass(&mut mem, &mut accel);
+            }
+            (cycles, workload.wire_bytes() * passes as u64)
+        }
+        Direction::Serialize => {
+            let objects = stage_objects(&mut mem, workload, &layouts);
+            let run_pass = |mem: &mut Memory, accel: &mut ProtoAccelerator| -> u64 {
+                accel.ser_assign_arena(map::OUTPUT, map::ARENA_LEN, map::PTRS, 1 << 20);
+                for &obj in &objects {
+                    accel.ser_info(layout.hasbits_offset(), layout.min_field(), layout.max_field());
+                    accel
+                        .do_proto_ser(mem, adts.addr(workload.type_id), obj)
+                        .expect("workload serializes on the accelerator");
+                }
+                accel.block_for_ser_completion()
+            };
+            run_pass(&mut mem, &mut accel); // warm-up
+            let mut cycles = 0;
+            for _ in 0..passes {
+                cycles += run_pass(&mut mem, &mut accel);
+            }
+            (cycles, workload.wire_bytes() * passes as u64)
+        }
+    }
+}
+
+/// Writes every message's wire encoding into guest memory, returning
+/// `(addr, len, index)` per message.
+fn stage_inputs(mem: &mut Memory, workload: &Workload) -> Vec<(u64, u64, usize)> {
+    let mut out = Vec::with_capacity(workload.messages.len());
+    let mut cursor = map::INPUT;
+    for (i, m) in workload.messages.iter().enumerate() {
+        let wire = reference::encode(m, &workload.schema).expect("workload encodes");
+        mem.data.write_bytes(cursor, &wire);
+        out.push((cursor, wire.len() as u64, i));
+        cursor += wire.len() as u64 + 16;
+    }
+    out
+}
+
+/// Materializes every message as an object graph, returning object
+/// addresses.
+fn stage_objects(
+    mem: &mut Memory,
+    workload: &Workload,
+    layouts: &MessageLayouts,
+) -> Vec<u64> {
+    let mut arena = BumpArena::new(map::OBJECTS, map::ARENA_LEN);
+    workload
+        .messages
+        .iter()
+        .map(|m| {
+            object::write_message(&mut mem.data, &workload.schema, layouts, &mut arena, m)
+                .expect("workload materializes")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_runtime::Value;
+    use protoacc_schema::{FieldType, SchemaBuilder};
+
+    fn tiny_workload() -> Workload {
+        let mut b = SchemaBuilder::new();
+        let id = b.define("W", |m| {
+            m.optional("a", FieldType::UInt64, 1)
+                .optional("s", FieldType::String, 2);
+        });
+        let schema = b.build().unwrap();
+        let messages = (0..8)
+            .map(|i| {
+                let mut m = MessageValue::new(id);
+                m.set(1, Value::UInt64(i * 1000)).unwrap();
+                m.set(2, Value::Str(format!("payload-{i}"))).unwrap();
+                m
+            })
+            .collect();
+        Workload {
+            name: "tiny".into(),
+            schema,
+            type_id: id,
+            messages,
+        }
+    }
+
+    #[test]
+    fn all_three_systems_produce_positive_throughput() {
+        let w = tiny_workload();
+        for system in SystemKind::ALL {
+            for direction in [Direction::Deserialize, Direction::Serialize] {
+                let m = measure(system, &w, direction);
+                assert!(m.gbits > 0.0, "{} {:?}", system.label(), direction);
+                assert!(m.cycles > 0);
+                assert_eq!(m.wire_bytes % w.wire_bytes(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn accelerator_beats_both_cpus_on_small_messages() {
+        let w = tiny_workload();
+        for direction in [Direction::Deserialize, Direction::Serialize] {
+            let boom = measure(SystemKind::RiscvBoom, &w, direction).gbits;
+            let xeon = measure(SystemKind::Xeon, &w, direction).gbits;
+            let accel = measure(SystemKind::RiscvBoomAccel, &w, direction).gbits;
+            assert!(
+                accel > xeon && xeon > boom,
+                "{direction:?}: accel {accel:.2} / xeon {xeon:.2} / boom {boom:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_and_frequencies() {
+        assert_eq!(SystemKind::RiscvBoom.label(), "riscv-boom");
+        assert_eq!(SystemKind::Xeon.label(), "Xeon");
+        assert_eq!(SystemKind::RiscvBoomAccel.label(), "riscv-boom-accel");
+        assert_eq!(SystemKind::RiscvBoom.freq_ghz(), 2.0);
+        assert_eq!(SystemKind::Xeon.freq_ghz(), 2.7);
+    }
+}

@@ -1,0 +1,225 @@
+//! Microbenchmark workloads (§5.1, Figure 11).
+//!
+//! Each microbenchmark tests serialization or deserialization of messages
+//! containing a fixed number of fields of one protobuf type. Varints,
+//! doubles, floats, and their repeated equivalents use five fields per
+//! message (so the middle varint benchmark's message lands near the Figure 3
+//! median); all other benchmarks use one field per message.
+
+use protoacc_runtime::{MessageValue, Value};
+use protoacc_schema::{FieldType, MessageId, Schema, SchemaBuilder};
+
+use crate::Workload;
+
+/// Messages per workload population (identical shape, distinct instances).
+const MESSAGES: usize = 24;
+
+/// Elements per repeated field in the `-R` benchmarks.
+const REPEATED_ELEMS: usize = 8;
+
+/// String payload sizes for the four string benchmarks.
+const STRING_SIZES: [(&str, usize); 4] = [
+    ("string", 8),
+    ("string_15", 15),
+    ("string_long", 1024),
+    ("string_very_long", 65536),
+];
+
+/// A `u64` whose varint encoding is exactly `len` bytes (`len` 0 → value 0).
+fn varint_value(len: usize) -> u64 {
+    match len {
+        0 => 0,
+        1 => 1,
+        10 => u64::MAX,
+        k => 1u64 << (7 * (k - 1)),
+    }
+}
+
+fn single_type_schema(field_type: FieldType, fields: u32, repeated: bool) -> (Schema, MessageId) {
+    let mut b = SchemaBuilder::new();
+    let id = b.declare("Bench");
+    {
+        let mut mb = b.message(id);
+        for n in 1..=fields {
+            if repeated {
+                // Unpacked, so deserialization must allocate (Fig 11c/d).
+                mb.repeated(&format!("f{n}"), field_type, n);
+            } else {
+                mb.optional(&format!("f{n}"), field_type, n);
+            }
+        }
+    }
+    (b.build().expect("bench schema"), id)
+}
+
+fn scalar_workload(name: &str, field_type: FieldType, value: Value, fields: u32) -> Workload {
+    let (schema, id) = single_type_schema(field_type, fields, false);
+    let messages = (0..MESSAGES)
+        .map(|_| {
+            let mut m = MessageValue::new(id);
+            for n in 1..=fields {
+                m.set_unchecked(n, value.clone());
+            }
+            m
+        })
+        .collect();
+    Workload {
+        name: name.to_owned(),
+        schema,
+        type_id: id,
+        messages,
+    }
+}
+
+fn repeated_workload(name: &str, field_type: FieldType, value: Value, fields: u32) -> Workload {
+    let (schema, id) = single_type_schema(field_type, fields, true);
+    let messages = (0..MESSAGES)
+        .map(|_| {
+            let mut m = MessageValue::new(id);
+            for n in 1..=fields {
+                m.set_repeated(n, vec![value.clone(); REPEATED_ELEMS]);
+            }
+            m
+        })
+        .collect();
+    Workload {
+        name: name.to_owned(),
+        schema,
+        type_id: id,
+        messages,
+    }
+}
+
+fn submessage_workload(name: &str, field_type: FieldType, value: Value) -> Workload {
+    let mut b = SchemaBuilder::new();
+    let inner = b.declare("Inner");
+    b.message(inner).optional("v", field_type, 1);
+    let outer = b.declare("Outer");
+    b.message(outer).optional("sub", FieldType::Message(inner), 1);
+    let schema = b.build().expect("bench schema");
+    let messages = (0..MESSAGES)
+        .map(|_| {
+            let mut sub = MessageValue::new(inner);
+            sub.set_unchecked(1, value.clone());
+            let mut m = MessageValue::new(outer);
+            m.set_unchecked(1, Value::Message(sub));
+            m
+        })
+        .collect();
+    Workload {
+        name: name.to_owned(),
+        schema,
+        type_id: outer,
+        messages,
+    }
+}
+
+/// Figure 11a/11b workloads: field types that need no in-accelerator
+/// allocation on deserialization ("inline" in the C++ object on
+/// serialization): varint-0..varint-10, double, float.
+pub fn nonalloc_workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+    for len in 0..=10usize {
+        out.push(scalar_workload(
+            &format!("varint-{len}"),
+            FieldType::UInt64,
+            Value::UInt64(varint_value(len)),
+            5,
+        ));
+    }
+    out.push(scalar_workload("double", FieldType::Double, Value::Double(1.5), 5));
+    out.push(scalar_workload("float", FieldType::Float, Value::Float(2.5), 5));
+    out
+}
+
+/// Figure 11c/11d workloads: field types that require in-accelerator
+/// allocation (repeated, strings, sub-messages).
+pub fn alloc_workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+    for len in 0..=10usize {
+        out.push(repeated_workload(
+            &format!("varint-{len}-R"),
+            FieldType::UInt64,
+            Value::UInt64(varint_value(len)),
+            5,
+        ));
+    }
+    for (name, size) in STRING_SIZES {
+        out.push(scalar_workload(
+            name,
+            FieldType::String,
+            Value::Str("s".repeat(size)),
+            1,
+        ));
+    }
+    out.push(repeated_workload("double-R", FieldType::Double, Value::Double(1.5), 5));
+    out.push(repeated_workload("float-R", FieldType::Float, Value::Float(2.5), 5));
+    out.push(submessage_workload("bool-SUB", FieldType::Bool, Value::Bool(true)));
+    out.push(submessage_workload(
+        "double-SUB",
+        FieldType::Double,
+        Value::Double(1.5),
+    ));
+    out.push(submessage_workload(
+        "string-SUB",
+        FieldType::String,
+        Value::Str("sub-string-payload".into()),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_runtime::reference;
+
+    #[test]
+    fn varint_values_have_requested_lengths() {
+        for len in 1..=10usize {
+            assert_eq!(
+                protoacc_wire::varint::encoded_len(varint_value(len)),
+                len,
+                "varint-{len}"
+            );
+        }
+        assert_eq!(protoacc_wire::varint::encoded_len(varint_value(0)), 1);
+    }
+
+    #[test]
+    fn nonalloc_set_matches_figure_11a() {
+        let names: Vec<String> = nonalloc_workloads().iter().map(|w| w.name.clone()).collect();
+        assert_eq!(names.len(), 13); // varint-0..10, double, float
+        assert_eq!(names[0], "varint-0");
+        assert_eq!(names[10], "varint-10");
+        assert_eq!(names[11], "double");
+        assert_eq!(names[12], "float");
+    }
+
+    #[test]
+    fn alloc_set_matches_figure_11c() {
+        let names: Vec<String> = alloc_workloads().iter().map(|w| w.name.clone()).collect();
+        assert_eq!(names.len(), 20); // 11 varint-R + 4 strings + 2 R + 3 SUB
+        assert!(names.contains(&"string_very_long".to_owned()));
+        assert!(names.contains(&"bool-SUB".to_owned()));
+    }
+
+    #[test]
+    fn middle_varint_message_sits_near_fleet_median() {
+        // §5.1: five fields per message puts the middle varint benchmark
+        // near the Figure 3 median (56% of messages are <=32 B).
+        let workloads = nonalloc_workloads();
+        let mid = &workloads[5]; // varint-5
+        let bytes = mid.wire_bytes() / mid.messages.len() as u64;
+        assert!((9..=64).contains(&bytes), "varint-5 message is {bytes} B");
+    }
+
+    #[test]
+    fn all_workloads_encode_and_round_trip() {
+        for w in nonalloc_workloads().into_iter().chain(alloc_workloads()) {
+            let m = &w.messages[0];
+            let wire = reference::encode(m, &w.schema).expect("encodes");
+            let back = reference::decode(&wire, w.type_id, &w.schema).expect("decodes");
+            assert!(back.bits_eq(m), "{}", w.name);
+        }
+    }
+}

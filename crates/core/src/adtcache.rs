@@ -1,0 +1,89 @@
+//! Small on-accelerator cache for ADT entries and headers.
+//!
+//! Both units load ADT state for every field they touch; messages with many
+//! instances of the same type reuse the same handful of entries, so a small
+//! fully-associative cache keeps the typeInfo state from blocking on the L2
+//! for every field.
+
+use protoacc_mem::{AccessKind, Cycles, MemSystem};
+
+/// Fully-associative LRU cache over ADT line addresses.
+#[derive(Debug, Clone)]
+pub(crate) struct AdtCache {
+    capacity: usize,
+    /// Cached addresses, most-recently-used last.
+    entries: Vec<u64>,
+    misses: u64,
+}
+
+impl AdtCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        AdtCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            misses: 0,
+        }
+    }
+
+    /// Loads `len` bytes of ADT state at `addr`: 1 cycle on hit, a blocking
+    /// memory access on miss.
+    pub(crate) fn load(&mut self, system: &mut MemSystem, addr: u64, len: usize) -> Cycles {
+        if let Some(pos) = self.entries.iter().position(|&a| a == addr) {
+            let a = self.entries.remove(pos);
+            self.entries.push(a);
+            return 1;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(addr);
+        self.misses += 1;
+        // The FSM blocks in the typeInfo state for this response.
+        1 + system.access(addr, len, AccessKind::Read)
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_mem::MemConfig;
+
+    #[test]
+    fn hit_costs_one_cycle() {
+        let mut sys = MemSystem::new(MemConfig::default());
+        let mut cache = AdtCache::new(4);
+        let cold = cache.load(&mut sys, 0x100, 16);
+        assert!(cold > 1);
+        assert_eq!(cache.load(&mut sys, 0x100, 16), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut sys = MemSystem::new(MemConfig::default());
+        let mut cache = AdtCache::new(2);
+        cache.load(&mut sys, 0x100, 16);
+        cache.load(&mut sys, 0x200, 16);
+        cache.load(&mut sys, 0x100, 16); // refresh 0x100
+        cache.load(&mut sys, 0x300, 16); // evict 0x200
+        assert_eq!(cache.load(&mut sys, 0x100, 16), 1);
+        assert!(cache.load(&mut sys, 0x200, 16) > 1);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut sys = MemSystem::new(MemConfig::default());
+        let mut cache = AdtCache::new(2);
+        cache.load(&mut sys, 0x100, 16);
+        cache.clear();
+        assert!(cache.load(&mut sys, 0x100, 16) > 1);
+    }
+}

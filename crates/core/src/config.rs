@@ -1,0 +1,88 @@
+//! Accelerator configuration knobs.
+
+use protoacc_mem::Cycles;
+
+/// Parameters of the modeled accelerator.
+///
+/// Defaults match the paper's evaluated configuration: 2 GHz clock (the SoC
+/// clock; Section 5.3 shows the units close timing at 1.84-1.95 GHz in
+/// 22 nm), a 16-byte memloader consumer window, and on-chip sub-message
+/// metadata stacks of depth 25, which cover 99.999% of fleet message bytes
+/// (Section 3.8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelConfig {
+    /// Accelerator clock in GHz.
+    pub freq_ghz: f64,
+    /// Memloader consumer window width in bytes (data exposed per cycle).
+    pub window_bytes: usize,
+    /// Number of parallel field serializer units (Section 4.5.4).
+    pub field_serializers: usize,
+    /// On-chip sub-message metadata stack depth; deeper nesting spills to
+    /// DRAM (Section 3.8).
+    pub stack_depth: usize,
+    /// Extra cycles per stack push/pop once spilled to DRAM.
+    pub stack_spill_cycles: Cycles,
+    /// Cycles to dispatch one RoCC instruction from the core ("ones-of-
+    /// cycles", Section 4.1).
+    pub rocc_dispatch_cycles: Cycles,
+    /// Entries in the accelerator's small ADT-entry cache (repeatedly
+    /// touched message types hit here instead of the L2).
+    pub adt_cache_entries: usize,
+    /// Validate UTF-8 on string fields during deserialization — the one
+    /// change Section 7 identifies for proto3 support. Off for proto2.
+    pub validate_utf8: bool,
+    /// Model upstream protoc's *dense* hasbits packing instead of the
+    /// paper's sparse one — the rejected alternative of Section 4.2, which
+    /// "would require significant overhead (e.g. a mapping table indexed by
+    /// field number, introducing an additional 32-bit read per-field)".
+    /// Used by the hasbits ablation; off in the evaluated design.
+    pub dense_hasbits: bool,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        AccelConfig {
+            freq_ghz: 2.0,
+            window_bytes: 16,
+            field_serializers: 4,
+            stack_depth: 25,
+            stack_spill_cycles: 40,
+            rocc_dispatch_cycles: 4,
+            adt_cache_entries: 128,
+            validate_utf8: false,
+            dense_hasbits: false,
+        }
+    }
+}
+
+impl AccelConfig {
+    /// Throughput in Gbits/s for `bytes` processed in `cycles` at this clock.
+    pub fn gbits_per_sec(&self, bytes: u64, cycles: Cycles) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        (bytes as f64 * 8.0) * self.freq_ghz / cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_configuration() {
+        let c = AccelConfig::default();
+        assert_eq!(c.freq_ghz, 2.0);
+        assert_eq!(c.window_bytes, 16);
+        assert_eq!(c.stack_depth, 25);
+    }
+
+    #[test]
+    fn throughput_conversion() {
+        let c = AccelConfig::default();
+        // 16 B/cycle at 2 GHz = 256 Gbit/s peak.
+        let g = c.gbits_per_sec(16, 1);
+        assert!((g - 256.0).abs() < 1e-9);
+        assert_eq!(c.gbits_per_sec(16, 0), 0.0);
+    }
+}

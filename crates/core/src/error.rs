@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+use protoacc_runtime::{ArenaError, RuntimeError};
+use protoacc_wire::WireError;
+
+/// Error raised by the accelerator model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AccelError {
+    /// An operation was dispatched before the corresponding
+    /// `{ser,deser}_assign_arena` instruction.
+    ArenaNotAssigned {
+        /// Which unit ("deserializer" or "serializer").
+        unit: &'static str,
+    },
+    /// `do_proto_deser` was issued without a preceding `deser_info` (or
+    /// `do_proto_ser` without `ser_info`).
+    MissingInfo {
+        /// Which instruction was missing.
+        instruction: &'static str,
+    },
+    /// The serialized input was malformed.
+    Wire(WireError),
+    /// An ADT entry carried an invalid or undefined type code where a
+    /// defined field was required.
+    BadAdtEntry {
+        /// The offending field number.
+        field_number: u32,
+    },
+    /// Accelerator arena exhaustion.
+    Arena(ArenaError),
+    /// The serializer's output region overflowed.
+    OutputOverflow,
+    /// Error propagated from the runtime layer.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::ArenaNotAssigned { unit } => {
+                write!(f, "{unit} arena not assigned before dispatch")
+            }
+            AccelError::MissingInfo { instruction } => {
+                write!(f, "`{instruction}` must precede the dispatch instruction")
+            }
+            AccelError::Wire(e) => write!(f, "wire error: {e}"),
+            AccelError::BadAdtEntry { field_number } => {
+                write!(f, "invalid ADT entry for field {field_number}")
+            }
+            AccelError::Arena(e) => write!(f, "accelerator arena: {e}"),
+            AccelError::OutputOverflow => write!(f, "serializer output region overflow"),
+            AccelError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl Error for AccelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AccelError::Wire(e) => Some(e),
+            AccelError::Arena(e) => Some(e),
+            AccelError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for AccelError {
+    fn from(e: WireError) -> Self {
+        AccelError::Wire(e)
+    }
+}
+
+impl From<ArenaError> for AccelError {
+    fn from(e: ArenaError) -> Self {
+        AccelError::Arena(e)
+    }
+}
+
+impl From<RuntimeError> for AccelError {
+    fn from(e: RuntimeError) -> Self {
+        AccelError::Runtime(e)
+    }
+}

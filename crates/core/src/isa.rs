@@ -1,0 +1,387 @@
+//! RoCC instruction encodings and the command router.
+//!
+//! The RoCC interface lets the core place custom instructions directly in
+//! its instruction stream; each carries two 64-bit source registers
+//! (Section 4.1). This module pins down a concrete encoding for the
+//! accelerator's instruction set — the RISC-V *custom0* major opcode with
+//! the operation selected by `funct7` — and a [`ProtoAccelerator::execute`]
+//! entry point that decodes and routes exactly like the CMD router block in
+//! Figures 9 and 10.
+//!
+//! Operand packing (the paper's instructions sometimes name three values;
+//! RoCC provides two registers):
+//!
+//! | instruction | rs1 | rs2 |
+//! |---|---|---|
+//! | `deser_assign_arena` | arena base | arena length |
+//! | `deser_info` | ADT pointer | destination object pointer |
+//! | `do_proto_deser` | input pointer | length (low 48 bits) \| min field (high 16) |
+//! | `block_for_deser_completion` | — | — |
+//! | `ser_assign_arena_out` | output base | output length |
+//! | `ser_assign_arena_ptr` | pointer-buffer base | pointer-buffer length |
+//! | `ser_info` | hasbits offset | min field (low 32) \| max field (high 32) |
+//! | `do_proto_ser` | ADT pointer | object pointer |
+//! | `block_for_ser_completion` | — | — |
+//! | `do_proto_merge` / `do_proto_copy` | ADT pointer | dst (low 32 = offset from merge window…) |
+//!
+//! Merge/copy need three pointers; the model stages the destination with
+//! `deser_info` (reusing its slot) and passes ADT + source here.
+
+use protoacc_mem::{Cycles, Memory};
+
+use crate::{AccelError, ProtoAccelerator};
+
+/// The RISC-V custom0 major opcode (0x0B), used by RoCC accelerators.
+pub const CUSTOM0_OPCODE: u32 = 0x0B;
+
+/// Operation selector values (funct7) for the accelerator's instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Funct7 {
+    /// Assign the deserializer arena.
+    DeserAssignArena = 0x00,
+    /// Stage ADT + destination for the next deserialization.
+    DeserInfo = 0x01,
+    /// Kick off a deserialization.
+    DoProtoDeser = 0x02,
+    /// Fence on in-flight deserializations.
+    BlockForDeserCompletion = 0x03,
+    /// Assign the serializer output region.
+    SerAssignArenaOut = 0x10,
+    /// Assign the serializer pointer-buffer region.
+    SerAssignArenaPtr = 0x11,
+    /// Stage hasbits offset + field range for the next serialization.
+    SerInfo = 0x12,
+    /// Kick off a serialization.
+    DoProtoSer = 0x13,
+    /// Fence on in-flight serializations.
+    BlockForSerCompletion = 0x14,
+    /// Merge source into the staged destination (Section 7).
+    DoProtoMerge = 0x20,
+    /// Deep-copy source over the staged destination (Section 7).
+    DoProtoCopy = 0x21,
+    /// Clear the object in rs2 (Section 7).
+    DoProtoClear = 0x22,
+    /// Fence on in-flight merge/copy/clear operations.
+    BlockForOpsCompletion = 0x23,
+}
+
+impl Funct7 {
+    /// Decodes a raw funct7 value.
+    pub fn from_raw(raw: u8) -> Option<Self> {
+        Some(match raw {
+            0x00 => Funct7::DeserAssignArena,
+            0x01 => Funct7::DeserInfo,
+            0x02 => Funct7::DoProtoDeser,
+            0x03 => Funct7::BlockForDeserCompletion,
+            0x10 => Funct7::SerAssignArenaOut,
+            0x11 => Funct7::SerAssignArenaPtr,
+            0x12 => Funct7::SerInfo,
+            0x13 => Funct7::DoProtoSer,
+            0x14 => Funct7::BlockForSerCompletion,
+            0x20 => Funct7::DoProtoMerge,
+            0x21 => Funct7::DoProtoCopy,
+            0x22 => Funct7::DoProtoClear,
+            0x23 => Funct7::BlockForOpsCompletion,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded RoCC instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoccInstruction {
+    /// Operation selector.
+    pub funct7: Funct7,
+    /// Source register 1 index (architectural; operand values travel
+    /// separately on the RoCC request).
+    pub rs1: u8,
+    /// Source register 2 index.
+    pub rs2: u8,
+    /// Destination register index (completion fences write their cycle
+    /// counts here).
+    pub rd: u8,
+}
+
+impl RoccInstruction {
+    /// Builds an instruction with register fields.
+    pub fn new(funct7: Funct7, rd: u8, rs1: u8, rs2: u8) -> Self {
+        RoccInstruction {
+            funct7,
+            rs1: rs1 & 0x1f,
+            rs2: rs2 & 0x1f,
+            rd: rd & 0x1f,
+        }
+    }
+
+    /// Encodes to the 32-bit R-format instruction word:
+    /// `funct7[31:25] rs2[24:20] rs1[19:15] xd/xs1/xs2[14:12] rd[11:7]
+    /// opcode[6:0]` with all x-bits set (registers always exchanged).
+    pub fn encode(self) -> u32 {
+        (u32::from(self.funct7 as u8) << 25)
+            | (u32::from(self.rs2) << 20)
+            | (u32::from(self.rs1) << 15)
+            | (0b111 << 12)
+            | (u32::from(self.rd) << 7)
+            | CUSTOM0_OPCODE
+    }
+
+    /// Decodes an instruction word.
+    ///
+    /// Returns `None` for the wrong major opcode or an unknown funct7.
+    pub fn decode(word: u32) -> Option<Self> {
+        if word & 0x7f != CUSTOM0_OPCODE {
+            return None;
+        }
+        let funct7 = Funct7::from_raw((word >> 25) as u8)?;
+        Some(RoccInstruction {
+            funct7,
+            rs2: ((word >> 20) & 0x1f) as u8,
+            rs1: ((word >> 15) & 0x1f) as u8,
+            rd: ((word >> 7) & 0x1f) as u8,
+        })
+    }
+}
+
+/// Packs `do_proto_deser`'s rs2 operand: input length (≤ 2^48) in the low
+/// bits, minimum field number in the high 16.
+pub fn pack_deser_rs2(input_len: u64, min_field: u32) -> u64 {
+    debug_assert!(input_len < (1 << 48), "length exceeds the packed field");
+    debug_assert!(min_field < (1 << 16), "min field exceeds the packed field");
+    input_len | (u64::from(min_field) << 48)
+}
+
+/// Packs `ser_info`'s rs2 operand: min field in the low 32 bits, max in the
+/// high 32.
+pub fn pack_ser_info_rs2(min_field: u32, max_field: u32) -> u64 {
+    u64::from(min_field) | (u64::from(max_field) << 32)
+}
+
+/// Result of executing one RoCC instruction: cycles consumed by fences, if
+/// the instruction writes rd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecuteResult {
+    /// Instruction retired with no register writeback.
+    Done,
+    /// Fence retired; the cycle count is written to rd.
+    Cycles(Cycles),
+}
+
+impl ProtoAccelerator {
+    /// Decodes and executes one RoCC request — the CMD-router path of
+    /// Figures 9 and 10. `rs1` and `rs2` are the operand *values* the core
+    /// sent with the request.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::Wire`]/[`AccelError::Arena`]/protocol errors exactly as
+    /// the typed methods return them; undecodable words report
+    /// [`AccelError::MissingInfo`] with the offending stage.
+    pub fn execute(
+        &mut self,
+        mem: &mut Memory,
+        word: u32,
+        rs1: u64,
+        rs2: u64,
+    ) -> Result<ExecuteResult, AccelError> {
+        let inst = RoccInstruction::decode(word).ok_or(AccelError::MissingInfo {
+            instruction: "undecodable RoCC instruction word",
+        })?;
+        match inst.funct7 {
+            Funct7::DeserAssignArena => {
+                self.deser_assign_arena(rs1, rs2);
+                Ok(ExecuteResult::Done)
+            }
+            Funct7::DeserInfo => {
+                self.deser_info(rs1, rs2);
+                Ok(ExecuteResult::Done)
+            }
+            Funct7::DoProtoDeser => {
+                let len = rs2 & 0xffff_ffff_ffff;
+                let min_field = (rs2 >> 48) as u32;
+                self.do_proto_deser(mem, rs1, len, min_field)?;
+                Ok(ExecuteResult::Done)
+            }
+            Funct7::BlockForDeserCompletion => {
+                Ok(ExecuteResult::Cycles(self.block_for_deser_completion()))
+            }
+            Funct7::SerAssignArenaOut => {
+                self.stage_ser_out(rs1, rs2);
+                Ok(ExecuteResult::Done)
+            }
+            Funct7::SerAssignArenaPtr => {
+                self.stage_ser_ptr(rs1, rs2);
+                Ok(ExecuteResult::Done)
+            }
+            Funct7::SerInfo => {
+                self.ser_info(rs1, (rs2 & 0xffff_ffff) as u32, (rs2 >> 32) as u32);
+                Ok(ExecuteResult::Done)
+            }
+            Funct7::DoProtoSer => {
+                self.do_proto_ser(mem, rs1, rs2)?;
+                Ok(ExecuteResult::Done)
+            }
+            Funct7::BlockForSerCompletion => {
+                Ok(ExecuteResult::Cycles(self.block_for_ser_completion()))
+            }
+            Funct7::DoProtoMerge => {
+                let dst = self.staged_dest().ok_or(AccelError::MissingInfo {
+                    instruction: "deser_info (stages the merge destination)",
+                })?;
+                self.do_proto_merge(mem, rs1, dst, rs2)?;
+                Ok(ExecuteResult::Done)
+            }
+            Funct7::DoProtoCopy => {
+                let dst = self.staged_dest().ok_or(AccelError::MissingInfo {
+                    instruction: "deser_info (stages the copy destination)",
+                })?;
+                self.do_proto_copy(mem, rs1, dst, rs2)?;
+                Ok(ExecuteResult::Done)
+            }
+            Funct7::DoProtoClear => {
+                self.do_proto_clear(mem, rs1, rs2)?;
+                Ok(ExecuteResult::Done)
+            }
+            Funct7::BlockForOpsCompletion => {
+                Ok(ExecuteResult::Cycles(self.block_for_ops_completion()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccelConfig;
+    use protoacc_mem::MemConfig;
+    use protoacc_runtime::{object, reference, write_adts, BumpArena, MessageLayouts, MessageValue, Value};
+    use protoacc_schema::{FieldType, SchemaBuilder};
+
+    #[test]
+    fn instruction_words_round_trip() {
+        for funct7 in [
+            Funct7::DeserAssignArena,
+            Funct7::DeserInfo,
+            Funct7::DoProtoDeser,
+            Funct7::BlockForDeserCompletion,
+            Funct7::SerAssignArenaOut,
+            Funct7::SerAssignArenaPtr,
+            Funct7::SerInfo,
+            Funct7::DoProtoSer,
+            Funct7::BlockForSerCompletion,
+            Funct7::DoProtoMerge,
+            Funct7::DoProtoCopy,
+            Funct7::DoProtoClear,
+            Funct7::BlockForOpsCompletion,
+        ] {
+            let inst = RoccInstruction::new(funct7, 5, 10, 11);
+            let back = RoccInstruction::decode(inst.encode()).expect("decodes");
+            assert_eq!(back, inst);
+            assert_eq!(inst.encode() & 0x7f, CUSTOM0_OPCODE);
+        }
+    }
+
+    #[test]
+    fn wrong_opcode_and_unknown_funct7_rejected() {
+        assert_eq!(RoccInstruction::decode(0x0000_0033), None); // OP opcode
+        // custom0 with funct7 = 0x7f (unassigned)
+        let word = (0x7fu32 << 25) | CUSTOM0_OPCODE;
+        assert_eq!(RoccInstruction::decode(word), None);
+    }
+
+    #[test]
+    fn operand_packing() {
+        let rs2 = pack_deser_rs2(123_456, 7);
+        assert_eq!(rs2 & 0xffff_ffff_ffff, 123_456);
+        assert_eq!(rs2 >> 48, 7);
+        let rs2 = pack_ser_info_rs2(3, 900);
+        assert_eq!(rs2 & 0xffff_ffff, 3);
+        assert_eq!(rs2 >> 32, 900);
+    }
+
+    #[test]
+    fn full_instruction_stream_round_trips_a_message() {
+        // Drive the accelerator purely through encoded instruction words.
+        let mut b = SchemaBuilder::new();
+        let id = b.define("P", |m| {
+            m.required("x", FieldType::Int32, 1)
+                .optional("s", FieldType::String, 2);
+        });
+        let schema = b.build().unwrap();
+        let layouts = MessageLayouts::compute(&schema);
+        let mut mem = Memory::new(MemConfig::default());
+        let mut arena = BumpArena::new(0x1_0000, 1 << 22);
+        let adts = write_adts(&schema, &layouts, &mut mem.data, &mut arena).unwrap();
+        let mut m = MessageValue::new(id);
+        m.set(1, Value::Int32(-9)).unwrap();
+        m.set(2, Value::Str("via the ISA".into())).unwrap();
+        let obj = object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &m)
+            .unwrap();
+        let layout = layouts.layout(id);
+
+        let mut accel = crate::ProtoAccelerator::new(AccelConfig::default());
+        let word = |f: Funct7| RoccInstruction::new(f, 1, 2, 3).encode();
+        // Serialize.
+        accel
+            .execute(&mut mem, word(Funct7::SerAssignArenaOut), 0x40_0000, 1 << 20)
+            .unwrap();
+        accel
+            .execute(&mut mem, word(Funct7::SerAssignArenaPtr), 0x60_0000, 1 << 12)
+            .unwrap();
+        accel
+            .execute(
+                &mut mem,
+                word(Funct7::SerInfo),
+                layout.hasbits_offset(),
+                pack_ser_info_rs2(layout.min_field(), layout.max_field()),
+            )
+            .unwrap();
+        accel
+            .execute(&mut mem, word(Funct7::DoProtoSer), adts.addr(id), obj)
+            .unwrap();
+        let fence = accel
+            .execute(&mut mem, word(Funct7::BlockForSerCompletion), 0, 0)
+            .unwrap();
+        assert!(matches!(fence, ExecuteResult::Cycles(c) if c > 0));
+        let (out_addr, out_len) = accel.serialized_output(&mem, 0).unwrap();
+        assert_eq!(
+            mem.data.read_vec(out_addr, out_len as usize),
+            reference::encode(&m, &schema).unwrap()
+        );
+
+        // Deserialize the bytes back through the ISA.
+        let dest = arena.alloc(layout.object_size(), 8).unwrap();
+        accel
+            .execute(&mut mem, word(Funct7::DeserAssignArena), 0x100_0000, 1 << 22)
+            .unwrap();
+        accel
+            .execute(&mut mem, word(Funct7::DeserInfo), adts.addr(id), dest)
+            .unwrap();
+        accel
+            .execute(
+                &mut mem,
+                word(Funct7::DoProtoDeser),
+                out_addr,
+                pack_deser_rs2(out_len, layout.min_field()),
+            )
+            .unwrap();
+        let fence = accel
+            .execute(&mut mem, word(Funct7::BlockForDeserCompletion), 0, 0)
+            .unwrap();
+        assert!(matches!(fence, ExecuteResult::Cycles(c) if c > 0));
+        let back = object::read_message(&mem.data, &schema, &layouts, id, dest).unwrap();
+        assert!(back.bits_eq(&m));
+    }
+
+    #[test]
+    fn merge_via_isa_requires_staged_destination() {
+        let mut mem = Memory::new(MemConfig::default());
+        let mut accel = crate::ProtoAccelerator::new(AccelConfig::default());
+        accel.deser_assign_arena(0x100_0000, 1 << 20);
+        let word = RoccInstruction::new(Funct7::DoProtoMerge, 0, 1, 2).encode();
+        assert!(matches!(
+            accel.execute(&mut mem, word, 0x1000, 0x2000),
+            Err(AccelError::MissingInfo { .. })
+        ));
+    }
+}

@@ -1,0 +1,389 @@
+//! Future-work operations: merge, copy, clear (Section 7).
+//!
+//! "Re-using the hardware building blocks from serialization and
+//! deserialization and adding new custom instructions for each, a future
+//! version of our accelerator would be able to handle merge, copy, and
+//! clear, addressing another 17.1% of fleet-wide C++ protobuf cycles."
+//!
+//! This module is that future version: the ops unit reuses the ADT loader
+//! and cache, the hasbits reader/writer, the arena allocator, and the
+//! pipelined memory interface; control is a field-wise walk like the
+//! serializer frontend's, with proto2 `MergeFrom`/`CopyFrom`/`Clear`
+//! semantics. Output object graphs are differentially tested against the
+//! host-side reference ([`protoacc_runtime::MessageValue::merge_from`]).
+
+use protoacc_mem::{AccessKind, Cycles, Memory};
+use protoacc_runtime::{
+    AdtLayout, BumpArena, FieldEntry, TypeCode, ADT_ENTRY_BYTES, REPEATED_HEADER_BYTES,
+    STRING_OBJECT_BYTES, STRING_SSO_CAPACITY,
+};
+
+use crate::adtcache::AdtCache;
+use crate::{AccelConfig, AccelError, AccelStats};
+
+/// Outcome of one merge/copy/clear operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpsRun {
+    /// Total cycles charged (RoCC dispatch + unit busy time).
+    pub cycles: Cycles,
+    /// Fields processed (source-side, recursively).
+    pub fields: u64,
+}
+
+/// The merge/copy/clear unit.
+#[derive(Debug)]
+pub struct OpsUnit {
+    config: AccelConfig,
+    adt_cache: AdtCache,
+}
+
+impl OpsUnit {
+    /// Creates an ops unit with cold internal state.
+    pub fn new(config: AccelConfig) -> Self {
+        OpsUnit {
+            adt_cache: AdtCache::new(config.adt_cache_entries),
+            config,
+        }
+    }
+
+    /// Merges the object at `src_obj` into `dst_obj` (both of the type
+    /// described by the ADT at `adt_ptr`).
+    ///
+    /// # Errors
+    ///
+    /// Arena exhaustion while copying out-of-line values.
+    pub fn merge(
+        &mut self,
+        mem: &mut Memory,
+        arena: &mut BumpArena,
+        adt_ptr: u64,
+        dst_obj: u64,
+        src_obj: u64,
+        stats: &mut AccelStats,
+    ) -> Result<OpsRun, AccelError> {
+        let mut run = OpsRun::default();
+        self.merge_message(mem, arena, adt_ptr, dst_obj, src_obj, stats, &mut run, 0)?;
+        run.cycles += self.config.rocc_dispatch_cycles;
+        Ok(run)
+    }
+
+    /// Replaces `dst_obj` with a deep copy of `src_obj` (clear + merge).
+    ///
+    /// # Errors
+    ///
+    /// Arena exhaustion while copying out-of-line values.
+    pub fn copy(
+        &mut self,
+        mem: &mut Memory,
+        arena: &mut BumpArena,
+        adt_ptr: u64,
+        dst_obj: u64,
+        src_obj: u64,
+        stats: &mut AccelStats,
+    ) -> Result<OpsRun, AccelError> {
+        let mut run = self.clear(mem, adt_ptr, dst_obj, stats)?;
+        let merge_run = self.merge(mem, arena, adt_ptr, dst_obj, src_obj, stats)?;
+        run.cycles += merge_run.cycles;
+        run.fields += merge_run.fields;
+        Ok(run)
+    }
+
+    /// Clears every field of `obj` by zeroing its hasbits array.
+    ///
+    /// # Errors
+    ///
+    /// None currently; the `Result` mirrors the other operations.
+    pub fn clear(
+        &mut self,
+        mem: &mut Memory,
+        adt_ptr: u64,
+        obj: u64,
+        stats: &mut AccelStats,
+    ) -> Result<OpsRun, AccelError> {
+        let mut run = OpsRun::default();
+        run.cycles += self.config.rocc_dispatch_cycles;
+        run.cycles += self.adt_cache.load(&mut mem.system, adt_ptr, 64);
+        let adt = AdtLayout::read(&mem.data, adt_ptr);
+        let bytes = (adt.span().div_ceil(8).div_ceil(8) * 8) as usize;
+        mem.data.write_bytes(obj + adt.hasbits_offset, &vec![0u8; bytes]);
+        run.cycles += 1 + mem
+            .system
+            .pipelined(obj + adt.hasbits_offset, bytes, AccessKind::Write);
+        stats.clear_ops += 1;
+        Ok(run)
+    }
+
+    /// Drops cached ADT state.
+    pub fn reset_caches(&mut self) {
+        self.adt_cache.clear();
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn merge_message(
+        &mut self,
+        mem: &mut Memory,
+        arena: &mut BumpArena,
+        adt_ptr: u64,
+        dst_obj: u64,
+        src_obj: u64,
+        stats: &mut AccelStats,
+        run: &mut OpsRun,
+        depth: usize,
+    ) -> Result<(), AccelError> {
+        run.cycles += self.adt_cache.load(&mut mem.system, adt_ptr, 64);
+        let adt = AdtLayout::read(&mem.data, adt_ptr);
+        let span = adt.span();
+        if span == 0 {
+            return Ok(());
+        }
+        if depth >= self.config.stack_depth {
+            stats.stack_spills += 1;
+            run.cycles += self.config.stack_spill_cycles;
+        }
+        // Load both hasbits fields in parallel (frontend-style).
+        let src_hb = src_obj + adt.hasbits_offset;
+        let dst_hb = dst_obj + adt.hasbits_offset;
+        let hb_bytes = span.div_ceil(8) as usize;
+        let a = mem.system.pipelined(src_hb, hb_bytes, AccessKind::Read);
+        let b = mem.system.pipelined(dst_hb, hb_bytes, AccessKind::Read);
+        run.cycles += a.max(b) + span.div_ceil(64);
+
+        for number in adt.min_field..=adt.max_field {
+            let bit = u64::from(number - adt.min_field);
+            let src_set = mem.data.read_u8(src_hb + bit / 8) & (1 << (bit % 8)) != 0;
+            if !src_set {
+                continue;
+            }
+            run.cycles += 1;
+            run.fields += 1;
+            let entry_addr = adt.entries + bit * ADT_ENTRY_BYTES;
+            run.cycles += self
+                .adt_cache
+                .load(&mut mem.system, entry_addr, ADT_ENTRY_BYTES as usize);
+            let mut entry_bytes = [0u8; ADT_ENTRY_BYTES as usize];
+            mem.data.read_bytes(entry_addr, &mut entry_bytes);
+            let entry = FieldEntry::from_bytes(&entry_bytes);
+            if !entry.is_defined() {
+                continue;
+            }
+            let src_slot = src_obj + u64::from(entry.offset);
+            let dst_slot = dst_obj + u64::from(entry.offset);
+            let dst_set = mem.data.read_u8(dst_hb + bit / 8) & (1 << (bit % 8)) != 0;
+
+            if entry.repeated {
+                let src_header = self.read_ptr(mem, src_slot, run);
+                let dst_header = if dst_set {
+                    self.read_ptr(mem, dst_slot, run)
+                } else {
+                    0
+                };
+                let merged = self.concat_repeated(
+                    mem, arena, entry, dst_header, src_header, stats, run, depth,
+                )?;
+                mem.data.write_u64(dst_slot, merged);
+                run.cycles += mem.system.pipelined(dst_slot, 8, AccessKind::Write);
+            } else {
+                match entry.type_code {
+                    TypeCode::Str | TypeCode::Bytes => {
+                        let src_str = self.read_ptr(mem, src_slot, run);
+                        let copied = self.copy_string(mem, arena, src_str, stats, run)?;
+                        mem.data.write_u64(dst_slot, copied);
+                        run.cycles += mem.system.pipelined(dst_slot, 8, AccessKind::Write);
+                    }
+                    TypeCode::Message => {
+                        let src_sub = self.read_ptr(mem, src_slot, run);
+                        if dst_set {
+                            let dst_sub = self.read_ptr(mem, dst_slot, run);
+                            self.merge_message(
+                                mem,
+                                arena,
+                                entry.sub_adt,
+                                dst_sub,
+                                src_sub,
+                                stats,
+                                run,
+                                depth + 1,
+                            )?;
+                        } else {
+                            let copied = self.deep_copy(
+                                mem,
+                                arena,
+                                entry.sub_adt,
+                                src_sub,
+                                stats,
+                                run,
+                                depth + 1,
+                            )?;
+                            mem.data.write_u64(dst_slot, copied);
+                            run.cycles += mem.system.pipelined(dst_slot, 8, AccessKind::Write);
+                        }
+                    }
+                    scalar => {
+                        let size = scalar.scalar_size().expect("scalar type code") as usize;
+                        let mut buf = vec![0u8; size];
+                        mem.data.read_bytes(src_slot, &mut buf);
+                        mem.data.write_bytes(dst_slot, &buf);
+                        run.cycles += mem.system.pipelined(src_slot, size, AccessKind::Read)
+                            + mem.system.pipelined(dst_slot, size, AccessKind::Write);
+                    }
+                }
+            }
+            let old = mem.data.read_u8(dst_hb + bit / 8);
+            mem.data.write_u8(dst_hb + bit / 8, old | (1 << (bit % 8)));
+            run.cycles += mem
+                .system
+                .pipelined(dst_hb + bit / 8, 1, AccessKind::Write);
+        }
+        stats.merge_ops += 1;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deep_copy(
+        &mut self,
+        mem: &mut Memory,
+        arena: &mut BumpArena,
+        adt_ptr: u64,
+        src_obj: u64,
+        stats: &mut AccelStats,
+        run: &mut OpsRun,
+        depth: usize,
+    ) -> Result<u64, AccelError> {
+        run.cycles += self.adt_cache.load(&mut mem.system, adt_ptr, 64);
+        let adt = AdtLayout::read(&mem.data, adt_ptr);
+        let new_obj = arena.alloc(adt.object_size, 8)?;
+        stats.allocs += 1;
+        run.cycles += 1;
+        mem.data
+            .write_bytes(new_obj, &vec![0u8; adt.object_size as usize]);
+        run.cycles += mem
+            .system
+            .pipelined(new_obj, adt.object_size as usize, AccessKind::Write);
+        self.merge_message(mem, arena, adt_ptr, new_obj, src_obj, stats, run, depth)?;
+        Ok(new_obj)
+    }
+
+    fn copy_string(
+        &mut self,
+        mem: &mut Memory,
+        arena: &mut BumpArena,
+        src_str: u64,
+        stats: &mut AccelStats,
+        run: &mut OpsRun,
+    ) -> Result<u64, AccelError> {
+        let len = mem.data.read_u64(src_str + 8) as usize;
+        let data_ptr = mem.data.read_u64(src_str);
+        run.cycles += mem
+            .system
+            .pipelined(src_str, STRING_OBJECT_BYTES as usize, AccessKind::Read);
+        let payload = mem.data.read_vec(data_ptr, len);
+        let obj = arena.alloc(STRING_OBJECT_BYTES, 8)?;
+        stats.allocs += 1;
+        run.cycles += 1;
+        mem.data.write_u64(obj + 8, len as u64);
+        if len <= STRING_SSO_CAPACITY {
+            mem.data.write_u64(obj, obj + 16);
+            mem.data.write_bytes(obj + 16, &payload);
+            run.cycles += mem
+                .system
+                .pipelined(obj, STRING_OBJECT_BYTES as usize, AccessKind::Write);
+        } else {
+            let buf = arena.alloc(len as u64 + 1, 8)?;
+            stats.allocs += 1;
+            mem.data.write_u64(obj, buf);
+            mem.data.write_u64(obj + 16, len as u64 + 1);
+            mem.data.write_bytes(buf, &payload);
+            run.cycles += mem
+                .system
+                .pipelined(obj, STRING_OBJECT_BYTES as usize, AccessKind::Write)
+                + mem.system.pipelined(data_ptr, len, AccessKind::Read)
+                + mem.system.pipelined(buf, len, AccessKind::Write);
+        }
+        Ok(obj)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn concat_repeated(
+        &mut self,
+        mem: &mut Memory,
+        arena: &mut BumpArena,
+        entry: FieldEntry,
+        dst_header: u64,
+        src_header: u64,
+        stats: &mut AccelStats,
+        run: &mut OpsRun,
+        depth: usize,
+    ) -> Result<u64, AccelError> {
+        let elem_size = entry.type_code.scalar_size().unwrap_or(8);
+        let (dst_data, dst_count) = self.read_header(mem, dst_header, run);
+        let (src_data, src_count) = self.read_header(mem, src_header, run);
+        let total = dst_count + src_count;
+        let header = arena.alloc(REPEATED_HEADER_BYTES, 8)?;
+        let data = arena.alloc(total * elem_size, 8)?;
+        stats.allocs += 2;
+        run.cycles += 1;
+        mem.data.write_u64(header, data);
+        mem.data.write_u64(header + 8, total);
+        mem.data.write_u64(header + 16, total);
+        run.cycles += mem.system.pipelined(
+            header,
+            REPEATED_HEADER_BYTES as usize,
+            AccessKind::Write,
+        );
+        if dst_count > 0 {
+            let bytes = (dst_count * elem_size) as usize;
+            let payload = mem.data.read_vec(dst_data, bytes);
+            mem.data.write_bytes(data, &payload);
+            run.cycles += mem.system.pipelined(dst_data, bytes, AccessKind::Read)
+                + mem.system.pipelined(data, bytes, AccessKind::Write);
+        }
+        let dest_base = data + dst_count * elem_size;
+        match entry.type_code {
+            TypeCode::Str | TypeCode::Bytes => {
+                for i in 0..src_count {
+                    run.cycles += 1;
+                    let src_str = self.read_ptr(mem, src_data + i * 8, run);
+                    let copied = self.copy_string(mem, arena, src_str, stats, run)?;
+                    mem.data.write_u64(dest_base + i * 8, copied);
+                    run.cycles += mem
+                        .system
+                        .pipelined(dest_base + i * 8, 8, AccessKind::Write);
+                }
+            }
+            TypeCode::Message => {
+                for i in 0..src_count {
+                    run.cycles += 1;
+                    let src_sub = self.read_ptr(mem, src_data + i * 8, run);
+                    let copied =
+                        self.deep_copy(mem, arena, entry.sub_adt, src_sub, stats, run, depth + 1)?;
+                    mem.data.write_u64(dest_base + i * 8, copied);
+                    run.cycles += mem
+                        .system
+                        .pipelined(dest_base + i * 8, 8, AccessKind::Write);
+                }
+            }
+            _scalar => {
+                let bytes = (src_count * elem_size) as usize;
+                let payload = mem.data.read_vec(src_data, bytes);
+                mem.data.write_bytes(dest_base, &payload);
+                run.cycles += mem.system.pipelined(src_data, bytes, AccessKind::Read)
+                    + mem.system.pipelined(dest_base, bytes, AccessKind::Write);
+            }
+        }
+        Ok(header)
+    }
+
+    fn read_header(&mut self, mem: &mut Memory, header: u64, run: &mut OpsRun) -> (u64, u64) {
+        if header == 0 {
+            return (0, 0);
+        }
+        let data = self.read_ptr(mem, header, run);
+        let count = self.read_ptr(mem, header + 8, run);
+        (data, count)
+    }
+
+    fn read_ptr(&mut self, mem: &mut Memory, addr: u64, run: &mut OpsRun) -> u64 {
+        run.cycles += mem.system.pipelined(addr, 8, AccessKind::Read);
+        mem.data.read_u64(addr)
+    }
+}

@@ -1,0 +1,115 @@
+//! Memwriter unit (Section 4.5.5).
+//!
+//! Consumes serialized field data and writes it to memory **from high to low
+//! addresses**: because fields are processed in reverse field-number order,
+//! a sub-message's length is known by the time its key must be written, so
+//! the key (with the length varint) is injected just below the already-
+//! written fields — no separate sizing pass is needed (Section 4.5.1).
+
+use protoacc_mem::{AccessKind, Cycles, Memory};
+use protoacc_wire::hw::CombVarintEncoder;
+
+use crate::AccelError;
+
+/// High-to-low writer over a fixed output region.
+#[derive(Debug)]
+pub struct ReverseWriter {
+    region_base: u64,
+    /// Next write ends here (exclusive): bytes land at `[cursor-len, cursor)`.
+    cursor: u64,
+    /// Cycles the memwriter's output port was occupied.
+    cycles: Cycles,
+    window_bytes: usize,
+}
+
+impl ReverseWriter {
+    /// Creates a writer over `[region_base, region_base + region_len)`,
+    /// starting at the top.
+    pub fn new(region_base: u64, region_len: u64, window_bytes: usize) -> Self {
+        ReverseWriter {
+            region_base,
+            cursor: region_base + region_len,
+            cycles: 0,
+            window_bytes,
+        }
+    }
+
+    /// Current cursor: the address of the first byte of everything written
+    /// so far.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Cycles of output-port occupancy accumulated.
+    pub fn cycles(&self) -> Cycles {
+        self.cycles
+    }
+
+    /// Writes `bytes` (given in forward order) immediately below everything
+    /// written so far.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::OutputOverflow`] if the region is full.
+    pub fn prepend(&mut self, mem: &mut Memory, bytes: &[u8]) -> Result<u64, AccelError> {
+        let len = bytes.len() as u64;
+        if self.cursor < self.region_base + len {
+            return Err(AccelError::OutputOverflow);
+        }
+        self.cursor -= len;
+        mem.data.write_bytes(self.cursor, bytes);
+        self.cycles += 1 + bytes.len().div_ceil(self.window_bytes) as u64;
+        self.cycles += mem
+            .system
+            .pipelined(self.cursor, bytes.len(), AccessKind::Write);
+        Ok(self.cursor)
+    }
+
+    /// Injects a varint (e.g. a sub-message length or key) below the
+    /// current output — the memwriter's end-of-message action.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::OutputOverflow`] if the region is full.
+    pub fn prepend_varint(&mut self, mem: &mut Memory, value: u64) -> Result<u64, AccelError> {
+        let encoded = CombVarintEncoder::encode(value);
+        self.prepend(mem, encoded.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_mem::MemConfig;
+
+    #[test]
+    fn prepend_builds_forward_readable_output() {
+        let mut mem = Memory::new(MemConfig::default());
+        let mut w = ReverseWriter::new(0x1000, 64, 16);
+        w.prepend(&mut mem, b"world").unwrap();
+        w.prepend(&mut mem, b"hello ").unwrap();
+        let start = w.cursor();
+        assert_eq!(mem.data.read_vec(start, 11), b"hello world");
+        assert!(w.cycles() > 0);
+    }
+
+    #[test]
+    fn prepend_varint_encodes_forward() {
+        let mut mem = Memory::new(MemConfig::default());
+        let mut w = ReverseWriter::new(0x1000, 64, 16);
+        w.prepend(&mut mem, &[0xaa]).unwrap();
+        w.prepend_varint(&mut mem, 300).unwrap();
+        assert_eq!(mem.data.read_vec(w.cursor(), 3), vec![0xac, 0x02, 0xaa]);
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let mut mem = Memory::new(MemConfig::default());
+        let mut w = ReverseWriter::new(0x1000, 4, 16);
+        assert!(w.prepend(&mut mem, b"1234").is_ok());
+        assert!(matches!(
+            w.prepend(&mut mem, b"5"),
+            Err(AccelError::OutputOverflow)
+        ));
+    }
+}

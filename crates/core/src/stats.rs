@@ -1,0 +1,84 @@
+//! Accelerator statistics counters.
+
+use protoacc_mem::Cycles;
+
+/// Counters accumulated across accelerator operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccelStats {
+    /// Total cycles spent in the deserializer unit.
+    pub deser_cycles: Cycles,
+    /// Total cycles spent in the serializer unit.
+    pub ser_cycles: Cycles,
+    /// Deserialization operations completed.
+    pub deser_ops: u64,
+    /// Serialization operations completed.
+    pub ser_ops: u64,
+    /// Wire bytes consumed by deserialization.
+    pub deser_wire_bytes: u64,
+    /// Wire bytes produced by serialization.
+    pub ser_wire_bytes: u64,
+    /// Fields handled (both directions, sub-messages counted recursively).
+    pub fields: u64,
+    /// Varints decoded or encoded by the combinational units.
+    pub varints: u64,
+    /// In-accelerator allocations performed (strings, sub-messages,
+    /// repeated regions).
+    pub allocs: u64,
+    /// Sub-message stack pushes.
+    pub stack_pushes: u64,
+    /// Stack pushes that spilled past the on-chip depth.
+    pub stack_spills: u64,
+    /// ADT entry loads that missed the accelerator's small ADT cache.
+    pub adt_misses: u64,
+    /// Merge operations completed (Section 7 future-work unit).
+    pub merge_ops: u64,
+    /// Copy operations completed.
+    pub copy_ops: u64,
+    /// Clear operations completed.
+    pub clear_ops: u64,
+}
+
+impl AccelStats {
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &AccelStats) {
+        self.deser_cycles += other.deser_cycles;
+        self.ser_cycles += other.ser_cycles;
+        self.deser_ops += other.deser_ops;
+        self.ser_ops += other.ser_ops;
+        self.deser_wire_bytes += other.deser_wire_bytes;
+        self.ser_wire_bytes += other.ser_wire_bytes;
+        self.fields += other.fields;
+        self.varints += other.varints;
+        self.allocs += other.allocs;
+        self.stack_pushes += other.stack_pushes;
+        self.stack_spills += other.stack_spills;
+        self.adt_misses += other.adt_misses;
+        self.merge_ops += other.merge_ops;
+        self.copy_ops += other.copy_ops;
+        self.clear_ops += other.clear_ops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = AccelStats {
+            deser_cycles: 10,
+            fields: 2,
+            ..Default::default()
+        };
+        let b = AccelStats {
+            deser_cycles: 5,
+            fields: 3,
+            varints: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.deser_cycles, 15);
+        assert_eq!(a.fields, 5);
+        assert_eq!(a.varints, 7);
+    }
+}

@@ -1,0 +1,498 @@
+//! Differential tests: the accelerator against the reference codec.
+//!
+//! Deserialization must produce the same object graph the reference decoder
+//! describes; serialization must be byte-identical to the reference encoder
+//! (Section 4.5.1's reverse-order writing claim).
+
+use protoacc::{AccelConfig, AccelError, ProtoAccelerator};
+use protoacc_mem::{MemConfig, Memory};
+use protoacc_runtime::{
+    object, reference, write_adts, AdtTables, BumpArena, MessageLayouts, MessageValue, Value,
+};
+use protoacc_schema::{FieldType, MessageId, Schema, SchemaBuilder};
+
+struct Harness {
+    schema: Schema,
+    layouts: MessageLayouts,
+    mem: Memory,
+    adts: AdtTables,
+    setup_arena: BumpArena,
+    accel: ProtoAccelerator,
+    outer: MessageId,
+    inner: MessageId,
+}
+
+const INPUT_ADDR: u64 = 0x20_0000;
+
+fn harness() -> Harness {
+    let mut b = SchemaBuilder::new();
+    let inner = b.declare("Inner");
+    b.message(inner)
+        .optional("flag", FieldType::Bool, 1)
+        .optional("note", FieldType::String, 2)
+        .optional("count", FieldType::UInt64, 3);
+    let outer = b.declare("Outer");
+    b.message(outer)
+        .optional("i32", FieldType::Int32, 1)
+        .optional("s64", FieldType::SInt64, 2)
+        .optional("dbl", FieldType::Double, 3)
+        .optional("flt", FieldType::Float, 4)
+        .optional("fx32", FieldType::Fixed32, 5)
+        .optional("fx64", FieldType::Fixed64, 6)
+        .optional("text", FieldType::String, 7)
+        .optional("blob", FieldType::Bytes, 8)
+        .optional("sub", FieldType::Message(inner), 9)
+        .repeated("ri", FieldType::Int64, 10)
+        .packed("pu", FieldType::UInt32, 11)
+        .repeated("rstr", FieldType::String, 12)
+        .repeated("rsub", FieldType::Message(inner), 13)
+        .optional("en", FieldType::Enum, 14)
+        .packed("pd", FieldType::Double, 15);
+    let schema = b.build().unwrap();
+    let layouts = MessageLayouts::compute(&schema);
+    let mut mem = Memory::new(MemConfig::default());
+    let mut setup_arena = BumpArena::new(0x1_0000, 1 << 22);
+    let adts = write_adts(&schema, &layouts, &mut mem.data, &mut setup_arena).unwrap();
+    let mut accel = ProtoAccelerator::new(AccelConfig::default());
+    accel.deser_assign_arena(0x100_0000, 1 << 24);
+    accel.ser_assign_arena(0x300_0000, 1 << 24, 0x500_0000, 1 << 16);
+    Harness {
+        schema,
+        layouts,
+        mem,
+        adts,
+        setup_arena,
+        accel,
+        outer,
+        inner,
+    }
+}
+
+fn sample(h: &Harness) -> MessageValue {
+    let mut sub = MessageValue::new(h.inner);
+    sub.set(1, Value::Bool(true)).unwrap();
+    sub.set(2, Value::Str("nested note".into())).unwrap();
+    sub.set(3, Value::UInt64(u64::MAX)).unwrap();
+    let mut m = MessageValue::new(h.outer);
+    m.set(1, Value::Int32(-42)).unwrap();
+    m.set(2, Value::SInt64(-1 << 40)).unwrap();
+    m.set(3, Value::Double(3.25)).unwrap();
+    m.set(4, Value::Float(-0.5)).unwrap();
+    m.set(5, Value::Fixed32(0xdead_beef)).unwrap();
+    m.set(6, Value::Fixed64(0x0123_4567_89ab_cdef)).unwrap();
+    m.set(7, Value::Str("a string well beyond the SSO limit".into()))
+        .unwrap();
+    m.set(8, Value::Bytes((0..=255u8).collect())).unwrap();
+    m.set(9, Value::Message(sub.clone())).unwrap();
+    m.set_repeated(
+        10,
+        vec![Value::Int64(0), Value::Int64(-1), Value::Int64(1 << 50)],
+    );
+    m.set_repeated(11, vec![Value::UInt32(1), Value::UInt32(300), Value::UInt32(70000)]);
+    m.set_repeated(
+        12,
+        vec![
+            Value::Str(String::new()),
+            Value::Str("short".into()),
+            Value::Str("l".repeat(100)),
+        ],
+    );
+    m.set_repeated(
+        13,
+        vec![
+            Value::Message(sub),
+            Value::Message(MessageValue::new(h.inner)),
+        ],
+    );
+    m.set(14, Value::Enum(-3)).unwrap();
+    m.set_repeated(15, vec![Value::Double(1.5), Value::Double(-2.5)]);
+    m
+}
+
+/// Runs the accelerator deserializer on the reference encoding of `m` and
+/// reads the resulting object graph back.
+fn accel_deser(h: &mut Harness, m: &MessageValue) -> Result<MessageValue, AccelError> {
+    let wire = reference::encode(m, &h.schema).unwrap();
+    h.mem.data.write_bytes(INPUT_ADDR, &wire);
+    let dest = h
+        .setup_arena
+        .alloc(h.layouts.layout(m.type_id()).object_size(), 8)
+        .unwrap();
+    h.accel.deser_info(h.adts.addr(m.type_id()), dest);
+    let min_field = h.schema.message(m.type_id()).min_field_number().unwrap_or(1);
+    h.accel
+        .do_proto_deser(&mut h.mem, INPUT_ADDR, wire.len() as u64, min_field)?;
+    h.accel.block_for_deser_completion();
+    Ok(object::read_message(&h.mem.data, &h.schema, &h.layouts, m.type_id(), dest).unwrap())
+}
+
+/// Runs the accelerator serializer on the materialized object graph of `m`.
+fn accel_ser(h: &mut Harness, m: &MessageValue) -> Vec<u8> {
+    let obj = object::write_message(
+        &mut h.mem.data,
+        &h.schema,
+        &h.layouts,
+        &mut h.setup_arena,
+        m,
+    )
+    .unwrap();
+    let layout = h.layouts.layout(m.type_id());
+    h.accel.ser_info(
+        layout.hasbits_offset(),
+        layout.min_field(),
+        layout.max_field(),
+    );
+    let run = h
+        .accel
+        .do_proto_ser(&mut h.mem, h.adts.addr(m.type_id()), obj)
+        .unwrap();
+    h.accel.block_for_ser_completion();
+    let (addr, len) = h
+        .accel
+        .serialized_output(&h.mem, h.accel.serialized_outputs() - 1)
+        .unwrap();
+    assert_eq!((addr, len), (run.out_addr, run.out_len));
+    h.mem.data.read_vec(addr, len as usize)
+}
+
+#[test]
+fn deserializer_matches_reference_on_full_message() {
+    let mut h = harness();
+    let m = sample(&h);
+    let back = accel_deser(&mut h, &m).unwrap();
+    assert!(back.bits_eq(&m));
+}
+
+#[test]
+fn serializer_is_byte_identical_to_reference() {
+    let mut h = harness();
+    let m = sample(&h);
+    let expect = reference::encode(&m, &h.schema).unwrap();
+    let got = accel_ser(&mut h, &m);
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn empty_message_round_trips() {
+    let mut h = harness();
+    let m = MessageValue::new(h.outer);
+    let back = accel_deser(&mut h, &m).unwrap();
+    assert!(back.is_empty());
+    let got = accel_ser(&mut h, &m);
+    assert!(got.is_empty());
+}
+
+#[test]
+fn single_field_variants_round_trip() {
+    let cases: Vec<(u32, Value)> = vec![
+        (1, Value::Int32(i32::MIN)),
+        (1, Value::Int32(0)),
+        (2, Value::SInt64(i64::MIN)),
+        (3, Value::Double(f64::NAN)),
+        (4, Value::Float(f32::INFINITY)),
+        (5, Value::Fixed32(0)),
+        (6, Value::Fixed64(u64::MAX)),
+        (7, Value::Str(String::new())),
+        (7, Value::Str("x".repeat(15))), // SSO boundary
+        (7, Value::Str("x".repeat(16))),
+        (8, Value::Bytes(vec![0u8; 10_000])),
+        (14, Value::Enum(i32::MAX)),
+    ];
+    for (number, value) in cases {
+        let mut h = harness();
+        let mut m = MessageValue::new(h.outer);
+        m.set(number, value.clone()).unwrap();
+        let back = accel_deser(&mut h, &m).unwrap();
+        assert!(back.bits_eq(&m), "deser field {number} {value:?}");
+        let got = accel_ser(&mut h, &m);
+        assert_eq!(
+            got,
+            reference::encode(&m, &h.schema).unwrap(),
+            "ser field {number} {value:?}"
+        );
+    }
+}
+
+#[test]
+fn deeply_nested_messages_spill_the_stack_and_still_decode() {
+    // Build a chain deeper than the on-chip stack depth (25).
+    let mut b = SchemaBuilder::new();
+    let node = b.declare("Node");
+    b.message(node)
+        .optional("v", FieldType::Int32, 1)
+        .optional("next", FieldType::Message(node), 2);
+    let schema = b.build().unwrap();
+    let layouts = MessageLayouts::compute(&schema);
+    let mut mem = Memory::new(MemConfig::default());
+    let mut setup_arena = BumpArena::new(0x1_0000, 1 << 22);
+    let adts = write_adts(&schema, &layouts, &mut mem.data, &mut setup_arena).unwrap();
+
+    let mut m = MessageValue::new(node);
+    m.set(1, Value::Int32(0)).unwrap();
+    for depth in 1..40 {
+        let mut parent = MessageValue::new(node);
+        parent.set(1, Value::Int32(depth)).unwrap();
+        parent.set(2, Value::Message(m)).unwrap();
+        m = parent;
+    }
+    let wire = reference::encode(&m, &schema).unwrap();
+    mem.data.write_bytes(INPUT_ADDR, &wire);
+
+    let mut accel = ProtoAccelerator::new(AccelConfig::default());
+    accel.deser_assign_arena(0x100_0000, 1 << 24);
+    let dest = setup_arena.alloc(layouts.layout(node).object_size(), 8).unwrap();
+    accel.deser_info(adts.addr(node), dest);
+    accel
+        .do_proto_deser(&mut mem, INPUT_ADDR, wire.len() as u64, 1)
+        .unwrap();
+    let stats = accel.stats();
+    assert!(stats.stack_spills > 0, "39-deep chain must spill depth-25 stacks");
+    let back = object::read_message(&mem.data, &schema, &layouts, node, dest).unwrap();
+    assert!(back.bits_eq(&m));
+
+    // And serialization of the same graph is byte-identical.
+    accel.ser_assign_arena(0x300_0000, 1 << 24, 0x500_0000, 1 << 16);
+    let obj =
+        object::write_message(&mut mem.data, &schema, &layouts, &mut setup_arena, &m).unwrap();
+    let layout = layouts.layout(node);
+    accel.ser_info(layout.hasbits_offset(), 1, 2);
+    let run = accel.do_proto_ser(&mut mem, adts.addr(node), obj).unwrap();
+    assert_eq!(mem.data.read_vec(run.out_addr, run.out_len as usize), wire);
+}
+
+#[test]
+fn batched_serializations_pack_output_and_pointer_buffer() {
+    let mut h = harness();
+    let layout_off = h.layouts.layout(h.outer).hasbits_offset();
+    let mut expected = Vec::new();
+    for i in 0..5 {
+        let mut m = MessageValue::new(h.outer);
+        m.set(1, Value::Int32(i)).unwrap();
+        m.set(7, Value::Str(format!("message number {i}"))).unwrap();
+        let obj = object::write_message(
+            &mut h.mem.data,
+            &h.schema,
+            &h.layouts,
+            &mut h.setup_arena,
+            &m,
+        )
+        .unwrap();
+        h.accel.ser_info(layout_off, 1, 15);
+        h.accel
+            .do_proto_ser(&mut h.mem, h.adts.addr(h.outer), obj)
+            .unwrap();
+        expected.push(reference::encode(&m, &h.schema).unwrap());
+    }
+    assert!(h.accel.block_for_ser_completion() > 0);
+    assert_eq!(h.accel.serialized_outputs(), 5);
+    for (i, expect) in expected.iter().enumerate() {
+        let (addr, len) = h.accel.serialized_output(&h.mem, i as u64).unwrap();
+        assert_eq!(&h.mem.data.read_vec(addr, len as usize), expect, "output {i}");
+    }
+    assert!(h.accel.serialized_output(&h.mem, 5).is_none());
+}
+
+#[test]
+fn truncated_input_is_rejected() {
+    let mut h = harness();
+    let m = sample(&h);
+    let wire = reference::encode(&m, &h.schema).unwrap();
+    h.mem.data.write_bytes(INPUT_ADDR, &wire);
+    let dest = h
+        .setup_arena
+        .alloc(h.layouts.layout(h.outer).object_size(), 8)
+        .unwrap();
+    for cut in [1usize, wire.len() / 3, wire.len() - 1] {
+        h.accel.deser_info(h.adts.addr(h.outer), dest);
+        let result = h
+            .accel
+            .do_proto_deser(&mut h.mem, INPUT_ADDR, cut as u64, 1);
+        assert!(result.is_err(), "cut at {cut} must fail");
+    }
+}
+
+#[test]
+fn arena_exhaustion_is_reported() {
+    let mut h = harness();
+    let mut m = MessageValue::new(h.outer);
+    m.set(7, Value::Str("long enough to need a heap buffer".into()))
+        .unwrap();
+    let wire = reference::encode(&m, &h.schema).unwrap();
+    h.mem.data.write_bytes(INPUT_ADDR, &wire);
+    let dest = h
+        .setup_arena
+        .alloc(h.layouts.layout(h.outer).object_size(), 8)
+        .unwrap();
+    let mut accel = ProtoAccelerator::new(AccelConfig::default());
+    accel.deser_assign_arena(0x100_0000, 16); // far too small
+    accel.deser_info(h.adts.addr(h.outer), dest);
+    assert!(matches!(
+        accel.do_proto_deser(&mut h.mem, INPUT_ADDR, wire.len() as u64, 1),
+        Err(AccelError::Arena(_))
+    ));
+}
+
+#[test]
+fn protocol_misuse_is_rejected() {
+    let mut h = harness();
+    let mut fresh = ProtoAccelerator::new(AccelConfig::default());
+    assert!(matches!(
+        fresh.do_proto_deser(&mut h.mem, INPUT_ADDR, 0, 1),
+        Err(AccelError::MissingInfo { .. })
+    ));
+    fresh.deser_info(h.adts.addr(h.outer), 0x9000);
+    assert!(matches!(
+        fresh.do_proto_deser(&mut h.mem, INPUT_ADDR, 0, 1),
+        Err(AccelError::ArenaNotAssigned { .. })
+    ));
+    assert!(matches!(
+        fresh.do_proto_ser(&mut h.mem, h.adts.addr(h.outer), 0x9000),
+        Err(AccelError::MissingInfo { .. })
+    ));
+    fresh.ser_info(8, 1, 15);
+    assert!(matches!(
+        fresh.do_proto_ser(&mut h.mem, h.adts.addr(h.outer), 0x9000),
+        Err(AccelError::ArenaNotAssigned { .. })
+    ));
+}
+
+#[test]
+fn large_minimum_field_numbers_use_offset_hasbits() {
+    // §4.2: "To save memory in the common case where field numbers are
+    // contiguous but start at a large number, we provide the accelerator
+    // with the minimum defined field number ... with respect to which it
+    // calculates field-number offsets."
+    let mut b = SchemaBuilder::new();
+    let id = b.declare("HighFields");
+    {
+        let mut mb = b.message(id);
+        for n in 5000..5010u32 {
+            mb.optional(&format!("f{n}"), FieldType::UInt64, n);
+        }
+        mb.optional("s", FieldType::String, 5015);
+    }
+    let schema = b.build().unwrap();
+    let layouts = MessageLayouts::compute(&schema);
+    let layout = layouts.layout(id);
+    assert_eq!(layout.min_field(), 5000);
+    // The sparse hasbits stay small despite the large numbers.
+    assert!(layout.hasbits_bytes() <= 8, "{}", layout.hasbits_bytes());
+
+    let mut mem = protoacc_mem::Memory::new(MemConfig::default());
+    let mut arena = BumpArena::new(0x1_0000, 1 << 22);
+    let adts = write_adts(&schema, &layouts, &mut mem.data, &mut arena).unwrap();
+    let mut m = MessageValue::new(id);
+    for n in (5000..5010u32).step_by(3) {
+        m.set_unchecked(n, Value::UInt64(u64::from(n)));
+    }
+    m.set_unchecked(5015, Value::Str("offset hasbits".into()));
+    let wire = reference::encode(&m, &schema).unwrap();
+    mem.data.write_bytes(INPUT_ADDR, &wire);
+    let dest = arena.alloc(layout.object_size(), 8).unwrap();
+    let mut accel = ProtoAccelerator::new(AccelConfig::default());
+    accel.deser_assign_arena(0x100_0000, 1 << 22);
+    accel.deser_info(adts.addr(id), dest);
+    accel
+        .do_proto_deser(&mut mem, INPUT_ADDR, wire.len() as u64, layout.min_field())
+        .unwrap();
+    let back = object::read_message(&mem.data, &schema, &layouts, id, dest).unwrap();
+    assert!(back.bits_eq(&m));
+
+    // And back out through the serializer, byte-identical.
+    accel.ser_assign_arena(0x40_0000, 1 << 20, 0x60_0000, 1 << 12);
+    accel.ser_info(layout.hasbits_offset(), layout.min_field(), layout.max_field());
+    let run = accel.do_proto_ser(&mut mem, adts.addr(id), dest).unwrap();
+    assert_eq!(mem.data.read_vec(run.out_addr, run.out_len as usize), wire);
+}
+
+#[test]
+fn interleaved_repeated_elements_accumulate_correctly() {
+    // Proto2 permits elements of an unpacked repeated field to interleave
+    // with other fields on the wire; the open-allocation-region logic
+    // (Section 4.4.8) must still gather them all.
+    let mut h = harness();
+    let mut w = protoacc_wire::WireWriter::new();
+    w.write_varint_field(10, 1).unwrap(); // ri element 1 (field 10: repeated int64)
+    w.write_varint_field(1, 7).unwrap(); // unrelated scalar
+    w.write_varint_field(10, 2).unwrap(); // ri element 2
+    w.write_length_delimited_field(12, b"x").unwrap(); // rstr element
+    w.write_varint_field(10, 3).unwrap(); // ri element 3
+    let wire = w.into_bytes();
+    h.mem.data.write_bytes(INPUT_ADDR, &wire);
+    let dest = h
+        .setup_arena
+        .alloc(h.layouts.layout(h.outer).object_size(), 8)
+        .unwrap();
+    h.accel.deser_info(h.adts.addr(h.outer), dest);
+    h.accel
+        .do_proto_deser(&mut h.mem, INPUT_ADDR, wire.len() as u64, 1)
+        .unwrap();
+    let back = object::read_message(&h.mem.data, &h.schema, &h.layouts, h.outer, dest).unwrap();
+    match back.get(10) {
+        Some(protoacc_runtime::FieldPayload::Repeated(vs)) => {
+            assert_eq!(
+                vs,
+                &[Value::Int64(1), Value::Int64(2), Value::Int64(3)],
+                "element order preserved across interleaving"
+            );
+        }
+        other => panic!("expected repeated payload, got {other:?}"),
+    }
+    assert_eq!(back.get_single(1), Some(&Value::Int32(7)));
+}
+
+#[test]
+fn mixed_packed_and_unpacked_arrivals_combine() {
+    // A packed body followed by unpacked elements of the same field.
+    let mut h = harness();
+    let mut body = protoacc_wire::WireWriter::new();
+    body.write_raw_varint(10);
+    body.write_raw_varint(20);
+    let mut w = protoacc_wire::WireWriter::new();
+    w.write_length_delimited_field(11, body.as_bytes()).unwrap(); // packed pu
+    w.write_varint_field(11, 30).unwrap(); // unpacked arrival, same field
+    let wire = w.into_bytes();
+    h.mem.data.write_bytes(INPUT_ADDR, &wire);
+    let dest = h
+        .setup_arena
+        .alloc(h.layouts.layout(h.outer).object_size(), 8)
+        .unwrap();
+    h.accel.deser_info(h.adts.addr(h.outer), dest);
+    h.accel
+        .do_proto_deser(&mut h.mem, INPUT_ADDR, wire.len() as u64, 1)
+        .unwrap();
+    let back = object::read_message(&h.mem.data, &h.schema, &h.layouts, h.outer, dest).unwrap();
+    match back.get(11) {
+        Some(protoacc_runtime::FieldPayload::Repeated(vs)) => {
+            assert_eq!(
+                vs,
+                &[Value::UInt32(10), Value::UInt32(20), Value::UInt32(30)]
+            );
+        }
+        other => panic!("expected repeated payload, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_fields_are_skipped_by_the_deserializer() {
+    let mut h = harness();
+    // Hand-craft input with an out-of-range field and a gap field.
+    let mut w = protoacc_wire::WireWriter::new();
+    w.write_varint_field(1, 7).unwrap();
+    w.write_varint_field(999, 5).unwrap(); // out of ADT range
+    w.write_length_delimited_field(7, b"kept").unwrap();
+    let wire = w.into_bytes();
+    h.mem.data.write_bytes(INPUT_ADDR, &wire);
+    let dest = h
+        .setup_arena
+        .alloc(h.layouts.layout(h.outer).object_size(), 8)
+        .unwrap();
+    h.accel.deser_info(h.adts.addr(h.outer), dest);
+    h.accel
+        .do_proto_deser(&mut h.mem, INPUT_ADDR, wire.len() as u64, 1)
+        .unwrap();
+    let back = object::read_message(&h.mem.data, &h.schema, &h.layouts, h.outer, dest).unwrap();
+    assert_eq!(back.get_single(1), Some(&Value::Int32(7)));
+    assert_eq!(back.get_single(7), Some(&Value::Str("kept".into())));
+    assert_eq!(back.present_fields(), 2);
+}

@@ -1,0 +1,202 @@
+//! Property tests: arbitrary messages through the accelerator agree with
+//! the reference codec in both directions.
+
+use proptest::prelude::*;
+use protoacc::{AccelConfig, ProtoAccelerator};
+use protoacc_mem::{MemConfig, Memory};
+use protoacc_runtime::{
+    object, reference, write_adts, BumpArena, MessageLayouts, MessageValue, Value,
+};
+use protoacc_schema::{FieldType, MessageId, Schema, SchemaBuilder};
+
+fn test_schema() -> (Schema, MessageId, MessageId) {
+    let mut b = SchemaBuilder::new();
+    let inner = b.declare("Inner");
+    b.message(inner)
+        .optional("flag", FieldType::Bool, 1)
+        .optional("note", FieldType::String, 2)
+        .optional("count", FieldType::UInt64, 3);
+    let outer = b.declare("Outer");
+    b.message(outer)
+        .optional("i32", FieldType::Int32, 1)
+        .optional("s64", FieldType::SInt64, 2)
+        .optional("dbl", FieldType::Double, 3)
+        .optional("text", FieldType::String, 7)
+        .optional("blob", FieldType::Bytes, 8)
+        .optional("sub", FieldType::Message(inner), 9)
+        .repeated("ri", FieldType::Int64, 10)
+        .packed("pu", FieldType::UInt32, 11)
+        .repeated("rstr", FieldType::String, 12)
+        .repeated("rsub", FieldType::Message(inner), 13);
+    (b.build().unwrap(), outer, inner)
+}
+
+fn inner_strategy(inner: MessageId) -> impl Strategy<Value = MessageValue> {
+    (
+        prop::option::of(any::<bool>()),
+        prop::option::of("[a-z]{0,40}"),
+        prop::option::of(any::<u64>()),
+    )
+        .prop_map(move |(flag, note, count)| {
+            let mut m = MessageValue::new(inner);
+            if let Some(v) = flag {
+                m.set_unchecked(1, Value::Bool(v));
+            }
+            if let Some(v) = note {
+                m.set_unchecked(2, Value::Str(v));
+            }
+            if let Some(v) = count {
+                m.set_unchecked(3, Value::UInt64(v));
+            }
+            m
+        })
+}
+
+fn outer_strategy(outer: MessageId, inner: MessageId) -> impl Strategy<Value = MessageValue> {
+    (
+        (
+            prop::option::of(any::<i32>()),
+            prop::option::of(any::<i64>()),
+            prop::option::of(any::<f64>()),
+            prop::option::of("[ -~]{0,64}"),
+            prop::option::of(prop::collection::vec(any::<u8>(), 0..64)),
+            prop::option::of(inner_strategy(inner)),
+        ),
+        (
+            prop::collection::vec(any::<i64>(), 0..6),
+            prop::collection::vec(any::<u32>(), 0..6),
+            prop::collection::vec("[a-z]{0,20}", 0..4),
+            prop::collection::vec(inner_strategy(inner), 0..3),
+        ),
+    )
+        .prop_map(
+            move |((i32v, s64, dbl, text, blob, sub), (ri, pu, rstr, rsub))| {
+                let mut m = MessageValue::new(outer);
+                if let Some(v) = i32v {
+                    m.set_unchecked(1, Value::Int32(v));
+                }
+                if let Some(v) = s64 {
+                    m.set_unchecked(2, Value::SInt64(v));
+                }
+                if let Some(v) = dbl {
+                    m.set_unchecked(3, Value::Double(v));
+                }
+                if let Some(v) = text {
+                    m.set_unchecked(7, Value::Str(v));
+                }
+                if let Some(v) = blob {
+                    m.set_unchecked(8, Value::Bytes(v));
+                }
+                if let Some(v) = sub {
+                    m.set_unchecked(9, Value::Message(v));
+                }
+                if !ri.is_empty() {
+                    m.set_repeated(10, ri.into_iter().map(Value::Int64).collect());
+                }
+                if !pu.is_empty() {
+                    m.set_repeated(11, pu.into_iter().map(Value::UInt32).collect());
+                }
+                if !rstr.is_empty() {
+                    m.set_repeated(12, rstr.into_iter().map(Value::Str).collect());
+                }
+                if !rsub.is_empty() {
+                    m.set_repeated(13, rsub.into_iter().map(Value::Message).collect());
+                }
+                m
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feeding arbitrary bytes to the deserializer must fail gracefully —
+    /// never panic, never write outside its arena, never loop forever.
+    #[test]
+    fn accel_deser_survives_arbitrary_input(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let (schema, outer, _) = test_schema();
+        let layouts = MessageLayouts::compute(&schema);
+        let mut mem = Memory::new(MemConfig::default());
+        let mut setup = BumpArena::new(0x1_0000, 1 << 22);
+        let adts = write_adts(&schema, &layouts, &mut mem.data, &mut setup).unwrap();
+        mem.data.write_bytes(0x20_0000, &bytes);
+        let dest = setup.alloc(layouts.layout(outer).object_size(), 8).unwrap();
+        let mut accel = ProtoAccelerator::new(AccelConfig::default());
+        accel.deser_assign_arena(0x100_0000, 1 << 22);
+        accel.deser_info(adts.addr(outer), dest);
+        // Result may be Ok (bytes happened to parse) or Err; both are fine.
+        let _ = accel.do_proto_deser(&mut mem, 0x20_0000, bytes.len() as u64, 1);
+    }
+
+    /// Bit-flipping a valid encoding must also fail gracefully or produce a
+    /// parseable (possibly different) message — never panic.
+    #[test]
+    fn accel_deser_survives_corruption(
+        m in {
+            let (_, outer, inner) = test_schema();
+            outer_strategy(outer, inner)
+        },
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let (schema, ..) = test_schema();
+        let layouts = MessageLayouts::compute(&schema);
+        let mut wire = reference::encode(&m, &schema).unwrap();
+        if wire.is_empty() {
+            return Ok(());
+        }
+        let idx = flip_byte.index(wire.len());
+        wire[idx] ^= 1 << flip_bit;
+        let mut mem = Memory::new(MemConfig::default());
+        let mut setup = BumpArena::new(0x1_0000, 1 << 22);
+        let adts = write_adts(&schema, &layouts, &mut mem.data, &mut setup).unwrap();
+        mem.data.write_bytes(0x20_0000, &wire);
+        let dest = setup.alloc(layouts.layout(m.type_id()).object_size(), 8).unwrap();
+        let mut accel = ProtoAccelerator::new(AccelConfig::default());
+        accel.deser_assign_arena(0x100_0000, 1 << 24);
+        accel.deser_info(adts.addr(m.type_id()), dest);
+        let _ = accel.do_proto_deser(&mut mem, 0x20_0000, wire.len() as u64, 1);
+    }
+
+    #[test]
+    fn accel_deser_matches_reference(m in {
+        let (_, outer, inner) = test_schema();
+        outer_strategy(outer, inner)
+    }) {
+        let (schema, ..) = test_schema();
+        let layouts = MessageLayouts::compute(&schema);
+        let mut mem = Memory::new(MemConfig::default());
+        let mut setup = BumpArena::new(0x1_0000, 1 << 22);
+        let adts = write_adts(&schema, &layouts, &mut mem.data, &mut setup).unwrap();
+        let wire = reference::encode(&m, &schema).unwrap();
+        mem.data.write_bytes(0x20_0000, &wire);
+        let dest = setup.alloc(layouts.layout(m.type_id()).object_size(), 8).unwrap();
+        let mut accel = ProtoAccelerator::new(AccelConfig::default());
+        accel.deser_assign_arena(0x100_0000, 1 << 24);
+        accel.deser_info(adts.addr(m.type_id()), dest);
+        accel.do_proto_deser(&mut mem, 0x20_0000, wire.len() as u64, 1).unwrap();
+        let back = object::read_message(&mem.data, &schema, &layouts, m.type_id(), dest).unwrap();
+        prop_assert!(back.bits_eq(&m));
+    }
+
+    #[test]
+    fn accel_ser_matches_reference_bytes(m in {
+        let (_, outer, inner) = test_schema();
+        outer_strategy(outer, inner)
+    }) {
+        let (schema, ..) = test_schema();
+        let layouts = MessageLayouts::compute(&schema);
+        let mut mem = Memory::new(MemConfig::default());
+        let mut setup = BumpArena::new(0x1_0000, 1 << 22);
+        let adts = write_adts(&schema, &layouts, &mut mem.data, &mut setup).unwrap();
+        let obj = object::write_message(&mut mem.data, &schema, &layouts, &mut setup, &m).unwrap();
+        let mut accel = ProtoAccelerator::new(AccelConfig::default());
+        accel.ser_assign_arena(0x300_0000, 1 << 24, 0x500_0000, 1 << 16);
+        let layout = layouts.layout(m.type_id());
+        accel.ser_info(layout.hasbits_offset(), layout.min_field(), layout.max_field());
+        let run = accel.do_proto_ser(&mut mem, adts.addr(m.type_id()), obj).unwrap();
+        let got = mem.data.read_vec(run.out_addr, run.out_len as usize);
+        let expect = reference::encode(&m, &schema).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,1224 @@
+//! The instrumented software codec.
+//!
+//! Executes the same algorithm the C++ protobuf library runs — a serial
+//! parse loop with per-field dispatch for deserialization, and a ByteSize
+//! pass followed by a forward write pass for serialization — over simulated
+//! guest memory, charging each primitive from a [`CostTable`] and each
+//! memory touch through the machine's cache hierarchy.
+
+use std::collections::{BTreeMap, HashMap};
+
+use protoacc_mem::{Cycles, Memory};
+use protoacc_runtime::{
+    hasbits, object, BumpArena, MessageLayouts, RuntimeError, SlotKind,
+    REPEATED_HEADER_BYTES,
+};
+use protoacc_schema::{FieldDescriptor, FieldType, MessageId, Schema};
+use protoacc_wire::{varint, zigzag, FieldKey, WireError, WireType};
+
+use crate::CostTable;
+
+/// Outcome of one codec invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodecRun {
+    /// Cycles spent, including memory-system charges.
+    pub cycles: Cycles,
+    /// Bytes of wire-format data consumed (deserialize) or produced
+    /// (serialize).
+    pub wire_bytes: u64,
+    /// Fields processed, counting sub-message fields recursively.
+    pub fields: u64,
+}
+
+/// The instrumented software protobuf codec for one modeled machine.
+#[derive(Debug, Clone, Copy)]
+pub struct SoftwareCodec<'a> {
+    cost: &'a CostTable,
+}
+
+impl<'a> SoftwareCodec<'a> {
+    /// Creates a codec charging from `cost`.
+    pub fn new(cost: &'a CostTable) -> Self {
+        SoftwareCodec { cost }
+    }
+
+    /// The machine this codec models.
+    pub fn cost_table(&self) -> &CostTable {
+        self.cost
+    }
+
+    /// Deserializes `input_len` wire-format bytes at `input_addr` into the
+    /// caller-allocated object at `dest_obj`, allocating internal objects
+    /// from `arena` (the software-arena path of Section 2.3).
+    ///
+    /// # Errors
+    ///
+    /// Malformed wire input, wire-type mismatches, or arena exhaustion.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deserialize(
+        &self,
+        mem: &mut Memory,
+        schema: &Schema,
+        layouts: &MessageLayouts,
+        type_id: MessageId,
+        input_addr: u64,
+        input_len: u64,
+        dest_obj: u64,
+        arena: &mut BumpArena,
+    ) -> Result<CodecRun, RuntimeError> {
+        let mut run = CodecRun {
+            cycles: self.cost.frontend_flush_cycles,
+            ..CodecRun::default()
+        };
+        let input = mem.data.read_vec(input_addr, input_len as usize);
+        self.deser_message(
+            mem, schema, layouts, type_id, &input, input_addr, dest_obj, arena, &mut run, 0,
+        )?;
+        run.wire_bytes = input_len;
+        Ok(run)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deser_message(
+        &self,
+        mem: &mut Memory,
+        schema: &Schema,
+        layouts: &MessageLayouts,
+        type_id: MessageId,
+        input: &[u8],
+        input_base: u64,
+        dest_obj: u64,
+        arena: &mut BumpArena,
+        run: &mut CodecRun,
+        depth: usize,
+    ) -> Result<(), RuntimeError> {
+        if depth > protoacc_runtime::reference::MAX_DECODE_DEPTH {
+            return Err(RuntimeError::DepthExceeded {
+                limit: protoacc_runtime::reference::MAX_DECODE_DEPTH,
+            });
+        }
+        let descriptor = schema.message(type_id);
+        let layout = layouts.layout(type_id);
+        // Repeated fields accumulate here and materialize at end-of-message,
+        // modeling RepeatedField growth without per-element realloc noise.
+        let mut repeated: BTreeMap<u32, RepeatedAccum> = BTreeMap::new();
+        let mut pos = 0usize;
+
+        while pos < input.len() {
+            // --- parse key ---
+            let (key_raw, key_len) = varint::decode(&input[pos..])?;
+            run.cycles += mem.system.access(
+                input_base + pos as u64,
+                key_len,
+                protoacc_mem::AccessKind::Read,
+            );
+            run.cycles +=
+                self.cost.varint_decode_byte * key_len as u64 + self.cost.field_dispatch;
+            pos += key_len;
+            let key = FieldKey::from_encoded(key_raw)?;
+            run.fields += 1;
+
+            let Some(field) = descriptor.field_by_number(key.field_number()) else {
+                pos += self.skip_value(mem, input, input_base, pos, key.wire_type(), run)?;
+                continue;
+            };
+
+            let expected = field.field_type().wire_type();
+            let packed_arrival = key.wire_type() == WireType::LengthDelimited
+                && expected != WireType::LengthDelimited
+                && field.is_repeated()
+                && field.field_type().is_packable();
+
+            if packed_arrival {
+                let (body_len, len_len) = varint::decode(&input[pos..])?;
+                run.cycles += mem.system.access(
+                    input_base + pos as u64,
+                    len_len,
+                    protoacc_mem::AccessKind::Read,
+                );
+                run.cycles += self.cost.varint_decode_byte * len_len as u64;
+                pos += len_len;
+                let end = pos + body_len as usize;
+                if end > input.len() {
+                    return Err(WireError::LengthOutOfBounds {
+                        declared: body_len,
+                        remaining: input.len() - pos,
+                    }
+                    .into());
+                }
+                while pos < end {
+                    let (elem, elem_bytes) =
+                        self.deser_scalar_element(mem, input, input_base, pos, field, run)?;
+                    pos += elem_bytes;
+                    repeated
+                        .entry(field.number())
+                        .or_insert_with(|| RepeatedAccum::new(field.field_type()))
+                        .push_scalar(elem);
+                    run.cycles += self.cost.repeated_append;
+                }
+                continue;
+            }
+
+            if key.wire_type() != expected {
+                return Err(RuntimeError::WireTypeMismatch {
+                    field_number: key.field_number(),
+                });
+            }
+
+            match field.field_type() {
+                FieldType::String | FieldType::Bytes => {
+                    let (payload_off, payload_len) =
+                        self.deser_length_prefix(mem, input, input_base, &mut pos, run)?;
+                    let string_obj = self.alloc_and_copy_string(
+                        mem,
+                        arena,
+                        input,
+                        input_base,
+                        payload_off,
+                        payload_len,
+                        run,
+                    )?;
+                    if field.is_repeated() {
+                        repeated
+                            .entry(field.number())
+                            .or_insert_with(|| RepeatedAccum::new(field.field_type()))
+                            .push_ptr(string_obj);
+                        run.cycles += self.cost.repeated_append;
+                    } else {
+                        let slot = layout.slot(field.number()).expect("defined field");
+                        self.timed_write_u64(mem, dest_obj + slot.offset, string_obj, run);
+                        self.set_hasbit(mem, layouts, type_id, dest_obj, field.number(), run);
+                    }
+                }
+                FieldType::Message(sub_id) => {
+                    let (payload_off, payload_len) =
+                        self.deser_length_prefix(mem, input, input_base, &mut pos, run)?;
+                    let sub_layout = layouts.layout(sub_id);
+                    let sub_obj = arena.alloc(sub_layout.object_size(), 8)?;
+                    run.cycles += self.cost.alloc + self.cost.message_construct;
+                    // Constructor zeroes the object.
+                    mem.data
+                        .write_bytes(sub_obj, &vec![0u8; sub_layout.object_size() as usize]);
+                    run.cycles += mem.system.stream(
+                        sub_obj,
+                        sub_layout.object_size() as usize,
+                        protoacc_mem::AccessKind::Write,
+                    );
+                    self.deser_message(
+                        mem,
+                        schema,
+                        layouts,
+                        sub_id,
+                        &input[payload_off..payload_off + payload_len],
+                        input_base + payload_off as u64,
+                        sub_obj,
+                        arena,
+                        run,
+                        depth + 1,
+                    )?;
+                    if field.is_repeated() {
+                        repeated
+                            .entry(field.number())
+                            .or_insert_with(|| RepeatedAccum::new(field.field_type()))
+                            .push_ptr(sub_obj);
+                        run.cycles += self.cost.repeated_append;
+                    } else {
+                        let slot = layout.slot(field.number()).expect("defined field");
+                        self.timed_write_u64(mem, dest_obj + slot.offset, sub_obj, run);
+                        self.set_hasbit(mem, layouts, type_id, dest_obj, field.number(), run);
+                    }
+                }
+                _scalar => {
+                    let (bits, consumed) =
+                        self.deser_scalar_element(mem, input, input_base, pos, field, run)?;
+                    pos += consumed;
+                    if field.is_repeated() {
+                        repeated
+                            .entry(field.number())
+                            .or_insert_with(|| RepeatedAccum::new(field.field_type()))
+                            .push_scalar(bits);
+                        run.cycles += self.cost.repeated_append;
+                    } else {
+                        let slot = layout.slot(field.number()).expect("defined field");
+                        let size = slot.kind.size() as usize;
+                        mem.data
+                            .write_bytes(dest_obj + slot.offset, &bits.to_le_bytes()[..size]);
+                        run.cycles += mem.system.access(
+                            dest_obj + slot.offset,
+                            size,
+                            protoacc_mem::AccessKind::Write,
+                        ) + self.cost.fixed_op;
+                        self.set_hasbit(mem, layouts, type_id, dest_obj, field.number(), run);
+                    }
+                }
+            }
+        }
+
+        // Materialize accumulated repeated fields.
+        for (number, accum) in repeated {
+            let field = descriptor.field_by_number(number).expect("known field");
+            let slot = layout.slot(number).expect("defined field");
+            let header = accum.materialize(mem, arena, self.cost, run)?;
+            self.timed_write_u64(mem, dest_obj + slot.offset, header, run);
+            self.set_hasbit(mem, layouts, type_id, dest_obj, number, run);
+            let _ = field;
+        }
+        Ok(())
+    }
+
+    /// Parses one scalar element (varint/fixed) returning its in-memory bit
+    /// pattern and bytes consumed.
+    fn deser_scalar_element(
+        &self,
+        mem: &mut Memory,
+        input: &[u8],
+        input_base: u64,
+        pos: usize,
+        field: &FieldDescriptor,
+        run: &mut CodecRun,
+    ) -> Result<(u64, usize), RuntimeError> {
+        let ft = field.field_type();
+        match ft.wire_type() {
+            WireType::Varint => {
+                let (raw, len) = varint::decode(&input[pos..])?;
+                run.cycles += mem.system.access(
+                    input_base + pos as u64,
+                    len,
+                    protoacc_mem::AccessKind::Read,
+                );
+                run.cycles += self.cost.varint_decode_byte * len as u64;
+                let bits = match ft {
+                    FieldType::SInt32 => {
+                        run.cycles += self.cost.zigzag;
+                        zigzag::decode32(raw as u32) as u32 as u64
+                    }
+                    FieldType::SInt64 => {
+                        run.cycles += self.cost.zigzag;
+                        zigzag::decode64(raw) as u64
+                    }
+                    FieldType::Int32 | FieldType::Enum => raw as u32 as u64,
+                    FieldType::UInt32 => raw & 0xffff_ffff,
+                    FieldType::Bool => u64::from(raw != 0),
+                    _ => raw,
+                };
+                Ok((bits, len))
+            }
+            WireType::Bits32 => {
+                if pos + 4 > input.len() {
+                    return Err(WireError::Truncated { offset: input.len() }.into());
+                }
+                run.cycles += mem.system.access(
+                    input_base + pos as u64,
+                    4,
+                    protoacc_mem::AccessKind::Read,
+                ) + self.cost.fixed_op;
+                let bits =
+                    u32::from_le_bytes(input[pos..pos + 4].try_into().expect("4 bytes"));
+                Ok((u64::from(bits), 4))
+            }
+            WireType::Bits64 => {
+                if pos + 8 > input.len() {
+                    return Err(WireError::Truncated { offset: input.len() }.into());
+                }
+                run.cycles += mem.system.access(
+                    input_base + pos as u64,
+                    8,
+                    protoacc_mem::AccessKind::Read,
+                ) + self.cost.fixed_op;
+                let bits =
+                    u64::from_le_bytes(input[pos..pos + 8].try_into().expect("8 bytes"));
+                Ok((bits, 8))
+            }
+            _ => Err(RuntimeError::WireTypeMismatch {
+                field_number: field.number(),
+            }),
+        }
+    }
+
+    /// Parses a length prefix, returning `(payload offset, payload len)` and
+    /// advancing `pos` past the payload.
+    fn deser_length_prefix(
+        &self,
+        mem: &mut Memory,
+        input: &[u8],
+        input_base: u64,
+        pos: &mut usize,
+        run: &mut CodecRun,
+    ) -> Result<(usize, usize), RuntimeError> {
+        let (len, len_len) = varint::decode(&input[*pos..])?;
+        run.cycles += mem.system.access(
+            input_base + *pos as u64,
+            len_len,
+            protoacc_mem::AccessKind::Read,
+        );
+        run.cycles += self.cost.varint_decode_byte * len_len as u64;
+        *pos += len_len;
+        let payload_off = *pos;
+        if payload_off + len as usize > input.len() {
+            return Err(WireError::LengthOutOfBounds {
+                declared: len,
+                remaining: input.len() - payload_off,
+            }
+            .into());
+        }
+        *pos += len as usize;
+        Ok((payload_off, len as usize))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn alloc_and_copy_string(
+        &self,
+        mem: &mut Memory,
+        arena: &mut BumpArena,
+        input: &[u8],
+        input_base: u64,
+        payload_off: usize,
+        payload_len: usize,
+        run: &mut CodecRun,
+    ) -> Result<u64, RuntimeError> {
+        run.cycles += self.cost.alloc + self.cost.string_construct;
+        let obj =
+            object::write_string_object(&mut mem.data, arena, &input[payload_off..payload_off + payload_len])?;
+        // Charge the copy: stream the payload in and out.
+        run.cycles += mem.system.stream(
+            input_base + payload_off as u64,
+            payload_len,
+            protoacc_mem::AccessKind::Read,
+        );
+        run.cycles += mem.system.stream(obj, payload_len.max(32), protoacc_mem::AccessKind::Write);
+        run.cycles += self.cost.memcpy_cycles(payload_len);
+        Ok(obj)
+    }
+
+    fn skip_value(
+        &self,
+        mem: &mut Memory,
+        input: &[u8],
+        input_base: u64,
+        pos: usize,
+        wire_type: WireType,
+        run: &mut CodecRun,
+    ) -> Result<usize, RuntimeError> {
+        let consumed = match wire_type {
+            WireType::Varint => varint::decode(&input[pos..])?.1,
+            WireType::Bits32 => 4,
+            WireType::Bits64 => 8,
+            WireType::LengthDelimited => {
+                let (len, len_len) = varint::decode(&input[pos..])?;
+                len_len + len as usize
+            }
+            WireType::StartGroup | WireType::EndGroup => {
+                return Err(WireError::InvalidWireType {
+                    raw: wire_type.as_raw(),
+                }
+                .into())
+            }
+        };
+        if pos + consumed > input.len() {
+            return Err(WireError::Truncated {
+                offset: input.len(),
+            }
+            .into());
+        }
+        run.cycles += mem.system.access(
+            input_base + pos as u64,
+            consumed.min(16),
+            protoacc_mem::AccessKind::Read,
+        ) + self.cost.field_dispatch;
+        Ok(consumed)
+    }
+
+    fn timed_write_u64(&self, mem: &mut Memory, addr: u64, value: u64, run: &mut CodecRun) {
+        mem.data.write_u64(addr, value);
+        run.cycles += mem.system.access(addr, 8, protoacc_mem::AccessKind::Write);
+    }
+
+    fn set_hasbit(
+        &self,
+        mem: &mut Memory,
+        layouts: &MessageLayouts,
+        type_id: MessageId,
+        obj: u64,
+        number: u32,
+        run: &mut CodecRun,
+    ) {
+        let layout = layouts.layout(type_id);
+        hasbits::write_sparse(&mut mem.data, layout, obj, number, true);
+        let (byte, _) = layout.hasbit_position(number);
+        run.cycles += mem.system.access(
+            obj + layout.hasbits_offset() + byte,
+            1,
+            protoacc_mem::AccessKind::Write,
+        ) + self.cost.hasbits_update;
+    }
+
+    /// Serializes the object at `obj_addr` into the buffer at `out_addr`,
+    /// returning the run statistics and the number of bytes written.
+    ///
+    /// Runs the two-pass algorithm the C++ library uses: a ByteSize pass to
+    /// compute (and cache) sub-message lengths, then a forward write pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout/schema inconsistencies.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serialize(
+        &self,
+        mem: &mut Memory,
+        schema: &Schema,
+        layouts: &MessageLayouts,
+        type_id: MessageId,
+        obj_addr: u64,
+        out_addr: u64,
+    ) -> Result<(CodecRun, u64), RuntimeError> {
+        let mut run = CodecRun {
+            cycles: self.cost.frontend_flush_cycles,
+            ..CodecRun::default()
+        };
+        let mut size_cache = HashMap::new();
+        let total = self.byte_size(
+            mem, schema, layouts, type_id, obj_addr, &mut size_cache, &mut run,
+        )?;
+        let mut cursor = out_addr;
+        self.ser_message(
+            mem, schema, layouts, type_id, obj_addr, &mut cursor, &size_cache, &mut run,
+        )?;
+        debug_assert_eq!(cursor - out_addr, total);
+        run.wire_bytes = total;
+        Ok((run, total))
+    }
+
+    /// The ByteSize pass: computes the encoded size of the message at
+    /// `obj_addr`, caching per-object sizes for the write pass.
+    #[allow(clippy::too_many_arguments)]
+    fn byte_size(
+        &self,
+        mem: &mut Memory,
+        schema: &Schema,
+        layouts: &MessageLayouts,
+        type_id: MessageId,
+        obj_addr: u64,
+        cache: &mut HashMap<u64, u64>,
+        run: &mut CodecRun,
+    ) -> Result<u64, RuntimeError> {
+        let descriptor = schema.message(type_id);
+        let layout = layouts.layout(type_id);
+        // Scan hasbits (word-granular reads).
+        run.cycles += mem.system.access(
+            obj_addr + layout.hasbits_offset(),
+            layout.hasbits_bytes() as usize,
+            protoacc_mem::AccessKind::Read,
+        );
+        let mut total = 0u64;
+        for number in hasbits::present_fields(&mem.data, layout, obj_addr) {
+            let Some(field) = descriptor.field_by_number(number) else {
+                continue;
+            };
+            run.cycles += self.cost.byte_size_field;
+            let slot = layout.slot(number).expect("defined field");
+            let slot_addr = obj_addr + slot.offset;
+            let key_len = FieldKey::new(number, field.field_type().wire_type())
+                .expect("valid field number")
+                .encoded_len() as u64;
+            match slot.kind {
+                SlotKind::Scalar(kind) => {
+                    run.cycles += mem.system.access(
+                        slot_addr,
+                        kind.size(),
+                        protoacc_mem::AccessKind::Read,
+                    );
+                    let bits = read_scalar(mem, slot_addr, kind.size() as u64);
+                    total += key_len + scalar_wire_len(field.field_type(), bits);
+                }
+                SlotKind::StringPtr => {
+                    let ptr = self.timed_read_u64(mem, slot_addr, run);
+                    let len = self.timed_read_u64(mem, ptr + 8, run);
+                    total += key_len + varint::encoded_len(len) as u64 + len;
+                }
+                SlotKind::MessagePtr => {
+                    let ptr = self.timed_read_u64(mem, slot_addr, run);
+                    let FieldType::Message(sub_id) = field.field_type() else {
+                        continue;
+                    };
+                    let inner =
+                        self.byte_size(mem, schema, layouts, sub_id, ptr, cache, run)?;
+                    total += key_len + varint::encoded_len(inner) as u64 + inner;
+                }
+                SlotKind::RepeatedPtr => {
+                    let header = self.timed_read_u64(mem, slot_addr, run);
+                    let data = self.timed_read_u64(mem, header, run);
+                    let count = self.timed_read_u64(mem, header + 8, run);
+                    total += self.repeated_byte_size(
+                        mem, schema, layouts, field, data, count, key_len, cache, run,
+                    )?;
+                }
+            }
+        }
+        cache.insert(obj_addr, total);
+        Ok(total)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn repeated_byte_size(
+        &self,
+        mem: &mut Memory,
+        schema: &Schema,
+        layouts: &MessageLayouts,
+        field: &FieldDescriptor,
+        data: u64,
+        count: u64,
+        key_len: u64,
+        cache: &mut HashMap<u64, u64>,
+        run: &mut CodecRun,
+    ) -> Result<u64, RuntimeError> {
+        let ft = field.field_type();
+        let mut total = 0u64;
+        match ft {
+            FieldType::String | FieldType::Bytes => {
+                for i in 0..count {
+                    run.cycles += self.cost.byte_size_field;
+                    let ptr = self.timed_read_u64(mem, data + i * 8, run);
+                    let len = self.timed_read_u64(mem, ptr + 8, run);
+                    total += key_len + varint::encoded_len(len) as u64 + len;
+                }
+            }
+            FieldType::Message(sub_id) => {
+                for i in 0..count {
+                    run.cycles += self.cost.byte_size_field;
+                    let ptr = self.timed_read_u64(mem, data + i * 8, run);
+                    let inner =
+                        self.byte_size(mem, schema, layouts, sub_id, ptr, cache, run)?;
+                    total += key_len + varint::encoded_len(inner) as u64 + inner;
+                }
+            }
+            scalar => {
+                let size = scalar.scalar_kind().expect("repeated scalar").size() as u64;
+                let mut body = 0u64;
+                for i in 0..count {
+                    run.cycles += self.cost.byte_size_field;
+                    run.cycles += mem.system.access(
+                        data + i * size,
+                        size as usize,
+                        protoacc_mem::AccessKind::Read,
+                    );
+                    let bits = read_scalar(mem, data + i * size, size);
+                    body += scalar_wire_len(scalar, bits);
+                }
+                if field.is_packed() {
+                    total += key_len + varint::encoded_len(body) as u64 + body;
+                    // Cache the packed body length keyed by the data pointer.
+                    cache.insert(data, body);
+                } else {
+                    total += key_len * count + body;
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// The write pass: emits fields in ascending field-number order.
+    #[allow(clippy::too_many_arguments)]
+    fn ser_message(
+        &self,
+        mem: &mut Memory,
+        schema: &Schema,
+        layouts: &MessageLayouts,
+        type_id: MessageId,
+        obj_addr: u64,
+        cursor: &mut u64,
+        cache: &HashMap<u64, u64>,
+        run: &mut CodecRun,
+    ) -> Result<(), RuntimeError> {
+        let descriptor = schema.message(type_id);
+        let layout = layouts.layout(type_id);
+        run.cycles += mem.system.access(
+            obj_addr + layout.hasbits_offset(),
+            layout.hasbits_bytes() as usize,
+            protoacc_mem::AccessKind::Read,
+        );
+        for number in hasbits::present_fields(&mem.data, layout, obj_addr) {
+            let Some(field) = descriptor.field_by_number(number) else {
+                continue;
+            };
+            run.fields += 1;
+            run.cycles += self.cost.field_dispatch;
+            let slot = layout.slot(number).expect("defined field");
+            let slot_addr = obj_addr + slot.offset;
+            match slot.kind {
+                SlotKind::Scalar(kind) => {
+                    run.cycles += mem.system.access(
+                        slot_addr,
+                        kind.size(),
+                        protoacc_mem::AccessKind::Read,
+                    );
+                    let bits = read_scalar(mem, slot_addr, kind.size() as u64);
+                    self.emit_key(mem, field, cursor, run);
+                    self.emit_scalar(mem, field.field_type(), bits, cursor, run);
+                }
+                SlotKind::StringPtr => {
+                    let ptr = self.timed_read_u64(mem, slot_addr, run);
+                    self.emit_key(mem, field, cursor, run);
+                    self.emit_string(mem, ptr, cursor, run);
+                }
+                SlotKind::MessagePtr => {
+                    let ptr = self.timed_read_u64(mem, slot_addr, run);
+                    let FieldType::Message(sub_id) = field.field_type() else {
+                        continue;
+                    };
+                    self.emit_key(mem, field, cursor, run);
+                    let inner = *cache.get(&ptr).expect("byte_size pass cached this object");
+                    self.emit_varint(mem, inner, cursor, run);
+                    self.ser_message(mem, schema, layouts, sub_id, ptr, cursor, cache, run)?;
+                }
+                SlotKind::RepeatedPtr => {
+                    let header = self.timed_read_u64(mem, slot_addr, run);
+                    let data = self.timed_read_u64(mem, header, run);
+                    let count = self.timed_read_u64(mem, header + 8, run);
+                    self.ser_repeated(
+                        mem, schema, layouts, field, data, count, cursor, cache, run,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ser_repeated(
+        &self,
+        mem: &mut Memory,
+        schema: &Schema,
+        layouts: &MessageLayouts,
+        field: &FieldDescriptor,
+        data: u64,
+        count: u64,
+        cursor: &mut u64,
+        cache: &HashMap<u64, u64>,
+        run: &mut CodecRun,
+    ) -> Result<(), RuntimeError> {
+        match field.field_type() {
+            FieldType::String | FieldType::Bytes => {
+                for i in 0..count {
+                    run.cycles += self.cost.field_dispatch;
+                    let ptr = self.timed_read_u64(mem, data + i * 8, run);
+                    self.emit_key(mem, field, cursor, run);
+                    self.emit_string(mem, ptr, cursor, run);
+                }
+            }
+            FieldType::Message(sub_id) => {
+                for i in 0..count {
+                    run.cycles += self.cost.field_dispatch;
+                    let ptr = self.timed_read_u64(mem, data + i * 8, run);
+                    self.emit_key(mem, field, cursor, run);
+                    let inner = *cache.get(&ptr).expect("byte_size pass cached this object");
+                    self.emit_varint(mem, inner, cursor, run);
+                    self.ser_message(mem, schema, layouts, sub_id, ptr, cursor, cache, run)?;
+                }
+            }
+            scalar => {
+                let size = scalar.scalar_kind().expect("repeated scalar").size() as u64;
+                if field.is_packed() {
+                    let body = *cache.get(&data).expect("byte_size cached packed body");
+                    let key = FieldKey::new(field.number(), WireType::LengthDelimited)
+                        .expect("valid field");
+                    self.emit_varint(mem, key.encoded(), cursor, run);
+                    self.emit_varint(mem, body, cursor, run);
+                    for i in 0..count {
+                        run.cycles += mem.system.access(
+                            data + i * size,
+                            size as usize,
+                            protoacc_mem::AccessKind::Read,
+                        );
+                        let bits = read_scalar(mem, data + i * size, size);
+                        self.emit_packed_scalar(mem, scalar, bits, cursor, run);
+                    }
+                } else {
+                    for i in 0..count {
+                        run.cycles += mem.system.access(
+                            data + i * size,
+                            size as usize,
+                            protoacc_mem::AccessKind::Read,
+                        ) + self.cost.field_dispatch;
+                        let bits = read_scalar(mem, data + i * size, size);
+                        self.emit_key(mem, field, cursor, run);
+                        self.emit_scalar(mem, scalar, bits, cursor, run);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_key(
+        &self,
+        mem: &mut Memory,
+        field: &FieldDescriptor,
+        cursor: &mut u64,
+        run: &mut CodecRun,
+    ) {
+        let key = FieldKey::new(field.number(), field.field_type().wire_type())
+            .expect("valid field number");
+        self.emit_varint(mem, key.encoded(), cursor, run);
+    }
+
+    fn emit_varint(&self, mem: &mut Memory, value: u64, cursor: &mut u64, run: &mut CodecRun) {
+        let mut buf = [0u8; protoacc_wire::MAX_VARINT_LEN];
+        let len = varint::encode_to_array(value, &mut buf);
+        mem.data.write_bytes(*cursor, &buf[..len]);
+        run.cycles += mem
+            .system
+            .access(*cursor, len, protoacc_mem::AccessKind::Write)
+            + self.cost.varint_encode_byte * len as u64;
+        *cursor += len as u64;
+    }
+
+    fn emit_scalar(
+        &self,
+        mem: &mut Memory,
+        ft: FieldType,
+        bits: u64,
+        cursor: &mut u64,
+        run: &mut CodecRun,
+    ) {
+        match ft.wire_type() {
+            WireType::Varint => {
+                let raw = wire_varint_from_bits(ft, bits, || run.cycles += self.cost.zigzag);
+                self.emit_varint(mem, raw, cursor, run);
+            }
+            WireType::Bits32 => {
+                mem.data
+                    .write_bytes(*cursor, &(bits as u32).to_le_bytes());
+                run.cycles += mem
+                    .system
+                    .access(*cursor, 4, protoacc_mem::AccessKind::Write)
+                    + self.cost.fixed_op;
+                *cursor += 4;
+            }
+            WireType::Bits64 => {
+                mem.data.write_bytes(*cursor, &bits.to_le_bytes());
+                run.cycles += mem
+                    .system
+                    .access(*cursor, 8, protoacc_mem::AccessKind::Write)
+                    + self.cost.fixed_op;
+                *cursor += 8;
+            }
+            _ => unreachable!("length-delimited handled by callers"),
+        }
+    }
+
+    fn emit_packed_scalar(
+        &self,
+        mem: &mut Memory,
+        ft: FieldType,
+        bits: u64,
+        cursor: &mut u64,
+        run: &mut CodecRun,
+    ) {
+        self.emit_scalar(mem, ft, bits, cursor, run);
+    }
+
+    fn emit_string(&self, mem: &mut Memory, string_obj: u64, cursor: &mut u64, run: &mut CodecRun) {
+        let data_ptr = self.timed_read_u64(mem, string_obj, run);
+        let len = self.timed_read_u64(mem, string_obj + 8, run);
+        self.emit_varint(mem, len, cursor, run);
+        let payload = mem.data.read_vec(data_ptr, len as usize);
+        mem.data.write_bytes(*cursor, &payload);
+        run.cycles += mem
+            .system
+            .stream(data_ptr, len as usize, protoacc_mem::AccessKind::Read);
+        run.cycles += mem
+            .system
+            .stream(*cursor, len as usize, protoacc_mem::AccessKind::Write);
+        run.cycles += self.cost.memcpy_cycles(len as usize);
+        *cursor += len;
+    }
+
+    fn timed_read_u64(&self, mem: &mut Memory, addr: u64, run: &mut CodecRun) -> u64 {
+        run.cycles += mem.system.access(addr, 8, protoacc_mem::AccessKind::Read);
+        mem.data.read_u64(addr)
+    }
+}
+
+/// Accumulator for a repeated field during deserialization.
+#[derive(Debug)]
+struct RepeatedAccum {
+    field_type: FieldType,
+    scalars: Vec<u64>,
+    ptrs: Vec<u64>,
+}
+
+impl RepeatedAccum {
+    fn new(field_type: FieldType) -> Self {
+        RepeatedAccum {
+            field_type,
+            scalars: Vec::new(),
+            ptrs: Vec::new(),
+        }
+    }
+
+    fn push_scalar(&mut self, bits: u64) {
+        self.scalars.push(bits);
+    }
+
+    fn push_ptr(&mut self, addr: u64) {
+        self.ptrs.push(addr);
+    }
+
+    /// Writes the repeated-field header and element array.
+    fn materialize(
+        &self,
+        mem: &mut Memory,
+        arena: &mut BumpArena,
+        cost: &CostTable,
+        run: &mut CodecRun,
+    ) -> Result<u64, RuntimeError> {
+        let header = arena.alloc(REPEATED_HEADER_BYTES, 8)?;
+        run.cycles += cost.alloc;
+        let (count, elem_size) = if self.ptrs.is_empty() {
+            (
+                self.scalars.len() as u64,
+                self.field_type
+                    .scalar_kind()
+                    .map_or(8, |k| k.size()) as u64,
+            )
+        } else {
+            (self.ptrs.len() as u64, 8)
+        };
+        let data = arena.alloc(count * elem_size, 8)?;
+        run.cycles += cost.alloc;
+        mem.data.write_u64(header, data);
+        mem.data.write_u64(header + 8, count);
+        mem.data.write_u64(header + 16, count);
+        run.cycles += mem
+            .system
+            .access(header, 24, protoacc_mem::AccessKind::Write);
+        if self.ptrs.is_empty() {
+            for (i, &bits) in self.scalars.iter().enumerate() {
+                mem.data.write_bytes(
+                    data + i as u64 * elem_size,
+                    &bits.to_le_bytes()[..elem_size as usize],
+                );
+            }
+        } else {
+            for (i, &ptr) in self.ptrs.iter().enumerate() {
+                mem.data.write_u64(data + i as u64 * 8, ptr);
+            }
+        }
+        run.cycles += mem.system.stream(
+            data,
+            (count * elem_size) as usize,
+            protoacc_mem::AccessKind::Write,
+        );
+        Ok(header)
+    }
+}
+
+fn read_scalar(mem: &Memory, addr: u64, size: u64) -> u64 {
+    match size {
+        1 => u64::from(mem.data.read_u8(addr)),
+        4 => u64::from(mem.data.read_u32(addr)),
+        8 => mem.data.read_u64(addr),
+        other => unreachable!("no {other}-byte scalars"),
+    }
+}
+
+/// Wire-format length of a scalar value given its in-memory bits.
+fn scalar_wire_len(ft: FieldType, bits: u64) -> u64 {
+    match ft.wire_type() {
+        WireType::Bits32 => 4,
+        WireType::Bits64 => 8,
+        WireType::Varint => {
+            varint::encoded_len(wire_varint_from_bits(ft, bits, || {})) as u64
+        }
+        _ => unreachable!("length-delimited handled by callers"),
+    }
+}
+
+/// Converts in-memory scalar bits to the raw varint that goes on the wire
+/// (sign extension for int32/enum, zigzag for sint types).
+fn wire_varint_from_bits(ft: FieldType, bits: u64, mut charge_zigzag: impl FnMut()) -> u64 {
+    match ft {
+        FieldType::Int32 | FieldType::Enum => bits as u32 as i32 as i64 as u64,
+        FieldType::SInt32 => {
+            charge_zigzag();
+            u64::from(zigzag::encode32(bits as u32 as i32))
+        }
+        FieldType::SInt64 => {
+            charge_zigzag();
+            zigzag::encode64(bits as i64)
+        }
+        _ => bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_mem::MemConfig;
+    use protoacc_runtime::{reference, MessageValue, Value};
+    use protoacc_schema::SchemaBuilder;
+
+    struct Harness {
+        schema: Schema,
+        layouts: MessageLayouts,
+        mem: Memory,
+        arena: BumpArena,
+        outer: MessageId,
+        inner: MessageId,
+    }
+
+    fn harness() -> Harness {
+        let mut b = SchemaBuilder::new();
+        let inner = b.declare("Inner");
+        b.message(inner)
+            .optional("flag", FieldType::Bool, 1)
+            .optional("note", FieldType::String, 2);
+        let outer = b.declare("Outer");
+        b.message(outer)
+            .optional("i32", FieldType::Int32, 1)
+            .optional("s64", FieldType::SInt64, 2)
+            .optional("dbl", FieldType::Double, 3)
+            .optional("text", FieldType::String, 4)
+            .optional("sub", FieldType::Message(inner), 5)
+            .repeated("ri", FieldType::Int64, 6)
+            .packed("pu", FieldType::UInt32, 7)
+            .repeated("rstr", FieldType::String, 8)
+            .repeated("rsub", FieldType::Message(inner), 9)
+            .optional("flt", FieldType::Float, 10)
+            .optional("fx64", FieldType::Fixed64, 11);
+        let schema = b.build().unwrap();
+        let layouts = MessageLayouts::compute(&schema);
+        Harness {
+            layouts,
+            mem: Memory::new(MemConfig::default()),
+            arena: BumpArena::new(0x100_0000, 1 << 24),
+            outer,
+            inner,
+            schema,
+        }
+    }
+
+    fn sample_message(h: &Harness) -> MessageValue {
+        let mut sub = MessageValue::new(h.inner);
+        sub.set(1, Value::Bool(true)).unwrap();
+        sub.set(2, Value::Str("inner-note".into())).unwrap();
+        let mut m = MessageValue::new(h.outer);
+        m.set(1, Value::Int32(-123)).unwrap();
+        m.set(2, Value::SInt64(-99999)).unwrap();
+        m.set(3, Value::Double(6.25)).unwrap();
+        m.set(4, Value::Str("hello world, long enough to skip SSO".into()))
+            .unwrap();
+        m.set(5, Value::Message(sub.clone())).unwrap();
+        m.set_repeated(6, vec![Value::Int64(1), Value::Int64(-1), Value::Int64(1 << 40)]);
+        m.set_repeated(7, vec![Value::UInt32(7), Value::UInt32(300)]);
+        m.set_repeated(8, vec![Value::Str("a".into()), Value::Str("bb".into())]);
+        m.set_repeated(9, vec![Value::Message(sub), Value::Message(MessageValue::new(h.inner))]);
+        m.set(10, Value::Float(0.5)).unwrap();
+        m.set(11, Value::Fixed64(0xdead_beef)).unwrap();
+        m
+    }
+
+    #[test]
+    fn deserialize_matches_reference_decoder() {
+        let mut h = harness();
+        let m = sample_message(&h);
+        let wire = reference::encode(&m, &h.schema).unwrap();
+        let input_addr = 0x20_0000u64;
+        h.mem.data.write_bytes(input_addr, &wire);
+        let dest = h
+            .arena
+            .alloc(h.layouts.layout(h.outer).object_size(), 8)
+            .unwrap();
+        h.mem
+            .data
+            .write_bytes(dest, &vec![0u8; h.layouts.layout(h.outer).object_size() as usize]);
+        let cost = CostTable::boom();
+        let codec = SoftwareCodec::new(&cost);
+        let run = codec
+            .deserialize(
+                &mut h.mem,
+                &h.schema,
+                &h.layouts,
+                h.outer,
+                input_addr,
+                wire.len() as u64,
+                dest,
+                &mut h.arena,
+            )
+            .unwrap();
+        assert!(run.cycles > 0);
+        assert_eq!(run.wire_bytes, wire.len() as u64);
+        let back =
+            object::read_message(&h.mem.data, &h.schema, &h.layouts, h.outer, dest).unwrap();
+        assert!(back.bits_eq(&m));
+    }
+
+    #[test]
+    fn serialize_is_byte_identical_to_reference_encoder() {
+        let mut h = harness();
+        let m = sample_message(&h);
+        let obj = object::write_message(&mut h.mem.data, &h.schema, &h.layouts, &mut h.arena, &m)
+            .unwrap();
+        let out_addr = 0x40_0000u64;
+        let cost = CostTable::xeon();
+        let codec = SoftwareCodec::new(&cost);
+        let (run, len) = codec
+            .serialize(&mut h.mem, &h.schema, &h.layouts, h.outer, obj, out_addr)
+            .unwrap();
+        let expect = reference::encode(&m, &h.schema).unwrap();
+        assert_eq!(h.mem.data.read_vec(out_addr, len as usize), expect);
+        assert_eq!(run.wire_bytes, expect.len() as u64);
+        assert!(run.cycles > 0);
+    }
+
+    #[test]
+    fn round_trip_through_both_directions() {
+        let mut h = harness();
+        let m = sample_message(&h);
+        let obj = object::write_message(&mut h.mem.data, &h.schema, &h.layouts, &mut h.arena, &m)
+            .unwrap();
+        let cost = CostTable::boom();
+        let codec = SoftwareCodec::new(&cost);
+        let out_addr = 0x40_0000u64;
+        let (_, len) = codec
+            .serialize(&mut h.mem, &h.schema, &h.layouts, h.outer, obj, out_addr)
+            .unwrap();
+        let dest = h
+            .arena
+            .alloc(h.layouts.layout(h.outer).object_size(), 8)
+            .unwrap();
+        h.mem
+            .data
+            .write_bytes(dest, &vec![0u8; h.layouts.layout(h.outer).object_size() as usize]);
+        codec
+            .deserialize(
+                &mut h.mem, &h.schema, &h.layouts, h.outer, out_addr, len, dest, &mut h.arena,
+            )
+            .unwrap();
+        let back =
+            object::read_message(&h.mem.data, &h.schema, &h.layouts, h.outer, dest).unwrap();
+        assert!(back.bits_eq(&m));
+    }
+
+    #[test]
+    fn boom_charges_more_cycles_than_xeon() {
+        let boom_cost = CostTable::boom();
+        let xeon_cost = CostTable::xeon();
+        let mut cycles = Vec::new();
+        for cost in [&boom_cost, &xeon_cost] {
+            let mut h = harness();
+            let m = sample_message(&h);
+            let wire = reference::encode(&m, &h.schema).unwrap();
+            let input_addr = 0x20_0000u64;
+            h.mem.data.write_bytes(input_addr, &wire);
+            let dest = h
+                .arena
+                .alloc(h.layouts.layout(h.outer).object_size(), 8)
+                .unwrap();
+            let codec = SoftwareCodec::new(cost);
+            let run = codec
+                .deserialize(
+                    &mut h.mem,
+                    &h.schema,
+                    &h.layouts,
+                    h.outer,
+                    input_addr,
+                    wire.len() as u64,
+                    dest,
+                    &mut h.arena,
+                )
+                .unwrap();
+            cycles.push(run.cycles);
+        }
+        assert!(cycles[0] > cycles[1], "boom {} vs xeon {}", cycles[0], cycles[1]);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut h = harness();
+        let m = sample_message(&h);
+        let wire = reference::encode(&m, &h.schema).unwrap();
+        let input_addr = 0x20_0000u64;
+        h.mem.data.write_bytes(input_addr, &wire);
+        let dest = h
+            .arena
+            .alloc(h.layouts.layout(h.outer).object_size(), 8)
+            .unwrap();
+        let cost = CostTable::boom();
+        let codec = SoftwareCodec::new(&cost);
+        let result = codec.deserialize(
+            &mut h.mem,
+            &h.schema,
+            &h.layouts,
+            h.outer,
+            input_addr,
+            wire.len() as u64 / 2,
+            dest,
+            &mut h.arena,
+        );
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped() {
+        let mut h = harness();
+        // Encode a message with field 200 (unknown to Outer... actually
+        // undefined), plus a known field.
+        let mut w = protoacc_wire::WireWriter::new();
+        w.write_varint_field(200, 5).unwrap();
+        w.write_varint_field(1, 6).unwrap();
+        let wire = w.into_bytes();
+        let input_addr = 0x20_0000u64;
+        h.mem.data.write_bytes(input_addr, &wire);
+        let dest = h
+            .arena
+            .alloc(h.layouts.layout(h.outer).object_size(), 8)
+            .unwrap();
+        let cost = CostTable::boom();
+        let codec = SoftwareCodec::new(&cost);
+        codec
+            .deserialize(
+                &mut h.mem,
+                &h.schema,
+                &h.layouts,
+                h.outer,
+                input_addr,
+                wire.len() as u64,
+                dest,
+                &mut h.arena,
+            )
+            .unwrap();
+        let back =
+            object::read_message(&h.mem.data, &h.schema, &h.layouts, h.outer, dest).unwrap();
+        assert_eq!(back.get_single(1), Some(&Value::Int32(6)));
+        assert_eq!(back.present_fields(), 1);
+    }
+
+    #[test]
+    fn serialize_cycles_scale_with_string_length() {
+        let cost = CostTable::boom();
+        let mut results = Vec::new();
+        for len in [16usize, 16 * 1024] {
+            let mut h = harness();
+            let mut m = MessageValue::new(h.outer);
+            m.set(4, Value::Str("x".repeat(len))).unwrap();
+            let obj =
+                object::write_message(&mut h.mem.data, &h.schema, &h.layouts, &mut h.arena, &m)
+                    .unwrap();
+            let codec = SoftwareCodec::new(&cost);
+            let (run, _) = codec
+                .serialize(&mut h.mem, &h.schema, &h.layouts, h.outer, obj, 0x40_0000)
+                .unwrap();
+            results.push((len, run));
+        }
+        let (small_len, small) = results[0];
+        let (large_len, large) = results[1];
+        // Per-byte cost must drop dramatically for the long string.
+        let small_per_byte = small.cycles as f64 / small_len as f64;
+        let large_per_byte = large.cycles as f64 / large_len as f64;
+        assert!(
+            small_per_byte > 5.0 * large_per_byte,
+            "small {small_per_byte}, large {large_per_byte}"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Instrumented software protobuf codec: the paper's CPU baselines.
+//!
+//! The paper compares its accelerator against (1) a single BOOM out-of-order
+//! RISC-V core at 2 GHz and (2) one core of a Xeon E5-2686 v4 at
+//! 2.3/2.7 GHz, both running the stock C++ protobuf library (Section 5).
+//! Neither machine is available here, so this crate executes the *actual
+//! software algorithm* — byte-at-a-time varint loops, per-field dispatch,
+//! malloc-per-string, a ByteSize pass before serialization — over simulated
+//! guest memory, charging every primitive operation from a per-machine
+//! [`CostTable`]. Cycle counts therefore scale with the same input
+//! properties the real baselines scale with (field counts, varint lengths,
+//! string sizes, nesting), which is what the evaluation's *shape* depends on.
+//!
+//! # Example
+//!
+//! ```rust
+//! use protoacc_cpu::{CostTable, SoftwareCodec};
+//! let boom = CostTable::boom();
+//! let xeon = CostTable::xeon();
+//! assert!(boom.varint_decode_byte > xeon.varint_decode_byte);
+//! let _codec = SoftwareCodec::new(&boom);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod cost;
+pub mod ops;
+
+pub use codec::{CodecRun, SoftwareCodec};
+pub use cost::CostTable;

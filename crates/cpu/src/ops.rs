@@ -1,0 +1,507 @@
+//! Software merge / copy / clear over guest memory (the Section 7
+//! operations: another 17.1% of fleet C++ protobuf cycles beyond
+//! serialization and deserialization).
+//!
+//! Semantics follow proto2 `MergeFrom`/`CopyFrom`/`Clear`; data movement is
+//! real (the destination object graph in guest memory is updated), and each
+//! primitive is charged from the machine's [`CostTable`].
+
+use protoacc_mem::{AccessKind, Memory};
+use protoacc_runtime::{
+    hasbits, object, BumpArena, MessageLayouts, RuntimeError, SlotKind,
+    REPEATED_HEADER_BYTES,
+};
+use protoacc_schema::{FieldType, MessageId, Schema};
+
+use crate::{CodecRun, CostTable, SoftwareCodec};
+
+impl SoftwareCodec<'_> {
+    /// Merges the object at `src_obj` into the object at `dst_obj`
+    /// (both of type `type_id`), proto2 `MergeFrom` semantics.
+    ///
+    /// # Errors
+    ///
+    /// Arena exhaustion while copying out-of-line values.
+    #[allow(clippy::too_many_arguments)]
+    pub fn merge(
+        &self,
+        mem: &mut Memory,
+        schema: &Schema,
+        layouts: &MessageLayouts,
+        type_id: MessageId,
+        dst_obj: u64,
+        src_obj: u64,
+        arena: &mut BumpArena,
+    ) -> Result<CodecRun, RuntimeError> {
+        let mut run = CodecRun::default();
+        merge_message(
+            self.cost_table(),
+            mem,
+            schema,
+            layouts,
+            type_id,
+            dst_obj,
+            src_obj,
+            arena,
+            &mut run,
+        )?;
+        Ok(run)
+    }
+
+    /// Replaces the object at `dst_obj` with a deep copy of `src_obj`
+    /// (proto2 `CopyFrom`: clear + merge).
+    ///
+    /// # Errors
+    ///
+    /// Arena exhaustion while copying out-of-line values.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy(
+        &self,
+        mem: &mut Memory,
+        schema: &Schema,
+        layouts: &MessageLayouts,
+        type_id: MessageId,
+        dst_obj: u64,
+        src_obj: u64,
+        arena: &mut BumpArena,
+    ) -> Result<CodecRun, RuntimeError> {
+        let mut run = self.clear(mem, layouts, type_id, dst_obj)?;
+        let merge_run = self.merge(mem, schema, layouts, type_id, dst_obj, src_obj, arena)?;
+        run.cycles += merge_run.cycles;
+        run.fields += merge_run.fields;
+        Ok(run)
+    }
+
+    /// Clears every field of the object at `obj` (proto2 `Clear`): zeroes
+    /// the hasbits array, making all fields absent.
+    ///
+    /// # Errors
+    ///
+    /// None currently; the `Result` mirrors the other operations.
+    pub fn clear(
+        &self,
+        mem: &mut Memory,
+        layouts: &MessageLayouts,
+        type_id: MessageId,
+        obj: u64,
+    ) -> Result<CodecRun, RuntimeError> {
+        let cost = self.cost_table();
+        let layout = layouts.layout(type_id);
+        let mut run = CodecRun::default();
+        let addr = obj + layout.hasbits_offset();
+        let bytes = layout.hasbits_bytes() as usize;
+        mem.data.write_bytes(addr, &vec![0u8; bytes]);
+        run.cycles += mem.system.access(addr, bytes, AccessKind::Write);
+        // protoc-generated Clear() also resets each primitive member.
+        run.cycles += cost.fixed_op * layout.defined_fields();
+        Ok(run)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_message(
+    cost: &CostTable,
+    mem: &mut Memory,
+    schema: &Schema,
+    layouts: &MessageLayouts,
+    type_id: MessageId,
+    dst_obj: u64,
+    src_obj: u64,
+    arena: &mut BumpArena,
+    run: &mut CodecRun,
+) -> Result<(), RuntimeError> {
+    let layout = layouts.layout(type_id);
+    let descriptor = schema.message(type_id);
+    run.cycles += mem.system.access(
+        src_obj + layout.hasbits_offset(),
+        layout.hasbits_bytes() as usize,
+        AccessKind::Read,
+    );
+    for number in hasbits::present_fields(&mem.data, layout, src_obj) {
+        let Some(field) = descriptor.field_by_number(number) else {
+            continue;
+        };
+        run.fields += 1;
+        run.cycles += cost.field_dispatch;
+        let slot = layout.slot(number).expect("defined field");
+        let src_slot = src_obj + slot.offset;
+        let dst_slot = dst_obj + slot.offset;
+        match slot.kind {
+            SlotKind::Scalar(kind) => {
+                let size = kind.size();
+                let mut buf = vec![0u8; size];
+                mem.data.read_bytes(src_slot, &mut buf);
+                mem.data.write_bytes(dst_slot, &buf);
+                run.cycles += mem.system.access(src_slot, size, AccessKind::Read)
+                    + mem.system.access(dst_slot, size, AccessKind::Write)
+                    + cost.fixed_op;
+            }
+            SlotKind::StringPtr => {
+                let src_str = timed_read(cost, mem, src_slot, run);
+                let payload = object::read_string_object(&mem.data, src_str);
+                run.cycles += mem
+                    .system
+                    .stream(src_str, payload.len().max(32), AccessKind::Read);
+                let new_str = object::write_string_object(&mut mem.data, arena, &payload)?;
+                run.cycles += cost.alloc
+                    + cost.string_construct
+                    + cost.memcpy_cycles(payload.len())
+                    + mem.system.stream(new_str, payload.len().max(32), AccessKind::Write);
+                mem.data.write_u64(dst_slot, new_str);
+                run.cycles += mem.system.access(dst_slot, 8, AccessKind::Write);
+            }
+            SlotKind::MessagePtr => {
+                let FieldType::Message(sub_id) = field.field_type() else {
+                    continue;
+                };
+                let src_sub = timed_read(cost, mem, src_slot, run);
+                let dst_present = hasbits::read_sparse(&mem.data, layout, dst_obj, number);
+                if dst_present {
+                    let dst_sub = timed_read(cost, mem, dst_slot, run);
+                    merge_message(
+                        cost, mem, schema, layouts, sub_id, dst_sub, src_sub, arena, run,
+                    )?;
+                } else {
+                    let copied =
+                        deep_copy(cost, mem, schema, layouts, sub_id, src_sub, arena, run)?;
+                    mem.data.write_u64(dst_slot, copied);
+                    run.cycles += mem.system.access(dst_slot, 8, AccessKind::Write);
+                }
+            }
+            SlotKind::RepeatedPtr => {
+                let src_header = timed_read(cost, mem, src_slot, run);
+                let dst_present = hasbits::read_sparse(&mem.data, layout, dst_obj, number);
+                let dst_header = if dst_present {
+                    timed_read(cost, mem, dst_slot, run)
+                } else {
+                    0
+                };
+                let merged = concat_repeated(
+                    cost,
+                    mem,
+                    schema,
+                    layouts,
+                    field.field_type(),
+                    dst_header,
+                    src_header,
+                    arena,
+                    run,
+                )?;
+                mem.data.write_u64(dst_slot, merged);
+                run.cycles += mem.system.access(dst_slot, 8, AccessKind::Write);
+            }
+        }
+        hasbits::write_sparse(&mut mem.data, layout, dst_obj, number, true);
+        let (byte, _) = layout.hasbit_position(number);
+        run.cycles += mem.system.access(
+            dst_obj + layout.hasbits_offset() + byte,
+            1,
+            AccessKind::Write,
+        ) + cost.hasbits_update;
+    }
+    Ok(())
+}
+
+/// Deep-copies the message object graph at `src_obj` into fresh arena
+/// storage, returning the new object address.
+#[allow(clippy::too_many_arguments)]
+fn deep_copy(
+    cost: &CostTable,
+    mem: &mut Memory,
+    schema: &Schema,
+    layouts: &MessageLayouts,
+    type_id: MessageId,
+    src_obj: u64,
+    arena: &mut BumpArena,
+    run: &mut CodecRun,
+) -> Result<u64, RuntimeError> {
+    let layout = layouts.layout(type_id);
+    let new_obj = arena.alloc(layout.object_size(), 8)?;
+    run.cycles += cost.alloc + cost.message_construct;
+    mem.data
+        .write_bytes(new_obj, &vec![0u8; layout.object_size() as usize]);
+    run.cycles += mem
+        .system
+        .stream(new_obj, layout.object_size() as usize, AccessKind::Write);
+    merge_message(
+        cost, mem, schema, layouts, type_id, new_obj, src_obj, arena, run,
+    )?;
+    Ok(new_obj)
+}
+
+/// Builds a new repeated-field array holding dst's elements followed by a
+/// deep copy of src's elements.
+#[allow(clippy::too_many_arguments)]
+fn concat_repeated(
+    cost: &CostTable,
+    mem: &mut Memory,
+    schema: &Schema,
+    layouts: &MessageLayouts,
+    field_type: FieldType,
+    dst_header: u64,
+    src_header: u64,
+    arena: &mut BumpArena,
+    run: &mut CodecRun,
+) -> Result<u64, RuntimeError> {
+    let elem_size = field_type.scalar_kind().map_or(8, |k| k.size()) as u64;
+    let (dst_data, dst_count) = read_header(cost, mem, dst_header, run);
+    let (src_data, src_count) = read_header(cost, mem, src_header, run);
+    let total = dst_count + src_count;
+    let header = arena.alloc(REPEATED_HEADER_BYTES, 8)?;
+    let data = arena.alloc(total * elem_size, 8)?;
+    run.cycles += cost.alloc * 2;
+    mem.data.write_u64(header, data);
+    mem.data.write_u64(header + 8, total);
+    mem.data.write_u64(header + 16, total);
+    run.cycles += mem
+        .system
+        .access(header, REPEATED_HEADER_BYTES as usize, AccessKind::Write);
+
+    // Existing dst elements move verbatim (same element objects).
+    if dst_count > 0 {
+        let bytes = (dst_count * elem_size) as usize;
+        let payload = mem.data.read_vec(dst_data, bytes);
+        mem.data.write_bytes(data, &payload);
+        run.cycles += mem.system.stream(dst_data, bytes, AccessKind::Read)
+            + mem.system.stream(data, bytes, AccessKind::Write)
+            + cost.memcpy_cycles(bytes);
+    }
+    // Source elements are deep-copied per MergeFrom semantics.
+    let dest_base = data + dst_count * elem_size;
+    match field_type {
+        FieldType::String | FieldType::Bytes => {
+            for i in 0..src_count {
+                run.cycles += cost.repeated_append;
+                let src_str = timed_read(cost, mem, src_data + i * 8, run);
+                let payload = object::read_string_object(&mem.data, src_str);
+                let new_str = object::write_string_object(&mut mem.data, arena, &payload)?;
+                run.cycles += cost.alloc
+                    + cost.string_construct
+                    + cost.memcpy_cycles(payload.len())
+                    + mem.system.stream(new_str, payload.len().max(32), AccessKind::Write);
+                mem.data.write_u64(dest_base + i * 8, new_str);
+                run.cycles += mem.system.access(dest_base + i * 8, 8, AccessKind::Write);
+            }
+        }
+        FieldType::Message(sub_id) => {
+            for i in 0..src_count {
+                run.cycles += cost.repeated_append;
+                let src_sub = timed_read(cost, mem, src_data + i * 8, run);
+                let copied =
+                    deep_copy(cost, mem, schema, layouts, sub_id, src_sub, arena, run)?;
+                mem.data.write_u64(dest_base + i * 8, copied);
+                run.cycles += mem.system.access(dest_base + i * 8, 8, AccessKind::Write);
+            }
+        }
+        _scalar => {
+            let bytes = (src_count * elem_size) as usize;
+            let payload = mem.data.read_vec(src_data, bytes);
+            mem.data.write_bytes(dest_base, &payload);
+            run.cycles += mem.system.stream(src_data, bytes, AccessKind::Read)
+                + mem.system.stream(dest_base, bytes, AccessKind::Write)
+                + cost.memcpy_cycles(bytes)
+                + cost.repeated_append * src_count;
+        }
+    }
+    Ok(header)
+}
+
+fn read_header(cost: &CostTable, mem: &mut Memory, header: u64, run: &mut CodecRun) -> (u64, u64) {
+    if header == 0 {
+        return (0, 0);
+    }
+    let data = timed_read(cost, mem, header, run);
+    let count = timed_read(cost, mem, header + 8, run);
+    (data, count)
+}
+
+fn timed_read(_cost: &CostTable, mem: &mut Memory, addr: u64, run: &mut CodecRun) -> u64 {
+    run.cycles += mem.system.access(addr, 8, AccessKind::Read);
+    mem.data.read_u64(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_mem::MemConfig;
+    use protoacc_runtime::{MessageValue, Value};
+    use protoacc_schema::{FieldType, SchemaBuilder};
+
+    struct Rig {
+        schema: Schema,
+        layouts: MessageLayouts,
+        mem: Memory,
+        arena: BumpArena,
+        outer: MessageId,
+        inner: MessageId,
+    }
+
+    fn rig() -> Rig {
+        let mut b = SchemaBuilder::new();
+        let inner = b.declare("Inner");
+        b.message(inner)
+            .optional("flag", FieldType::Bool, 1)
+            .optional("note", FieldType::String, 2);
+        let outer = b.declare("Outer");
+        b.message(outer)
+            .optional("id", FieldType::Int64, 1)
+            .optional("name", FieldType::String, 2)
+            .optional("sub", FieldType::Message(inner), 3)
+            .repeated("xs", FieldType::Int32, 4)
+            .repeated("tags", FieldType::String, 5)
+            .repeated("subs", FieldType::Message(inner), 6);
+        let schema = b.build().unwrap();
+        Rig {
+            layouts: MessageLayouts::compute(&schema),
+            schema,
+            mem: Memory::new(MemConfig::default()),
+            arena: BumpArena::new(0x100_0000, 1 << 24),
+            outer,
+            inner,
+        }
+    }
+
+    fn sample_a(r: &Rig) -> MessageValue {
+        let mut sub = MessageValue::new(r.inner);
+        sub.set(1, Value::Bool(false)).unwrap();
+        let mut m = MessageValue::new(r.outer);
+        m.set(1, Value::Int64(1)).unwrap();
+        m.set(2, Value::Str("alpha".into())).unwrap();
+        m.set(3, Value::Message(sub)).unwrap();
+        m.set_repeated(4, vec![Value::Int32(1), Value::Int32(2)]);
+        m.set_repeated(5, vec![Value::Str("a".into())]);
+        m
+    }
+
+    fn sample_b(r: &Rig) -> MessageValue {
+        let mut sub = MessageValue::new(r.inner);
+        sub.set(2, Value::Str("nested-from-b".into())).unwrap();
+        let mut m = MessageValue::new(r.outer);
+        m.set(1, Value::Int64(99)).unwrap();
+        m.set(3, Value::Message(sub.clone())).unwrap();
+        m.set_repeated(4, vec![Value::Int32(3)]);
+        m.set_repeated(5, vec![Value::Str("bee".into()), Value::Str("sea".into())]);
+        m.set_repeated(6, vec![Value::Message(sub)]);
+        m
+    }
+
+    #[test]
+    fn merge_matches_host_reference() {
+        let mut r = rig();
+        let a = sample_a(&r);
+        let b = sample_b(&r);
+        let dst =
+            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &a)
+                .unwrap();
+        let src =
+            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &b)
+                .unwrap();
+        let cost = CostTable::boom();
+        let codec = SoftwareCodec::new(&cost);
+        let run = codec
+            .merge(&mut r.mem, &r.schema, &r.layouts, r.outer, dst, src, &mut r.arena)
+            .unwrap();
+        assert!(run.cycles > 0);
+        assert!(run.fields > 0);
+        let mut expect = a.clone();
+        expect.merge_from(&b);
+        let got =
+            object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, dst).unwrap();
+        assert!(got.bits_eq(&expect));
+        // Source unchanged.
+        let src_back =
+            object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, src).unwrap();
+        assert!(src_back.bits_eq(&b));
+    }
+
+    #[test]
+    fn copy_matches_host_reference() {
+        let mut r = rig();
+        let a = sample_a(&r);
+        let b = sample_b(&r);
+        let dst =
+            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &a)
+                .unwrap();
+        let src =
+            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &b)
+                .unwrap();
+        let cost = CostTable::xeon();
+        let codec = SoftwareCodec::new(&cost);
+        codec
+            .copy(&mut r.mem, &r.schema, &r.layouts, r.outer, dst, src, &mut r.arena)
+            .unwrap();
+        let got =
+            object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, dst).unwrap();
+        assert!(got.bits_eq(&b));
+    }
+
+    #[test]
+    fn clear_empties_object() {
+        let mut r = rig();
+        let a = sample_a(&r);
+        let obj =
+            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &a)
+                .unwrap();
+        let cost = CostTable::boom();
+        let codec = SoftwareCodec::new(&cost);
+        let run = codec.clear(&mut r.mem, &r.layouts, r.outer, obj).unwrap();
+        assert!(run.cycles > 0);
+        let got =
+            object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, obj).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn merge_into_empty_is_deep_copy() {
+        let mut r = rig();
+        let b = sample_b(&r);
+        let empty = MessageValue::new(r.outer);
+        let dst =
+            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &empty)
+                .unwrap();
+        let src =
+            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &b)
+                .unwrap();
+        let cost = CostTable::boom();
+        let codec = SoftwareCodec::new(&cost);
+        codec
+            .merge(&mut r.mem, &r.schema, &r.layouts, r.outer, dst, src, &mut r.arena)
+            .unwrap();
+        let got =
+            object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, dst).unwrap();
+        assert!(got.bits_eq(&b));
+    }
+
+    #[test]
+    fn merged_strings_are_independent_copies() {
+        // Deep-copy semantics: mutating the source string after the merge
+        // must not affect the destination.
+        let mut r = rig();
+        let mut b = MessageValue::new(r.outer);
+        b.set(2, Value::Str("shared?".into())).unwrap();
+        let dst = object::write_message(
+            &mut r.mem.data,
+            &r.schema,
+            &r.layouts,
+            &mut r.arena,
+            &MessageValue::new(r.outer),
+        )
+        .unwrap();
+        let src =
+            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &b)
+                .unwrap();
+        let cost = CostTable::boom();
+        let codec = SoftwareCodec::new(&cost);
+        codec
+            .merge(&mut r.mem, &r.schema, &r.layouts, r.outer, dst, src, &mut r.arena)
+            .unwrap();
+        // Scribble over the source string object's payload.
+        let slot = r.layouts.layout(r.outer).slot(2).unwrap().offset;
+        let src_str = r.mem.data.read_u64(src + slot);
+        let data_ptr = r.mem.data.read_u64(src_str);
+        r.mem.data.write_bytes(data_ptr, b"XXXXXXX");
+        let got =
+            object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, dst).unwrap();
+        assert_eq!(got.get_single(2), Some(&Value::Str("shared?".into())));
+    }
+}

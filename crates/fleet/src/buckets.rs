@@ -1,0 +1,85 @@
+//! The shared size-bucket scheme of Figures 3 and 4c.
+
+/// Inclusive upper bounds of the first nine buckets; the tenth is open
+/// (`32769 - inf`).
+pub const SIZE_BUCKET_BOUNDS: [u64; 9] = [8, 32, 64, 128, 256, 512, 1024, 4096, 32768];
+
+/// Number of buckets (nine bounded + one open).
+pub const SIZE_BUCKET_COUNT: usize = 10;
+
+/// Maps a byte size onto its bucket index.
+///
+/// ```rust
+/// use protoacc_fleet::bucket_index;
+/// assert_eq!(bucket_index(0), 0);
+/// assert_eq!(bucket_index(8), 0);
+/// assert_eq!(bucket_index(9), 1);
+/// assert_eq!(bucket_index(32769), 9);
+/// ```
+pub fn bucket_index(size: u64) -> usize {
+    SIZE_BUCKET_BOUNDS
+        .iter()
+        .position(|&bound| size <= bound)
+        .unwrap_or(SIZE_BUCKET_COUNT - 1)
+}
+
+/// The paper's label for a bucket, e.g. `"[0 - 8]"`.
+pub fn bucket_label(index: usize) -> String {
+    match index {
+        0 => "[0 - 8]".to_owned(),
+        i if i < SIZE_BUCKET_COUNT - 1 => format!(
+            "[{} - {}]",
+            SIZE_BUCKET_BOUNDS[i - 1] + 1,
+            SIZE_BUCKET_BOUNDS[i]
+        ),
+        _ => "[32769 - inf]".to_owned(),
+    }
+}
+
+/// A representative size for sampling within a bucket: the midpoint of the
+/// bounded buckets (the paper's §3.6.4 interpolation), and a heavy-message
+/// representative for the open bucket.
+pub fn bucket_midpoint(index: usize) -> u64 {
+    match index {
+        0 => 4,
+        i if i < SIZE_BUCKET_COUNT - 1 => {
+            (SIZE_BUCKET_BOUNDS[i - 1] + 1 + SIZE_BUCKET_BOUNDS[i]) / 2
+        }
+        // §3.6.4: "adjust the size of the largest bucket as necessary";
+        // 128 KiB is the representative used throughout this reproduction.
+        _ => 128 * 1024,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_all_sizes() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(8), 0);
+        assert_eq!(bucket_index(9), 1);
+        assert_eq!(bucket_index(32), 1);
+        assert_eq!(bucket_index(512), 5);
+        assert_eq!(bucket_index(513), 6);
+        assert_eq!(bucket_index(32768), 8);
+        assert_eq!(bucket_index(32769), 9);
+        assert_eq!(bucket_index(u64::MAX), 9);
+    }
+
+    #[test]
+    fn labels_match_paper_format() {
+        assert_eq!(bucket_label(0), "[0 - 8]");
+        assert_eq!(bucket_label(1), "[9 - 32]");
+        assert_eq!(bucket_label(8), "[4097 - 32768]");
+        assert_eq!(bucket_label(9), "[32769 - inf]");
+    }
+
+    #[test]
+    fn midpoints_fall_inside_their_buckets() {
+        for i in 0..SIZE_BUCKET_COUNT {
+            assert_eq!(bucket_index(bucket_midpoint(i)), i, "bucket {i}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Discrete probability distributions with deterministic sampling.
+
+use rand::Rng;
+
+/// A discrete distribution over `0..n` given by (not necessarily
+/// normalized) non-negative weights.
+#[derive(Debug, Clone)]
+pub struct Discrete {
+    /// Cumulative weights for inverse-transform sampling.
+    cumulative: Vec<f64>,
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl Discrete {
+    /// Builds a distribution from weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative value, or sums to
+    /// zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        Discrete {
+            cumulative,
+            weights: weights.to_vec(),
+            total,
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the distribution has no outcomes (never true; kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The normalized probability of outcome `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        self.weights[i] / self.total
+    }
+
+    /// Samples an outcome index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen_range(0.0..self.total);
+        self.cumulative
+            .iter()
+            .position(|&c| x < c)
+            .unwrap_or(self.weights.len() - 1)
+    }
+
+    /// Estimates the distribution back from observed outcome counts —
+    /// the estimation half of the sampling/estimation pipeline.
+    pub fn estimate_from_counts(counts: &[u64]) -> Vec<f64> {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; counts.len()];
+        }
+        counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_normalize() {
+        let d = Discrete::new(&[1.0, 3.0]);
+        assert!((d.probability(0) - 0.25).abs() < 1e-12);
+        assert!((d.probability(1) - 0.75).abs() < 1e-12);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn sampling_converges_to_weights() {
+        let d = Discrete::new(&[10.0, 30.0, 60.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u64; 3];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        let est = Discrete::estimate_from_counts(&counts);
+        assert!((est[0] - 0.1).abs() < 0.01, "{est:?}");
+        assert!((est[1] - 0.3).abs() < 0.01);
+        assert!((est[2] - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let d = Discrete::new(&[0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_panic() {
+        Discrete::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn estimate_of_empty_counts_is_zero() {
+        assert_eq!(Discrete::estimate_from_counts(&[0, 0]), vec![0.0, 0.0]);
+    }
+}

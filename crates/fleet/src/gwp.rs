@@ -1,0 +1,320 @@
+//! Google-Wide-Profiling-style fleet cycle profiles (§3.1.1, §3.2,
+//! Figure 2).
+
+use rand::Rng;
+
+use crate::Discrete;
+
+/// A protobuf library operation, as classified in Figure 2.
+///
+/// The paper publishes Deserialize/Serialize/ByteSize/constructor/destructor
+/// shares exactly and gives merge+copy+clear in aggregate (17.1%, §7); the
+/// split among those three is this reproduction's assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtoOp {
+    /// Wire → in-memory object.
+    Deserialize,
+    /// In-memory object → wire.
+    Serialize,
+    /// The sizing pass preceding serialization.
+    ByteSize,
+    /// Merging one message into another.
+    Merge,
+    /// Deep-copying messages.
+    Copy,
+    /// Clearing message contents.
+    Clear,
+    /// Message constructors.
+    Construct,
+    /// Message destructors.
+    Destruct,
+    /// Miscellaneous glue code not amenable to acceleration.
+    Other,
+}
+
+impl ProtoOp {
+    /// All operations, in Figure 2 order.
+    pub const ALL: [ProtoOp; 9] = [
+        ProtoOp::Deserialize,
+        ProtoOp::Serialize,
+        ProtoOp::ByteSize,
+        ProtoOp::Merge,
+        ProtoOp::Copy,
+        ProtoOp::Clear,
+        ProtoOp::Construct,
+        ProtoOp::Destruct,
+        ProtoOp::Other,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtoOp::Deserialize => "Deserialize",
+            ProtoOp::Serialize => "Serialize",
+            ProtoOp::ByteSize => "Byte Size",
+            ProtoOp::Merge => "Merge",
+            ProtoOp::Copy => "Copy",
+            ProtoOp::Clear => "Clear",
+            ProtoOp::Construct => "Constructors",
+            ProtoOp::Destruct => "Destructors",
+            ProtoOp::Other => "Other",
+        }
+    }
+}
+
+/// Fleet-level cycle facts (§3.2) plus the Figure 2 per-operation shares of
+/// C++ protobuf cycles.
+#[derive(Debug, Clone)]
+pub struct FleetProfile {
+    /// Fraction of all fleet CPU cycles spent in protobuf operations
+    /// (0.096 in §3.2).
+    pub protobuf_fraction_of_fleet: f64,
+    /// Fraction of protobuf cycles spent in C++ (0.88 in §3.2).
+    pub cpp_fraction_of_protobuf: f64,
+    /// Shares of C++ protobuf cycles per operation, in [`ProtoOp::ALL`]
+    /// order; sums to 1.
+    pub op_shares: [f64; 9],
+    /// Fraction of deserialization cycles initiated by the RPC stack
+    /// (0.163 in §3.4).
+    pub rpc_fraction_of_deser: f64,
+    /// Fraction of serialization cycles initiated by the RPC stack
+    /// (0.352 in §3.4).
+    pub rpc_fraction_of_ser: f64,
+}
+
+impl FleetProfile {
+    /// The 2021 Google-fleet parameterization.
+    ///
+    /// Derivation from published numbers: deserialization is 2.2% of fleet
+    /// cycles = 26.0% of the 8.45% fleet share of C++ protobufs;
+    /// serialization 8.8% and ByteSize 6.0% of protobuf cycles (footnote 4);
+    /// merge+copy+clear 17.1% (§7, split 7.0/6.0/4.1 here); constructors
+    /// 6.4% and destructors 13.9% (§7); the remainder is "other".
+    pub fn google_2021() -> Self {
+        FleetProfile {
+            protobuf_fraction_of_fleet: 0.096,
+            cpp_fraction_of_protobuf: 0.88,
+            op_shares: [0.260, 0.088, 0.060, 0.070, 0.060, 0.041, 0.064, 0.139, 0.218],
+            rpc_fraction_of_deser: 0.163,
+            rpc_fraction_of_ser: 0.352,
+        }
+    }
+
+    /// §3.4/§3.9's placement argument: the fraction of (de)serialization
+    /// cycles that are *not* RPC-related and would incur pointless data
+    /// movement if the accelerator sat on a PCIe NIC. Returns
+    /// `(non-RPC deser fraction, non-RPC ser fraction)` — the paper's
+    /// "over 83%" and "over 64%".
+    pub fn non_rpc_fractions(&self) -> (f64, f64) {
+        (
+            1.0 - self.rpc_fraction_of_deser,
+            1.0 - self.rpc_fraction_of_ser,
+        )
+    }
+
+    /// The Figure 2 share of one operation (fraction of C++ protobuf
+    /// cycles).
+    pub fn share(&self, op: ProtoOp) -> f64 {
+        let idx = ProtoOp::ALL.iter().position(|&o| o == op).expect("known op");
+        self.op_shares[idx]
+    }
+
+    /// Fraction of *fleet* cycles spent in one C++ protobuf operation.
+    pub fn fleet_fraction(&self, op: ProtoOp) -> f64 {
+        self.protobuf_fraction_of_fleet * self.cpp_fraction_of_protobuf * self.share(op)
+    }
+
+    /// The paper's headline acceleration opportunity: fleet cycles in C++
+    /// serialization (incl. ByteSize) + deserialization ("3.45% of CPU
+    /// cycles across Google's fleet", §3.2).
+    pub fn acceleration_opportunity(&self) -> f64 {
+        self.fleet_fraction(ProtoOp::Deserialize)
+            + self.fleet_fraction(ProtoOp::Serialize)
+            + self.fleet_fraction(ProtoOp::ByteSize)
+    }
+
+    /// The §7 follow-on opportunity: merge + copy + clear.
+    pub fn merge_copy_clear_share(&self) -> f64 {
+        self.share(ProtoOp::Merge) + self.share(ProtoOp::Copy) + self.share(ProtoOp::Clear)
+    }
+
+    /// Draws `n` synthetic GWP cycle samples (each representing one sampled
+    /// cycle attributed to an operation).
+    pub fn sample_cycles<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<ProtoOp> {
+        let dist = Discrete::new(&self.op_shares);
+        (0..n).map(|_| ProtoOp::ALL[dist.sample(rng)]).collect()
+    }
+
+    /// Re-estimates the Figure 2 shares from a sample population — the
+    /// analysis half of the GWP pipeline.
+    pub fn estimate_shares(samples: &[ProtoOp]) -> [f64; 9] {
+        let mut counts = [0u64; 9];
+        for s in samples {
+            let idx = ProtoOp::ALL.iter().position(|o| o == s).expect("known op");
+            counts[idx] += 1;
+        }
+        let est = Discrete::estimate_from_counts(&counts);
+        let mut out = [0.0; 9];
+        out.copy_from_slice(&est);
+        out
+    }
+}
+
+/// Per-service shares of fleet-wide (de)serialization cycles — the data
+/// behind §5.2's benchmark selection ("the five heaviest users of protobuf
+/// deserialization and the five heaviest users of protobuf serialization",
+/// together covering over 13% of deser and 18% of ser cycles).
+#[derive(Debug, Clone)]
+pub struct ServiceCycles {
+    services: Vec<(String, f64, f64)>, // (name, deser share, ser share)
+}
+
+impl ServiceCycles {
+    /// A synthetic fleet of services whose heavy hitters cover the paper's
+    /// anchors: the top-6 union covers >13% of deserialization and >18% of
+    /// serialization cycles, with a long tail below.
+    pub fn google_2021() -> Self {
+        let mut services = vec![
+            ("ads-serving".to_owned(), 0.040, 0.030),
+            ("search-indexing".to_owned(), 0.025, 0.050),
+            ("storage-rows".to_owned(), 0.030, 0.045),
+            ("ml-features".to_owned(), 0.022, 0.028),
+            ("rpc-metadata".to_owned(), 0.018, 0.015),
+            ("analytics-rows".to_owned(), 0.015, 0.022),
+        ];
+        // A long tail of 200 small services sharing the remainder.
+        let deser_used: f64 = services.iter().map(|s| s.1).sum();
+        let ser_used: f64 = services.iter().map(|s| s.2).sum();
+        for i in 0..200 {
+            services.push((
+                format!("tail-{i}"),
+                (1.0 - deser_used) / 200.0,
+                (1.0 - ser_used) / 200.0,
+            ));
+        }
+        ServiceCycles { services }
+    }
+
+    /// The `n` heaviest deserialization users: `(name, share)` descending.
+    pub fn heaviest_deserializers(&self, n: usize) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .services
+            .iter()
+            .map(|(name, d, _)| (name.clone(), *d))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
+        v.truncate(n);
+        v
+    }
+
+    /// The `n` heaviest serialization users.
+    pub fn heaviest_serializers(&self, n: usize) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .services
+            .iter()
+            .map(|(name, _, s)| (name.clone(), *s))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
+        v.truncate(n);
+        v
+    }
+
+    /// Coverage of the union of the top-`n` deser and top-`n` ser users, as
+    /// `(deser coverage, ser coverage)` — the §5.2 selection criterion.
+    pub fn union_coverage(&self, n: usize) -> (f64, f64) {
+        let mut names: Vec<String> = self
+            .heaviest_deserializers(n)
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect();
+        for (name, _) in self.heaviest_serializers(n) {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+        let deser = self
+            .services
+            .iter()
+            .filter(|(name, ..)| names.contains(name))
+            .map(|(_, d, _)| d)
+            .sum();
+        let ser = self
+            .services
+            .iter()
+            .filter(|(name, ..)| names.contains(name))
+            .map(|(_, _, s)| s)
+            .sum();
+        (deser, ser)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let p = FleetProfile::google_2021();
+        let total: f64 = p.op_shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn headline_numbers_match_paper() {
+        let p = FleetProfile::google_2021();
+        // §3.2: deserialization alone is 2.2% of fleet cycles.
+        assert!((p.fleet_fraction(ProtoOp::Deserialize) - 0.022).abs() < 0.001);
+        // Serialization (incl. ByteSize) is 1.25% of fleet cycles.
+        let ser = p.fleet_fraction(ProtoOp::Serialize) + p.fleet_fraction(ProtoOp::ByteSize);
+        assert!((ser - 0.0125).abs() < 0.001, "ser {ser}");
+        // Opportunity: 3.45%.
+        assert!((p.acceleration_opportunity() - 0.0345).abs() < 0.002);
+        // §7: merge/copy/clear = 17.1% of protobuf cycles.
+        assert!((p.merge_copy_clear_share() - 0.171).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimation_recovers_shares_from_samples() {
+        let p = FleetProfile::google_2021();
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples = p.sample_cycles(&mut rng, 200_000);
+        let est = FleetProfile::estimate_shares(&samples);
+        for (i, (&truth, &got)) in p.op_shares.iter().zip(est.iter()).enumerate() {
+            assert!((truth - got).abs() < 0.005, "op {i}: {truth} vs {got}");
+        }
+    }
+
+    #[test]
+    fn placement_argument_matches_section_3_4() {
+        let p = FleetProfile::google_2021();
+        let (deser, ser) = p.non_rpc_fractions();
+        // §3.9: over 83% of deser and over 64% of ser cycles are not
+        // RPC-related.
+        assert!(deser > 0.83, "non-RPC deser {deser}");
+        assert!(ser > 0.64, "non-RPC ser {ser}");
+    }
+
+    #[test]
+    fn heaviest_users_cover_the_paper_anchors() {
+        // §5.2: the selected services cover over 13% of fleet-wide
+        // deserialization cycles and 18% of serialization cycles.
+        let cycles = ServiceCycles::google_2021();
+        let (deser, ser) = cycles.union_coverage(5);
+        assert!(deser > 0.13, "deser coverage {deser}");
+        assert!(ser > 0.18, "ser coverage {ser}");
+        // The named services beat every tail service.
+        let top = cycles.heaviest_deserializers(6);
+        assert!(top.iter().all(|(name, _)| !name.starts_with("tail-")));
+        // Descending order.
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn deserialization_dominates_serialization() {
+        // Figure 2's most visible fact.
+        let p = FleetProfile::google_2021();
+        assert!(p.share(ProtoOp::Deserialize) > 2.0 * p.share(ProtoOp::Serialize));
+    }
+}

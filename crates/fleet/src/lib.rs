@@ -1,0 +1,49 @@
+//! Reproduction of the paper's fleet-scale protobuf profiling study
+//! (Section 3).
+//!
+//! The paper mines three internal Google data sources — GWP CPU cycle
+//! profiles, the `protobufz` message-shape sampler, and the `protodb` static
+//! registry — none of which are available outside Google. Per the
+//! substitution rule, this crate rebuilds each as a *synthetic* source whose
+//! parameters are the paper's own published marginals (every percentage in
+//! Figures 2-7 and Sections 3.2-3.8), plus samplers that draw large
+//! populations from those distributions and analyses that re-derive the
+//! figures from the samples — exercising the full estimation pipeline
+//! rather than hard-coding the answers.
+//!
+//! * [`gwp`] — fleet cycle profiles by operation (Figure 2, §3.2).
+//! * [`protobufz`] — message shapes: sizes (Figure 3), field types by count
+//!   and bytes (Figure 4a/b), bytes-field sizes (Figure 4c), varint sizes,
+//!   nesting depth (§3.8), and presence density (Figure 7).
+//! * [`protodb`] — static registry facts (§3.3: 96% of bytes are proto2).
+//! * [`model24`] — the 24-slice `[field-type-like, size] → cycles` model of
+//!   §3.6.4 that produces Figures 5 and 6, with per-slice cycle-per-byte
+//!   coefficients measured by running microbenchmarks on the instrumented
+//!   CPU codec.
+//! * [`density`] — Figure 7 histogramming and the 1/64 crossover analysis.
+//!
+//! # Example
+//!
+//! ```rust
+//! use protoacc_fleet::gwp::{FleetProfile, ProtoOp};
+//!
+//! let profile = FleetProfile::google_2021();
+//! // Headline numbers from §3.2:
+//! assert!((profile.protobuf_fraction_of_fleet - 0.096).abs() < 1e-9);
+//! let opp = profile.acceleration_opportunity();
+//! assert!((opp - 0.0345).abs() < 0.002); // "up to 3.45% of fleet cycles"
+//! assert!(profile.share(ProtoOp::Deserialize) > profile.share(ProtoOp::Serialize));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod buckets;
+pub mod density;
+pub mod dist;
+pub mod gwp;
+pub mod model24;
+pub mod protobufz;
+pub mod protodb;
+
+pub use buckets::{bucket_index, bucket_label, SIZE_BUCKET_BOUNDS, SIZE_BUCKET_COUNT};
+pub use dist::Discrete;

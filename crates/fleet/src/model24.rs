@@ -1,0 +1,419 @@
+//! The 24-slice `[field-type-like, size] → cycles` model (§3.6.4,
+//! Figures 5 and 6).
+//!
+//! The paper classifies fleet-wide protobuf bytes into 24 slices — varint
+//! lengths 1..=10, ten bytes-like size buckets, float, double, fixed32, and
+//! fixed64 — then, for each slice, *measures* serialization and
+//! deserialization time-per-byte with a microbenchmark, and multiplies the
+//! two to estimate where fleet (de)serialization time goes. This module
+//! reruns that methodology with the instrumented CPU codec standing in for
+//! the measurement machine.
+
+use protoacc_cpu::{CostTable, SoftwareCodec};
+use protoacc_mem::Memory;
+use protoacc_runtime::{object, reference, BumpArena, MessageLayouts, MessageValue, Value};
+use protoacc_schema::{FieldType, PerfClass, Schema, SchemaBuilder};
+
+use crate::buckets::{bucket_label, bucket_midpoint, SIZE_BUCKET_COUNT};
+use crate::protobufz::ShapeModel;
+
+/// Number of slices in the model.
+pub const SLICES: usize = 24;
+
+/// One slice of the model.
+#[derive(Debug, Clone)]
+pub struct Slice {
+    /// Display label (e.g. `varint-3`, `bytes [9 - 32]`, `double`).
+    pub label: String,
+    /// Table 1 class this slice belongs to.
+    pub class: PerfClass,
+    /// Fraction of fleet protobuf bytes attributed to this slice.
+    pub bytes_fraction: f64,
+    /// Measured deserialization cycles per encoded byte.
+    pub deser_cycles_per_byte: f64,
+    /// Measured serialization cycles per encoded byte.
+    pub ser_cycles_per_byte: f64,
+}
+
+/// The assembled model.
+#[derive(Debug, Clone)]
+pub struct Model24 {
+    slices: Vec<Slice>,
+    freq_ghz: f64,
+}
+
+impl Model24 {
+    /// Builds the model: bytes fractions from `shape`, cycle-per-byte
+    /// coefficients measured by microbenchmarking `cost`'s machine.
+    pub fn build(shape: &ShapeModel, cost: &CostTable) -> Model24 {
+        let fractions = slice_bytes_fractions(shape);
+        let mut slices = Vec::with_capacity(SLICES);
+        for (i, spec) in slice_specs().into_iter().enumerate() {
+            let (deser_cpb, ser_cpb) = measure_slice(cost, &spec);
+            slices.push(Slice {
+                label: spec.label,
+                class: spec.class,
+                bytes_fraction: fractions[i],
+                deser_cycles_per_byte: deser_cpb,
+                ser_cycles_per_byte: ser_cpb,
+            });
+        }
+        Model24 {
+            slices,
+            freq_ghz: cost.freq_ghz,
+        }
+    }
+
+    /// The slices, in canonical order (varint-1..10, bytes buckets, float,
+    /// double, fixed32, fixed64).
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// Figure 5: estimated share of fleet *deserialization time* per slice.
+    pub fn deser_time_shares(&self) -> Vec<f64> {
+        normalize(
+            self.slices
+                .iter()
+                .map(|s| s.bytes_fraction * s.deser_cycles_per_byte),
+        )
+    }
+
+    /// Figure 6: estimated share of fleet *serialization time* per slice.
+    pub fn ser_time_shares(&self) -> Vec<f64> {
+        normalize(
+            self.slices
+                .iter()
+                .map(|s| s.bytes_fraction * s.ser_cycles_per_byte),
+        )
+    }
+
+    /// Deserialization throughput of one slice in Gbits/s on the measured
+    /// machine.
+    pub fn deser_gbits(&self, slice: &Slice) -> f64 {
+        8.0 * self.freq_ghz / slice.deser_cycles_per_byte
+    }
+
+    /// §3.6.4's observation: the fraction of deserialization time spent on
+    /// data processed faster than `gbits` Gbit/s (14% at 1 GB/s = 8 Gbit/s
+    /// in the paper).
+    pub fn deser_time_fraction_above(&self, gbits: f64) -> f64 {
+        let shares = self.deser_time_shares();
+        self.slices
+            .iter()
+            .zip(shares)
+            .filter(|(s, _)| self.deser_gbits(s) > gbits)
+            .map(|(_, share)| share)
+            .sum()
+    }
+}
+
+impl Model24 {
+    /// Measures a single representative slice (varint-5) — a fast kernel
+    /// for host-side benchmarking of the measurement harness itself.
+    pub fn build_single_for_bench(cost: &CostTable) -> (f64, f64) {
+        let spec = &slice_specs()[4];
+        measure_slice(cost, spec)
+    }
+}
+
+struct SliceSpec {
+    label: String,
+    class: PerfClass,
+    field_type: FieldType,
+    /// A value whose encoding matches the slice.
+    value: Value,
+    /// Fields per message (5 for varints/floats/doubles per §5.1, 1
+    /// otherwise).
+    fields_per_message: u32,
+}
+
+fn slice_specs() -> Vec<SliceSpec> {
+    let mut specs = Vec::with_capacity(SLICES);
+    for len in 1..=10usize {
+        let value = if len == 10 {
+            u64::MAX
+        } else if len == 1 {
+            1
+        } else {
+            1u64 << (7 * (len - 1))
+        };
+        specs.push(SliceSpec {
+            label: format!("varint-{len}"),
+            class: PerfClass::VarintLike,
+            field_type: FieldType::UInt64,
+            value: Value::UInt64(value),
+            fields_per_message: 5,
+        });
+    }
+    for bucket in 0..SIZE_BUCKET_COUNT {
+        let size = bucket_midpoint(bucket) as usize;
+        specs.push(SliceSpec {
+            label: format!("bytes {}", bucket_label(bucket)),
+            class: PerfClass::BytesLike,
+            field_type: FieldType::Bytes,
+            value: Value::Bytes(vec![0xa5; size]),
+            fields_per_message: 1,
+        });
+    }
+    specs.push(SliceSpec {
+        label: "float".into(),
+        class: PerfClass::FloatLike,
+        field_type: FieldType::Float,
+        value: Value::Float(1.5),
+        fields_per_message: 5,
+    });
+    specs.push(SliceSpec {
+        label: "double".into(),
+        class: PerfClass::DoubleLike,
+        field_type: FieldType::Double,
+        value: Value::Double(2.5),
+        fields_per_message: 5,
+    });
+    specs.push(SliceSpec {
+        label: "fixed32".into(),
+        class: PerfClass::Fixed32Like,
+        field_type: FieldType::Fixed32,
+        value: Value::Fixed32(7),
+        fields_per_message: 5,
+    });
+    specs.push(SliceSpec {
+        label: "fixed64".into(),
+        class: PerfClass::Fixed64Like,
+        field_type: FieldType::Fixed64,
+        value: Value::Fixed64(7),
+        fields_per_message: 5,
+    });
+    specs
+}
+
+/// Fleet bytes fraction per slice, derived from the shape model's marginals.
+fn slice_bytes_fractions(shape: &ShapeModel) -> Vec<f64> {
+    use crate::protobufz::TRACKED_TYPES;
+    // Expected bytes contributed per observed field of each tracked type.
+    let expected_varint_len: f64 = shape
+        .varint_len_weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (i as f64 + 1.0) * w)
+        .sum::<f64>()
+        / shape.varint_len_weights.iter().sum::<f64>();
+    let expected_bytes_len: f64 = shape
+        .bytes_field_size_weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| bucket_midpoint(i) as f64 * w)
+        .sum::<f64>()
+        / shape.bytes_field_size_weights.iter().sum::<f64>();
+    let mut class_bytes = [0.0f64; 6]; // PerfClass::ALL order
+    for (ft, &count_w) in TRACKED_TYPES.iter().zip(shape.field_count_weights.iter()) {
+        let class = ft.perf_class().expect("tracked scalar");
+        let mean = match class {
+            PerfClass::BytesLike => expected_bytes_len,
+            PerfClass::VarintLike => expected_varint_len,
+            PerfClass::FloatLike | PerfClass::Fixed32Like => 4.0,
+            PerfClass::DoubleLike | PerfClass::Fixed64Like => 8.0,
+        };
+        let idx = PerfClass::ALL.iter().position(|&c| c == class).expect("class");
+        class_bytes[idx] += count_w * mean;
+    }
+    let total: f64 = class_bytes.iter().sum();
+
+    let varint_total = class_bytes[1] / total;
+    let bytes_total = class_bytes[0] / total;
+    let varint_weight_sum: f64 = shape.varint_len_weights.iter().sum();
+    let bytes_weight_sum: f64 = shape
+        .bytes_field_size_weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| w * bucket_midpoint(i) as f64)
+        .sum();
+
+    let mut fractions = Vec::with_capacity(SLICES);
+    // Varint slices: split by bytes carried at each length.
+    let varint_byte_weight: f64 = shape
+        .varint_len_weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| w * (i as f64 + 1.0))
+        .sum();
+    for (i, &w) in shape.varint_len_weights.iter().enumerate() {
+        let _ = varint_weight_sum;
+        fractions.push(varint_total * (w * (i as f64 + 1.0)) / varint_byte_weight);
+    }
+    // Bytes slices: split by bytes carried per bucket.
+    for (i, &w) in shape.bytes_field_size_weights.iter().enumerate() {
+        fractions.push(bytes_total * (w * bucket_midpoint(i) as f64) / bytes_weight_sum);
+    }
+    fractions.push(class_bytes[2] / total); // float
+    fractions.push(class_bytes[3] / total); // double
+    fractions.push(class_bytes[4] / total); // fixed32
+    fractions.push(class_bytes[5] / total); // fixed64
+    fractions
+}
+
+/// Measures (deser, ser) cycles per encoded byte for one slice on the given
+/// machine.
+fn measure_slice(cost: &CostTable, spec: &SliceSpec) -> (f64, f64) {
+    let (schema, type_id) = slice_schema(spec);
+    let layouts = MessageLayouts::compute(&schema);
+    let mut message = MessageValue::new(type_id);
+    for n in 1..=spec.fields_per_message {
+        message.set_unchecked(n, spec.value.clone());
+    }
+    let wire = reference::encode(&message, &schema).expect("slice message encodes");
+
+    let mut mem = Memory::new(cost.mem);
+    let codec = SoftwareCodec::new(cost);
+    // Lay out a batch large enough to amortize cold-cache noise.
+    let batch = 32usize;
+    let input_base = 0x800_0000u64;
+    let mut cursor = input_base;
+    for _ in 0..batch {
+        mem.data.write_bytes(cursor, &wire);
+        cursor += wire.len() as u64;
+    }
+    let mut arena = BumpArena::new(0x4000_0000, 1 << 28);
+    let layout = layouts.layout(type_id);
+
+    // Warm-up pass (the paper's benchmarks run pre-populated batches).
+    let dest = arena.alloc(layout.object_size(), 8).unwrap();
+    codec
+        .deserialize(
+            &mut mem, &schema, &layouts, type_id, input_base, wire.len() as u64, dest,
+            &mut arena,
+        )
+        .expect("slice deserializes");
+
+    let mut deser_cycles = 0u64;
+    let mut cursor = input_base;
+    for _ in 0..batch {
+        let dest = arena.alloc(layout.object_size(), 8).unwrap();
+        let run = codec
+            .deserialize(
+                &mut mem, &schema, &layouts, type_id, cursor, wire.len() as u64, dest,
+                &mut arena,
+            )
+            .expect("slice deserializes");
+        deser_cycles += run.cycles;
+        cursor += wire.len() as u64;
+    }
+
+    // Serialization: materialize one object, serialize it repeatedly.
+    let obj = object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &message)
+        .expect("slice materializes");
+    let out_base = 0xc000_0000u64;
+    let mut ser_cycles = 0u64;
+    codec
+        .serialize(&mut mem, &schema, &layouts, type_id, obj, out_base)
+        .expect("slice serializes");
+    for i in 0..batch {
+        let (run, _) = codec
+            .serialize(
+                &mut mem,
+                &schema,
+                &layouts,
+                type_id,
+                obj,
+                out_base + (i as u64) * (wire.len() as u64 + 64),
+            )
+            .expect("slice serializes");
+        ser_cycles += run.cycles;
+    }
+
+    let total_bytes = (wire.len() * batch) as f64;
+    (
+        deser_cycles as f64 / total_bytes,
+        ser_cycles as f64 / total_bytes,
+    )
+}
+
+fn slice_schema(spec: &SliceSpec) -> (Schema, protoacc_schema::MessageId) {
+    let mut b = SchemaBuilder::new();
+    let id = b.declare("Slice");
+    {
+        let mut mb = b.message(id);
+        for n in 1..=spec.fields_per_message {
+            mb.optional(&format!("f{n}"), spec.field_type, n);
+        }
+    }
+    (b.build().expect("slice schema"), id)
+}
+
+fn normalize(values: impl Iterator<Item = f64>) -> Vec<f64> {
+    let v: Vec<f64> = values.collect();
+    let total: f64 = v.iter().sum();
+    if total == 0.0 {
+        return v;
+    }
+    v.into_iter().map(|x| x / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Model24 {
+        Model24::build(&ShapeModel::google_2021(), &CostTable::boom())
+    }
+
+    #[test]
+    fn has_24_slices_summing_to_one() {
+        let m = model();
+        assert_eq!(m.slices().len(), SLICES);
+        let bytes_total: f64 = m.slices().iter().map(|s| s.bytes_fraction).sum();
+        assert!((bytes_total - 1.0).abs() < 1e-6, "bytes total {bytes_total}");
+        let deser_total: f64 = m.deser_time_shares().iter().sum();
+        assert!((deser_total - 1.0).abs() < 1e-6);
+        let ser_total: f64 = m.ser_time_shares().iter().sum();
+        assert!((ser_total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn large_bytes_fields_are_far_cheaper_per_byte() {
+        // §3.6.4: large bytes-like fields are 100-500x faster per byte than
+        // small varint-like fields.
+        let m = model();
+        let small_varint = &m.slices()[0]; // varint-1
+        let huge_bytes = &m.slices()[19]; // bytes [32769 - inf]
+        let ratio = small_varint.deser_cycles_per_byte / huge_bytes.deser_cycles_per_byte;
+        // The paper reports 100-500x on its hardware; the simulated BOOM's
+        // weaker streaming overlap lands in the tens. The structural fact
+        // under test is an order-of-magnitude-plus gap.
+        assert!(ratio > 40.0, "per-byte ratio {ratio}");
+    }
+
+    #[test]
+    fn no_single_silver_bullet_in_deser_time() {
+        // §3.6.4: no slice dominates; the accelerator must help across the
+        // swath of types and sizes.
+        let m = model();
+        let shares = m.deser_time_shares();
+        let max = shares.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 0.5, "largest slice share {max}");
+    }
+
+    #[test]
+    fn fast_slices_carry_limited_time_share() {
+        // §3.6.4: only ~14% of deser time goes to data handled above 1 GB/s
+        // (8 Gbit/s); the reproduction should stay well under half.
+        let m = model();
+        let fast = m.deser_time_fraction_above(8.0);
+        assert!(fast < 0.45, "time above 1 GB/s: {fast}");
+    }
+
+    #[test]
+    fn time_shares_differ_from_bytes_shares() {
+        // The whole point of Figures 5/6: time != volume, because small
+        // fields cost far more per byte.
+        let m = model();
+        let deser = m.deser_time_shares();
+        let bytes_huge = m.slices()[19].bytes_fraction;
+        assert!(
+            deser[19] < bytes_huge / 2.0,
+            "huge-bytes slice: time {} vs bytes {}",
+            deser[19],
+            bytes_huge
+        );
+    }
+}

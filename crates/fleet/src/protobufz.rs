@@ -1,0 +1,364 @@
+//! `protobufz`-style message-shape sampling (§3.1.2, Figures 3 and 4).
+//!
+//! The real sampler visits machines and captures complete shape information
+//! for randomly selected top-level messages. Here, a [`ShapeModel`] carries
+//! the published fleet-wide marginals and draws synthetic
+//! [`MessageSample`]s; estimator functions re-derive every figure from a
+//! sample population.
+
+use protoacc_schema::{FieldType, PerfClass};
+use rand::Rng;
+
+use crate::buckets::{bucket_index, bucket_midpoint, SIZE_BUCKET_COUNT};
+use crate::Discrete;
+
+/// One sampled field within a sampled message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldSample {
+    /// The field's type.
+    pub field_type: FieldType,
+    /// Encoded bytes this field's *value* contributed.
+    pub wire_bytes: u64,
+}
+
+/// One sampled top-level message (including its sub-messages, which appear
+/// through the primitive fields they contain, as in Figure 4a).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageSample {
+    /// Total encoded size, including sub-messages.
+    pub encoded_size: u64,
+    /// Deepest nesting level (top-level message = 1).
+    pub depth: usize,
+    /// Number of fields with values present.
+    pub present_fields: u32,
+    /// Range of defined field numbers of the message's type.
+    pub field_number_span: u32,
+    /// The sampled fields.
+    pub fields: Vec<FieldSample>,
+}
+
+impl MessageSample {
+    /// Field-number usage density (§3.7).
+    pub fn density(&self) -> f64 {
+        if self.field_number_span == 0 {
+            return 0.0;
+        }
+        f64::from(self.present_fields) / f64::from(self.field_number_span)
+    }
+}
+
+/// The field types tracked individually by Figure 4 (every other scalar is
+/// negligible fleet-wide and folded into its perf class).
+pub const TRACKED_TYPES: [FieldType; 12] = [
+    FieldType::String,
+    FieldType::Bytes,
+    FieldType::Int32,
+    FieldType::Int64,
+    FieldType::Enum,
+    FieldType::Bool,
+    FieldType::UInt64,
+    FieldType::Double,
+    FieldType::Float,
+    FieldType::Fixed64,
+    FieldType::Fixed32,
+    FieldType::SInt64,
+];
+
+/// Fleet message-shape distributions.
+#[derive(Debug, Clone)]
+pub struct ShapeModel {
+    /// Figure 3: share of messages per size bucket.
+    pub size_bucket_weights: [f64; SIZE_BUCKET_COUNT],
+    /// Figure 4a: share of observed fields per type, [`TRACKED_TYPES`]
+    /// order.
+    pub field_count_weights: [f64; 12],
+    /// Figure 4c: share of bytes-like fields per size bucket.
+    pub bytes_field_size_weights: [f64; SIZE_BUCKET_COUNT],
+    /// Share of varint-like fields per encoded length (1..=10 bytes).
+    pub varint_len_weights: [f64; 10],
+    /// §3.8: share of message *bytes* per nesting depth (index 0 = depth 1).
+    pub depth_weights: Vec<f64>,
+    /// Figure 7: share of messages per density bucket (21 buckets,
+    /// 0.00..1.00 in steps of 0.05).
+    pub density_bucket_weights: [f64; 21],
+}
+
+impl ShapeModel {
+    /// The 2021 Google-fleet parameterization.
+    ///
+    /// Anchored facts: 24% of messages ≤8 B, 56% ≤32 B, 93% ≤512 B
+    /// (Figure 3); >56% of fields varint-like, strings+bytes >92% of bytes
+    /// (Figure 4a/b); 99.9% of bytes at depth ≤12 and 99.999% at ≤25, max
+    /// <100 (§3.8); ≥92% of messages above density 1/64 (Figure 7).
+    pub fn google_2021() -> Self {
+        let mut depth_weights = vec![
+            40.0, 25.0, 15.0, 8.0, 5.0, 3.0, 1.5, 1.0, 0.6, 0.4, 0.25, 0.15,
+        ];
+        // Depths 13..=25 share 0.099%; 26..=99 share 0.001%.
+        depth_weights.extend(std::iter::repeat_n(0.099 / 13.0, 13));
+        depth_weights.extend(std::iter::repeat_n(0.001 / 74.0, 74));
+        ShapeModel {
+            size_bucket_weights: [24.0, 32.0, 9.0, 8.0, 7.0, 13.0, 3.5, 2.42, 1.0, 0.08],
+            field_count_weights: [
+                22.0, // string
+                4.0,  // bytes
+                18.0, // int32
+                14.0, // int64
+                12.0, // enum
+                7.0,  // bool
+                5.0,  // uint64
+                6.0,  // double
+                4.0,  // float
+                3.0,  // fixed64
+                2.0,  // fixed32
+                3.0,  // sint64
+            ],
+            bytes_field_size_weights: [
+                30.0, 30.0, 14.0, 10.0, 6.4, 4.0, 2.5, 2.14, 0.9, 0.06,
+            ],
+            varint_len_weights: [35.0, 20.0, 12.0, 8.0, 6.0, 5.0, 4.0, 4.0, 3.0, 3.0],
+            depth_weights,
+            density_bucket_weights: [
+                4.0, 3.0, 4.0, 5.0, 6.0, 7.0, 7.0, 6.0, 5.0, 5.0, 5.0, 4.0, 4.0, 4.0, 4.0,
+                4.0, 4.0, 4.0, 3.0, 3.0, 9.0,
+            ],
+        }
+    }
+
+    /// Draws one message sample.
+    pub fn sample_message<R: Rng + ?Sized>(&self, rng: &mut R) -> MessageSample {
+        let size_dist = Discrete::new(&self.size_bucket_weights);
+        let type_dist = Discrete::new(&self.field_count_weights);
+        let bytes_size_dist = Discrete::new(&self.bytes_field_size_weights);
+        let varint_dist = Discrete::new(&self.varint_len_weights);
+        let depth_dist = Discrete::new(&self.depth_weights);
+        let density_dist = Discrete::new(&self.density_bucket_weights);
+
+        let size_bucket = size_dist.sample(rng);
+        let target = bucket_midpoint(size_bucket);
+        let mut fields = Vec::new();
+        let mut total: u64 = 0;
+        while total < target {
+            let field_type = TRACKED_TYPES[type_dist.sample(rng)];
+            let wire_bytes = match field_type.perf_class().expect("tracked scalar") {
+                PerfClass::BytesLike => {
+                    // Clamp bytes-field size so small messages stay small.
+                    bucket_midpoint(bytes_size_dist.sample(rng)).min(target.max(4) * 2)
+                }
+                PerfClass::VarintLike => varint_dist.sample(rng) as u64 + 1,
+                PerfClass::FloatLike | PerfClass::Fixed32Like => 4,
+                PerfClass::DoubleLike | PerfClass::Fixed64Like => 8,
+            };
+            fields.push(FieldSample {
+                field_type,
+                wire_bytes,
+            });
+            total += wire_bytes + 1; // + key byte
+        }
+
+        // Field sizes are drawn from their own marginal (Figure 4c is
+        // independent of Figure 3 in the published data), so clamp the
+        // message's recorded size into its drawn bucket.
+        let lower = if size_bucket == 0 {
+            0
+        } else {
+            crate::buckets::SIZE_BUCKET_BOUNDS[size_bucket - 1] + 1
+        };
+        let upper = crate::buckets::SIZE_BUCKET_BOUNDS
+            .get(size_bucket)
+            .copied()
+            .unwrap_or(u64::MAX);
+        let total = total.clamp(lower, upper);
+        let depth = depth_dist.sample(rng) + 1;
+        let density_bucket = density_dist.sample(rng);
+        // Uniform within the bucket's bounds, clamped away from 0 so spans
+        // stay finite; the lowest bucket straddles the 1/64 crossover, as
+        // Figure 7's "0.00" bar does.
+        let center = density_bucket as f64 * 0.05;
+        let lo = (center - 0.025).max(0.002);
+        let hi = (center + 0.025).min(1.0);
+        let density = rng.gen_range(lo..hi);
+        let present = fields.len() as u32;
+        let span = (f64::from(present) / density).round().max(f64::from(present)) as u32;
+        MessageSample {
+            encoded_size: total,
+            depth,
+            present_fields: present,
+            field_number_span: span,
+            fields,
+        }
+    }
+
+    /// Draws a population of `n` samples.
+    pub fn sample_population<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<MessageSample> {
+        (0..n).map(|_| self.sample_message(rng)).collect()
+    }
+}
+
+/// Figure 3: histogram of message counts per size bucket, normalized.
+pub fn estimate_size_histogram(samples: &[MessageSample]) -> [f64; SIZE_BUCKET_COUNT] {
+    let mut counts = [0u64; SIZE_BUCKET_COUNT];
+    for s in samples {
+        counts[bucket_index(s.encoded_size)] += 1;
+    }
+    normalize(&counts)
+}
+
+/// Figure 4a: share of observed fields per tracked type.
+pub fn estimate_field_count_shares(samples: &[MessageSample]) -> [f64; 12] {
+    let mut counts = [0u64; 12];
+    for s in samples {
+        for f in &s.fields {
+            if let Some(i) = TRACKED_TYPES.iter().position(|&t| t == f.field_type) {
+                counts[i] += 1;
+            }
+        }
+    }
+    normalize(&counts)
+}
+
+/// Figure 4b: share of message bytes per tracked type.
+pub fn estimate_field_bytes_shares(samples: &[MessageSample]) -> [f64; 12] {
+    let mut bytes = [0u64; 12];
+    for s in samples {
+        for f in &s.fields {
+            if let Some(i) = TRACKED_TYPES.iter().position(|&t| t == f.field_type) {
+                bytes[i] += f.wire_bytes;
+            }
+        }
+    }
+    normalize(&bytes)
+}
+
+/// Figure 4c: histogram of bytes-like field sizes.
+pub fn estimate_bytes_field_size_histogram(
+    samples: &[MessageSample],
+) -> [f64; SIZE_BUCKET_COUNT] {
+    let mut counts = [0u64; SIZE_BUCKET_COUNT];
+    for s in samples {
+        for f in &s.fields {
+            if f.field_type.perf_class() == Some(PerfClass::BytesLike) {
+                counts[bucket_index(f.wire_bytes)] += 1;
+            }
+        }
+    }
+    normalize(&counts)
+}
+
+/// §3.8: fraction of message *bytes* at nesting depth ≤ `depth`.
+pub fn bytes_coverage_at_depth(samples: &[MessageSample], depth: usize) -> f64 {
+    let total: u64 = samples.iter().map(|s| s.encoded_size).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let covered: u64 = samples
+        .iter()
+        .filter(|s| s.depth <= depth)
+        .map(|s| s.encoded_size)
+        .sum();
+    covered as f64 / total as f64
+}
+
+fn normalize<const N: usize>(counts: &[u64; N]) -> [f64; N] {
+    let total: u64 = counts.iter().sum();
+    let mut out = [0.0; N];
+    if total == 0 {
+        return out;
+    }
+    for (o, &c) in out.iter_mut().zip(counts.iter()) {
+        *o = c as f64 / total as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn population(n: usize) -> Vec<MessageSample> {
+        let model = ShapeModel::google_2021();
+        let mut rng = StdRng::seed_from_u64(2021);
+        model.sample_population(&mut rng, n)
+    }
+
+    #[test]
+    fn figure3_anchors_hold() {
+        let w = ShapeModel::google_2021().size_bucket_weights;
+        let total: f64 = w.iter().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert!((w[0] / total - 0.24).abs() < 1e-9, "24% <= 8B");
+        assert!(((w[0] + w[1]) / total - 0.56).abs() < 1e-9, "56% <= 32B");
+        let le512: f64 = w[..6].iter().sum::<f64>() / total;
+        assert!((le512 - 0.93).abs() < 1e-9, "93% <= 512B");
+    }
+
+    #[test]
+    fn figure3_large_bucket_carries_more_bytes() {
+        // §3.5: the [32769-inf] bucket holds >=13.7x the bytes of [0-8].
+        let model = ShapeModel::google_2021();
+        let small = model.size_bucket_weights[0] * bucket_midpoint(0) as f64;
+        let large = model.size_bucket_weights[9] * bucket_midpoint(9) as f64;
+        assert!(large >= 13.7 * small, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn figure4a_varint_majority() {
+        // >56% of fields are varint-like.
+        let samples = population(4000);
+        let shares = estimate_field_count_shares(&samples);
+        let varint_share: f64 = TRACKED_TYPES
+            .iter()
+            .zip(shares.iter())
+            .filter(|(t, _)| t.perf_class() == Some(PerfClass::VarintLike))
+            .map(|(_, &s)| s)
+            .sum();
+        assert!(varint_share > 0.5, "varint share {varint_share}");
+    }
+
+    #[test]
+    fn figure4b_bytes_dominate_volume() {
+        // Strings and bytes constitute >92% of message bytes fleet-wide.
+        let samples = population(4000);
+        let shares = estimate_field_bytes_shares(&samples);
+        let bytes_share = shares[0] + shares[1];
+        assert!(bytes_share > 0.85, "bytes-like volume share {bytes_share}");
+    }
+
+    #[test]
+    fn figure4c_small_fields_dominate_count() {
+        let samples = population(4000);
+        let hist = estimate_bytes_field_size_histogram(&samples);
+        assert!(hist[0] + hist[1] > 0.5, "small bytes fields dominate: {hist:?}");
+    }
+
+    #[test]
+    fn size_histogram_recovers_model() {
+        let model = ShapeModel::google_2021();
+        let samples = population(30_000);
+        let hist = estimate_size_histogram(&samples);
+        let total: f64 = model.size_bucket_weights.iter().sum();
+        for (i, (&got, &weight)) in hist.iter().zip(model.size_bucket_weights.iter()).enumerate() {
+            let truth = weight / total;
+            assert!((got - truth).abs() < 0.02, "bucket {i}: {got} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn depth_coverage_matches_section_3_8() {
+        let samples = population(30_000);
+        assert!(bytes_coverage_at_depth(&samples, 12) > 0.99);
+        assert!(bytes_coverage_at_depth(&samples, 25) > 0.999);
+        assert!(samples.iter().all(|s| s.depth < 100));
+    }
+
+    #[test]
+    fn density_is_present_over_span() {
+        let samples = population(100);
+        for s in &samples {
+            assert!(s.field_number_span >= s.present_fields);
+            assert!(s.density() <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Deterministic benchmark generation: schema synthesis + message
+//! population from a fitted [`crate::ShapeParams`].
+
+use protoacc_runtime::{MessageValue, Value};
+use protoacc_schema::{FieldType, Label, MessageId, Schema, SchemaBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::shape::SHAPE_TYPES;
+use crate::ServiceProfile;
+
+/// A generated benchmark: the synthesized schema plus a population of
+/// messages representative of the service.
+#[derive(Debug, Clone)]
+pub struct GeneratedBench {
+    /// The profile this benchmark represents.
+    pub profile: ServiceProfile,
+    /// The synthesized schema (root type plus nested types).
+    pub schema: Schema,
+    /// The root message type.
+    pub type_id: MessageId,
+    /// The populated messages.
+    pub messages: Vec<MessageValue>,
+}
+
+impl GeneratedBench {
+    /// Renders the synthesized schema as proto2 source — what the published
+    /// HyperProtoBench ships as per-service `.proto` files.
+    pub fn proto_source(&self) -> String {
+        protoacc_schema::render_proto(&self.schema)
+    }
+
+    /// Total encoded size of the population (wire bytes the benchmark
+    /// processes per pass).
+    pub fn total_wire_bytes(&self) -> usize {
+        self.messages
+            .iter()
+            .map(|m| {
+                protoacc_runtime::reference::encoded_len(m, &self.schema)
+                    .expect("generated message encodes")
+            })
+            .sum()
+    }
+}
+
+/// Deterministic benchmark generator.
+#[derive(Debug)]
+pub struct Generator {
+    profile: ServiceProfile,
+    rng: StdRng,
+}
+
+/// Each nesting level carries at most this many distinct message types so
+/// schema size stays bounded while still exercising type variety.
+const TYPES_PER_LEVEL: usize = 2;
+
+impl Generator {
+    /// Creates a generator for a service profile with a fixed seed.
+    pub fn new(profile: ServiceProfile, seed: u64) -> Self {
+        Generator {
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates the schema and `count` populated messages.
+    pub fn generate(mut self, count: usize) -> GeneratedBench {
+        let (schema, type_id) = self.synthesize_schema();
+        let messages = (0..count)
+            .map(|_| self.populate(&schema, type_id, 1))
+            .collect();
+        GeneratedBench {
+            profile: self.profile,
+            schema,
+            type_id,
+            messages,
+        }
+    }
+
+    /// Synthesizes a schema: a root type at level 0 and up to
+    /// [`TYPES_PER_LEVEL`] types per deeper level, with sub-message fields
+    /// always referencing the next level down (bounding recursion at
+    /// `max_depth`).
+    fn synthesize_schema(&mut self) -> (Schema, MessageId) {
+        let shape = self.profile.shape.clone();
+        let mut b = SchemaBuilder::new();
+        // Declare all levels first so references resolve.
+        let mut levels: Vec<Vec<MessageId>> = Vec::new();
+        for depth in 0..shape.max_depth {
+            let n = if depth == 0 { 1 } else { TYPES_PER_LEVEL };
+            levels.push(
+                (0..n)
+                    .map(|i| {
+                        // Proto identifiers cannot contain hyphens.
+                        let base = self.profile.name.replace('-', "_");
+                        b.declare(format!("{base}_L{depth}T{i}"))
+                    })
+                    .collect(),
+            );
+        }
+        for depth in 0..shape.max_depth {
+            let level_ids = levels[depth].clone();
+            for id in level_ids {
+                // Deeper types shrink so schemas stay realistic.
+                let mean = (shape.mean_fields / (depth as f64 + 1.0)).max(2.0);
+                let n_fields = self.sample_count(mean).max(1);
+                let mut number = 0u32;
+                let mut mb = b.message(id);
+                for f in 0..n_fields {
+                    // Field-number gaps drive Figure 7 density.
+                    number += 1 + self.sample_gap(shape.number_gap_fraction);
+                    let is_sub = depth + 1 < shape.max_depth
+                        && self.rng.gen_bool(shape.submessage_fraction.min(0.9));
+                    let repeated = self.rng.gen_bool(shape.repeated_fraction.min(0.9));
+                    if is_sub {
+                        let next = &levels[depth + 1];
+                        let sub = next[self.rng.gen_range(0..next.len())];
+                        let label = if repeated { Label::Repeated } else { Label::Optional };
+                        mb.field(&format!("f{f}"), FieldType::Message(sub), number, label, false);
+                    } else {
+                        let ft = self.sample_type();
+                        let packed = repeated && ft.is_packable() && self.rng.gen_bool(0.6);
+                        let label = if repeated { Label::Repeated } else { Label::Optional };
+                        mb.field(&format!("f{f}"), ft, number, label, packed);
+                    }
+                }
+            }
+        }
+        let schema = b.build().expect("generated schema is valid");
+        let root = schema
+            .id_by_name(&format!("{}_L0T0", self.profile.name.replace('-', "_")))
+            .expect("root type exists");
+        (schema, root)
+    }
+
+    /// Populates one message instance of `type_id`.
+    fn populate(&mut self, schema: &Schema, type_id: MessageId, depth: usize) -> MessageValue {
+        let shape = self.profile.shape.clone();
+        let mut m = MessageValue::new(type_id);
+        let descriptor = schema.message(type_id);
+        let fields: Vec<_> = descriptor
+            .fields()
+            .iter()
+            .map(|f| (f.number(), f.field_type(), f.is_repeated()))
+            .collect();
+        for (number, field_type, repeated) in fields {
+            if !self.rng.gen_bool(shape.populated_fraction.clamp(0.05, 1.0)) {
+                continue;
+            }
+            if repeated {
+                let len = self.sample_count(shape.mean_repeated_len).max(1);
+                let values = (0..len)
+                    .map(|_| self.sample_value(schema, field_type, depth))
+                    .collect();
+                m.set_repeated(number, values);
+            } else {
+                let value = self.sample_value(schema, field_type, depth);
+                m.set_unchecked(number, value);
+            }
+        }
+        m
+    }
+
+    fn sample_value(&mut self, schema: &Schema, field_type: FieldType, depth: usize) -> Value {
+        let shape = self.profile.shape.clone();
+        match field_type {
+            FieldType::Bool => Value::Bool(self.rng.gen()),
+            FieldType::Int32 => Value::Int32(self.skewed_i64() as i32),
+            FieldType::Int64 => Value::Int64(self.skewed_i64()),
+            FieldType::UInt32 => Value::UInt32(self.skewed_u64() as u32),
+            FieldType::UInt64 => Value::UInt64(self.skewed_u64()),
+            FieldType::SInt32 => Value::SInt32(self.skewed_i64() as i32),
+            FieldType::SInt64 => Value::SInt64(self.skewed_i64()),
+            FieldType::Fixed32 => Value::Fixed32(self.rng.gen()),
+            FieldType::Fixed64 => Value::Fixed64(self.rng.gen()),
+            FieldType::SFixed32 => Value::SFixed32(self.rng.gen()),
+            FieldType::SFixed64 => Value::SFixed64(self.rng.gen()),
+            FieldType::Float => Value::Float(self.rng.gen::<f32>() * 100.0),
+            FieldType::Double => Value::Double(self.rng.gen::<f64>() * 100.0),
+            FieldType::Enum => Value::Enum(self.rng.gen_range(0..16)),
+            FieldType::String => Value::Str(self.sample_text()),
+            FieldType::Bytes => {
+                let len = self.sample_payload_len();
+                let mut buf = vec![0u8; len];
+                self.rng.fill(&mut buf[..]);
+                Value::Bytes(buf)
+            }
+            FieldType::Message(sub) => {
+                let _ = shape;
+                Value::Message(self.populate(schema, sub, depth + 1))
+            }
+        }
+    }
+
+    /// Varint values with realistic magnitude skew: mostly small, a long
+    /// tail of large values (matching the fleet varint-length histogram).
+    fn skewed_u64(&mut self) -> u64 {
+        let bits = self.rng.gen_range(0..50);
+        self.rng.gen::<u64>() >> (63 - bits.min(63))
+    }
+
+    fn skewed_i64(&mut self) -> i64 {
+        let v = self.skewed_u64() as i64;
+        if self.rng.gen_bool(0.15) {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn sample_payload_len(&mut self) -> usize {
+        let shape = &self.profile.shape;
+        let mean = if self.rng.gen_bool(shape.long_string_fraction.min(1.0)) {
+            shape.mean_string_len * 32.0
+        } else {
+            shape.mean_string_len
+        };
+        // Exponential-ish around the mean.
+        let u: f64 = self.rng.gen_range(0.05f64..1.0);
+        ((-u.ln()) * mean).round().clamp(0.0, 1_000_000.0) as usize
+    }
+
+    fn sample_text(&mut self) -> String {
+        let len = self.sample_payload_len();
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            s.push(self.rng.gen_range(b'a'..=b'z') as char);
+        }
+        s
+    }
+
+    fn sample_type(&mut self) -> FieldType {
+        let weights = self.profile.shape.type_weights;
+        let total: f64 = weights.iter().sum();
+        let mut x = self.rng.gen_range(0.0..total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return SHAPE_TYPES[i];
+            }
+            x -= w;
+        }
+        SHAPE_TYPES[SHAPE_TYPES.len() - 1]
+    }
+
+    fn sample_count(&mut self, mean: f64) -> u32 {
+        // Uniform on [mean/2, 3*mean/2]: cheap, bounded, mean-preserving.
+        let lo = (mean * 0.5).max(1.0);
+        let hi = (mean * 1.5).max(lo + 1.0);
+        self.rng.gen_range(lo..hi).round() as u32
+    }
+
+    fn sample_gap(&mut self, gap_fraction: f64) -> u32 {
+        // Geometric-ish gaps: expected extra slots = gap/(1-gap).
+        let mut extra = 0u32;
+        while extra < 32 && self.rng.gen_bool(gap_fraction.clamp(0.0, 0.95)) {
+            extra += 1;
+        }
+        extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShapeParams;
+    use protoacc_runtime::reference;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Generator::new(ServiceProfile::bench(1), 7).generate(8);
+        let b = Generator::new(ServiceProfile::bench(1), 7).generate(8);
+        assert_eq!(a.messages.len(), b.messages.len());
+        for (x, y) in a.messages.iter().zip(&b.messages) {
+            assert!(x.bits_eq(y));
+        }
+        let c = Generator::new(ServiceProfile::bench(1), 8).generate(8);
+        let same = a
+            .messages
+            .iter()
+            .zip(&c.messages)
+            .all(|(x, y)| x.bits_eq(y));
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn generated_messages_validate_and_encode() {
+        for i in 0..crate::BENCH_COUNT {
+            let bench = Generator::new(ServiceProfile::bench(i), 42).generate(6);
+            for m in &bench.messages {
+                m.validate(&bench.schema).expect("valid against schema");
+                let wire = reference::encode(m, &bench.schema).expect("encodes");
+                let back =
+                    reference::decode(&wire, bench.type_id, &bench.schema).expect("decodes");
+                assert!(back.bits_eq(m));
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_produce_distinct_workloads() {
+        let ads = Generator::new(ServiceProfile::bench(0), 1).generate(24);
+        let storage = Generator::new(ServiceProfile::bench(2), 1).generate(24);
+        let ads_bytes = ads.total_wire_bytes() / 24;
+        let storage_bytes = storage.total_wire_bytes() / 24;
+        assert!(
+            storage_bytes > 5 * ads_bytes,
+            "storage rows ({storage_bytes} B) should dwarf ads messages ({ads_bytes} B)"
+        );
+    }
+
+    #[test]
+    fn fit_then_generate_round_trips_shape() {
+        // §5.2 methodology check: fitting the generated population should
+        // approximately recover the profile's parameters.
+        let bench = Generator::new(ServiceProfile::bench(2), 3).generate(48);
+        let fitted = ShapeParams::fit(&bench.messages);
+        let truth = &bench.profile.shape;
+        assert!(
+            (fitted.bytes_like_weight() - truth.bytes_like_weight()).abs() < 0.25,
+            "bytes-like weight {} vs {}",
+            fitted.bytes_like_weight(),
+            truth.bytes_like_weight()
+        );
+        // Blob-heavy service: fitted mean string length is large.
+        assert!(fitted.mean_string_len > 200.0, "{}", fitted.mean_string_len);
+    }
+
+    #[test]
+    fn exported_proto_source_reparses() {
+        // §5.2: "the generator produces a .proto file with message
+        // definitions representative of those used in the production
+        // service" — our export must re-parse to the same structure.
+        for i in 0..crate::BENCH_COUNT {
+            let bench = Generator::new(ServiceProfile::bench(i), 9).generate(1);
+            let source = bench.proto_source();
+            let back = protoacc_schema::parse_proto(&source)
+                .unwrap_or_else(|e| panic!("bench{i}: {e}\n{source}"));
+            assert_eq!(back.len(), bench.schema.len(), "bench{i}");
+            for (_, m) in bench.schema.iter() {
+                let m2 = back.message_by_name(m.name()).expect("type preserved");
+                assert_eq!(m2.fields().len(), m.fields().len());
+            }
+        }
+    }
+
+    #[test]
+    fn nesting_respects_max_depth() {
+        let bench = Generator::new(ServiceProfile::bench(0), 5).generate(16);
+        let max_depth = bench.profile.shape.max_depth;
+        for m in &bench.messages {
+            assert!(m.depth() <= max_depth, "{} > {max_depth}", m.depth());
+        }
+    }
+}

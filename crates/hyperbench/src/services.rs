@@ -1,0 +1,177 @@
+//! The six service profiles behind bench0..bench5.
+//!
+//! The paper selects the five heaviest deserialization users and five
+//! heaviest serialization users fleet-wide; the published suite has six
+//! benchmarks. The profiles here are synthetic stand-ins, each stressing a
+//! workload class hyperscale services are known for, spanning the regimes
+//! the fleet study surfaced (varint-dominated small messages through
+//! blob-dominated storage rows).
+
+use crate::ShapeParams;
+
+/// A named service profile: the fitted shape parameters plus identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceProfile {
+    /// Benchmark index (0..=5).
+    pub index: usize,
+    /// Descriptive name.
+    pub name: &'static str,
+    /// The fitted distribution.
+    pub shape: ShapeParams,
+}
+
+impl ServiceProfile {
+    /// The profile for `bench<i>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 5`.
+    pub fn bench(index: usize) -> ServiceProfile {
+        let (name, shape) = match index {
+            // Ads/query serving: many tiny varint+enum messages, deep
+            // nesting, sparse presence.
+            0 => (
+                "ads-serving",
+                ShapeParams {
+                    type_weights: [0.22, 0.18, 0.08, 0.04, 0.12, 0.16, 0.02, 0.03, 0.12, 0.03],
+                    mean_fields: 14.0,
+                    populated_fraction: 0.35,
+                    mean_string_len: 18.0,
+                    long_string_fraction: 0.01,
+                    submessage_fraction: 0.18,
+                    max_depth: 6,
+                    repeated_fraction: 0.10,
+                    mean_repeated_len: 3.0,
+                    number_gap_fraction: 0.5,
+                },
+            ),
+            // Web search indexing: document snippets, long strings.
+            1 => (
+                "search-indexing",
+                ShapeParams {
+                    type_weights: [0.10, 0.08, 0.05, 0.02, 0.04, 0.06, 0.02, 0.03, 0.45, 0.15],
+                    mean_fields: 10.0,
+                    populated_fraction: 0.6,
+                    mean_string_len: 420.0,
+                    long_string_fraction: 0.12,
+                    submessage_fraction: 0.10,
+                    max_depth: 4,
+                    repeated_fraction: 0.14,
+                    mean_repeated_len: 4.0,
+                    number_gap_fraction: 0.3,
+                },
+            ),
+            // Storage/log rows: large opaque blobs, flat schemas.
+            2 => (
+                "storage-rows",
+                ShapeParams {
+                    type_weights: [0.08, 0.10, 0.06, 0.02, 0.02, 0.04, 0.01, 0.02, 0.20, 0.45],
+                    mean_fields: 7.0,
+                    populated_fraction: 0.8,
+                    mean_string_len: 2600.0,
+                    long_string_fraction: 0.25,
+                    submessage_fraction: 0.04,
+                    max_depth: 2,
+                    repeated_fraction: 0.08,
+                    mean_repeated_len: 2.0,
+                    number_gap_fraction: 0.2,
+                },
+            ),
+            // ML feature stores: packed repeated floats/doubles.
+            3 => (
+                "ml-features",
+                ShapeParams {
+                    type_weights: [0.10, 0.08, 0.06, 0.02, 0.03, 0.05, 0.28, 0.24, 0.10, 0.04],
+                    mean_fields: 9.0,
+                    populated_fraction: 0.7,
+                    mean_string_len: 24.0,
+                    long_string_fraction: 0.02,
+                    submessage_fraction: 0.08,
+                    max_depth: 3,
+                    repeated_fraction: 0.45,
+                    mean_repeated_len: 24.0,
+                    number_gap_fraction: 0.25,
+                },
+            ),
+            // RPC control/metadata: small strings, enums, booleans.
+            4 => (
+                "rpc-metadata",
+                ShapeParams {
+                    type_weights: [0.16, 0.10, 0.08, 0.02, 0.14, 0.14, 0.01, 0.02, 0.28, 0.05],
+                    mean_fields: 18.0,
+                    populated_fraction: 0.3,
+                    mean_string_len: 32.0,
+                    long_string_fraction: 0.02,
+                    submessage_fraction: 0.14,
+                    max_depth: 5,
+                    repeated_fraction: 0.08,
+                    mean_repeated_len: 3.0,
+                    number_gap_fraction: 0.6,
+                },
+            ),
+            // Analytics rows: wide mixed-type records.
+            5 => (
+                "analytics-rows",
+                ShapeParams {
+                    type_weights: [0.14, 0.14, 0.10, 0.04, 0.06, 0.08, 0.06, 0.10, 0.20, 0.08],
+                    mean_fields: 30.0,
+                    populated_fraction: 0.55,
+                    mean_string_len: 64.0,
+                    long_string_fraction: 0.05,
+                    submessage_fraction: 0.10,
+                    max_depth: 3,
+                    repeated_fraction: 0.16,
+                    mean_repeated_len: 6.0,
+                    number_gap_fraction: 0.35,
+                },
+            ),
+            other => panic!("HyperProtoBench has benchmarks 0..=5, not {other}"),
+        };
+        ServiceProfile { index, name, shape }
+    }
+
+    /// All six profiles.
+    pub fn all() -> Vec<ServiceProfile> {
+        (0..crate::BENCH_COUNT).map(ServiceProfile::bench).collect()
+    }
+
+    /// The benchmark's display label (`bench0`..`bench5`).
+    pub fn label(&self) -> String {
+        format!("bench{}", self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_distinct_profiles() {
+        let all = ServiceProfile::all();
+        assert_eq!(all.len(), 6);
+        for (i, p) in all.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert_eq!(p.label(), format!("bench{i}"));
+            let total: f64 = p.shape.type_weights.iter().sum();
+            assert!((total - 1.0).abs() < 0.01, "{}: weights sum {total}", p.name);
+        }
+        // Profiles genuinely differ.
+        assert_ne!(all[0].shape, all[2].shape);
+    }
+
+    #[test]
+    fn profiles_span_the_fleet_regimes() {
+        let all = ServiceProfile::all();
+        // Storage rows are blob-heavy; ads are varint-heavy.
+        assert!(all[2].shape.bytes_like_weight() > 0.6);
+        assert!(all[0].shape.bytes_like_weight() < 0.2);
+        // ML features lean on repeated numerics.
+        assert!(all[3].shape.repeated_fraction > 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=5")]
+    fn index_out_of_range_panics() {
+        ServiceProfile::bench(6);
+    }
+}

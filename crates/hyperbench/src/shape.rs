@@ -1,0 +1,256 @@
+//! Fitted message-shape distributions.
+
+use protoacc_runtime::{FieldPayload, MessageValue, Value};
+use protoacc_schema::{FieldType, PerfClass};
+
+/// The distribution family the paper's internal generator fits to observed
+/// service shape data.
+///
+/// All weights are relative; see [`crate::Generator`] for how they are
+/// sampled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeParams {
+    /// Relative weights over scalar field types (indexed as
+    /// [`SHAPE_TYPES`]).
+    pub type_weights: [f64; 10],
+    /// Mean number of defined fields per message type.
+    pub mean_fields: f64,
+    /// Fraction of defined fields populated in a typical instance
+    /// (presence sparsity; §3.9 reports <52% on average).
+    pub populated_fraction: f64,
+    /// Mean string/bytes payload length.
+    pub mean_string_len: f64,
+    /// Tail weight: fraction of string/bytes fields drawn from a long tail
+    /// (~32x the mean).
+    pub long_string_fraction: f64,
+    /// Probability that a field is a sub-message.
+    pub submessage_fraction: f64,
+    /// Maximum schema nesting depth.
+    pub max_depth: usize,
+    /// Probability that a field is repeated.
+    pub repeated_fraction: f64,
+    /// Mean elements per repeated field.
+    pub mean_repeated_len: f64,
+    /// Fraction of field-number space left as gaps (drives Figure 7
+    /// density).
+    pub number_gap_fraction: f64,
+}
+
+/// The scalar types the shape family distinguishes.
+pub const SHAPE_TYPES: [FieldType; 10] = [
+    FieldType::Int32,
+    FieldType::Int64,
+    FieldType::UInt64,
+    FieldType::SInt64,
+    FieldType::Bool,
+    FieldType::Enum,
+    FieldType::Float,
+    FieldType::Double,
+    FieldType::String,
+    FieldType::Bytes,
+];
+
+impl ShapeParams {
+    /// Re-fits shape parameters from an observed message population — the
+    /// "fit a distribution to the input data" step of §5.2.
+    ///
+    /// Messages are walked recursively; sub-message and repeated rates,
+    /// type mix, and payload sizes are estimated from the values present.
+    pub fn fit(messages: &[MessageValue]) -> ShapeParams {
+        let mut counts = [0f64; 10];
+        let mut submessages = 0f64;
+        let mut repeated = 0f64;
+        let mut fields = 0f64;
+        let mut string_bytes = 0f64;
+        let mut strings = 0f64;
+        let mut long_strings = 0f64;
+        let mut repeated_elems = 0f64;
+        let mut max_depth = 1usize;
+        let mut top_fields = 0f64;
+
+        #[allow(clippy::too_many_arguments)]
+        fn walk(
+            m: &MessageValue,
+            depth: usize,
+            counts: &mut [f64; 10],
+            submessages: &mut f64,
+            repeated: &mut f64,
+            fields: &mut f64,
+            string_bytes: &mut f64,
+            strings: &mut f64,
+            long_strings: &mut f64,
+            repeated_elems: &mut f64,
+            max_depth: &mut usize,
+        ) {
+            *max_depth = (*max_depth).max(depth);
+            for (_, payload) in m.iter() {
+                *fields += 1.0;
+                if let FieldPayload::Repeated(vs) = payload {
+                    *repeated += 1.0;
+                    *repeated_elems += vs.len() as f64;
+                }
+                for v in payload.values() {
+                    match v {
+                        Value::Message(sub) => {
+                            *submessages += 1.0;
+                            walk(
+                                sub,
+                                depth + 1,
+                                counts,
+                                submessages,
+                                repeated,
+                                fields,
+                                string_bytes,
+                                strings,
+                                long_strings,
+                                repeated_elems,
+                                max_depth,
+                            );
+                        }
+                        other => {
+                            if let Some(i) = shape_type_index(other) {
+                                counts[i] += 1.0;
+                            }
+                            match other {
+                                Value::Str(s) => {
+                                    *strings += 1.0;
+                                    *string_bytes += s.len() as f64;
+                                    if s.len() > 512 {
+                                        *long_strings += 1.0;
+                                    }
+                                }
+                                Value::Bytes(b) => {
+                                    *strings += 1.0;
+                                    *string_bytes += b.len() as f64;
+                                    if b.len() > 512 {
+                                        *long_strings += 1.0;
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        for m in messages {
+            top_fields += m.present_fields() as f64;
+            walk(
+                m,
+                1,
+                &mut counts,
+                &mut submessages,
+                &mut repeated,
+                &mut fields,
+                &mut string_bytes,
+                &mut strings,
+                &mut long_strings,
+                &mut repeated_elems,
+                &mut max_depth,
+            );
+        }
+        let fields_nz = fields.max(1.0);
+        let type_total: f64 = counts.iter().sum::<f64>().max(1.0);
+        let mut type_weights = [0.0; 10];
+        for (w, &c) in type_weights.iter_mut().zip(counts.iter()) {
+            *w = c / type_total;
+        }
+        ShapeParams {
+            type_weights,
+            mean_fields: (top_fields / messages.len().max(1) as f64).max(1.0),
+            populated_fraction: 0.5,
+            mean_string_len: string_bytes / strings.max(1.0),
+            long_string_fraction: long_strings / strings.max(1.0),
+            submessage_fraction: submessages / fields_nz,
+            max_depth,
+            repeated_fraction: repeated / fields_nz,
+            mean_repeated_len: repeated_elems / repeated.max(1.0),
+            number_gap_fraction: 0.4,
+        }
+    }
+
+    /// Expected bytes-like share of the type mix (used in tests).
+    pub fn bytes_like_weight(&self) -> f64 {
+        SHAPE_TYPES
+            .iter()
+            .zip(self.type_weights.iter())
+            .filter(|(t, _)| t.perf_class() == Some(PerfClass::BytesLike))
+            .map(|(_, &w)| w)
+            .sum()
+    }
+}
+
+fn shape_type_index(v: &Value) -> Option<usize> {
+    let ft = match v {
+        Value::Int32(_) => FieldType::Int32,
+        Value::Int64(_) => FieldType::Int64,
+        Value::UInt64(_) => FieldType::UInt64,
+        Value::SInt64(_) => FieldType::SInt64,
+        Value::Bool(_) => FieldType::Bool,
+        Value::Enum(_) => FieldType::Enum,
+        Value::Float(_) => FieldType::Float,
+        Value::Double(_) => FieldType::Double,
+        Value::Str(_) => FieldType::String,
+        Value::Bytes(_) => FieldType::Bytes,
+        _ => return None,
+    };
+    SHAPE_TYPES.iter().position(|&t| t == ft)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_schema::SchemaBuilder;
+
+    #[test]
+    fn fit_recovers_type_mix_and_sizes() {
+        let mut b = SchemaBuilder::new();
+        let id = b.define("M", |m| {
+            m.optional("a", FieldType::Int32, 1)
+                .optional("s", FieldType::String, 2)
+                .repeated("r", FieldType::Double, 3);
+        });
+        let _ = b.build().unwrap();
+        let mut messages = Vec::new();
+        for i in 0..10 {
+            let mut m = MessageValue::new(id);
+            m.set(1, Value::Int32(i)).unwrap();
+            m.set(2, Value::Str("x".repeat(100))).unwrap();
+            m.set_repeated(3, vec![Value::Double(1.0); 4]);
+            messages.push(m);
+        }
+        let params = ShapeParams::fit(&messages);
+        assert!((params.mean_string_len - 100.0).abs() < 1e-9);
+        assert!((params.mean_repeated_len - 4.0).abs() < 1e-9);
+        assert!(params.submessage_fraction.abs() < 1e-9);
+        assert!((params.mean_fields - 3.0).abs() < 1e-9);
+        // Type mix: 1 int32, 1 string, 4 doubles per message.
+        assert!(params.type_weights[0] > 0.0);
+        assert!((params.bytes_like_weight() - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_sees_nested_messages() {
+        let mut b = SchemaBuilder::new();
+        let inner = b.declare("I");
+        b.message(inner).optional("x", FieldType::Bool, 1);
+        let outer = b.declare("O");
+        b.message(outer).optional("i", FieldType::Message(inner), 1);
+        let _ = b.build().unwrap();
+        let mut sub = MessageValue::new(inner);
+        sub.set(1, Value::Bool(true)).unwrap();
+        let mut m = MessageValue::new(outer);
+        m.set(1, Value::Message(sub)).unwrap();
+        let params = ShapeParams::fit(&[m]);
+        assert_eq!(params.max_depth, 2);
+        assert!(params.submessage_fraction > 0.0);
+    }
+
+    #[test]
+    fn fit_of_empty_population_is_sane() {
+        let params = ShapeParams::fit(&[]);
+        assert!(params.mean_fields >= 1.0);
+        assert!(params.submessage_fraction == 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests for the memory substrate: storage correctness under
+//! arbitrary access patterns, and cache/TLB behavioral invariants.
+
+use proptest::prelude::*;
+use protoacc_mem::{AccessKind, CacheConfig, CacheModel, GuestMemory, MemConfig, MemSystem};
+
+proptest! {
+    /// Guest memory behaves like a flat byte array: the last write to each
+    /// byte wins, unwritten bytes read zero.
+    #[test]
+    fn guest_memory_matches_flat_model(
+        writes in prop::collection::vec((0u64..1 << 16, prop::collection::vec(any::<u8>(), 1..64)), 0..24),
+        probe in 0u64..1 << 16,
+    ) {
+        let mut mem = GuestMemory::new();
+        let mut model = vec![0u8; (1 << 16) + 64];
+        for (addr, bytes) in &writes {
+            mem.write_bytes(*addr, bytes);
+            model[*addr as usize..*addr as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        let mut buf = [0u8; 32];
+        mem.read_bytes(probe, &mut buf);
+        prop_assert_eq!(&buf[..], &model[probe as usize..probe as usize + 32]);
+    }
+
+    /// Immediately repeating any access costs no more than the first time
+    /// (caches only get warmer).
+    #[test]
+    fn repeat_access_is_never_slower(
+        addrs in prop::collection::vec((0u64..1 << 20, 1usize..64), 1..32),
+    ) {
+        let mut sys = MemSystem::new(MemConfig::default());
+        for (addr, len) in addrs {
+            let first = sys.access(addr, len, AccessKind::Read);
+            let second = sys.access(addr, len, AccessKind::Read);
+            prop_assert!(second <= first, "addr {addr} len {len}: {second} > {first}");
+        }
+    }
+
+    /// A cache with N ways never evicts among <= N distinct lines of one set.
+    #[test]
+    fn no_eviction_within_associativity(lines in prop::collection::vec(0u64..8, 1..16)) {
+        // Direct set mapping: 1 set, 8 ways -> any 8 distinct lines co-reside.
+        let mut cache = CacheModel::new(CacheConfig::new(8 * 64, 8, 64));
+        let mut seen = Vec::new();
+        for line in lines {
+            let hit = cache.access_line(line);
+            prop_assert_eq!(hit, seen.contains(&line), "line {}", line);
+            if !seen.contains(&line) {
+                seen.push(line);
+            }
+        }
+    }
+
+    /// Streaming any buffer costs at least the bus-occupancy bound and at
+    /// most the fully-serialized bound.
+    #[test]
+    fn stream_cost_is_bounded(addr in 0u64..1 << 24, len in 1usize..1 << 16) {
+        let mut sys = MemSystem::new(MemConfig::default());
+        let cost = sys.stream(addr, len, AccessKind::Read);
+        let bus_floor = (len as u64).div_ceil(16);
+        prop_assert!(cost >= bus_floor, "cost {cost} < bus floor {bus_floor}");
+        let lines = (addr + len as u64 - 1) / 64 - addr / 64 + 1;
+        let ceiling = bus_floor + lines * 500 + 1000; // DRAM latency per line + walks
+        prop_assert!(cost <= ceiling, "cost {cost} > ceiling {ceiling}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Bump-pointer arena allocation in guest memory.
+//!
+//! Arena allocation (Section 2.3) reduces message construction/destruction
+//! overheads by pre-allocating a large region; individual allocations become
+//! a pointer increment. Both the software runtime ("software arenas") and
+//! the accelerator ("accelerator arenas", Section 4.3) use this mechanism;
+//! the paper's `{ser,deser}_assign_arena` instructions hand one of these to
+//! the accelerator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by arena allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArenaError {
+    /// The arena has insufficient remaining space.
+    Exhausted {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes remaining.
+        remaining: u64,
+    },
+}
+
+impl fmt::Display for ArenaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArenaError::Exhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "arena exhausted: requested {requested} bytes, {remaining} remain"
+            ),
+        }
+    }
+}
+
+impl Error for ArenaError {}
+
+/// A bump allocator over a fixed guest-memory region.
+///
+/// ```rust
+/// use protoacc_runtime::BumpArena;
+/// let mut arena = BumpArena::new(0x10_0000, 4096);
+/// let a = arena.alloc(24, 8)?;
+/// let b = arena.alloc(1, 1)?;
+/// assert_eq!(a, 0x10_0000);
+/// assert_eq!(b, a + 24);
+/// # Ok::<(), protoacc_runtime::ArenaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BumpArena {
+    base: u64,
+    len: u64,
+    cursor: u64,
+    allocations: u64,
+}
+
+impl BumpArena {
+    /// Creates an arena covering `[base, base + len)`.
+    pub fn new(base: u64, len: u64) -> Self {
+        BumpArena {
+            base,
+            len,
+            cursor: base,
+            allocations: 0,
+        }
+    }
+
+    /// Allocates `size` bytes aligned to `align` (a power of two).
+    ///
+    /// # Errors
+    ///
+    /// [`ArenaError::Exhausted`] when the region cannot satisfy the request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Result<u64, ArenaError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let aligned = (self.cursor + align - 1) & !(align - 1);
+        let end = aligned
+            .checked_add(size)
+            .ok_or(ArenaError::Exhausted {
+                requested: size,
+                remaining: self.remaining(),
+            })?;
+        if end > self.base + self.len {
+            return Err(ArenaError::Exhausted {
+                requested: size,
+                remaining: self.remaining(),
+            });
+        }
+        self.cursor = end;
+        self.allocations += 1;
+        Ok(aligned)
+    }
+
+    /// Base address of the region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Total region size in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the region has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes not yet allocated.
+    pub fn remaining(&self) -> u64 {
+        self.base + self.len - self.cursor
+    }
+
+    /// Bytes handed out so far (including alignment padding).
+    pub fn used(&self) -> u64 {
+        self.cursor - self.base
+    }
+
+    /// Number of successful allocations.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Resets the arena to empty, invalidating all prior allocations
+    /// (the O(1) bulk-free that makes arenas attractive).
+    pub fn reset(&mut self) {
+        self.cursor = self.base;
+        self.allocations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation_is_contiguous() {
+        let mut a = BumpArena::new(1000, 100);
+        assert_eq!(a.alloc(10, 1).unwrap(), 1000);
+        assert_eq!(a.alloc(10, 1).unwrap(), 1010);
+        assert_eq!(a.used(), 20);
+        assert_eq!(a.remaining(), 80);
+        assert_eq!(a.allocations(), 2);
+    }
+
+    #[test]
+    fn alignment_pads_the_cursor() {
+        let mut a = BumpArena::new(1000, 100);
+        a.alloc(3, 1).unwrap();
+        let p = a.alloc(8, 8).unwrap();
+        assert_eq!(p % 8, 0);
+        assert_eq!(p, 1008);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let mut a = BumpArena::new(0, 16);
+        a.alloc(10, 1).unwrap();
+        let err = a.alloc(10, 1).unwrap_err();
+        assert_eq!(
+            err,
+            ArenaError::Exhausted {
+                requested: 10,
+                remaining: 6
+            }
+        );
+    }
+
+    #[test]
+    fn reset_reclaims_everything() {
+        let mut a = BumpArena::new(0, 16);
+        a.alloc(16, 1).unwrap();
+        assert_eq!(a.remaining(), 0);
+        a.reset();
+        assert_eq!(a.remaining(), 16);
+        assert_eq!(a.allocations(), 0);
+        assert_eq!(a.alloc(16, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn zero_size_allocations_succeed() {
+        let mut a = BumpArena::new(8, 8);
+        let p = a.alloc(0, 8).unwrap();
+        assert_eq!(p, 8);
+        assert_eq!(a.used(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_alignment_panics() {
+        let mut a = BumpArena::new(0, 16);
+        let _ = a.alloc(1, 3);
+    }
+}

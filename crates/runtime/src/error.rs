@@ -1,0 +1,100 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::ArenaError;
+use protoacc_wire::WireError;
+
+/// Error produced by the runtime layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A value's type does not match its field descriptor.
+    TypeMismatch {
+        /// The offending field number.
+        field_number: u32,
+        /// What the schema expects.
+        expected: String,
+    },
+    /// A field number is not defined in the message type.
+    UnknownField {
+        /// The offending field number.
+        field_number: u32,
+    },
+    /// A `required` field was absent when encoding or after decoding.
+    MissingRequired {
+        /// Message type name.
+        message: String,
+        /// The missing field's number.
+        field_number: u32,
+    },
+    /// A wire-type on the input did not match the schema's expectation.
+    WireTypeMismatch {
+        /// The offending field number.
+        field_number: u32,
+    },
+    /// Wire-level failure.
+    Wire(WireError),
+    /// Arena exhaustion or misuse.
+    Arena(ArenaError),
+    /// A decoded string field was not valid UTF-8.
+    InvalidUtf8 {
+        /// The offending field number.
+        field_number: u32,
+    },
+    /// Sub-message nesting exceeded the supported depth.
+    DepthExceeded {
+        /// The depth limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::TypeMismatch {
+                field_number,
+                expected,
+            } => write!(f, "field {field_number} expects {expected}"),
+            RuntimeError::UnknownField { field_number } => {
+                write!(f, "field number {field_number} is not defined")
+            }
+            RuntimeError::MissingRequired {
+                message,
+                field_number,
+            } => write!(f, "required field {field_number} of `{message}` is missing"),
+            RuntimeError::WireTypeMismatch { field_number } => {
+                write!(f, "wire type mismatch on field {field_number}")
+            }
+            RuntimeError::Wire(e) => write!(f, "wire error: {e}"),
+            RuntimeError::Arena(e) => write!(f, "arena error: {e}"),
+            RuntimeError::InvalidUtf8 { field_number } => {
+                write!(f, "field {field_number} contains invalid UTF-8")
+            }
+            RuntimeError::DepthExceeded { limit } => {
+                write!(f, "sub-message nesting exceeded depth {limit}")
+            }
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Wire(e) => Some(e),
+            RuntimeError::Arena(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for RuntimeError {
+    fn from(e: WireError) -> Self {
+        RuntimeError::Wire(e)
+    }
+}
+
+impl From<ArenaError> for RuntimeError {
+    fn from(e: ArenaError) -> Self {
+        RuntimeError::Arena(e)
+    }
+}

@@ -1,0 +1,324 @@
+//! C++-ABI-like in-memory object layouts for message types.
+//!
+//! Section 2.1.3: users expect protobuf messages as ordinary C++ objects —
+//! scalars as primitives, strings as `std::string`, repeated fields as
+//! vectors, sub-messages behind pointers. The layout engine computes, per
+//! message type, where each of those lives inside the object, plus the
+//! sparse hasbits array the accelerator indexes directly (Section 4.2).
+//!
+//! Object layout (all little-endian, 8-byte aligned overall):
+//!
+//! ```text
+//! +0              vptr (8 B, points at the type's ADT in this model)
+//! +8              hasbits array, ceil(span/8) bytes, padded to 8 B
+//! +hasbits_end    field slots in ascending field-number order, naturally
+//!                 aligned: inline scalars by value; string/bytes, repeated,
+//!                 and sub-message fields as 8 B pointers
+//! ```
+
+use std::collections::HashMap;
+
+use protoacc_schema::{FieldType, MessageDescriptor, MessageId, ScalarKind, Schema};
+
+/// Size of the modeled `std::string` object (libstdc++ ABI: pointer, size,
+/// 16-byte union of capacity and SSO buffer).
+pub const STRING_OBJECT_BYTES: u64 = 32;
+
+/// Longest string stored inline in the SSO buffer (15 chars + NUL).
+pub const STRING_SSO_CAPACITY: usize = 15;
+
+/// Size of the modeled repeated-field header (element pointer, length in
+/// elements, capacity in elements).
+pub const REPEATED_HEADER_BYTES: u64 = 24;
+
+/// Size of the vptr slot at offset 0 of every message object.
+pub const VPTR_BYTES: u64 = 8;
+
+/// What occupies a field's slot inside the message object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// Inline scalar of the given width.
+    Scalar(ScalarKind),
+    /// 8-byte pointer to a 32-byte string object.
+    StringPtr,
+    /// 8-byte pointer to a sub-message object.
+    MessagePtr,
+    /// 8-byte pointer to a repeated-field header.
+    RepeatedPtr,
+}
+
+impl SlotKind {
+    /// Bytes the slot itself occupies inside the object.
+    pub fn size(self) -> u64 {
+        match self {
+            SlotKind::Scalar(k) => k.size() as u64,
+            SlotKind::StringPtr | SlotKind::MessagePtr | SlotKind::RepeatedPtr => 8,
+        }
+    }
+
+    /// Natural alignment of the slot.
+    pub fn align(self) -> u64 {
+        self.size().max(1)
+    }
+}
+
+/// One field's location inside its message object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSlot {
+    /// Byte offset from the start of the object.
+    pub offset: u64,
+    /// What lives there.
+    pub kind: SlotKind,
+}
+
+/// Computed layout of one message type.
+#[derive(Debug, Clone)]
+pub struct MessageLayout {
+    type_id: MessageId,
+    object_size: u64,
+    hasbits_offset: u64,
+    hasbits_bytes: u64,
+    min_field: u32,
+    max_field: u32,
+    slots: HashMap<u32, FieldSlot>,
+}
+
+impl MessageLayout {
+    /// Computes the layout for one message type.
+    pub fn compute(type_id: MessageId, descriptor: &MessageDescriptor) -> Self {
+        let span = descriptor.field_number_span() as u64;
+        let hasbits_bytes = span.div_ceil(8).div_ceil(8) * 8; // pad to 8 B
+        let hasbits_offset = VPTR_BYTES;
+        let mut cursor = hasbits_offset + hasbits_bytes;
+        let mut slots = HashMap::with_capacity(descriptor.fields().len());
+        for field in descriptor.fields() {
+            let kind = if field.is_repeated() {
+                SlotKind::RepeatedPtr
+            } else {
+                match field.field_type() {
+                    FieldType::String | FieldType::Bytes => SlotKind::StringPtr,
+                    FieldType::Message(_) => SlotKind::MessagePtr,
+                    scalar => SlotKind::Scalar(
+                        scalar.scalar_kind().expect("non-scalar handled above"),
+                    ),
+                }
+            };
+            let align = kind.align();
+            cursor = cursor.div_ceil(align) * align;
+            slots.insert(field.number(), FieldSlot {
+                offset: cursor,
+                kind,
+            });
+            cursor += kind.size();
+        }
+        let object_size = cursor.div_ceil(8) * 8;
+        MessageLayout {
+            type_id,
+            object_size,
+            hasbits_offset,
+            hasbits_bytes,
+            min_field: descriptor.min_field_number().unwrap_or(1),
+            max_field: descriptor.max_field_number().unwrap_or(0),
+            slots,
+        }
+    }
+
+    /// The message type this layout describes.
+    pub fn type_id(&self) -> MessageId {
+        self.type_id
+    }
+
+    /// Total object size in bytes (8-byte aligned).
+    pub fn object_size(&self) -> u64 {
+        self.object_size
+    }
+
+    /// Offset of the hasbits array inside the object.
+    pub fn hasbits_offset(&self) -> u64 {
+        self.hasbits_offset
+    }
+
+    /// Bytes occupied by the (padded) hasbits array.
+    pub fn hasbits_bytes(&self) -> u64 {
+        self.hasbits_bytes
+    }
+
+    /// Smallest defined field number (hasbits/ADT indexing base).
+    pub fn min_field(&self) -> u32 {
+        self.min_field
+    }
+
+    /// Largest defined field number.
+    pub fn max_field(&self) -> u32 {
+        self.max_field
+    }
+
+    /// Number of defined fields in this message type.
+    pub fn defined_fields(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// The slot for a field number, if defined.
+    pub fn slot(&self, field_number: u32) -> Option<FieldSlot> {
+        self.slots.get(&field_number).copied()
+    }
+
+    /// Sparse hasbits position of a field: `(byte offset within the hasbits
+    /// array, bit index)`. The accelerator indexes the array directly by
+    /// `field_number - min_field` (Section 4.2).
+    pub fn hasbit_position(&self, field_number: u32) -> (u64, u8) {
+        debug_assert!(field_number >= self.min_field);
+        let bit = u64::from(field_number - self.min_field);
+        (bit / 8, (bit % 8) as u8)
+    }
+}
+
+/// Layouts for every message type in a schema.
+#[derive(Debug, Clone)]
+pub struct MessageLayouts {
+    layouts: Vec<MessageLayout>,
+}
+
+impl MessageLayouts {
+    /// Computes layouts for all message types in `schema`.
+    pub fn compute(schema: &Schema) -> Self {
+        MessageLayouts {
+            layouts: schema
+                .iter()
+                .map(|(id, m)| MessageLayout::compute(id, m))
+                .collect(),
+        }
+    }
+
+    /// The layout of one message type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from the schema these layouts were computed for.
+    pub fn layout(&self, id: MessageId) -> &MessageLayout {
+        &self.layouts[id.index()]
+    }
+
+    /// Iterates all layouts.
+    pub fn iter(&self) -> impl Iterator<Item = &MessageLayout> {
+        self.layouts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_schema::{FieldType, SchemaBuilder};
+
+    fn layout_for(build: impl FnOnce(&mut protoacc_schema::MessageBuilder<'_>)) -> MessageLayout {
+        let mut b = SchemaBuilder::new();
+        let id = b.define("M", build);
+        let schema = b.build().unwrap();
+        MessageLayout::compute(id, schema.message_by_name("M").unwrap())
+    }
+
+    #[test]
+    fn vptr_then_hasbits_then_fields() {
+        let l = layout_for(|m| {
+            m.optional("a", FieldType::Int64, 1)
+                .optional("b", FieldType::Int32, 2);
+        });
+        assert_eq!(l.hasbits_offset(), 8);
+        assert_eq!(l.hasbits_bytes(), 8); // span 2 -> 1 byte -> padded to 8
+        assert_eq!(l.slot(1).unwrap().offset, 16);
+        assert_eq!(l.slot(2).unwrap().offset, 24);
+        assert_eq!(l.object_size(), 32);
+    }
+
+    #[test]
+    fn scalars_are_naturally_aligned() {
+        let l = layout_for(|m| {
+            m.optional("flag", FieldType::Bool, 1)
+                .optional("wide", FieldType::Double, 2)
+                .optional("narrow", FieldType::Int32, 3);
+        });
+        let flag = l.slot(1).unwrap();
+        let wide = l.slot(2).unwrap();
+        let narrow = l.slot(3).unwrap();
+        assert_eq!(flag.kind, SlotKind::Scalar(protoacc_schema::ScalarKind::Bool));
+        assert_eq!(wide.offset % 8, 0);
+        assert_eq!(narrow.offset % 4, 0);
+        assert!(flag.offset < wide.offset && wide.offset < narrow.offset);
+    }
+
+    #[test]
+    fn pointer_slots_for_outofline_fields() {
+        let mut b = SchemaBuilder::new();
+        let inner = b.declare("Inner");
+        b.message(inner).optional("x", FieldType::Bool, 1);
+        let outer = b.declare("Outer");
+        b.message(outer)
+            .optional("s", FieldType::String, 1)
+            .optional("sub", FieldType::Message(inner), 2)
+            .repeated("r", FieldType::Int32, 3)
+            .repeated("rs", FieldType::String, 4);
+        let schema = b.build().unwrap();
+        let l = MessageLayout::compute(outer, schema.message(outer));
+        assert_eq!(l.slot(1).unwrap().kind, SlotKind::StringPtr);
+        assert_eq!(l.slot(2).unwrap().kind, SlotKind::MessagePtr);
+        assert_eq!(l.slot(3).unwrap().kind, SlotKind::RepeatedPtr);
+        assert_eq!(l.slot(4).unwrap().kind, SlotKind::RepeatedPtr);
+        for n in 1..=4 {
+            assert_eq!(l.slot(n).unwrap().kind.size(), 8);
+        }
+    }
+
+    #[test]
+    fn sparse_hasbits_indexed_from_min_field() {
+        // Fields 1000..1008: hasbits are offset against min (Section 4.2:
+        // "to save memory in the common case where field numbers are
+        // contiguous but start at a large number").
+        let l = layout_for(|m| {
+            for n in 1000..1009 {
+                m.optional(&format!("f{n}"), FieldType::Bool, n);
+            }
+        });
+        assert_eq!(l.min_field(), 1000);
+        assert_eq!(l.hasbit_position(1000), (0, 0));
+        assert_eq!(l.hasbit_position(1007), (0, 7));
+        assert_eq!(l.hasbit_position(1008), (1, 0));
+        assert_eq!(l.hasbits_bytes(), 8); // span 9 -> 2 bytes -> padded to 8
+    }
+
+    #[test]
+    fn wide_field_span_grows_hasbits() {
+        let l = layout_for(|m| {
+            m.optional("lo", FieldType::Bool, 1)
+                .optional("hi", FieldType::Bool, 129);
+        });
+        // span 129 -> 17 bytes -> padded to 24.
+        assert_eq!(l.hasbits_bytes(), 24);
+        assert_eq!(l.hasbit_position(129), (16, 0));
+    }
+
+    #[test]
+    fn object_size_is_eight_byte_aligned() {
+        let l = layout_for(|m| {
+            m.optional("flag", FieldType::Bool, 1);
+        });
+        assert_eq!(l.object_size() % 8, 0);
+        // vptr 8 + hasbits 8 + bool 1 -> padded to 24.
+        assert_eq!(l.object_size(), 24);
+    }
+
+    #[test]
+    fn layouts_for_whole_schema() {
+        let mut b = SchemaBuilder::new();
+        b.define("A", |m| {
+            m.optional("x", FieldType::Int32, 1);
+        });
+        b.define("B", |m| {
+            m.optional("y", FieldType::Double, 5);
+        });
+        let schema = b.build().unwrap();
+        let layouts = MessageLayouts::compute(&schema);
+        assert_eq!(layouts.iter().count(), 2);
+        let b_id = schema.id_by_name("B").unwrap();
+        assert_eq!(layouts.layout(b_id).min_field(), 5);
+    }
+}

@@ -1,0 +1,64 @@
+//! Protobuf runtime substrate for the protoacc reproduction.
+//!
+//! The paper's accelerator plugs into a modified C++ protobuf library: the
+//! protoc compiler is extended to emit Accelerator Descriptor Tables (ADTs)
+//! and a sparse `hasbits` representation, while messages keep their ordinary
+//! C++ object layout (Section 4.2). This crate is the Rust stand-in for all
+//! of that:
+//!
+//! * [`MessageValue`]/[`Value`] — dynamic, schema-checked message trees
+//!   (the "user program's view" of a protobuf).
+//! * [`mod@reference`] — a host-side reference encoder/decoder, wire-compatible
+//!   with standard proto2; the ground truth every simulated system is
+//!   differentially tested against.
+//! * [`MessageLayouts`] — C++-ABI-like object layouts (vptr, sparse hasbits
+//!   array, inline scalars, 32-byte SSO strings, repeated-field headers,
+//!   sub-message pointers) in simulated guest memory.
+//! * [`hasbits`] — sparse (accelerator-indexable) and dense presence bit
+//!   fields, including the Section 3.7 cost comparison.
+//! * [`BumpArena`] — arena allocation in guest memory (Section 2.3 / 4.3).
+//! * [`AdtLayout`]/[`write_adts`] — the three-region ADTs the accelerator is
+//!   programmed with.
+//! * [`object`] — materializing [`MessageValue`]s into guest memory and
+//!   reading them back, the bridge used to drive and verify the simulators.
+//!
+//! # Example
+//!
+//! ```rust
+//! use protoacc_runtime::{reference, MessageValue, Value};
+//! use protoacc_schema::{FieldType, SchemaBuilder};
+//!
+//! let mut b = SchemaBuilder::new();
+//! let point = b.declare("Point");
+//! b.message(point)
+//!     .required("x", FieldType::Int32, 1)
+//!     .required("y", FieldType::Int32, 2);
+//! let schema = b.build()?;
+//!
+//! let mut msg = MessageValue::new(point);
+//! msg.set(1, Value::Int32(3))?;
+//! msg.set(2, Value::Int32(-4))?;
+//! let bytes = reference::encode(&msg, &schema)?;
+//! let back = reference::decode(&bytes, point, &schema)?;
+//! assert_eq!(back, msg);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adt;
+pub mod arena;
+pub mod hasbits;
+pub mod layout;
+pub mod object;
+pub mod reference;
+pub mod text;
+pub mod value;
+
+mod error;
+
+pub use adt::{write_adts, AdtLayout, AdtTables, FieldEntry, TypeCode, ADT_ENTRY_BYTES, ADT_HEADER_BYTES};
+pub use arena::{ArenaError, BumpArena};
+pub use error::RuntimeError;
+pub use layout::{FieldSlot, MessageLayout, MessageLayouts, SlotKind, REPEATED_HEADER_BYTES, STRING_OBJECT_BYTES, STRING_SSO_CAPACITY};
+pub use value::{FieldPayload, MessageValue, Value};

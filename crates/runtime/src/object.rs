@@ -1,0 +1,531 @@
+//! Materializing message values into guest memory and reading them back.
+//!
+//! [`write_message`] builds the C++-ABI-like object graph a populated
+//! protobuf message has in application memory (the serializer's input);
+//! [`read_message`] is the inverse, used to verify what the simulated
+//! deserializers produced. Both follow the layouts of [`crate::layout`]:
+//! 32-byte SSO strings, 24-byte repeated-field headers, pointer-linked
+//! sub-messages, and sparse hasbits for presence.
+
+use protoacc_mem::GuestMemory;
+use protoacc_schema::{FieldType, MessageId, ScalarKind, Schema};
+
+use crate::{
+    hasbits, layout::SlotKind, BumpArena, FieldPayload, MessageLayouts, MessageValue,
+    RuntimeError, Value, REPEATED_HEADER_BYTES, STRING_OBJECT_BYTES, STRING_SSO_CAPACITY,
+};
+
+/// Maximum object-graph depth accepted when reading back.
+pub const MAX_READ_DEPTH: usize = 128;
+
+/// Converts a scalar [`Value`] to its in-memory bit pattern.
+///
+/// # Panics
+///
+/// Panics on non-scalar values; callers dispatch on slot kind first.
+pub fn scalar_bits(value: &Value) -> (u64, usize) {
+    match value {
+        Value::Bool(v) => (u64::from(*v), 1),
+        Value::Int32(v) => (*v as u32 as u64, 4),
+        Value::SInt32(v) => (*v as u32 as u64, 4),
+        Value::SFixed32(v) => (*v as u32 as u64, 4),
+        Value::Enum(v) => (*v as u32 as u64, 4),
+        Value::UInt32(v) => (u64::from(*v), 4),
+        Value::Fixed32(v) => (u64::from(*v), 4),
+        Value::Float(v) => (u64::from(v.to_bits()), 4),
+        Value::Int64(v) => (*v as u64, 8),
+        Value::SInt64(v) => (*v as u64, 8),
+        Value::SFixed64(v) => (*v as u64, 8),
+        Value::UInt64(v) => (*v, 8),
+        Value::Fixed64(v) => (*v, 8),
+        Value::Double(v) => (v.to_bits(), 8),
+        Value::Str(_) | Value::Bytes(_) | Value::Message(_) => {
+            panic!("scalar_bits called on out-of-line value")
+        }
+    }
+}
+
+/// Reconstructs a scalar [`Value`] of the given field type from its
+/// in-memory bit pattern.
+pub fn value_from_bits(field_type: FieldType, bits: u64) -> Value {
+    match field_type {
+        FieldType::Bool => Value::Bool(bits & 1 != 0),
+        FieldType::Int32 => Value::Int32(bits as u32 as i32),
+        FieldType::SInt32 => Value::SInt32(bits as u32 as i32),
+        FieldType::SFixed32 => Value::SFixed32(bits as u32 as i32),
+        FieldType::Enum => Value::Enum(bits as u32 as i32),
+        FieldType::UInt32 => Value::UInt32(bits as u32),
+        FieldType::Fixed32 => Value::Fixed32(bits as u32),
+        FieldType::Float => Value::Float(f32::from_bits(bits as u32)),
+        FieldType::Int64 => Value::Int64(bits as i64),
+        FieldType::SInt64 => Value::SInt64(bits as i64),
+        FieldType::SFixed64 => Value::SFixed64(bits as i64),
+        FieldType::UInt64 => Value::UInt64(bits),
+        FieldType::Fixed64 => Value::Fixed64(bits),
+        FieldType::Double => Value::Double(f64::from_bits(bits)),
+        FieldType::String | FieldType::Bytes | FieldType::Message(_) => {
+            panic!("value_from_bits called on out-of-line type")
+        }
+    }
+}
+
+/// Writes a string/bytes payload as a 32-byte string object (plus an
+/// out-of-line buffer beyond the SSO capacity), returning the object address.
+pub fn write_string_object(
+    mem: &mut GuestMemory,
+    arena: &mut BumpArena,
+    payload: &[u8],
+) -> Result<u64, RuntimeError> {
+    let obj = arena.alloc(STRING_OBJECT_BYTES, 8)?;
+    mem.write_u64(obj + 8, payload.len() as u64);
+    if payload.len() <= STRING_SSO_CAPACITY {
+        // Small-string optimization: contents live in the object itself.
+        mem.write_u64(obj, obj + 16);
+        mem.write_bytes(obj + 16, payload);
+    } else {
+        let buf = arena.alloc(payload.len() as u64 + 1, 8)?;
+        mem.write_u64(obj, buf);
+        mem.write_u64(obj + 16, payload.len() as u64 + 1); // capacity
+        mem.write_bytes(buf, payload);
+    }
+    Ok(obj)
+}
+
+/// Reads back a string object's payload.
+pub fn read_string_object(mem: &GuestMemory, obj: u64) -> Vec<u8> {
+    let data_ptr = mem.read_u64(obj);
+    let len = mem.read_u64(obj + 8) as usize;
+    mem.read_vec(data_ptr, len)
+}
+
+/// Materializes `message` as a guest-memory object graph, allocating from
+/// `arena`. Returns the top-level object address.
+///
+/// # Errors
+///
+/// Arena exhaustion or schema/value mismatches.
+pub fn write_message(
+    mem: &mut GuestMemory,
+    schema: &Schema,
+    layouts: &MessageLayouts,
+    arena: &mut BumpArena,
+    message: &MessageValue,
+) -> Result<u64, RuntimeError> {
+    let layout = layouts.layout(message.type_id());
+    let object = arena.alloc(layout.object_size(), 8)?;
+    write_message_at(mem, schema, layouts, arena, message, object)?;
+    Ok(object)
+}
+
+/// Materializes `message` into an already-allocated object at `object`
+/// (e.g. a caller-provided top-level destination, as the paper's API expects
+/// for deserialization targets).
+///
+/// # Errors
+///
+/// Arena exhaustion or schema/value mismatches.
+pub fn write_message_at(
+    mem: &mut GuestMemory,
+    schema: &Schema,
+    layouts: &MessageLayouts,
+    arena: &mut BumpArena,
+    message: &MessageValue,
+    object: u64,
+) -> Result<(), RuntimeError> {
+    let layout = layouts.layout(message.type_id());
+    // Zero the object (constructor behavior) and leave vptr 0.
+    mem.write_bytes(object, &vec![0u8; layout.object_size() as usize]);
+    for (number, payload) in message.iter() {
+        let slot = layout.slot(number).ok_or(RuntimeError::UnknownField {
+            field_number: number,
+        })?;
+        match payload {
+            FieldPayload::Single(value) => {
+                write_single(mem, schema, layouts, arena, value, object + slot.offset)?;
+            }
+            FieldPayload::Repeated(values) => {
+                if values.is_empty() {
+                    continue;
+                }
+                let header = write_repeated(mem, schema, layouts, arena, values)?;
+                mem.write_u64(object + slot.offset, header);
+            }
+        }
+        hasbits::write_sparse(mem, layout, object, number, true);
+    }
+    Ok(())
+}
+
+fn write_single(
+    mem: &mut GuestMemory,
+    schema: &Schema,
+    layouts: &MessageLayouts,
+    arena: &mut BumpArena,
+    value: &Value,
+    slot_addr: u64,
+) -> Result<(), RuntimeError> {
+    match value {
+        Value::Str(s) => {
+            let obj = write_string_object(mem, arena, s.as_bytes())?;
+            mem.write_u64(slot_addr, obj);
+        }
+        Value::Bytes(b) => {
+            let obj = write_string_object(mem, arena, b)?;
+            mem.write_u64(slot_addr, obj);
+        }
+        Value::Message(sub) => {
+            let sub_addr = write_message(mem, schema, layouts, arena, sub)?;
+            mem.write_u64(slot_addr, sub_addr);
+        }
+        scalar => {
+            let (bits, size) = scalar_bits(scalar);
+            mem.write_bytes(slot_addr, &bits.to_le_bytes()[..size]);
+        }
+    }
+    Ok(())
+}
+
+fn write_repeated(
+    mem: &mut GuestMemory,
+    schema: &Schema,
+    layouts: &MessageLayouts,
+    arena: &mut BumpArena,
+    values: &[Value],
+) -> Result<u64, RuntimeError> {
+    let header = arena.alloc(REPEATED_HEADER_BYTES, 8)?;
+    let count = values.len() as u64;
+    let elem_size = match &values[0] {
+        Value::Str(_) | Value::Bytes(_) | Value::Message(_) => 8,
+        scalar => scalar_bits(scalar).1 as u64,
+    };
+    let data = arena.alloc(count * elem_size, 8)?;
+    mem.write_u64(header, data);
+    mem.write_u64(header + 8, count);
+    mem.write_u64(header + 16, count);
+    for (i, value) in values.iter().enumerate() {
+        let elem_addr = data + i as u64 * elem_size;
+        match value {
+            Value::Str(s) => {
+                let obj = write_string_object(mem, arena, s.as_bytes())?;
+                mem.write_u64(elem_addr, obj);
+            }
+            Value::Bytes(b) => {
+                let obj = write_string_object(mem, arena, b)?;
+                mem.write_u64(elem_addr, obj);
+            }
+            Value::Message(sub) => {
+                let sub_addr = write_message(mem, schema, layouts, arena, sub)?;
+                mem.write_u64(elem_addr, sub_addr);
+            }
+            scalar => {
+                let (bits, size) = scalar_bits(scalar);
+                mem.write_bytes(elem_addr, &bits.to_le_bytes()[..size]);
+            }
+        }
+    }
+    Ok(header)
+}
+
+/// Reads an object graph back into a [`MessageValue`].
+///
+/// # Errors
+///
+/// Invalid UTF-8 in string fields or nesting beyond [`MAX_READ_DEPTH`].
+pub fn read_message(
+    mem: &GuestMemory,
+    schema: &Schema,
+    layouts: &MessageLayouts,
+    type_id: MessageId,
+    object: u64,
+) -> Result<MessageValue, RuntimeError> {
+    read_message_at_depth(mem, schema, layouts, type_id, object, 1)
+}
+
+fn read_message_at_depth(
+    mem: &GuestMemory,
+    schema: &Schema,
+    layouts: &MessageLayouts,
+    type_id: MessageId,
+    object: u64,
+    depth: usize,
+) -> Result<MessageValue, RuntimeError> {
+    if depth > MAX_READ_DEPTH {
+        return Err(RuntimeError::DepthExceeded {
+            limit: MAX_READ_DEPTH,
+        });
+    }
+    let layout = layouts.layout(type_id);
+    let descriptor = schema.message(type_id);
+    let mut message = MessageValue::new(type_id);
+    for number in hasbits::present_fields(mem, layout, object) {
+        let Some(field) = descriptor.field_by_number(number) else {
+            continue; // stray bit in a gap slot
+        };
+        let slot = layout.slot(number).expect("descriptor field has a slot");
+        let slot_addr = object + slot.offset;
+        match slot.kind {
+            SlotKind::Scalar(kind) => {
+                let bits = read_scalar_bits(mem, slot_addr, kind);
+                message.set_unchecked(number, value_from_bits(field.field_type(), bits));
+            }
+            SlotKind::StringPtr => {
+                let obj = mem.read_u64(slot_addr);
+                let payload = read_string_object(mem, obj);
+                message.set_unchecked(number, bytes_to_value(field.field_type(), payload, number)?);
+            }
+            SlotKind::MessagePtr => {
+                let sub_addr = mem.read_u64(slot_addr);
+                let FieldType::Message(sub_id) = field.field_type() else {
+                    continue;
+                };
+                let sub =
+                    read_message_at_depth(mem, schema, layouts, sub_id, sub_addr, depth + 1)?;
+                message.set_unchecked(number, Value::Message(sub));
+            }
+            SlotKind::RepeatedPtr => {
+                let header = mem.read_u64(slot_addr);
+                let values =
+                    read_repeated(mem, schema, layouts, field.field_type(), header, depth, number)?;
+                message.set_repeated(number, values);
+            }
+        }
+    }
+    Ok(message)
+}
+
+fn read_scalar_bits(mem: &GuestMemory, addr: u64, kind: ScalarKind) -> u64 {
+    match kind.size() {
+        1 => u64::from(mem.read_u8(addr)),
+        4 => u64::from(mem.read_u32(addr)),
+        8 => mem.read_u64(addr),
+        other => unreachable!("no {other}-byte scalars exist"),
+    }
+}
+
+fn bytes_to_value(
+    field_type: FieldType,
+    payload: Vec<u8>,
+    field_number: u32,
+) -> Result<Value, RuntimeError> {
+    match field_type {
+        FieldType::String => {
+            let s = String::from_utf8(payload)
+                .map_err(|_| RuntimeError::InvalidUtf8 { field_number })?;
+            Ok(Value::Str(s))
+        }
+        FieldType::Bytes => Ok(Value::Bytes(payload)),
+        _ => Err(RuntimeError::TypeMismatch {
+            field_number,
+            expected: "string or bytes".into(),
+        }),
+    }
+}
+
+fn read_repeated(
+    mem: &GuestMemory,
+    schema: &Schema,
+    layouts: &MessageLayouts,
+    field_type: FieldType,
+    header: u64,
+    depth: usize,
+    field_number: u32,
+) -> Result<Vec<Value>, RuntimeError> {
+    let data = mem.read_u64(header);
+    let count = mem.read_u64(header + 8) as usize;
+    let mut values = Vec::with_capacity(count);
+    match field_type {
+        FieldType::String | FieldType::Bytes => {
+            for i in 0..count {
+                let obj = mem.read_u64(data + i as u64 * 8);
+                values.push(bytes_to_value(
+                    field_type,
+                    read_string_object(mem, obj),
+                    field_number,
+                )?);
+            }
+        }
+        FieldType::Message(sub_id) => {
+            for i in 0..count {
+                let sub_addr = mem.read_u64(data + i as u64 * 8);
+                values.push(Value::Message(read_message_at_depth(
+                    mem,
+                    schema,
+                    layouts,
+                    sub_id,
+                    sub_addr,
+                    depth + 1,
+                )?));
+            }
+        }
+        scalar => {
+            let kind = scalar.scalar_kind().expect("repeated scalar");
+            for i in 0..count {
+                let bits = read_scalar_bits(mem, data + i as u64 * kind.size() as u64, kind);
+                values.push(value_from_bits(scalar, bits));
+            }
+        }
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_schema::SchemaBuilder;
+
+    fn harness() -> (Schema, MessageLayouts, GuestMemory, BumpArena) {
+        let mut b = SchemaBuilder::new();
+        let inner = b.declare("Inner");
+        b.message(inner)
+            .optional("flag", FieldType::Bool, 1)
+            .optional("note", FieldType::String, 2);
+        let outer = b.declare("Outer");
+        b.message(outer)
+            .optional("id", FieldType::Int64, 1)
+            .optional("name", FieldType::String, 2)
+            .optional("blob", FieldType::Bytes, 3)
+            .optional("ratio", FieldType::Double, 4)
+            .optional("sub", FieldType::Message(inner), 5)
+            .repeated("xs", FieldType::Int32, 6)
+            .repeated("tags", FieldType::String, 7)
+            .repeated("subs", FieldType::Message(inner), 8);
+        let schema = b.build().unwrap();
+        let layouts = MessageLayouts::compute(&schema);
+        (schema, layouts, GuestMemory::new(), BumpArena::new(0x10_0000, 1 << 22))
+    }
+
+    fn round_trip(message: &MessageValue) -> MessageValue {
+        let (schema, layouts, mut mem, mut arena) = harness();
+        let addr = write_message(&mut mem, &schema, &layouts, &mut arena, message).unwrap();
+        read_message(&mem, &schema, &layouts, message.type_id(), addr).unwrap()
+    }
+
+    fn outer_id() -> MessageId {
+        let (schema, ..) = harness();
+        schema.id_by_name("Outer").unwrap()
+    }
+
+    fn inner_id() -> MessageId {
+        let (schema, ..) = harness();
+        schema.id_by_name("Inner").unwrap()
+    }
+
+    #[test]
+    fn scalar_fields_round_trip() {
+        let mut m = MessageValue::new(outer_id());
+        m.set(1, Value::Int64(-77)).unwrap();
+        m.set(4, Value::Double(2.5)).unwrap();
+        assert!(round_trip(&m).bits_eq(&m));
+    }
+
+    #[test]
+    fn sso_and_long_strings_round_trip() {
+        for len in [0usize, 1, 15, 16, 100, 5000] {
+            let mut m = MessageValue::new(outer_id());
+            m.set(2, Value::Str("x".repeat(len))).unwrap();
+            m.set(3, Value::Bytes(vec![0xab; len])).unwrap();
+            let back = round_trip(&m);
+            assert!(back.bits_eq(&m), "length {len}");
+        }
+    }
+
+    #[test]
+    fn sso_threshold_places_data_inline() {
+        let (_, _, mut mem, mut arena) = harness();
+        let short = write_string_object(&mut mem, &mut arena, b"short").unwrap();
+        assert_eq!(mem.read_u64(short), short + 16, "SSO points into object");
+        let long = write_string_object(&mut mem, &mut arena, &[b'y'; 40]).unwrap();
+        let data_ptr = mem.read_u64(long);
+        assert!(data_ptr < long || data_ptr >= long + STRING_OBJECT_BYTES);
+        assert_eq!(read_string_object(&mem, long), vec![b'y'; 40]);
+    }
+
+    #[test]
+    fn nested_messages_round_trip() {
+        let mut sub = MessageValue::new(inner_id());
+        sub.set(1, Value::Bool(true)).unwrap();
+        sub.set(2, Value::Str("deep".into())).unwrap();
+        let mut m = MessageValue::new(outer_id());
+        m.set(5, Value::Message(sub)).unwrap();
+        assert!(round_trip(&m).bits_eq(&m));
+    }
+
+    #[test]
+    fn repeated_scalars_strings_and_messages_round_trip() {
+        let mut sub = MessageValue::new(inner_id());
+        sub.set(1, Value::Bool(true)).unwrap();
+        let mut m = MessageValue::new(outer_id());
+        m.set_repeated(6, (0..50).map(Value::Int32).collect());
+        m.set_repeated(
+            7,
+            vec![
+                Value::Str(String::new()),
+                Value::Str("tag".into()),
+                Value::Str("a-much-longer-tag-beyond-sso".into()),
+            ],
+        );
+        m.set_repeated(
+            8,
+            vec![
+                Value::Message(sub),
+                Value::Message(MessageValue::new(inner_id())),
+            ],
+        );
+        assert!(round_trip(&m).bits_eq(&m));
+    }
+
+    #[test]
+    fn empty_message_reads_back_empty() {
+        let m = MessageValue::new(outer_id());
+        let back = round_trip(&m);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn empty_repeated_is_treated_absent() {
+        let mut m = MessageValue::new(outer_id());
+        m.set_repeated(6, vec![]);
+        let back = round_trip(&m);
+        assert!(back.get(6).is_none());
+    }
+
+    #[test]
+    fn hasbits_reflect_presence_in_memory() {
+        let (schema, layouts, mut mem, mut arena) = harness();
+        let outer = schema.id_by_name("Outer").unwrap();
+        let mut m = MessageValue::new(outer);
+        m.set(1, Value::Int64(1)).unwrap();
+        m.set(4, Value::Double(1.0)).unwrap();
+        let addr = write_message(&mut mem, &schema, &layouts, &mut arena, &m).unwrap();
+        let layout = layouts.layout(outer);
+        assert_eq!(hasbits::present_fields(&mem, layout, addr), vec![1, 4]);
+    }
+
+    #[test]
+    fn arena_exhaustion_surfaces() {
+        let (schema, layouts, mut mem, _) = harness();
+        let mut tiny = BumpArena::new(0, 8);
+        let mut m = MessageValue::new(schema.id_by_name("Outer").unwrap());
+        m.set(1, Value::Int64(1)).unwrap();
+        assert!(matches!(
+            write_message(&mut mem, &schema, &layouts, &mut tiny, &m),
+            Err(RuntimeError::Arena(_))
+        ));
+    }
+
+    #[test]
+    fn scalar_bits_round_trip_via_value_from_bits() {
+        let cases = [
+            (Value::Bool(true), FieldType::Bool),
+            (Value::Int32(-5), FieldType::Int32),
+            (Value::UInt64(u64::MAX), FieldType::UInt64),
+            (Value::Float(-0.5), FieldType::Float),
+            (Value::Double(f64::MIN_POSITIVE), FieldType::Double),
+            (Value::SFixed64(-9), FieldType::SFixed64),
+        ];
+        for (value, ft) in cases {
+            let (bits, _) = scalar_bits(&value);
+            assert!(value_from_bits(ft, bits).bits_eq(&value));
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! Host-side reference encoder/decoder.
+//!
+//! This is the wire-format ground truth: a straightforward, allocation-happy
+//! proto2 codec over [`MessageValue`] trees. Every simulated system (the
+//! instrumented CPU baselines and the accelerator model) is differentially
+//! tested against it, mirroring how the paper's accelerator is
+//! "wire-compatible with standard protobufs".
+
+use protoacc_schema::{FieldDescriptor, FieldType, MessageId, Schema};
+use protoacc_wire::{varint, zigzag, WireReader, WireType, WireWriter};
+
+use crate::{FieldPayload, MessageValue, RuntimeError, Value};
+
+/// Maximum sub-message recursion depth the decoder accepts. The paper
+/// observes a fleet-wide maximum below 100 (Section 3.8).
+pub const MAX_DECODE_DEPTH: usize = 100;
+
+/// Serializes a message to the proto2 wire format.
+///
+/// Fields are written in ascending field-number order, sub-messages
+/// depth-first — the byte layout the accelerator's reverse-order serializer
+/// must reproduce identically (Section 4.5.1).
+///
+/// # Errors
+///
+/// Type mismatches between the value tree and the schema.
+pub fn encode(message: &MessageValue, schema: &Schema) -> Result<Vec<u8>, RuntimeError> {
+    let mut writer = WireWriter::new();
+    encode_into(message, schema, &mut writer)?;
+    Ok(writer.into_bytes())
+}
+
+/// Computes the serialized size without producing bytes (the protobuf
+/// `ByteSize` operation, 6.0% of fleet protobuf cycles in Figure 2).
+pub fn encoded_len(message: &MessageValue, schema: &Schema) -> Result<usize, RuntimeError> {
+    let descriptor = schema.message(message.type_id());
+    let mut total = 0usize;
+    for (number, payload) in message.iter() {
+        let field = descriptor
+            .field_by_number(number)
+            .ok_or(RuntimeError::UnknownField {
+                field_number: number,
+            })?;
+        total += field_encoded_len(field, payload, schema)?;
+    }
+    Ok(total)
+}
+
+fn field_encoded_len(
+    field: &FieldDescriptor,
+    payload: &FieldPayload,
+    schema: &Schema,
+) -> Result<usize, RuntimeError> {
+    let number = field.number();
+    let key_len = protoacc_wire::FieldKey::new(number, field.field_type().wire_type())
+        .map_err(RuntimeError::from)?
+        .encoded_len();
+    if field.is_packed() {
+        let mut body = 0usize;
+        for v in payload.values() {
+            body += scalar_encoded_len(v, field, schema)?;
+        }
+        let packed_key = protoacc_wire::FieldKey::new(number, WireType::LengthDelimited)
+            .map_err(RuntimeError::from)?
+            .encoded_len();
+        return Ok(packed_key + varint::encoded_len(body as u64) + body);
+    }
+    let mut total = 0usize;
+    for v in payload.values() {
+        total += key_len + scalar_encoded_len(v, field, schema)?;
+    }
+    Ok(total)
+}
+
+fn scalar_encoded_len(
+    value: &Value,
+    field: &FieldDescriptor,
+    schema: &Schema,
+) -> Result<usize, RuntimeError> {
+    Ok(match value {
+        Value::Bool(_) => 1,
+        Value::Int32(v) => varint::encoded_len(*v as i64 as u64),
+        Value::Int64(v) => varint::encoded_len(*v as u64),
+        Value::UInt32(v) => varint::encoded_len(u64::from(*v)),
+        Value::UInt64(v) => varint::encoded_len(*v),
+        Value::SInt32(v) => varint::encoded_len(u64::from(zigzag::encode32(*v))),
+        Value::SInt64(v) => varint::encoded_len(zigzag::encode64(*v)),
+        Value::Enum(v) => varint::encoded_len(*v as i64 as u64),
+        Value::Fixed32(_) | Value::SFixed32(_) | Value::Float(_) => 4,
+        Value::Fixed64(_) | Value::SFixed64(_) | Value::Double(_) => 8,
+        Value::Str(s) => varint::encoded_len(s.len() as u64) + s.len(),
+        Value::Bytes(b) => varint::encoded_len(b.len() as u64) + b.len(),
+        Value::Message(m) => {
+            if !value.matches(field.field_type()) {
+                return Err(RuntimeError::TypeMismatch {
+                    field_number: field.number(),
+                    expected: format!("{:?}", field.field_type()),
+                });
+            }
+            let inner = encoded_len(m, schema)?;
+            varint::encoded_len(inner as u64) + inner
+        }
+    })
+}
+
+fn encode_into(
+    message: &MessageValue,
+    schema: &Schema,
+    writer: &mut WireWriter,
+) -> Result<(), RuntimeError> {
+    let descriptor = schema.message(message.type_id());
+    for (number, payload) in message.iter() {
+        let field = descriptor
+            .field_by_number(number)
+            .ok_or(RuntimeError::UnknownField {
+                field_number: number,
+            })?;
+        if field.is_packed() {
+            let mut body = WireWriter::new();
+            for v in payload.values() {
+                encode_packed_element(v, &mut body)?;
+            }
+            writer.write_length_delimited_field(number, body.as_bytes())?;
+            continue;
+        }
+        for v in payload.values() {
+            encode_field_value(field, v, schema, writer)?;
+        }
+    }
+    Ok(())
+}
+
+fn encode_packed_element(value: &Value, body: &mut WireWriter) -> Result<(), RuntimeError> {
+    match value {
+        Value::Bool(v) => body.write_raw_varint(u64::from(*v)),
+        Value::Int32(v) => body.write_raw_varint(*v as i64 as u64),
+        Value::Int64(v) => body.write_raw_varint(*v as u64),
+        Value::UInt32(v) => body.write_raw_varint(u64::from(*v)),
+        Value::UInt64(v) => body.write_raw_varint(*v),
+        Value::SInt32(v) => body.write_raw_varint(u64::from(zigzag::encode32(*v))),
+        Value::SInt64(v) => body.write_raw_varint(zigzag::encode64(*v)),
+        Value::Enum(v) => body.write_raw_varint(*v as i64 as u64),
+        Value::Fixed32(v) => body.write_raw_bytes(&v.to_le_bytes()),
+        Value::SFixed32(v) => body.write_raw_bytes(&v.to_le_bytes()),
+        Value::Float(v) => body.write_raw_bytes(&v.to_bits().to_le_bytes()),
+        Value::Fixed64(v) => body.write_raw_bytes(&v.to_le_bytes()),
+        Value::SFixed64(v) => body.write_raw_bytes(&v.to_le_bytes()),
+        Value::Double(v) => body.write_raw_bytes(&v.to_bits().to_le_bytes()),
+        Value::Str(_) | Value::Bytes(_) | Value::Message(_) => {
+            unreachable!("packed validation happens in the schema layer")
+        }
+    }
+    Ok(())
+}
+
+fn encode_field_value(
+    field: &FieldDescriptor,
+    value: &Value,
+    schema: &Schema,
+    writer: &mut WireWriter,
+) -> Result<(), RuntimeError> {
+    let number = field.number();
+    if !value.matches(field.field_type()) {
+        return Err(RuntimeError::TypeMismatch {
+            field_number: number,
+            expected: format!("{:?}", field.field_type()),
+        });
+    }
+    match value {
+        Value::Bool(v) => writer.write_varint_field(number, u64::from(*v))?,
+        Value::Int32(v) => writer.write_varint_field(number, *v as i64 as u64)?,
+        Value::Int64(v) => writer.write_varint_field(number, *v as u64)?,
+        Value::UInt32(v) => writer.write_varint_field(number, u64::from(*v))?,
+        Value::UInt64(v) => writer.write_varint_field(number, *v)?,
+        Value::SInt32(v) => {
+            writer.write_varint_field(number, u64::from(zigzag::encode32(*v)))?
+        }
+        Value::SInt64(v) => writer.write_varint_field(number, zigzag::encode64(*v))?,
+        Value::Enum(v) => writer.write_varint_field(number, *v as i64 as u64)?,
+        Value::Fixed32(v) => writer.write_fixed32_field(number, *v)?,
+        Value::SFixed32(v) => writer.write_fixed32_field(number, *v as u32)?,
+        Value::Float(v) => writer.write_float_field(number, *v)?,
+        Value::Fixed64(v) => writer.write_fixed64_field(number, *v)?,
+        Value::SFixed64(v) => writer.write_fixed64_field(number, *v as u64)?,
+        Value::Double(v) => writer.write_double_field(number, *v)?,
+        Value::Str(s) => writer.write_length_delimited_field(number, s.as_bytes())?,
+        Value::Bytes(b) => writer.write_length_delimited_field(number, b)?,
+        Value::Message(m) => {
+            let mut inner = WireWriter::new();
+            encode_into(m, schema, &mut inner)?;
+            writer.write_length_delimited_field(number, inner.as_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a wire-format buffer into a [`MessageValue`].
+///
+/// Unknown fields are skipped (proto2 semantics minus unknown-field
+/// preservation); wire-type mismatches and malformed input are errors.
+///
+/// # Errors
+///
+/// Wire-level failures, wire-type mismatches, invalid UTF-8 in string
+/// fields, or nesting beyond [`MAX_DECODE_DEPTH`].
+pub fn decode(
+    bytes: &[u8],
+    type_id: MessageId,
+    schema: &Schema,
+) -> Result<MessageValue, RuntimeError> {
+    decode_at_depth(bytes, type_id, schema, 1)
+}
+
+fn decode_at_depth(
+    bytes: &[u8],
+    type_id: MessageId,
+    schema: &Schema,
+    depth: usize,
+) -> Result<MessageValue, RuntimeError> {
+    if depth > MAX_DECODE_DEPTH {
+        return Err(RuntimeError::DepthExceeded {
+            limit: MAX_DECODE_DEPTH,
+        });
+    }
+    let descriptor = schema.message(type_id);
+    let mut message = MessageValue::new(type_id);
+    let mut reader = WireReader::new(bytes);
+    while !reader.is_at_end() {
+        let key = reader.read_key()?;
+        let Some(field) = descriptor.field_by_number(key.field_number()) else {
+            reader.skip_value(key.wire_type())?;
+            continue;
+        };
+        let expected_wire = field.field_type().wire_type();
+        let is_packed_arrival = key.wire_type() == WireType::LengthDelimited
+            && expected_wire != WireType::LengthDelimited
+            && field.is_repeated()
+            && field.field_type().is_packable();
+        if is_packed_arrival {
+            let payload = reader.read_length_delimited()?;
+            decode_packed(payload, field, &mut message, schema)?;
+            continue;
+        }
+        if key.wire_type() != expected_wire {
+            return Err(RuntimeError::WireTypeMismatch {
+                field_number: key.field_number(),
+            });
+        }
+        let value = decode_value(&mut reader, field, schema, depth)?;
+        if field.is_repeated() {
+            message.push(field.number(), value);
+        } else {
+            message.set_unchecked(field.number(), value);
+        }
+    }
+    Ok(message)
+}
+
+fn decode_packed(
+    payload: &[u8],
+    field: &FieldDescriptor,
+    message: &mut MessageValue,
+    _schema: &Schema,
+) -> Result<(), RuntimeError> {
+    let mut reader = WireReader::new(payload);
+    while !reader.is_at_end() {
+        let value = match field.field_type() {
+            FieldType::Bool => Value::Bool(reader.read_varint()? != 0),
+            FieldType::Int32 => Value::Int32(reader.read_varint()? as i32),
+            FieldType::Int64 => Value::Int64(reader.read_varint()? as i64),
+            FieldType::UInt32 => Value::UInt32(reader.read_varint()? as u32),
+            FieldType::UInt64 => Value::UInt64(reader.read_varint()?),
+            FieldType::SInt32 => Value::SInt32(zigzag::decode32(reader.read_varint()? as u32)),
+            FieldType::SInt64 => Value::SInt64(zigzag::decode64(reader.read_varint()?)),
+            FieldType::Enum => Value::Enum(reader.read_varint()? as i32),
+            FieldType::Fixed32 => Value::Fixed32(reader.read_fixed32()?),
+            FieldType::SFixed32 => Value::SFixed32(reader.read_fixed32()? as i32),
+            FieldType::Float => Value::Float(f32::from_bits(reader.read_fixed32()?)),
+            FieldType::Fixed64 => Value::Fixed64(reader.read_fixed64()?),
+            FieldType::SFixed64 => Value::SFixed64(reader.read_fixed64()? as i64),
+            FieldType::Double => Value::Double(f64::from_bits(reader.read_fixed64()?)),
+            FieldType::String | FieldType::Bytes | FieldType::Message(_) => {
+                unreachable!("unpackable types filtered by caller")
+            }
+        };
+        message.push(field.number(), value);
+    }
+    Ok(())
+}
+
+fn decode_value(
+    reader: &mut WireReader<'_>,
+    field: &FieldDescriptor,
+    schema: &Schema,
+    depth: usize,
+) -> Result<Value, RuntimeError> {
+    Ok(match field.field_type() {
+        FieldType::Bool => Value::Bool(reader.read_varint()? != 0),
+        FieldType::Int32 => Value::Int32(reader.read_varint()? as i32),
+        FieldType::Int64 => Value::Int64(reader.read_varint()? as i64),
+        FieldType::UInt32 => Value::UInt32(reader.read_varint()? as u32),
+        FieldType::UInt64 => Value::UInt64(reader.read_varint()?),
+        FieldType::SInt32 => Value::SInt32(zigzag::decode32(reader.read_varint()? as u32)),
+        FieldType::SInt64 => Value::SInt64(zigzag::decode64(reader.read_varint()?)),
+        FieldType::Enum => Value::Enum(reader.read_varint()? as i32),
+        FieldType::Fixed32 => Value::Fixed32(reader.read_fixed32()?),
+        FieldType::SFixed32 => Value::SFixed32(reader.read_fixed32()? as i32),
+        FieldType::Float => Value::Float(f32::from_bits(reader.read_fixed32()?)),
+        FieldType::Fixed64 => Value::Fixed64(reader.read_fixed64()?),
+        FieldType::SFixed64 => Value::SFixed64(reader.read_fixed64()? as i64),
+        FieldType::Double => Value::Double(f64::from_bits(reader.read_fixed64()?)),
+        FieldType::String => {
+            let payload = reader.read_length_delimited()?;
+            let s = std::str::from_utf8(payload).map_err(|_| RuntimeError::InvalidUtf8 {
+                field_number: field.number(),
+            })?;
+            Value::Str(s.to_owned())
+        }
+        FieldType::Bytes => Value::Bytes(reader.read_length_delimited()?.to_vec()),
+        FieldType::Message(sub_id) => {
+            let payload = reader.read_length_delimited()?;
+            Value::Message(decode_at_depth(payload, sub_id, schema, depth + 1)?)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_schema::SchemaBuilder;
+
+    fn full_schema() -> (Schema, MessageId, MessageId) {
+        let mut b = SchemaBuilder::new();
+        let inner = b.declare("Inner");
+        b.message(inner)
+            .optional("flag", FieldType::Bool, 1)
+            .optional("note", FieldType::String, 2);
+        let outer = b.declare("Outer");
+        b.message(outer)
+            .optional("i32", FieldType::Int32, 1)
+            .optional("i64", FieldType::Int64, 2)
+            .optional("u32", FieldType::UInt32, 3)
+            .optional("u64", FieldType::UInt64, 4)
+            .optional("s32", FieldType::SInt32, 5)
+            .optional("s64", FieldType::SInt64, 6)
+            .optional("f32", FieldType::Fixed32, 7)
+            .optional("f64", FieldType::Fixed64, 8)
+            .optional("sf32", FieldType::SFixed32, 9)
+            .optional("sf64", FieldType::SFixed64, 10)
+            .optional("fl", FieldType::Float, 11)
+            .optional("db", FieldType::Double, 12)
+            .optional("bl", FieldType::Bool, 13)
+            .optional("en", FieldType::Enum, 14)
+            .optional("st", FieldType::String, 15)
+            .optional("by", FieldType::Bytes, 16)
+            .optional("sub", FieldType::Message(inner), 17)
+            .repeated("ri", FieldType::Int32, 18)
+            .packed("pi", FieldType::Int32, 19)
+            .repeated("rs", FieldType::String, 20)
+            .repeated("rsub", FieldType::Message(inner), 21);
+        (b.build().unwrap(), outer, inner)
+    }
+
+    fn populated() -> (Schema, MessageValue) {
+        let (schema, outer, inner) = full_schema();
+        let mut sub = MessageValue::new(inner);
+        sub.set(1, Value::Bool(true)).unwrap();
+        sub.set(2, Value::Str("nested".into())).unwrap();
+        let mut m = MessageValue::new(outer);
+        m.set(1, Value::Int32(-42)).unwrap();
+        m.set(2, Value::Int64(i64::MIN)).unwrap();
+        m.set(3, Value::UInt32(7)).unwrap();
+        m.set(4, Value::UInt64(u64::MAX)).unwrap();
+        m.set(5, Value::SInt32(-1)).unwrap();
+        m.set(6, Value::SInt64(i64::MAX)).unwrap();
+        m.set(7, Value::Fixed32(0xdead_beef)).unwrap();
+        m.set(8, Value::Fixed64(0x0123_4567_89ab_cdef)).unwrap();
+        m.set(9, Value::SFixed32(-5)).unwrap();
+        m.set(10, Value::SFixed64(-6)).unwrap();
+        m.set(11, Value::Float(3.5)).unwrap();
+        m.set(12, Value::Double(-2.25)).unwrap();
+        m.set(13, Value::Bool(true)).unwrap();
+        m.set(14, Value::Enum(3)).unwrap();
+        m.set(15, Value::Str("hello".into())).unwrap();
+        m.set(16, Value::Bytes(vec![0, 255, 1])).unwrap();
+        m.set(17, Value::Message(sub.clone())).unwrap();
+        m.set_repeated(
+            18,
+            vec![Value::Int32(1), Value::Int32(-1), Value::Int32(300)],
+        );
+        m.set_repeated(19, vec![Value::Int32(5), Value::Int32(6)]);
+        m.set_repeated(20, vec![Value::Str("a".into()), Value::Str("bb".into())]);
+        m.set_repeated(
+            21,
+            vec![Value::Message(sub.clone()), Value::Message(MessageValue::new(schema.id_by_name("Inner").unwrap()))],
+        );
+        (schema, m)
+    }
+
+    #[test]
+    fn full_round_trip_every_type() {
+        let (schema, m) = populated();
+        m.validate(&schema).unwrap();
+        let bytes = encode(&m, &schema).unwrap();
+        let back = decode(&bytes, m.type_id(), &schema).unwrap();
+        assert!(back.bits_eq(&m));
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        let (schema, m) = populated();
+        let bytes = encode(&m, &schema).unwrap();
+        assert_eq!(encoded_len(&m, &schema).unwrap(), bytes.len());
+    }
+
+    #[test]
+    fn empty_message_encodes_to_zero_bytes() {
+        // Figure 1: "Empty messages (inmost) take no bytes in encoded form."
+        let (schema, outer, _) = full_schema();
+        let m = MessageValue::new(outer);
+        assert_eq!(encode(&m, &schema).unwrap(), Vec::<u8>::new());
+        assert_eq!(encoded_len(&m, &schema).unwrap(), 0);
+    }
+
+    #[test]
+    fn negative_int32_takes_ten_bytes() {
+        // Upstream protobuf sign-extends int32 to 64 bits before varinting.
+        let (schema, outer, _) = full_schema();
+        let mut m = MessageValue::new(outer);
+        m.set(1, Value::Int32(-1)).unwrap();
+        let bytes = encode(&m, &schema).unwrap();
+        assert_eq!(bytes.len(), 1 + 10);
+        let back = decode(&bytes, outer, &schema).unwrap();
+        assert_eq!(back.get_single(1), Some(&Value::Int32(-1)));
+    }
+
+    #[test]
+    fn packed_fields_use_single_key() {
+        let (schema, outer, _) = full_schema();
+        let mut m = MessageValue::new(outer);
+        m.set_repeated(
+            19,
+            vec![Value::Int32(1), Value::Int32(2), Value::Int32(3)],
+        );
+        let bytes = encode(&m, &schema).unwrap();
+        // key(2B: field 19) + len(1) + 3 one-byte varints.
+        assert_eq!(bytes.len(), 2 + 1 + 3);
+        let back = decode(&bytes, outer, &schema).unwrap();
+        assert!(back.bits_eq(&m));
+    }
+
+    #[test]
+    fn unpacked_arrival_accepted_for_packed_field() {
+        // Parsers must accept either encoding for packable repeated fields.
+        let (schema, outer, _) = full_schema();
+        let mut w = WireWriter::new();
+        w.write_varint_field(19, 9).unwrap();
+        w.write_varint_field(19, 10).unwrap();
+        let back = decode(w.as_bytes(), outer, &schema).unwrap();
+        match back.get(19) {
+            Some(FieldPayload::Repeated(vs)) => {
+                assert_eq!(vs, &[Value::Int32(9), Value::Int32(10)])
+            }
+            other => panic!("expected repeated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn packed_arrival_accepted_for_unpacked_field() {
+        let (schema, outer, _) = full_schema();
+        // Field 18 is declared unpacked; send it packed.
+        let mut body = WireWriter::new();
+        body.write_raw_varint(4);
+        body.write_raw_varint(5);
+        let mut w = WireWriter::new();
+        w.write_length_delimited_field(18, body.as_bytes()).unwrap();
+        let back = decode(w.as_bytes(), outer, &schema).unwrap();
+        match back.get(18) {
+            Some(FieldPayload::Repeated(vs)) => {
+                assert_eq!(vs, &[Value::Int32(4), Value::Int32(5)])
+            }
+            other => panic!("expected repeated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped() {
+        let (schema, outer, _) = full_schema();
+        let mut w = WireWriter::new();
+        w.write_varint_field(999, 5).unwrap();
+        w.write_varint_field(1, 6).unwrap();
+        let back = decode(w.as_bytes(), outer, &schema).unwrap();
+        assert_eq!(back.get_single(1), Some(&Value::Int32(6)));
+        assert_eq!(back.present_fields(), 1);
+    }
+
+    #[test]
+    fn wire_type_mismatch_is_an_error() {
+        let (schema, outer, _) = full_schema();
+        let mut w = WireWriter::new();
+        w.write_fixed64_field(1, 1).unwrap(); // field 1 is int32 (varint)
+        assert!(matches!(
+            decode(w.as_bytes(), outer, &schema),
+            Err(RuntimeError::WireTypeMismatch { field_number: 1 })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_in_string_is_an_error() {
+        let (schema, outer, _) = full_schema();
+        let mut w = WireWriter::new();
+        w.write_length_delimited_field(15, &[0xff, 0xfe]).unwrap();
+        assert!(matches!(
+            decode(w.as_bytes(), outer, &schema),
+            Err(RuntimeError::InvalidUtf8 { field_number: 15 })
+        ));
+    }
+
+    #[test]
+    fn truncated_submessage_is_an_error() {
+        let (schema, m) = populated();
+        let bytes = encode(&m, &schema).unwrap();
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut], m.type_id(), &schema).is_err());
+        }
+    }
+
+    #[test]
+    fn recursion_depth_is_bounded() {
+        let mut b = SchemaBuilder::new();
+        let node = b.declare("Node");
+        b.message(node).optional("next", FieldType::Message(node), 1);
+        let schema = b.build().unwrap();
+        // Build a chain deeper than the limit directly on the wire.
+        let mut bytes = Vec::new();
+        for _ in 0..(MAX_DECODE_DEPTH + 5) {
+            let mut w = WireWriter::new();
+            w.write_length_delimited_field(1, &bytes).unwrap();
+            bytes = w.into_bytes();
+        }
+        assert!(matches!(
+            decode(&bytes, node, &schema),
+            Err(RuntimeError::DepthExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn figure1_style_recursive_round_trip() {
+        let mut b = SchemaBuilder::new();
+        let node = b.declare("Node");
+        b.message(node)
+            .optional("value", FieldType::Int64, 1)
+            .repeated("children", FieldType::Message(node), 2);
+        let schema = b.build().unwrap();
+        let mut leaf = MessageValue::new(node);
+        leaf.set(1, Value::Int64(3)).unwrap();
+        let mut mid = MessageValue::new(node);
+        mid.set(1, Value::Int64(2)).unwrap();
+        mid.set_repeated(2, vec![Value::Message(leaf), Value::Message(MessageValue::new(node))]);
+        let mut root = MessageValue::new(node);
+        root.set(1, Value::Int64(1)).unwrap();
+        root.set_repeated(2, vec![Value::Message(mid)]);
+        let bytes = encode(&root, &schema).unwrap();
+        let back = decode(&bytes, node, &schema).unwrap();
+        assert!(back.bits_eq(&root));
+        assert_eq!(back.depth(), 3);
+    }
+}

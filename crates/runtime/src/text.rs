@@ -1,0 +1,196 @@
+//! Protobuf text-format rendering (the `DebugString` the C++ library
+//! offers), for inspecting message values in examples, logs, and tests.
+//!
+//! Output follows the standard text format: `name: value` lines, nested
+//! messages in braces, strings with C-style escapes, bytes with octal
+//! escapes, repeated fields as repeated entries.
+
+use std::fmt::Write as _;
+
+use protoacc_schema::Schema;
+
+use crate::{FieldPayload, MessageValue, Value};
+
+/// Renders `message` in protobuf text format against its schema.
+///
+/// Fields whose numbers are not defined in the schema are rendered as
+/// `<field_number>: value` (like unknown fields in `DebugString`).
+///
+/// ```rust
+/// use protoacc_runtime::{text, MessageValue, Value};
+/// use protoacc_schema::{FieldType, SchemaBuilder};
+///
+/// let mut b = SchemaBuilder::new();
+/// let id = b.declare("Point");
+/// b.message(id)
+///     .required("x", FieldType::Int32, 1)
+///     .optional("label", FieldType::String, 2);
+/// let schema = b.build()?;
+/// let mut m = MessageValue::new(id);
+/// m.set(1, Value::Int32(-3))?;
+/// m.set(2, Value::Str("a\"b".into()))?;
+/// assert_eq!(text::to_text(&m, &schema), "x: -3\nlabel: \"a\\\"b\"\n");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn to_text(message: &MessageValue, schema: &Schema) -> String {
+    let mut out = String::new();
+    render_message(message, schema, 0, &mut out);
+    out
+}
+
+fn render_message(message: &MessageValue, schema: &Schema, indent: usize, out: &mut String) {
+    let descriptor = schema.message(message.type_id());
+    for (number, payload) in message.iter() {
+        let name = descriptor
+            .field_by_number(number)
+            .map(|f| f.name().to_owned())
+            .unwrap_or_else(|| number.to_string());
+        match payload {
+            FieldPayload::Single(v) => render_field(&name, v, schema, indent, out),
+            FieldPayload::Repeated(vs) => {
+                for v in vs {
+                    render_field(&name, v, schema, indent, out);
+                }
+            }
+        }
+    }
+}
+
+fn render_field(name: &str, value: &Value, schema: &Schema, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match value {
+        Value::Message(sub) => {
+            let _ = writeln!(out, "{pad}{name} {{");
+            render_message(sub, schema, indent + 1, out);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        scalar => {
+            let _ = writeln!(out, "{pad}{name}: {}", render_scalar(scalar));
+        }
+    }
+}
+
+fn render_scalar(value: &Value) -> String {
+    match value {
+        Value::Bool(v) => v.to_string(),
+        Value::Int32(v) => v.to_string(),
+        Value::Int64(v) => v.to_string(),
+        Value::UInt32(v) => v.to_string(),
+        Value::UInt64(v) => v.to_string(),
+        Value::SInt32(v) => v.to_string(),
+        Value::SInt64(v) => v.to_string(),
+        Value::Fixed32(v) => v.to_string(),
+        Value::Fixed64(v) => v.to_string(),
+        Value::SFixed32(v) => v.to_string(),
+        Value::SFixed64(v) => v.to_string(),
+        Value::Enum(v) => v.to_string(),
+        Value::Float(v) => render_float(f64::from(*v)),
+        Value::Double(v) => render_float(*v),
+        Value::Str(s) => format!("\"{}\"", escape_text(s.as_bytes())),
+        Value::Bytes(b) => format!("\"{}\"", escape_text(b)),
+        Value::Message(_) => unreachable!("messages rendered by caller"),
+    }
+}
+
+fn render_float(v: f64) -> String {
+    if v.is_nan() {
+        "nan".to_owned()
+    } else if v.is_infinite() {
+        if v > 0.0 { "inf" } else { "-inf" }.to_owned()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// C-style escaping as the text format uses: printable ASCII passes
+/// through, quotes/backslashes escape, everything else becomes a 3-digit
+/// octal escape.
+fn escape_text(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len());
+    for &b in bytes {
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\r' => out.push_str("\\r"),
+            b'\t' => out.push_str("\\t"),
+            0x20..=0x7e => out.push(b as char),
+            other => {
+                let _ = write!(out, "\\{other:03o}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_schema::{FieldType, SchemaBuilder};
+
+    fn schema() -> (Schema, protoacc_schema::MessageId, protoacc_schema::MessageId) {
+        let mut b = SchemaBuilder::new();
+        let inner = b.declare("Inner");
+        b.message(inner).optional("flag", FieldType::Bool, 1);
+        let outer = b.declare("Outer");
+        b.message(outer)
+            .optional("id", FieldType::Int64, 1)
+            .optional("name", FieldType::String, 2)
+            .optional("data", FieldType::Bytes, 3)
+            .optional("ratio", FieldType::Double, 4)
+            .repeated("xs", FieldType::Int32, 5)
+            .optional("sub", FieldType::Message(inner), 6);
+        (b.build().unwrap(), outer, inner)
+    }
+
+    #[test]
+    fn renders_scalars_strings_and_nesting() {
+        let (schema, outer, inner) = schema();
+        let mut sub = MessageValue::new(inner);
+        sub.set(1, Value::Bool(true)).unwrap();
+        let mut m = MessageValue::new(outer);
+        m.set(1, Value::Int64(-5)).unwrap();
+        m.set(2, Value::Str("hi \"there\"\n".into())).unwrap();
+        m.set(3, Value::Bytes(vec![0x00, 0x41, 0xff])).unwrap();
+        m.set(4, Value::Double(2.5)).unwrap();
+        m.set_repeated(5, vec![Value::Int32(1), Value::Int32(2)]);
+        m.set(6, Value::Message(sub)).unwrap();
+        let text = to_text(&m, &schema);
+        let expect = "id: -5\n\
+                      name: \"hi \\\"there\\\"\\n\"\n\
+                      data: \"\\000A\\377\"\n\
+                      ratio: 2.5\n\
+                      xs: 1\n\
+                      xs: 2\n\
+                      sub {\n  flag: true\n}\n";
+        assert_eq!(text, expect);
+    }
+
+    #[test]
+    fn renders_float_specials_and_integers() {
+        let (schema, outer, _) = schema();
+        let mut m = MessageValue::new(outer);
+        m.set(4, Value::Double(f64::NAN)).unwrap();
+        assert_eq!(to_text(&m, &schema), "ratio: nan\n");
+        m.set(4, Value::Double(f64::NEG_INFINITY)).unwrap();
+        assert_eq!(to_text(&m, &schema), "ratio: -inf\n");
+        m.set(4, Value::Double(3.0)).unwrap();
+        assert_eq!(to_text(&m, &schema), "ratio: 3\n");
+    }
+
+    #[test]
+    fn unknown_field_numbers_render_numerically() {
+        let (schema, outer, _) = schema();
+        let mut m = MessageValue::new(outer);
+        m.set_unchecked(99, Value::Int32(7));
+        assert_eq!(to_text(&m, &schema), "99: 7\n");
+    }
+
+    #[test]
+    fn empty_message_renders_empty() {
+        let (schema, outer, _) = schema();
+        assert_eq!(to_text(&MessageValue::new(outer), &schema), "");
+    }
+}

@@ -1,0 +1,647 @@
+//! Dynamic, schema-checked message values.
+
+use std::collections::BTreeMap;
+
+use protoacc_schema::{FieldType, Label, MessageId, Schema};
+
+use crate::RuntimeError;
+
+/// A single proto2 value.
+///
+/// Variants mirror the proto2 scalar types one-to-one so a value can be
+/// checked against its [`FieldType`] without ambiguity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `bool`
+    Bool(bool),
+    /// `int32`
+    Int32(i32),
+    /// `int64`
+    Int64(i64),
+    /// `uint32`
+    UInt32(u32),
+    /// `uint64`
+    UInt64(u64),
+    /// `sint32`
+    SInt32(i32),
+    /// `sint64`
+    SInt64(i64),
+    /// `fixed32`
+    Fixed32(u32),
+    /// `fixed64`
+    Fixed64(u64),
+    /// `sfixed32`
+    SFixed32(i32),
+    /// `sfixed64`
+    SFixed64(i64),
+    /// `float`
+    Float(f32),
+    /// `double`
+    Double(f64),
+    /// `enum` (proto2 enums are open i32s on the wire)
+    Enum(i32),
+    /// `string` (UTF-8)
+    Str(String),
+    /// `bytes`
+    Bytes(Vec<u8>),
+    /// A sub-message.
+    Message(MessageValue),
+}
+
+impl Value {
+    /// Whether this value is acceptable for a field of type `field_type`.
+    pub fn matches(&self, field_type: FieldType) -> bool {
+        match (self, field_type) {
+            (Value::Bool(_), FieldType::Bool)
+            | (Value::Int32(_), FieldType::Int32)
+            | (Value::Int64(_), FieldType::Int64)
+            | (Value::UInt32(_), FieldType::UInt32)
+            | (Value::UInt64(_), FieldType::UInt64)
+            | (Value::SInt32(_), FieldType::SInt32)
+            | (Value::SInt64(_), FieldType::SInt64)
+            | (Value::Fixed32(_), FieldType::Fixed32)
+            | (Value::Fixed64(_), FieldType::Fixed64)
+            | (Value::SFixed32(_), FieldType::SFixed32)
+            | (Value::SFixed64(_), FieldType::SFixed64)
+            | (Value::Float(_), FieldType::Float)
+            | (Value::Double(_), FieldType::Double)
+            | (Value::Enum(_), FieldType::Enum)
+            | (Value::Str(_), FieldType::String)
+            | (Value::Bytes(_), FieldType::Bytes) => true,
+            (Value::Message(m), FieldType::Message(id)) => m.type_id() == id,
+            _ => false,
+        }
+    }
+
+    /// Bit-exact equality: like `==` but NaN floats compare equal to
+    /// themselves, making round-trip assertions total.
+    pub fn bits_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Double(a), Value::Double(b)) => a.to_bits() == b.to_bits(),
+            (Value::Message(a), Value::Message(b)) => a.bits_eq(b),
+            (a, b) => a == b,
+        }
+    }
+}
+
+/// Presence form of one field: a single value or a repeated vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldPayload {
+    /// `optional`/`required` field with a value set.
+    Single(Value),
+    /// `repeated` field (possibly empty, though empty vectors are normally
+    /// simply absent).
+    Repeated(Vec<Value>),
+}
+
+impl FieldPayload {
+    /// Iterates the value(s) in wire order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        match self {
+            FieldPayload::Single(v) => std::slice::from_ref(v).iter(),
+            FieldPayload::Repeated(vs) => vs.iter(),
+        }
+    }
+}
+
+/// A dynamic message instance: the Rust analog of a populated C++ protobuf
+/// object.
+///
+/// Fields are stored sparsely by field number; the type id ties the instance
+/// to its [`protoacc_schema::MessageDescriptor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageValue {
+    type_id: MessageId,
+    fields: BTreeMap<u32, FieldPayload>,
+}
+
+impl MessageValue {
+    /// Creates an empty instance of the given message type.
+    pub fn new(type_id: MessageId) -> Self {
+        MessageValue {
+            type_id,
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// The message type this instance belongs to.
+    pub fn type_id(&self) -> MessageId {
+        self.type_id
+    }
+
+    /// Number of fields with a value present.
+    pub fn present_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether no fields are set (encodes to zero bytes, as the paper's
+    /// Figure 1 notes for empty messages).
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Sets a singular field, replacing any existing value. No schema check
+    /// is performed here; use [`MessageValue::set_checked`] or
+    /// [`MessageValue::validate`] for that.
+    pub fn set_unchecked(&mut self, field_number: u32, value: Value) {
+        self.fields
+            .insert(field_number, FieldPayload::Single(value));
+    }
+
+    /// Sets a singular field (alias for the unchecked path; kept short
+    /// because every caller in this workspace validates via the schema-aware
+    /// paths or the round-trip tests).
+    pub fn set(&mut self, field_number: u32, value: Value) -> Result<(), RuntimeError> {
+        self.set_unchecked(field_number, value);
+        Ok(())
+    }
+
+    /// Sets a singular field after checking it against the schema.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::UnknownField`] if the number is not defined.
+    /// * [`RuntimeError::TypeMismatch`] if the value's type is wrong.
+    pub fn set_checked(
+        &mut self,
+        field_number: u32,
+        value: Value,
+        schema: &Schema,
+    ) -> Result<(), RuntimeError> {
+        let descriptor = schema.message(self.type_id);
+        let field = descriptor
+            .field_by_number(field_number)
+            .ok_or(RuntimeError::UnknownField { field_number })?;
+        if !value.matches(field.field_type()) {
+            return Err(RuntimeError::TypeMismatch {
+                field_number,
+                expected: format!("{:?}", field.field_type()),
+            });
+        }
+        if field.label() == Label::Repeated {
+            self.push(field_number, value);
+        } else {
+            self.set_unchecked(field_number, value);
+        }
+        Ok(())
+    }
+
+    /// Appends a value to a repeated field (creating it if absent).
+    pub fn push(&mut self, field_number: u32, value: Value) {
+        match self.fields.entry(field_number) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(FieldPayload::Repeated(vec![value]));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => match e.get_mut() {
+                FieldPayload::Repeated(vs) => vs.push(value),
+                single @ FieldPayload::Single(_) => {
+                    let prev = std::mem::replace(single, FieldPayload::Repeated(Vec::new()));
+                    if let (FieldPayload::Single(v), FieldPayload::Repeated(vs)) = (prev, single) {
+                        vs.push(v);
+                        vs.push(value);
+                    }
+                }
+            },
+        }
+    }
+
+    /// Replaces a repeated field wholesale.
+    pub fn set_repeated(&mut self, field_number: u32, values: Vec<Value>) {
+        self.fields
+            .insert(field_number, FieldPayload::Repeated(values));
+    }
+
+    /// Gets a field's payload.
+    pub fn get(&self, field_number: u32) -> Option<&FieldPayload> {
+        self.fields.get(&field_number)
+    }
+
+    /// Gets a singular field's value.
+    pub fn get_single(&self, field_number: u32) -> Option<&Value> {
+        match self.fields.get(&field_number)? {
+            FieldPayload::Single(v) => Some(v),
+            FieldPayload::Repeated(_) => None,
+        }
+    }
+
+    /// Typed accessor: the field as a 64-bit signed integer, accepting any
+    /// of the signed integer variants.
+    pub fn get_i64(&self, field_number: u32) -> Option<i64> {
+        match self.get_single(field_number)? {
+            Value::Int32(v) => Some(i64::from(*v)),
+            Value::Int64(v) | Value::SInt64(v) | Value::SFixed64(v) => Some(*v),
+            Value::SInt32(v) | Value::SFixed32(v) => Some(i64::from(*v)),
+            Value::Enum(v) => Some(i64::from(*v)),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: the field as a 64-bit unsigned integer, accepting
+    /// any of the unsigned variants.
+    pub fn get_u64(&self, field_number: u32) -> Option<u64> {
+        match self.get_single(field_number)? {
+            Value::UInt32(v) | Value::Fixed32(v) => Some(u64::from(*v)),
+            Value::UInt64(v) | Value::Fixed64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: the field as a float, accepting `float` and `double`.
+    pub fn get_f64(&self, field_number: u32) -> Option<f64> {
+        match self.get_single(field_number)? {
+            Value::Float(v) => Some(f64::from(*v)),
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: the field as a boolean.
+    pub fn get_bool(&self, field_number: u32) -> Option<bool> {
+        match self.get_single(field_number)? {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: the field as a string slice.
+    pub fn get_str(&self, field_number: u32) -> Option<&str> {
+        match self.get_single(field_number)? {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: the field as a byte slice (accepting both `bytes`
+    /// and `string` fields).
+    pub fn get_bytes(&self, field_number: u32) -> Option<&[u8]> {
+        match self.get_single(field_number)? {
+            Value::Bytes(b) => Some(b),
+            Value::Str(s) => Some(s.as_bytes()),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: the field as a nested message.
+    pub fn get_message(&self, field_number: u32) -> Option<&MessageValue> {
+        match self.get_single(field_number)? {
+            Value::Message(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: the repeated field's values (empty slice if the
+    /// field is absent or singular).
+    pub fn get_repeated(&self, field_number: u32) -> &[Value] {
+        match self.get(field_number) {
+            Some(FieldPayload::Repeated(vs)) => vs,
+            _ => &[],
+        }
+    }
+
+    /// Clears a field. Returns whether it was present.
+    pub fn clear(&mut self, field_number: u32) -> bool {
+        self.fields.remove(&field_number).is_some()
+    }
+
+    /// Iterates `(field_number, payload)` in ascending field-number order
+    /// (the wire order the reference serializer uses).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &FieldPayload)> {
+        self.fields.iter().map(|(&n, p)| (n, p))
+    }
+
+    /// Validates every present field against the schema, including required
+    /// fields being present and sub-message types matching.
+    ///
+    /// # Errors
+    ///
+    /// The first schema violation found.
+    pub fn validate(&self, schema: &Schema) -> Result<(), RuntimeError> {
+        let descriptor = schema.message(self.type_id);
+        for (number, payload) in self.iter() {
+            let field = descriptor
+                .field_by_number(number)
+                .ok_or(RuntimeError::UnknownField {
+                    field_number: number,
+                })?;
+            let repeated_ok = matches!(payload, FieldPayload::Repeated(_))
+                == (field.label() == Label::Repeated);
+            if !repeated_ok {
+                return Err(RuntimeError::TypeMismatch {
+                    field_number: number,
+                    expected: format!("{:?} payload", field.label()),
+                });
+            }
+            for v in payload.values() {
+                if !v.matches(field.field_type()) {
+                    return Err(RuntimeError::TypeMismatch {
+                        field_number: number,
+                        expected: format!("{:?}", field.field_type()),
+                    });
+                }
+                if let Value::Message(m) = v {
+                    m.validate(schema)?;
+                }
+            }
+        }
+        for field in descriptor.fields() {
+            if field.label() == Label::Required && !self.fields.contains_key(&field.number()) {
+                return Err(RuntimeError::MissingRequired {
+                    message: descriptor.name().to_owned(),
+                    field_number: field.number(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges `other` into `self` with proto2 `MergeFrom` semantics
+    /// (the reference for the Section 7 merge operation): singular scalar
+    /// and string fields present in `other` overwrite; singular sub-messages
+    /// merge recursively; repeated fields concatenate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two messages are of different types.
+    pub fn merge_from(&mut self, other: &MessageValue) {
+        assert_eq!(
+            self.type_id, other.type_id,
+            "merge requires identical message types"
+        );
+        for (number, payload) in other.iter() {
+            match payload {
+                FieldPayload::Repeated(values) => {
+                    for v in values {
+                        self.push(number, v.clone());
+                    }
+                }
+                FieldPayload::Single(Value::Message(src_sub)) => {
+                    match self.fields.get_mut(&number) {
+                        Some(FieldPayload::Single(Value::Message(dst_sub))) => {
+                            dst_sub.merge_from(src_sub);
+                        }
+                        _ => {
+                            self.set_unchecked(number, Value::Message(src_sub.clone()));
+                        }
+                    }
+                }
+                FieldPayload::Single(v) => self.set_unchecked(number, v.clone()),
+            }
+        }
+    }
+
+    /// Replaces this message's contents with `other`'s (proto2 `CopyFrom`:
+    /// clear then merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two messages are of different types.
+    pub fn copy_from(&mut self, other: &MessageValue) {
+        self.clear_all();
+        self.merge_from(other);
+    }
+
+    /// Clears every field (proto2 `Clear`).
+    pub fn clear_all(&mut self) {
+        self.fields.clear();
+    }
+
+    /// Bit-exact structural equality (NaN-safe); see [`Value::bits_eq`].
+    pub fn bits_eq(&self, other: &MessageValue) -> bool {
+        if self.type_id != other.type_id || self.fields.len() != other.fields.len() {
+            return false;
+        }
+        self.iter().zip(other.iter()).all(|((na, pa), (nb, pb))| {
+            na == nb
+                && match (pa, pb) {
+                    (FieldPayload::Single(a), FieldPayload::Single(b)) => a.bits_eq(b),
+                    (FieldPayload::Repeated(a), FieldPayload::Repeated(b)) => {
+                        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bits_eq(y))
+                    }
+                    _ => false,
+                }
+        })
+    }
+
+    /// Total number of fields in the tree rooted here, including nested
+    /// sub-messages (used by the profiling analyses).
+    pub fn total_fields(&self) -> usize {
+        self.iter()
+            .map(|(_, p)| {
+                p.values()
+                    .map(|v| match v {
+                        Value::Message(m) => m.total_fields(),
+                        _ => 1,
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Maximum nesting depth of this instance (a leaf message is depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .iter()
+            .flat_map(|(_, p)| p.values())
+            .filter_map(|v| match v {
+                Value::Message(m) => Some(m.depth()),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_schema::{FieldType, SchemaBuilder};
+
+    fn schema() -> (Schema, MessageId, MessageId) {
+        let mut b = SchemaBuilder::new();
+        let inner = b.declare("Inner");
+        b.message(inner).optional("flag", FieldType::Bool, 1);
+        let outer = b.declare("Outer");
+        b.message(outer)
+            .required("id", FieldType::Int64, 1)
+            .optional("name", FieldType::String, 2)
+            .repeated("values", FieldType::Int32, 3)
+            .optional("inner", FieldType::Message(inner), 4);
+        (b.build().unwrap(), outer, inner)
+    }
+
+    #[test]
+    fn set_get_clear_round_trip() {
+        let (_, outer, _) = schema();
+        let mut m = MessageValue::new(outer);
+        assert!(m.is_empty());
+        m.set(1, Value::Int64(7)).unwrap();
+        assert_eq!(m.get_single(1), Some(&Value::Int64(7)));
+        assert_eq!(m.present_fields(), 1);
+        assert!(m.clear(1));
+        assert!(!m.clear(1));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn checked_set_rejects_bad_types_and_unknown_fields() {
+        let (schema, outer, _) = schema();
+        let mut m = MessageValue::new(outer);
+        assert!(matches!(
+            m.set_checked(1, Value::Bool(true), &schema),
+            Err(RuntimeError::TypeMismatch { field_number: 1, .. })
+        ));
+        assert!(matches!(
+            m.set_checked(99, Value::Bool(true), &schema),
+            Err(RuntimeError::UnknownField { field_number: 99 })
+        ));
+        m.set_checked(1, Value::Int64(1), &schema).unwrap();
+    }
+
+    #[test]
+    fn checked_set_on_repeated_appends() {
+        let (schema, outer, _) = schema();
+        let mut m = MessageValue::new(outer);
+        m.set_checked(3, Value::Int32(1), &schema).unwrap();
+        m.set_checked(3, Value::Int32(2), &schema).unwrap();
+        match m.get(3) {
+            Some(FieldPayload::Repeated(vs)) => assert_eq!(vs.len(), 2),
+            other => panic!("expected repeated payload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_checks_required_and_submessage_types() {
+        let (schema, outer, inner) = schema();
+        let mut m = MessageValue::new(outer);
+        // Missing required field 1.
+        assert!(matches!(
+            m.validate(&schema),
+            Err(RuntimeError::MissingRequired { field_number: 1, .. })
+        ));
+        m.set(1, Value::Int64(1)).unwrap();
+        m.validate(&schema).unwrap();
+        // Wrong sub-message type: an Outer where Inner is expected.
+        m.set(4, Value::Message(MessageValue::new(outer))).unwrap();
+        assert!(m.validate(&schema).is_err());
+        m.set(4, Value::Message(MessageValue::new(inner))).unwrap();
+        m.validate(&schema).unwrap();
+    }
+
+    #[test]
+    fn depth_and_total_fields() {
+        let (_, outer, inner) = schema();
+        let mut leaf = MessageValue::new(inner);
+        leaf.set(1, Value::Bool(true)).unwrap();
+        let mut m = MessageValue::new(outer);
+        m.set(1, Value::Int64(1)).unwrap();
+        m.set(4, Value::Message(leaf)).unwrap();
+        assert_eq!(m.depth(), 2);
+        assert_eq!(m.total_fields(), 2);
+    }
+
+    #[test]
+    fn bits_eq_tolerates_nan() {
+        let (_, outer, _) = schema();
+        let mut a = MessageValue::new(outer);
+        a.set(1, Value::Double(f64::NAN)).unwrap();
+        let b = a.clone();
+        assert!(a.bits_eq(&b));
+        assert_ne!(a, b, "derived PartialEq treats NaN != NaN");
+    }
+
+    #[test]
+    fn typed_accessors_dispatch_on_variant() {
+        let (_, outer, inner) = schema();
+        let mut sub = MessageValue::new(inner);
+        sub.set(1, Value::Bool(true)).unwrap();
+        let mut m = MessageValue::new(outer);
+        m.set(1, Value::Int64(-7)).unwrap();
+        m.set(2, Value::Str("hello".into())).unwrap();
+        m.set_repeated(3, vec![Value::Int32(1), Value::Int32(2)]);
+        m.set(4, Value::Message(sub)).unwrap();
+        assert_eq!(m.get_i64(1), Some(-7));
+        assert_eq!(m.get_u64(1), None, "signed value is not a u64");
+        assert_eq!(m.get_str(2), Some("hello"));
+        assert_eq!(m.get_bytes(2), Some(b"hello".as_slice()));
+        assert_eq!(m.get_repeated(3).len(), 2);
+        assert_eq!(m.get_repeated(99), &[] as &[Value]);
+        assert_eq!(m.get_message(4).and_then(|s| s.get_bool(1)), Some(true));
+        assert_eq!(m.get_f64(1), None);
+        assert_eq!(m.get_bool(2), None);
+        assert_eq!(m.get_i64(999), None);
+    }
+
+    #[test]
+    fn merge_overwrites_scalars_and_concatenates_repeated() {
+        let (_, outer, _) = schema();
+        let mut a = MessageValue::new(outer);
+        a.set(1, Value::Int64(1)).unwrap();
+        a.set(2, Value::Str("old".into())).unwrap();
+        a.set_repeated(3, vec![Value::Int32(1)]);
+        let mut b = MessageValue::new(outer);
+        b.set(1, Value::Int64(2)).unwrap();
+        b.set_repeated(3, vec![Value::Int32(2), Value::Int32(3)]);
+        a.merge_from(&b);
+        assert_eq!(a.get_single(1), Some(&Value::Int64(2)));
+        assert_eq!(a.get_single(2), Some(&Value::Str("old".into())));
+        match a.get(3) {
+            Some(FieldPayload::Repeated(vs)) => assert_eq!(vs.len(), 3),
+            other => panic!("expected repeated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_recurses_into_submessages() {
+        let (_, outer, inner) = schema();
+        let mut dst_sub = MessageValue::new(inner);
+        dst_sub.set(1, Value::Bool(false)).unwrap();
+        let mut a = MessageValue::new(outer);
+        a.set(4, Value::Message(dst_sub)).unwrap();
+        let mut src_sub = MessageValue::new(inner);
+        src_sub.set(1, Value::Bool(true)).unwrap();
+        let mut b = MessageValue::new(outer);
+        b.set(4, Value::Message(src_sub)).unwrap();
+        a.merge_from(&b);
+        match a.get_single(4) {
+            Some(Value::Message(m)) => assert_eq!(m.get_single(1), Some(&Value::Bool(true))),
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn copy_replaces_and_clear_empties() {
+        let (_, outer, _) = schema();
+        let mut a = MessageValue::new(outer);
+        a.set(1, Value::Int64(1)).unwrap();
+        a.set(2, Value::Str("keepme-not".into())).unwrap();
+        let mut b = MessageValue::new(outer);
+        b.set(1, Value::Int64(9)).unwrap();
+        a.copy_from(&b);
+        assert!(a.bits_eq(&b), "copy_from replaces wholesale");
+        a.clear_all();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical message types")]
+    fn merge_rejects_type_mismatch() {
+        let (_, outer, inner) = schema();
+        let mut a = MessageValue::new(outer);
+        a.merge_from(&MessageValue::new(inner));
+    }
+
+    #[test]
+    fn push_promotes_single_to_repeated() {
+        let (_, outer, _) = schema();
+        let mut m = MessageValue::new(outer);
+        m.set(3, Value::Int32(1)).unwrap();
+        m.push(3, Value::Int32(2));
+        match m.get(3) {
+            Some(FieldPayload::Repeated(vs)) => {
+                assert_eq!(vs, &[Value::Int32(1), Value::Int32(2)])
+            }
+            other => panic!("expected repeated, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Golden wire-format conformance vectors: byte-exact encodings checked
+//! against values computed from the protobuf encoding specification.
+
+use protoacc_runtime::{reference, MessageValue, Value};
+use protoacc_schema::{FieldType, MessageId, Schema, SchemaBuilder};
+
+fn schema() -> (Schema, MessageId, MessageId) {
+    let mut b = SchemaBuilder::new();
+    let inner = b.declare("Inner");
+    b.message(inner).optional("a", FieldType::Int32, 1);
+    let m = b.declare("M");
+    b.message(m)
+        .optional("i32", FieldType::Int32, 1)
+        .optional("s64", FieldType::SInt64, 2)
+        .optional("str", FieldType::String, 3)
+        .optional("f32", FieldType::Fixed32, 4)
+        .optional("f64", FieldType::Fixed64, 5)
+        .optional("sub", FieldType::Message(inner), 6)
+        .packed("pk", FieldType::Int32, 7)
+        .optional("big", FieldType::UInt64, 16)
+        .optional("bl", FieldType::Bool, 8)
+        .optional("db", FieldType::Double, 9)
+        .optional("fl", FieldType::Float, 10);
+    (b.build().unwrap(), m, inner)
+}
+
+fn encode_single(field: u32, value: Value) -> Vec<u8> {
+    let (schema, m, _) = schema();
+    let mut msg = MessageValue::new(m);
+    msg.set_unchecked(field, value);
+    reference::encode(&msg, &schema).unwrap()
+}
+
+#[test]
+fn golden_int32_values() {
+    // key 0x08 = field 1, varint.
+    assert_eq!(encode_single(1, Value::Int32(0)), [0x08, 0x00]);
+    assert_eq!(encode_single(1, Value::Int32(1)), [0x08, 0x01]);
+    assert_eq!(encode_single(1, Value::Int32(127)), [0x08, 0x7f]);
+    assert_eq!(encode_single(1, Value::Int32(128)), [0x08, 0x80, 0x01]);
+    // Negative int32: sign-extended to 64 bits, ten bytes.
+    assert_eq!(
+        encode_single(1, Value::Int32(-1)),
+        [0x08, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]
+    );
+    assert_eq!(
+        encode_single(1, Value::Int32(-2)),
+        [0x08, 0xfe, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]
+    );
+}
+
+#[test]
+fn golden_sint64_zigzag() {
+    // key 0x10 = field 2, varint. zigzag: 0->0, -1->1, 1->2, -2->3.
+    assert_eq!(encode_single(2, Value::SInt64(0)), [0x10, 0x00]);
+    assert_eq!(encode_single(2, Value::SInt64(-1)), [0x10, 0x01]);
+    assert_eq!(encode_single(2, Value::SInt64(1)), [0x10, 0x02]);
+    assert_eq!(encode_single(2, Value::SInt64(-2)), [0x10, 0x03]);
+    assert_eq!(encode_single(2, Value::SInt64(-64)), [0x10, 0x7f]);
+    assert_eq!(encode_single(2, Value::SInt64(64)), [0x10, 0x80, 0x01]);
+}
+
+#[test]
+fn golden_string_and_key_widths() {
+    // key 0x1a = field 3, length-delimited.
+    assert_eq!(
+        encode_single(3, Value::Str("abc".into())),
+        [0x1a, 0x03, b'a', b'b', b'c']
+    );
+    assert_eq!(encode_single(3, Value::Str(String::new())), [0x1a, 0x00]);
+    // Field 16 needs a two-byte key: (16 << 3) | 0 = 128 -> 0x80 0x01.
+    assert_eq!(encode_single(16, Value::UInt64(5)), [0x80, 0x01, 0x05]);
+}
+
+#[test]
+fn golden_fixed_width() {
+    // key 0x25 = field 4, 32-bit.
+    assert_eq!(
+        encode_single(4, Value::Fixed32(0x0102_0304)),
+        [0x25, 0x04, 0x03, 0x02, 0x01]
+    );
+    // key 0x29 = field 5, 64-bit.
+    assert_eq!(
+        encode_single(5, Value::Fixed64(1)),
+        [0x29, 1, 0, 0, 0, 0, 0, 0, 0]
+    );
+}
+
+#[test]
+fn golden_floats() {
+    // double 1.0 = 0x3FF0000000000000 LE; key 0x49 = field 9, 64-bit.
+    assert_eq!(
+        encode_single(9, Value::Double(1.0)),
+        [0x49, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf0, 0x3f]
+    );
+    // float -2.0 = 0xC0000000 LE; key 0x55 = field 10, 32-bit.
+    assert_eq!(
+        encode_single(10, Value::Float(-2.0)),
+        [0x55, 0x00, 0x00, 0x00, 0xc0]
+    );
+}
+
+#[test]
+fn golden_bool_and_packed() {
+    assert_eq!(encode_single(8, Value::Bool(true)), [0x40, 0x01]);
+    let (schema, m, _) = schema();
+    let mut msg = MessageValue::new(m);
+    msg.set_repeated(7, vec![Value::Int32(3), Value::Int32(270)]);
+    // key 0x3a = field 7 length-delimited; body = [0x03, 0x8e, 0x02].
+    assert_eq!(
+        reference::encode(&msg, &schema).unwrap(),
+        [0x3a, 0x03, 0x03, 0x8e, 0x02]
+    );
+}
+
+#[test]
+fn golden_nested_message() {
+    let (schema, m, inner) = schema();
+    let mut sub = MessageValue::new(inner);
+    sub.set(1, Value::Int32(150)).unwrap();
+    let mut msg = MessageValue::new(m);
+    msg.set(6, Value::Message(sub)).unwrap();
+    // key 0x32 = field 6 length-delimited; payload = [0x08, 0x96, 0x01].
+    assert_eq!(
+        reference::encode(&msg, &schema).unwrap(),
+        [0x32, 0x03, 0x08, 0x96, 0x01]
+    );
+    // Empty sub-message: zero-length payload (Figure 1's empty-message note).
+    let mut msg = MessageValue::new(m);
+    msg.set(6, Value::Message(MessageValue::new(inner))).unwrap();
+    assert_eq!(reference::encode(&msg, &schema).unwrap(), [0x32, 0x00]);
+}
+
+#[test]
+fn golden_field_ordering() {
+    // Fields serialize in ascending field-number order regardless of set
+    // order.
+    let (schema, m, _) = schema();
+    let mut msg = MessageValue::new(m);
+    msg.set(8, Value::Bool(true)).unwrap();
+    msg.set(1, Value::Int32(1)).unwrap();
+    assert_eq!(
+        reference::encode(&msg, &schema).unwrap(),
+        [0x08, 0x01, 0x40, 0x01]
+    );
+}

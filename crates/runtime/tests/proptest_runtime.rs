@@ -1,0 +1,156 @@
+//! Property tests: arbitrary messages survive both the wire codec and the
+//! guest-memory object graph.
+
+use proptest::prelude::*;
+use protoacc_mem::GuestMemory;
+use protoacc_runtime::{object, reference, BumpArena, MessageLayouts, MessageValue, Value};
+use protoacc_schema::{FieldType, MessageId, Schema, SchemaBuilder};
+
+fn test_schema() -> (Schema, MessageId, MessageId) {
+    let mut b = SchemaBuilder::new();
+    let inner = b.declare("Inner");
+    b.message(inner)
+        .optional("flag", FieldType::Bool, 1)
+        .optional("note", FieldType::String, 2)
+        .optional("count", FieldType::UInt64, 3);
+    let outer = b.declare("Outer");
+    b.message(outer)
+        .optional("i32", FieldType::Int32, 1)
+        .optional("s64", FieldType::SInt64, 2)
+        .optional("dbl", FieldType::Double, 3)
+        .optional("flt", FieldType::Float, 4)
+        .optional("fx32", FieldType::Fixed32, 5)
+        .optional("fx64", FieldType::Fixed64, 6)
+        .optional("text", FieldType::String, 7)
+        .optional("blob", FieldType::Bytes, 8)
+        .optional("sub", FieldType::Message(inner), 9)
+        .repeated("ri", FieldType::Int64, 10)
+        .packed("pu", FieldType::UInt32, 11)
+        .repeated("rstr", FieldType::String, 12)
+        .repeated("rsub", FieldType::Message(inner), 13);
+    (b.build().unwrap(), outer, inner)
+}
+
+fn inner_strategy(inner: MessageId) -> impl Strategy<Value = MessageValue> {
+    (
+        prop::option::of(any::<bool>()),
+        prop::option::of("[a-z]{0,40}"),
+        prop::option::of(any::<u64>()),
+    )
+        .prop_map(move |(flag, note, count)| {
+            let mut m = MessageValue::new(inner);
+            if let Some(v) = flag {
+                m.set_unchecked(1, Value::Bool(v));
+            }
+            if let Some(v) = note {
+                m.set_unchecked(2, Value::Str(v));
+            }
+            if let Some(v) = count {
+                m.set_unchecked(3, Value::UInt64(v));
+            }
+            m
+        })
+}
+
+fn outer_strategy(outer: MessageId, inner: MessageId) -> impl Strategy<Value = MessageValue> {
+    let scalars = (
+        prop::option::of(any::<i32>()),
+        prop::option::of(any::<i64>()),
+        prop::option::of(any::<f64>()),
+        prop::option::of(any::<f32>()),
+        prop::option::of(any::<u32>()),
+        prop::option::of(any::<u64>()),
+    );
+    let blobs = (
+        prop::option::of("[ -~]{0,64}"),
+        prop::option::of(prop::collection::vec(any::<u8>(), 0..64)),
+    );
+    let repeats = (
+        prop::collection::vec(any::<i64>(), 0..8),
+        prop::collection::vec(any::<u32>(), 0..8),
+        prop::collection::vec("[a-z]{0,20}", 0..4),
+        prop::collection::vec(inner_strategy(inner), 0..3),
+    );
+    (scalars, blobs, prop::option::of(inner_strategy(inner)), repeats).prop_map(
+        move |((i32v, s64, dbl, flt, fx32, fx64), (text, blob), sub, (ri, pu, rstr, rsub))| {
+            let mut m = MessageValue::new(outer);
+            if let Some(v) = i32v {
+                m.set_unchecked(1, Value::Int32(v));
+            }
+            if let Some(v) = s64 {
+                m.set_unchecked(2, Value::SInt64(v));
+            }
+            if let Some(v) = dbl {
+                m.set_unchecked(3, Value::Double(v));
+            }
+            if let Some(v) = flt {
+                m.set_unchecked(4, Value::Float(v));
+            }
+            if let Some(v) = fx32 {
+                m.set_unchecked(5, Value::Fixed32(v));
+            }
+            if let Some(v) = fx64 {
+                m.set_unchecked(6, Value::Fixed64(v));
+            }
+            if let Some(v) = text {
+                m.set_unchecked(7, Value::Str(v));
+            }
+            if let Some(v) = blob {
+                m.set_unchecked(8, Value::Bytes(v));
+            }
+            if let Some(v) = sub {
+                m.set_unchecked(9, Value::Message(v));
+            }
+            if !ri.is_empty() {
+                m.set_repeated(10, ri.into_iter().map(Value::Int64).collect());
+            }
+            if !pu.is_empty() {
+                m.set_repeated(11, pu.into_iter().map(Value::UInt32).collect());
+            }
+            if !rstr.is_empty() {
+                m.set_repeated(12, rstr.into_iter().map(Value::Str).collect());
+            }
+            if !rsub.is_empty() {
+                m.set_repeated(13, rsub.into_iter().map(Value::Message).collect());
+            }
+            m
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wire_round_trip(m in {
+        let (_, outer, inner) = test_schema();
+        outer_strategy(outer, inner)
+    }) {
+        let (schema, ..) = test_schema();
+        let bytes = reference::encode(&m, &schema).unwrap();
+        prop_assert_eq!(bytes.len(), reference::encoded_len(&m, &schema).unwrap());
+        let back = reference::decode(&bytes, m.type_id(), &schema).unwrap();
+        prop_assert!(back.bits_eq(&m));
+    }
+
+    #[test]
+    fn object_graph_round_trip(m in {
+        let (_, outer, inner) = test_schema();
+        outer_strategy(outer, inner)
+    }) {
+        let (schema, ..) = test_schema();
+        let layouts = MessageLayouts::compute(&schema);
+        let mut mem = GuestMemory::new();
+        let mut arena = BumpArena::new(0x10_0000, 1 << 24);
+        let addr = object::write_message(&mut mem, &schema, &layouts, &mut arena, &m).unwrap();
+        let back = object::read_message(&mem, &schema, &layouts, m.type_id(), addr).unwrap();
+        // Empty repeated fields read back as absent; normalize.
+        prop_assert!(back.bits_eq(&m));
+    }
+
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let (schema, outer, _) = test_schema();
+        let _ = reference::decode(&bytes, outer, &schema);
+    }
+}

@@ -1,0 +1,189 @@
+//! Programmatic schema construction.
+//!
+//! Used by the synthetic benchmark generator and tests to assemble schemas
+//! without going through `.proto` text.
+
+use crate::{FieldDescriptor, FieldType, Label, MessageDescriptor, MessageId, Schema, SchemaError};
+
+/// Builder for a complete [`Schema`].
+///
+/// Message ids are assigned up front by [`SchemaBuilder::declare`], so
+/// mutually-recursive and forward references work naturally:
+///
+/// ```rust
+/// use protoacc_schema::{SchemaBuilder, FieldType, Label};
+///
+/// let mut b = SchemaBuilder::new();
+/// let node = b.declare("Node");
+/// b.message(node)
+///     .optional("value", FieldType::Int64, 1)
+///     .repeated("children", FieldType::Message(node), 2);
+/// let schema = b.build()?;
+/// assert_eq!(schema.message_by_name("Node").unwrap().fields().len(), 2);
+/// # Ok::<(), protoacc_schema::SchemaError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    names: Vec<String>,
+    fields: Vec<Vec<FieldDescriptor>>,
+    errors: Vec<SchemaError>,
+}
+
+impl SchemaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SchemaBuilder::default()
+    }
+
+    /// Declares a message type, reserving its id for references.
+    pub fn declare(&mut self, name: impl Into<String>) -> MessageId {
+        let id = MessageId::new(self.names.len());
+        self.names.push(name.into());
+        self.fields.push(Vec::new());
+        id
+    }
+
+    /// Returns a field-level builder for a declared message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this builder.
+    pub fn message(&mut self, id: MessageId) -> MessageBuilder<'_> {
+        assert!(id.index() < self.names.len(), "undeclared message id");
+        MessageBuilder { parent: self, id }
+    }
+
+    /// Declares and populates a message in one call.
+    pub fn define(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut MessageBuilder<'_>),
+    ) -> MessageId {
+        let id = self.declare(name);
+        let mut mb = self.message(id);
+        f(&mut mb);
+        id
+    }
+
+    /// Finalizes the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first field/message validation error encountered during
+    /// building, or any duplicate-name / dangling-reference error found at
+    /// assembly time.
+    pub fn build(self) -> Result<Schema, SchemaError> {
+        if let Some(err) = self.errors.into_iter().next() {
+            return Err(err);
+        }
+        let mut schema = Schema::new();
+        for (name, fields) in self.names.into_iter().zip(self.fields) {
+            schema.add_message(MessageDescriptor::new(name, fields)?)?;
+        }
+        schema.validate()?;
+        Ok(schema)
+    }
+}
+
+/// Adds fields to one message inside a [`SchemaBuilder`].
+#[derive(Debug)]
+pub struct MessageBuilder<'a> {
+    parent: &'a mut SchemaBuilder,
+    id: MessageId,
+}
+
+impl MessageBuilder<'_> {
+    /// Adds a field with explicit label and packing.
+    pub fn field(
+        &mut self,
+        name: &str,
+        field_type: FieldType,
+        number: u32,
+        label: Label,
+        packed: bool,
+    ) -> &mut Self {
+        match FieldDescriptor::new(name, number, field_type, label, packed) {
+            Ok(fd) => self.parent.fields[self.id.index()].push(fd),
+            Err(e) => self.parent.errors.push(e),
+        }
+        self
+    }
+
+    /// Adds an `optional` field.
+    pub fn optional(&mut self, name: &str, field_type: FieldType, number: u32) -> &mut Self {
+        self.field(name, field_type, number, Label::Optional, false)
+    }
+
+    /// Adds a `required` field.
+    pub fn required(&mut self, name: &str, field_type: FieldType, number: u32) -> &mut Self {
+        self.field(name, field_type, number, Label::Required, false)
+    }
+
+    /// Adds an unpacked `repeated` field.
+    pub fn repeated(&mut self, name: &str, field_type: FieldType, number: u32) -> &mut Self {
+        self.field(name, field_type, number, Label::Repeated, false)
+    }
+
+    /// Adds a `repeated` field with the packed encoding.
+    pub fn packed(&mut self, name: &str, field_type: FieldType, number: u32) -> &mut Self {
+        self.field(name, field_type, number, Label::Repeated, true)
+    }
+
+    /// The id of the message being built.
+    pub fn id(&self) -> MessageId {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_schema() {
+        let mut b = SchemaBuilder::new();
+        b.define("Point", |m| {
+            m.required("x", FieldType::Int32, 1)
+                .required("y", FieldType::Int32, 2)
+                .optional("label", FieldType::String, 3);
+        });
+        let schema = b.build().unwrap();
+        let point = schema.message_by_name("Point").unwrap();
+        assert_eq!(point.fields().len(), 3);
+        assert_eq!(point.field_by_name("label").unwrap().number(), 3);
+    }
+
+    #[test]
+    fn supports_mutual_recursion() {
+        let mut b = SchemaBuilder::new();
+        let a = b.declare("A");
+        let bb = b.declare("B");
+        b.message(a).optional("b", FieldType::Message(bb), 1);
+        b.message(bb).optional("a", FieldType::Message(a), 1);
+        let schema = b.build().unwrap();
+        assert_eq!(schema.len(), 2);
+        schema.validate().unwrap();
+    }
+
+    #[test]
+    fn surfaces_field_errors_at_build() {
+        let mut b = SchemaBuilder::new();
+        b.define("Bad", |m| {
+            m.field("p", FieldType::String, 1, Label::Repeated, true);
+        });
+        assert!(matches!(b.build(), Err(SchemaError::InvalidPacked { .. })));
+    }
+
+    #[test]
+    fn surfaces_duplicate_numbers_at_build() {
+        let mut b = SchemaBuilder::new();
+        b.define("Dup", |m| {
+            m.optional("a", FieldType::Bool, 1)
+                .optional("b", FieldType::Bool, 1);
+        });
+        assert!(matches!(
+            b.build(),
+            Err(SchemaError::DuplicateFieldNumber { .. })
+        ));
+    }
+}

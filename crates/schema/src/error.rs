@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building or parsing a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchemaError {
+    /// The `.proto` source failed to parse.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// A field referenced a message type that is not defined in the schema.
+    UnknownMessageType {
+        /// The unresolved type name.
+        name: String,
+    },
+    /// Two fields in one message share a field number.
+    DuplicateFieldNumber {
+        /// The message in which the collision occurred.
+        message: String,
+        /// The colliding field number.
+        number: u32,
+    },
+    /// Two messages in one schema share a fully-qualified name.
+    DuplicateMessageName {
+        /// The colliding name.
+        name: String,
+    },
+    /// A field number was zero or exceeded the proto2 maximum.
+    InvalidFieldNumber {
+        /// The offending number.
+        number: u32,
+    },
+    /// `packed` was requested on a field type that cannot be packed.
+    InvalidPacked {
+        /// The offending field name.
+        field: String,
+    },
+    /// A message contained no fields where at least one was required.
+    EmptyMessage {
+        /// The offending message name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            SchemaError::UnknownMessageType { name } => {
+                write!(f, "unknown message type `{name}`")
+            }
+            SchemaError::DuplicateFieldNumber { message, number } => {
+                write!(f, "duplicate field number {number} in message `{message}`")
+            }
+            SchemaError::DuplicateMessageName { name } => {
+                write!(f, "duplicate message name `{name}`")
+            }
+            SchemaError::InvalidFieldNumber { number } => {
+                write!(f, "invalid field number {number}")
+            }
+            SchemaError::InvalidPacked { field } => {
+                write!(f, "field `{field}` cannot be packed")
+            }
+            SchemaError::EmptyMessage { name } => {
+                write!(f, "message `{name}` has no fields")
+            }
+        }
+    }
+}
+
+impl Error for SchemaError {}

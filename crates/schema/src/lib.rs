@@ -1,0 +1,44 @@
+//! Proto2 schema model for the protoacc reproduction.
+//!
+//! Provides the static message-type information everything downstream
+//! consumes: field types and their wire types, the performance-similar type
+//! classes of Table 1, message/field descriptors with proto2 qualifiers,
+//! a small `.proto` (proto2) text parser, a programmatic schema builder, and
+//! the field-number usage-density analysis of Section 3.7.
+//!
+//! # Example
+//!
+//! ```rust
+//! use protoacc_schema::parse_proto;
+//!
+//! let schema = parse_proto(r#"
+//!     syntax = "proto2";
+//!     message Point {
+//!         required int32 x = 1;
+//!         required int32 y = 2;
+//!         optional string label = 3;
+//!     }
+//! "#)?;
+//! let point = schema.message_by_name("Point").unwrap();
+//! assert_eq!(point.fields().len(), 3);
+//! # Ok::<(), protoacc_schema::SchemaError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod density;
+pub mod descriptor;
+pub mod parser;
+pub mod render;
+pub mod types;
+
+mod error;
+
+pub use builder::{MessageBuilder, SchemaBuilder};
+pub use density::{density_bucket, usage_density, DENSITY_BUCKETS};
+pub use descriptor::{FieldDescriptor, Label, MessageDescriptor, MessageId, Schema};
+pub use error::SchemaError;
+pub use parser::parse_proto;
+pub use render::render_proto;
+pub use types::{FieldType, PerfClass, ScalarKind};

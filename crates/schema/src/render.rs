@@ -1,0 +1,210 @@
+//! Rendering a [`Schema`] back to proto2 source text — the inverse of
+//! [`crate::parse_proto`], used to export generated benchmark schemas (the
+//! published HyperProtoBench ships `.proto` files) and for debugging.
+//!
+//! Nested types (`Outer.Inner`) are re-nested structurally; `Enum`-typed
+//! fields render as `int32`-compatible placeholders since enum value sets
+//! are not modeled (see [`crate::FieldType::Enum`]).
+
+use std::fmt::Write as _;
+
+use crate::{FieldType, Label, MessageDescriptor, Schema};
+
+/// Renders a schema as a proto2 `.proto` source file.
+///
+/// The output re-parses to an equivalent schema (same message names, field
+/// numbers, labels, types, and packing), except that enum fields come back
+/// as references to a synthesized `PlaceholderEnum`.
+///
+/// ```rust
+/// use protoacc_schema::{parse_proto, render_proto};
+/// let schema = parse_proto("message M { optional int32 x = 1; }")?;
+/// let source = render_proto(&schema);
+/// assert!(source.contains("optional int32 x = 1;"));
+/// let back = parse_proto(&source)?;
+/// assert_eq!(back.len(), schema.len());
+/// # Ok::<(), protoacc_schema::SchemaError>(())
+/// ```
+pub fn render_proto(schema: &Schema) -> String {
+    let mut out = String::from("syntax = \"proto2\";\n\n");
+    let uses_enum = schema
+        .iter()
+        .any(|(_, m)| m.fields().iter().any(|f| f.field_type() == FieldType::Enum));
+    if uses_enum {
+        out.push_str("enum PlaceholderEnum {\n  PLACEHOLDER_UNSET = 0;\n}\n\n");
+    }
+    // Top-level messages are the ones whose name has no dot; nested types
+    // render inside their parent.
+    for (_, m) in schema.iter() {
+        if !m.name().contains('.') {
+            render_message(schema, m, 0, &mut out);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn render_message(schema: &Schema, m: &MessageDescriptor, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let simple_name = m.name().rsplit('.').next().expect("non-empty name");
+    let _ = writeln!(out, "{pad}message {simple_name} {{");
+    // Children: types named "<this>.<child>" with exactly one more segment.
+    let prefix = format!("{}.", m.name());
+    for (_, child) in schema.iter() {
+        if let Some(rest) = child.name().strip_prefix(&prefix) {
+            if !rest.contains('.') {
+                render_message(schema, child, indent + 1, out);
+            }
+        }
+    }
+    for f in m.fields() {
+        let label = match f.label() {
+            Label::Optional => "optional",
+            Label::Required => "required",
+            Label::Repeated => "repeated",
+        };
+        let type_name = match f.field_type() {
+            FieldType::Enum => "PlaceholderEnum".to_owned(),
+            FieldType::Message(id) => relative_name(m.name(), schema.message(id).name()),
+            scalar => scalar.keyword().expect("scalar keyword").to_owned(),
+        };
+        let options = if f.is_packed() { " [packed = true]" } else { "" };
+        let _ = writeln!(
+            out,
+            "{pad}  {label} {type_name} {} = {}{options};",
+            f.name(),
+            f.number()
+        );
+    }
+    let _ = writeln!(out, "{pad}}}");
+}
+
+/// The shortest name that resolves to `target` from inside `scope` under
+/// innermost-scope-outward lookup. Falls back to the fully-qualified name.
+fn relative_name(scope: &str, target: &str) -> String {
+    // If the target is nested directly inside the scope, its simple suffix
+    // resolves; if it shares a prefix, strip the common ancestor.
+    if let Some(rest) = target.strip_prefix(&format!("{scope}.")) {
+        return rest.to_owned();
+    }
+    // Walk outward: from the innermost enclosing scope, a sibling resolves
+    // by its name relative to the common ancestor.
+    let mut ancestor = scope.to_owned();
+    loop {
+        match ancestor.rfind('.') {
+            Some(dot) => ancestor.truncate(dot),
+            None => return target.to_owned(),
+        }
+        if let Some(rest) = target.strip_prefix(&format!("{ancestor}.")) {
+            return rest.to_owned();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_proto, SchemaBuilder};
+
+    fn assert_round_trips(source: &str) {
+        let schema = parse_proto(source).unwrap();
+        let rendered = render_proto(&schema);
+        let back = parse_proto(&rendered).unwrap_or_else(|e| panic!("{rendered}\n{e}"));
+        assert_eq!(back.len(), schema.len(), "{rendered}");
+        for (_, m) in schema.iter() {
+            let m2 = back
+                .message_by_name(m.name())
+                .unwrap_or_else(|| panic!("{} missing in\n{rendered}", m.name()));
+            assert_eq!(m2.fields().len(), m.fields().len(), "{}", m.name());
+            for f in m.fields() {
+                let f2 = m2.field_by_number(f.number()).expect("field preserved");
+                assert_eq!(f2.name(), f.name());
+                assert_eq!(f2.label(), f.label());
+                assert_eq!(f2.is_packed(), f.is_packed());
+                match (f.field_type(), f2.field_type()) {
+                    (FieldType::Enum, FieldType::Enum) => {}
+                    (FieldType::Message(a), FieldType::Message(b)) => {
+                        assert_eq!(schema.message(a).name(), back.message(b).name());
+                    }
+                    (a, b) => assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_schema_round_trips() {
+        assert_round_trips(
+            r#"
+            message M {
+                required int32 a = 1;
+                optional string b = 2;
+                repeated double c = 3 [packed = true];
+                repeated bytes d = 9;
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn nested_and_recursive_schema_round_trips() {
+        assert_round_trips(
+            r#"
+            message Outer {
+                message Inner {
+                    message Deep { optional bool x = 1; }
+                    optional Deep d = 1;
+                }
+                optional Inner i = 1;
+                optional Inner.Deep shortcut = 2;
+                optional Outer recur = 3;
+            }
+            message Sibling { optional Outer o = 1; }
+            "#,
+        );
+    }
+
+    #[test]
+    fn enum_fields_render_with_placeholder() {
+        let mut b = SchemaBuilder::new();
+        b.define("M", |m| {
+            m.optional("e", FieldType::Enum, 1);
+        });
+        let schema = b.build().unwrap();
+        let rendered = render_proto(&schema);
+        assert!(rendered.contains("PlaceholderEnum"));
+        let back = parse_proto(&rendered).unwrap();
+        assert_eq!(
+            back.message_by_name("M")
+                .unwrap()
+                .field_by_name("e")
+                .unwrap()
+                .field_type(),
+            FieldType::Enum
+        );
+    }
+
+    #[test]
+    fn generated_hyperbench_style_schema_round_trips() {
+        // Builder-produced schema with gaps and cross-references.
+        let mut b = SchemaBuilder::new();
+        let x = b.declare("TypeX");
+        let y = b.declare("TypeY");
+        b.message(x)
+            .optional("a", FieldType::UInt64, 3)
+            .repeated("ys", FieldType::Message(y), 17)
+            .packed("p", FieldType::SInt32, 40);
+        b.message(y)
+            .optional("back", FieldType::Message(x), 2)
+            .optional("s", FieldType::String, 11);
+        let schema = b.build().unwrap();
+        let rendered = render_proto(&schema);
+        let back = parse_proto(&rendered).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(back
+            .message_by_name("TypeY")
+            .unwrap()
+            .field_by_name("back")
+            .is_some());
+    }
+}

@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while encoding or decoding the protobuf wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The input ended before a complete value could be decoded.
+    Truncated {
+        /// Byte offset at which more input was needed.
+        offset: usize,
+    },
+    /// A varint ran past the 10-byte maximum without a terminating byte.
+    VarintOverflow {
+        /// Byte offset of the first byte of the offending varint.
+        offset: usize,
+    },
+    /// A field key carried a wire type that proto2 does not define or that
+    /// this implementation does not accept (the deprecated group types).
+    InvalidWireType {
+        /// The raw 3-bit wire-type value.
+        raw: u8,
+    },
+    /// A field key decoded to field number zero, which the specification
+    /// reserves.
+    ZeroFieldNumber,
+    /// A field number exceeded the proto2 maximum of 2^29 - 1.
+    FieldNumberOutOfRange {
+        /// The decoded (invalid) field number.
+        number: u64,
+    },
+    /// A length-delimited field declared more bytes than remain in the input.
+    LengthOutOfBounds {
+        /// Declared length in bytes.
+        declared: u64,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { offset } => {
+                write!(f, "input truncated at byte offset {offset}")
+            }
+            WireError::VarintOverflow { offset } => {
+                write!(f, "varint longer than 10 bytes at offset {offset}")
+            }
+            WireError::InvalidWireType { raw } => {
+                write!(f, "invalid or unsupported wire type {raw}")
+            }
+            WireError::ZeroFieldNumber => write!(f, "field number zero is reserved"),
+            WireError::FieldNumberOutOfRange { number } => {
+                write!(f, "field number {number} exceeds the proto2 maximum")
+            }
+            WireError::LengthOutOfBounds {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "length-delimited field declares {declared} bytes but only {remaining} remain"
+            ),
+        }
+    }
+}
+
+impl Error for WireError {}

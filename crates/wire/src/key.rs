@@ -1,0 +1,214 @@
+//! Field keys: the (field number, wire type) pairs that prefix every field
+//! on the wire (Section 2.1.2).
+
+use crate::{WireError, MAX_FIELD_NUMBER};
+
+/// The 3-bit wire type carried in every field key.
+///
+/// The deprecated `start group` (3) and `end group` (4) types are modeled so
+/// the decoder can report them precisely, but no codec in this workspace
+/// produces them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum WireType {
+    /// Varint-encoded scalar: `{s,u}int{32,64}`, `int{32,64}`, `enum`, `bool`.
+    Varint = 0,
+    /// Fixed 64-bit little-endian value: `double`, `fixed64`, `sfixed64`.
+    Bits64 = 1,
+    /// Length-delimited: `string`, `bytes`, sub-messages, packed repeated.
+    LengthDelimited = 2,
+    /// Deprecated group start marker.
+    StartGroup = 3,
+    /// Deprecated group end marker.
+    EndGroup = 4,
+    /// Fixed 32-bit little-endian value: `float`, `fixed32`, `sfixed32`.
+    Bits32 = 5,
+}
+
+impl WireType {
+    /// Decodes the low three bits of a key.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::InvalidWireType`] for raw values 6 and 7, which proto2
+    /// leaves undefined.
+    pub fn from_raw(raw: u8) -> Result<Self, WireError> {
+        match raw & 0x7 {
+            0 => Ok(WireType::Varint),
+            1 => Ok(WireType::Bits64),
+            2 => Ok(WireType::LengthDelimited),
+            3 => Ok(WireType::StartGroup),
+            4 => Ok(WireType::EndGroup),
+            5 => Ok(WireType::Bits32),
+            raw => Err(WireError::InvalidWireType { raw }),
+        }
+    }
+
+    /// The raw 3-bit encoding of this wire type.
+    #[inline]
+    pub fn as_raw(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether a fixed-size payload follows the key, and its length.
+    ///
+    /// Length-delimited and group types return `None`.
+    pub fn fixed_payload_len(self) -> Option<usize> {
+        match self {
+            WireType::Bits64 => Some(8),
+            WireType::Bits32 => Some(4),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded field key: field number plus wire type.
+///
+/// On the wire the key is the varint encoding of
+/// `(field_number << 3) | wire_type`.
+///
+/// ```rust
+/// use protoacc_wire::{FieldKey, WireType};
+/// let key = FieldKey::new(1, WireType::Varint)?;
+/// assert_eq!(key.encoded(), 0x08);
+/// # Ok::<(), protoacc_wire::WireError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldKey {
+    field_number: u32,
+    wire_type: WireType,
+}
+
+impl FieldKey {
+    /// Creates a key, validating the field number range.
+    ///
+    /// # Errors
+    ///
+    /// * [`WireError::ZeroFieldNumber`] for field number 0.
+    /// * [`WireError::FieldNumberOutOfRange`] above 2^29 - 1.
+    pub fn new(field_number: u32, wire_type: WireType) -> Result<Self, WireError> {
+        if field_number == 0 {
+            return Err(WireError::ZeroFieldNumber);
+        }
+        if field_number > MAX_FIELD_NUMBER {
+            return Err(WireError::FieldNumberOutOfRange {
+                number: u64::from(field_number),
+            });
+        }
+        Ok(FieldKey {
+            field_number,
+            wire_type,
+        })
+    }
+
+    /// Reconstructs a key from the decoded varint value of a wire key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire-type and field-number validation failures.
+    pub fn from_encoded(encoded: u64) -> Result<Self, WireError> {
+        let wire_type = WireType::from_raw((encoded & 0x7) as u8)?;
+        let number = encoded >> 3;
+        if number == 0 {
+            return Err(WireError::ZeroFieldNumber);
+        }
+        if number > u64::from(MAX_FIELD_NUMBER) {
+            return Err(WireError::FieldNumberOutOfRange { number });
+        }
+        Ok(FieldKey {
+            field_number: number as u32,
+            wire_type,
+        })
+    }
+
+    /// The field number component.
+    #[inline]
+    pub fn field_number(self) -> u32 {
+        self.field_number
+    }
+
+    /// The wire type component.
+    #[inline]
+    pub fn wire_type(self) -> WireType {
+        self.wire_type
+    }
+
+    /// The value that is varint-encoded to put this key on the wire.
+    #[inline]
+    pub fn encoded(self) -> u64 {
+        (u64::from(self.field_number) << 3) | u64::from(self.wire_type.as_raw())
+    }
+
+    /// Number of bytes this key occupies on the wire.
+    #[inline]
+    pub fn encoded_len(self) -> usize {
+        crate::varint::encoded_len(self.encoded())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_type_round_trips() {
+        for raw in 0..=5u8 {
+            let wt = WireType::from_raw(raw).unwrap();
+            assert_eq!(wt.as_raw(), raw);
+        }
+        assert!(WireType::from_raw(6).is_err());
+        assert!(WireType::from_raw(7).is_err());
+    }
+
+    #[test]
+    fn key_encoding_matches_spec_examples() {
+        // Field 1, varint => 0x08; field 2, length-delimited => 0x12.
+        assert_eq!(FieldKey::new(1, WireType::Varint).unwrap().encoded(), 0x08);
+        assert_eq!(
+            FieldKey::new(2, WireType::LengthDelimited).unwrap().encoded(),
+            0x12
+        );
+    }
+
+    #[test]
+    fn key_round_trips_through_encoding() {
+        for number in [1u32, 15, 16, 2047, 2048, MAX_FIELD_NUMBER] {
+            for wt in [WireType::Varint, WireType::Bits64, WireType::Bits32] {
+                let key = FieldKey::new(number, wt).unwrap();
+                let back = FieldKey::from_encoded(key.encoded()).unwrap();
+                assert_eq!(back, key);
+            }
+        }
+    }
+
+    #[test]
+    fn key_length_boundary_at_field_16() {
+        // Field numbers 1-15 fit the key in one byte; 16 and up need two.
+        assert_eq!(FieldKey::new(15, WireType::Varint).unwrap().encoded_len(), 1);
+        assert_eq!(FieldKey::new(16, WireType::Varint).unwrap().encoded_len(), 2);
+    }
+
+    #[test]
+    fn rejects_invalid_field_numbers() {
+        assert_eq!(
+            FieldKey::new(0, WireType::Varint),
+            Err(WireError::ZeroFieldNumber)
+        );
+        assert!(FieldKey::new(MAX_FIELD_NUMBER + 1, WireType::Varint).is_err());
+        // Wire type 0, field number 0.
+        assert_eq!(FieldKey::from_encoded(0x00), Err(WireError::ZeroFieldNumber));
+        // Wire-type validation fires before field-number validation.
+        assert_eq!(
+            FieldKey::from_encoded(0x07),
+            Err(WireError::InvalidWireType { raw: 7 })
+        );
+    }
+
+    #[test]
+    fn fixed_payload_lengths() {
+        assert_eq!(WireType::Bits64.fixed_payload_len(), Some(8));
+        assert_eq!(WireType::Bits32.fixed_payload_len(), Some(4));
+        assert_eq!(WireType::Varint.fixed_payload_len(), None);
+        assert_eq!(WireType::LengthDelimited.fixed_payload_len(), None);
+    }
+}

@@ -1,0 +1,241 @@
+//! Reference wire-format reader over a byte slice.
+
+use crate::{varint, FieldKey, WireError, WireType};
+
+/// Streaming decoder over a serialized protobuf buffer.
+///
+/// Deserialization is inherently serial (Section 2.2): the key of the Nth
+/// field must be decoded before the (N+1)th field's location is known. The
+/// reader models exactly that cursor.
+///
+/// ```rust
+/// use protoacc_wire::{WireReader, WireType};
+/// let buf = [0x08, 0x96, 0x01];
+/// let mut r = WireReader::new(&buf);
+/// let key = r.read_key()?;
+/// assert_eq!(key.field_number(), 1);
+/// assert_eq!(r.read_varint()?, 150);
+/// assert!(r.is_at_end());
+/// # Ok::<(), protoacc_wire::WireError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor has reached the end of the buffer.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Reads a raw varint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`varint::decode`] failures with offsets rebased to this
+    /// buffer.
+    pub fn read_varint(&mut self) -> Result<u64, WireError> {
+        let (value, len) = varint::decode(&self.buf[self.pos..]).map_err(|e| match e {
+            WireError::Truncated { offset } => WireError::Truncated {
+                offset: self.pos + offset,
+            },
+            WireError::VarintOverflow { .. } => WireError::VarintOverflow { offset: self.pos },
+            other => other,
+        })?;
+        self.pos += len;
+        Ok(value)
+    }
+
+    /// Reads and validates a field key.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, invalid wire types, or invalid field numbers.
+    pub fn read_key(&mut self) -> Result<FieldKey, WireError> {
+        let encoded = self.read_varint()?;
+        FieldKey::from_encoded(encoded)
+    }
+
+    /// Reads a fixed 64-bit little-endian value.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] if fewer than 8 bytes remain.
+    pub fn read_fixed64(&mut self) -> Result<u64, WireError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a fixed 32-bit little-endian value.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] if fewer than 4 bytes remain.
+    pub fn read_fixed32(&mut self) -> Result<u32, WireError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+    }
+
+    /// Reads a length-delimited payload: varint length followed by that many
+    /// bytes, returned as a sub-slice.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::LengthOutOfBounds`] if the declared length exceeds the
+    /// remaining input.
+    pub fn read_length_delimited(&mut self) -> Result<&'a [u8], WireError> {
+        let declared = self.read_varint()?;
+        let remaining = self.remaining();
+        if declared > remaining as u64 {
+            return Err(WireError::LengthOutOfBounds {
+                declared,
+                remaining,
+            });
+        }
+        self.take(declared as usize)
+    }
+
+    /// Skips over the payload of a field with the given wire type, without
+    /// interpreting it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or on the deprecated group wire types, which
+    /// cannot be skipped without tracking nesting.
+    pub fn skip_value(&mut self, wire_type: WireType) -> Result<(), WireError> {
+        match wire_type {
+            WireType::Varint => {
+                self.read_varint()?;
+            }
+            WireType::Bits64 => {
+                self.take(8)?;
+            }
+            WireType::Bits32 => {
+                self.take(4)?;
+            }
+            WireType::LengthDelimited => {
+                self.read_length_delimited()?;
+            }
+            WireType::StartGroup | WireType::EndGroup => {
+                return Err(WireError::InvalidWireType {
+                    raw: wire_type.as_raw(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                offset: self.buf.len(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WireWriter;
+
+    #[test]
+    fn reads_back_what_writer_wrote() {
+        let mut w = WireWriter::new();
+        w.write_varint_field(1, 42).unwrap();
+        w.write_fixed64_field(2, 0xdead_beef).unwrap();
+        w.write_length_delimited_field(3, b"hi").unwrap();
+        w.write_fixed32_field(4, 7).unwrap();
+        let buf = w.into_bytes();
+
+        let mut r = WireReader::new(&buf);
+        let k1 = r.read_key().unwrap();
+        assert_eq!((k1.field_number(), k1.wire_type()), (1, WireType::Varint));
+        assert_eq!(r.read_varint().unwrap(), 42);
+        let k2 = r.read_key().unwrap();
+        assert_eq!((k2.field_number(), k2.wire_type()), (2, WireType::Bits64));
+        assert_eq!(r.read_fixed64().unwrap(), 0xdead_beef);
+        let k3 = r.read_key().unwrap();
+        assert_eq!(k3.wire_type(), WireType::LengthDelimited);
+        assert_eq!(r.read_length_delimited().unwrap(), b"hi");
+        let k4 = r.read_key().unwrap();
+        assert_eq!(k4.wire_type(), WireType::Bits32);
+        assert_eq!(r.read_fixed32().unwrap(), 7);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn truncated_fixed_reads_fail() {
+        let mut r = WireReader::new(&[1, 2, 3]);
+        assert!(r.read_fixed64().is_err());
+        let mut r = WireReader::new(&[1, 2, 3]);
+        assert!(r.read_fixed32().is_err());
+    }
+
+    #[test]
+    fn length_overrun_is_reported_precisely() {
+        // Declares 5 payload bytes, provides 2.
+        let buf = [0x05, 0xaa, 0xbb];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(
+            r.read_length_delimited(),
+            Err(WireError::LengthOutOfBounds {
+                declared: 5,
+                remaining: 2
+            })
+        );
+    }
+
+    #[test]
+    fn skip_value_advances_over_every_type() {
+        let mut w = WireWriter::new();
+        w.write_varint_field(1, u64::MAX).unwrap();
+        w.write_fixed64_field(2, 1).unwrap();
+        w.write_length_delimited_field(3, &[0u8; 100]).unwrap();
+        w.write_fixed32_field(4, 1).unwrap();
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        for _ in 0..4 {
+            let key = r.read_key().unwrap();
+            r.skip_value(key.wire_type()).unwrap();
+        }
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn skip_rejects_group_types() {
+        let mut r = WireReader::new(&[]);
+        assert!(r.skip_value(WireType::StartGroup).is_err());
+        assert!(r.skip_value(WireType::EndGroup).is_err());
+    }
+
+    #[test]
+    fn varint_error_offsets_are_rebased() {
+        // One good field, then a truncated varint at offset 2.
+        let buf = [0x08, 0x01, 0x80];
+        let mut r = WireReader::new(&buf);
+        r.read_key().unwrap();
+        r.read_varint().unwrap();
+        assert_eq!(r.read_varint(), Err(WireError::Truncated { offset: 3 }));
+    }
+}

@@ -1,0 +1,219 @@
+//! Reference wire-format writer over a growable byte buffer.
+
+use crate::{varint, zigzag, FieldKey, WireError, WireType};
+
+/// Appends protobuf wire-format primitives to an owned byte buffer.
+///
+/// This is the forward-writing software encoder (low-to-high addresses, fields
+/// in increasing field-number order), i.e. the layout upstream protobuf
+/// produces and against which the accelerator's reverse-order serializer must
+/// be byte-identical (Section 4.5.1).
+///
+/// ```rust
+/// use protoacc_wire::{WireWriter, WireType};
+/// let mut w = WireWriter::new();
+/// w.write_varint_field(1, 150)?;
+/// assert_eq!(w.as_bytes(), &[0x08, 0x96, 0x01]);
+/// # Ok::<(), protoacc_wire::WireError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// Creates a writer with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        WireWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the underlying buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a field key.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the field number is invalid.
+    pub fn write_key(&mut self, field_number: u32, wire_type: WireType) -> Result<(), WireError> {
+        let key = FieldKey::new(field_number, wire_type)?;
+        varint::encode(key.encoded(), &mut self.buf);
+        Ok(())
+    }
+
+    /// Writes a raw varint (no key).
+    pub fn write_raw_varint(&mut self, value: u64) {
+        varint::encode(value, &mut self.buf);
+    }
+
+    /// Writes raw bytes verbatim.
+    pub fn write_raw_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a complete varint field: key + value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the field number is invalid.
+    pub fn write_varint_field(&mut self, field_number: u32, value: u64) -> Result<(), WireError> {
+        self.write_key(field_number, WireType::Varint)?;
+        self.write_raw_varint(value);
+        Ok(())
+    }
+
+    /// Writes a zigzag-encoded signed varint field (`sint32`/`sint64`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the field number is invalid.
+    pub fn write_sint_field(&mut self, field_number: u32, value: i64) -> Result<(), WireError> {
+        self.write_varint_field(field_number, zigzag::encode64(value))
+    }
+
+    /// Writes a fixed 64-bit field (`fixed64`/`sfixed64`/`double` bit pattern).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the field number is invalid.
+    pub fn write_fixed64_field(&mut self, field_number: u32, value: u64) -> Result<(), WireError> {
+        self.write_key(field_number, WireType::Bits64)?;
+        self.buf.extend_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a fixed 32-bit field (`fixed32`/`sfixed32`/`float` bit pattern).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the field number is invalid.
+    pub fn write_fixed32_field(&mut self, field_number: u32, value: u32) -> Result<(), WireError> {
+        self.write_key(field_number, WireType::Bits32)?;
+        self.buf.extend_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a `double` field.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the field number is invalid.
+    pub fn write_double_field(&mut self, field_number: u32, value: f64) -> Result<(), WireError> {
+        self.write_fixed64_field(field_number, value.to_bits())
+    }
+
+    /// Writes a `float` field.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the field number is invalid.
+    pub fn write_float_field(&mut self, field_number: u32, value: f32) -> Result<(), WireError> {
+        self.write_fixed32_field(field_number, value.to_bits())
+    }
+
+    /// Writes a length-delimited field: key + varint length + payload.
+    ///
+    /// Used for `string`, `bytes`, packed repeated fields, and pre-serialized
+    /// sub-messages.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the field number is invalid.
+    pub fn write_length_delimited_field(
+        &mut self,
+        field_number: u32,
+        payload: &[u8],
+    ) -> Result<(), WireError> {
+        self.write_key(field_number, WireType::LengthDelimited)?;
+        self.write_raw_varint(payload.len() as u64);
+        self.buf.extend_from_slice(payload);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_varint_field() {
+        let mut w = WireWriter::new();
+        w.write_varint_field(1, 150).unwrap();
+        assert_eq!(w.as_bytes(), &[0x08, 0x96, 0x01]);
+    }
+
+    #[test]
+    fn writes_string_field() {
+        // Spec example: field 2 = "testing".
+        let mut w = WireWriter::new();
+        w.write_length_delimited_field(2, b"testing").unwrap();
+        assert_eq!(
+            w.as_bytes(),
+            &[0x12, 0x07, b't', b'e', b's', b't', b'i', b'n', b'g']
+        );
+    }
+
+    #[test]
+    fn writes_fixed_fields_little_endian() {
+        let mut w = WireWriter::new();
+        w.write_fixed32_field(1, 0x1234_5678).unwrap();
+        assert_eq!(w.as_bytes(), &[0x0d, 0x78, 0x56, 0x34, 0x12]);
+        let mut w = WireWriter::new();
+        w.write_fixed64_field(1, 1).unwrap();
+        assert_eq!(w.as_bytes(), &[0x09, 1, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn writes_float_and_double_bit_patterns() {
+        let mut w = WireWriter::new();
+        w.write_double_field(3, 1.5).unwrap();
+        let mut expect = vec![0x19];
+        expect.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        assert_eq!(w.as_bytes(), expect.as_slice());
+    }
+
+    #[test]
+    fn writes_sint_with_zigzag() {
+        let mut w = WireWriter::new();
+        w.write_sint_field(1, -1).unwrap();
+        assert_eq!(w.as_bytes(), &[0x08, 0x01]);
+    }
+
+    #[test]
+    fn empty_writer_reports_empty() {
+        let w = WireWriter::new();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.as_bytes(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn rejects_zero_field_number() {
+        let mut w = WireWriter::new();
+        assert!(w.write_varint_field(0, 1).is_err());
+    }
+}

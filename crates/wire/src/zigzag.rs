@@ -1,0 +1,79 @@
+//! Zigzag transform for signed integer types (`sint32`/`sint64`).
+//!
+//! Two's-complement negative values would always occupy the full 10 varint
+//! bytes; zigzag interleaves positive and negative values so small magnitudes
+//! stay short. The accelerator applies this as an extra combinational stage
+//! after varint decode (Section 4.4.6).
+
+/// Maps a signed 64-bit value onto an unsigned one: 0, -1, 1, -2 → 0, 1, 2, 3.
+///
+/// ```rust
+/// use protoacc_wire::zigzag;
+/// assert_eq!(zigzag::encode64(0), 0);
+/// assert_eq!(zigzag::encode64(-1), 1);
+/// assert_eq!(zigzag::encode64(2147483647), 4294967294);
+/// ```
+#[inline]
+pub fn encode64(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`encode64`].
+#[inline]
+pub fn decode64(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// 32-bit variant of [`encode64`].
+#[inline]
+pub fn encode32(value: i32) -> u32 {
+    ((value << 1) ^ (value >> 31)) as u32
+}
+
+/// Inverse of [`encode32`].
+#[inline]
+pub fn decode32(value: u32) -> i32 {
+    ((value >> 1) as i32) ^ -((value & 1) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors_64() {
+        let cases = [
+            (0i64, 0u64),
+            (-1, 1),
+            (1, 2),
+            (-2, 3),
+            (2147483647, 4294967294),
+            (-2147483648, 4294967295),
+            (i64::MAX, u64::MAX - 1),
+            (i64::MIN, u64::MAX),
+        ];
+        for (signed, unsigned) in cases {
+            assert_eq!(encode64(signed), unsigned);
+            assert_eq!(decode64(unsigned), signed);
+        }
+    }
+
+    #[test]
+    fn known_vectors_32() {
+        let cases = [(0i32, 0u32), (-1, 1), (1, 2), (i32::MIN, u32::MAX)];
+        for (signed, unsigned) in cases {
+            assert_eq!(encode32(signed), unsigned);
+            assert_eq!(decode32(unsigned), signed);
+        }
+    }
+
+    #[test]
+    fn round_trip_extremes() {
+        for v in [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX] {
+            assert_eq!(decode64(encode64(v)), v);
+        }
+        for v in [i32::MIN, -1, 0, 1, i32::MAX] {
+            assert_eq!(decode32(encode32(v)), v);
+        }
+    }
+}

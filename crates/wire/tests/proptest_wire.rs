@@ -1,0 +1,107 @@
+//! Property-based tests for the wire-format primitives.
+
+use proptest::prelude::*;
+use protoacc_wire::hw::{CombVarintDecoder, CombVarintEncoder};
+use protoacc_wire::{varint, zigzag, FieldKey, WireReader, WireType, WireWriter};
+
+proptest! {
+    #[test]
+    fn varint_round_trips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        let n = varint::encode(v, &mut buf);
+        prop_assert_eq!(n, varint::encoded_len(v));
+        let (decoded, consumed) = varint::decode(&buf).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(consumed, n);
+    }
+
+    #[test]
+    fn hardware_and_software_varint_agree(v in any::<u64>()) {
+        let mut sw = Vec::new();
+        varint::encode(v, &mut sw);
+        let hw = CombVarintEncoder::encode(v);
+        prop_assert_eq!(hw.as_slice(), sw.as_slice());
+        let dec = CombVarintDecoder::decode_avail(&sw).unwrap();
+        prop_assert_eq!(dec.value, v);
+    }
+
+    #[test]
+    fn zigzag_round_trips(v in any::<i64>(), w in any::<i32>()) {
+        prop_assert_eq!(zigzag::decode64(zigzag::encode64(v)), v);
+        prop_assert_eq!(zigzag::decode32(zigzag::encode32(w)), w);
+    }
+
+    #[test]
+    fn zigzag_small_magnitude_stays_small(v in -64i64..64) {
+        // Zigzag keeps |v| < 64 within one varint byte.
+        prop_assert_eq!(varint::encoded_len(zigzag::encode64(v)), 1);
+    }
+
+    #[test]
+    fn field_key_round_trips(number in 1u32..=protoacc_wire::MAX_FIELD_NUMBER, raw_wt in 0u8..=5) {
+        let wt = WireType::from_raw(raw_wt).unwrap();
+        let key = FieldKey::new(number, wt).unwrap();
+        let back = FieldKey::from_encoded(key.encoded()).unwrap();
+        prop_assert_eq!(back, key);
+    }
+
+    #[test]
+    fn writer_reader_round_trip_mixed_fields(
+        fields in prop::collection::vec(
+            (1u32..1000, prop_oneof![
+                any::<u64>().prop_map(Field::Varint),
+                any::<u64>().prop_map(Field::Fixed64),
+                any::<u32>().prop_map(Field::Fixed32),
+                prop::collection::vec(any::<u8>(), 0..64).prop_map(Field::Bytes),
+            ]),
+            0..32,
+        )
+    ) {
+        let mut w = WireWriter::new();
+        for (num, field) in &fields {
+            match field {
+                Field::Varint(v) => w.write_varint_field(*num, *v).unwrap(),
+                Field::Fixed64(v) => w.write_fixed64_field(*num, *v).unwrap(),
+                Field::Fixed32(v) => w.write_fixed32_field(*num, *v).unwrap(),
+                Field::Bytes(b) => w.write_length_delimited_field(*num, b).unwrap(),
+            }
+        }
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        for (num, field) in &fields {
+            let key = r.read_key().unwrap();
+            prop_assert_eq!(key.field_number(), *num);
+            match field {
+                Field::Varint(v) => prop_assert_eq!(r.read_varint().unwrap(), *v),
+                Field::Fixed64(v) => prop_assert_eq!(r.read_fixed64().unwrap(), *v),
+                Field::Fixed32(v) => prop_assert_eq!(r.read_fixed32().unwrap(), *v),
+                Field::Bytes(b) => prop_assert_eq!(r.read_length_delimited().unwrap(), b.as_slice()),
+            }
+        }
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn truncation_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Decoding arbitrary garbage must fail gracefully, never panic.
+        let mut r = WireReader::new(&bytes);
+        while !r.is_at_end() {
+            match r.read_key() {
+                Ok(key) => {
+                    if r.skip_value(key.wire_type()).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Field {
+    Varint(u64),
+    Fixed64(u64),
+    Fixed32(u32),
+    Bytes(Vec<u8>),
+}

@@ -1,0 +1,69 @@
+//! The Section 3 profiling study in one pass: samples synthetic fleet data
+//! and prints the §3.9 key insights with the numbers backing them.
+//!
+//! Run with: `cargo run --release --example fleet_study`
+
+use protoacc_suite::cpu::CostTable;
+use protoacc_suite::fleet::density::fraction_favoring_protoacc;
+use protoacc_suite::fleet::gwp::FleetProfile;
+use protoacc_suite::fleet::model24::Model24;
+use protoacc_suite::fleet::protobufz::{
+    bytes_coverage_at_depth, estimate_size_histogram, ShapeModel,
+};
+use protoacc_suite::fleet::protodb::Registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let profile = FleetProfile::google_2021();
+    let shape = ShapeModel::google_2021();
+    let registry = Registry::google_2021();
+    let mut rng = StdRng::seed_from_u64(0xF1EE7);
+    let samples = shape.sample_population(&mut rng, 50_000);
+
+    println!("== Key insights for accelerator design (Section 3.9) ==\n");
+
+    println!(
+        "1. Opportunity: a protobuf (de)serialization accelerator could eliminate up to \
+         {:.2}% of fleet-wide cycles.",
+        profile.acceleration_opportunity() * 100.0
+    );
+
+    println!(
+        "2. Stability: {:.0}% of protobuf bytes remain proto2 — serialization-framework \
+         usage is stable enough to harden into silicon.",
+        registry.proto2_bytes_fraction * 100.0
+    );
+
+    let hist = estimate_size_histogram(&samples);
+    let le32: f64 = hist[..2].iter().sum();
+    let (non_rpc_deser, non_rpc_ser) = profile.non_rpc_fractions();
+    println!(
+        "3. Placement: {:.0}% of messages are <=32 B, and {:.0}%/{:.0}% of deser/ser cycles \
+         are not even RPC-related — offload overheads and data movement rule out PCIe/NIC \
+         placement; the accelerator belongs near the core.",
+        le32 * 100.0,
+        non_rpc_deser * 100.0,
+        non_rpc_ser * 100.0
+    );
+
+    let model = Model24::build(&shape, &CostTable::boom());
+    println!(
+        "4. No silver bullet: only {:.0}% of deserialization time is spent on data handled \
+         faster than 1 GB/s — the accelerator must cover the whole type/size swath, not \
+         just memcpy.",
+        model.deser_time_fraction_above(8.0) * 100.0
+    );
+
+    println!(
+        "5. Programming interface: {:.0}% of messages have field-number density above 1/64, \
+         favoring fixed per-type ADTs plus sparse hasbits over per-instance tables.",
+        fraction_favoring_protoacc(&samples) * 100.0
+    );
+
+    println!(
+        "6. Sub-message state: {:.3}% of message bytes sit at nesting depth <=25, so \
+         depth-25 on-chip metadata stacks (with DRAM spill) suffice.",
+        bytes_coverage_at_depth(&samples, 25) * 100.0
+    );
+}
