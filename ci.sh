@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Hermetic CI gate for the protoacc workspace. No network access: every
+# dependency is an in-workspace path crate, so `--offline` always works.
+#
+# Steps:
+#   1. formatting           cargo fmt --check
+#   2. lints                cargo clippy --all-targets -- -D warnings
+#   3. tier-1 tests         cargo build --release && cargo test
+#   4. full workspace tests cargo test --workspace
+#   5. schema lint gate     protoacc-lint --format json protos/
+#                           (fails on any deny-level diagnostic)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build + root test suite =="
+cargo build --offline --release
+cargo test --offline -q
+
+echo "== full workspace tests =="
+cargo test --offline --workspace -q
+
+echo "== protoacc-lint gate over protos/ =="
+# Deny-level diagnostics exit 1 and fail CI; the JSON report is printed for
+# the build log either way.
+cargo run --offline -q -p protoacc-lint --bin protoacc-lint -- \
+    --format json --fail-on deny protos/
+
+echo "CI OK"

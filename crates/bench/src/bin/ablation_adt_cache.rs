@@ -12,7 +12,7 @@ use protoacc_bench::{geomean, measure_accel_config, Direction, Workload};
 fn main() {
     let mut workloads = vec![];
     workloads.extend(nonalloc_workloads().into_iter().take(6));
-    let bench5 = Generator::new(ServiceProfile::bench(5), 0xADC) .generate(24);
+    let bench5 = Generator::new(ServiceProfile::bench(5), 0xADC).generate(24);
     workloads.push(Workload {
         name: "bench5".into(),
         schema: bench5.schema,

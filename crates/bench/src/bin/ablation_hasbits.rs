@@ -38,8 +38,7 @@ fn main() {
     // Fleet-level aggregate, echoing fig7_density.
     use protoacc_fleet::density::{aggregate_interface_cost, fraction_favoring_protoacc};
     use protoacc_fleet::protobufz::ShapeModel;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use xrand::StdRng;
     let mut rng = StdRng::seed_from_u64(0xAB2);
     let samples = ShapeModel::google_2021().sample_population(&mut rng, 50_000);
     let (prior, ours) = aggregate_interface_cost(&samples);

@@ -12,9 +12,11 @@ use protoacc_schema::{FieldType, SchemaBuilder};
 fn chain_workload(depth: usize) -> Workload {
     let mut b = SchemaBuilder::new();
     let node = b.declare("Node");
-    b.message(node)
-        .optional("v", FieldType::Int64, 1)
-        .optional("next", FieldType::Message(node), 2);
+    b.message(node).optional("v", FieldType::Int64, 1).optional(
+        "next",
+        FieldType::Message(node),
+        2,
+    );
     let schema = b.build().expect("chain schema");
     let mut m = MessageValue::new(node);
     m.set_unchecked(1, Value::Int64(0));

@@ -71,7 +71,10 @@ fn main() {
         workload.messages.len(),
         workload.wire_bytes()
     );
-    println!("{:<20} {:>16} {:>16}", "System", "deser Gbits/s", "ser Gbits/s");
+    println!(
+        "{:<20} {:>16} {:>16}",
+        "System", "deser Gbits/s", "ser Gbits/s"
+    );
     for system in SystemKind::ALL {
         let d = measure(system, &workload, Direction::Deserialize);
         let s = measure(system, &workload, Direction::Serialize);

@@ -36,8 +36,14 @@ fn rocket_gbits(workload: &Workload, direction: Direction) -> f64 {
                         .unwrap();
                     let run = codec
                         .deserialize(
-                            &mut mem, &workload.schema, &layouts, workload.type_id, addr, len,
-                            dest, &mut arena,
+                            &mut mem,
+                            &workload.schema,
+                            &layouts,
+                            workload.type_id,
+                            addr,
+                            len,
+                            dest,
+                            &mut arena,
                         )
                         .unwrap();
                     cycles += run.cycles;
@@ -52,7 +58,11 @@ fn rocket_gbits(workload: &Workload, direction: Direction) -> f64 {
                 .iter()
                 .map(|m| {
                     protoacc_runtime::object::write_message(
-                        &mut mem.data, &workload.schema, &layouts, &mut arena, m,
+                        &mut mem.data,
+                        &workload.schema,
+                        &layouts,
+                        &mut arena,
+                        m,
                     )
                     .unwrap()
                 })
@@ -61,7 +71,11 @@ fn rocket_gbits(workload: &Workload, direction: Direction) -> f64 {
                 for &obj in &objects {
                     let (run, len) = codec
                         .serialize(
-                            &mut mem, &workload.schema, &layouts, workload.type_id, obj,
+                            &mut mem,
+                            &workload.schema,
+                            &layouts,
+                            workload.type_id,
+                            obj,
                             0x2000_0000,
                         )
                         .unwrap();

@@ -10,7 +10,10 @@ use protoacc_fleet::protodb::analyze_schema;
 fn main() {
     let out_dir = std::path::Path::new("artifacts/hyperprotobench");
     std::fs::create_dir_all(out_dir).expect("create output directory");
-    println!("Exporting HyperProtoBench schemas to {}/", out_dir.display());
+    println!(
+        "Exporting HyperProtoBench schemas to {}/",
+        out_dir.display()
+    );
     println!(
         "{:<10} {:<18} {:>8} {:>8} {:>10} {:>14}",
         "bench", "service", "types", "fields", "repeated", "bytes/message"

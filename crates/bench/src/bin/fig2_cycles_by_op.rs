@@ -5,8 +5,7 @@
 //! model's ground truth.
 
 use protoacc_fleet::gwp::{FleetProfile, ProtoOp};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use xrand::StdRng;
 
 fn main() {
     let profile = FleetProfile::google_2021();

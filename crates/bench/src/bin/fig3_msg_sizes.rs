@@ -2,8 +2,7 @@
 
 use protoacc_fleet::protobufz::{estimate_size_histogram, ShapeModel};
 use protoacc_fleet::{bucket_label, SIZE_BUCKET_COUNT};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use xrand::StdRng;
 
 fn main() {
     let model = ShapeModel::google_2021();
@@ -12,7 +11,10 @@ fn main() {
     let hist = estimate_size_histogram(&samples);
 
     println!("Figure 3: fleet-wide top-level message size distribution");
-    println!("{:<18} {:>10} {:>12}", "Bucket (bytes)", "model %", "estimated %");
+    println!(
+        "{:<18} {:>10} {:>12}",
+        "Bucket (bytes)", "model %", "estimated %"
+    );
     let total: f64 = model.size_bucket_weights.iter().sum();
     for (i, share) in hist.iter().enumerate().take(SIZE_BUCKET_COUNT) {
         println!(

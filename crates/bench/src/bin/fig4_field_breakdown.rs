@@ -4,13 +4,12 @@
 //! (c) % of bytes fields by field size.
 
 use protoacc_fleet::protobufz::{
-    estimate_bytes_field_size_histogram, estimate_field_bytes_shares,
-    estimate_field_count_shares, ShapeModel, TRACKED_TYPES,
+    estimate_bytes_field_size_histogram, estimate_field_bytes_shares, estimate_field_count_shares,
+    ShapeModel, TRACKED_TYPES,
 };
 use protoacc_fleet::{bucket_label, SIZE_BUCKET_COUNT};
 use protoacc_schema::PerfClass;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use xrand::StdRng;
 
 fn main() {
     let model = ShapeModel::google_2021();

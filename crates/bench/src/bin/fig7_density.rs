@@ -5,8 +5,7 @@ use protoacc_fleet::density::{
     aggregate_interface_cost, density_histogram, fraction_favoring_protoacc,
 };
 use protoacc_fleet::protobufz::ShapeModel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use xrand::StdRng;
 
 fn main() {
     let model = ShapeModel::google_2021();

@@ -5,7 +5,10 @@ use protoacc_schema::{FieldType, PerfClass};
 
 fn main() {
     println!("Table 1: Classification of protobuf field types");
-    println!("{:<16} {:<44} Sizes (bytes)", "Perf class", "Protobuf types (incl. repeated)");
+    println!(
+        "{:<16} {:<44} Sizes (bytes)",
+        "Perf class", "Protobuf types (incl. repeated)"
+    );
     for class in PerfClass::ALL {
         let types: Vec<&str> = FieldType::SCALARS
             .iter()

@@ -27,10 +27,34 @@ fn main() {
     let nonalloc = nonalloc_workloads();
     let alloc = alloc_workloads();
     let groups = [
-        ("ubench 11a (deser non-alloc)", &nonalloc, Direction::Deserialize, 7.0, 2.6),
-        ("ubench 11b (ser inline)", &nonalloc, Direction::Serialize, 15.5, 4.5),
-        ("ubench 11c (deser alloc)", &alloc, Direction::Deserialize, 14.2, 6.9),
-        ("ubench 11d (ser non-inline)", &alloc, Direction::Serialize, 10.1, 2.8),
+        (
+            "ubench 11a (deser non-alloc)",
+            &nonalloc,
+            Direction::Deserialize,
+            7.0,
+            2.6,
+        ),
+        (
+            "ubench 11b (ser inline)",
+            &nonalloc,
+            Direction::Serialize,
+            15.5,
+            4.5,
+        ),
+        (
+            "ubench 11c (deser alloc)",
+            &alloc,
+            Direction::Deserialize,
+            14.2,
+            6.9,
+        ),
+        (
+            "ubench 11d (ser non-inline)",
+            &alloc,
+            Direction::Serialize,
+            10.1,
+            2.8,
+        ),
     ];
     println!(
         "{:<32} {:>10} {:>12} {:>10} {:>12}",

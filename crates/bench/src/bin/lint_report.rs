@@ -1,0 +1,32 @@
+//! Lint-vs-measurement report: runs the static analyzer over every
+//! microbenchmark workload, measures the accelerator on the same
+//! workloads, and prints how much headroom the simulated cycles leave over
+//! the provable static floor (`headroom = measured / floor`, always >= 1).
+//!
+//! Usage: `lint_report`
+
+use protoacc_bench::lintrep::{format_lint_table, lint_workload};
+use protoacc_bench::systems::{measure, Direction, SystemKind};
+use protoacc_bench::ubench::{alloc_workloads, nonalloc_workloads};
+use protoacc_lint::LintConfig;
+
+fn main() {
+    let config = LintConfig::default();
+    for (title, workloads) in [
+        ("non-allocating microbenchmarks", nonalloc_workloads()),
+        ("allocating microbenchmarks", alloc_workloads()),
+    ] {
+        println!("== {title} ==");
+        let rows: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                let m = measure(SystemKind::RiscvBoomAccel, w, Direction::Deserialize);
+                lint_workload(w, &m, &config)
+            })
+            .collect();
+        print!("{}", format_lint_table(&rows));
+        let violations = rows.iter().filter(|r| r.headroom < 1.0).count();
+        println!("floor violations: {violations}\n");
+        assert_eq!(violations, 0, "a measurement beat the static lower bound");
+    }
+}

@@ -49,7 +49,11 @@ fn compare(workload: &Workload) -> Comparison {
         expected.push(reference::encode(m, &workload.schema).unwrap());
     }
     for (i, &obj) in objects.iter().enumerate() {
-        accel.ser_info(layout.hasbits_offset(), layout.min_field(), layout.max_field());
+        accel.ser_info(
+            layout.hasbits_offset(),
+            layout.min_field(),
+            layout.max_field(),
+        );
         let run = accel
             .do_proto_ser(&mut mem, adts.addr(workload.type_id), obj)
             .unwrap();

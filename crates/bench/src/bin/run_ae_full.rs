@@ -42,7 +42,11 @@ fn main() {
         .parent()
         .expect("bin directory")
         .to_path_buf();
-    println!("Artifact evaluation: {} generators -> {}/", GENERATORS.len(), out_dir.display());
+    println!(
+        "Artifact evaluation: {} generators -> {}/",
+        GENERATORS.len(),
+        out_dir.display()
+    );
     let mut failures = 0;
     for name in GENERATORS {
         let started = std::time::Instant::now();
@@ -53,7 +57,15 @@ fn main() {
             // Fall back to cargo when siblings were not built (e.g. `cargo
             // run --bin run_ae_full` without a prior full build).
             Command::new("cargo")
-                .args(["run", "--release", "-q", "-p", "protoacc-bench", "--bin", name])
+                .args([
+                    "run",
+                    "--release",
+                    "-q",
+                    "-p",
+                    "protoacc-bench",
+                    "--bin",
+                    name,
+                ])
                 .output()
         };
         match output {
@@ -81,7 +93,10 @@ fn main() {
         }
     }
     if failures == 0 {
-        println!("\nrun_ae_full complete: all {} artifacts regenerated.", GENERATORS.len());
+        println!(
+            "\nrun_ae_full complete: all {} artifacts regenerated.",
+            GENERATORS.len()
+        );
         println!("Compare against EXPERIMENTS.md for the paper-vs-measured record.");
     } else {
         println!("\nrun_ae_full: {failures} generator(s) failed.");

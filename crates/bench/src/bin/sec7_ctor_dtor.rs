@@ -24,7 +24,7 @@ fn cpu_construct_cycles(cost: &CostTable, m: &MessageValue) -> u64 {
             match v {
                 Value::Message(sub) => cycles += cpu_construct_cycles(cost, sub),
                 Value::Str(_) | Value::Bytes(_) => {
-                    cycles += cost.alloc + cost.string_construct
+                    cycles += cost.alloc + cost.string_construct;
                 }
                 _ => cycles += cost.fixed_op,
             }
@@ -86,7 +86,10 @@ fn main() {
     // the hasbits of the top-level objects if they are to be reused.
     let arena_reset_cycles = 1 + mem.system.access(0x1_0000_0000, 8, AccessKind::Write);
 
-    println!("Section 7: constructor/destructor cycles (bench0, {} messages)", bench.messages.len());
+    println!(
+        "Section 7: constructor/destructor cycles (bench0, {} messages)",
+        bench.messages.len()
+    );
     println!("CPU heap construction:            {ctor:>10} cycles");
     println!("CPU heap destruction:             {dtor:>10} cycles");
     println!("accel deser (construction incl.): {deser_cycles:>10} cycles");

@@ -45,7 +45,13 @@ fn boom_with_flush(workload: &Workload, flush: u64) -> f64 {
                 .unwrap();
             let run = codec
                 .deserialize(
-                    &mut mem, &workload.schema, &layouts, workload.type_id, addr, len, dest,
+                    &mut mem,
+                    &workload.schema,
+                    &layouts,
+                    workload.type_id,
+                    addr,
+                    len,
+                    dest,
                     &mut arena,
                 )
                 .unwrap();

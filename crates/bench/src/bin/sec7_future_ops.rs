@@ -75,10 +75,12 @@ fn run_software(cost: &CostTable, service: usize, op: Op) -> u64 {
         .chunks(2)
         .filter(|c| c.len() == 2)
         .map(|pair| {
-            let dst = object::write_message(&mut mem.data, &bench.schema, &layouts, &mut arena, &pair[0])
-                .unwrap();
-            let src = object::write_message(&mut mem.data, &bench.schema, &layouts, &mut arena, &pair[1])
-                .unwrap();
+            let dst =
+                object::write_message(&mut mem.data, &bench.schema, &layouts, &mut arena, &pair[0])
+                    .unwrap();
+            let src =
+                object::write_message(&mut mem.data, &bench.schema, &layouts, &mut arena, &pair[1])
+                    .unwrap();
             (dst, src)
         })
         .collect();
@@ -86,10 +88,26 @@ fn run_software(cost: &CostTable, service: usize, op: Op) -> u64 {
     for &(dst, src) in &objects {
         let run = match op {
             Op::Merge => codec
-                .merge(&mut mem, &bench.schema, &layouts, bench.type_id, dst, src, &mut arena)
+                .merge(
+                    &mut mem,
+                    &bench.schema,
+                    &layouts,
+                    bench.type_id,
+                    dst,
+                    src,
+                    &mut arena,
+                )
                 .unwrap(),
             Op::Copy => codec
-                .copy(&mut mem, &bench.schema, &layouts, bench.type_id, dst, src, &mut arena)
+                .copy(
+                    &mut mem,
+                    &bench.schema,
+                    &layouts,
+                    bench.type_id,
+                    dst,
+                    src,
+                    &mut arena,
+                )
                 .unwrap(),
             Op::Clear => codec.clear(&mut mem, &layouts, bench.type_id, dst).unwrap(),
         };
@@ -112,10 +130,12 @@ fn run_accel(service: usize, op: Op) -> u64 {
         .chunks(2)
         .filter(|c| c.len() == 2)
         .map(|pair| {
-            let dst = object::write_message(&mut mem.data, &bench.schema, &layouts, &mut setup, &pair[0])
-                .unwrap();
-            let src = object::write_message(&mut mem.data, &bench.schema, &layouts, &mut setup, &pair[1])
-                .unwrap();
+            let dst =
+                object::write_message(&mut mem.data, &bench.schema, &layouts, &mut setup, &pair[0])
+                    .unwrap();
+            let src =
+                object::write_message(&mut mem.data, &bench.schema, &layouts, &mut setup, &pair[1])
+                    .unwrap();
             (dst, src)
         })
         .collect();

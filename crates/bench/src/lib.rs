@@ -16,10 +16,13 @@
 //! `benches/` time the simulation kernels themselves.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
+pub mod lintrep;
 pub mod report;
 pub mod systems;
 pub mod ubench;
 
+pub use lintrep::{format_lint_table, lint_workload, WorkloadLint};
 pub use report::{format_gbits_table, geomean, Speedups};
 pub use systems::{measure, measure_accel_config, Direction, Measurement, SystemKind, Workload};

@@ -1,0 +1,120 @@
+//! Lint summaries for benchmark workloads.
+//!
+//! Bridges the static analyzer (`protoacc-lint`) and the measurement
+//! harness: every [`Workload`] gets its diagnostic counts plus the static
+//! cycles floor for the wire volume actually measured, so benchmark output
+//! can show how much headroom the simulated accelerator leaves over the
+//! provable lower bound.
+
+use protoacc_lint::{lint_schema, static_bound, LintConfig, Severity};
+
+use crate::systems::{Measurement, Workload};
+
+/// Lint-vs-measurement summary for one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadLint {
+    /// Workload display name.
+    pub workload: String,
+    /// Deny-level diagnostics across the workload's schema.
+    pub deny: usize,
+    /// Warn-level diagnostics across the workload's schema.
+    pub warn: usize,
+    /// Worst (highest) severity present, as a short label.
+    pub verdict: &'static str,
+    /// Static lower bound on cycles for the measured wire volume.
+    pub floor_cycles: u64,
+    /// Measured accelerator cycles.
+    pub measured_cycles: u64,
+    /// `measured / floor`: 1.0 means the model runs at the static bound.
+    pub headroom: f64,
+}
+
+/// Lints a workload's schema and relates an accelerator [`Measurement`] to
+/// the static floor. The floor treats the measurement's whole wire volume
+/// as one stream, which under-counts per-operation dispatch — it stays a
+/// valid lower bound.
+pub fn lint_workload(
+    workload: &Workload,
+    accel: &Measurement,
+    config: &LintConfig,
+) -> WorkloadLint {
+    let report = lint_schema(&workload.schema, config);
+    let bound = static_bound(&workload.schema, workload.type_id, &config.accel);
+    let floor = bound.lower_bound(accel.wire_bytes);
+    WorkloadLint {
+        workload: workload.name.clone(),
+        deny: report.deny_count(),
+        warn: report.warn_count(),
+        verdict: match report.max_severity() {
+            Some(Severity::Deny) => "deny",
+            Some(Severity::Warn) => "warn",
+            _ => "clean",
+        },
+        floor_cycles: floor,
+        measured_cycles: accel.cycles,
+        headroom: if floor == 0 {
+            0.0
+        } else {
+            accel.cycles as f64 / floor as f64
+        },
+    }
+}
+
+/// Formats workload lint summaries as an aligned text table.
+pub fn format_lint_table(rows: &[WorkloadLint]) -> String {
+    let mut out = String::from(
+        "workload                   verdict  deny  warn     floor-cyc  measured-cyc  headroom\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<26} {:>7} {:>5} {:>5} {:>13} {:>13} {:>9.2}\n",
+            r.workload, r.verdict, r.deny, r.warn, r.floor_cycles, r.measured_cycles, r.headroom
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::{measure, Direction, SystemKind};
+    use crate::ubench::nonalloc_workloads;
+
+    #[test]
+    fn microbench_workloads_respect_the_floor() {
+        let config = LintConfig::default();
+        for w in nonalloc_workloads() {
+            let m = measure(SystemKind::RiscvBoomAccel, &w, Direction::Deserialize);
+            let row = lint_workload(&w, &m, &config);
+            assert!(
+                row.measured_cycles >= row.floor_cycles,
+                "{}: {} < floor {}",
+                row.workload,
+                row.measured_cycles,
+                row.floor_cycles
+            );
+            assert!(
+                row.headroom >= 1.0,
+                "{}: headroom {}",
+                row.workload,
+                row.headroom
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_one_line_per_workload() {
+        let rows = vec![WorkloadLint {
+            workload: "w".into(),
+            deny: 0,
+            warn: 2,
+            verdict: "warn",
+            floor_cycles: 10,
+            measured_cycles: 25,
+            headroom: 2.5,
+        }];
+        let table = format_lint_table(&rows);
+        assert_eq!(table.lines().count(), 2);
+        assert!(table.contains("2.50"));
+    }
+}

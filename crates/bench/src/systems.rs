@@ -247,7 +247,11 @@ fn run_accel(
             let mut dests = Vec::with_capacity(workload.messages.len());
             let mut dest_arena = BumpArena::new(map::OBJECTS, map::ARENA_LEN);
             for _ in &workload.messages {
-                dests.push(dest_arena.alloc(layout.object_size(), 8).expect("dest fits"));
+                dests.push(
+                    dest_arena
+                        .alloc(layout.object_size(), 8)
+                        .expect("dest fits"),
+                );
             }
             let run_pass = |mem: &mut Memory, accel: &mut ProtoAccelerator| -> u64 {
                 accel.deser_assign_arena(map::ARENA, map::ARENA_LEN);
@@ -271,7 +275,11 @@ fn run_accel(
             let run_pass = |mem: &mut Memory, accel: &mut ProtoAccelerator| -> u64 {
                 accel.ser_assign_arena(map::OUTPUT, map::ARENA_LEN, map::PTRS, 1 << 20);
                 for &obj in &objects {
-                    accel.ser_info(layout.hasbits_offset(), layout.min_field(), layout.max_field());
+                    accel.ser_info(
+                        layout.hasbits_offset(),
+                        layout.min_field(),
+                        layout.max_field(),
+                    );
                     accel
                         .do_proto_ser(mem, adts.addr(workload.type_id), obj)
                         .expect("workload serializes on the accelerator");
@@ -304,11 +312,7 @@ fn stage_inputs(mem: &mut Memory, workload: &Workload) -> Vec<(u64, u64, usize)>
 
 /// Materializes every message as an object graph, returning object
 /// addresses.
-fn stage_objects(
-    mem: &mut Memory,
-    workload: &Workload,
-    layouts: &MessageLayouts,
-) -> Vec<u64> {
+fn stage_objects(mem: &mut Memory, workload: &Workload, layouts: &MessageLayouts) -> Vec<u64> {
     let mut arena = BumpArena::new(map::OBJECTS, map::ARENA_LEN);
     workload
         .messages

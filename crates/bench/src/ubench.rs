@@ -95,7 +95,8 @@ fn submessage_workload(name: &str, field_type: FieldType, value: Value) -> Workl
     let inner = b.declare("Inner");
     b.message(inner).optional("v", field_type, 1);
     let outer = b.declare("Outer");
-    b.message(outer).optional("sub", FieldType::Message(inner), 1);
+    b.message(outer)
+        .optional("sub", FieldType::Message(inner), 1);
     let schema = b.build().expect("bench schema");
     let messages = (0..MESSAGES)
         .map(|_| {
@@ -127,8 +128,18 @@ pub fn nonalloc_workloads() -> Vec<Workload> {
             5,
         ));
     }
-    out.push(scalar_workload("double", FieldType::Double, Value::Double(1.5), 5));
-    out.push(scalar_workload("float", FieldType::Float, Value::Float(2.5), 5));
+    out.push(scalar_workload(
+        "double",
+        FieldType::Double,
+        Value::Double(1.5),
+        5,
+    ));
+    out.push(scalar_workload(
+        "float",
+        FieldType::Float,
+        Value::Float(2.5),
+        5,
+    ));
     out
 }
 
@@ -152,9 +163,23 @@ pub fn alloc_workloads() -> Vec<Workload> {
             1,
         ));
     }
-    out.push(repeated_workload("double-R", FieldType::Double, Value::Double(1.5), 5));
-    out.push(repeated_workload("float-R", FieldType::Float, Value::Float(2.5), 5));
-    out.push(submessage_workload("bool-SUB", FieldType::Bool, Value::Bool(true)));
+    out.push(repeated_workload(
+        "double-R",
+        FieldType::Double,
+        Value::Double(1.5),
+        5,
+    ));
+    out.push(repeated_workload(
+        "float-R",
+        FieldType::Float,
+        Value::Float(2.5),
+        5,
+    ));
+    out.push(submessage_workload(
+        "bool-SUB",
+        FieldType::Bool,
+        Value::Bool(true),
+    ));
     out.push(submessage_workload(
         "double-SUB",
         FieldType::Double,
@@ -187,7 +212,10 @@ mod tests {
 
     #[test]
     fn nonalloc_set_matches_figure_11a() {
-        let names: Vec<String> = nonalloc_workloads().iter().map(|w| w.name.clone()).collect();
+        let names: Vec<String> = nonalloc_workloads()
+            .iter()
+            .map(|w| w.name.clone())
+            .collect();
         assert_eq!(names.len(), 13); // varint-0..10, double, float
         assert_eq!(names[0], "varint-0");
         assert_eq!(names[10], "varint-10");

@@ -24,8 +24,16 @@ fn measurements_are_deterministic() {
 #[test]
 fn accel_varint_throughput_rises_with_size() {
     let workloads = nonalloc_workloads();
-    let small = measure(SystemKind::RiscvBoomAccel, &workloads[1], Direction::Deserialize);
-    let large = measure(SystemKind::RiscvBoomAccel, &workloads[10], Direction::Deserialize);
+    let small = measure(
+        SystemKind::RiscvBoomAccel,
+        &workloads[1],
+        Direction::Deserialize,
+    );
+    let large = measure(
+        SystemKind::RiscvBoomAccel,
+        &workloads[10],
+        Direction::Deserialize,
+    );
     assert!(
         large.gbits > 2.0 * small.gbits,
         "varint-10 {:.2} vs varint-1 {:.2}",
@@ -52,7 +60,11 @@ fn xeon_closes_gap_on_very_long_string_serialization() {
         "ser accel/xeon ratio {ratio:.2} should be near parity"
     );
     let deser_xeon = measure(SystemKind::Xeon, very_long, Direction::Deserialize);
-    let deser_accel = measure(SystemKind::RiscvBoomAccel, very_long, Direction::Deserialize);
+    let deser_accel = measure(
+        SystemKind::RiscvBoomAccel,
+        very_long,
+        Direction::Deserialize,
+    );
     assert!(
         deser_accel.gbits > 1.2 * deser_xeon.gbits,
         "deser accel {:.2} vs xeon {:.2}",

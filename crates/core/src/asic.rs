@@ -80,14 +80,17 @@ pub fn serializer_estimate(config: &AccelConfig) -> UnitEstimate {
     let sequencer_gates = 40_000.0 * fsus;
     let memwriter_gates = 300_000.0;
     let mem_wrapper_gates = 600_000.0;
-    let gates =
-        frontend_gates + fsu_gates + sequencer_gates + memwriter_gates + mem_wrapper_gates;
+    let gates = frontend_gates + fsu_gates + sequencer_gates + memwriter_gates + mem_wrapper_gates;
     let sram_bits = config.stack_depth as f64 * STACK_ENTRY_BITS * 3.0 // context + length stacks
         + config.adt_cache_entries as f64 * 128.0
         + fsus * 2.0 * 1024.0 * 8.0; // per-FSU output buffers
-    // The serializer's critical path adds the FSU output mux tree.
+                                     // The serializer's critical path adds the FSU output mux tree.
     let extra_fo4 = (fsus.log2().ceil()).max(1.0) * 2.0;
-    finish_estimate(gates, sram_bits, varint_critical_path_fo4(config) + extra_fo4)
+    finish_estimate(
+        gates,
+        sram_bits,
+        varint_critical_path_fo4(config) + extra_fo4,
+    )
 }
 
 /// Critical-path length (FO4s) of the single-cycle varint datapath: a

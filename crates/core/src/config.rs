@@ -42,13 +42,13 @@ pub struct AccelConfig {
 impl Default for AccelConfig {
     fn default() -> Self {
         AccelConfig {
-            freq_ghz: 2.0,
-            window_bytes: 16,
-            field_serializers: 4,
-            stack_depth: 25,
-            stack_spill_cycles: 40,
-            rocc_dispatch_cycles: 4,
-            adt_cache_entries: 128,
+            freq_ghz: AccelConfig::DEFAULT_FREQ_GHZ,
+            window_bytes: AccelConfig::WINDOW_BYTES,
+            field_serializers: AccelConfig::FIELD_SERIALIZERS,
+            stack_depth: AccelConfig::STACK_DEPTH,
+            stack_spill_cycles: AccelConfig::STACK_SPILL_CYCLES,
+            rocc_dispatch_cycles: AccelConfig::ROCC_DISPATCH_CYCLES,
+            adt_cache_entries: AccelConfig::ADT_CACHE_ENTRIES,
             validate_utf8: false,
             dense_hasbits: false,
         }
@@ -56,6 +56,32 @@ impl Default for AccelConfig {
 }
 
 impl AccelConfig {
+    /// SoC clock of the evaluated configuration, in GHz.
+    pub const DEFAULT_FREQ_GHZ: f64 = 2.0;
+    /// Hardware limit: memloader consumer window width in bytes. Field
+    /// payloads wider than this take multiple cycles to stream.
+    pub const WINDOW_BYTES: usize = 16;
+    /// Hardware limit: parallel field serializer units (Section 4.5.4).
+    pub const FIELD_SERIALIZERS: usize = 4;
+    /// Hardware limit: on-chip sub-message metadata stack depth. Messages
+    /// nested deeper than this spill stack frames to DRAM (Section 3.8;
+    /// depth 25 covers 99.999% of fleet message bytes).
+    pub const STACK_DEPTH: usize = 25;
+    /// Penalty per stack push/pop once spilled to DRAM.
+    pub const STACK_SPILL_CYCLES: Cycles = 40;
+    /// Cycles to dispatch one RoCC instruction from the core (Section 4.1).
+    pub const ROCC_DISPATCH_CYCLES: Cycles = 4;
+    /// Hardware limit: entries in the accelerator's ADT cache. Working sets
+    /// of descriptor-table lines beyond this thrash to the L2.
+    pub const ADT_CACHE_ENTRIES: usize = 128;
+    /// Widest single-cycle varint the combinational decoder handles, in
+    /// bytes (`protoacc_wire::MAX_VARINT_LEN`): the full 10-byte proto2
+    /// varint decodes in one cycle.
+    pub const VARINT_DECODE_BYTES: usize = protoacc_wire::MAX_VARINT_LEN;
+    /// Widest field key that still encodes in two wire bytes (field numbers
+    /// above this take 3-5 key bytes and inflate per-field decode work).
+    pub const TWO_BYTE_KEY_MAX_FIELD: u32 = 2047;
+
     /// Throughput in Gbits/s for `bytes` processed in `cycles` at this clock.
     pub fn gbits_per_sec(&self, bytes: u64, cycles: Cycles) -> f64 {
         if cycles == 0 {

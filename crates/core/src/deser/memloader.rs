@@ -80,7 +80,10 @@ impl Memloader {
     /// Panics if `n` exceeds the remaining input — the FSM validates bounds
     /// before consuming.
     pub fn consume(&mut self, n: usize) {
-        assert!(self.pos + n <= self.input.len(), "consume past end of input");
+        assert!(
+            self.pos + n <= self.input.len(),
+            "consume past end of input"
+        );
         self.pos += n;
     }
 }

@@ -187,11 +187,9 @@ impl DeserUnit {
                     // Rejected alternative (Section 4.2): a dense packing
                     // needs a mapping table indexed by field number — an
                     // additional blocking 32-bit read per field.
-                    fsm += mem.system.access(
-                        frame.adt.base + 4096 + bit * 4,
-                        4,
-                        AccessKind::Read,
-                    );
+                    fsm += mem
+                        .system
+                        .access(frame.adt.base + 4096 + bit * 4, 4, AccessKind::Read);
                 }
                 let old = mem.data.read_u8(hb_addr);
                 mem.data.write_u8(hb_addr, old | (1 << (bit % 8)));
@@ -338,8 +336,7 @@ impl DeserUnit {
                                 .push(bits);
                             fsm += 1;
                         } else {
-                            let size =
-                                entry.type_code.scalar_size().expect("scalar type") as usize;
+                            let size = entry.type_code.scalar_size().expect("scalar type") as usize;
                             let slot = frames[top].obj + u64::from(entry.offset);
                             mem.data.write_bytes(slot, &bits.to_le_bytes()[..size]);
                             fsm += mem.system.pipelined(slot, size, AccessKind::Write);
@@ -425,9 +422,9 @@ impl DeserUnit {
         let obj = arena.alloc(STRING_OBJECT_BYTES, 8)?;
         stats.allocs += 1;
         *fsm += 1; // arena bump is a pointer increment
-        // Consuming the payload through the memloader window: any window
-        // narrower than the 16 B bus adds cycles beyond the bus occupancy
-        // already charged with the output write below.
+                   // Consuming the payload through the memloader window: any window
+                   // narrower than the 16 B bus adds cycles beyond the bus occupancy
+                   // already charged with the output write below.
         let bus_cycles = payload.len().div_ceil(protoacc_mem::BUS_WIDTH_BYTES);
         let window_cycles = payload.len().div_ceil(self.config.window_bytes);
         *fsm += window_cycles.saturating_sub(bus_cycles) as u64;
@@ -528,11 +525,9 @@ impl DeserUnit {
             mem.data.write_u64(header, data);
             mem.data.write_u64(header + 8, count);
             mem.data.write_u64(header + 16, count);
-            *fsm += mem.system.pipelined(
-                header,
-                REPEATED_HEADER_BYTES as usize,
-                AccessKind::Write,
-            );
+            *fsm += mem
+                .system
+                .pipelined(header, REPEATED_HEADER_BYTES as usize, AccessKind::Write);
             if elems_are_ptrs {
                 for (i, &p) in region.ptrs.iter().enumerate() {
                     mem.data.write_u64(data + i as u64 * 8, p);
@@ -691,10 +686,10 @@ mod tests {
         let mut stats = AccelStats::default();
         let mut accel_arena = BumpArena::new(0x100_0000, 1 << 20);
         let run_once = |unit: &mut DeserUnit,
-                            mem: &mut Memory,
-                            arena: &mut BumpArena,
-                            accel_arena: &mut BumpArena,
-                            stats: &mut AccelStats| {
+                        mem: &mut Memory,
+                        arena: &mut BumpArena,
+                        accel_arena: &mut BumpArena,
+                        stats: &mut AccelStats| {
             let dest = arena.alloc(layouts.layout(id).object_size(), 8).unwrap();
             unit.run(
                 mem,
@@ -708,12 +703,34 @@ mod tests {
             .unwrap()
             .fsm_cycles
         };
-        let cold = run_once(&mut unit, &mut mem, &mut arena, &mut accel_arena, &mut stats);
-        let warm = run_once(&mut unit, &mut mem, &mut arena, &mut accel_arena, &mut stats);
+        let cold = run_once(
+            &mut unit,
+            &mut mem,
+            &mut arena,
+            &mut accel_arena,
+            &mut stats,
+        );
+        let warm = run_once(
+            &mut unit,
+            &mut mem,
+            &mut arena,
+            &mut accel_arena,
+            &mut stats,
+        );
         assert!(warm <= cold, "warm {warm} cold {cold}");
         let misses_after_two = unit.adt_misses();
-        run_once(&mut unit, &mut mem, &mut arena, &mut accel_arena, &mut stats);
-        assert_eq!(unit.adt_misses(), misses_after_two, "third run fully cached");
+        run_once(
+            &mut unit,
+            &mut mem,
+            &mut arena,
+            &mut accel_arena,
+            &mut stats,
+        );
+        assert_eq!(
+            unit.adt_misses(),
+            misses_after_two,
+            "third run fully cached"
+        );
     }
 
     #[test]

@@ -254,7 +254,9 @@ mod tests {
     use super::*;
     use crate::AccelConfig;
     use protoacc_mem::MemConfig;
-    use protoacc_runtime::{object, reference, write_adts, BumpArena, MessageLayouts, MessageValue, Value};
+    use protoacc_runtime::{
+        object, reference, write_adts, BumpArena, MessageLayouts, MessageValue, Value,
+    };
     use protoacc_schema::{FieldType, SchemaBuilder};
 
     #[test]
@@ -284,7 +286,7 @@ mod tests {
     #[test]
     fn wrong_opcode_and_unknown_funct7_rejected() {
         assert_eq!(RoccInstruction::decode(0x0000_0033), None); // OP opcode
-        // custom0 with funct7 = 0x7f (unassigned)
+                                                                // custom0 with funct7 = 0x7f (unassigned)
         let word = (0x7fu32 << 25) | CUSTOM0_OPCODE;
         assert_eq!(RoccInstruction::decode(word), None);
     }
@@ -315,18 +317,27 @@ mod tests {
         let mut m = MessageValue::new(id);
         m.set(1, Value::Int32(-9)).unwrap();
         m.set(2, Value::Str("via the ISA".into())).unwrap();
-        let obj = object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &m)
-            .unwrap();
+        let obj = object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &m).unwrap();
         let layout = layouts.layout(id);
 
         let mut accel = crate::ProtoAccelerator::new(AccelConfig::default());
         let word = |f: Funct7| RoccInstruction::new(f, 1, 2, 3).encode();
         // Serialize.
         accel
-            .execute(&mut mem, word(Funct7::SerAssignArenaOut), 0x40_0000, 1 << 20)
+            .execute(
+                &mut mem,
+                word(Funct7::SerAssignArenaOut),
+                0x40_0000,
+                1 << 20,
+            )
             .unwrap();
         accel
-            .execute(&mut mem, word(Funct7::SerAssignArenaPtr), 0x60_0000, 1 << 12)
+            .execute(
+                &mut mem,
+                word(Funct7::SerAssignArenaPtr),
+                0x60_0000,
+                1 << 12,
+            )
             .unwrap();
         accel
             .execute(
@@ -352,7 +363,12 @@ mod tests {
         // Deserialize the bytes back through the ISA.
         let dest = arena.alloc(layout.object_size(), 8).unwrap();
         accel
-            .execute(&mut mem, word(Funct7::DeserAssignArena), 0x100_0000, 1 << 22)
+            .execute(
+                &mut mem,
+                word(Funct7::DeserAssignArena),
+                0x100_0000,
+                1 << 22,
+            )
             .unwrap();
         accel
             .execute(&mut mem, word(Funct7::DeserInfo), adts.addr(id), dest)

@@ -105,7 +105,8 @@ impl OpsUnit {
         run.cycles += self.adt_cache.load(&mut mem.system, adt_ptr, 64);
         let adt = AdtLayout::read(&mem.data, adt_ptr);
         let bytes = (adt.span().div_ceil(8).div_ceil(8) * 8) as usize;
-        mem.data.write_bytes(obj + adt.hasbits_offset, &vec![0u8; bytes]);
+        mem.data
+            .write_bytes(obj + adt.hasbits_offset, &vec![0u8; bytes]);
         run.cycles += 1 + mem
             .system
             .pipelined(obj + adt.hasbits_offset, bytes, AccessKind::Write);
@@ -157,9 +158,9 @@ impl OpsUnit {
             run.cycles += 1;
             run.fields += 1;
             let entry_addr = adt.entries + bit * ADT_ENTRY_BYTES;
-            run.cycles += self
-                .adt_cache
-                .load(&mut mem.system, entry_addr, ADT_ENTRY_BYTES as usize);
+            run.cycles +=
+                self.adt_cache
+                    .load(&mut mem.system, entry_addr, ADT_ENTRY_BYTES as usize);
             let mut entry_bytes = [0u8; ADT_ENTRY_BYTES as usize];
             mem.data.read_bytes(entry_addr, &mut entry_bytes);
             let entry = FieldEntry::from_bytes(&entry_bytes);
@@ -230,9 +231,7 @@ impl OpsUnit {
             }
             let old = mem.data.read_u8(dst_hb + bit / 8);
             mem.data.write_u8(dst_hb + bit / 8, old | (1 << (bit % 8)));
-            run.cycles += mem
-                .system
-                .pipelined(dst_hb + bit / 8, 1, AccessKind::Write);
+            run.cycles += mem.system.pipelined(dst_hb + bit / 8, 1, AccessKind::Write);
         }
         stats.merge_ops += 1;
         Ok(())
@@ -284,20 +283,20 @@ impl OpsUnit {
         if len <= STRING_SSO_CAPACITY {
             mem.data.write_u64(obj, obj + 16);
             mem.data.write_bytes(obj + 16, &payload);
-            run.cycles += mem
-                .system
-                .pipelined(obj, STRING_OBJECT_BYTES as usize, AccessKind::Write);
+            run.cycles +=
+                mem.system
+                    .pipelined(obj, STRING_OBJECT_BYTES as usize, AccessKind::Write);
         } else {
             let buf = arena.alloc(len as u64 + 1, 8)?;
             stats.allocs += 1;
             mem.data.write_u64(obj, buf);
             mem.data.write_u64(obj + 16, len as u64 + 1);
             mem.data.write_bytes(buf, &payload);
-            run.cycles += mem
-                .system
-                .pipelined(obj, STRING_OBJECT_BYTES as usize, AccessKind::Write)
-                + mem.system.pipelined(data_ptr, len, AccessKind::Read)
-                + mem.system.pipelined(buf, len, AccessKind::Write);
+            run.cycles +=
+                mem.system
+                    .pipelined(obj, STRING_OBJECT_BYTES as usize, AccessKind::Write)
+                    + mem.system.pipelined(data_ptr, len, AccessKind::Read)
+                    + mem.system.pipelined(buf, len, AccessKind::Write);
         }
         Ok(obj)
     }
@@ -325,11 +324,9 @@ impl OpsUnit {
         mem.data.write_u64(header, data);
         mem.data.write_u64(header + 8, total);
         mem.data.write_u64(header + 16, total);
-        run.cycles += mem.system.pipelined(
-            header,
-            REPEATED_HEADER_BYTES as usize,
-            AccessKind::Write,
-        );
+        run.cycles +=
+            mem.system
+                .pipelined(header, REPEATED_HEADER_BYTES as usize, AccessKind::Write);
         if dst_count > 0 {
             let bytes = (dst_count * elem_size) as usize;
             let payload = mem.data.read_vec(dst_data, bytes);

@@ -113,7 +113,13 @@ pub fn write_instance_table(
                     continue;
                 };
                 let sub = write_instance_table(
-                    mem, schema, layouts, sub_id, sub_obj, arena, setter_overhead,
+                    mem,
+                    schema,
+                    layouts,
+                    sub_id,
+                    sub_obj,
+                    arena,
+                    setter_overhead,
                 )?;
                 build.entries += sub.entries;
                 build.cpu_cycles += sub.cpu_cycles;
@@ -179,11 +185,18 @@ impl OpSerializer {
         let cursor_before = writer.cursor();
         let writer_before = writer.cycles();
         let mut cycles: Cycles = 0;
-        self.ser_table(mem, writer, schema, layouts, type_id, table_addr, &mut cycles)?;
+        self.ser_table(
+            mem,
+            writer,
+            schema,
+            layouts,
+            type_id,
+            table_addr,
+            &mut cycles,
+        )?;
         let out_addr = writer.cursor();
         Ok(OpSerRun {
-            cycles: self.config.rocc_dispatch_cycles
-                + cycles.max(writer.cycles() - writer_before),
+            cycles: self.config.rocc_dispatch_cycles + cycles.max(writer.cycles() - writer_before),
             out_addr,
             out_len: cursor_before - out_addr,
         })
@@ -207,17 +220,15 @@ impl OpSerializer {
         while mem.data.read_u8(table_addr + count * ENTRY_BYTES) != 0 {
             count += 1;
         }
-        *cycles += mem
-            .system
-            .pipelined(table_addr, (count * ENTRY_BYTES) as usize, AccessKind::Read)
-            + 1;
+        *cycles +=
+            mem.system
+                .pipelined(table_addr, (count * ENTRY_BYTES) as usize, AccessKind::Read)
+                + 1;
         let descriptor = schema.message(type_id);
         for i in (0..count).rev() {
             let entry = table_addr + i * ENTRY_BYTES;
-            let type_code =
-                TypeCode::from_raw(mem.data.read_u8(entry)).ok_or(AccelError::BadAdtEntry {
-                    field_number: 0,
-                })?;
+            let type_code = TypeCode::from_raw(mem.data.read_u8(entry))
+                .ok_or(AccelError::BadAdtEntry { field_number: 0 })?;
             let kind = mem.data.read_u8(entry + 1);
             let number = mem.data.read_u32(entry + 4);
             let addr = mem.data.read_u64(entry + 8);
@@ -300,7 +311,9 @@ impl OpSerializer {
                     let len = mem.data.read_u64(str_obj + 8);
                     *cycles += mem.system.access(data + i * 8, 8, AccessKind::Read)
                         + mem.system.access(str_obj, 16, AccessKind::Read)
-                        + mem.system.pipelined(data_ptr, len as usize, AccessKind::Read)
+                        + mem
+                            .system
+                            .pipelined(data_ptr, len as usize, AccessKind::Read)
                         + 2;
                     let payload = mem.data.read_vec(data_ptr, len as usize);
                     writer.prepend(mem, &payload)?;
@@ -396,7 +409,9 @@ impl OpSerializer {
                     let len = mem.data.read_u64(str_obj + 8);
                     *cycles += mem.system.access(slot_addr, 8, AccessKind::Read)
                         + mem.system.access(str_obj, 16, AccessKind::Read)
-                        + mem.system.pipelined(data_ptr, len as usize, AccessKind::Read);
+                        + mem
+                            .system
+                            .pipelined(data_ptr, len as usize, AccessKind::Read);
                     let payload = mem.data.read_vec(data_ptr, len as usize);
                     writer.prepend(mem, &payload)?;
                     writer.prepend_varint(mem, len)?;

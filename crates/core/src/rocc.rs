@@ -113,19 +113,15 @@ impl ProtoAccelerator {
 
     /// Remaining capacity of the deserializer arena, if assigned.
     pub fn deser_arena_remaining(&self) -> Option<u64> {
-        self.deser_arena.as_ref().map(|a| a.remaining())
+        self.deser_arena
+            .as_ref()
+            .map(protoacc_runtime::BumpArena::remaining)
     }
 
     /// `ser_assign_arena`: hands the serializer its two regions — an output
     /// buffer (written high-to-low) and a buffer of pointers to each
     /// serialized output (Section 4.5.1).
-    pub fn ser_assign_arena(
-        &mut self,
-        out_base: u64,
-        out_len: u64,
-        ptr_base: u64,
-        ptr_len: u64,
-    ) {
+    pub fn ser_assign_arena(&mut self, out_base: u64, out_len: u64, ptr_base: u64, ptr_len: u64) {
         self.ser_writer = Some(ReverseWriter::new(
             out_base,
             out_len,
@@ -187,9 +183,12 @@ impl ProtoAccelerator {
         let info = self.staged_deser.ok_or(AccelError::MissingInfo {
             instruction: "deser_info",
         })?;
-        let arena = self.deser_arena.as_mut().ok_or(AccelError::ArenaNotAssigned {
-            unit: "deserializer",
-        })?;
+        let arena = self
+            .deser_arena
+            .as_mut()
+            .ok_or(AccelError::ArenaNotAssigned {
+                unit: "deserializer",
+            })?;
         let _ = min_field;
         let run = self.deser_unit.run(
             mem,
@@ -240,9 +239,10 @@ impl ProtoAccelerator {
         let _info = self.staged_ser.ok_or(AccelError::MissingInfo {
             instruction: "ser_info",
         })?;
-        let writer = self.ser_writer.as_mut().ok_or(AccelError::ArenaNotAssigned {
-            unit: "serializer",
-        })?;
+        let writer = self
+            .ser_writer
+            .as_mut()
+            .ok_or(AccelError::ArenaNotAssigned { unit: "serializer" })?;
         let run = self
             .ser_unit
             .run(mem, writer, adt_ptr, obj_ptr, &mut self.stats)?;
@@ -300,9 +300,12 @@ impl ProtoAccelerator {
         dst_obj: u64,
         src_obj: u64,
     ) -> Result<OpsRun, AccelError> {
-        let arena = self.deser_arena.as_mut().ok_or(AccelError::ArenaNotAssigned {
-            unit: "deserializer",
-        })?;
+        let arena = self
+            .deser_arena
+            .as_mut()
+            .ok_or(AccelError::ArenaNotAssigned {
+                unit: "deserializer",
+            })?;
         let run = self
             .ops_unit
             .merge(mem, arena, adt_ptr, dst_obj, src_obj, &mut self.stats)?;
@@ -323,9 +326,12 @@ impl ProtoAccelerator {
         dst_obj: u64,
         src_obj: u64,
     ) -> Result<OpsRun, AccelError> {
-        let arena = self.deser_arena.as_mut().ok_or(AccelError::ArenaNotAssigned {
-            unit: "deserializer",
-        })?;
+        let arena = self
+            .deser_arena
+            .as_mut()
+            .ok_or(AccelError::ArenaNotAssigned {
+                unit: "deserializer",
+            })?;
         let run = self
             .ops_unit
             .copy(mem, arena, adt_ptr, dst_obj, src_obj, &mut self.stats)?;

@@ -94,8 +94,8 @@ impl SerUnit {
         let memwriter_cycles = writer.cycles() - writer_cycles_before;
         let fsu_cycles = pool.max_busy();
         stats.fields += fields;
-        let cycles = self.config.rocc_dispatch_cycles
-            + frontend.max(fsu_cycles).max(memwriter_cycles);
+        let cycles =
+            self.config.rocc_dispatch_cycles + frontend.max(fsu_cycles).max(memwriter_cycles);
         Ok(SerRun {
             cycles,
             frontend_cycles: frontend,
@@ -194,8 +194,15 @@ impl SerUnit {
                         let elem_ptr = read_timed_u64(mem, data + i * 8, frontend);
                         let before = writer.cursor();
                         self.ser_message(
-                            mem, writer, pool, entry.sub_adt, elem_ptr, frontend, fields,
-                            stats, depth + 1,
+                            mem,
+                            writer,
+                            pool,
+                            entry.sub_adt,
+                            elem_ptr,
+                            frontend,
+                            fields,
+                            stats,
+                            depth + 1,
                         )?;
                         let len = before - writer.cursor();
                         self.inject_length_delimited_key(mem, writer, number, len)?;
@@ -204,7 +211,14 @@ impl SerUnit {
                     let sub_obj = read_timed_u64(mem, slot, frontend);
                     let before = writer.cursor();
                     self.ser_message(
-                        mem, writer, pool, entry.sub_adt, sub_obj, frontend, fields, stats,
+                        mem,
+                        writer,
+                        pool,
+                        entry.sub_adt,
+                        sub_obj,
+                        frontend,
+                        fields,
+                        stats,
                         depth + 1,
                     )?;
                     let len = before - writer.cursor();
@@ -214,8 +228,7 @@ impl SerUnit {
             }
 
             // Non-sub-message field: one handle-field-op to an FSU.
-            let fsu_cost =
-                self.ser_field(mem, writer, entry, number, slot, stats)?;
+            let fsu_cost = self.ser_field(mem, writer, entry, number, slot, stats)?;
             pool.dispatch(fsu_cost);
         }
         Ok(())
@@ -253,11 +266,9 @@ impl SerUnit {
                     let header = slot_read(mem, slot, &mut cost);
                     let data = slot_read(mem, header, &mut cost);
                     let count = slot_read(mem, header + 8, &mut cost);
-                    cost += mem.system.access(
-                        data,
-                        (count * size) as usize,
-                        AccessKind::Read,
-                    );
+                    cost += mem
+                        .system
+                        .access(data, (count * size) as usize, AccessKind::Read);
                     if entry.packed {
                         let before = writer.cursor();
                         for i in (0..count).rev() {
@@ -275,9 +286,8 @@ impl SerUnit {
                     } else {
                         for i in (0..count).rev() {
                             let bits = read_scalar_bits(mem, data + i * size, size);
-                            cost += self.emit_scalar_with_key(
-                                mem, writer, scalar, number, bits, stats,
-                            )?;
+                            cost += self
+                                .emit_scalar_with_key(mem, writer, scalar, number, bits, stats)?;
                         }
                     }
                 } else {
@@ -405,7 +415,9 @@ fn read_scalar_bits(mem: &Memory, addr: u64, size: u64) -> u64 {
 mod tests {
     use super::*;
     use protoacc_mem::{MemConfig, Memory};
-    use protoacc_runtime::{object, reference, write_adts, BumpArena, MessageLayouts, MessageValue, Value};
+    use protoacc_runtime::{
+        object, reference, write_adts, BumpArena, MessageLayouts, MessageValue, Value,
+    };
     use protoacc_schema::{FieldType, SchemaBuilder};
 
     fn unit_harness() -> (
@@ -437,8 +449,7 @@ mod tests {
         m.set_unchecked(1, Value::UInt64(u64::MAX));
         m.set_unchecked(3, Value::Double(2.5));
         m.set_unchecked(7, Value::Str("stage breakdown".into()));
-        let obj = object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &m)
-            .unwrap();
+        let obj = object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &m).unwrap();
         let mut unit = SerUnit::new(AccelConfig::default());
         let mut writer = ReverseWriter::new(0x40_0000, 1 << 16, 16);
         let mut stats = AccelStats::default();
@@ -451,7 +462,10 @@ mod tests {
         assert_eq!(
             run.cycles,
             AccelConfig::default().rocc_dispatch_cycles
-                + run.frontend_cycles.max(run.fsu_cycles).max(run.memwriter_cycles)
+                + run
+                    .frontend_cycles
+                    .max(run.fsu_cycles)
+                    .max(run.memwriter_cycles)
         );
         assert_eq!(run.fields, 3);
         assert_eq!(
@@ -486,8 +500,7 @@ mod tests {
         let (schema, layouts, mut mem, adts, mut arena, id) = unit_harness();
         let mut m = MessageValue::new(id);
         m.set_unchecked(7, Value::Str("far too long for the region".into()));
-        let obj = object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &m)
-            .unwrap();
+        let obj = object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &m).unwrap();
         let mut unit = SerUnit::new(AccelConfig::default());
         let mut writer = ReverseWriter::new(0x40_0000, 8, 16); // 8-byte region
         let mut stats = AccelStats::default();
@@ -502,8 +515,7 @@ mod tests {
         let (schema, layouts, mut mem, adts, mut arena, id) = unit_harness();
         let mut m = MessageValue::new(id);
         m.set_unchecked(1, Value::UInt64(7));
-        let obj = object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &m)
-            .unwrap();
+        let obj = object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &m).unwrap();
         let mut unit = SerUnit::new(AccelConfig::default());
         let mut writer = ReverseWriter::new(0x40_0000, 1 << 12, 16);
         let mut stats = AccelStats::default();

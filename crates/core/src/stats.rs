@@ -40,22 +40,31 @@ pub struct AccelStats {
 
 impl AccelStats {
     /// Merges another stats block into this one.
+    ///
+    /// Counters saturate instead of wrapping: fleet-scale aggregations add
+    /// stats from millions of operations, and with `overflow-checks` on in
+    /// dev/test profiles a wrapped counter would otherwise abort the run.
     pub fn merge(&mut self, other: &AccelStats) {
-        self.deser_cycles += other.deser_cycles;
-        self.ser_cycles += other.ser_cycles;
-        self.deser_ops += other.deser_ops;
-        self.ser_ops += other.ser_ops;
-        self.deser_wire_bytes += other.deser_wire_bytes;
-        self.ser_wire_bytes += other.ser_wire_bytes;
-        self.fields += other.fields;
-        self.varints += other.varints;
-        self.allocs += other.allocs;
-        self.stack_pushes += other.stack_pushes;
-        self.stack_spills += other.stack_spills;
-        self.adt_misses += other.adt_misses;
-        self.merge_ops += other.merge_ops;
-        self.copy_ops += other.copy_ops;
-        self.clear_ops += other.clear_ops;
+        self.deser_cycles = self.deser_cycles.saturating_add(other.deser_cycles);
+        self.ser_cycles = self.ser_cycles.saturating_add(other.ser_cycles);
+        self.deser_ops = self.deser_ops.saturating_add(other.deser_ops);
+        self.ser_ops = self.ser_ops.saturating_add(other.ser_ops);
+        self.deser_wire_bytes = self.deser_wire_bytes.saturating_add(other.deser_wire_bytes);
+        self.ser_wire_bytes = self.ser_wire_bytes.saturating_add(other.ser_wire_bytes);
+        self.fields = self.fields.saturating_add(other.fields);
+        self.varints = self.varints.saturating_add(other.varints);
+        self.allocs = self.allocs.saturating_add(other.allocs);
+        self.stack_pushes = self.stack_pushes.saturating_add(other.stack_pushes);
+        self.stack_spills = self.stack_spills.saturating_add(other.stack_spills);
+        self.adt_misses = self.adt_misses.saturating_add(other.adt_misses);
+        self.merge_ops = self.merge_ops.saturating_add(other.merge_ops);
+        self.copy_ops = self.copy_ops.saturating_add(other.copy_ops);
+        self.clear_ops = self.clear_ops.saturating_add(other.clear_ops);
+    }
+
+    /// Total cycles across both directions, saturating.
+    pub fn total_cycles(&self) -> Cycles {
+        self.deser_cycles.saturating_add(self.ser_cycles)
     }
 }
 
@@ -80,5 +89,21 @@ mod tests {
         assert_eq!(a.deser_cycles, 15);
         assert_eq!(a.fields, 5);
         assert_eq!(a.varints, 7);
+        assert_eq!(a.total_cycles(), 15);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = AccelStats {
+            deser_cycles: Cycles::MAX - 1,
+            ..Default::default()
+        };
+        let b = AccelStats {
+            deser_cycles: 10,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.deser_cycles, Cycles::MAX);
+        assert_eq!(a.total_cycles(), Cycles::MAX);
     }
 }

@@ -88,7 +88,10 @@ fn sample(h: &Harness) -> MessageValue {
         10,
         vec![Value::Int64(0), Value::Int64(-1), Value::Int64(1 << 50)],
     );
-    m.set_repeated(11, vec![Value::UInt32(1), Value::UInt32(300), Value::UInt32(70000)]);
+    m.set_repeated(
+        11,
+        vec![Value::UInt32(1), Value::UInt32(300), Value::UInt32(70000)],
+    );
     m.set_repeated(
         12,
         vec![
@@ -119,7 +122,11 @@ fn accel_deser(h: &mut Harness, m: &MessageValue) -> Result<MessageValue, AccelE
         .alloc(h.layouts.layout(m.type_id()).object_size(), 8)
         .unwrap();
     h.accel.deser_info(h.adts.addr(m.type_id()), dest);
-    let min_field = h.schema.message(m.type_id()).min_field_number().unwrap_or(1);
+    let min_field = h
+        .schema
+        .message(m.type_id())
+        .min_field_number()
+        .unwrap_or(1);
     h.accel
         .do_proto_deser(&mut h.mem, INPUT_ADDR, wire.len() as u64, min_field)?;
     h.accel.block_for_deser_completion();
@@ -218,9 +225,11 @@ fn deeply_nested_messages_spill_the_stack_and_still_decode() {
     // Build a chain deeper than the on-chip stack depth (25).
     let mut b = SchemaBuilder::new();
     let node = b.declare("Node");
-    b.message(node)
-        .optional("v", FieldType::Int32, 1)
-        .optional("next", FieldType::Message(node), 2);
+    b.message(node).optional("v", FieldType::Int32, 1).optional(
+        "next",
+        FieldType::Message(node),
+        2,
+    );
     let schema = b.build().unwrap();
     let layouts = MessageLayouts::compute(&schema);
     let mut mem = Memory::new(MemConfig::default());
@@ -240,13 +249,18 @@ fn deeply_nested_messages_spill_the_stack_and_still_decode() {
 
     let mut accel = ProtoAccelerator::new(AccelConfig::default());
     accel.deser_assign_arena(0x100_0000, 1 << 24);
-    let dest = setup_arena.alloc(layouts.layout(node).object_size(), 8).unwrap();
+    let dest = setup_arena
+        .alloc(layouts.layout(node).object_size(), 8)
+        .unwrap();
     accel.deser_info(adts.addr(node), dest);
     accel
         .do_proto_deser(&mut mem, INPUT_ADDR, wire.len() as u64, 1)
         .unwrap();
     let stats = accel.stats();
-    assert!(stats.stack_spills > 0, "39-deep chain must spill depth-25 stacks");
+    assert!(
+        stats.stack_spills > 0,
+        "39-deep chain must spill depth-25 stacks"
+    );
     let back = object::read_message(&mem.data, &schema, &layouts, node, dest).unwrap();
     assert!(back.bits_eq(&m));
 
@@ -287,7 +301,11 @@ fn batched_serializations_pack_output_and_pointer_buffer() {
     assert_eq!(h.accel.serialized_outputs(), 5);
     for (i, expect) in expected.iter().enumerate() {
         let (addr, len) = h.accel.serialized_output(&h.mem, i as u64).unwrap();
-        assert_eq!(&h.mem.data.read_vec(addr, len as usize), expect, "output {i}");
+        assert_eq!(
+            &h.mem.data.read_vec(addr, len as usize),
+            expect,
+            "output {i}"
+        );
     }
     assert!(h.accel.serialized_output(&h.mem, 5).is_none());
 }
@@ -400,7 +418,11 @@ fn large_minimum_field_numbers_use_offset_hasbits() {
 
     // And back out through the serializer, byte-identical.
     accel.ser_assign_arena(0x40_0000, 1 << 20, 0x60_0000, 1 << 12);
-    accel.ser_info(layout.hasbits_offset(), layout.min_field(), layout.max_field());
+    accel.ser_info(
+        layout.hasbits_offset(),
+        layout.min_field(),
+        layout.max_field(),
+    );
     let run = accel.do_proto_ser(&mut mem, adts.addr(id), dest).unwrap();
     assert_eq!(mem.data.read_vec(run.out_addr, run.out_len as usize), wire);
 }

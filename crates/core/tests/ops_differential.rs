@@ -61,7 +61,10 @@ fn sample_a(r: &Rig) -> MessageValue {
     m.set(2, Value::Str("alpha".into())).unwrap();
     m.set(3, Value::Message(sub)).unwrap();
     m.set_repeated(4, vec![Value::Int32(1), Value::Int32(2)]);
-    m.set_repeated(5, vec![Value::Str("a-long-tag-beyond-sso-territory".into())]);
+    m.set_repeated(
+        5,
+        vec![Value::Str("a-long-tag-beyond-sso-territory".into())],
+    );
     m.set(7, Value::Double(1.5)).unwrap();
     m
 }
@@ -76,7 +79,10 @@ fn sample_b(r: &Rig) -> MessageValue {
     m.set_repeated(5, vec![Value::Str("b1".into()), Value::Str("b2".into())]);
     m.set_repeated(
         6,
-        vec![Value::Message(sub), Value::Message(MessageValue::new(r.inner))],
+        vec![
+            Value::Message(sub),
+            Value::Message(MessageValue::new(r.inner)),
+        ],
     );
     m
 }

@@ -5,7 +5,9 @@ use protoacc::priorwork::{write_instance_table, OpSerializer};
 use protoacc::ser::memwriter::ReverseWriter;
 use protoacc::AccelConfig;
 use protoacc_mem::{MemConfig, Memory};
-use protoacc_runtime::{object, reference, write_adts, BumpArena, MessageLayouts, MessageValue, Value};
+use protoacc_runtime::{
+    object, reference, write_adts, BumpArena, MessageLayouts, MessageValue, Value,
+};
 use protoacc_schema::{FieldType, SchemaBuilder};
 
 #[test]
@@ -35,12 +37,19 @@ fn op_serializer_is_byte_identical_and_charges_setters() {
     sub.set(2, Value::Str("nested".into())).unwrap();
     let mut m = MessageValue::new(outer);
     m.set(1, Value::Int64(-5)).unwrap();
-    m.set(2, Value::Str("a name that is long enough".into())).unwrap();
+    m.set(2, Value::Str("a name that is long enough".into()))
+        .unwrap();
     m.set(3, Value::Message(sub.clone())).unwrap();
     m.set_repeated(4, vec![Value::Int32(1), Value::Int32(-2)]);
     m.set_repeated(5, vec![Value::UInt64(300), Value::UInt64(1)]);
     m.set_repeated(6, vec![Value::Str("t1".into()), Value::Str("t2".into())]);
-    m.set_repeated(7, vec![Value::Message(sub), Value::Message(MessageValue::new(inner))]);
+    m.set_repeated(
+        7,
+        vec![
+            Value::Message(sub),
+            Value::Message(MessageValue::new(inner)),
+        ],
+    );
 
     let obj = object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &m).unwrap();
     let build =
@@ -51,7 +60,14 @@ fn op_serializer_is_byte_identical_and_charges_setters() {
     let mut op = OpSerializer::new(AccelConfig::default());
     let mut writer = ReverseWriter::new(0x4000_0000, 1 << 20, 16);
     let run = op
-        .run(&mut mem, &mut writer, &schema, &layouts, outer, build.table_addr)
+        .run(
+            &mut mem,
+            &mut writer,
+            &schema,
+            &layouts,
+            outer,
+            build.table_addr,
+        )
         .unwrap();
     assert_eq!(
         mem.data.read_vec(run.out_addr, run.out_len as usize),

@@ -3,13 +3,18 @@
 
 use protoacc::{AccelConfig, AccelError, ProtoAccelerator};
 use protoacc_mem::{MemConfig, Memory};
-use protoacc_runtime::{
-    object, write_adts, AdtTables, BumpArena, MessageLayouts, RuntimeError,
-};
+use protoacc_runtime::{object, write_adts, AdtTables, BumpArena, MessageLayouts, RuntimeError};
 use protoacc_schema::{FieldType, MessageId, Schema, SchemaBuilder};
 use protoacc_wire::WireWriter;
 
-fn rig() -> (Schema, MessageLayouts, Memory, AdtTables, BumpArena, MessageId) {
+fn rig() -> (
+    Schema,
+    MessageLayouts,
+    Memory,
+    AdtTables,
+    BumpArena,
+    MessageId,
+) {
     let mut b = SchemaBuilder::new();
     let id = b.define("M", |m| {
         m.optional("text", FieldType::String, 1)
@@ -59,7 +64,10 @@ fn proto2_mode_accepts_invalid_utf8_in_strings() {
     .unwrap();
     let slot = layouts.layout(id).slot(1).unwrap().offset;
     let str_obj = mem.data.read_u64(dest + slot);
-    assert_eq!(object::read_string_object(&mem.data, str_obj), vec![0xff, 0xfe]);
+    assert_eq!(
+        object::read_string_object(&mem.data, str_obj),
+        vec![0xff, 0xfe]
+    );
 }
 
 #[test]
@@ -71,8 +79,16 @@ fn proto3_mode_rejects_invalid_utf8_in_strings() {
         validate_utf8: true,
         ..AccelConfig::default()
     };
-    let err = deser(config, &mut mem, &adts, &mut arena, &layouts, id, w.as_bytes())
-        .unwrap_err();
+    let err = deser(
+        config,
+        &mut mem,
+        &adts,
+        &mut arena,
+        &layouts,
+        id,
+        w.as_bytes(),
+    )
+    .unwrap_err();
     assert!(matches!(
         err,
         AccelError::Runtime(RuntimeError::InvalidUtf8 { field_number: 1 })
@@ -86,13 +102,22 @@ fn proto3_mode_accepts_valid_utf8_and_any_bytes_field() {
     w.write_length_delimited_field(1, "δοκιμή with ascii".as_bytes())
         .unwrap();
     // bytes fields are never validated, even in proto3 mode.
-    w.write_length_delimited_field(2, &[0xff, 0x80, 0x00]).unwrap();
+    w.write_length_delimited_field(2, &[0xff, 0x80, 0x00])
+        .unwrap();
     let config = AccelConfig {
         validate_utf8: true,
         ..AccelConfig::default()
     };
-    let dest = deser(config, &mut mem, &adts, &mut arena, &layouts, id, w.as_bytes())
-        .unwrap();
+    let dest = deser(
+        config,
+        &mut mem,
+        &adts,
+        &mut arena,
+        &layouts,
+        id,
+        w.as_bytes(),
+    )
+    .unwrap();
     let layout = layouts.layout(id);
     let text_obj = mem.data.read_u64(dest + layout.slot(1).unwrap().offset);
     assert_eq!(
@@ -133,5 +158,9 @@ fn validation_costs_at_most_a_cycle_per_string() {
     let without = run_with(false);
     let with = run_with(true);
     assert!(with >= without);
-    assert!(with - without <= 4, "validation added {} cycles", with - without);
+    assert!(
+        with - without <= 4,
+        "validation added {} cycles",
+        with - without
+    );
 }

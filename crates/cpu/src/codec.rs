@@ -10,8 +10,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use protoacc_mem::{Cycles, Memory};
 use protoacc_runtime::{
-    hasbits, object, BumpArena, MessageLayouts, RuntimeError, SlotKind,
-    REPEATED_HEADER_BYTES,
+    hasbits, object, BumpArena, MessageLayouts, RuntimeError, SlotKind, REPEATED_HEADER_BYTES,
 };
 use protoacc_schema::{FieldDescriptor, FieldType, MessageId, Schema};
 use protoacc_wire::{varint, zigzag, FieldKey, WireError, WireType};
@@ -112,8 +111,7 @@ impl<'a> SoftwareCodec<'a> {
                 key_len,
                 protoacc_mem::AccessKind::Read,
             );
-            run.cycles +=
-                self.cost.varint_decode_byte * key_len as u64 + self.cost.field_dispatch;
+            run.cycles += self.cost.varint_decode_byte * key_len as u64 + self.cost.field_dispatch;
             pos += key_len;
             let key = FieldKey::from_encoded(key_raw)?;
             run.fields += 1;
@@ -281,11 +279,9 @@ impl<'a> SoftwareCodec<'a> {
         match ft.wire_type() {
             WireType::Varint => {
                 let (raw, len) = varint::decode(&input[pos..])?;
-                run.cycles += mem.system.access(
-                    input_base + pos as u64,
-                    len,
-                    protoacc_mem::AccessKind::Read,
-                );
+                run.cycles +=
+                    mem.system
+                        .access(input_base + pos as u64, len, protoacc_mem::AccessKind::Read);
                 run.cycles += self.cost.varint_decode_byte * len as u64;
                 let bits = match ft {
                     FieldType::SInt32 => {
@@ -305,28 +301,30 @@ impl<'a> SoftwareCodec<'a> {
             }
             WireType::Bits32 => {
                 if pos + 4 > input.len() {
-                    return Err(WireError::Truncated { offset: input.len() }.into());
+                    return Err(WireError::Truncated {
+                        offset: input.len(),
+                    }
+                    .into());
                 }
-                run.cycles += mem.system.access(
-                    input_base + pos as u64,
-                    4,
-                    protoacc_mem::AccessKind::Read,
-                ) + self.cost.fixed_op;
-                let bits =
-                    u32::from_le_bytes(input[pos..pos + 4].try_into().expect("4 bytes"));
+                run.cycles +=
+                    mem.system
+                        .access(input_base + pos as u64, 4, protoacc_mem::AccessKind::Read)
+                        + self.cost.fixed_op;
+                let bits = u32::from_le_bytes(input[pos..pos + 4].try_into().expect("4 bytes"));
                 Ok((u64::from(bits), 4))
             }
             WireType::Bits64 => {
                 if pos + 8 > input.len() {
-                    return Err(WireError::Truncated { offset: input.len() }.into());
+                    return Err(WireError::Truncated {
+                        offset: input.len(),
+                    }
+                    .into());
                 }
-                run.cycles += mem.system.access(
-                    input_base + pos as u64,
-                    8,
-                    protoacc_mem::AccessKind::Read,
-                ) + self.cost.fixed_op;
-                let bits =
-                    u64::from_le_bytes(input[pos..pos + 8].try_into().expect("8 bytes"));
+                run.cycles +=
+                    mem.system
+                        .access(input_base + pos as u64, 8, protoacc_mem::AccessKind::Read)
+                        + self.cost.fixed_op;
+                let bits = u64::from_le_bytes(input[pos..pos + 8].try_into().expect("8 bytes"));
                 Ok((bits, 8))
             }
             _ => Err(RuntimeError::WireTypeMismatch {
@@ -377,15 +375,20 @@ impl<'a> SoftwareCodec<'a> {
         run: &mut CodecRun,
     ) -> Result<u64, RuntimeError> {
         run.cycles += self.cost.alloc + self.cost.string_construct;
-        let obj =
-            object::write_string_object(&mut mem.data, arena, &input[payload_off..payload_off + payload_len])?;
+        let obj = object::write_string_object(
+            &mut mem.data,
+            arena,
+            &input[payload_off..payload_off + payload_len],
+        )?;
         // Charge the copy: stream the payload in and out.
         run.cycles += mem.system.stream(
             input_base + payload_off as u64,
             payload_len,
             protoacc_mem::AccessKind::Read,
         );
-        run.cycles += mem.system.stream(obj, payload_len.max(32), protoacc_mem::AccessKind::Write);
+        run.cycles += mem
+            .system
+            .stream(obj, payload_len.max(32), protoacc_mem::AccessKind::Write);
         run.cycles += self.cost.memcpy_cycles(payload_len);
         Ok(obj)
     }
@@ -477,11 +480,24 @@ impl<'a> SoftwareCodec<'a> {
         };
         let mut size_cache = HashMap::new();
         let total = self.byte_size(
-            mem, schema, layouts, type_id, obj_addr, &mut size_cache, &mut run,
+            mem,
+            schema,
+            layouts,
+            type_id,
+            obj_addr,
+            &mut size_cache,
+            &mut run,
         )?;
         let mut cursor = out_addr;
         self.ser_message(
-            mem, schema, layouts, type_id, obj_addr, &mut cursor, &size_cache, &mut run,
+            mem,
+            schema,
+            layouts,
+            type_id,
+            obj_addr,
+            &mut cursor,
+            &size_cache,
+            &mut run,
         )?;
         debug_assert_eq!(cursor - out_addr, total);
         run.wire_bytes = total;
@@ -522,11 +538,9 @@ impl<'a> SoftwareCodec<'a> {
                 .encoded_len() as u64;
             match slot.kind {
                 SlotKind::Scalar(kind) => {
-                    run.cycles += mem.system.access(
-                        slot_addr,
-                        kind.size(),
-                        protoacc_mem::AccessKind::Read,
-                    );
+                    run.cycles +=
+                        mem.system
+                            .access(slot_addr, kind.size(), protoacc_mem::AccessKind::Read);
                     let bits = read_scalar(mem, slot_addr, kind.size() as u64);
                     total += key_len + scalar_wire_len(field.field_type(), bits);
                 }
@@ -540,8 +554,7 @@ impl<'a> SoftwareCodec<'a> {
                     let FieldType::Message(sub_id) = field.field_type() else {
                         continue;
                     };
-                    let inner =
-                        self.byte_size(mem, schema, layouts, sub_id, ptr, cache, run)?;
+                    let inner = self.byte_size(mem, schema, layouts, sub_id, ptr, cache, run)?;
                     total += key_len + varint::encoded_len(inner) as u64 + inner;
                 }
                 SlotKind::RepeatedPtr => {
@@ -586,8 +599,7 @@ impl<'a> SoftwareCodec<'a> {
                 for i in 0..count {
                     run.cycles += self.cost.byte_size_field;
                     let ptr = self.timed_read_u64(mem, data + i * 8, run);
-                    let inner =
-                        self.byte_size(mem, schema, layouts, sub_id, ptr, cache, run)?;
+                    let inner = self.byte_size(mem, schema, layouts, sub_id, ptr, cache, run)?;
                     total += key_len + varint::encoded_len(inner) as u64 + inner;
                 }
             }
@@ -646,11 +658,9 @@ impl<'a> SoftwareCodec<'a> {
             let slot_addr = obj_addr + slot.offset;
             match slot.kind {
                 SlotKind::Scalar(kind) => {
-                    run.cycles += mem.system.access(
-                        slot_addr,
-                        kind.size(),
-                        protoacc_mem::AccessKind::Read,
-                    );
+                    run.cycles +=
+                        mem.system
+                            .access(slot_addr, kind.size(), protoacc_mem::AccessKind::Read);
                     let bits = read_scalar(mem, slot_addr, kind.size() as u64);
                     self.emit_key(mem, field, cursor, run);
                     self.emit_scalar(mem, field.field_type(), bits, cursor, run);
@@ -786,8 +796,7 @@ impl<'a> SoftwareCodec<'a> {
                 self.emit_varint(mem, raw, cursor, run);
             }
             WireType::Bits32 => {
-                mem.data
-                    .write_bytes(*cursor, &(bits as u32).to_le_bytes());
+                mem.data.write_bytes(*cursor, &(bits as u32).to_le_bytes());
                 run.cycles += mem
                     .system
                     .access(*cursor, 4, protoacc_mem::AccessKind::Write)
@@ -879,7 +888,7 @@ impl RepeatedAccum {
                 self.scalars.len() as u64,
                 self.field_type
                     .scalar_kind()
-                    .map_or(8, |k| k.size()) as u64,
+                    .map_or(8, protoacc_schema::ScalarKind::size) as u64,
             )
         } else {
             (self.ptrs.len() as u64, 8)
@@ -927,9 +936,7 @@ fn scalar_wire_len(ft: FieldType, bits: u64) -> u64 {
     match ft.wire_type() {
         WireType::Bits32 => 4,
         WireType::Bits64 => 8,
-        WireType::Varint => {
-            varint::encoded_len(wire_varint_from_bits(ft, bits, || {})) as u64
-        }
+        WireType::Varint => varint::encoded_len(wire_varint_from_bits(ft, bits, || {})) as u64,
         _ => unreachable!("length-delimited handled by callers"),
     }
 }
@@ -1009,10 +1016,19 @@ mod tests {
         m.set(4, Value::Str("hello world, long enough to skip SSO".into()))
             .unwrap();
         m.set(5, Value::Message(sub.clone())).unwrap();
-        m.set_repeated(6, vec![Value::Int64(1), Value::Int64(-1), Value::Int64(1 << 40)]);
+        m.set_repeated(
+            6,
+            vec![Value::Int64(1), Value::Int64(-1), Value::Int64(1 << 40)],
+        );
         m.set_repeated(7, vec![Value::UInt32(7), Value::UInt32(300)]);
         m.set_repeated(8, vec![Value::Str("a".into()), Value::Str("bb".into())]);
-        m.set_repeated(9, vec![Value::Message(sub), Value::Message(MessageValue::new(h.inner))]);
+        m.set_repeated(
+            9,
+            vec![
+                Value::Message(sub),
+                Value::Message(MessageValue::new(h.inner)),
+            ],
+        );
         m.set(10, Value::Float(0.5)).unwrap();
         m.set(11, Value::Fixed64(0xdead_beef)).unwrap();
         m
@@ -1029,9 +1045,10 @@ mod tests {
             .arena
             .alloc(h.layouts.layout(h.outer).object_size(), 8)
             .unwrap();
-        h.mem
-            .data
-            .write_bytes(dest, &vec![0u8; h.layouts.layout(h.outer).object_size() as usize]);
+        h.mem.data.write_bytes(
+            dest,
+            &vec![0u8; h.layouts.layout(h.outer).object_size() as usize],
+        );
         let cost = CostTable::boom();
         let codec = SoftwareCodec::new(&cost);
         let run = codec
@@ -1048,8 +1065,7 @@ mod tests {
             .unwrap();
         assert!(run.cycles > 0);
         assert_eq!(run.wire_bytes, wire.len() as u64);
-        let back =
-            object::read_message(&h.mem.data, &h.schema, &h.layouts, h.outer, dest).unwrap();
+        let back = object::read_message(&h.mem.data, &h.schema, &h.layouts, h.outer, dest).unwrap();
         assert!(back.bits_eq(&m));
     }
 
@@ -1087,16 +1103,23 @@ mod tests {
             .arena
             .alloc(h.layouts.layout(h.outer).object_size(), 8)
             .unwrap();
-        h.mem
-            .data
-            .write_bytes(dest, &vec![0u8; h.layouts.layout(h.outer).object_size() as usize]);
+        h.mem.data.write_bytes(
+            dest,
+            &vec![0u8; h.layouts.layout(h.outer).object_size() as usize],
+        );
         codec
             .deserialize(
-                &mut h.mem, &h.schema, &h.layouts, h.outer, out_addr, len, dest, &mut h.arena,
+                &mut h.mem,
+                &h.schema,
+                &h.layouts,
+                h.outer,
+                out_addr,
+                len,
+                dest,
+                &mut h.arena,
             )
             .unwrap();
-        let back =
-            object::read_message(&h.mem.data, &h.schema, &h.layouts, h.outer, dest).unwrap();
+        let back = object::read_message(&h.mem.data, &h.schema, &h.layouts, h.outer, dest).unwrap();
         assert!(back.bits_eq(&m));
     }
 
@@ -1130,7 +1153,12 @@ mod tests {
                 .unwrap();
             cycles.push(run.cycles);
         }
-        assert!(cycles[0] > cycles[1], "boom {} vs xeon {}", cycles[0], cycles[1]);
+        assert!(
+            cycles[0] > cycles[1],
+            "boom {} vs xeon {}",
+            cycles[0],
+            cycles[1]
+        );
     }
 
     #[test]
@@ -1188,8 +1216,7 @@ mod tests {
                 &mut h.arena,
             )
             .unwrap();
-        let back =
-            object::read_message(&h.mem.data, &h.schema, &h.layouts, h.outer, dest).unwrap();
+        let back = object::read_message(&h.mem.data, &h.schema, &h.layouts, h.outer, dest).unwrap();
         assert_eq!(back.get_single(1), Some(&Value::Int32(6)));
         assert_eq!(back.present_fields(), 1);
     }

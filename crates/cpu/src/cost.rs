@@ -203,7 +203,7 @@ mod tests {
     #[test]
     fn throughput_conversion() {
         let t = CostTable::boom(); // 2 GHz
-        // 1000 bytes in 1000 cycles = 8 bits/cycle = 16 Gbit/s at 2 GHz.
+                                   // 1000 bytes in 1000 cycles = 8 bits/cycle = 16 Gbit/s at 2 GHz.
         let g = t.gbits_per_sec(1000, 1000);
         assert!((g - 16.0).abs() < 1e-9);
         assert_eq!(t.gbits_per_sec(100, 0), 0.0);

@@ -8,8 +8,7 @@
 
 use protoacc_mem::{AccessKind, Memory};
 use protoacc_runtime::{
-    hasbits, object, BumpArena, MessageLayouts, RuntimeError, SlotKind,
-    REPEATED_HEADER_BYTES,
+    hasbits, object, BumpArena, MessageLayouts, RuntimeError, SlotKind, REPEATED_HEADER_BYTES,
 };
 use protoacc_schema::{FieldType, MessageId, Schema};
 
@@ -146,7 +145,9 @@ fn merge_message(
                 run.cycles += cost.alloc
                     + cost.string_construct
                     + cost.memcpy_cycles(payload.len())
-                    + mem.system.stream(new_str, payload.len().max(32), AccessKind::Write);
+                    + mem
+                        .system
+                        .stream(new_str, payload.len().max(32), AccessKind::Write);
                 mem.data.write_u64(dst_slot, new_str);
                 run.cycles += mem.system.access(dst_slot, 8, AccessKind::Write);
             }
@@ -243,7 +244,9 @@ fn concat_repeated(
     arena: &mut BumpArena,
     run: &mut CodecRun,
 ) -> Result<u64, RuntimeError> {
-    let elem_size = field_type.scalar_kind().map_or(8, |k| k.size()) as u64;
+    let elem_size = field_type
+        .scalar_kind()
+        .map_or(8, protoacc_schema::ScalarKind::size) as u64;
     let (dst_data, dst_count) = read_header(cost, mem, dst_header, run);
     let (src_data, src_count) = read_header(cost, mem, src_header, run);
     let total = dst_count + src_count;
@@ -278,7 +281,9 @@ fn concat_repeated(
                 run.cycles += cost.alloc
                     + cost.string_construct
                     + cost.memcpy_cycles(payload.len())
-                    + mem.system.stream(new_str, payload.len().max(32), AccessKind::Write);
+                    + mem
+                        .system
+                        .stream(new_str, payload.len().max(32), AccessKind::Write);
                 mem.data.write_u64(dest_base + i * 8, new_str);
                 run.cycles += mem.system.access(dest_base + i * 8, 8, AccessKind::Write);
             }
@@ -287,8 +292,7 @@ fn concat_repeated(
             for i in 0..src_count {
                 run.cycles += cost.repeated_append;
                 let src_sub = timed_read(cost, mem, src_data + i * 8, run);
-                let copied =
-                    deep_copy(cost, mem, schema, layouts, sub_id, src_sub, arena, run)?;
+                let copied = deep_copy(cost, mem, schema, layouts, sub_id, src_sub, arena, run)?;
                 mem.data.write_u64(dest_base + i * 8, copied);
                 run.cycles += mem.system.access(dest_base + i * 8, 8, AccessKind::Write);
             }
@@ -390,23 +394,28 @@ mod tests {
         let mut r = rig();
         let a = sample_a(&r);
         let b = sample_b(&r);
-        let dst =
-            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &a)
-                .unwrap();
-        let src =
-            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &b)
-                .unwrap();
+        let dst = object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &a)
+            .unwrap();
+        let src = object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &b)
+            .unwrap();
         let cost = CostTable::boom();
         let codec = SoftwareCodec::new(&cost);
         let run = codec
-            .merge(&mut r.mem, &r.schema, &r.layouts, r.outer, dst, src, &mut r.arena)
+            .merge(
+                &mut r.mem,
+                &r.schema,
+                &r.layouts,
+                r.outer,
+                dst,
+                src,
+                &mut r.arena,
+            )
             .unwrap();
         assert!(run.cycles > 0);
         assert!(run.fields > 0);
         let mut expect = a.clone();
         expect.merge_from(&b);
-        let got =
-            object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, dst).unwrap();
+        let got = object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, dst).unwrap();
         assert!(got.bits_eq(&expect));
         // Source unchanged.
         let src_back =
@@ -419,19 +428,24 @@ mod tests {
         let mut r = rig();
         let a = sample_a(&r);
         let b = sample_b(&r);
-        let dst =
-            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &a)
-                .unwrap();
-        let src =
-            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &b)
-                .unwrap();
+        let dst = object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &a)
+            .unwrap();
+        let src = object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &b)
+            .unwrap();
         let cost = CostTable::xeon();
         let codec = SoftwareCodec::new(&cost);
         codec
-            .copy(&mut r.mem, &r.schema, &r.layouts, r.outer, dst, src, &mut r.arena)
+            .copy(
+                &mut r.mem,
+                &r.schema,
+                &r.layouts,
+                r.outer,
+                dst,
+                src,
+                &mut r.arena,
+            )
             .unwrap();
-        let got =
-            object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, dst).unwrap();
+        let got = object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, dst).unwrap();
         assert!(got.bits_eq(&b));
     }
 
@@ -439,15 +453,13 @@ mod tests {
     fn clear_empties_object() {
         let mut r = rig();
         let a = sample_a(&r);
-        let obj =
-            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &a)
-                .unwrap();
+        let obj = object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &a)
+            .unwrap();
         let cost = CostTable::boom();
         let codec = SoftwareCodec::new(&cost);
         let run = codec.clear(&mut r.mem, &r.layouts, r.outer, obj).unwrap();
         assert!(run.cycles > 0);
-        let got =
-            object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, obj).unwrap();
+        let got = object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, obj).unwrap();
         assert!(got.is_empty());
     }
 
@@ -459,16 +471,22 @@ mod tests {
         let dst =
             object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &empty)
                 .unwrap();
-        let src =
-            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &b)
-                .unwrap();
+        let src = object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &b)
+            .unwrap();
         let cost = CostTable::boom();
         let codec = SoftwareCodec::new(&cost);
         codec
-            .merge(&mut r.mem, &r.schema, &r.layouts, r.outer, dst, src, &mut r.arena)
+            .merge(
+                &mut r.mem,
+                &r.schema,
+                &r.layouts,
+                r.outer,
+                dst,
+                src,
+                &mut r.arena,
+            )
             .unwrap();
-        let got =
-            object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, dst).unwrap();
+        let got = object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, dst).unwrap();
         assert!(got.bits_eq(&b));
     }
 
@@ -487,21 +505,27 @@ mod tests {
             &MessageValue::new(r.outer),
         )
         .unwrap();
-        let src =
-            object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &b)
-                .unwrap();
+        let src = object::write_message(&mut r.mem.data, &r.schema, &r.layouts, &mut r.arena, &b)
+            .unwrap();
         let cost = CostTable::boom();
         let codec = SoftwareCodec::new(&cost);
         codec
-            .merge(&mut r.mem, &r.schema, &r.layouts, r.outer, dst, src, &mut r.arena)
+            .merge(
+                &mut r.mem,
+                &r.schema,
+                &r.layouts,
+                r.outer,
+                dst,
+                src,
+                &mut r.arena,
+            )
             .unwrap();
         // Scribble over the source string object's payload.
         let slot = r.layouts.layout(r.outer).slot(2).unwrap().offset;
         let src_str = r.mem.data.read_u64(src + slot);
         let data_ptr = r.mem.data.read_u64(src_str);
         r.mem.data.write_bytes(data_ptr, b"XXXXXXX");
-        let got =
-            object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, dst).unwrap();
+        let got = object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, dst).unwrap();
         assert_eq!(got.get_single(2), Some(&Value::Str("shared?".into())));
     }
 }

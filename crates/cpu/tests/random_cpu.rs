@@ -1,0 +1,144 @@
+//! Randomized tests: the instrumented CPU codec agrees with the reference
+//! codec on arbitrary messages, in both directions, on both machines.
+//! Driven by the workspace's deterministic PRNG (`xrand`); enable the
+//! `slow-tests` feature to multiply the iteration counts.
+
+use protoacc_cpu::{CostTable, SoftwareCodec};
+use protoacc_mem::Memory;
+use protoacc_runtime::{object, reference, BumpArena, MessageLayouts, MessageValue, Value};
+use protoacc_schema::{FieldType, MessageId, Schema, SchemaBuilder};
+use xrand::{Rng, StdRng};
+
+/// Iteration count, scaled up under `--features slow-tests`.
+fn cases(default: usize) -> usize {
+    if cfg!(feature = "slow-tests") {
+        default * 16
+    } else {
+        default
+    }
+}
+
+fn test_schema() -> (Schema, MessageId) {
+    let mut b = SchemaBuilder::new();
+    let id = b.define("M", |m| {
+        m.optional("i", FieldType::Int32, 1)
+            .optional("u", FieldType::UInt64, 2)
+            .optional("s", FieldType::SInt64, 3)
+            .optional("f", FieldType::Float, 4)
+            .optional("d", FieldType::Double, 5)
+            .optional("t", FieldType::String, 6)
+            .optional("y", FieldType::Bytes, 7)
+            .repeated("r", FieldType::Int64, 8)
+            .packed("p", FieldType::Fixed32, 9);
+    });
+    (b.build().unwrap(), id)
+}
+
+fn random_message(rng: &mut StdRng, id: MessageId) -> MessageValue {
+    let mut m = MessageValue::new(id);
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(1, Value::Int32(rng.gen()));
+    }
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(2, Value::UInt64(rng.gen()));
+    }
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(3, Value::SInt64(rng.gen()));
+    }
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(4, Value::Float(rng.gen()));
+    }
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(5, Value::Double(rng.gen()));
+    }
+    if rng.gen_bool(0.5) {
+        let text: String = (0..rng.gen_range(0u32..48))
+            .map(|_| char::from(rng.gen_range(b' '..=b'~')))
+            .collect();
+        m.set_unchecked(6, Value::Str(text));
+    }
+    if rng.gen_bool(0.5) {
+        let mut bytes = vec![0u8; rng.gen_range(0usize..48)];
+        rng.fill(&mut bytes);
+        m.set_unchecked(7, Value::Bytes(bytes));
+    }
+    let r: Vec<Value> = (0..rng.gen_range(0u32..6))
+        .map(|_| Value::Int64(rng.gen()))
+        .collect();
+    if !r.is_empty() {
+        m.set_repeated(8, r);
+    }
+    let p: Vec<Value> = (0..rng.gen_range(0u32..6))
+        .map(|_| Value::Fixed32(rng.gen()))
+        .collect();
+    if !p.is_empty() {
+        m.set_repeated(9, p);
+    }
+    m
+}
+
+#[test]
+fn cpu_codec_round_trips_on_both_machines() {
+    let mut rng = StdRng::seed_from_u64(0xC7_0001);
+    let (schema, id) = test_schema();
+    let layouts = MessageLayouts::compute(&schema);
+    for _ in 0..cases(48) {
+        let m = random_message(&mut rng, id);
+        let expect = reference::encode(&m, &schema).unwrap();
+        for cost in [CostTable::boom(), CostTable::xeon()] {
+            let codec = SoftwareCodec::new(&cost);
+            let mut mem = Memory::new(cost.mem);
+            let mut arena = BumpArena::new(0x1000_0000, 1 << 26);
+            // Serialize from a materialized object: byte-identical.
+            let obj =
+                object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &m).unwrap();
+            let (_, len) = codec
+                .serialize(&mut mem, &schema, &layouts, id, obj, 0x2000_0000)
+                .unwrap();
+            assert_eq!(mem.data.read_vec(0x2000_0000, len as usize), expect.clone());
+            // Deserialize back: same object graph.
+            let dest = arena.alloc(layouts.layout(id).object_size(), 8).unwrap();
+            codec
+                .deserialize(
+                    &mut mem,
+                    &schema,
+                    &layouts,
+                    id,
+                    0x2000_0000,
+                    len,
+                    dest,
+                    &mut arena,
+                )
+                .unwrap();
+            let back = object::read_message(&mem.data, &schema, &layouts, id, dest).unwrap();
+            assert!(back.bits_eq(&m), "{}", cost.name);
+        }
+    }
+}
+
+#[test]
+fn cpu_deser_survives_arbitrary_input() {
+    let mut rng = StdRng::seed_from_u64(0xC7_0002);
+    let (schema, id) = test_schema();
+    let layouts = MessageLayouts::compute(&schema);
+    for _ in 0..cases(128) {
+        let mut bytes = vec![0u8; rng.gen_range(0usize..256)];
+        rng.fill(&mut bytes);
+        let cost = CostTable::boom();
+        let codec = SoftwareCodec::new(&cost);
+        let mut mem = Memory::new(cost.mem);
+        let mut arena = BumpArena::new(0x1000_0000, 1 << 24);
+        mem.data.write_bytes(0x2000_0000, &bytes);
+        let dest = arena.alloc(layouts.layout(id).object_size(), 8).unwrap();
+        let _ = codec.deserialize(
+            &mut mem,
+            &schema,
+            &layouts,
+            id,
+            0x2000_0000,
+            bytes.len() as u64,
+            dest,
+            &mut arena,
+        );
+    }
+}

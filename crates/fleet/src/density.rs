@@ -56,8 +56,7 @@ pub fn aggregate_interface_cost(samples: &[MessageSample]) -> (u64, u64) {
 mod tests {
     use super::*;
     use crate::protobufz::ShapeModel;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use xrand::StdRng;
 
     fn population() -> Vec<MessageSample> {
         let model = ShapeModel::google_2021();

@@ -1,6 +1,6 @@
 //! Discrete probability distributions with deterministic sampling.
 
-use rand::Rng;
+use xrand::Rng;
 
 /// A discrete distribution over `0..n` given by (not necessarily
 /// normalized) non-negative weights.
@@ -79,8 +79,7 @@ impl Discrete {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use xrand::StdRng;
 
     #[test]
     fn probabilities_normalize() {

@@ -1,7 +1,7 @@
 //! Google-Wide-Profiling-style fleet cycle profiles (§3.1.1, §3.2,
 //! Figure 2).
 
-use rand::Rng;
+use xrand::Rng;
 
 use crate::Discrete;
 
@@ -94,7 +94,9 @@ impl FleetProfile {
         FleetProfile {
             protobuf_fraction_of_fleet: 0.096,
             cpp_fraction_of_protobuf: 0.88,
-            op_shares: [0.260, 0.088, 0.060, 0.070, 0.060, 0.041, 0.064, 0.139, 0.218],
+            op_shares: [
+                0.260, 0.088, 0.060, 0.070, 0.060, 0.041, 0.064, 0.139, 0.218,
+            ],
             rpc_fraction_of_deser: 0.163,
             rpc_fraction_of_ser: 0.352,
         }
@@ -115,7 +117,10 @@ impl FleetProfile {
     /// The Figure 2 share of one operation (fraction of C++ protobuf
     /// cycles).
     pub fn share(&self, op: ProtoOp) -> f64 {
-        let idx = ProtoOp::ALL.iter().position(|&o| o == op).expect("known op");
+        let idx = ProtoOp::ALL
+            .iter()
+            .position(|&o| o == op)
+            .expect("known op");
         self.op_shares[idx]
     }
 
@@ -251,8 +256,7 @@ impl ServiceCycles {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use xrand::StdRng;
 
     #[test]
     fn shares_sum_to_one() {

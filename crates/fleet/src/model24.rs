@@ -214,7 +214,10 @@ fn slice_bytes_fractions(shape: &ShapeModel) -> Vec<f64> {
             PerfClass::FloatLike | PerfClass::Fixed32Like => 4.0,
             PerfClass::DoubleLike | PerfClass::Fixed64Like => 8.0,
         };
-        let idx = PerfClass::ALL.iter().position(|&c| c == class).expect("class");
+        let idx = PerfClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class");
         class_bytes[idx] += count_w * mean;
     }
     let total: f64 = class_bytes.iter().sum();
@@ -280,7 +283,13 @@ fn measure_slice(cost: &CostTable, spec: &SliceSpec) -> (f64, f64) {
     let dest = arena.alloc(layout.object_size(), 8).unwrap();
     codec
         .deserialize(
-            &mut mem, &schema, &layouts, type_id, input_base, wire.len() as u64, dest,
+            &mut mem,
+            &schema,
+            &layouts,
+            type_id,
+            input_base,
+            wire.len() as u64,
+            dest,
             &mut arena,
         )
         .expect("slice deserializes");
@@ -291,7 +300,13 @@ fn measure_slice(cost: &CostTable, spec: &SliceSpec) -> (f64, f64) {
         let dest = arena.alloc(layout.object_size(), 8).unwrap();
         let run = codec
             .deserialize(
-                &mut mem, &schema, &layouts, type_id, cursor, wire.len() as u64, dest,
+                &mut mem,
+                &schema,
+                &layouts,
+                type_id,
+                cursor,
+                wire.len() as u64,
+                dest,
                 &mut arena,
             )
             .expect("slice deserializes");
@@ -362,7 +377,10 @@ mod tests {
         let m = model();
         assert_eq!(m.slices().len(), SLICES);
         let bytes_total: f64 = m.slices().iter().map(|s| s.bytes_fraction).sum();
-        assert!((bytes_total - 1.0).abs() < 1e-6, "bytes total {bytes_total}");
+        assert!(
+            (bytes_total - 1.0).abs() < 1e-6,
+            "bytes total {bytes_total}"
+        );
         let deser_total: f64 = m.deser_time_shares().iter().sum();
         assert!((deser_total - 1.0).abs() < 1e-6);
         let ser_total: f64 = m.ser_time_shares().iter().sum();

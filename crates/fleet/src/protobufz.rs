@@ -7,7 +7,7 @@
 //! sample population.
 
 use protoacc_schema::{FieldType, PerfClass};
-use rand::Rng;
+use xrand::Rng;
 
 use crate::buckets::{bucket_index, bucket_midpoint, SIZE_BUCKET_COUNT};
 use crate::Discrete;
@@ -113,14 +113,12 @@ impl ShapeModel {
                 2.0,  // fixed32
                 3.0,  // sint64
             ],
-            bytes_field_size_weights: [
-                30.0, 30.0, 14.0, 10.0, 6.4, 4.0, 2.5, 2.14, 0.9, 0.06,
-            ],
+            bytes_field_size_weights: [30.0, 30.0, 14.0, 10.0, 6.4, 4.0, 2.5, 2.14, 0.9, 0.06],
             varint_len_weights: [35.0, 20.0, 12.0, 8.0, 6.0, 5.0, 4.0, 4.0, 3.0, 3.0],
             depth_weights,
             density_bucket_weights: [
-                4.0, 3.0, 4.0, 5.0, 6.0, 7.0, 7.0, 6.0, 5.0, 5.0, 5.0, 4.0, 4.0, 4.0, 4.0,
-                4.0, 4.0, 4.0, 3.0, 3.0, 9.0,
+                4.0, 3.0, 4.0, 5.0, 6.0, 7.0, 7.0, 6.0, 5.0, 5.0, 5.0, 4.0, 4.0, 4.0, 4.0, 4.0,
+                4.0, 4.0, 3.0, 3.0, 9.0,
             ],
         }
     }
@@ -179,7 +177,9 @@ impl ShapeModel {
         let hi = (center + 0.025).min(1.0);
         let density = rng.gen_range(lo..hi);
         let present = fields.len() as u32;
-        let span = (f64::from(present) / density).round().max(f64::from(present)) as u32;
+        let span = (f64::from(present) / density)
+            .round()
+            .max(f64::from(present)) as u32;
         MessageSample {
             encoded_size: total,
             depth,
@@ -231,9 +231,7 @@ pub fn estimate_field_bytes_shares(samples: &[MessageSample]) -> [f64; 12] {
 }
 
 /// Figure 4c: histogram of bytes-like field sizes.
-pub fn estimate_bytes_field_size_histogram(
-    samples: &[MessageSample],
-) -> [f64; SIZE_BUCKET_COUNT] {
+pub fn estimate_bytes_field_size_histogram(samples: &[MessageSample]) -> [f64; SIZE_BUCKET_COUNT] {
     let mut counts = [0u64; SIZE_BUCKET_COUNT];
     for s in samples {
         for f in &s.fields {
@@ -274,8 +272,7 @@ fn normalize<const N: usize>(counts: &[u64; N]) -> [f64; N] {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use xrand::StdRng;
 
     fn population(n: usize) -> Vec<MessageSample> {
         let model = ShapeModel::google_2021();
@@ -330,7 +327,10 @@ mod tests {
     fn figure4c_small_fields_dominate_count() {
         let samples = population(4000);
         let hist = estimate_bytes_field_size_histogram(&samples);
-        assert!(hist[0] + hist[1] > 0.5, "small bytes fields dominate: {hist:?}");
+        assert!(
+            hist[0] + hist[1] > 0.5,
+            "small bytes fields dominate: {hist:?}"
+        );
     }
 
     #[test]
@@ -339,7 +339,11 @@ mod tests {
         let samples = population(30_000);
         let hist = estimate_size_histogram(&samples);
         let total: f64 = model.size_bucket_weights.iter().sum();
-        for (i, (&got, &weight)) in hist.iter().zip(model.size_bucket_weights.iter()).enumerate() {
+        for (i, (&got, &weight)) in hist
+            .iter()
+            .zip(model.size_bucket_weights.iter())
+            .enumerate()
+        {
             let truth = weight / total;
             assert!((got - truth).abs() < 0.02, "bucket {i}: {got} vs {truth}");
         }

@@ -1,6 +1,6 @@
 //! `protodb`-style static registry facts (§3.1.3, §3.3).
 
-use rand::Rng;
+use xrand::Rng;
 
 use crate::Discrete;
 
@@ -44,10 +44,7 @@ impl Registry {
 
     /// Samples the proto version of one observed byte.
     pub fn sample_version<R: Rng + ?Sized>(&self, rng: &mut R) -> ProtoVersion {
-        let dist = Discrete::new(&[
-            self.proto2_bytes_fraction,
-            1.0 - self.proto2_bytes_fraction,
-        ]);
+        let dist = Discrete::new(&[self.proto2_bytes_fraction, 1.0 - self.proto2_bytes_fraction]);
         match dist.sample(rng) {
             0 => ProtoVersion::Proto2,
             _ => ProtoVersion::Proto3,
@@ -119,8 +116,7 @@ pub fn analyze_schema(schema: &protoacc_schema::Schema) -> SchemaStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use xrand::StdRng;
 
     #[test]
     fn proto2_dominates() {

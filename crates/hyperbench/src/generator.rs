@@ -3,8 +3,7 @@
 
 use protoacc_runtime::{MessageValue, Value};
 use protoacc_schema::{FieldType, Label, MessageId, Schema, SchemaBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xrand::{Rng, StdRng};
 
 use crate::shape::SHAPE_TYPES;
 use crate::ServiceProfile;
@@ -115,12 +114,26 @@ impl Generator {
                     if is_sub {
                         let next = &levels[depth + 1];
                         let sub = next[self.rng.gen_range(0..next.len())];
-                        let label = if repeated { Label::Repeated } else { Label::Optional };
-                        mb.field(&format!("f{f}"), FieldType::Message(sub), number, label, false);
+                        let label = if repeated {
+                            Label::Repeated
+                        } else {
+                            Label::Optional
+                        };
+                        mb.field(
+                            &format!("f{f}"),
+                            FieldType::Message(sub),
+                            number,
+                            label,
+                            false,
+                        );
                     } else {
                         let ft = self.sample_type();
                         let packed = repeated && ft.is_packable() && self.rng.gen_bool(0.6);
-                        let label = if repeated { Label::Repeated } else { Label::Optional };
+                        let label = if repeated {
+                            Label::Repeated
+                        } else {
+                            Label::Optional
+                        };
                         mb.field(&format!("f{f}"), ft, number, label, packed);
                     }
                 }
@@ -195,7 +208,7 @@ impl Generator {
     /// Varint values with realistic magnitude skew: mostly small, a long
     /// tail of large values (matching the fleet varint-length histogram).
     fn skewed_u64(&mut self) -> u64 {
-        let bits = self.rng.gen_range(0..50);
+        let bits = self.rng.gen_range(0u32..50);
         self.rng.gen::<u64>() >> (63 - bits.min(63))
     }
 
@@ -289,8 +302,7 @@ mod tests {
             for m in &bench.messages {
                 m.validate(&bench.schema).expect("valid against schema");
                 let wire = reference::encode(m, &bench.schema).expect("encodes");
-                let back =
-                    reference::decode(&wire, bench.type_id, &bench.schema).expect("decodes");
+                let back = reference::decode(&wire, bench.type_id, &bench.schema).expect("decodes");
                 assert!(back.bits_eq(m));
             }
         }

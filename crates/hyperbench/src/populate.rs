@@ -4,8 +4,7 @@
 
 use protoacc_runtime::{MessageValue, Value};
 use protoacc_schema::{FieldType, MessageId, Schema};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xrand::{Rng, StdRng};
 
 use crate::ShapeParams;
 
@@ -38,8 +37,7 @@ fn populate_one(
     let descriptor = schema.message(type_id);
     for field in descriptor.fields() {
         let required = field.label() == protoacc_schema::Label::Required;
-        let present =
-            required || rng.gen_bool(params.populated_fraction.clamp(0.05, 1.0));
+        let present = required || rng.gen_bool(params.populated_fraction.clamp(0.05, 1.0));
         if !present {
             continue;
         }
@@ -48,10 +46,9 @@ fn populate_one(
             continue;
         }
         if field.is_repeated() {
-            let len = (params.mean_repeated_len.max(1.0)
-                * rng.gen_range(0.5..1.5))
-            .round()
-            .max(1.0) as usize;
+            let len = (params.mean_repeated_len.max(1.0) * rng.gen_range(0.5f64..1.5))
+                .round()
+                .max(1.0) as usize;
             let values = (0..len)
                 .map(|_| sample_value(schema, field.field_type(), params, rng, depth))
                 .collect();
@@ -88,7 +85,11 @@ fn sample_value(
         FieldType::Enum => Value::Enum(rng.gen_range(0..8)),
         FieldType::String => {
             let len = sample_len(params, rng);
-            Value::Str((0..len).map(|_| rng.gen_range(b'a'..=b'z') as char).collect())
+            Value::Str(
+                (0..len)
+                    .map(|_| rng.gen_range(b'a'..=b'z') as char)
+                    .collect(),
+            )
         }
         FieldType::Bytes => {
             let len = sample_len(params, rng);

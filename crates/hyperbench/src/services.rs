@@ -153,7 +153,11 @@ mod tests {
             assert_eq!(p.index, i);
             assert_eq!(p.label(), format!("bench{i}"));
             let total: f64 = p.shape.type_weights.iter().sum();
-            assert!((total - 1.0).abs() < 0.01, "{}: weights sum {total}", p.name);
+            assert!(
+                (total - 1.0).abs() < 0.01,
+                "{}: weights sum {total}",
+                p.name
+            );
         }
         // Profiles genuinely differ.
         assert_ne!(all[0].shape, all[2].shape);

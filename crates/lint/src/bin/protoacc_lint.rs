@@ -1,0 +1,229 @@
+//! `protoacc-lint`: lint `.proto` files against the accelerator model.
+//!
+//! ```text
+//! protoacc-lint [OPTIONS] PATH...
+//!
+//! PATH                 a .proto file or a directory scanned recursively
+//! --format human|json  output format (default human)
+//! --fail-on SEV        exit 1 when a diagnostic at/above SEV exists
+//!                      (deny|warn|never; default deny)
+//! --allow CODE         silence a check (PAxxx or kebab name)
+//! --warn CODE          downgrade/force a check to warn
+//! --deny CODE          upgrade a check to deny
+//! --stack-depth N      override the modeled metadata stack depth
+//! --utf8               lint under proto3 semantics (UTF-8 validation)
+//! ```
+//!
+//! Exit codes: 0 clean (below the `--fail-on` threshold), 1 gate failure,
+//! 2 usage or parse error.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use protoacc_lint::{lint_schema, DiagCode, LintConfig, LintReport, Severity};
+use protoacc_schema::parse_proto;
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Format {
+    Human,
+    Json,
+}
+
+struct Options {
+    format: Format,
+    fail_on: Option<Severity>,
+    config: LintConfig,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> String {
+    "usage: protoacc-lint [--format human|json] [--fail-on deny|warn|never] \
+     [--allow CODE] [--warn CODE] [--deny CODE] [--stack-depth N] [--utf8] PATH..."
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Human,
+        fail_on: Some(Severity::Deny),
+        config: LintConfig::default(),
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--format" => {
+                opts.format = match value("--format")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`\n{}", usage())),
+                };
+            }
+            "--fail-on" => {
+                let v = value("--fail-on")?;
+                opts.fail_on = match v.as_str() {
+                    "never" => None,
+                    s => Some(
+                        Severity::parse(s)
+                            .filter(|s| *s != Severity::Allow)
+                            .ok_or_else(|| format!("unknown fail level `{v}`\n{}", usage()))?,
+                    ),
+                };
+            }
+            "--allow" | "--warn" | "--deny" => {
+                let sev = Severity::parse(&arg[2..]).expect("flag name is a severity");
+                let v = value(arg)?;
+                let code = DiagCode::parse(&v)
+                    .ok_or_else(|| format!("unknown diagnostic code `{v}`\n{}", usage()))?;
+                opts.config.overrides.push((code, sev));
+            }
+            "--stack-depth" => {
+                let v = value("--stack-depth")?;
+                opts.config.accel.stack_depth = v
+                    .parse()
+                    .map_err(|_| format!("bad stack depth `{v}`\n{}", usage()))?;
+            }
+            "--utf8" => opts.config.accel.validate_utf8 = true,
+            "--help" | "-h" => return Err(usage()),
+            p if p.starts_with("--") => {
+                return Err(format!("unknown option `{p}`\n{}", usage()));
+            }
+            p => opts.paths.push(PathBuf::from(p)),
+        }
+    }
+    if opts.paths.is_empty() {
+        return Err(format!("no input paths\n{}", usage()));
+    }
+    Ok(opts)
+}
+
+/// Collects `.proto` files: a file path is taken as-is, a directory is
+/// scanned recursively with deterministic (sorted) ordering.
+fn collect_protos(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if path.is_file() {
+        out.push(path.to_path_buf());
+        return Ok(());
+    }
+    if !path.is_dir() {
+        return Err(format!("{}: no such file or directory", path.display()));
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_protos(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "proto") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    let mut files = Vec::new();
+    for path in &opts.paths {
+        collect_protos(path, &mut files)?;
+    }
+    if files.is_empty() {
+        return Err("no .proto files found under the given paths".to_string());
+    }
+
+    let mut report = LintReport::default();
+    for file in &files {
+        let source =
+            std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        let schema =
+            parse_proto(&source).map_err(|e| format!("{}: parse error: {e}", file.display()))?;
+        report.merge(lint_schema(&schema, &opts.config));
+    }
+
+    match opts.format {
+        Format::Human => print!("{}", report.render_human()),
+        Format::Json => print!("{}", report.render_json()),
+    }
+
+    let failed = match opts.fail_on {
+        None => false,
+        Some(level) => report.max_severity().is_some_and(|max| max >= level),
+    };
+    Ok(if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("protoacc-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_overrides_and_paths() {
+        let o = parse_args(&args(&[
+            "--format",
+            "json",
+            "--deny",
+            "PA005",
+            "--allow",
+            "stack-spill",
+            "--stack-depth",
+            "4",
+            "protos",
+        ]))
+        .unwrap();
+        assert_eq!(o.format, Format::Json);
+        assert_eq!(o.config.accel.stack_depth, 4);
+        assert_eq!(
+            o.config.overrides,
+            vec![
+                (DiagCode::WindowStarve, Severity::Deny),
+                (DiagCode::StackSpill, Severity::Allow)
+            ]
+        );
+        assert_eq!(o.paths, vec![PathBuf::from("protos")]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["--format", "xml", "p"])).is_err());
+        assert!(parse_args(&args(&["--deny", "PA999", "p"])).is_err());
+        assert!(parse_args(&args(&["--bogus", "p"])).is_err());
+    }
+
+    #[test]
+    fn fail_on_never_disables_the_gate() {
+        let o = parse_args(&args(&["--fail-on", "never", "p"])).unwrap();
+        assert_eq!(o.fail_on, None);
+        let o = parse_args(&args(&["--fail-on", "warn", "p"])).unwrap();
+        assert_eq!(o.fail_on, Some(Severity::Warn));
+    }
+}

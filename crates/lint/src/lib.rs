@@ -1,0 +1,861 @@
+//! Static analyzer for the protoacc accelerator model.
+//!
+//! Walks parsed schemas ([`protoacc_schema::Schema`]) and the ADT layouts
+//! derived from them ([`protoacc_runtime::MessageLayouts`]) and predicts how
+//! the accelerator of *A Hardware Accelerator for Protocol Buffers*
+//! (MICRO 2021) will behave on messages of each type — **without running the
+//! simulator**. Every prediction is phrased as a structured [`Diagnostic`]
+//! with a stable `PAxxx` code, and every message type gets a provable
+//! [`StaticBound`]: a cycles lower bound the behavioral model can never beat.
+//!
+//! # Diagnostic codes
+//!
+//! | Code  | Name               | Hardware limit it guards                     |
+//! |-------|--------------------|----------------------------------------------|
+//! | PA001 | stack-spill        | sub-message metadata stacks (Section 3.8)    |
+//! | PA002 | wide-key           | 2-byte field-key fast path                   |
+//! | PA003 | sparse-hasbits     | dense-hasbits packing crossover (Section 3.7)|
+//! | PA004 | software-fallback  | features the hardware punts to software      |
+//! | PA005 | window-starve      | 16-byte memloader consumer window            |
+//! | PA006 | adt-thrash         | accelerator ADT-entry cache                  |
+//!
+//! # Example
+//!
+//! ```rust
+//! use protoacc_lint::{lint_schema, DiagCode, LintConfig};
+//! use protoacc_schema::parse_proto;
+//!
+//! let schema = parse_proto(
+//!     "message Deep { optional Deep next = 1; required uint64 id = 2; }",
+//! )?;
+//! let report = lint_schema(&schema, &LintConfig::default());
+//! // Recursive type: unbounded nesting can spill the metadata stacks.
+//! assert!(report.diagnostics.iter().any(|d| d.code == DiagCode::StackSpill));
+//! # Ok::<(), protoacc_schema::SchemaError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use protoacc::AccelConfig;
+use protoacc_mem::Cycles;
+use protoacc_runtime::{MessageLayouts, MessageValue};
+use protoacc_schema::{FieldType, Label, MessageId, Schema};
+use protoacc_wire::{FieldKey, MAX_VARINT_LEN};
+
+/// How seriously a diagnostic should be treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suppressed: recorded in no report.
+    Allow,
+    /// Reported, but does not fail a lint gate by default.
+    Warn,
+    /// Reported and fails the lint gate.
+    Deny,
+}
+
+impl Severity {
+    /// Lower-case name as used in CLI flags and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+
+    /// Parses a CLI severity name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "allow" => Some(Severity::Allow),
+            "warn" => Some(Severity::Warn),
+            "deny" => Some(Severity::Deny),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable identifier of one lint check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagCode {
+    /// PA001: message nesting can exceed the on-chip metadata stack depth,
+    /// so sub-message pushes/pops spill to DRAM (Section 3.8).
+    StackSpill,
+    /// PA002: a field number is wide enough that its wire key no longer
+    /// fits the 2-byte key fast path.
+    WideKey,
+    /// PA003: field numbers are sparse enough that a dense hasbits mapping
+    /// would waste per-field work (the rejected alternative of Section 4.2,
+    /// crossover analysis in Section 3.7).
+    SparseHasbits,
+    /// PA004: a schema feature the accelerator punts to software (proto2
+    /// `required` presence enforcement; UTF-8 validation of `string`
+    /// fields when proto3 semantics are enabled, Section 7).
+    SoftwareFallback,
+    /// PA005: packed repeated elements are far narrower than the 16-byte
+    /// consumer window, so the field-handling FSM, not the memloader,
+    /// bounds throughput.
+    WindowStarve,
+    /// PA006: the descriptor-table working set of one root message exceeds
+    /// the accelerator's ADT-entry cache, thrashing to the L2.
+    AdtThrash,
+}
+
+/// Every diagnostic code, in PA-number order.
+pub const ALL_CODES: [DiagCode; 6] = [
+    DiagCode::StackSpill,
+    DiagCode::WideKey,
+    DiagCode::SparseHasbits,
+    DiagCode::SoftwareFallback,
+    DiagCode::WindowStarve,
+    DiagCode::AdtThrash,
+];
+
+impl DiagCode {
+    /// The stable `PAxxx` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagCode::StackSpill => "PA001",
+            DiagCode::WideKey => "PA002",
+            DiagCode::SparseHasbits => "PA003",
+            DiagCode::SoftwareFallback => "PA004",
+            DiagCode::WindowStarve => "PA005",
+            DiagCode::AdtThrash => "PA006",
+        }
+    }
+
+    /// Short kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagCode::StackSpill => "stack-spill",
+            DiagCode::WideKey => "wide-key",
+            DiagCode::SparseHasbits => "sparse-hasbits",
+            DiagCode::SoftwareFallback => "software-fallback",
+            DiagCode::WindowStarve => "window-starve",
+            DiagCode::AdtThrash => "adt-thrash",
+        }
+    }
+
+    /// Default severity when no override is configured.
+    ///
+    /// Only a *provably* spilling type (finite nesting depth greater than
+    /// the stack depth) denies by default; everything else — including
+    /// recursive types whose instance depth is data-dependent — warns.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            DiagCode::StackSpill => Severity::Deny,
+            _ => Severity::Warn,
+        }
+    }
+
+    /// Parses either a `PAxxx` code or a kebab-case name.
+    pub fn parse(s: &str) -> Option<Self> {
+        ALL_CODES
+            .into_iter()
+            .find(|c| c.code().eq_ignore_ascii_case(s) || c.name() == s)
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.code(), self.name())
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which check fired.
+    pub code: DiagCode,
+    /// Effective severity after [`LintConfig`] overrides.
+    pub severity: Severity,
+    /// Name of the message type the finding is about.
+    pub message_type: String,
+    /// Field name, when the finding is about one field.
+    pub field: Option<String>,
+    /// Human-readable explanation with the numbers that triggered it.
+    pub detail: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}",
+            self.severity,
+            self.code.code(),
+            self.message_type
+        )?;
+        if let Some(field) = &self.field {
+            write!(f, ".{field}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Analyzer configuration: the hardware limits to lint against plus
+/// per-code severity overrides.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Accelerator configuration supplying the hardware limits
+    /// (stack depth, window width, ADT cache size, UTF-8 validation).
+    pub accel: AccelConfig,
+    /// Density below which a layout is flagged dense-hasbits-unfriendly.
+    /// Default 1/64: past that sparsity, a dense mapping table's extra
+    /// 32-bit read per field (Section 4.2) buys nothing.
+    pub density_floor: f64,
+    /// `(code, severity)` overrides, later entries winning.
+    pub overrides: Vec<(DiagCode, Severity)>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            accel: AccelConfig::default(),
+            density_floor: 1.0 / 64.0,
+            overrides: Vec::new(),
+        }
+    }
+}
+
+impl LintConfig {
+    /// Effective severity for a code after overrides.
+    pub fn severity(&self, code: DiagCode) -> Severity {
+        self.severity_or(code, code.default_severity())
+    }
+
+    /// Effective severity with a caller-supplied default, used when one
+    /// code has variants of different gravity (PA001 denies on provably
+    /// deep finite nesting but only warns on data-dependent recursion).
+    pub fn severity_or(&self, code: DiagCode, default: Severity) -> Severity {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(c, _)| *c == code)
+            .map_or(default, |(_, s)| *s)
+    }
+}
+
+/// A provable lower bound on accelerator deserialization cycles for one
+/// message type, derived purely from the schema.
+///
+/// The behavioral model charges `rocc_dispatch_cycles` up front and then
+/// `max(fsm, stream)` where `stream >= ceil(L / window_bytes)` for an
+/// `L`-byte input (the memloader consumes at most one window per cycle).
+/// When every field reachable from the root is a bounded scalar — no
+/// strings, bytes, sub-messages, or packed bodies — each wire record takes
+/// at most `max_record_bytes` bytes and at least two FSM cycles (key decode
+/// plus value decode), giving a second floor of
+/// `2 * ceil(L / max_record_bytes)` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticBound {
+    /// RoCC dispatch cycles charged before any byte is processed.
+    pub dispatch_cycles: Cycles,
+    /// Memloader consumer window width in bytes.
+    pub window_bytes: usize,
+    /// Largest possible wire record (key + value) of any reachable field,
+    /// or `None` when a reachable field is length-delimited (string,
+    /// bytes, sub-message, or packed) and thus unbounded.
+    pub max_record_bytes: Option<usize>,
+}
+
+impl StaticBound {
+    /// Minimum cycles the accelerator spends deserializing `wire_len`
+    /// bytes of any valid message of this type.
+    pub fn lower_bound(&self, wire_len: u64) -> Cycles {
+        let stream = wire_len.div_ceil(self.window_bytes as u64);
+        let fsm = match self.max_record_bytes {
+            Some(b) => 2 * wire_len.div_ceil(b as u64),
+            None => 0,
+        };
+        self.dispatch_cycles + stream.max(fsm)
+    }
+
+    /// Asymptotic cycles-per-byte floor (the bound without the constant
+    /// dispatch term, per byte, as the input grows).
+    pub fn cycles_per_byte_floor(&self) -> f64 {
+        let stream = 1.0 / self.window_bytes as f64;
+        match self.max_record_bytes {
+            Some(b) => stream.max(2.0 / b as f64),
+            None => stream,
+        }
+    }
+}
+
+/// How deeply instances of a type can nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nesting {
+    /// Every instance nests at most this deep (root counts as 1).
+    Finite(usize),
+    /// The type is recursive (or astronomically deep): instance depth is
+    /// data-dependent and unbounded.
+    Unbounded,
+}
+
+/// Per-message-type analysis summary, one per type in the schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeSummary {
+    /// Message type name.
+    pub type_name: String,
+    /// Static nesting depth treating this type as the root.
+    pub nesting: Nesting,
+    /// Descriptor-table lines touched by one message of this type
+    /// (sum over reachable types).
+    pub adt_working_set: u64,
+    /// Hasbits usage density of the type's own layout.
+    pub static_density: f64,
+    /// Cycles lower bound for deserializing this type.
+    pub bound: StaticBound,
+}
+
+/// Full analyzer output for one schema.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    /// All findings at `Warn` or `Deny` (after overrides; `Allow` findings
+    /// are dropped).
+    pub diagnostics: Vec<Diagnostic>,
+    /// One summary per message type, in schema order.
+    pub types: Vec<TypeSummary>,
+}
+
+impl LintReport {
+    /// Number of `Deny` diagnostics.
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of `Warn` diagnostics.
+    pub fn warn_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// True when no diagnostic fired at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Highest severity present, or `None` when clean.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Diagnostics of one code.
+    pub fn with_code(&self, code: DiagCode) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// Merges another report (e.g. from a second `.proto` file) into this
+    /// one.
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+        self.types.extend(other.types);
+    }
+
+    /// Renders the report for terminals: one line per diagnostic, then a
+    /// per-type summary table, then a totals line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n"));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("type                      nesting  adt-lines  density  cycles/B floor\n");
+        for t in &self.types {
+            let nesting = match t.nesting {
+                Nesting::Finite(d) => d.to_string(),
+                Nesting::Unbounded => "unbounded".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<25} {:>7} {:>10} {:>8.3} {:>15.4}\n",
+                t.type_name,
+                nesting,
+                t.adt_working_set,
+                t.static_density,
+                t.bound.cycles_per_byte_floor(),
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} deny, {} warn across {} message type(s)\n",
+            self.deny_count(),
+            self.warn_count(),
+            self.types.len()
+        ));
+        out
+    }
+
+    /// Renders the report as a single JSON object (hand-rolled; the
+    /// workspace is dependency-free).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"code\": {}, ", json_str(d.code.code())));
+            out.push_str(&format!("\"name\": {}, ", json_str(d.code.name())));
+            out.push_str(&format!(
+                "\"severity\": {}, ",
+                json_str(d.severity.as_str())
+            ));
+            out.push_str(&format!("\"type\": {}, ", json_str(&d.message_type)));
+            match &d.field {
+                Some(f) => out.push_str(&format!("\"field\": {}, ", json_str(f))),
+                None => out.push_str("\"field\": null, "),
+            }
+            out.push_str(&format!("\"detail\": {}}}", json_str(&d.detail)));
+        }
+        if self.diagnostics.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n  ],\n");
+        }
+        out.push_str("  \"types\": [");
+        for (i, t) in self.types.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"type\": {}, ", json_str(&t.type_name)));
+            match t.nesting {
+                Nesting::Finite(d) => out.push_str(&format!("\"nesting\": {d}, ")),
+                Nesting::Unbounded => out.push_str("\"nesting\": null, "),
+            }
+            out.push_str(&format!("\"adt_working_set\": {}, ", t.adt_working_set));
+            out.push_str(&format!("\"static_density\": {:.6}, ", t.static_density));
+            out.push_str(&format!(
+                "\"dispatch_cycles\": {}, ",
+                t.bound.dispatch_cycles
+            ));
+            out.push_str(&format!("\"window_bytes\": {}, ", t.bound.window_bytes));
+            match t.bound.max_record_bytes {
+                Some(b) => out.push_str(&format!("\"max_record_bytes\": {b}, ")),
+                None => out.push_str("\"max_record_bytes\": null, "),
+            }
+            out.push_str(&format!(
+                "\"cycles_per_byte_floor\": {:.6}}}",
+                t.bound.cycles_per_byte_floor()
+            ));
+        }
+        if self.types.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n  ],\n");
+        }
+        out.push_str(&format!(
+            "  \"summary\": {{\"deny\": {}, \"warn\": {}, \"types\": {}}}\n}}\n",
+            self.deny_count(),
+            self.warn_count(),
+            self.types.len()
+        ));
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Nesting-depth probe limit: far beyond any stack depth we model, so a
+/// `None` from [`Schema::nesting_depth`] means "recursive" in practice.
+fn depth_probe_limit(config: &AccelConfig) -> usize {
+    (config.stack_depth * 4).max(256)
+}
+
+/// Computes the static nesting classification of `root`.
+pub fn nesting_of(schema: &Schema, root: MessageId, config: &AccelConfig) -> Nesting {
+    match schema.nesting_depth(root, depth_probe_limit(config)) {
+        Some(d) => Nesting::Finite(d),
+        None => Nesting::Unbounded,
+    }
+}
+
+/// Computes the [`StaticBound`] for messages rooted at `root`.
+pub fn static_bound(schema: &Schema, root: MessageId, config: &AccelConfig) -> StaticBound {
+    let mut max_record: Option<usize> = Some(0);
+    for (_, _, f) in schema.walk_fields(root) {
+        let value_bytes = if f.is_packed() {
+            None
+        } else {
+            match f.field_type() {
+                FieldType::Double | FieldType::Fixed64 | FieldType::SFixed64 => Some(8),
+                FieldType::Float | FieldType::Fixed32 | FieldType::SFixed32 => Some(4),
+                FieldType::String | FieldType::Bytes | FieldType::Message(_) => None,
+                // Every varint-encoded type can legally occupy the full
+                // 10-byte wire varint.
+                _ => Some(MAX_VARINT_LEN),
+            }
+        };
+        match value_bytes {
+            None => {
+                max_record = None;
+                break;
+            }
+            Some(v) => {
+                let key = FieldKey::new(f.number(), f.field_type().wire_type())
+                    .map_or(MAX_VARINT_LEN, FieldKey::encoded_len);
+                max_record = max_record.map(|m| m.max(key + v));
+            }
+        }
+    }
+    StaticBound {
+        dispatch_cycles: config.rocc_dispatch_cycles,
+        window_bytes: config.window_bytes,
+        // A schema with no fields at all bounds every record at 0 bytes,
+        // which would divide by zero; such messages carry no records.
+        max_record_bytes: max_record.filter(|m| *m > 0),
+    }
+}
+
+/// Predicts from a constructed in-memory message whether deserializing (or
+/// serializing) it will spill the sub-message metadata stacks.
+///
+/// The behavioral model keeps the root in the first stack frame, so an
+/// instance spills exactly when its [`MessageValue::depth`] exceeds the
+/// configured stack depth. Cross-validated against the simulator in the
+/// suite's `lint_cross_validation` tests.
+pub fn predicts_spill(value: &MessageValue, config: &AccelConfig) -> bool {
+    value.depth() > config.stack_depth
+}
+
+/// Runs every check over every message type of `schema`.
+pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
+    let layouts = MessageLayouts::compute(schema);
+    let mut report = LintReport::default();
+    for (id, msg) in schema.iter() {
+        let layout = layouts.layout(id);
+        let nesting = nesting_of(schema, id, &config.accel);
+        let working_set = layouts.adt_working_set(schema, id);
+        let bound = static_bound(schema, id, &config.accel);
+
+        let mut push = |code: DiagCode, default: Severity, field: Option<&str>, detail: String| {
+            let severity = config.severity_or(code, default);
+            if severity == Severity::Allow {
+                return;
+            }
+            report.diagnostics.push(Diagnostic {
+                code,
+                severity,
+                message_type: msg.name().to_string(),
+                field: field.map(str::to_string),
+                detail,
+            });
+        };
+
+        // PA001 stack-spill: root-level nesting check. A finite depth past
+        // the stack provably spills on *every* instance that reaches it;
+        // recursion makes depth data-dependent, so it only warns.
+        match nesting {
+            Nesting::Finite(d) if d > config.accel.stack_depth => {
+                push(
+                    DiagCode::StackSpill,
+                    Severity::Deny,
+                    None,
+                    format!(
+                        "nests {d} deep but the metadata stacks hold {} frames; \
+                         every deepest-path instance spills {} cycle(s) per \
+                         spilled push to DRAM (Section 3.8)",
+                        config.accel.stack_depth, config.accel.stack_spill_cycles
+                    ),
+                );
+            }
+            Nesting::Unbounded => {
+                push(
+                    DiagCode::StackSpill,
+                    Severity::Warn,
+                    None,
+                    format!(
+                        "recursive message type: instance nesting is data-dependent \
+                         and can exceed the {}-frame metadata stacks, spilling {} \
+                         cycle(s) per push to DRAM (Section 3.8)",
+                        config.accel.stack_depth, config.accel.stack_spill_cycles
+                    ),
+                );
+            }
+            Nesting::Finite(_) => {}
+        }
+
+        // PA006 adt-thrash: root-level descriptor working set.
+        if working_set > config.accel.adt_cache_entries as u64 {
+            push(
+                DiagCode::AdtThrash,
+                Severity::Warn,
+                None,
+                format!(
+                    "one message touches {working_set} descriptor-table lines but the \
+                     ADT cache holds {}; descriptor fetches thrash to the L2",
+                    config.accel.adt_cache_entries
+                ),
+            );
+        }
+
+        // PA003 sparse-hasbits: per-type layout density.
+        if layout.defined_fields() > 0 && layout.static_density() < config.density_floor {
+            push(
+                DiagCode::SparseHasbits,
+                Severity::Warn,
+                None,
+                format!(
+                    "{} field(s) spread over a span of {} numbers (density {:.4} < \
+                     {:.4}); a dense hasbits mapping would waste a 32-bit \
+                     table read per field (Sections 3.7, 4.2)",
+                    layout.defined_fields(),
+                    layout.field_number_span(),
+                    layout.static_density(),
+                    config.density_floor
+                ),
+            );
+        }
+
+        // Per-field checks on the type's own fields.
+        for f in msg.fields() {
+            // PA002 wide-key.
+            if f.number() > AccelConfig::TWO_BYTE_KEY_MAX_FIELD {
+                let key_len = FieldKey::new(f.number(), f.field_type().wire_type())
+                    .map_or(MAX_VARINT_LEN, FieldKey::encoded_len);
+                push(
+                    DiagCode::WideKey,
+                    Severity::Warn,
+                    Some(f.name()),
+                    format!(
+                        "field number {} needs a {key_len}-byte wire key, past the \
+                         2-byte fast path (max field {})",
+                        f.number(),
+                        AccelConfig::TWO_BYTE_KEY_MAX_FIELD
+                    ),
+                );
+            }
+
+            // PA004 software-fallback.
+            if f.label() == Label::Required {
+                push(
+                    DiagCode::SoftwareFallback,
+                    Severity::Warn,
+                    Some(f.name()),
+                    "proto2 `required` presence is enforced by software after the \
+                     accelerator completes, adding a per-message core round trip"
+                        .to_string(),
+                );
+            }
+            if f.field_type() == FieldType::String && config.accel.validate_utf8 {
+                push(
+                    DiagCode::SoftwareFallback,
+                    Severity::Warn,
+                    Some(f.name()),
+                    "proto3 semantics require UTF-8 validation of string fields, \
+                     the one hardware change Section 7 identifies"
+                        .to_string(),
+                );
+            }
+
+            // PA005 window-starve.
+            if f.is_packed() {
+                let elem = f
+                    .field_type()
+                    .scalar_kind()
+                    .map_or(1, protoacc_schema::ScalarKind::size);
+                if elem < config.accel.window_bytes {
+                    push(
+                        DiagCode::WindowStarve,
+                        Severity::Warn,
+                        Some(f.name()),
+                        format!(
+                            "packed elements of ~{elem} byte(s) fill a {}-byte \
+                             consumer window {}x over; per-element FSM work, not \
+                             the memloader, bounds throughput",
+                            config.accel.window_bytes,
+                            config.accel.window_bytes / elem.max(1)
+                        ),
+                    );
+                }
+            }
+        }
+
+        report.types.push(TypeSummary {
+            type_name: msg.name().to_string(),
+            nesting,
+            adt_working_set: working_set,
+            static_density: layout.static_density(),
+            bound,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_schema::parse_proto;
+
+    fn lint(src: &str) -> LintReport {
+        lint_schema(&parse_proto(src).unwrap(), &LintConfig::default())
+    }
+
+    #[test]
+    fn clean_schema_has_no_diagnostics() {
+        let r = lint("message Point { optional int32 x = 1; optional int32 y = 2; }");
+        assert!(r.is_clean(), "unexpected: {:?}", r.diagnostics);
+        assert_eq!(r.types.len(), 1);
+        assert_eq!(r.types[0].nesting, Nesting::Finite(1));
+    }
+
+    #[test]
+    fn recursive_type_warns_pa001() {
+        let r = lint("message Node { optional Node next = 1; }");
+        let d: Vec<_> = r.with_code(DiagCode::StackSpill).collect();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].severity, Severity::Warn);
+        assert_eq!(r.types[0].nesting, Nesting::Unbounded);
+    }
+
+    #[test]
+    fn finite_chain_past_stack_depth_denies_pa001() {
+        // Build a linear chain of stack_depth + 2 message types.
+        let depth = AccelConfig::default().stack_depth + 2;
+        let mut src = String::new();
+        for i in 0..depth {
+            if i + 1 < depth {
+                src.push_str(&format!(
+                    "message M{i} {{ optional M{} next = 1; }}\n",
+                    i + 1
+                ));
+            } else {
+                src.push_str(&format!("message M{i} {{ optional uint32 leaf = 1; }}\n"));
+            }
+        }
+        let r = lint(&src);
+        let deny: Vec<_> = r
+            .with_code(DiagCode::StackSpill)
+            .filter(|d| d.severity == Severity::Deny)
+            .collect();
+        // Roots M0 and M1 see depth > stack_depth; deeper roots are fine.
+        assert_eq!(deny.len(), 2, "{:?}", r.diagnostics);
+        assert_eq!(r.types[0].nesting, Nesting::Finite(depth));
+    }
+
+    #[test]
+    fn max_field_number_triggers_pa002() {
+        let r = lint("message Wide { optional uint32 near = 1; optional uint64 far = 536870911; }");
+        let d: Vec<_> = r.with_code(DiagCode::WideKey).collect();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].field.as_deref(), Some("far"));
+        // Two fields over the full number range: density collapses, PA003.
+        assert_eq!(r.with_code(DiagCode::SparseHasbits).count(), 1);
+    }
+
+    #[test]
+    fn field_2047_is_still_fast_path() {
+        let r = lint("message Edge { optional uint64 last = 2047; }");
+        assert_eq!(r.with_code(DiagCode::WideKey).count(), 0);
+        let r = lint("message Edge { optional uint64 first_slow = 2048; }");
+        assert_eq!(r.with_code(DiagCode::WideKey).count(), 1);
+    }
+
+    #[test]
+    fn required_and_utf8_fallbacks_pa004() {
+        let r = lint("message R { required uint32 id = 1; }");
+        assert_eq!(r.with_code(DiagCode::SoftwareFallback).count(), 1);
+
+        let mut config = LintConfig::default();
+        config.accel.validate_utf8 = true;
+        let schema = parse_proto("message S { optional string name = 1; }").unwrap();
+        let r = lint_schema(&schema, &config);
+        assert_eq!(r.with_code(DiagCode::SoftwareFallback).count(), 1);
+        // Without proto3 semantics, strings are fine.
+        let r = lint("message S { optional string name = 1; }");
+        assert_eq!(r.with_code(DiagCode::SoftwareFallback).count(), 0);
+    }
+
+    #[test]
+    fn packed_scalars_trigger_pa005() {
+        let r = lint("message P { repeated uint32 vals = 1 [packed = true]; }");
+        assert_eq!(r.with_code(DiagCode::WindowStarve).count(), 1);
+        // Unpacked repeated fields do not starve the window.
+        let r = lint("message P { repeated uint32 vals = 1; }");
+        assert_eq!(r.with_code(DiagCode::WindowStarve).count(), 0);
+    }
+
+    #[test]
+    fn severity_overrides_apply() {
+        let mut config = LintConfig::default();
+        config
+            .overrides
+            .push((DiagCode::WindowStarve, Severity::Allow));
+        let schema =
+            parse_proto("message P { repeated uint32 vals = 1 [packed = true]; }").unwrap();
+        let r = lint_schema(&schema, &config);
+        assert!(r.is_clean());
+
+        config
+            .overrides
+            .push((DiagCode::WindowStarve, Severity::Deny));
+        let r = lint_schema(&schema, &config);
+        assert_eq!(r.max_severity(), Some(Severity::Deny));
+    }
+
+    #[test]
+    fn bound_is_finite_only_for_bounded_scalars() {
+        let schema =
+            parse_proto("message A { optional uint64 x = 1; optional fixed64 y = 2; }").unwrap();
+        let config = AccelConfig::default();
+        let b = static_bound(&schema, schema.id_by_name("A").unwrap(), &config);
+        // Key 1 byte for both fields; varint value up to 10 bytes.
+        assert_eq!(b.max_record_bytes, Some(11));
+        // 22 bytes = at least two records = at least 4 FSM cycles.
+        assert_eq!(b.lower_bound(22), config.rocc_dispatch_cycles + 4);
+
+        let schema = parse_proto("message B { optional string s = 1; }").unwrap();
+        let b = static_bound(&schema, schema.id_by_name("B").unwrap(), &config);
+        assert_eq!(b.max_record_bytes, None);
+        // Falls back to the streaming floor.
+        assert_eq!(b.lower_bound(32), config.rocc_dispatch_cycles + 2);
+    }
+
+    #[test]
+    fn json_output_is_well_formed_enough() {
+        let r = lint("message Node { optional Node next = 1; required string s = 2; }");
+        let json = r.render_json();
+        assert!(json.contains("\"PA001\""));
+        assert!(json.contains("\"severity\": \"warn\""));
+        assert!(json.contains("\"summary\""));
+        // Balanced braces/brackets as a cheap structural check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_chars() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

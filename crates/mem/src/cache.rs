@@ -19,7 +19,10 @@ impl CacheConfig {
     /// Panics if the geometry does not divide into a whole, nonzero number of
     /// sets or if `line_bytes` is not a power of two.
     pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways > 0 && size_bytes.is_multiple_of(ways * line_bytes));
         let sets = size_bytes / (ways * line_bytes);
         assert!(sets.is_power_of_two(), "set count must be a power of two");

@@ -49,7 +49,9 @@ impl GuestMemory {
             let offset = (cur % PAGE_SIZE as u64) as usize;
             let chunk = (PAGE_SIZE - offset).min(buf.len() - done);
             match self.pages.get(&page_number) {
-                Some(page) => buf[done..done + chunk].copy_from_slice(&page[offset..offset + chunk]),
+                Some(page) => {
+                    buf[done..done + chunk].copy_from_slice(&page[offset..offset + chunk]);
+                }
                 None => buf[done..done + chunk].fill(0),
             }
             done += chunk;

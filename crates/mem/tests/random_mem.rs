@@ -1,0 +1,92 @@
+//! Randomized tests for the memory substrate: storage correctness under
+//! arbitrary access patterns, and cache/TLB behavioral invariants. Driven
+//! by the workspace's deterministic PRNG (`xrand`); enable the
+//! `slow-tests` feature to multiply the iteration counts.
+
+use protoacc_mem::{AccessKind, CacheConfig, CacheModel, GuestMemory, MemConfig, MemSystem};
+use xrand::{Rng, StdRng};
+
+/// Iteration count, scaled up under `--features slow-tests`.
+fn cases(default: usize) -> usize {
+    if cfg!(feature = "slow-tests") {
+        default * 16
+    } else {
+        default
+    }
+}
+
+/// Guest memory behaves like a flat byte array: the last write to each
+/// byte wins, unwritten bytes read zero.
+#[test]
+fn guest_memory_matches_flat_model() {
+    let mut rng = StdRng::seed_from_u64(0x3E_0001);
+    for _ in 0..cases(64) {
+        let mut mem = GuestMemory::new();
+        let mut model = vec![0u8; (1 << 16) + 64];
+        for _ in 0..rng.gen_range(0usize..24) {
+            let addr = rng.gen_range(0u64..1 << 16);
+            let mut bytes = vec![0u8; rng.gen_range(1usize..64)];
+            rng.fill(&mut bytes);
+            mem.write_bytes(addr, &bytes);
+            model[addr as usize..addr as usize + bytes.len()].copy_from_slice(&bytes);
+        }
+        let probe = rng.gen_range(0u64..1 << 16);
+        let mut buf = [0u8; 32];
+        mem.read_bytes(probe, &mut buf);
+        assert_eq!(&buf[..], &model[probe as usize..probe as usize + 32]);
+    }
+}
+
+/// Immediately repeating any access costs no more than the first time
+/// (caches only get warmer).
+#[test]
+fn repeat_access_is_never_slower() {
+    let mut rng = StdRng::seed_from_u64(0x3E_0002);
+    for _ in 0..cases(64) {
+        let mut sys = MemSystem::new(MemConfig::default());
+        for _ in 0..rng.gen_range(1usize..32) {
+            let addr = rng.gen_range(0u64..1 << 20);
+            let len = rng.gen_range(1usize..64);
+            let first = sys.access(addr, len, AccessKind::Read);
+            let second = sys.access(addr, len, AccessKind::Read);
+            assert!(second <= first, "addr {addr} len {len}: {second} > {first}");
+        }
+    }
+}
+
+/// A cache with N ways never evicts among <= N distinct lines of one set.
+#[test]
+fn no_eviction_within_associativity() {
+    let mut rng = StdRng::seed_from_u64(0x3E_0003);
+    for _ in 0..cases(256) {
+        // Direct set mapping: 1 set, 8 ways -> any 8 distinct lines co-reside.
+        let mut cache = CacheModel::new(CacheConfig::new(8 * 64, 8, 64));
+        let mut seen = Vec::new();
+        for _ in 0..rng.gen_range(1usize..16) {
+            let line = rng.gen_range(0u64..8);
+            let hit = cache.access_line(line);
+            assert_eq!(hit, seen.contains(&line), "line {line}");
+            if !seen.contains(&line) {
+                seen.push(line);
+            }
+        }
+    }
+}
+
+/// Streaming any buffer costs at least the bus-occupancy bound and at
+/// most the fully-serialized bound.
+#[test]
+fn stream_cost_is_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x3E_0004);
+    for _ in 0..cases(256) {
+        let addr = rng.gen_range(0u64..1 << 24);
+        let len = rng.gen_range(1usize..1 << 16);
+        let mut sys = MemSystem::new(MemConfig::default());
+        let cost = sys.stream(addr, len, AccessKind::Read);
+        let bus_floor = (len as u64).div_ceil(16);
+        assert!(cost >= bus_floor, "cost {cost} < bus floor {bus_floor}");
+        let lines = (addr + len as u64 - 1) / 64 - addr / 64 + 1;
+        let ceiling = bus_floor + lines * 500 + 1000; // DRAM latency per line + walks
+        assert!(cost <= ceiling, "cost {cost} > ceiling {ceiling}");
+    }
+}

@@ -81,12 +81,10 @@ impl BumpArena {
     pub fn alloc(&mut self, size: u64, align: u64) -> Result<u64, ArenaError> {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         let aligned = (self.cursor + align - 1) & !(align - 1);
-        let end = aligned
-            .checked_add(size)
-            .ok_or(ArenaError::Exhausted {
-                requested: size,
-                remaining: self.remaining(),
-            })?;
+        let end = aligned.checked_add(size).ok_or(ArenaError::Exhausted {
+            requested: size,
+            remaining: self.remaining(),
+        })?;
         if end > self.base + self.len {
             return Err(ArenaError::Exhausted {
                 requested: size,

@@ -48,16 +48,15 @@ pub fn read_sparse(
 /// Iterator over the present field numbers of an object, scanning the sparse
 /// hasbits array bit-by-bit exactly like the serializer frontend
 /// (Section 4.5.3).
-pub fn present_fields(
-    mem: &GuestMemory,
-    layout: &MessageLayout,
-    object_addr: u64,
-) -> Vec<u32> {
+pub fn present_fields(mem: &GuestMemory, layout: &MessageLayout, object_addr: u64) -> Vec<u32> {
     let mut present = Vec::new();
     if layout.max_field() < layout.min_field() {
         return present;
     }
-    for number in layout.min_field()..=layout.max_field() {
+    // Only defined numbers can have their hasbit set, so walking the
+    // layout's slots visits the same bits the hardware's span scan would,
+    // without touching the (possibly half-billion-slot) gaps.
+    for number in layout.field_numbers() {
         if read_sparse(mem, layout, object_addr, number) {
             present.push(number);
         }
@@ -78,7 +77,11 @@ impl DenseHasbits {
     /// Builds the dense mapping for a message type.
     pub fn new(descriptor: &MessageDescriptor) -> Self {
         DenseHasbits {
-            numbers: descriptor.fields().iter().map(|f| f.number()).collect(),
+            numbers: descriptor
+                .fields()
+                .iter()
+                .map(protoacc_schema::FieldDescriptor::number)
+                .collect(),
         }
     }
 
@@ -124,7 +127,11 @@ mod tests {
     use crate::MessageLayouts;
     use protoacc_schema::{FieldType, SchemaBuilder};
 
-    fn setup() -> (protoacc_schema::Schema, MessageLayouts, protoacc_schema::MessageId) {
+    fn setup() -> (
+        protoacc_schema::Schema,
+        MessageLayouts,
+        protoacc_schema::MessageId,
+    ) {
         let mut b = SchemaBuilder::new();
         let id = b.define("M", |m| {
             m.optional("a", FieldType::Bool, 2)

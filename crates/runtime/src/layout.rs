@@ -98,17 +98,20 @@ impl MessageLayout {
                 match field.field_type() {
                     FieldType::String | FieldType::Bytes => SlotKind::StringPtr,
                     FieldType::Message(_) => SlotKind::MessagePtr,
-                    scalar => SlotKind::Scalar(
-                        scalar.scalar_kind().expect("non-scalar handled above"),
-                    ),
+                    scalar => {
+                        SlotKind::Scalar(scalar.scalar_kind().expect("non-scalar handled above"))
+                    }
                 }
             };
             let align = kind.align();
             cursor = cursor.div_ceil(align) * align;
-            slots.insert(field.number(), FieldSlot {
-                offset: cursor,
-                kind,
-            });
+            slots.insert(
+                field.number(),
+                FieldSlot {
+                    offset: cursor,
+                    kind,
+                },
+            );
             cursor += kind.size();
         }
         let object_size = cursor.div_ceil(8) * 8;
@@ -163,6 +166,15 @@ impl MessageLayout {
         self.slots.get(&field_number).copied()
     }
 
+    /// Defined field numbers in ascending order. Software walks these
+    /// instead of scanning the full `min..=max` span, which for
+    /// near-maximum field numbers covers half a billion slots.
+    pub fn field_numbers(&self) -> Vec<u32> {
+        let mut numbers: Vec<u32> = self.slots.keys().copied().collect();
+        numbers.sort_unstable();
+        numbers
+    }
+
     /// Sparse hasbits position of a field: `(byte offset within the hasbits
     /// array, bit index)`. The accelerator indexes the array directly by
     /// `field_number - min_field` (Section 4.2).
@@ -170,6 +182,40 @@ impl MessageLayout {
         debug_assert!(field_number >= self.min_field);
         let bit = u64::from(field_number - self.min_field);
         (bit / 8, (bit % 8) as u8)
+    }
+
+    /// Field-number span the sparse hasbits array covers
+    /// (`max_field - min_field + 1`, 0 for an empty message).
+    pub fn field_number_span(&self) -> u64 {
+        if self.max_field < self.min_field {
+            0
+        } else {
+            u64::from(self.max_field - self.min_field) + 1
+        }
+    }
+
+    /// Static field-number density: defined fields over the span the
+    /// hasbits array must cover. Sparse numbering (density well below 1)
+    /// wastes hasbits bytes and ADT entries; the Section 3.7 crossover
+    /// against prior work's 64-bit-per-field metadata sits at 1/64.
+    pub fn static_density(&self) -> f64 {
+        let span = self.field_number_span();
+        if span == 0 {
+            1.0
+        } else {
+            #[allow(clippy::cast_precision_loss)] // spans are far below 2^52
+            {
+                self.defined_fields() as f64 / span as f64
+            }
+        }
+    }
+
+    /// Distinct descriptor-table addresses the accelerator touches while
+    /// processing one message of this type: the ADT header plus one field
+    /// entry per defined field. This is the unit the ADT cache
+    /// (`AccelConfig::adt_cache_entries`) is sized in.
+    pub fn adt_cache_lines(&self) -> u64 {
+        1 + self.defined_fields()
     }
 }
 
@@ -202,6 +248,19 @@ impl MessageLayouts {
     /// Iterates all layouts.
     pub fn iter(&self) -> impl Iterator<Item = &MessageLayout> {
         self.layouts.iter()
+    }
+
+    /// Total descriptor-table working set (in ADT cache lines — header plus
+    /// defined-field entries per type) for a message of type `root`,
+    /// counting every type reachable from it. When this exceeds
+    /// `AccelConfig::adt_cache_entries`, descriptor fetches thrash to the
+    /// L2 mid-message.
+    pub fn adt_working_set(&self, schema: &Schema, root: MessageId) -> u64 {
+        schema
+            .reachable(root)
+            .into_iter()
+            .map(|id| self.layout(id).adt_cache_lines())
+            .sum()
     }
 }
 
@@ -240,7 +299,10 @@ mod tests {
         let flag = l.slot(1).unwrap();
         let wide = l.slot(2).unwrap();
         let narrow = l.slot(3).unwrap();
-        assert_eq!(flag.kind, SlotKind::Scalar(protoacc_schema::ScalarKind::Bool));
+        assert_eq!(
+            flag.kind,
+            SlotKind::Scalar(protoacc_schema::ScalarKind::Bool)
+        );
         assert_eq!(wide.offset % 8, 0);
         assert_eq!(narrow.offset % 4, 0);
         assert!(flag.offset < wide.offset && wide.offset < narrow.offset);

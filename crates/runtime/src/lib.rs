@@ -45,6 +45,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod adt;
 pub mod arena;
@@ -57,8 +58,13 @@ pub mod value;
 
 mod error;
 
-pub use adt::{write_adts, AdtLayout, AdtTables, FieldEntry, TypeCode, ADT_ENTRY_BYTES, ADT_HEADER_BYTES};
+pub use adt::{
+    write_adts, AdtLayout, AdtTables, FieldEntry, TypeCode, ADT_ENTRY_BYTES, ADT_HEADER_BYTES,
+};
 pub use arena::{ArenaError, BumpArena};
 pub use error::RuntimeError;
-pub use layout::{FieldSlot, MessageLayout, MessageLayouts, SlotKind, REPEATED_HEADER_BYTES, STRING_OBJECT_BYTES, STRING_SSO_CAPACITY};
+pub use layout::{
+    FieldSlot, MessageLayout, MessageLayouts, SlotKind, REPEATED_HEADER_BYTES, STRING_OBJECT_BYTES,
+    STRING_SSO_CAPACITY,
+};
 pub use value::{FieldPayload, MessageValue, Value};

@@ -11,8 +11,8 @@ use protoacc_mem::GuestMemory;
 use protoacc_schema::{FieldType, MessageId, ScalarKind, Schema};
 
 use crate::{
-    hasbits, layout::SlotKind, BumpArena, FieldPayload, MessageLayouts, MessageValue,
-    RuntimeError, Value, REPEATED_HEADER_BYTES, STRING_OBJECT_BYTES, STRING_SSO_CAPACITY,
+    hasbits, layout::SlotKind, BumpArena, FieldPayload, MessageLayouts, MessageValue, RuntimeError,
+    Value, REPEATED_HEADER_BYTES, STRING_OBJECT_BYTES, STRING_SSO_CAPACITY,
 };
 
 /// Maximum object-graph depth accepted when reading back.
@@ -278,14 +278,20 @@ fn read_message_at_depth(
                 let FieldType::Message(sub_id) = field.field_type() else {
                     continue;
                 };
-                let sub =
-                    read_message_at_depth(mem, schema, layouts, sub_id, sub_addr, depth + 1)?;
+                let sub = read_message_at_depth(mem, schema, layouts, sub_id, sub_addr, depth + 1)?;
                 message.set_unchecked(number, Value::Message(sub));
             }
             SlotKind::RepeatedPtr => {
                 let header = mem.read_u64(slot_addr);
-                let values =
-                    read_repeated(mem, schema, layouts, field.field_type(), header, depth, number)?;
+                let values = read_repeated(
+                    mem,
+                    schema,
+                    layouts,
+                    field.field_type(),
+                    header,
+                    depth,
+                    number,
+                )?;
                 message.set_repeated(number, values);
             }
         }
@@ -391,7 +397,12 @@ mod tests {
             .repeated("subs", FieldType::Message(inner), 8);
         let schema = b.build().unwrap();
         let layouts = MessageLayouts::compute(&schema);
-        (schema, layouts, GuestMemory::new(), BumpArena::new(0x10_0000, 1 << 22))
+        (
+            schema,
+            layouts,
+            GuestMemory::new(),
+            BumpArena::new(0x10_0000, 1 << 22),
+        )
     }
 
     fn round_trip(message: &MessageValue) -> MessageValue {

@@ -173,7 +173,7 @@ fn encode_field_value(
         Value::UInt32(v) => writer.write_varint_field(number, u64::from(*v))?,
         Value::UInt64(v) => writer.write_varint_field(number, *v)?,
         Value::SInt32(v) => {
-            writer.write_varint_field(number, u64::from(zigzag::encode32(*v)))?
+            writer.write_varint_field(number, u64::from(zigzag::encode32(*v)))?;
         }
         Value::SInt64(v) => writer.write_varint_field(number, zigzag::encode64(*v))?,
         Value::Enum(v) => writer.write_varint_field(number, *v as i64 as u64)?,
@@ -392,7 +392,10 @@ mod tests {
         m.set_repeated(20, vec![Value::Str("a".into()), Value::Str("bb".into())]);
         m.set_repeated(
             21,
-            vec![Value::Message(sub.clone()), Value::Message(MessageValue::new(schema.id_by_name("Inner").unwrap()))],
+            vec![
+                Value::Message(sub.clone()),
+                Value::Message(MessageValue::new(schema.id_by_name("Inner").unwrap())),
+            ],
         );
         (schema, m)
     }
@@ -438,10 +441,7 @@ mod tests {
     fn packed_fields_use_single_key() {
         let (schema, outer, _) = full_schema();
         let mut m = MessageValue::new(outer);
-        m.set_repeated(
-            19,
-            vec![Value::Int32(1), Value::Int32(2), Value::Int32(3)],
-        );
+        m.set_repeated(19, vec![Value::Int32(1), Value::Int32(2), Value::Int32(3)]);
         let bytes = encode(&m, &schema).unwrap();
         // key(2B: field 19) + len(1) + 3 one-byte varints.
         assert_eq!(bytes.len(), 2 + 1 + 3);
@@ -459,7 +459,7 @@ mod tests {
         let back = decode(w.as_bytes(), outer, &schema).unwrap();
         match back.get(19) {
             Some(FieldPayload::Repeated(vs)) => {
-                assert_eq!(vs, &[Value::Int32(9), Value::Int32(10)])
+                assert_eq!(vs, &[Value::Int32(9), Value::Int32(10)]);
             }
             other => panic!("expected repeated, got {other:?}"),
         }
@@ -477,7 +477,7 @@ mod tests {
         let back = decode(w.as_bytes(), outer, &schema).unwrap();
         match back.get(18) {
             Some(FieldPayload::Repeated(vs)) => {
-                assert_eq!(vs, &[Value::Int32(4), Value::Int32(5)])
+                assert_eq!(vs, &[Value::Int32(4), Value::Int32(5)]);
             }
             other => panic!("expected repeated, got {other:?}"),
         }
@@ -529,7 +529,8 @@ mod tests {
     fn recursion_depth_is_bounded() {
         let mut b = SchemaBuilder::new();
         let node = b.declare("Node");
-        b.message(node).optional("next", FieldType::Message(node), 1);
+        b.message(node)
+            .optional("next", FieldType::Message(node), 1);
         let schema = b.build().unwrap();
         // Build a chain deeper than the limit directly on the wire.
         let mut bytes = Vec::new();
@@ -556,7 +557,13 @@ mod tests {
         leaf.set(1, Value::Int64(3)).unwrap();
         let mut mid = MessageValue::new(node);
         mid.set(1, Value::Int64(2)).unwrap();
-        mid.set_repeated(2, vec![Value::Message(leaf), Value::Message(MessageValue::new(node))]);
+        mid.set_repeated(
+            2,
+            vec![
+                Value::Message(leaf),
+                Value::Message(MessageValue::new(node)),
+            ],
+        );
         let mut root = MessageValue::new(node);
         root.set(1, Value::Int64(1)).unwrap();
         root.set_repeated(2, vec![Value::Message(mid)]);

@@ -130,7 +130,11 @@ mod tests {
     use super::*;
     use protoacc_schema::{FieldType, SchemaBuilder};
 
-    fn schema() -> (Schema, protoacc_schema::MessageId, protoacc_schema::MessageId) {
+    fn schema() -> (
+        Schema,
+        protoacc_schema::MessageId,
+        protoacc_schema::MessageId,
+    ) {
         let mut b = SchemaBuilder::new();
         let inner = b.declare("Inner");
         b.message(inner).optional("flag", FieldType::Bool, 1);

@@ -324,8 +324,8 @@ impl MessageValue {
                 .ok_or(RuntimeError::UnknownField {
                     field_number: number,
                 })?;
-            let repeated_ok = matches!(payload, FieldPayload::Repeated(_))
-                == (field.label() == Label::Repeated);
+            let repeated_ok =
+                matches!(payload, FieldPayload::Repeated(_)) == (field.label() == Label::Repeated);
             if !repeated_ok {
                 return Err(RuntimeError::TypeMismatch {
                     field_number: number,
@@ -489,7 +489,10 @@ mod tests {
         let mut m = MessageValue::new(outer);
         assert!(matches!(
             m.set_checked(1, Value::Bool(true), &schema),
-            Err(RuntimeError::TypeMismatch { field_number: 1, .. })
+            Err(RuntimeError::TypeMismatch {
+                field_number: 1,
+                ..
+            })
         ));
         assert!(matches!(
             m.set_checked(99, Value::Bool(true), &schema),
@@ -517,7 +520,10 @@ mod tests {
         // Missing required field 1.
         assert!(matches!(
             m.validate(&schema),
-            Err(RuntimeError::MissingRequired { field_number: 1, .. })
+            Err(RuntimeError::MissingRequired {
+                field_number: 1,
+                ..
+            })
         ));
         m.set(1, Value::Int64(1)).unwrap();
         m.validate(&schema).unwrap();
@@ -639,7 +645,7 @@ mod tests {
         m.push(3, Value::Int32(2));
         match m.get(3) {
             Some(FieldPayload::Repeated(vs)) => {
-                assert_eq!(vs, &[Value::Int32(1), Value::Int32(2)])
+                assert_eq!(vs, &[Value::Int32(1), Value::Int32(2)]);
             }
             other => panic!("expected repeated, got {other:?}"),
         }

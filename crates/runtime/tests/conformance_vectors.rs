@@ -127,7 +127,8 @@ fn golden_nested_message() {
     );
     // Empty sub-message: zero-length payload (Figure 1's empty-message note).
     let mut msg = MessageValue::new(m);
-    msg.set(6, Value::Message(MessageValue::new(inner))).unwrap();
+    msg.set(6, Value::Message(MessageValue::new(inner)))
+        .unwrap();
     assert_eq!(reference::encode(&msg, &schema).unwrap(), [0x32, 0x00]);
 }
 

@@ -1,0 +1,164 @@
+//! Randomized tests: arbitrary messages survive both the wire codec and the
+//! guest-memory object graph. Driven by the workspace's deterministic PRNG
+//! (`xrand`); enable the `slow-tests` feature to multiply the iteration
+//! counts.
+
+use protoacc_mem::GuestMemory;
+use protoacc_runtime::{object, reference, BumpArena, MessageLayouts, MessageValue, Value};
+use protoacc_schema::{FieldType, MessageId, Schema, SchemaBuilder};
+use xrand::{Rng, StdRng};
+
+/// Iteration count, scaled up under `--features slow-tests`.
+fn cases(default: usize) -> usize {
+    if cfg!(feature = "slow-tests") {
+        default * 16
+    } else {
+        default
+    }
+}
+
+fn test_schema() -> (Schema, MessageId, MessageId) {
+    let mut b = SchemaBuilder::new();
+    let inner = b.declare("Inner");
+    b.message(inner)
+        .optional("flag", FieldType::Bool, 1)
+        .optional("note", FieldType::String, 2)
+        .optional("count", FieldType::UInt64, 3);
+    let outer = b.declare("Outer");
+    b.message(outer)
+        .optional("i32", FieldType::Int32, 1)
+        .optional("s64", FieldType::SInt64, 2)
+        .optional("dbl", FieldType::Double, 3)
+        .optional("flt", FieldType::Float, 4)
+        .optional("fx32", FieldType::Fixed32, 5)
+        .optional("fx64", FieldType::Fixed64, 6)
+        .optional("text", FieldType::String, 7)
+        .optional("blob", FieldType::Bytes, 8)
+        .optional("sub", FieldType::Message(inner), 9)
+        .repeated("ri", FieldType::Int64, 10)
+        .packed("pu", FieldType::UInt32, 11)
+        .repeated("rstr", FieldType::String, 12)
+        .repeated("rsub", FieldType::Message(inner), 13);
+    (b.build().unwrap(), outer, inner)
+}
+
+fn lowercase_string(rng: &mut StdRng, max_len: usize) -> String {
+    (0..rng.gen_range(0..=max_len))
+        .map(|_| char::from(rng.gen_range(b'a'..=b'z')))
+        .collect()
+}
+
+fn random_inner(rng: &mut StdRng, inner: MessageId) -> MessageValue {
+    let mut m = MessageValue::new(inner);
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(1, Value::Bool(rng.gen()));
+    }
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(2, Value::Str(lowercase_string(rng, 40)));
+    }
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(3, Value::UInt64(rng.gen()));
+    }
+    m
+}
+
+fn random_outer(rng: &mut StdRng, outer: MessageId, inner: MessageId) -> MessageValue {
+    let mut m = MessageValue::new(outer);
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(1, Value::Int32(rng.gen()));
+    }
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(2, Value::SInt64(rng.gen()));
+    }
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(3, Value::Double(rng.gen()));
+    }
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(4, Value::Float(rng.gen()));
+    }
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(5, Value::Fixed32(rng.gen()));
+    }
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(6, Value::Fixed64(rng.gen()));
+    }
+    if rng.gen_bool(0.5) {
+        let text: String = (0..rng.gen_range(0u32..64))
+            .map(|_| char::from(rng.gen_range(b' '..=b'~')))
+            .collect();
+        m.set_unchecked(7, Value::Str(text));
+    }
+    if rng.gen_bool(0.5) {
+        let mut bytes = vec![0u8; rng.gen_range(0usize..64)];
+        rng.fill(&mut bytes);
+        m.set_unchecked(8, Value::Bytes(bytes));
+    }
+    if rng.gen_bool(0.5) {
+        m.set_unchecked(9, Value::Message(random_inner(rng, inner)));
+    }
+    let ri: Vec<Value> = (0..rng.gen_range(0u32..8))
+        .map(|_| Value::Int64(rng.gen()))
+        .collect();
+    if !ri.is_empty() {
+        m.set_repeated(10, ri);
+    }
+    let pu: Vec<Value> = (0..rng.gen_range(0u32..8))
+        .map(|_| Value::UInt32(rng.gen()))
+        .collect();
+    if !pu.is_empty() {
+        m.set_repeated(11, pu);
+    }
+    let rstr: Vec<Value> = (0..rng.gen_range(0u32..4))
+        .map(|_| Value::Str(lowercase_string(rng, 20)))
+        .collect();
+    if !rstr.is_empty() {
+        m.set_repeated(12, rstr);
+    }
+    let rsub: Vec<Value> = (0..rng.gen_range(0u32..3))
+        .map(|_| Value::Message(random_inner(rng, inner)))
+        .collect();
+    if !rsub.is_empty() {
+        m.set_repeated(13, rsub);
+    }
+    m
+}
+
+#[test]
+fn wire_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x27_0001);
+    let (schema, outer, inner) = test_schema();
+    for _ in 0..cases(128) {
+        let m = random_outer(&mut rng, outer, inner);
+        let bytes = reference::encode(&m, &schema).unwrap();
+        assert_eq!(bytes.len(), reference::encoded_len(&m, &schema).unwrap());
+        let back = reference::decode(&bytes, m.type_id(), &schema).unwrap();
+        assert!(back.bits_eq(&m));
+    }
+}
+
+#[test]
+fn object_graph_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x27_0002);
+    let (schema, outer, inner) = test_schema();
+    let layouts = MessageLayouts::compute(&schema);
+    for _ in 0..cases(128) {
+        let m = random_outer(&mut rng, outer, inner);
+        let mut mem = GuestMemory::new();
+        let mut arena = BumpArena::new(0x10_0000, 1 << 24);
+        let addr = object::write_message(&mut mem, &schema, &layouts, &mut arena, &m).unwrap();
+        let back = object::read_message(&mem, &schema, &layouts, m.type_id(), addr).unwrap();
+        // Empty repeated fields read back as absent; normalize.
+        assert!(back.bits_eq(&m));
+    }
+}
+
+#[test]
+fn decoding_arbitrary_bytes_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x27_0003);
+    let (schema, outer, _) = test_schema();
+    for _ in 0..cases(256) {
+        let mut bytes = vec![0u8; rng.gen_range(0usize..256)];
+        rng.fill(&mut bytes);
+        let _ = reference::decode(&bytes, outer, &schema);
+    }
+}

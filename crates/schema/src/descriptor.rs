@@ -314,6 +314,47 @@ impl Schema {
         }
         walk(self, root, 1, limit, &mut Vec::new())
     }
+
+    /// Every message type reachable from `root` through message-typed
+    /// fields, in breadth-first discovery order, starting with `root`
+    /// itself. Recursive references are visited once, so this terminates on
+    /// cyclic schemas.
+    ///
+    /// This is the walk static analyses use: the set of types the
+    /// accelerator can touch while processing one `root` message, and hence
+    /// the set of descriptor tables its ADT cache must hold.
+    pub fn reachable(&self, root: MessageId) -> Vec<MessageId> {
+        let mut seen = vec![false; self.messages.len()];
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        seen[root.0] = true;
+        queue.push_back(root);
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for f in self.message(id).fields() {
+                if let FieldType::Message(sub) = f.field_type() {
+                    if !seen[sub.0] {
+                        seen[sub.0] = true;
+                        queue.push_back(sub);
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Iterates over every field of every message type reachable from
+    /// `root` (including the root's own fields), yielding the owning type's
+    /// id and descriptor alongside each field.
+    pub fn walk_fields(
+        &self,
+        root: MessageId,
+    ) -> impl Iterator<Item = (MessageId, &MessageDescriptor, &FieldDescriptor)> {
+        self.reachable(root).into_iter().flat_map(move |id| {
+            let m = self.message(id);
+            m.fields().iter().map(move |f| (id, m, f))
+        })
+    }
 }
 
 #[cfg(test)]
@@ -335,7 +376,11 @@ mod tests {
             ],
         )
         .unwrap();
-        let numbers: Vec<u32> = m.fields().iter().map(|f| f.number()).collect();
+        let numbers: Vec<u32> = m
+            .fields()
+            .iter()
+            .map(super::FieldDescriptor::number)
+            .collect();
         assert_eq!(numbers, [1, 7, 30]);
         assert_eq!(m.field_by_number(7).unwrap().name(), "b");
         assert_eq!(m.field_by_name("c").unwrap().number(), 30);
@@ -348,10 +393,16 @@ mod tests {
     fn duplicate_field_numbers_rejected() {
         let err = MessageDescriptor::new(
             "M",
-            vec![field("a", 1, FieldType::Bool), field("b", 1, FieldType::Bool)],
+            vec![
+                field("a", 1, FieldType::Bool),
+                field("b", 1, FieldType::Bool),
+            ],
         )
         .unwrap_err();
-        assert!(matches!(err, SchemaError::DuplicateFieldNumber { number: 1, .. }));
+        assert!(matches!(
+            err,
+            SchemaError::DuplicateFieldNumber { number: 1, .. }
+        ));
     }
 
     #[test]
@@ -461,5 +512,41 @@ mod tests {
         let m = MessageDescriptor::new("E", vec![]).unwrap();
         assert_eq!(m.field_number_span(), 0);
         assert_eq!(m.min_field_number(), None);
+    }
+
+    #[test]
+    fn reachable_walks_breadth_first_and_terminates_on_cycles() {
+        let mut s = Schema::new();
+        let c = s
+            .add_message(MessageDescriptor::new("C", vec![field("x", 1, FieldType::Bool)]).unwrap())
+            .unwrap();
+        let b = s
+            .add_message(
+                MessageDescriptor::new(
+                    "B",
+                    vec![
+                        field("c", 1, FieldType::Message(c)),
+                        // Back-edge to itself: recursion must not loop.
+                        field("again", 2, FieldType::Message(MessageId::new(1))),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let a = s
+            .add_message(
+                MessageDescriptor::new("A", vec![field("b", 1, FieldType::Message(b))]).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(s.reachable(a), vec![a, b, c]);
+        assert_eq!(s.reachable(c), vec![c]);
+        let fields: Vec<(&str, &str)> = s
+            .walk_fields(a)
+            .map(|(_, m, f)| (m.name(), f.name()))
+            .collect();
+        assert_eq!(
+            fields,
+            vec![("A", "b"), ("B", "c"), ("B", "again"), ("C", "x")]
+        );
     }
 }

@@ -332,9 +332,7 @@ impl Parser<'_> {
             other => {
                 return Err(SchemaError::Parse {
                     line,
-                    message: format!(
-                        "proto2 fields need an explicit label; found `{other}`"
-                    ),
+                    message: format!("proto2 fields need an explicit label; found `{other}`"),
                 })
             }
         };
@@ -403,9 +401,7 @@ struct Resolver {
 impl Resolver {
     fn collect(&mut self, item: &Item, scope: &str) {
         match item {
-            Item::Message {
-                name, nested, ..
-            } => {
+            Item::Message { name, nested, .. } => {
                 let full = qualify(scope, name);
                 let slot = self.order.len();
                 self.message_ids.insert(full.clone(), slot);
@@ -436,12 +432,12 @@ impl Resolver {
             let slot = self.message_ids[&full];
             let mut descriptors = Vec::with_capacity(fields.len());
             for rf in fields {
-                let field_type = self.resolve_type(&rf.type_name, &full).ok_or_else(|| {
-                    SchemaError::Parse {
-                        line: rf.line,
-                        message: format!("unknown type `{}`", rf.type_name),
-                    }
-                })?;
+                let field_type =
+                    self.resolve_type(&rf.type_name, &full)
+                        .ok_or_else(|| SchemaError::Parse {
+                            line: rf.line,
+                            message: format!("unknown type `{}`", rf.type_name),
+                        })?;
                 descriptors.push(FieldDescriptor::new(
                     rf.name.clone(),
                     rf.number,
@@ -519,8 +515,8 @@ mod tests {
     fn parses_every_scalar_type() {
         let mut source = String::from("message AllTypes {\n");
         for (i, kw) in [
-            "double", "float", "int32", "int64", "uint32", "uint64", "sint32", "sint64",
-            "fixed32", "fixed64", "sfixed32", "sfixed64", "bool", "string", "bytes",
+            "double", "float", "int32", "int64", "uint32", "uint64", "sint32", "sint64", "fixed32",
+            "fixed64", "sfixed32", "sfixed64", "bool", "string", "bytes",
         ]
         .iter()
         .enumerate()
@@ -619,8 +615,7 @@ mod tests {
 
     #[test]
     fn default_option_is_ignored() {
-        let schema =
-            parse_proto("message M { optional int32 x = 1 [default = -5]; }").unwrap();
+        let schema = parse_proto("message M { optional int32 x = 1 [default = -5]; }").unwrap();
         assert!(schema.message_by_name("M").is_some());
     }
 
@@ -643,8 +638,8 @@ mod tests {
 
     #[test]
     fn proto3_is_rejected() {
-        let err = parse_proto(r#"syntax = "proto3"; message M { optional bool x = 1; }"#)
-            .unwrap_err();
+        let err =
+            parse_proto(r#"syntax = "proto3"; message M { optional bool x = 1; }"#).unwrap_err();
         assert!(matches!(err, SchemaError::Parse { .. }));
     }
 
@@ -678,8 +673,7 @@ mod tests {
 
     #[test]
     fn packed_string_is_rejected_semantically() {
-        let err =
-            parse_proto("message M { repeated string s = 1 [packed = true]; }").unwrap_err();
+        let err = parse_proto("message M { repeated string s = 1 [packed = true]; }").unwrap_err();
         assert!(matches!(err, SchemaError::InvalidPacked { .. }));
     }
 }

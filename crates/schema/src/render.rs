@@ -68,7 +68,11 @@ fn render_message(schema: &Schema, m: &MessageDescriptor, indent: usize, out: &m
             FieldType::Message(id) => relative_name(m.name(), schema.message(id).name()),
             scalar => scalar.keyword().expect("scalar keyword").to_owned(),
         };
-        let options = if f.is_packed() { " [packed = true]" } else { "" };
+        let options = if f.is_packed() {
+            " [packed = true]"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "{pad}  {label} {type_name} {} = {}{options};",

@@ -294,10 +294,22 @@ mod tests {
 
     #[test]
     fn table1_fixed_groups_match_paper() {
-        assert_eq!(FieldType::Fixed32.perf_class(), Some(PerfClass::Fixed32Like));
-        assert_eq!(FieldType::SFixed32.perf_class(), Some(PerfClass::Fixed32Like));
-        assert_eq!(FieldType::Fixed64.perf_class(), Some(PerfClass::Fixed64Like));
-        assert_eq!(FieldType::SFixed64.perf_class(), Some(PerfClass::Fixed64Like));
+        assert_eq!(
+            FieldType::Fixed32.perf_class(),
+            Some(PerfClass::Fixed32Like)
+        );
+        assert_eq!(
+            FieldType::SFixed32.perf_class(),
+            Some(PerfClass::Fixed32Like)
+        );
+        assert_eq!(
+            FieldType::Fixed64.perf_class(),
+            Some(PerfClass::Fixed64Like)
+        );
+        assert_eq!(
+            FieldType::SFixed64.perf_class(),
+            Some(PerfClass::Fixed64Like)
+        );
         assert_eq!(FieldType::Float.perf_class(), Some(PerfClass::FloatLike));
         assert_eq!(FieldType::Double.perf_class(), Some(PerfClass::DoubleLike));
         assert_eq!(FieldType::String.perf_class(), Some(PerfClass::BytesLike));

@@ -165,7 +165,9 @@ mod tests {
         // Field 1, varint => 0x08; field 2, length-delimited => 0x12.
         assert_eq!(FieldKey::new(1, WireType::Varint).unwrap().encoded(), 0x08);
         assert_eq!(
-            FieldKey::new(2, WireType::LengthDelimited).unwrap().encoded(),
+            FieldKey::new(2, WireType::LengthDelimited)
+                .unwrap()
+                .encoded(),
             0x12
         );
     }
@@ -184,8 +186,14 @@ mod tests {
     #[test]
     fn key_length_boundary_at_field_16() {
         // Field numbers 1-15 fit the key in one byte; 16 and up need two.
-        assert_eq!(FieldKey::new(15, WireType::Varint).unwrap().encoded_len(), 1);
-        assert_eq!(FieldKey::new(16, WireType::Varint).unwrap().encoded_len(), 2);
+        assert_eq!(
+            FieldKey::new(15, WireType::Varint).unwrap().encoded_len(),
+            1
+        );
+        assert_eq!(
+            FieldKey::new(16, WireType::Varint).unwrap().encoded_len(),
+            2
+        );
     }
 
     #[test]
@@ -196,7 +204,10 @@ mod tests {
         );
         assert!(FieldKey::new(MAX_FIELD_NUMBER + 1, WireType::Varint).is_err());
         // Wire type 0, field number 0.
-        assert_eq!(FieldKey::from_encoded(0x00), Err(WireError::ZeroFieldNumber));
+        assert_eq!(
+            FieldKey::from_encoded(0x00),
+            Err(WireError::ZeroFieldNumber)
+        );
         // Wire-type validation fires before field-number validation.
         assert_eq!(
             FieldKey::from_encoded(0x07),

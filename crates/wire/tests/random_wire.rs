@@ -1,0 +1,150 @@
+//! Randomized tests for the wire-format primitives, driven by the
+//! workspace's deterministic PRNG (`xrand`) so they run hermetically.
+//! Enable the `slow-tests` feature to multiply the iteration counts.
+
+use protoacc_wire::hw::{CombVarintDecoder, CombVarintEncoder};
+use protoacc_wire::{varint, zigzag, FieldKey, WireReader, WireType, WireWriter};
+use xrand::{Rng, StdRng};
+
+/// Iteration count, scaled up under `--features slow-tests`.
+fn cases(default: usize) -> usize {
+    if cfg!(feature = "slow-tests") {
+        default * 16
+    } else {
+        default
+    }
+}
+
+#[test]
+fn varint_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0x51_0001);
+    for _ in 0..cases(512) {
+        let v: u64 = rng.gen::<u64>() >> rng.gen_range(0u32..64);
+        let mut buf = Vec::new();
+        let n = varint::encode(v, &mut buf);
+        assert_eq!(n, varint::encoded_len(v));
+        let (decoded, consumed) = varint::decode(&buf).unwrap();
+        assert_eq!(decoded, v);
+        assert_eq!(consumed, n);
+    }
+}
+
+#[test]
+fn hardware_and_software_varint_agree() {
+    let mut rng = StdRng::seed_from_u64(0x51_0002);
+    for _ in 0..cases(512) {
+        let v: u64 = rng.gen::<u64>() >> rng.gen_range(0u32..64);
+        let mut sw = Vec::new();
+        varint::encode(v, &mut sw);
+        let hw = CombVarintEncoder::encode(v);
+        assert_eq!(hw.as_slice(), sw.as_slice());
+        let dec = CombVarintDecoder::decode_avail(&sw).unwrap();
+        assert_eq!(dec.value, v);
+    }
+}
+
+#[test]
+fn zigzag_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0x51_0003);
+    for _ in 0..cases(512) {
+        let v: i64 = rng.gen();
+        let w: i32 = rng.gen();
+        assert_eq!(zigzag::decode64(zigzag::encode64(v)), v);
+        assert_eq!(zigzag::decode32(zigzag::encode32(w)), w);
+    }
+}
+
+#[test]
+fn zigzag_small_magnitude_stays_small() {
+    // Zigzag keeps |v| < 64 within one varint byte.
+    for v in -64i64..64 {
+        assert_eq!(varint::encoded_len(zigzag::encode64(v)), 1);
+    }
+}
+
+#[test]
+fn field_key_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0x51_0004);
+    for _ in 0..cases(512) {
+        let number = rng.gen_range(1u32..=protoacc_wire::MAX_FIELD_NUMBER);
+        let raw_wt = rng.gen_range(0u8..=5);
+        let wt = WireType::from_raw(raw_wt).unwrap();
+        let key = FieldKey::new(number, wt).unwrap();
+        let back = FieldKey::from_encoded(key.encoded()).unwrap();
+        assert_eq!(back, key);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Field {
+    Varint(u64),
+    Fixed64(u64),
+    Fixed32(u32),
+    Bytes(Vec<u8>),
+}
+
+fn random_field(rng: &mut StdRng) -> Field {
+    match rng.gen_range(0u32..4) {
+        0 => Field::Varint(rng.gen()),
+        1 => Field::Fixed64(rng.gen()),
+        2 => Field::Fixed32(rng.gen()),
+        _ => {
+            let mut bytes = vec![0u8; rng.gen_range(0usize..64)];
+            rng.fill(&mut bytes);
+            Field::Bytes(bytes)
+        }
+    }
+}
+
+#[test]
+fn writer_reader_round_trip_mixed_fields() {
+    let mut rng = StdRng::seed_from_u64(0x51_0005);
+    for _ in 0..cases(256) {
+        let fields: Vec<(u32, Field)> = (0..rng.gen_range(0usize..32))
+            .map(|_| (rng.gen_range(1u32..1000), random_field(&mut rng)))
+            .collect();
+        let mut w = WireWriter::new();
+        for (num, field) in &fields {
+            match field {
+                Field::Varint(v) => w.write_varint_field(*num, *v).unwrap(),
+                Field::Fixed64(v) => w.write_fixed64_field(*num, *v).unwrap(),
+                Field::Fixed32(v) => w.write_fixed32_field(*num, *v).unwrap(),
+                Field::Bytes(b) => w.write_length_delimited_field(*num, b).unwrap(),
+            }
+        }
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        for (num, field) in &fields {
+            let key = r.read_key().unwrap();
+            assert_eq!(key.field_number(), *num);
+            match field {
+                Field::Varint(v) => assert_eq!(r.read_varint().unwrap(), *v),
+                Field::Fixed64(v) => assert_eq!(r.read_fixed64().unwrap(), *v),
+                Field::Fixed32(v) => assert_eq!(r.read_fixed32().unwrap(), *v),
+                Field::Bytes(b) => assert_eq!(r.read_length_delimited().unwrap(), b.as_slice()),
+            }
+        }
+        assert!(r.is_at_end());
+    }
+}
+
+#[test]
+fn truncation_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x51_0006);
+    for _ in 0..cases(512) {
+        // Decoding arbitrary garbage must fail gracefully, never panic.
+        let mut bytes = vec![0u8; rng.gen_range(0usize..64)];
+        rng.fill(&mut bytes);
+        let mut r = WireReader::new(&bytes);
+        while !r.is_at_end() {
+            match r.read_key() {
+                Ok(key) => {
+                    if r.skip_value(key.wire_type()).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}

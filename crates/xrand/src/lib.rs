@@ -1,0 +1,356 @@
+//! A tiny deterministic pseudo-random number generator for the protoacc
+//! workspace.
+//!
+//! The repo builds in hermetic environments with no access to a crates.io
+//! registry, so the external `rand` crate cannot be fetched. This crate
+//! provides the small slice of `rand`'s 0.8 API the workspace actually
+//! uses — [`Rng`], [`StdRng::seed_from_u64`], `gen`, `gen_range`,
+//! `gen_bool`, and `fill` — backed by a splitmix64-seeded xoshiro256++
+//! generator. It is deterministic by construction (seeding is explicit;
+//! there is no entropy source), which is exactly what the benchmark
+//! harness and randomized tests want: every run of every figure is
+//! reproducible bit-for-bit.
+//!
+//! This is a statistical PRNG for simulation and testing. It is **not**
+//! cryptographically secure.
+
+#![forbid(unsafe_code)]
+
+/// A source of pseudo-random numbers.
+///
+/// The provided methods mirror the subset of `rand::Rng` used across the
+/// workspace so porting a call site is an import swap.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open `lo..hi` or inclusive
+    /// `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Fills `dest` with uniformly distributed bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The workspace's standard generator: xoshiro256++ with splitmix64
+/// seeding. Fast, 256 bits of state, passes the usual statistical
+/// batteries, and deterministic for a given seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Builds a generator whose whole state is derived from `seed` by the
+    /// splitmix64 sequence (the construction recommended by the xoshiro
+    /// authors).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state is the one degenerate fixed point; splitmix64
+        // never produces four consecutive zeros, but keep the guard local
+        // and explicit.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps 64 random bits onto `[0, 1)` with 53 bits of precision.
+fn unit_f64(bits: u64) -> f64 {
+    #[allow(clippy::cast_precision_loss)] // 53 bits fit an f64 mantissa exactly
+    let mantissa = (bits >> 11) as f64;
+    mantissa * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Multiplies a uniform 64-bit sample into `[0, span)` without modulo bias
+/// worth caring about (Lemire's multiply-shift).
+fn mul_shift(x: u64, span: u64) -> u64 {
+    ((u128::from(x) * u128::from(span)) >> 64) as u64
+}
+
+/// Types samplable uniformly over their whole domain via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// Ranges samplable via [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = self.end as u64 - self.start as u64;
+                self.start + mul_shift(rng.next_u64(), span) as $t
+            }
+        }
+
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = hi as u64 - lo as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + mul_shift(rng.next_u64(), span + 1) as $t
+            }
+        }
+    )*};
+}
+range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! range_int {
+    ($($t:ty => $w:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_lossless)]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $w).wrapping_sub(self.start as $w) as u64;
+                (self.start as $w).wrapping_add(mul_shift(rng.next_u64(), span) as $w) as $t
+            }
+        }
+
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_lossless)]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $w).wrapping_sub(lo as $w) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as $w).wrapping_add(mul_shift(rng.next_u64(), span + 1) as $w) as $t
+            }
+        }
+    )*};
+}
+range_int!(i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = unit_f64(rng.next_u64());
+        let v = self.start + (self.end - self.start) * u;
+        // Floating rounding can land exactly on `end`; fold it back.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange for core::ops::Range<f32> {
+    type Output = f32;
+    #[allow(clippy::cast_possible_truncation)]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = unit_f64(rng.next_u64()) as f32;
+        let v = self.start + (self.end - self.start) * u;
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..4096 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let v = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            let v = rng.gen_range(b'a'..=b'z');
+            assert!(v.is_ascii_lowercase());
+            let v = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&v));
+            let v = rng.gen_range(0usize..3);
+            assert!(v < 3);
+            let v = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = v;
+        }
+    }
+
+    #[test]
+    fn range_endpoints_are_reachable() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..1024 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+        let mut lo_hi = (false, false);
+        for _ in 0..1024 {
+            match rng.gen_range(0u8..=1) {
+                0 => lo_hi.0 = true,
+                _ => lo_hi.1 = true,
+            }
+        }
+        assert_eq!(lo_hi, (true, true));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn fill_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn works_through_unsized_generic_bounds() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> (u64, f64, bool) {
+            (
+                rng.gen_range(0u64..100),
+                rng.gen::<f64>(),
+                rng.gen_bool(0.5),
+            )
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let (a, b, _) = draw(&mut rng);
+        assert!(a < 100);
+        assert!((0.0..1.0).contains(&b));
+    }
+
+    #[test]
+    fn unit_f64_stays_below_one() {
+        assert!(unit_f64(u64::MAX) < 1.0);
+        assert_eq!(unit_f64(0), 0.0);
+    }
+}

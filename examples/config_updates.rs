@@ -100,11 +100,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mem2.data.write_bytes(addr, &wire);
         let delta_obj = arena2.alloc(layout.object_size(), 8)?;
         let d = codec.deserialize(
-            &mut mem2, &schema, &layouts, cfg_id, addr, wire.len() as u64, delta_obj,
+            &mut mem2,
+            &schema,
+            &layouts,
+            cfg_id,
+            addr,
+            wire.len() as u64,
+            delta_obj,
             &mut arena2,
         )?;
         let m = codec.merge(
-            &mut mem2, &schema, &layouts, cfg_id, base_obj2, delta_obj, &mut arena2,
+            &mut mem2,
+            &schema,
+            &layouts,
+            cfg_id,
+            base_obj2,
+            delta_obj,
+            &mut arena2,
         )?;
         sw_cycles += d.cycles + m.cycles;
     }

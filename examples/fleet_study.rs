@@ -11,8 +11,7 @@ use protoacc_suite::fleet::protobufz::{
     bytes_coverage_at_depth, estimate_size_histogram, ShapeModel,
 };
 use protoacc_suite::fleet::protodb::Registry;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use xrand::StdRng;
 
 fn main() {
     let profile = FleetProfile::google_2021();

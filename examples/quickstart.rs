@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mem = Memory::new(MemConfig::default());
     let mut setup_arena = BumpArena::new(0x1_0000, 1 << 22);
     let adts = write_adts(&schema, &layouts, &mut mem.data, &mut setup_arena)?;
-    println!("ADTs for {} message types occupy {} bytes", schema.len(), adts.total_bytes());
+    println!(
+        "ADTs for {} message types occupy {} bytes",
+        schema.len(),
+        adts.total_bytes()
+    );
 
     // 4. Serialize on the accelerator: materialize the C++-like object
     //    graph, then issue the RoCC instruction sequence.
@@ -59,15 +63,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut accel = ProtoAccelerator::new(AccelConfig::default());
     accel.ser_assign_arena(0x40_0000, 1 << 20, 0x60_0000, 1 << 12);
     let layout = layouts.layout(route_id);
-    accel.ser_info(layout.hasbits_offset(), layout.min_field(), layout.max_field());
+    accel.ser_info(
+        layout.hasbits_offset(),
+        layout.min_field(),
+        layout.max_field(),
+    );
     let ser_run = accel.do_proto_ser(&mut mem, adts.addr(route_id), obj)?;
     accel.block_for_ser_completion();
-    let wire = mem.data.read_vec(ser_run.out_addr, ser_run.out_len as usize);
+    let wire = mem
+        .data
+        .read_vec(ser_run.out_addr, ser_run.out_len as usize);
     println!(
         "serialized {} bytes in {} accelerator cycles ({:.2} Gbit/s at 2 GHz)",
         ser_run.out_len,
         ser_run.cycles,
-        accel.config().gbits_per_sec(ser_run.out_len, ser_run.cycles)
+        accel
+            .config()
+            .gbits_per_sec(ser_run.out_len, ser_run.cycles)
     );
 
     // Wire-compatible with standard protobufs: the reference encoder

@@ -9,9 +9,7 @@
 use protoacc_suite::accel::{AccelConfig, ProtoAccelerator};
 use protoacc_suite::cpu::{CostTable, SoftwareCodec};
 use protoacc_suite::mem::{MemConfig, Memory};
-use protoacc_suite::runtime::{
-    object, write_adts, BumpArena, MessageLayouts, MessageValue, Value,
-};
+use protoacc_suite::runtime::{object, write_adts, BumpArena, MessageLayouts, MessageValue, Value};
 use protoacc_suite::schema::{parse_proto, Schema};
 
 const REQUESTS: usize = 200;
@@ -83,14 +81,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..REQUESTS {
         // Client side: build + serialize the request.
         let request = build_request(&schema, i);
-        let req_obj = object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &request)?;
+        let req_obj =
+            object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &request)?;
         let (run, req_len) =
             codec.serialize(&mut mem, &schema, &layouts, req_id, req_obj, 0x2000_0000)?;
         sw_cycles += run.cycles;
         // Server side: deserialize, handle, serialize the response.
         let dest = arena.alloc(layouts.layout(req_id).object_size(), 8)?;
         let run = codec.deserialize(
-            &mut mem, &schema, &layouts, req_id, 0x2000_0000, req_len, dest, &mut arena,
+            &mut mem,
+            &schema,
+            &layouts,
+            req_id,
+            0x2000_0000,
+            req_len,
+            dest,
+            &mut arena,
         )?;
         sw_cycles += run.cycles;
         let seen = object::read_message(&mem.data, &schema, &layouts, req_id, dest)?;
@@ -103,7 +109,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Client side: deserialize the response.
         let dest = arena.alloc(layouts.layout(resp_id).object_size(), 8)?;
         let run = codec.deserialize(
-            &mut mem, &schema, &layouts, resp_id, 0x3000_0000, resp_len, dest, &mut arena,
+            &mut mem,
+            &schema,
+            &layouts,
+            resp_id,
+            0x3000_0000,
+            resp_len,
+            dest,
+            &mut arena,
         )?;
         sw_cycles += run.cycles;
         bytes_moved += req_len + resp_len;
@@ -120,24 +133,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         accel.deser_assign_arena(0x8000_0000 + (i as u64) * (1 << 20), 1 << 20);
         accel.ser_assign_arena(0x2000_0000, 1 << 20, 0x6000_0000, 1 << 12);
         let request = build_request(&schema, i);
-        let req_obj = object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &request)?;
+        let req_obj =
+            object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &request)?;
         let req_layout = layouts.layout(req_id);
-        accel.ser_info(req_layout.hasbits_offset(), req_layout.min_field(), req_layout.max_field());
+        accel.ser_info(
+            req_layout.hasbits_offset(),
+            req_layout.min_field(),
+            req_layout.max_field(),
+        );
         let ser = accel.do_proto_ser(&mut mem, adts.addr(req_id), req_obj)?;
         let dest = arena.alloc(req_layout.object_size(), 8)?;
         accel.deser_info(adts.addr(req_id), dest);
-        let deser = accel.do_proto_deser(&mut mem, ser.out_addr, ser.out_len, req_layout.min_field())?;
+        let deser =
+            accel.do_proto_deser(&mut mem, ser.out_addr, ser.out_len, req_layout.min_field())?;
         let seen = object::read_message(&mem.data, &schema, &layouts, req_id, dest)?;
         let response = build_response(&schema, &seen, i);
         let resp_obj =
             object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &response)?;
         let resp_layout = layouts.layout(resp_id);
-        accel.ser_info(resp_layout.hasbits_offset(), resp_layout.min_field(), resp_layout.max_field());
+        accel.ser_info(
+            resp_layout.hasbits_offset(),
+            resp_layout.min_field(),
+            resp_layout.max_field(),
+        );
         let ser2 = accel.do_proto_ser(&mut mem, adts.addr(resp_id), resp_obj)?;
         let dest = arena.alloc(resp_layout.object_size(), 8)?;
         accel.deser_info(adts.addr(resp_id), dest);
-        let deser2 =
-            accel.do_proto_deser(&mut mem, ser2.out_addr, ser2.out_len, resp_layout.min_field())?;
+        let deser2 = accel.do_proto_deser(
+            &mut mem,
+            ser2.out_addr,
+            ser2.out_len,
+            resp_layout.min_field(),
+        )?;
         accel_cycles += ser.cycles + deser.cycles + ser2.cycles + deser2.cycles;
     }
 

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         log.extend_from_slice(&len_prefix);
         log.extend_from_slice(&wire);
     }
-    println!("log segment: {} bytes (records + varint length prefixes)", log.len());
+    println!(
+        "log segment: {} bytes (records + varint length prefixes)",
+        log.len()
+    );
 
     // Scan it back and verify every record.
     let mut reader = WireReader::new(&log);

@@ -38,12 +38,16 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use hyperprotobench as hyperbench;
 pub use protoacc as accel;
 pub use protoacc_bench as bench;
 pub use protoacc_cpu as cpu;
 pub use protoacc_fleet as fleet;
+pub use protoacc_lint as lint;
 pub use protoacc_mem as mem;
 pub use protoacc_runtime as runtime;
 pub use protoacc_schema as schema;
 pub use protoacc_wire as wire;
+pub use xrand;

@@ -44,8 +44,7 @@ fn cpu_serializes_accel_deserializes() {
         let layout = r.layouts.layout(r.type_id);
         for (i, m) in r.messages.iter().enumerate() {
             let obj =
-                object::write_message(&mut mem.data, &r.schema, &r.layouts, &mut setup, m)
-                    .unwrap();
+                object::write_message(&mut mem.data, &r.schema, &r.layouts, &mut setup, m).unwrap();
             let out = 0x4000_0000 + (i as u64) * (1 << 22);
             let (_, len) = codec
                 .serialize(&mut mem, &r.schema, &r.layouts, r.type_id, obj, out)
@@ -78,10 +77,15 @@ fn accel_serializes_cpu_deserializes() {
         let mut arena = BumpArena::new(0x2_0000_0000, 1 << 28);
         for (i, m) in r.messages.iter().enumerate() {
             let obj =
-                object::write_message(&mut mem.data, &r.schema, &r.layouts, &mut setup, m)
-                    .unwrap();
-            accel.ser_info(layout.hasbits_offset(), layout.min_field(), layout.max_field());
-            let run = accel.do_proto_ser(&mut mem, adts.addr(r.type_id), obj).unwrap();
+                object::write_message(&mut mem.data, &r.schema, &r.layouts, &mut setup, m).unwrap();
+            accel.ser_info(
+                layout.hasbits_offset(),
+                layout.min_field(),
+                layout.max_field(),
+            );
+            let run = accel
+                .do_proto_ser(&mut mem, adts.addr(r.type_id), obj)
+                .unwrap();
             // Reference check: byte-identical output.
             let expect = reference::encode(m, &r.schema).unwrap();
             assert_eq!(
@@ -92,8 +96,14 @@ fn accel_serializes_cpu_deserializes() {
             let dest = arena.alloc(layout.object_size(), 8).unwrap();
             codec
                 .deserialize(
-                    &mut mem, &r.schema, &r.layouts, r.type_id, run.out_addr, run.out_len,
-                    dest, &mut arena,
+                    &mut mem,
+                    &r.schema,
+                    &r.layouts,
+                    r.type_id,
+                    run.out_addr,
+                    run.out_len,
+                    dest,
+                    &mut arena,
                 )
                 .unwrap();
             let back =
@@ -123,8 +133,17 @@ fn all_serializers_are_byte_identical() {
             .serialize(&mut mem, &r.schema, &r.layouts, r.type_id, obj, 0x5000_0000)
             .unwrap();
         assert_eq!(mem.data.read_vec(0x5000_0000, len as usize), expect);
-        accel.ser_info(layout.hasbits_offset(), layout.min_field(), layout.max_field());
-        let run = accel.do_proto_ser(&mut mem, adts.addr(r.type_id), obj).unwrap();
-        assert_eq!(mem.data.read_vec(run.out_addr, run.out_len as usize), expect);
+        accel.ser_info(
+            layout.hasbits_offset(),
+            layout.min_field(),
+            layout.max_field(),
+        );
+        let run = accel
+            .do_proto_ser(&mut mem, adts.addr(r.type_id), obj)
+            .unwrap();
+        assert_eq!(
+            mem.data.read_vec(run.out_addr, run.out_len as usize),
+            expect
+        );
     }
 }

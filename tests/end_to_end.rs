@@ -68,13 +68,22 @@ fn proto_text_to_accelerator_round_trip() {
     accel.deser_assign_arena(0x8000_0000, 1 << 24);
 
     // Serialize on the accelerator; verify byte identity with the reference.
-    let obj = object::write_message(&mut mem.data, &schema, &layouts, &mut setup, &message)
-        .unwrap();
+    let obj =
+        object::write_message(&mut mem.data, &schema, &layouts, &mut setup, &message).unwrap();
     let layout = layouts.layout(series_id);
-    accel.ser_info(layout.hasbits_offset(), layout.min_field(), layout.max_field());
-    let ser = accel.do_proto_ser(&mut mem, adts.addr(series_id), obj).unwrap();
+    accel.ser_info(
+        layout.hasbits_offset(),
+        layout.min_field(),
+        layout.max_field(),
+    );
+    let ser = accel
+        .do_proto_ser(&mut mem, adts.addr(series_id), obj)
+        .unwrap();
     let expect = reference::encode(&message, &schema).unwrap();
-    assert_eq!(mem.data.read_vec(ser.out_addr, ser.out_len as usize), expect);
+    assert_eq!(
+        mem.data.read_vec(ser.out_addr, ser.out_len as usize),
+        expect
+    );
 
     // Deserialize the accelerator's own output back.
     let dest = setup.alloc(layout.object_size(), 8).unwrap();
@@ -164,8 +173,7 @@ fn batching_deserializations_matches_paper_api_flow() {
     assert!(total > 0);
     assert_eq!(accel.block_for_deser_completion(), 0, "fence drains");
     for (dest, original) in dests.iter().zip(&originals) {
-        let back =
-            object::read_message(&mem.data, &schema, &layouts, series_id, *dest).unwrap();
+        let back = object::read_message(&mem.data, &schema, &layouts, series_id, *dest).unwrap();
         assert!(back.bits_eq(original));
     }
 }

@@ -1,0 +1,380 @@
+//! Cross-validates `protoacc-lint`'s static predictions against the
+//! behavioral model:
+//!
+//! * simulated deserialization cycles never beat [`StaticBound::lower_bound`];
+//! * the instance-level spill predicate agrees exactly with the simulator's
+//!   `stack_spills` counter (zero false positives, zero false negatives);
+//! * lint-clean schemas take zero spill cycles.
+//!
+//! Also holds the satellite edge-case matrix: the maximum field number
+//! (536,870,911), nesting at and one past the stack depth, empty messages,
+//! and packed repeated scalars — each asserting the lint verdict AND
+//! simulator agreement.
+
+use protoacc_suite::accel::{AccelConfig, ProtoAccelerator};
+use protoacc_suite::lint::{
+    lint_schema, predicts_spill, static_bound, DiagCode, LintConfig, Severity,
+};
+use protoacc_suite::mem::{MemConfig, Memory};
+use protoacc_suite::runtime::{
+    object, reference, write_adts, BumpArena, MessageLayouts, MessageValue, Value,
+};
+use protoacc_suite::schema::{parse_proto, MessageId, Schema};
+
+/// Outcome of one simulated deserialization.
+struct SimRun {
+    cycles: u64,
+    stack_spills: u64,
+    wire_len: u64,
+}
+
+/// Encodes `message` with the reference codec and drives it through the
+/// accelerator's deserializer, returning the observables the lint
+/// predictions speak about. Panics if the round trip is not bit-exact, so
+/// every cross-validation run is also a correctness run.
+fn run_deser(schema: &Schema, message: &MessageValue, config: AccelConfig) -> SimRun {
+    let type_id = message.type_id();
+    let layouts = MessageLayouts::compute(schema);
+    let mut mem = Memory::new(MemConfig::default());
+    // Guest memory is sparse, so the arena can span a huge address range:
+    // descriptor tables are sized by field-number *span*, and the
+    // max-field-number edge case needs ~8.6 GB of ADT address space.
+    let mut arena = BumpArena::new(0x1_0000, 16 << 30);
+    let adts = write_adts(schema, &layouts, &mut mem.data, &mut arena).unwrap();
+
+    let wire = reference::encode(message, schema).unwrap();
+    mem.data.write_bytes(0x10_0000_0000, &wire);
+
+    let mut accel = ProtoAccelerator::new(config);
+    accel.deser_assign_arena(0x20_0000_0000, 1 << 24);
+    let layout = layouts.layout(type_id);
+    let dest = arena.alloc(layout.object_size(), 8).unwrap();
+    accel.deser_info(adts.addr(type_id), dest);
+    let run = accel
+        .do_proto_deser(
+            &mut mem,
+            0x10_0000_0000,
+            wire.len() as u64,
+            layout.min_field(),
+        )
+        .unwrap();
+
+    let back = object::read_message(&mem.data, schema, &layouts, type_id, dest).unwrap();
+    assert!(back.bits_eq(message), "deser round trip");
+
+    SimRun {
+        cycles: run.cycles,
+        stack_spills: accel.stats().stack_spills,
+        wire_len: wire.len() as u64,
+    }
+}
+
+/// One cross-validation step: simulate, then check every static claim the
+/// analyzer makes about this (schema, instance, config) triple.
+fn check_predictions(schema: &Schema, message: &MessageValue, config: AccelConfig, label: &str) {
+    let run = run_deser(schema, message, config);
+    let bound = static_bound(schema, message.type_id(), &config);
+    let floor = bound.lower_bound(run.wire_len);
+    assert!(
+        run.cycles >= floor,
+        "{label}: simulated {} cycles beat the static lower bound {floor} \
+         ({} wire bytes, bound {bound:?})",
+        run.cycles,
+        run.wire_len
+    );
+    let predicted = predicts_spill(message, &config);
+    assert_eq!(
+        predicted,
+        run.stack_spills > 0,
+        "{label}: lint predicted spill={predicted} but the simulator counted {} \
+         spills (instance depth {}, stack depth {})",
+        run.stack_spills,
+        message.depth(),
+        config.stack_depth
+    );
+}
+
+fn load(name: &str) -> Schema {
+    let path = format!("{}/protos/{name}", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    parse_proto(&source).unwrap_or_else(|e| panic!("{name} must parse: {e}"))
+}
+
+/// A linear chain of `n` message types `M0 -> M1 -> ... -> M{n-1}`, each
+/// optionally holding the next, the last holding a scalar leaf.
+fn chain_schema(n: usize) -> Schema {
+    let mut src = String::new();
+    for i in 0..n {
+        if i + 1 < n {
+            src.push_str(&format!(
+                "message M{i} {{ optional M{} next = 1; }}\n",
+                i + 1
+            ));
+        } else {
+            src.push_str(&format!("message M{i} {{ optional uint32 leaf = 1; }}\n"));
+        }
+    }
+    parse_proto(&src).unwrap()
+}
+
+/// An instance of `M0` from [`chain_schema`] nested exactly `depth` levels
+/// (root counts as level 1); the innermost message is left empty.
+fn chain_instance(schema: &Schema, depth: usize) -> MessageValue {
+    let id = |i: usize| -> MessageId { schema.id_by_name(&format!("M{i}")).unwrap() };
+    let mut inner = MessageValue::new(id(depth - 1));
+    if depth == schema.len() {
+        inner.set_unchecked(1, Value::UInt32(7));
+    }
+    for i in (0..depth - 1).rev() {
+        let mut outer = MessageValue::new(id(i));
+        outer.set_unchecked(1, Value::Message(inner));
+        inner = outer;
+    }
+    inner
+}
+
+// ---------------------------------------------------------------------------
+// Corpus: realistic schemas, strings/bytes/sub-messages everywhere.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn corpus_respects_bounds_and_never_spills() {
+    let config = AccelConfig::default();
+    for (file, message) in corpus_instances() {
+        let schema = load(file);
+        let message = message(&schema);
+        // The corpus lints deny-free, and none of these instances nests past
+        // the metadata stacks: the simulator must agree with zero spills.
+        let report = lint_schema(&schema, &LintConfig::default());
+        assert_eq!(report.deny_count(), 0, "{file} must stay deny-free");
+        check_predictions(&schema, &message, config, file);
+        assert!(
+            !predicts_spill(&message, &config),
+            "{file} instance is shallow"
+        );
+    }
+}
+
+/// Lint-clean types (no PA001 at any severity) can never spill, whatever
+/// the instance: their static nesting depth bounds every instance's depth.
+#[test]
+fn lint_clean_types_take_zero_spill_cycles() {
+    let config = AccelConfig::default();
+    for (file, message) in corpus_instances() {
+        let schema = load(file);
+        let message = message(&schema);
+        let report = lint_schema(&schema, &LintConfig::default());
+        let root_name = schema.message(message.type_id()).name().to_string();
+        let clean_of_pa001 = !report
+            .with_code(DiagCode::StackSpill)
+            .any(|d| d.message_type == root_name);
+        let run = run_deser(&schema, &message, config);
+        if clean_of_pa001 {
+            assert_eq!(run.stack_spills, 0, "{file}: lint-clean type spilled");
+        }
+    }
+}
+
+type Builder = fn(&Schema) -> MessageValue;
+
+fn corpus_instances() -> Vec<(&'static str, Builder)> {
+    vec![
+        ("addressbook.proto", build_addressbook as Builder),
+        ("telemetry.proto", build_scrape as Builder),
+        ("storage_row.proto", build_tablet as Builder),
+    ]
+}
+
+fn build_addressbook(schema: &Schema) -> MessageValue {
+    let person_id = schema.id_by_name("Person").unwrap();
+    let phone_id = schema.id_by_name("Person.PhoneNumber").unwrap();
+    let book_id = schema.id_by_name("AddressBook").unwrap();
+    let mut people = Vec::new();
+    for i in 0..3 {
+        let mut phone = MessageValue::new(phone_id);
+        phone.set_unchecked(1, Value::Str(format!("+1-555-010{i}")));
+        phone.set_unchecked(2, Value::Enum(i % 2));
+        let mut person = MessageValue::new(person_id);
+        person.set_unchecked(1, Value::Str(format!("Person {i}")));
+        person.set_unchecked(2, Value::Int32(i + 1));
+        person.set_repeated(4, vec![Value::Message(phone)]);
+        people.push(Value::Message(person));
+    }
+    let mut book = MessageValue::new(book_id);
+    book.set_repeated(1, people);
+    book
+}
+
+fn build_scrape(schema: &Schema) -> MessageValue {
+    let point_id = schema.id_by_name("Point").unwrap();
+    let series_id = schema.id_by_name("TimeSeries").unwrap();
+    let batch_id = schema.id_by_name("ScrapeBatch").unwrap();
+    let points = (0..5)
+        .map(|i| {
+            let mut p = MessageValue::new(point_id);
+            p.set_unchecked(1, Value::Fixed64(2_000_000 + i));
+            p.set_unchecked(2, Value::Double(i as f64 * 0.25));
+            Value::Message(p)
+        })
+        .collect();
+    let mut series = MessageValue::new(series_id);
+    series.set_unchecked(1, Value::Str("mem.rss".into()));
+    series.set_repeated(3, points);
+    // Packed doubles and varints: the PA005-flagged fields.
+    series.set_repeated(12, vec![Value::Double(0.5), Value::Double(0.99)]);
+    series.set_repeated(13, (0..12).map(Value::Int64).collect());
+    let mut batch = MessageValue::new(batch_id);
+    batch.set_unchecked(1, Value::Fixed64(4242));
+    batch.set_repeated(2, vec![Value::Message(series)]);
+    batch
+}
+
+fn build_tablet(schema: &Schema) -> MessageValue {
+    let row_id = schema.id_by_name("Row").unwrap();
+    let tablet_id = schema.id_by_name("Tablet").unwrap();
+    // Chain the recursive tombstone_shadow field several levels deep — but
+    // still comfortably inside the 25-frame stacks.
+    let mut row = MessageValue::new(row_id);
+    row.set_unchecked(1, Value::Bytes(b"innermost".to_vec()));
+    for i in 0..6 {
+        let mut outer = MessageValue::new(row_id);
+        outer.set_unchecked(1, Value::Bytes(format!("row-{i}").into_bytes()));
+        outer.set_unchecked(15, Value::Message(row));
+        row = outer;
+    }
+    let mut tablet = MessageValue::new(tablet_id);
+    tablet.set_unchecked(1, Value::Str("t".into()));
+    tablet.set_repeated(2, vec![Value::Message(row)]);
+    tablet
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases (satellite matrix).
+// ---------------------------------------------------------------------------
+
+/// Nesting exactly at the stack depth leaves the stacks full but unspilled;
+/// one more level spills — and the lint predicate flips at the same point.
+#[test]
+fn nesting_at_and_past_stack_depth_agrees_with_simulator() {
+    // A shallow custom stack keeps the simulated objects small; the
+    // invariant is depth-relative, not tied to the paper's 25.
+    let config = AccelConfig {
+        stack_depth: 4,
+        ..AccelConfig::default()
+    };
+    let schema = chain_schema(8);
+    for depth in 1..=6 {
+        let message = chain_instance(&schema, depth);
+        assert_eq!(message.depth(), depth);
+        check_predictions(&schema, &message, config, &format!("chain depth {depth}"));
+    }
+    // Spot-check the boundary explicitly.
+    let at = run_deser(&schema, &chain_instance(&schema, 4), config);
+    assert_eq!(at.stack_spills, 0, "at stack_depth: no spill");
+    let past = run_deser(&schema, &chain_instance(&schema, 5), config);
+    assert!(past.stack_spills > 0, "past stack_depth: spills");
+}
+
+/// The default 25-frame configuration spills at depth 26, exactly as PA001's
+/// deny condition states for a schema whose finite depth is 26.
+#[test]
+fn default_stack_depth_boundary() {
+    let config = AccelConfig::default();
+    let depth = config.stack_depth + 1;
+    let schema = chain_schema(depth);
+    let report = lint_schema(&schema, &LintConfig::default());
+    let deny: Vec<_> = report
+        .with_code(DiagCode::StackSpill)
+        .filter(|d| d.severity == Severity::Deny)
+        .collect();
+    assert_eq!(deny.len(), 1, "only M0 reaches past the stacks: {deny:?}");
+
+    check_predictions(
+        &schema,
+        &chain_instance(&schema, depth - 1),
+        config,
+        "at depth",
+    );
+    check_predictions(
+        &schema,
+        &chain_instance(&schema, depth),
+        config,
+        "past depth",
+    );
+    assert!(predicts_spill(&chain_instance(&schema, depth), &config));
+}
+
+#[test]
+fn empty_message_costs_only_the_dispatch_floor() {
+    let config = AccelConfig::default();
+    let schema = parse_proto("message Empty {}").unwrap();
+    let id = schema.id_by_name("Empty").unwrap();
+    let report = lint_schema(&schema, &LintConfig::default());
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+
+    let bound = static_bound(&schema, id, &config);
+    assert_eq!(bound.lower_bound(0), config.rocc_dispatch_cycles);
+
+    let message = MessageValue::new(id);
+    let run = run_deser(&schema, &message, config);
+    assert_eq!(run.wire_len, 0);
+    check_predictions(&schema, &message, config, "empty message");
+}
+
+#[test]
+fn max_field_number_lints_wide_key_and_round_trips() {
+    let config = AccelConfig::default();
+    let schema =
+        parse_proto("message Extreme { optional uint64 lo = 1; optional uint64 hi = 536870911; }")
+            .unwrap();
+    let id = schema.id_by_name("Extreme").unwrap();
+    let report = lint_schema(&schema, &LintConfig::default());
+    assert_eq!(report.with_code(DiagCode::WideKey).count(), 1);
+
+    let mut message = MessageValue::new(id);
+    message.set_unchecked(1, Value::UInt64(1));
+    message.set_unchecked(536_870_911, Value::UInt64(u64::MAX));
+    check_predictions(&schema, &message, config, "max field number");
+}
+
+#[test]
+fn packed_repeated_scalars_lint_window_starve_and_respect_bound() {
+    let config = AccelConfig::default();
+    let schema = parse_proto(
+        "message Packed { repeated uint32 a = 1 [packed = true]; \
+         repeated fixed64 b = 2 [packed = true]; }",
+    )
+    .unwrap();
+    let id = schema.id_by_name("Packed").unwrap();
+    let report = lint_schema(&schema, &LintConfig::default());
+    assert_eq!(report.with_code(DiagCode::WindowStarve).count(), 2);
+
+    let mut message = MessageValue::new(id);
+    message.set_repeated(1, (0..64).map(Value::UInt32).collect());
+    message.set_repeated(2, (0..32).map(Value::Fixed64).collect());
+    check_predictions(&schema, &message, config, "packed scalars");
+}
+
+/// Scalar-only schemas activate the FSM term of the bound (two cycles per
+/// record): verify the simulator still clears it on dense small records,
+/// where the bound is tightest.
+#[test]
+fn scalar_only_schema_respects_the_fsm_floor() {
+    let config = AccelConfig::default();
+    let schema = parse_proto(
+        "message Flat { optional uint32 a = 1; optional uint64 b = 2; \
+         optional bool c = 3; optional fixed32 d = 4; optional sint64 e = 5; }",
+    )
+    .unwrap();
+    let id = schema.id_by_name("Flat").unwrap();
+    let bound = static_bound(&schema, id, &config);
+    assert!(bound.max_record_bytes.is_some(), "all fields bounded");
+
+    let mut message = MessageValue::new(id);
+    message.set_unchecked(1, Value::UInt32(1));
+    message.set_unchecked(2, Value::UInt64(u64::MAX));
+    message.set_unchecked(3, Value::Bool(true));
+    message.set_unchecked(4, Value::Fixed32(0xFFFF_FFFF));
+    message.set_unchecked(5, Value::SInt64(i64::MIN));
+    check_predictions(&schema, &message, config, "scalar-only message");
+}

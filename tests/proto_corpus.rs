@@ -44,7 +44,11 @@ fn telemetry_stats_match_protodb_expectations() {
     assert_eq!(stats.message_types, 4);
     assert_eq!(stats.packed_fields, 2);
     assert!(stats.max_field_number_span >= 120);
-    assert!(stats.mean_static_density < 0.9, "{}", stats.mean_static_density);
+    assert!(
+        stats.mean_static_density < 0.9,
+        "{}",
+        stats.mean_static_density
+    );
 }
 
 #[test]
@@ -73,11 +77,16 @@ fn corpus_schemas_round_trip_through_the_accelerator() {
         accel.deser_assign_arena(0x8000_0000, 1 << 24);
 
         let obj =
-            object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &message)
-                .unwrap();
+            object::write_message(&mut mem.data, &schema, &layouts, &mut arena, &message).unwrap();
         let layout = layouts.layout(type_id);
-        accel.ser_info(layout.hasbits_offset(), layout.min_field(), layout.max_field());
-        let ser = accel.do_proto_ser(&mut mem, adts.addr(type_id), obj).unwrap();
+        accel.ser_info(
+            layout.hasbits_offset(),
+            layout.min_field(),
+            layout.max_field(),
+        );
+        let ser = accel
+            .do_proto_ser(&mut mem, adts.addr(type_id), obj)
+            .unwrap();
         assert_eq!(
             mem.data.read_vec(ser.out_addr, ser.out_len as usize),
             reference::encode(&message, &schema).unwrap(),
@@ -97,7 +106,11 @@ type Builder = fn(&Schema) -> MessageValue;
 
 fn corpus_messages() -> Vec<(&'static str, &'static str, Builder)> {
     vec![
-        ("addressbook.proto", "AddressBook", build_addressbook as Builder),
+        (
+            "addressbook.proto",
+            "AddressBook",
+            build_addressbook as Builder,
+        ),
         ("telemetry.proto", "ScrapeBatch", build_scrape as Builder),
         ("storage_row.proto", "Tablet", build_tablet as Builder),
     ]

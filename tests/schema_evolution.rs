@@ -38,7 +38,9 @@ fn new_writer_old_reader_skips_unknown_fields() {
     // Write with v2.
     let mut new_msg = MessageValue::new(v2_id);
     new_msg.set(1, Value::Int64(42)).unwrap();
-    new_msg.set(2, Value::Str("renamed but same number".into())).unwrap();
+    new_msg
+        .set(2, Value::Str("renamed but same number".into()))
+        .unwrap();
     new_msg.set(7, Value::Double(0.9)).unwrap();
     new_msg.set_repeated(9, vec![Value::Str("a".into()), Value::Str("b".into())]);
     let wire = reference::encode(&new_msg, &v2).unwrap();
@@ -84,7 +86,9 @@ fn old_writer_new_reader_sees_absent_fields() {
     assert_eq!(new_view.get_str(2), Some("v1 name"));
     assert_eq!(new_view.get_f64(7), None, "added field absent");
     assert!(new_view.get_repeated(9).is_empty());
-    new_view.validate(&v2).expect("valid under the new schema too");
+    new_view
+        .validate(&v2)
+        .expect("valid under the new schema too");
 }
 
 #[test]
