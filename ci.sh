@@ -9,6 +9,9 @@
 #   4. full workspace tests cargo test --workspace
 #   5. schema lint gate     protoacc-lint --format json protos/
 #                           (fails on any deny-level diagnostic)
+#   6. serve smoke          serve_tail_latency --smoke
+#                           (fails on queue-invariant violations or
+#                           nondeterministic multi-instance replay)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -30,5 +33,8 @@ echo "== protoacc-lint gate over protos/ =="
 # the build log either way.
 cargo run --offline -q -p protoacc-lint --bin protoacc-lint -- \
     --format json --fail-on deny protos/
+
+echo "== serving-model smoke (invariants + determinism) =="
+cargo run --offline -q --release -p protoacc-bench --bin serve_tail_latency -- --smoke
 
 echo "CI OK"

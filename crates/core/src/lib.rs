@@ -83,6 +83,7 @@ pub mod ops;
 pub mod priorwork;
 pub mod rocc;
 pub mod ser;
+pub mod serve;
 
 mod adtcache;
 mod config;
@@ -92,4 +93,5 @@ mod stats;
 pub use config::AccelConfig;
 pub use error::AccelError;
 pub use rocc::ProtoAccelerator;
+pub use serve::{CommandRecord, DispatchPolicy, Request, RequestOp, ServeCluster, ServeConfig};
 pub use stats::AccelStats;

@@ -118,6 +118,11 @@ impl ProtoAccelerator {
             .map(protoacc_runtime::BumpArena::remaining)
     }
 
+    /// Remaining capacity of the serializer output region, if assigned.
+    pub fn ser_output_remaining(&self) -> Option<u64> {
+        self.ser_writer.as_ref().map(ReverseWriter::remaining)
+    }
+
     /// `ser_assign_arena`: hands the serializer its two regions — an output
     /// buffer (written high-to-low) and a buffer of pointers to each
     /// serialized output (Section 4.5.1).

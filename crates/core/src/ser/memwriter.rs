@@ -45,6 +45,11 @@ impl ReverseWriter {
         self.cycles
     }
 
+    /// Bytes still available below the cursor.
+    pub fn remaining(&self) -> u64 {
+        self.cursor - self.region_base
+    }
+
     /// Writes `bytes` (given in forward order) immediately below everything
     /// written so far.
     ///
@@ -100,6 +105,38 @@ mod tests {
         w.prepend(&mut mem, &[0xaa]).unwrap();
         w.prepend_varint(&mut mem, 300).unwrap();
         assert_eq!(mem.data.read_vec(w.cursor(), 3), vec![0xac, 0x02, 0xaa]);
+    }
+
+    #[test]
+    fn zero_length_prepend_costs_one_cycle_and_moves_nothing() {
+        let mut mem = Memory::new(MemConfig::default());
+        let mut w = ReverseWriter::new(0x1000, 64, 16);
+        let before_cursor = w.cursor();
+        let before_cycles = w.cycles();
+        let addr = w.prepend(&mut mem, &[]).unwrap();
+        // An empty burst still occupies the output port for its issue slot,
+        // but transfers no lines and must not move the cursor.
+        assert_eq!(addr, before_cursor);
+        assert_eq!(w.cursor(), before_cursor);
+        assert_eq!(w.cycles(), before_cycles + 1);
+        assert_eq!(w.remaining(), 64);
+    }
+
+    #[test]
+    fn exact_fit_write_reaches_the_region_base() {
+        let mut mem = Memory::new(MemConfig::default());
+        let mut w = ReverseWriter::new(0x1000, 8, 16);
+        w.prepend(&mut mem, b"12345678").unwrap();
+        assert_eq!(w.cursor(), 0x1000);
+        assert_eq!(w.remaining(), 0);
+        // The region is exactly full: zero-length writes still fit, any
+        // payload does not.
+        assert!(w.prepend(&mut mem, &[]).is_ok());
+        assert!(matches!(
+            w.prepend(&mut mem, &[0x1]),
+            Err(AccelError::OutputOverflow)
+        ));
+        assert_eq!(mem.data.read_vec(0x1000, 8), b"12345678");
     }
 
     #[test]

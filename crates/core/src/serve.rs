@@ -1,0 +1,615 @@
+//! Multi-instance serving model: N accelerators behind a RoCC command queue.
+//!
+//! The paper argues the accelerator earns its area by being replicated
+//! per-SoC across a fleet (Section 6); related work (RPCAcc, Arcalis) shows
+//! the systems questions live in the dispatch queue and the shared memory
+//! hierarchy. This module models exactly that: a bounded command queue feeds
+//! requests to N independent [`ProtoAccelerator`] instances that share one
+//! simulated LLC/DRAM, with per-command enqueue/dispatch/complete timestamps
+//! so tail latency and saturation behavior are observable.
+//!
+//! The simulation is event-driven over a virtual clock in accelerator
+//! cycles. Requests carry an arrival time; the queue admits them up to its
+//! depth (arrivals beyond it are shed), the dispatch policy binds each
+//! admitted command to an instance, and the command occupies that instance
+//! until `dispatch + rocc_dispatch + service` cycles. While `k` instances
+//! are busy simultaneously, the shared memory system's outstanding-request
+//! budget is split `k` ways ([`protoacc_mem::MemSystem::set_sharers`]), so
+//! service times inflate exactly when the hierarchy is contended.
+//!
+//! Everything is deterministic: the same request stream over the same
+//! initial memory state produces byte-identical reports.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use protoacc_mem::{Cycles, Memory, RequesterStats};
+
+use crate::{AccelConfig, AccelError, AccelStats, ProtoAccelerator};
+
+/// How the command queue binds admitted commands to instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Commands leave the queue in arrival order and run on whichever
+    /// instance frees up first (single shared queue).
+    Fifo,
+    /// Command `i` is statically bound to instance `i mod N` (per-instance
+    /// queues fed round-robin), so one slow command delays its successors on
+    /// the same instance even while other instances idle.
+    RoundRobin,
+}
+
+impl DispatchPolicy {
+    /// Display name used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DispatchPolicy::Fifo => "fifo",
+            DispatchPolicy::RoundRobin => "round-robin",
+        }
+    }
+}
+
+/// The operation a request asks for.
+#[derive(Debug, Clone, Copy)]
+pub enum RequestOp {
+    /// Deserialize `input_len` wire bytes at `input_addr` into `dest_obj`.
+    Deserialize {
+        /// ADT of the root message type.
+        adt_ptr: u64,
+        /// Wire input address.
+        input_addr: u64,
+        /// Wire input length.
+        input_len: u64,
+        /// Caller-allocated destination object.
+        dest_obj: u64,
+        /// Lowest field number of the root type (the paper's ABI).
+        min_field: u32,
+    },
+    /// Serialize the object at `obj_ptr`.
+    Serialize {
+        /// ADT of the root message type.
+        adt_ptr: u64,
+        /// Root object address.
+        obj_ptr: u64,
+        /// Hasbits offset staged via `ser_info`.
+        hasbits_offset: u64,
+        /// Lowest field number of the root type.
+        min_field: u32,
+        /// Highest field number of the root type.
+        max_field: u32,
+    },
+}
+
+impl RequestOp {
+    fn is_deser(&self) -> bool {
+        matches!(self, RequestOp::Deserialize { .. })
+    }
+}
+
+/// One RPC-like request offered to the cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct Request {
+    /// Arrival time at the command queue, in accelerator cycles.
+    pub arrival: Cycles,
+    /// What to do.
+    pub op: RequestOp,
+}
+
+/// Per-command accounting: the three queue timestamps plus attribution.
+#[derive(Debug, Clone, Copy)]
+pub struct CommandRecord {
+    /// Position in the offered stream (drops keep their slots).
+    pub seq: usize,
+    /// Arrival at the command queue.
+    pub enqueue: Cycles,
+    /// When the command left the queue for its instance.
+    pub dispatch: Cycles,
+    /// When the instance retired it.
+    pub complete: Cycles,
+    /// Pure service time (RoCC dispatch + unit busy cycles).
+    pub service: Cycles,
+    /// Instance that ran it.
+    pub instance: usize,
+    /// Wire bytes moved (input for deser, output for ser).
+    pub wire_bytes: u64,
+    /// Whether this was a deserialization.
+    pub deser: bool,
+    /// Instances busy (including this one) while it ran.
+    pub sharers: usize,
+}
+
+impl CommandRecord {
+    /// Queue latency + service: what the client observes.
+    pub fn latency(&self) -> Cycles {
+        self.complete - self.enqueue
+    }
+}
+
+/// Configuration of a serving cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Number of accelerator instances (each has a deserializer and a
+    /// serializer unit).
+    pub instances: usize,
+    /// RoCC command-queue depth; arrivals beyond it are shed.
+    pub queue_depth: usize,
+    /// Dispatch policy.
+    pub policy: DispatchPolicy,
+    /// Per-instance accelerator configuration.
+    pub accel: AccelConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            instances: 1,
+            queue_depth: 64,
+            policy: DispatchPolicy::Fifo,
+            accel: AccelConfig::default(),
+        }
+    }
+}
+
+/// Guest-memory regions handed to one instance.
+#[derive(Debug, Clone, Copy)]
+struct InstanceRegions {
+    deser_arena: (u64, u64),
+    ser_out: (u64, u64),
+    ser_ptrs: (u64, u64),
+}
+
+/// Refill the deserializer arena / serializer output once free space drops
+/// below this fraction of the region (models software recycling the arena
+/// between batches, as Section 4.3's software-managed arenas allow).
+const RECYCLE_FRACTION: u64 = 8;
+
+/// N accelerator instances sharing one memory system behind a command queue.
+#[derive(Debug)]
+pub struct ServeCluster {
+    config: ServeConfig,
+    accels: Vec<ProtoAccelerator>,
+    regions: Vec<InstanceRegions>,
+    busy_until: Vec<Cycles>,
+    records: Vec<CommandRecord>,
+    offered: u64,
+    dropped: u64,
+}
+
+impl ServeCluster {
+    /// Creates a cluster whose instances carve private arenas out of
+    /// `[arena_base, arena_base + instances * arena_stride)`.
+    pub fn new(config: ServeConfig, arena_base: u64, arena_stride: u64) -> Self {
+        assert!(config.instances > 0, "need at least one instance");
+        assert!(config.queue_depth > 0, "need a non-empty queue");
+        let mut accels = Vec::with_capacity(config.instances);
+        let mut regions = Vec::with_capacity(config.instances);
+        for i in 0..config.instances {
+            let base = arena_base + i as u64 * arena_stride;
+            // Split the stride: half deser arena, 3/8 ser output, 1/8 ptrs.
+            let r = InstanceRegions {
+                deser_arena: (base, arena_stride / 2),
+                ser_out: (base + arena_stride / 2, arena_stride * 3 / 8),
+                ser_ptrs: (base + arena_stride * 7 / 8, arena_stride / 8),
+            };
+            let mut accel = ProtoAccelerator::new(config.accel);
+            accel.deser_assign_arena(r.deser_arena.0, r.deser_arena.1);
+            accel.ser_assign_arena(r.ser_out.0, r.ser_out.1, r.ser_ptrs.0, r.ser_ptrs.1);
+            accels.push(accel);
+            regions.push(r);
+        }
+        ServeCluster {
+            busy_until: vec![0; config.instances],
+            records: Vec::new(),
+            offered: 0,
+            dropped: 0,
+            config,
+            accels,
+            regions,
+        }
+    }
+
+    /// The configuration this cluster was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Offers `requests` (must be sorted by arrival time) to the cluster,
+    /// running every admitted command to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accelerator-unit failures (malformed input, arena
+    /// exhaustion). Queue overflow is not an error — those requests are
+    /// shed and counted in [`ServeCluster::dropped`].
+    pub fn run(&mut self, mem: &mut Memory, requests: &[Request]) -> Result<(), AccelError> {
+        // Dispatch times of admitted-but-not-yet-dispatched commands, as a
+        // min-heap so occupancy at any arrival time is cheap to maintain.
+        let mut pending: BinaryHeap<Reverse<Cycles>> = BinaryHeap::new();
+        let mut last_arrival = 0;
+        for (seq, req) in requests.iter().enumerate() {
+            assert!(
+                req.arrival >= last_arrival,
+                "requests must be sorted by arrival"
+            );
+            last_arrival = req.arrival;
+            self.offered += 1;
+            while pending.peek().is_some_and(|Reverse(d)| *d <= req.arrival) {
+                pending.pop();
+            }
+            if pending.len() >= self.config.queue_depth {
+                self.dropped += 1;
+                continue;
+            }
+            let instance = match self.config.policy {
+                DispatchPolicy::Fifo => {
+                    // Earliest-free instance; ties break toward the lowest
+                    // index for determinism.
+                    let mut best = 0;
+                    for (i, &b) in self.busy_until.iter().enumerate() {
+                        if b < self.busy_until[best] {
+                            best = i;
+                        }
+                    }
+                    best
+                }
+                DispatchPolicy::RoundRobin => seq % self.config.instances,
+            };
+            let dispatch = req.arrival.max(self.busy_until[instance]);
+            pending.push(Reverse(dispatch));
+            // Bandwidth contention: every instance still busy at dispatch
+            // time shares the memory interface with this command.
+            let sharers = 1 + self
+                .busy_until
+                .iter()
+                .enumerate()
+                .filter(|&(i, &b)| i != instance && b > dispatch)
+                .count();
+            mem.system.set_sharers(sharers);
+            mem.system.set_requester(instance);
+            self.recycle_if_low(instance);
+            let accel = &mut self.accels[instance];
+            let (unit_cycles, wire_bytes) = match req.op {
+                RequestOp::Deserialize {
+                    adt_ptr,
+                    input_addr,
+                    input_len,
+                    dest_obj,
+                    min_field,
+                } => {
+                    accel.deser_info(adt_ptr, dest_obj);
+                    let run = accel.do_proto_deser(mem, input_addr, input_len, min_field)?;
+                    accel.block_for_deser_completion();
+                    (run.cycles, run.wire_bytes)
+                }
+                RequestOp::Serialize {
+                    adt_ptr,
+                    obj_ptr,
+                    hasbits_offset,
+                    min_field,
+                    max_field,
+                } => {
+                    accel.ser_info(hasbits_offset, min_field, max_field);
+                    let run = accel.do_proto_ser(mem, adt_ptr, obj_ptr)?;
+                    accel.block_for_ser_completion();
+                    (run.cycles, run.out_len)
+                }
+            };
+            mem.system.set_sharers(1);
+            let service = self.config.accel.rocc_dispatch_cycles + unit_cycles;
+            let complete = dispatch + service;
+            self.busy_until[instance] = complete;
+            self.records.push(CommandRecord {
+                seq,
+                enqueue: req.arrival,
+                dispatch,
+                complete,
+                service,
+                instance,
+                wire_bytes,
+                deser: req.op.is_deser(),
+                sharers,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reassigns an instance's arenas when nearly exhausted (software-side
+    /// arena recycling; the regions are reused, not grown).
+    fn recycle_if_low(&mut self, instance: usize) {
+        let r = self.regions[instance];
+        let accel = &mut self.accels[instance];
+        if accel
+            .deser_arena_remaining()
+            .is_some_and(|rem| rem < r.deser_arena.1 / RECYCLE_FRACTION)
+        {
+            accel.deser_assign_arena(r.deser_arena.0, r.deser_arena.1);
+        }
+        if accel
+            .ser_output_remaining()
+            .is_some_and(|rem| rem < r.ser_out.1 / RECYCLE_FRACTION)
+        {
+            accel.ser_assign_arena(r.ser_out.0, r.ser_out.1, r.ser_ptrs.0, r.ser_ptrs.1);
+        }
+    }
+
+    /// Per-command records, in dispatch (= arrival) order.
+    pub fn records(&self) -> &[CommandRecord] {
+        &self.records
+    }
+
+    /// Requests offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Requests shed because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Completion time of the last command (0 if none ran).
+    pub fn makespan(&self) -> Cycles {
+        self.records.iter().map(|r| r.complete).max().unwrap_or(0)
+    }
+
+    /// Wire bytes completed across all commands.
+    pub fn completed_wire_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.wire_bytes).sum()
+    }
+
+    /// Aggregate throughput in Gbits/s over the makespan.
+    pub fn throughput_gbits(&self) -> f64 {
+        let makespan = self.makespan();
+        if makespan == 0 {
+            return 0.0;
+        }
+        self.completed_wire_bytes() as f64 * 8.0 * self.config.accel.freq_ghz / makespan as f64
+    }
+
+    /// Statistics of instance `i`.
+    pub fn instance_stats(&self, i: usize) -> AccelStats {
+        self.accels[i].stats()
+    }
+
+    /// Memory-hierarchy traffic attributed to instance `i` (requester ids
+    /// equal instance indices).
+    pub fn instance_mem_stats(&self, mem: &Memory, i: usize) -> RequesterStats {
+        mem.system.requester_stats(i)
+    }
+
+    /// Latency percentile over completed commands, `p` in `[0, 100]`.
+    /// Returns 0 if nothing completed.
+    pub fn latency_percentile(&self, p: f64) -> Cycles {
+        if self.records.is_empty() {
+            return 0;
+        }
+        let mut latencies: Vec<Cycles> = self.records.iter().map(CommandRecord::latency).collect();
+        latencies.sort_unstable();
+        let rank = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
+        latencies[rank.min(latencies.len() - 1)]
+    }
+
+    /// Checks the queue-accounting invariants, returning a description of
+    /// the first violation:
+    ///
+    /// * completions ≤ dispatches ≤ enqueues (with drops making up the gap),
+    /// * per command: enqueue ≤ dispatch < complete and latency ≥ service,
+    /// * per instance: commands do not overlap in time.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let completions = self.records.len() as u64;
+        if completions + self.dropped != self.offered {
+            return Err(format!(
+                "accounting leak: {} completed + {} dropped != {} offered",
+                completions, self.dropped, self.offered
+            ));
+        }
+        let mut per_instance_last: Vec<Cycles> = vec![0; self.config.instances];
+        for r in &self.records {
+            if r.dispatch < r.enqueue {
+                return Err(format!("cmd {}: dispatched before enqueue", r.seq));
+            }
+            if r.complete <= r.dispatch {
+                return Err(format!("cmd {}: completed at or before dispatch", r.seq));
+            }
+            if r.latency() < r.service {
+                return Err(format!("cmd {}: latency below service time", r.seq));
+            }
+            if r.dispatch < per_instance_last[r.instance] {
+                return Err(format!(
+                    "cmd {}: overlaps previous command on instance {}",
+                    r.seq, r.instance
+                ));
+            }
+            per_instance_last[r.instance] = r.complete;
+            if r.sharers == 0 || r.sharers > self.config.instances {
+                return Err(format!("cmd {}: impossible sharer count", r.seq));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_mem::{MemConfig, Memory};
+    use protoacc_runtime::{reference, write_adts, BumpArena, MessageLayouts, MessageValue, Value};
+    use protoacc_schema::{FieldType, SchemaBuilder};
+
+    struct Fixture {
+        mem: Memory,
+        adt_ptr: u64,
+        min_field: u32,
+        max_field: u32,
+        hasbits_offset: u64,
+        input_addr: u64,
+        input_len: u64,
+        dest_obj: u64,
+        obj_ptr: u64,
+    }
+
+    fn fixture() -> Fixture {
+        let mut b = SchemaBuilder::new();
+        let id = b.define("Req", |m| {
+            m.optional("id", FieldType::UInt64, 1)
+                .optional("body", FieldType::String, 2);
+        });
+        let schema = b.build().unwrap();
+        let layouts = MessageLayouts::compute(&schema);
+        let mut mem = Memory::new(MemConfig::default());
+        let mut setup = BumpArena::new(0x1000, 1 << 20);
+        let adts = write_adts(&schema, &layouts, &mut mem.data, &mut setup).unwrap();
+        let mut msg = MessageValue::new(id);
+        msg.set(1, Value::UInt64(42)).unwrap();
+        msg.set(2, Value::Str("serve me".into())).unwrap();
+        let wire = reference::encode(&msg, &schema).unwrap();
+        let input_addr = 0x20_0000;
+        mem.data.write_bytes(input_addr, &wire);
+        let layout = layouts.layout(id);
+        let mut obj_arena = BumpArena::new(0x30_0000, 1 << 20);
+        let obj_ptr = protoacc_runtime::object::write_message(
+            &mut mem.data,
+            &schema,
+            &layouts,
+            &mut obj_arena,
+            &msg,
+        )
+        .unwrap();
+        let dest_obj = obj_arena.alloc(layout.object_size(), 8).unwrap();
+        Fixture {
+            mem,
+            adt_ptr: adts.addr(id),
+            min_field: layout.min_field(),
+            max_field: layout.max_field(),
+            hasbits_offset: layout.hasbits_offset(),
+            input_addr,
+            input_len: wire.len() as u64,
+            dest_obj,
+            obj_ptr,
+        }
+    }
+
+    fn mixed_requests(f: &Fixture, n: usize, gap: Cycles) -> Vec<Request> {
+        (0..n)
+            .map(|i| Request {
+                arrival: i as Cycles * gap,
+                op: if i % 2 == 0 {
+                    RequestOp::Deserialize {
+                        adt_ptr: f.adt_ptr,
+                        input_addr: f.input_addr,
+                        input_len: f.input_len,
+                        dest_obj: f.dest_obj,
+                        min_field: f.min_field,
+                    }
+                } else {
+                    RequestOp::Serialize {
+                        adt_ptr: f.adt_ptr,
+                        obj_ptr: f.obj_ptr,
+                        hasbits_offset: f.hasbits_offset,
+                        min_field: f.min_field,
+                        max_field: f.max_field,
+                    }
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fifo_cluster_serves_mixed_stream_and_keeps_invariants() {
+        let mut f = fixture();
+        let reqs = mixed_requests(&f, 40, 100);
+        let mut cluster = ServeCluster::new(
+            ServeConfig {
+                instances: 2,
+                ..ServeConfig::default()
+            },
+            0x1_0000_0000,
+            1 << 24,
+        );
+        cluster.run(&mut f.mem, &reqs).unwrap();
+        cluster.check_invariants().unwrap();
+        assert_eq!(cluster.records().len(), 40);
+        assert_eq!(cluster.dropped(), 0);
+        assert!(cluster.throughput_gbits() > 0.0);
+        assert!(cluster.latency_percentile(99.0) >= cluster.latency_percentile(50.0));
+        // Both instances saw work and the memory system attributed traffic.
+        assert!(cluster.instance_stats(0).deser_ops + cluster.instance_stats(0).ser_ops > 0);
+        assert!(cluster.instance_stats(1).deser_ops + cluster.instance_stats(1).ser_ops > 0);
+        assert!(cluster.instance_mem_stats(&f.mem, 0).accesses > 0);
+        assert!(cluster.instance_mem_stats(&f.mem, 1).accesses > 0);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_load_under_simultaneous_arrivals() {
+        let mut f = fixture();
+        // Everything arrives at cycle 0 into a depth-4 queue on 1 instance:
+        // only 4 can ever be pending, the rest are shed.
+        let mut reqs = mixed_requests(&f, 32, 0);
+        for r in &mut reqs {
+            r.arrival = 0;
+        }
+        let mut cluster = ServeCluster::new(
+            ServeConfig {
+                instances: 1,
+                queue_depth: 4,
+                ..ServeConfig::default()
+            },
+            0x1_0000_0000,
+            1 << 24,
+        );
+        cluster.run(&mut f.mem, &reqs).unwrap();
+        cluster.check_invariants().unwrap();
+        assert!(cluster.dropped() > 0);
+        assert_eq!(
+            cluster.records().len() as u64 + cluster.dropped(),
+            cluster.offered()
+        );
+    }
+
+    #[test]
+    fn round_robin_binds_statically() {
+        let mut f = fixture();
+        let reqs = mixed_requests(&f, 8, 1_000_000);
+        let mut cluster = ServeCluster::new(
+            ServeConfig {
+                instances: 4,
+                policy: DispatchPolicy::RoundRobin,
+                ..ServeConfig::default()
+            },
+            0x1_0000_0000,
+            1 << 24,
+        );
+        cluster.run(&mut f.mem, &reqs).unwrap();
+        cluster.check_invariants().unwrap();
+        for r in cluster.records() {
+            assert_eq!(r.instance, r.seq % 4);
+        }
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        let run_once = || {
+            let mut f = fixture();
+            let reqs = mixed_requests(&f, 24, 50);
+            let mut cluster = ServeCluster::new(
+                ServeConfig {
+                    instances: 2,
+                    ..ServeConfig::default()
+                },
+                0x1_0000_0000,
+                1 << 24,
+            );
+            cluster.run(&mut f.mem, &reqs).unwrap();
+            cluster
+                .records()
+                .iter()
+                .map(|r| (r.seq, r.dispatch, r.complete, r.instance))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

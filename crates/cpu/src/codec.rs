@@ -380,16 +380,18 @@ impl<'a> SoftwareCodec<'a> {
             arena,
             &input[payload_off..payload_off + payload_len],
         )?;
-        // Charge the copy: stream the payload in and out.
-        run.cycles += mem.system.stream(
+        // Charge the copy as one overlapped streaming transfer: the
+        // destination is freshly allocated arena storage, so the load stream,
+        // store stream, and copy loop overlap rather than serialize.
+        let read = mem.system.stream(
             input_base + payload_off as u64,
             payload_len,
             protoacc_mem::AccessKind::Read,
         );
-        run.cycles += mem
+        let write = mem
             .system
             .stream(obj, payload_len.max(32), protoacc_mem::AccessKind::Write);
-        run.cycles += self.cost.memcpy_cycles(payload_len);
+        run.cycles += self.cost.streaming_copy_cycles(read, write, payload_len);
         Ok(obj)
     }
 

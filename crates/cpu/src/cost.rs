@@ -55,6 +55,14 @@ pub struct CostTable {
     /// the default tables (the paper's Figure 11 methodology measures warm
     /// batches); the `sec7_frontend_pressure` study turns it on.
     pub frontend_flush_cycles: Cycles,
+    /// Whether a bulk copy's load and store streams proceed concurrently
+    /// (see [`CostTable::streaming_copy_cycles`]). True for the RISC-V SoC
+    /// tables, whose Figure 5 slice costs imply the prefetcher hides the
+    /// load stream behind the store stream; false for the Xeon, whose
+    /// Figure 11 long-string deserialization throughput implies the two
+    /// streams serialize: write-allocate RFO traffic for the cold
+    /// destination competes with the payload reads for the same channel.
+    pub copy_streams_overlap: bool,
     /// Memory hierarchy seen by this machine.
     pub mem: MemConfig,
 }
@@ -66,20 +74,21 @@ impl CostTable {
         CostTable {
             name: "riscv-boom",
             freq_ghz: 2.0,
-            field_dispatch: 28,
+            field_dispatch: 18,
             varint_decode_byte: 7,
             varint_encode_byte: 5,
             zigzag: 2,
             fixed_op: 4,
             memcpy_setup: 24,
             memcpy_bytes_per_cycle: 8,
-            alloc: 70,
+            alloc: 96,
             string_construct: 24,
-            message_construct: 40,
+            message_construct: 48,
             hasbits_update: 4,
             byte_size_field: 14,
-            repeated_append: 8,
+            repeated_append: 12,
             frontend_flush_cycles: 0,
+            copy_streams_overlap: true,
             mem: MemConfig::default(),
         }
     }
@@ -105,6 +114,7 @@ impl CostTable {
             byte_size_field: 5,
             repeated_append: 3,
             frontend_flush_cycles: 0,
+            copy_streams_overlap: false,
             mem: MemConfig {
                 // 32 KiB L1, 256 KiB L2, 45 MiB (modeled 32 MiB) LLC;
                 // server DRAM ~80 ns ≈ 216 cycles at 2.7 GHz.
@@ -144,8 +154,9 @@ impl CostTable {
             message_construct: 60,
             hasbits_update: 6,
             byte_size_field: 22,
-            repeated_append: 12,
+            repeated_append: 16,
             frontend_flush_cycles: 0,
+            copy_streams_overlap: true,
             mem: MemConfig::default(),
         }
     }
@@ -156,6 +167,37 @@ impl CostTable {
             return 0;
         }
         self.memcpy_setup + (len as u64).div_ceil(self.memcpy_bytes_per_cycle)
+    }
+
+    /// Cycles for a streaming copy into freshly allocated storage, given the
+    /// memory-system charges of the load stream (`read_stream`) and the store
+    /// stream (`write_stream`).
+    ///
+    /// When [`copy_streams_overlap`](CostTable::copy_streams_overlap) is set,
+    /// the hardware prefetcher hides the load stream behind the store stream
+    /// and the copy loop runs concurrently with both, so the cost is the
+    /// slowest of the three plus the fixed memcpy setup — not their sum.
+    /// When it is clear, the load and store streams contend for the same
+    /// memory channel and serialize against each other (only the copy loop
+    /// still overlaps). Serialization's interleaved key/length/payload
+    /// stores never get the overlapped treatment; see
+    /// `SoftwareCodec::emit_string`.
+    pub fn streaming_copy_cycles(
+        &self,
+        read_stream: Cycles,
+        write_stream: Cycles,
+        len: usize,
+    ) -> Cycles {
+        if len == 0 {
+            return read_stream + write_stream;
+        }
+        let loop_cycles = (len as u64).div_ceil(self.memcpy_bytes_per_cycle);
+        let streams = if self.copy_streams_overlap {
+            read_stream.max(write_stream)
+        } else {
+            read_stream + write_stream
+        };
+        self.memcpy_setup + streams.max(loop_cycles)
     }
 
     /// Converts a cycle count into seconds on this machine.
@@ -198,6 +240,48 @@ mod tests {
             1,
             "8 more bytes = 1 more cycle at 8 B/cycle"
         );
+    }
+
+    #[test]
+    fn streaming_copy_overlaps_streams_and_loop() {
+        let t = CostTable::boom();
+        // Memory-bound: the slower stream dominates; the other stream and the
+        // copy loop are hidden behind it.
+        let len = 4096usize;
+        let loop_cycles = len as u64 / t.memcpy_bytes_per_cycle;
+        assert_eq!(
+            t.streaming_copy_cycles(3000, 2000, len),
+            t.memcpy_setup + 3000
+        );
+        // Compute-bound: streams cheaper than the copy loop.
+        assert_eq!(
+            t.streaming_copy_cycles(100, 90, len),
+            t.memcpy_setup + loop_cycles
+        );
+        // Always at most the additive model.
+        assert!(t.streaming_copy_cycles(3000, 2000, len) < 3000 + 2000 + t.memcpy_cycles(len));
+        // Zero-length copies skip the setup but keep the stream charges.
+        assert_eq!(t.streaming_copy_cycles(7, 5, 0), 12);
+    }
+
+    #[test]
+    fn xeon_copy_streams_serialize() {
+        let t = CostTable::xeon();
+        assert!(!t.copy_streams_overlap);
+        // The load and store streams add; only the copy loop is hidden.
+        let len = 4096usize;
+        assert_eq!(
+            t.streaming_copy_cycles(3000, 2000, len),
+            t.memcpy_setup + 5000
+        );
+        // Compute-bound case still floors at the loop.
+        let loop_cycles = len as u64 / t.memcpy_bytes_per_cycle;
+        assert_eq!(
+            t.streaming_copy_cycles(10, 20, len),
+            t.memcpy_setup + loop_cycles
+        );
+        // Zero-length behavior is unchanged.
+        assert_eq!(t.streaming_copy_cycles(7, 5, 0), 12);
     }
 
     #[test]

@@ -138,16 +138,16 @@ fn merge_message(
             SlotKind::StringPtr => {
                 let src_str = timed_read(cost, mem, src_slot, run);
                 let payload = object::read_string_object(&mem.data, src_str);
-                run.cycles += mem
+                let read = mem
                     .system
                     .stream(src_str, payload.len().max(32), AccessKind::Read);
                 let new_str = object::write_string_object(&mut mem.data, arena, &payload)?;
+                let write = mem
+                    .system
+                    .stream(new_str, payload.len().max(32), AccessKind::Write);
                 run.cycles += cost.alloc
                     + cost.string_construct
-                    + cost.memcpy_cycles(payload.len())
-                    + mem
-                        .system
-                        .stream(new_str, payload.len().max(32), AccessKind::Write);
+                    + cost.streaming_copy_cycles(read, write, payload.len());
                 mem.data.write_u64(dst_slot, new_str);
                 run.cycles += mem.system.access(dst_slot, 8, AccessKind::Write);
             }
@@ -265,9 +265,9 @@ fn concat_repeated(
         let bytes = (dst_count * elem_size) as usize;
         let payload = mem.data.read_vec(dst_data, bytes);
         mem.data.write_bytes(data, &payload);
-        run.cycles += mem.system.stream(dst_data, bytes, AccessKind::Read)
-            + mem.system.stream(data, bytes, AccessKind::Write)
-            + cost.memcpy_cycles(bytes);
+        let read = mem.system.stream(dst_data, bytes, AccessKind::Read);
+        let write = mem.system.stream(data, bytes, AccessKind::Write);
+        run.cycles += cost.streaming_copy_cycles(read, write, bytes);
     }
     // Source elements are deep-copied per MergeFrom semantics.
     let dest_base = data + dst_count * elem_size;
@@ -277,13 +277,16 @@ fn concat_repeated(
                 run.cycles += cost.repeated_append;
                 let src_str = timed_read(cost, mem, src_data + i * 8, run);
                 let payload = object::read_string_object(&mem.data, src_str);
+                let read = mem
+                    .system
+                    .stream(src_str, payload.len().max(32), AccessKind::Read);
                 let new_str = object::write_string_object(&mut mem.data, arena, &payload)?;
+                let write = mem
+                    .system
+                    .stream(new_str, payload.len().max(32), AccessKind::Write);
                 run.cycles += cost.alloc
                     + cost.string_construct
-                    + cost.memcpy_cycles(payload.len())
-                    + mem
-                        .system
-                        .stream(new_str, payload.len().max(32), AccessKind::Write);
+                    + cost.streaming_copy_cycles(read, write, payload.len());
                 mem.data.write_u64(dest_base + i * 8, new_str);
                 run.cycles += mem.system.access(dest_base + i * 8, 8, AccessKind::Write);
             }
@@ -301,10 +304,10 @@ fn concat_repeated(
             let bytes = (src_count * elem_size) as usize;
             let payload = mem.data.read_vec(src_data, bytes);
             mem.data.write_bytes(dest_base, &payload);
-            run.cycles += mem.system.stream(src_data, bytes, AccessKind::Read)
-                + mem.system.stream(dest_base, bytes, AccessKind::Write)
-                + cost.memcpy_cycles(bytes)
-                + cost.repeated_append * src_count;
+            let read = mem.system.stream(src_data, bytes, AccessKind::Read);
+            let write = mem.system.stream(dest_base, bytes, AccessKind::Write);
+            run.cycles +=
+                cost.streaming_copy_cycles(read, write, bytes) + cost.repeated_append * src_count;
         }
     }
     Ok(header)

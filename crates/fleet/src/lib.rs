@@ -21,6 +21,9 @@
 //!   coefficients measured by running microbenchmarks on the instrumented
 //!   CPU codec.
 //! * [`density`] — Figure 7 histogramming and the 1/64 crossover analysis.
+//! * [`traffic`] — serving-model request streams: concrete message
+//!   prototypes synthesized from the shape model plus seeded exponential
+//!   arrival processes at a configurable offered load.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ pub mod gwp;
 pub mod model24;
 pub mod protobufz;
 pub mod protodb;
+pub mod traffic;
 
 pub use buckets::{bucket_index, bucket_label, SIZE_BUCKET_BOUNDS, SIZE_BUCKET_COUNT};
 pub use dist::Discrete;

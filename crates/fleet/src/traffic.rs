@@ -1,0 +1,311 @@
+//! Fleet-distribution traffic generator for the serving model.
+//!
+//! Converts [`ShapeModel`](crate::protobufz::ShapeModel) message-shape
+//! samples into *concrete* schemas and message values (so the accelerator
+//! and software codecs can actually process them), then replays a request
+//! stream over that population at a configurable offered load with seeded
+//! exponential interarrivals. The deserialize/serialize mix comes from the
+//! GWP cycle profile (§3.2: deserialization outweighs serialization
+//! fleet-wide).
+//!
+//! Everything is seeded through `xrand`, so a `(seed, load, mix)` triple
+//! always produces the same stream — the serving benchmark's determinism
+//! guarantee rests on this.
+
+use protoacc_runtime::{MessageValue, Value};
+use protoacc_schema::{FieldType, MessageId, PerfClass, Schema, SchemaBuilder};
+use xrand::Rng;
+
+use crate::gwp::{FleetProfile, ProtoOp};
+use crate::protobufz::{FieldSample, MessageSample, ShapeModel};
+
+/// Cap on defined fields per synthesized message type: keeps object layouts
+/// and ADTs bounded when a shape sample asks for thousands of tiny fields.
+/// Bytes-like fields are retained preferentially since they carry the
+/// fleet's data volume (Figure 4b).
+pub const MAX_FIELDS_PER_TYPE: usize = 48;
+
+/// One synthesized message prototype the stream samples from.
+#[derive(Debug, Clone)]
+pub struct Prototype {
+    /// The message type in the shared traffic schema.
+    pub type_id: MessageId,
+    /// A populated value of that type.
+    pub message: MessageValue,
+    /// Encoded wire size of `message`.
+    pub encoded_size: u64,
+}
+
+/// A population of prototypes under one schema.
+#[derive(Debug, Clone)]
+pub struct TrafficMix {
+    /// The schema every prototype belongs to.
+    pub schema: Schema,
+    /// The prototype population.
+    pub prototypes: Vec<Prototype>,
+    /// Fraction of requests that are deserializations (from the GWP
+    /// profile's Deserialize : Serialize cycle ratio).
+    pub deser_fraction: f64,
+}
+
+/// One request in a generated stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficEvent {
+    /// Arrival time in accelerator cycles.
+    pub arrival: u64,
+    /// Index into [`TrafficMix::prototypes`].
+    pub prototype: usize,
+    /// Deserialize (`true`) or serialize (`false`).
+    pub deser: bool,
+}
+
+impl TrafficMix {
+    /// Builds `n` prototypes by drawing shape samples from the 2021 fleet
+    /// model and materializing each as a schema type plus message value.
+    ///
+    /// # Panics
+    ///
+    /// Never for `n > 0` population sizes; the synthesized schema always
+    /// validates.
+    pub fn build<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Self {
+        let shapes = ShapeModel::google_2021();
+        let profile = FleetProfile::google_2021();
+        let deser_share = profile.share(ProtoOp::Deserialize);
+        let ser_share = profile.share(ProtoOp::Serialize);
+        let deser_fraction = deser_share / (deser_share + ser_share);
+
+        let mut builder = SchemaBuilder::new();
+        let mut staged = Vec::with_capacity(n);
+        for i in 0..n {
+            let sample = shapes.sample_message(rng);
+            let fields = retained_fields(&sample);
+            let id = builder.declare(format!("Traffic{i}"));
+            {
+                let mut msg = builder.message(id);
+                for (number, field) in fields.iter().enumerate() {
+                    msg.optional(&format!("f{number}"), field.field_type, number as u32 + 1);
+                }
+            }
+            staged.push((id, fields));
+        }
+        let schema = builder
+            .build()
+            .expect("synthesized traffic schema is valid");
+
+        let prototypes = staged
+            .into_iter()
+            .map(|(type_id, fields)| {
+                let mut message = MessageValue::new(type_id);
+                for (number, field) in fields.iter().enumerate() {
+                    message
+                        .set(number as u32 + 1, value_for(field))
+                        .expect("field value matches its declared type");
+                }
+                let encoded_size = protoacc_runtime::reference::encoded_len(&message, &schema)
+                    .expect("prototype encodes") as u64;
+                Prototype {
+                    type_id,
+                    message,
+                    encoded_size,
+                }
+            })
+            .collect();
+        TrafficMix {
+            schema,
+            prototypes,
+            deser_fraction,
+        }
+    }
+
+    /// Mean encoded size over the population, in bytes.
+    pub fn mean_encoded_size(&self) -> f64 {
+        if self.prototypes.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.prototypes.iter().map(|p| p.encoded_size).sum();
+        total as f64 / self.prototypes.len() as f64
+    }
+
+    /// Generates `n` requests with exponential interarrivals of mean
+    /// `mean_gap_cycles` (the offered load knob: smaller gap = higher load),
+    /// each uniformly picking a prototype and drawing its direction from the
+    /// GWP mix. Arrivals are non-decreasing.
+    pub fn stream<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n: usize,
+        mean_gap_cycles: f64,
+    ) -> Vec<TrafficEvent> {
+        let mut clock = 0.0f64;
+        (0..n)
+            .map(|_| {
+                // Inverse-CDF exponential: -ln(1-u) * mean, u in [0, 1).
+                let u: f64 = rng.gen_range(0.0..1.0);
+                clock += -(1.0 - u).ln() * mean_gap_cycles;
+                TrafficEvent {
+                    arrival: clock as u64,
+                    prototype: rng.gen_range(0..self.prototypes.len()),
+                    deser: rng.gen_bool(self.deser_fraction),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Picks which sampled fields to keep when a shape exceeds the cap:
+/// all bytes-like fields first (they carry the volume), then the rest in
+/// sampled order.
+fn retained_fields(sample: &MessageSample) -> Vec<FieldSample> {
+    if sample.fields.len() <= MAX_FIELDS_PER_TYPE {
+        return sample.fields.clone();
+    }
+    let mut kept: Vec<FieldSample> = sample
+        .fields
+        .iter()
+        .filter(|f| f.field_type.perf_class() == Some(PerfClass::BytesLike))
+        .copied()
+        .take(MAX_FIELDS_PER_TYPE)
+        .collect();
+    for f in &sample.fields {
+        if kept.len() >= MAX_FIELDS_PER_TYPE {
+            break;
+        }
+        if f.field_type.perf_class() != Some(PerfClass::BytesLike) {
+            kept.push(*f);
+        }
+    }
+    kept
+}
+
+/// A value whose wire encoding matches the sampled field's byte count.
+fn value_for(field: &FieldSample) -> Value {
+    let len = field.wire_bytes;
+    match field.field_type {
+        FieldType::String => Value::Str("s".repeat(len as usize)),
+        FieldType::Bytes => Value::Bytes(vec![0xab; len as usize]),
+        FieldType::Bool => Value::Bool(true),
+        FieldType::Int32 => Value::Int32(varint_of_len(len.min(5)) as i32),
+        FieldType::Enum => Value::Enum(varint_of_len(len.min(5)) as i32),
+        FieldType::Int64 => Value::Int64(varint_of_len(len.min(9)) as i64),
+        FieldType::UInt64 => Value::UInt64(varint_of_len(len)),
+        FieldType::SInt64 => Value::SInt64(zigzag_of_len(len)),
+        FieldType::Double => Value::Double(1.5),
+        FieldType::Float => Value::Float(0.5),
+        FieldType::Fixed64 => Value::Fixed64(0xfeed_f00d),
+        FieldType::Fixed32 => Value::Fixed32(0xbeef),
+        other => unreachable!("untracked traffic field type {other:?}"),
+    }
+}
+
+/// Smallest unsigned value whose varint encoding takes `len` bytes.
+fn varint_of_len(len: u64) -> u64 {
+    let len = len.clamp(1, 10);
+    if len == 1 {
+        1
+    } else {
+        1u64 << (7 * (len - 1)).min(63)
+    }
+}
+
+/// Smallest non-negative value whose *zigzagged* encoding takes `len` bytes.
+fn zigzag_of_len(len: u64) -> i64 {
+    let len = len.clamp(1, 10);
+    if len == 1 {
+        1
+    } else {
+        1i64 << (7 * (len - 1) - 1).min(62)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_wire::varint;
+    use xrand::StdRng;
+
+    #[test]
+    fn varint_length_targets_are_exact() {
+        for len in 1..=10u64 {
+            let v = varint_of_len(len);
+            assert_eq!(varint::encoded_len(v) as u64, len, "value {v}");
+        }
+        for len in 1..=10u64 {
+            let z = zigzag_of_len(len);
+            let raw = protoacc_wire::zigzag::encode64(z);
+            assert_eq!(varint::encoded_len(raw) as u64, len, "value {z}");
+        }
+    }
+
+    #[test]
+    fn mix_builds_valid_prototypes_with_fleet_like_sizes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mix = TrafficMix::build(&mut rng, 64);
+        assert_eq!(mix.prototypes.len(), 64);
+        assert!(mix.deser_fraction > 0.5, "deser dominates fleet-wide");
+        assert!(mix.deser_fraction < 0.75);
+        // Sizes span small and large messages.
+        let min = mix.prototypes.iter().map(|p| p.encoded_size).min().unwrap();
+        let max = mix.prototypes.iter().map(|p| p.encoded_size).max().unwrap();
+        assert!(min < 64, "small messages present (min {min})");
+        assert!(max > 4096, "large messages present (max {max})");
+        // Every prototype round-trips through the reference codec.
+        for p in &mix.prototypes {
+            let wire = protoacc_runtime::reference::encode(&p.message, &mix.schema).unwrap();
+            assert_eq!(wire.len() as u64, p.encoded_size);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mix = TrafficMix::build(&mut rng, 16);
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        let s1 = mix.stream(&mut r1, 500, 2000.0);
+        let s2 = mix.stream(&mut r2, 500, 2000.0);
+        assert_eq!(s1, s2);
+        assert!(s1.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        let desers = s1.iter().filter(|e| e.deser).count();
+        // Mix roughly follows the GWP fraction.
+        let frac = desers as f64 / s1.len() as f64;
+        assert!((frac - mix.deser_fraction).abs() < 0.1, "observed {frac}");
+        // Offered load knob: halving the gap roughly halves the span.
+        let mut r3 = StdRng::seed_from_u64(99);
+        let fast = mix.stream(&mut r3, 500, 1000.0);
+        let slow_span = s1.last().unwrap().arrival;
+        let fast_span = fast.last().unwrap().arrival;
+        assert!(fast_span < slow_span);
+    }
+
+    #[test]
+    fn field_cap_prefers_bytes_like() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let shapes = ShapeModel::google_2021();
+        // Find a sample exceeding the cap.
+        let big = (0..5000)
+            .map(|_| shapes.sample_message(&mut rng))
+            .find(|s| {
+                s.fields.len() > MAX_FIELDS_PER_TYPE
+                    && s.fields
+                        .iter()
+                        .any(|f| f.field_type.perf_class() == Some(PerfClass::BytesLike))
+            })
+            .expect("fleet model produces field-heavy samples");
+        let kept = retained_fields(&big);
+        assert_eq!(kept.len(), MAX_FIELDS_PER_TYPE);
+        let sampled_bytes_like = big
+            .fields
+            .iter()
+            .filter(|f| f.field_type.perf_class() == Some(PerfClass::BytesLike))
+            .count();
+        let kept_bytes_like = kept
+            .iter()
+            .filter(|f| f.field_type.perf_class() == Some(PerfClass::BytesLike))
+            .count();
+        assert_eq!(
+            kept_bytes_like,
+            sampled_bytes_like.min(MAX_FIELDS_PER_TYPE),
+            "bytes-like fields survive the cap"
+        );
+    }
+}

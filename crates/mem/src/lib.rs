@@ -39,7 +39,7 @@ pub mod tlb;
 
 pub use cache::{CacheConfig, CacheModel, CacheStats};
 pub use guest::{GuestMemory, PAGE_SIZE};
-pub use system::{AccessKind, MemConfig, MemStats, MemSystem, Memory};
+pub use system::{AccessKind, MemConfig, MemStats, MemSystem, Memory, RequesterStats};
 pub use tlb::{Tlb, TlbConfig};
 
 /// Simulated clock cycles.

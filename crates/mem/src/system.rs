@@ -60,6 +60,43 @@ impl Default for MemConfig {
     }
 }
 
+/// One requester's share of a shared hierarchy's traffic.
+///
+/// When several accelerator instances (or an instance and a core) share an
+/// LLC/DRAM, attributing hits and misses per requester is what lets the
+/// serving model report *who* is suffering the contention. Requesters are
+/// dense small integers assigned by the caller via
+/// [`MemSystem::set_requester`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequesterStats {
+    /// Accesses issued while this requester was current.
+    pub accesses: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Cycles charged.
+    pub cycles: Cycles,
+    /// Line probes served by the L1.
+    pub l1_hits: u64,
+    /// Line probes served by the L2.
+    pub l2_hits: u64,
+    /// Line probes served by the LLC.
+    pub llc_hits: u64,
+    /// Line probes that went all the way to DRAM.
+    pub dram_accesses: u64,
+}
+
+impl RequesterStats {
+    /// Fraction of this requester's line probes that missed the LLC,
+    /// `0.0` if it issued none.
+    pub fn dram_fraction(&self) -> f64 {
+        let probes = self.l1_hits + self.l2_hits + self.llc_hits + self.dram_accesses;
+        if probes == 0 {
+            return 0.0;
+        }
+        self.dram_accesses as f64 / probes as f64
+    }
+}
+
 /// Aggregate statistics for a [`MemSystem`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MemStats {
@@ -91,6 +128,9 @@ pub struct MemSystem {
     accesses: u64,
     bytes: u64,
     cycles: Cycles,
+    requester: usize,
+    requesters: Vec<RequesterStats>,
+    sharers: u64,
 }
 
 impl MemSystem {
@@ -105,12 +145,51 @@ impl MemSystem {
             accesses: 0,
             bytes: 0,
             cycles: 0,
+            requester: 0,
+            requesters: vec![RequesterStats::default()],
+            sharers: 1,
         }
     }
 
     /// The configuration this system was built with.
     pub fn config(&self) -> &MemConfig {
         &self.config
+    }
+
+    /// Attributes subsequent traffic to requester `id` (a dense small
+    /// integer, e.g. an accelerator instance index). Requester 0 is current
+    /// by default, so single-requester callers never need to call this.
+    pub fn set_requester(&mut self, id: usize) {
+        if id >= self.requesters.len() {
+            self.requesters.resize(id + 1, RequesterStats::default());
+        }
+        self.requester = id;
+    }
+
+    /// Statistics for requester `id` (zeroes if it never issued traffic).
+    pub fn requester_stats(&self, id: usize) -> RequesterStats {
+        self.requesters.get(id).copied().unwrap_or_default()
+    }
+
+    /// Sets how many requesters are actively sharing the memory interface.
+    ///
+    /// The outstanding-request budget (and hence the latency-overlap factor
+    /// of [`MemSystem::stream`] / [`MemSystem::pipelined`]) is split evenly
+    /// across active sharers: with `max_outstanding = 12` and 4 sharers each
+    /// stream overlaps only 3 line fetches. `1` (the default) restores the
+    /// uncontended behavior.
+    pub fn set_sharers(&mut self, sharers: usize) {
+        self.sharers = sharers.max(1) as u64;
+    }
+
+    /// The currently configured sharer count.
+    pub fn sharers(&self) -> usize {
+        self.sharers as usize
+    }
+
+    /// The latency-overlap factor streams see under the current sharing.
+    fn effective_overlap(&self) -> u64 {
+        (self.config.max_outstanding.max(1) as u64 / self.sharers).max(1)
     }
 
     /// Charges one access of `len` bytes at `addr` and returns its cycle
@@ -132,9 +211,7 @@ impl MemSystem {
         for line in first_line..=last_line {
             cost += self.probe(line);
         }
-        self.accesses += 1;
-        self.bytes += len as u64;
-        self.cycles += cost;
+        self.note(len, cost);
         cost
     }
 
@@ -165,16 +242,15 @@ impl MemSystem {
         let lines = last_line - first_line + 1;
         // With `max_outstanding` requests in flight, per-line latencies
         // overlap: charge the worst single latency once, plus the serialized
-        // remainder divided by the overlap factor, plus bus occupancy.
-        let overlap = self.config.max_outstanding.max(1) as u64;
+        // remainder divided by the overlap factor, plus bus occupancy. The
+        // overlap budget shrinks when other requesters share the interface.
+        let overlap = self.effective_overlap();
         let hidden = sum.saturating_sub(worst) / overlap;
-        let bus = len.div_ceil(BUS_WIDTH_BYTES) as u64;
+        let bus = len.div_ceil(BUS_WIDTH_BYTES) as u64 * self.sharers;
         let cost = tlb_cost + worst + hidden + bus;
         let _ = kind;
         let _ = lines;
-        self.accesses += 1;
-        self.bytes += len as u64;
-        self.cycles += cost;
+        self.note(len, cost);
         cost
     }
 
@@ -200,25 +276,39 @@ impl MemSystem {
         for line in first_line..=last_line {
             probe_sum += self.probe(line);
         }
-        let overlap = self.config.max_outstanding.max(1) as u64;
-        cost += len.div_ceil(BUS_WIDTH_BYTES) as u64 + probe_sum / overlap;
+        let overlap = self.effective_overlap();
+        cost += len.div_ceil(BUS_WIDTH_BYTES) as u64 * self.sharers + probe_sum / overlap;
         let _ = kind;
-        self.accesses += 1;
-        self.bytes += len as u64;
-        self.cycles += cost;
+        self.note(len, cost);
         cost
     }
 
     fn probe(&mut self, line: u64) -> Cycles {
+        let who = &mut self.requesters[self.requester];
         if self.l1.access_line(line) {
+            who.l1_hits += 1;
             self.config.l1_latency
         } else if self.l2.access_line(line) {
+            who.l2_hits += 1;
             self.config.l2_latency
         } else if self.llc.access_line(line) {
+            who.llc_hits += 1;
             self.config.llc_latency
         } else {
+            who.dram_accesses += 1;
             self.config.dram_latency
         }
+    }
+
+    /// Books one completed access into the global and per-requester tallies.
+    fn note(&mut self, len: usize, cost: Cycles) {
+        self.accesses += 1;
+        self.bytes += len as u64;
+        self.cycles += cost;
+        let who = &mut self.requesters[self.requester];
+        who.accesses += 1;
+        who.bytes += len as u64;
+        who.cycles += cost;
     }
 
     /// Snapshot of accumulated statistics.
@@ -245,6 +335,9 @@ impl MemSystem {
         self.accesses = 0;
         self.bytes = 0;
         self.cycles = 0;
+        for r in &mut self.requesters {
+            *r = RequesterStats::default();
+        }
     }
 
     /// Pre-touches an address range so it is LLC-resident (used to model
@@ -445,5 +538,54 @@ mod tests {
         let mut sys = MemSystem::new(MemConfig::default());
         assert_eq!(sys.access(0x123, 0, AccessKind::Read), 0);
         assert_eq!(sys.stream(0x123, 0, AccessKind::Read), 0);
+    }
+
+    #[test]
+    fn requester_stats_attribute_traffic_per_requester() {
+        let mut sys = MemSystem::new(MemConfig::default());
+        // Requester 0 (default) touches a cold line: DRAM access.
+        sys.access(0x1000, 8, AccessKind::Read);
+        sys.set_requester(1);
+        // Requester 1 re-touches it: L1 hit.
+        sys.access(0x1000, 8, AccessKind::Read);
+        let r0 = sys.requester_stats(0);
+        let r1 = sys.requester_stats(1);
+        assert_eq!(r0.accesses, 1);
+        assert_eq!(r0.dram_accesses, 1);
+        assert_eq!(r0.l1_hits, 0);
+        assert_eq!(r1.accesses, 1);
+        assert_eq!(r1.l1_hits, 1);
+        assert_eq!(r1.dram_accesses, 0);
+        assert!((r0.dram_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(r1.dram_fraction(), 0.0);
+        // Global stats still see both.
+        assert_eq!(sys.stats().accesses, 2);
+        // Unknown requesters report zeroes.
+        assert_eq!(sys.requester_stats(99), RequesterStats::default());
+        sys.reset();
+        assert_eq!(sys.requester_stats(1), RequesterStats::default());
+    }
+
+    #[test]
+    fn sharers_inflate_streaming_cost() {
+        let config = MemConfig::default();
+        let mut alone = MemSystem::new(config);
+        let mut contended = MemSystem::new(config);
+        contended.set_sharers(4);
+        let len = 64 * 1024;
+        let solo = alone.stream(0x10_0000, len, AccessKind::Read);
+        let shared = contended.stream(0x10_0000, len, AccessKind::Read);
+        assert!(
+            shared > solo * 2,
+            "4-way sharing should at least double a cold stream: {shared} vs {solo}"
+        );
+        // Restoring sharers=1 restores the uncontended cost model.
+        contended.set_sharers(1);
+        contended.reset();
+        alone.reset();
+        assert_eq!(
+            contended.stream(0x10_0000, len, AccessKind::Read),
+            alone.stream(0x10_0000, len, AccessKind::Read)
+        );
     }
 }
