@@ -9,9 +9,13 @@
 #   4. full workspace tests cargo test --workspace
 #   5. schema lint gate     protoacc-lint --format json protos/
 #                           (fails on any deny-level diagnostic)
-#   6. serve smoke          serve_tail_latency --smoke
-#                           (fails on queue-invariant violations or
-#                           nondeterministic multi-instance replay)
+#   6. serve smoke+sanitize serve_tail_latency --smoke --sanitize
+#                           (fails on queue-invariant violations,
+#                           nondeterministic multi-instance replay, or any
+#                           PA007/PA008/PA009 sanitizer finding: envelope
+#                           violations, lifecycle reordering, arena aliasing)
+#   7. envelope soundness   cross-validation that measured deser/ser cycles
+#                           stay inside the absint [lower, upper] envelopes
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -34,7 +38,10 @@ echo "== protoacc-lint gate over protos/ =="
 cargo run --offline -q -p protoacc-lint --bin protoacc-lint -- \
     --format json --fail-on deny protos/
 
-echo "== serving-model smoke (invariants + determinism) =="
-cargo run --offline -q --release -p protoacc-bench --bin serve_tail_latency -- --smoke
+echo "== serving-model smoke + sanitizer (invariants, determinism, PA007-PA009) =="
+cargo run --offline -q --release -p protoacc-bench --bin serve_tail_latency -- --smoke --sanitize
+
+echo "== envelope soundness cross-validation =="
+cargo test --offline -q --test envelope_soundness --test serve_sanitizer
 
 echo "CI OK"

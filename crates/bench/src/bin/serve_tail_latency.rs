@@ -17,11 +17,21 @@
 //! `--smoke` runs a tiny grid twice and fails (non-zero exit) on any queue
 //! invariant violation or nondeterminism between the two runs — the CI
 //! gate for the serving model.
+//!
+//! `--sanitize` replays instrumented runs through the `protoacc-absint`
+//! race/hazard sanitizer: command lifecycles must respect happens-before
+//! (PA008), no two in-flight commands may touch overlapping arena bytes
+//! with a writer (PA009), and every measured service time must sit inside
+//! its statically derived `[lower, upper]` cycle envelope (PA007).
+//! Violations are rendered through the `protoacc-lint` severity machinery
+//! and fail the process. Combines with `--smoke` for the CI gate.
 
 use std::process::ExitCode;
 
-use protoacc::{DispatchPolicy, Request, RequestOp, ServeCluster, ServeConfig};
+use protoacc::{AccelConfig, DispatchPolicy, Request, RequestOp, ServeCluster, ServeConfig};
+use protoacc_absint::{Envelope, ServiceBounds};
 use protoacc_fleet::traffic::{TrafficEvent, TrafficMix};
+use protoacc_lint::{findings_to_diagnostics, LintConfig, LintReport};
 use protoacc_mem::{MemConfig, Memory};
 use protoacc_runtime::{object, reference, write_adts, BumpArena, MessageLayouts};
 use xrand::StdRng;
@@ -42,6 +52,7 @@ struct StagedProto {
     input_len: u64,
     dest_obj: u64,
     obj_ptr: u64,
+    object_size: u64,
     hasbits_offset: u64,
     min_field: u32,
     max_field: u32,
@@ -78,6 +89,7 @@ fn stage(mix: &TrafficMix, mem: &mut Memory) -> Vec<StagedProto> {
                 input_len: wire.len() as u64,
                 dest_obj,
                 obj_ptr,
+                object_size: layout.object_size(),
                 hasbits_offset: layout.hasbits_offset(),
                 min_field: layout.min_field(),
                 max_field: layout.max_field(),
@@ -113,6 +125,135 @@ fn to_requests(events: &[TrafficEvent], staged: &[StagedProto]) -> Vec<Request> 
             }
         })
         .collect()
+}
+
+/// Like [`to_requests`], but gives every deserialization its own
+/// destination object. The default staging reuses one slot per prototype,
+/// which is a genuine arena-aliasing hazard (PA009) the moment two
+/// instances deserialize the same prototype concurrently — acceptable for
+/// pure timing studies, but exactly what a sanitized run must not do.
+fn to_requests_isolated(
+    events: &[TrafficEvent],
+    staged: &[StagedProto],
+    dests: &mut BumpArena,
+) -> Vec<Request> {
+    events
+        .iter()
+        .map(|e| {
+            let s = staged[e.prototype];
+            Request {
+                arrival: e.arrival,
+                op: if e.deser {
+                    RequestOp::Deserialize {
+                        adt_ptr: s.adt_ptr,
+                        input_addr: s.input_addr,
+                        input_len: s.input_len,
+                        dest_obj: dests.alloc(s.object_size, 8).expect("dest arena"),
+                        min_field: s.min_field,
+                    }
+                } else {
+                    RequestOp::Serialize {
+                        adt_ptr: s.adt_ptr,
+                        obj_ptr: s.obj_ptr,
+                        hasbits_offset: s.hasbits_offset,
+                        min_field: s.min_field,
+                        max_field: s.max_field,
+                    }
+                },
+            }
+        })
+        .collect()
+}
+
+/// `--sanitize`: instrumented replays through the absint race/hazard
+/// sanitizer. Each cluster size runs a fresh memory image with footprint
+/// tracing on and per-event destination objects; any PA007/PA008/PA009
+/// finding fails the run through the lint severity machinery.
+fn sanitize_mode() -> bool {
+    let mut rng = StdRng::seed_from_u64(MIX_SEED);
+    let mix = TrafficMix::build(&mut rng, 8);
+    let layouts = MessageLayouts::compute(&mix.schema);
+    let accel = AccelConfig::default();
+    let mem_cfg = MemConfig::default();
+    let envelopes: Vec<(Envelope, Envelope)> = mix
+        .prototypes
+        .iter()
+        .map(|p| {
+            (
+                Envelope::deser(&mix.schema, &layouts, p.type_id, &accel, &mem_cfg),
+                Envelope::ser(&mix.schema, &layouts, p.type_id, &accel, &mem_cfg),
+            )
+        })
+        .collect();
+
+    let lint_cfg = LintConfig::default();
+    let mut ok = true;
+    for &instances in &[1usize, 2, 4] {
+        let mut srng = StdRng::seed_from_u64(STREAM_SEED);
+        let events = mix.stream(&mut srng, 96, 2_000.0);
+        let mut mem = Memory::new(MemConfig::default());
+        let staged = stage(&mix, &mut mem);
+        let mut dests = BumpArena::new(0xC000_0000, 1 << 28);
+        let requests = to_requests_isolated(&events, &staged, &mut dests);
+        let mut cluster = ServeCluster::new(
+            config(instances, 32, DispatchPolicy::Fifo),
+            ARENA_BASE,
+            ARENA_STRIDE,
+        );
+        cluster.set_trace_footprints(true);
+        cluster
+            .run(&mut mem, &requests)
+            .expect("serve run succeeds");
+
+        let bounds: Vec<ServiceBounds> = cluster
+            .records()
+            .iter()
+            .map(|r| {
+                let (deser_env, ser_env) = &envelopes[events[r.seq].prototype];
+                let env = if r.deser { deser_env } else { ser_env };
+                let b = env.service_bounds(r.wire_bytes, r.sharers);
+                ServiceBounds {
+                    seq: r.seq,
+                    lower: b.lower,
+                    upper: b.upper,
+                }
+            })
+            .collect();
+        let findings = protoacc_absint::sanitize(
+            cluster.records(),
+            cluster.footprints(),
+            instances,
+            events.len() as u64,
+            cluster.dropped(),
+            &bounds,
+        );
+        let diagnostics = findings_to_diagnostics(&findings, &lint_cfg);
+        let label = format!("sanitize n={instances}");
+        if diagnostics.is_empty() {
+            println!(
+                "ok   [{label}] {} command(s) clean: lifecycle, aliasing, envelopes",
+                cluster.records().len()
+            );
+        } else {
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            let report = LintReport {
+                diagnostics,
+                types: Vec::new(),
+            };
+            println!(
+                "FAIL [{label}]: {} deny, {} warn",
+                report.deny_count(),
+                report.warn_count()
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!("serve_sanitize OK");
+    }
+    ok
 }
 
 /// Outcome of one cluster run, with everything the tables need.
@@ -353,8 +494,16 @@ fn full() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke_flag = args.iter().any(|a| a == "--smoke");
+    let sanitize_flag = args.iter().any(|a| a == "--sanitize");
+    if sanitize_flag && !sanitize_mode() {
+        return ExitCode::FAILURE;
+    }
+    if smoke_flag {
         smoke()
+    } else if sanitize_flag {
+        ExitCode::SUCCESS
     } else {
         full()
     }

@@ -93,5 +93,7 @@ mod stats;
 pub use config::AccelConfig;
 pub use error::AccelError;
 pub use rocc::ProtoAccelerator;
-pub use serve::{CommandRecord, DispatchPolicy, Request, RequestOp, ServeCluster, ServeConfig};
+pub use serve::{
+    CommandFootprint, CommandRecord, DispatchPolicy, Request, RequestOp, ServeCluster, ServeConfig,
+};
 pub use stats::AccelStats;

@@ -23,7 +23,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use protoacc_mem::{Cycles, Memory, RequesterStats};
+use protoacc_mem::{AccessKind, AccessRecord, Cycles, Memory, RequesterStats};
 
 use crate::{AccelConfig, AccelError, AccelStats, ProtoAccelerator};
 
@@ -125,6 +125,47 @@ impl CommandRecord {
     }
 }
 
+/// Coalesced byte ranges one command touched while it ran, split by access
+/// kind. Collected when [`ServeCluster::set_trace_footprints`] is on and
+/// consumed by the `protoacc-absint` aliasing sanitizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandFootprint {
+    /// Sequence number of the command ([`CommandRecord::seq`]).
+    pub seq: usize,
+    /// Half-open `[base, end)` ranges read, sorted and merged.
+    pub reads: Vec<(u64, u64)>,
+    /// Half-open `[base, end)` ranges written, sorted and merged.
+    pub writes: Vec<(u64, u64)>,
+}
+
+impl CommandFootprint {
+    /// Builds a footprint from a raw access trace by sorting each kind's
+    /// ranges and merging overlapping or adjacent ones.
+    pub fn from_trace(seq: usize, trace: &[AccessRecord]) -> Self {
+        let collect = |kind: AccessKind| {
+            let mut ranges: Vec<(u64, u64)> = trace
+                .iter()
+                .filter(|a| a.kind == kind)
+                .map(|a| (a.addr, a.end()))
+                .collect();
+            ranges.sort_unstable();
+            let mut merged: Vec<(u64, u64)> = Vec::new();
+            for (lo, hi) in ranges {
+                match merged.last_mut() {
+                    Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                    _ => merged.push((lo, hi)),
+                }
+            }
+            merged
+        };
+        CommandFootprint {
+            seq,
+            reads: collect(AccessKind::Read),
+            writes: collect(AccessKind::Write),
+        }
+    }
+}
+
 /// Configuration of a serving cluster.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
@@ -173,6 +214,8 @@ pub struct ServeCluster {
     records: Vec<CommandRecord>,
     offered: u64,
     dropped: u64,
+    trace_footprints: bool,
+    footprints: Vec<CommandFootprint>,
 }
 
 impl ServeCluster {
@@ -202,10 +245,25 @@ impl ServeCluster {
             records: Vec::new(),
             offered: 0,
             dropped: 0,
+            trace_footprints: false,
+            footprints: Vec::new(),
             config,
             accels,
             regions,
         }
+    }
+
+    /// Enables per-command memory-footprint capture (off by default): while
+    /// on, [`ServeCluster::run`] records the coalesced byte ranges each
+    /// command reads and writes, for the aliasing sanitizer.
+    pub fn set_trace_footprints(&mut self, on: bool) {
+        self.trace_footprints = on;
+    }
+
+    /// Footprints captured so far, one per completed command, matched to
+    /// [`ServeCluster::records`] by sequence number.
+    pub fn footprints(&self) -> &[CommandFootprint] {
+        &self.footprints
     }
 
     /// The configuration this cluster was built with.
@@ -267,6 +325,12 @@ impl ServeCluster {
             mem.system.set_sharers(sharers);
             mem.system.set_requester(instance);
             self.recycle_if_low(instance);
+            if self.trace_footprints {
+                // Drop any stale trace so the capture covers only this
+                // command's unit run.
+                mem.system.set_tracing(true);
+                let _ = mem.system.take_trace();
+            }
             let accel = &mut self.accels[instance];
             let (unit_cycles, wire_bytes) = match req.op {
                 RequestOp::Deserialize {
@@ -295,6 +359,12 @@ impl ServeCluster {
                 }
             };
             mem.system.set_sharers(1);
+            if self.trace_footprints {
+                let trace = mem.system.take_trace();
+                mem.system.set_tracing(false);
+                self.footprints
+                    .push(CommandFootprint::from_trace(seq, &trace));
+            }
             let service = self.config.accel.rocc_dispatch_cycles + unit_cycles;
             let complete = dispatch + service;
             self.busy_until[instance] = complete;
@@ -377,12 +447,15 @@ impl ServeCluster {
         mem.system.requester_stats(i)
     }
 
-    /// Latency percentile over completed commands, `p` in `[0, 100]`.
-    /// Returns 0 if nothing completed.
+    /// Latency percentile over completed commands. `p` is clamped into
+    /// `[0, 100]` (NaN reads as 0, so a malformed percentile degrades to the
+    /// minimum instead of indexing arbitrarily). Returns 0 if nothing
+    /// completed.
     pub fn latency_percentile(&self, p: f64) -> Cycles {
         if self.records.is_empty() {
             return 0;
         }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
         let mut latencies: Vec<Cycles> = self.records.iter().map(CommandRecord::latency).collect();
         latencies.sort_unstable();
         let rank = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
@@ -588,6 +661,85 @@ mod tests {
         for r in cluster.records() {
             assert_eq!(r.instance, r.seq % 4);
         }
+    }
+
+    #[test]
+    fn latency_percentile_boundaries_on_tiny_clusters() {
+        // 0 records: every percentile is 0.
+        let empty = ServeCluster::new(ServeConfig::default(), 0x1_0000_0000, 1 << 24);
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(empty.latency_percentile(p), 0);
+        }
+
+        // 1 record: every percentile is that record's latency.
+        let mut f = fixture();
+        let reqs = mixed_requests(&f, 1, 100);
+        let mut one = ServeCluster::new(ServeConfig::default(), 0x1_0000_0000, 1 << 24);
+        one.run(&mut f.mem, &reqs).unwrap();
+        let only = one.records()[0].latency();
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(one.latency_percentile(p), only);
+        }
+
+        // 2 records: p0 is the min; p50 and p100 land on the max (nearest-
+        // rank over n-1 rounds 0.5 up); out-of-range and NaN inputs clamp
+        // instead of indexing arbitrarily.
+        let mut f = fixture();
+        let reqs = mixed_requests(&f, 2, 0);
+        let mut two = ServeCluster::new(ServeConfig::default(), 0x1_0000_0000, 1 << 24);
+        two.run(&mut f.mem, &reqs).unwrap();
+        let mut lats: Vec<Cycles> = two.records().iter().map(CommandRecord::latency).collect();
+        lats.sort_unstable();
+        assert_eq!(two.latency_percentile(0.0), lats[0]);
+        assert_eq!(two.latency_percentile(50.0), lats[1]);
+        assert_eq!(two.latency_percentile(100.0), lats[1]);
+        assert_eq!(two.latency_percentile(-30.0), lats[0]);
+        assert_eq!(two.latency_percentile(400.0), lats[1]);
+        assert_eq!(two.latency_percentile(f64::NAN), lats[0]);
+    }
+
+    #[test]
+    fn footprints_capture_per_command_ranges_when_enabled() {
+        let mut f = fixture();
+        let reqs = mixed_requests(&f, 8, 50);
+        let mut cluster = ServeCluster::new(
+            ServeConfig {
+                instances: 2,
+                ..ServeConfig::default()
+            },
+            0x1_0000_0000,
+            1 << 24,
+        );
+        cluster.set_trace_footprints(true);
+        cluster.run(&mut f.mem, &reqs).unwrap();
+        assert!(!f.mem.system.tracing(), "tracing disabled after the run");
+        assert_eq!(cluster.footprints().len(), cluster.records().len());
+        for (fp, r) in cluster.footprints().iter().zip(cluster.records()) {
+            assert_eq!(fp.seq, r.seq);
+            assert!(!fp.reads.is_empty(), "cmd {} read nothing", r.seq);
+            assert!(!fp.writes.is_empty(), "cmd {} wrote nothing", r.seq);
+            for w in &fp.reads {
+                assert!(w.0 < w.1, "empty range");
+            }
+            // Every deser command reads the wire input region.
+            if r.deser {
+                let end = f.input_addr + f.input_len;
+                assert!(
+                    fp.reads
+                        .iter()
+                        .any(|&(lo, hi)| lo <= f.input_addr && hi >= end),
+                    "cmd {} missing wire read",
+                    r.seq
+                );
+            }
+        }
+
+        // Off by default: no footprints accumulate.
+        let mut f2 = fixture();
+        let reqs2 = mixed_requests(&f2, 2, 50);
+        let mut quiet = ServeCluster::new(ServeConfig::default(), 0x1_0000_0000, 1 << 24);
+        quiet.run(&mut f2.mem, &reqs2).unwrap();
+        assert!(quiet.footprints().is_empty());
     }
 
     #[test]

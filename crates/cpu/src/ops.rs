@@ -493,13 +493,21 @@ mod tests {
         assert!(got.bits_eq(&b));
     }
 
+    /// Payload the merge source string starts as.
+    const MERGE_SOURCE_PAYLOAD: &str = "shared?";
+    /// Scribble pattern overwriting the source after the merge; same length
+    /// as [`MERGE_SOURCE_PAYLOAD`] so only the bytes change, not the
+    /// string object's recorded length.
+    const MERGE_SCRIBBLE: &[u8] = b"XXXXXXX";
+
     #[test]
     fn merged_strings_are_independent_copies() {
         // Deep-copy semantics: mutating the source string after the merge
         // must not affect the destination.
+        assert_eq!(MERGE_SOURCE_PAYLOAD.len(), MERGE_SCRIBBLE.len());
         let mut r = rig();
         let mut b = MessageValue::new(r.outer);
-        b.set(2, Value::Str("shared?".into())).unwrap();
+        b.set(2, Value::Str(MERGE_SOURCE_PAYLOAD.into())).unwrap();
         let dst = object::write_message(
             &mut r.mem.data,
             &r.schema,
@@ -527,8 +535,11 @@ mod tests {
         let slot = r.layouts.layout(r.outer).slot(2).unwrap().offset;
         let src_str = r.mem.data.read_u64(src + slot);
         let data_ptr = r.mem.data.read_u64(src_str);
-        r.mem.data.write_bytes(data_ptr, b"XXXXXXX");
+        r.mem.data.write_bytes(data_ptr, MERGE_SCRIBBLE);
         let got = object::read_message(&r.mem.data, &r.schema, &r.layouts, r.outer, dst).unwrap();
-        assert_eq!(got.get_single(2), Some(&Value::Str("shared?".into())));
+        assert_eq!(
+            got.get_single(2),
+            Some(&Value::Str(MERGE_SOURCE_PAYLOAD.into()))
+        );
     }
 }

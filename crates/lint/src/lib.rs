@@ -18,6 +18,15 @@
 //! | PA004 | software-fallback  | features the hardware punts to software      |
 //! | PA005 | window-starve      | 16-byte memloader consumer window            |
 //! | PA006 | adt-thrash         | accelerator ADT-entry cache                  |
+//! | PA007 | envelope-violation | static `[lower, upper]` cycle envelope (dynamic, via `protoacc-absint`) |
+//! | PA008 | lifecycle-order    | serve-model command happens-before (dynamic) |
+//! | PA009 | arena-aliasing     | overlapping in-flight command buffers (dynamic) |
+//!
+//! PA007–PA009 are *sanitizer* codes: they are never produced by
+//! [`lint_schema`] itself but by replaying a serving-model trace through
+//! [`protoacc_absint::sanitize`] and mapping the findings with
+//! [`findings_to_diagnostics`], so dynamic violations flow through the same
+//! severity/exit-code machinery as static findings.
 //!
 //! # Example
 //!
@@ -40,7 +49,8 @@
 use std::fmt;
 
 use protoacc::AccelConfig;
-use protoacc_mem::Cycles;
+use protoacc_absint::{Envelope, Finding, FindingKind, Interval};
+use protoacc_mem::{Cycles, MemConfig};
 use protoacc_runtime::{MessageLayouts, MessageValue};
 use protoacc_schema::{FieldType, Label, MessageId, Schema};
 use protoacc_wire::{FieldKey, MAX_VARINT_LEN};
@@ -107,16 +117,33 @@ pub enum DiagCode {
     /// PA006: the descriptor-table working set of one root message exceeds
     /// the accelerator's ADT-entry cache, thrashing to the L2.
     AdtThrash,
+    /// PA007: a measured command service time fell outside the static
+    /// `[lower, upper]` cycle envelope computed by `protoacc-absint` —
+    /// either the model charged cycles the abstract interpretation says are
+    /// impossible, or the envelope itself is unsound. Sanitizer-only.
+    EnvelopeViolation,
+    /// PA008: the serve-model command lifecycle violated happens-before
+    /// (dispatch before enqueue, overlapping commands on one instance,
+    /// completion inconsistent with dispatch + service). Sanitizer-only.
+    LifecycleOrder,
+    /// PA009: two commands in flight at the same time touched overlapping
+    /// memory ranges with at least one writer — an arena-aliasing hazard a
+    /// real multi-instance accelerator would corrupt data on.
+    /// Sanitizer-only.
+    ArenaAliasing,
 }
 
 /// Every diagnostic code, in PA-number order.
-pub const ALL_CODES: [DiagCode; 6] = [
+pub const ALL_CODES: [DiagCode; 9] = [
     DiagCode::StackSpill,
     DiagCode::WideKey,
     DiagCode::SparseHasbits,
     DiagCode::SoftwareFallback,
     DiagCode::WindowStarve,
     DiagCode::AdtThrash,
+    DiagCode::EnvelopeViolation,
+    DiagCode::LifecycleOrder,
+    DiagCode::ArenaAliasing,
 ];
 
 impl DiagCode {
@@ -129,6 +156,9 @@ impl DiagCode {
             DiagCode::SoftwareFallback => "PA004",
             DiagCode::WindowStarve => "PA005",
             DiagCode::AdtThrash => "PA006",
+            DiagCode::EnvelopeViolation => "PA007",
+            DiagCode::LifecycleOrder => "PA008",
+            DiagCode::ArenaAliasing => "PA009",
         }
     }
 
@@ -141,17 +171,25 @@ impl DiagCode {
             DiagCode::SoftwareFallback => "software-fallback",
             DiagCode::WindowStarve => "window-starve",
             DiagCode::AdtThrash => "adt-thrash",
+            DiagCode::EnvelopeViolation => "envelope-violation",
+            DiagCode::LifecycleOrder => "lifecycle-order",
+            DiagCode::ArenaAliasing => "arena-aliasing",
         }
     }
 
     /// Default severity when no override is configured.
     ///
     /// Only a *provably* spilling type (finite nesting depth greater than
-    /// the stack depth) denies by default; everything else — including
-    /// recursive types whose instance depth is data-dependent — warns.
+    /// the stack depth) denies by default among the static codes; everything
+    /// else — including recursive types whose instance depth is
+    /// data-dependent — warns. The sanitizer codes (PA007–PA009) always
+    /// report genuine model violations, so they all deny.
     pub fn default_severity(self) -> Severity {
         match self {
-            DiagCode::StackSpill => Severity::Deny,
+            DiagCode::StackSpill
+            | DiagCode::EnvelopeViolation
+            | DiagCode::LifecycleOrder
+            | DiagCode::ArenaAliasing => Severity::Deny,
             _ => Severity::Warn,
         }
     }
@@ -208,6 +246,9 @@ pub struct LintConfig {
     /// Accelerator configuration supplying the hardware limits
     /// (stack depth, window width, ADT cache size, UTF-8 validation).
     pub accel: AccelConfig,
+    /// Memory-system configuration the cycle envelopes are computed
+    /// against (cache/DRAM latencies, line size, MSHR count).
+    pub mem: MemConfig,
     /// Density below which a layout is flagged dense-hasbits-unfriendly.
     /// Default 1/64: past that sparsity, a dense mapping table's extra
     /// 32-bit read per field (Section 4.2) buys nothing.
@@ -220,6 +261,7 @@ impl Default for LintConfig {
     fn default() -> Self {
         LintConfig {
             accel: AccelConfig::default(),
+            mem: MemConfig::default(),
             density_floor: 1.0 / 64.0,
             overrides: Vec::new(),
         }
@@ -300,6 +342,21 @@ pub enum Nesting {
     Unbounded,
 }
 
+/// JSON report format version, emitted as the first key of
+/// [`LintReport::render_json`] output. Bumped only on breaking changes;
+/// additive keys keep the same version.
+///
+/// * 1 — implicit: no `schema_version` key, no envelope fields.
+/// * 2 — adds `schema_version` plus per-type `deser_envelope` and
+///   `ser_envelope` `[lower, upper]` arrays.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Wire length (bytes) at which the per-type report envelopes are
+/// evaluated. Envelopes are a function of length; 256 bytes is the paper's
+/// cited median protobuf message scale, so the reported intervals describe
+/// a representative message rather than an asymptote.
+pub const ENVELOPE_REFERENCE_BYTES: u64 = 256;
+
 /// Per-message-type analysis summary, one per type in the schema.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TypeSummary {
@@ -314,6 +371,12 @@ pub struct TypeSummary {
     pub static_density: f64,
     /// Cycles lower bound for deserializing this type.
     pub bound: StaticBound,
+    /// Two-sided deserialization cycle envelope at
+    /// [`ENVELOPE_REFERENCE_BYTES`] of wire input, single-tenant.
+    pub deser_envelope: Interval,
+    /// Two-sided serialization cycle envelope at
+    /// [`ENVELOPE_REFERENCE_BYTES`] of wire output, single-tenant.
+    pub ser_envelope: Interval,
 }
 
 /// Full analyzer output for one schema.
@@ -375,19 +438,24 @@ impl LintReport {
         if !self.diagnostics.is_empty() {
             out.push('\n');
         }
-        out.push_str("type                      nesting  adt-lines  density  cycles/B floor\n");
+        out.push_str(&format!(
+            "type                      nesting  adt-lines  density  cycles/B floor  \
+             deser@{ENVELOPE_REFERENCE_BYTES}B           ser@{ENVELOPE_REFERENCE_BYTES}B\n"
+        ));
         for t in &self.types {
             let nesting = match t.nesting {
                 Nesting::Finite(d) => d.to_string(),
                 Nesting::Unbounded => "unbounded".to_string(),
             };
             out.push_str(&format!(
-                "{:<25} {:>7} {:>10} {:>8.3} {:>15.4}\n",
+                "{:<25} {:>7} {:>10} {:>8.3} {:>15.4}  {:>18} {:>18}\n",
                 t.type_name,
                 nesting,
                 t.adt_working_set,
                 t.static_density,
                 t.bound.cycles_per_byte_floor(),
+                format!("[{}, {}]", t.deser_envelope.lower, t.deser_envelope.upper),
+                format!("[{}, {}]", t.ser_envelope.lower, t.ser_envelope.upper),
             ));
         }
         out.push_str(&format!(
@@ -402,7 +470,7 @@ impl LintReport {
     /// Renders the report as a single JSON object (hand-rolled; the
     /// workspace is dependency-free).
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\n  \"diagnostics\": [");
+        let mut out = format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -449,8 +517,16 @@ impl LintReport {
                 None => out.push_str("\"max_record_bytes\": null, "),
             }
             out.push_str(&format!(
-                "\"cycles_per_byte_floor\": {:.6}}}",
+                "\"cycles_per_byte_floor\": {:.6}, ",
                 t.bound.cycles_per_byte_floor()
+            ));
+            out.push_str(&format!(
+                "\"deser_envelope\": [{}, {}], ",
+                t.deser_envelope.lower, t.deser_envelope.upper
+            ));
+            out.push_str(&format!(
+                "\"ser_envelope\": [{}, {}]}}",
+                t.ser_envelope.lower, t.ser_envelope.upper
             ));
         }
         if self.types.is_empty() {
@@ -557,6 +633,10 @@ pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
         let nesting = nesting_of(schema, id, &config.accel);
         let working_set = layouts.adt_working_set(schema, id);
         let bound = static_bound(schema, id, &config.accel);
+        let deser_envelope = Envelope::deser(schema, &layouts, id, &config.accel, &config.mem)
+            .bounds(ENVELOPE_REFERENCE_BYTES, 1);
+        let ser_envelope = Envelope::ser(schema, &layouts, id, &config.accel, &config.mem)
+            .bounds(ENVELOPE_REFERENCE_BYTES, 1);
 
         let mut push = |code: DiagCode, default: Severity, field: Option<&str>, detail: String| {
             let severity = config.severity_or(code, default);
@@ -707,9 +787,42 @@ pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
             adt_working_set: working_set,
             static_density: layout.static_density(),
             bound,
+            deser_envelope,
+            ser_envelope,
         });
     }
     report
+}
+
+/// Maps sanitizer [`Finding`]s from [`protoacc_absint`] onto the lint
+/// diagnostic machinery, so dynamic PA007–PA009 violations share severity
+/// overrides and exit-code behavior with the static checks.
+///
+/// The findings describe serve-model commands, not schema types, so
+/// `message_type` is the pseudo-type `"<serve>"` and `field` carries the
+/// command sequence number when the finding names one.
+pub fn findings_to_diagnostics(findings: &[Finding], config: &LintConfig) -> Vec<Diagnostic> {
+    findings
+        .iter()
+        .filter_map(|f| {
+            let code = match f.kind {
+                FindingKind::Envelope => DiagCode::EnvelopeViolation,
+                FindingKind::Lifecycle => DiagCode::LifecycleOrder,
+                FindingKind::Aliasing => DiagCode::ArenaAliasing,
+            };
+            let severity = config.severity(code);
+            if severity == Severity::Allow {
+                return None;
+            }
+            Some(Diagnostic {
+                code,
+                severity,
+                message_type: "<serve>".to_string(),
+                field: f.seq.map(|s| format!("cmd#{s}")),
+                detail: f.detail.clone(),
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -857,5 +970,87 @@ mod tests {
     fn json_escapes_control_and_quote_chars() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_is_versioned_and_carries_envelopes() {
+        let r = lint("message Point { optional int32 x = 1; optional int32 y = 2; }");
+        let json = r.render_json();
+        assert!(
+            json.starts_with(&format!("{{\n  \"schema_version\": {SCHEMA_VERSION},")),
+            "schema_version must be the first key: {json}"
+        );
+        assert!(json.contains("\"deser_envelope\": ["));
+        assert!(json.contains("\"ser_envelope\": ["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn report_envelopes_are_two_sided_and_sharpen_the_static_floor() {
+        let r = lint("message M { optional uint64 a = 1; optional string s = 2; }");
+        let t = &r.types[0];
+        assert!(t.deser_envelope.lower <= t.deser_envelope.upper);
+        assert!(t.ser_envelope.lower <= t.ser_envelope.upper);
+        assert!(t.ser_envelope.upper > 0);
+        // The abstract interpretation never reports a weaker floor than the
+        // original per-record StaticBound at the same length.
+        assert!(
+            t.deser_envelope.lower >= t.bound.lower_bound(ENVELOPE_REFERENCE_BYTES),
+            "absint lower {} < StaticBound lower {}",
+            t.deser_envelope.lower,
+            t.bound.lower_bound(ENVELOPE_REFERENCE_BYTES)
+        );
+    }
+
+    #[test]
+    fn sanitizer_findings_map_to_deny_diagnostics() {
+        let findings = vec![
+            Finding {
+                kind: FindingKind::Envelope,
+                seq: Some(3),
+                detail: "service 1 below lower bound 10".to_string(),
+            },
+            Finding {
+                kind: FindingKind::Lifecycle,
+                seq: None,
+                detail: "record accounting mismatch".to_string(),
+            },
+            Finding {
+                kind: FindingKind::Aliasing,
+                seq: Some(7),
+                detail: "write/write overlap".to_string(),
+            },
+        ];
+        let config = LintConfig::default();
+        let diags = findings_to_diagnostics(&findings, &config);
+        assert_eq!(diags.len(), 3);
+        assert_eq!(diags[0].code, DiagCode::EnvelopeViolation);
+        assert_eq!(diags[0].severity, Severity::Deny);
+        assert_eq!(diags[0].field.as_deref(), Some("cmd#3"));
+        assert_eq!(diags[1].code, DiagCode::LifecycleOrder);
+        assert_eq!(diags[1].field, None);
+        assert_eq!(diags[2].code, DiagCode::ArenaAliasing);
+        // Severity overrides apply to sanitizer codes too.
+        let mut quiet = LintConfig::default();
+        quiet
+            .overrides
+            .push((DiagCode::ArenaAliasing, Severity::Allow));
+        let diags = findings_to_diagnostics(&findings, &quiet);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code != DiagCode::ArenaAliasing));
+    }
+
+    #[test]
+    fn pa007_through_pa009_parse_and_deny_by_default() {
+        for (code, s) in [
+            (DiagCode::EnvelopeViolation, "PA007"),
+            (DiagCode::LifecycleOrder, "pa008"),
+            (DiagCode::ArenaAliasing, "arena-aliasing"),
+        ] {
+            assert_eq!(DiagCode::parse(s), Some(code));
+            assert_eq!(code.default_severity(), Severity::Deny);
+        }
+        assert_eq!(ALL_CODES.len(), 9);
     }
 }

@@ -1,0 +1,54 @@
+//! Golden-file test for the versioned JSON report format.
+//!
+//! The JSON output is a machine-readable interface (CI gates and dashboards
+//! parse it), so format drift must be deliberate. This test pins the exact
+//! bytes for a representative schema. To re-bless after an intentional
+//! format change, bump [`protoacc_lint::SCHEMA_VERSION`] if the change is
+//! breaking and run:
+//!
+//! ```text
+//! PROTOACC_LINT_BLESS=1 cargo test -p protoacc-lint --test json_golden
+//! ```
+
+use protoacc_lint::{lint_schema, LintConfig};
+use protoacc_schema::parse_proto;
+
+/// Schema chosen to exercise every output shape: a warn diagnostic
+/// (recursion), a deny-capable type, finite and unbounded nesting, a
+/// bounded-scalar type and an unbounded (string) one.
+const GOLDEN_PROTO: &str = "\
+message Node { optional Node next = 1; optional uint64 id = 2; }\n\
+message Blob { optional string body = 1; required fixed32 crc = 2; }\n";
+
+#[test]
+fn json_report_matches_golden_file() {
+    let schema = parse_proto(GOLDEN_PROTO).unwrap();
+    let report = lint_schema(&schema, &LintConfig::default());
+    let json = report.render_json();
+
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/report.json");
+    if std::env::var_os("PROTOACC_LINT_BLESS").is_some() {
+        std::fs::write(golden_path, &json).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing; bless with PROTOACC_LINT_BLESS=1");
+    assert_eq!(
+        json, golden,
+        "JSON report drifted from the golden file; if intentional, re-bless \
+         (and bump SCHEMA_VERSION on breaking changes)"
+    );
+}
+
+#[test]
+fn golden_file_is_current_schema_version() {
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/report.json"
+    ))
+    .unwrap();
+    assert!(golden.contains(&format!(
+        "\"schema_version\": {}",
+        protoacc_lint::SCHEMA_VERSION
+    )));
+}

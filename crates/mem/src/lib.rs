@@ -39,7 +39,9 @@ pub mod tlb;
 
 pub use cache::{CacheConfig, CacheModel, CacheStats};
 pub use guest::{GuestMemory, PAGE_SIZE};
-pub use system::{AccessKind, MemConfig, MemStats, MemSystem, Memory, RequesterStats};
+pub use system::{
+    AccessKind, AccessRecord, MemConfig, MemStats, MemSystem, Memory, RequesterStats,
+};
 pub use tlb::{Tlb, TlbConfig};
 
 /// Simulated clock cycles.

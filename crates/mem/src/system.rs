@@ -97,6 +97,29 @@ impl RequesterStats {
     }
 }
 
+/// One access captured while tracing is enabled: who touched which byte
+/// range, and whether it was a load or a store. The sanitizer layer
+/// (`protoacc-absint`) consumes these to build per-command memory
+/// footprints; recording is off by default so the hot path stays a branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Requester current when the access was issued.
+    pub requester: usize,
+    /// First byte touched.
+    pub addr: u64,
+    /// Bytes touched (never 0; zero-length accesses are not recorded).
+    pub len: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl AccessRecord {
+    /// Exclusive end of the touched range.
+    pub fn end(&self) -> u64 {
+        self.addr + self.len
+    }
+}
+
 /// Aggregate statistics for a [`MemSystem`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MemStats {
@@ -131,6 +154,8 @@ pub struct MemSystem {
     requester: usize,
     requesters: Vec<RequesterStats>,
     sharers: u64,
+    tracing: bool,
+    trace: Vec<AccessRecord>,
 }
 
 impl MemSystem {
@@ -148,6 +173,37 @@ impl MemSystem {
             requester: 0,
             requesters: vec![RequesterStats::default()],
             sharers: 1,
+            tracing: false,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Turns access tracing on or off. While on, every non-empty
+    /// `access`/`stream`/`pipelined` call appends an [`AccessRecord`];
+    /// turning it off leaves any already-captured records in place.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Whether access tracing is currently enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Drains and returns the captured access records.
+    pub fn take_trace(&mut self) -> Vec<AccessRecord> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Appends one trace record if tracing is on.
+    fn trace_access(&mut self, addr: u64, len: usize, kind: AccessKind) {
+        if self.tracing {
+            self.trace.push(AccessRecord {
+                requester: self.requester,
+                addr,
+                len: len as u64,
+                kind,
+            });
         }
     }
 
@@ -194,10 +250,11 @@ impl MemSystem {
 
     /// Charges one access of `len` bytes at `addr` and returns its cycle
     /// cost. Accesses spanning multiple cache lines probe each line.
-    pub fn access(&mut self, addr: u64, len: usize, _kind: AccessKind) -> Cycles {
+    pub fn access(&mut self, addr: u64, len: usize, kind: AccessKind) -> Cycles {
         if len == 0 {
             return 0;
         }
+        self.trace_access(addr, len, kind);
         let mut cost = self.tlb.translate(addr);
         let line_bytes = self.config.l1.line_bytes as u64;
         let first_line = addr / line_bytes;
@@ -223,6 +280,7 @@ impl MemSystem {
         if len == 0 {
             return 0;
         }
+        self.trace_access(addr, len, kind);
         let line_bytes = self.config.l1.line_bytes as u64;
         let first_line = addr / line_bytes;
         let last_line = (addr + len as u64 - 1) / line_bytes;
@@ -263,6 +321,7 @@ impl MemSystem {
         if len == 0 {
             return 0;
         }
+        self.trace_access(addr, len, kind);
         let mut cost = self.tlb.translate(addr);
         let first_page = addr / crate::PAGE_SIZE as u64;
         let last_page = (addr + len as u64 - 1) / crate::PAGE_SIZE as u64;
@@ -338,6 +397,7 @@ impl MemSystem {
         for r in &mut self.requesters {
             *r = RequesterStats::default();
         }
+        self.trace.clear();
     }
 
     /// Pre-touches an address range so it is LLC-resident (used to model
@@ -564,6 +624,50 @@ mod tests {
         assert_eq!(sys.requester_stats(99), RequesterStats::default());
         sys.reset();
         assert_eq!(sys.requester_stats(1), RequesterStats::default());
+    }
+
+    #[test]
+    fn tracing_captures_nonempty_accesses_with_attribution() {
+        let mut sys = MemSystem::new(MemConfig::default());
+        sys.access(0x1000, 8, AccessKind::Read);
+        assert!(sys.take_trace().is_empty(), "off by default");
+        sys.set_tracing(true);
+        assert!(sys.tracing());
+        sys.access(0x2000, 16, AccessKind::Write);
+        sys.access(0x3000, 0, AccessKind::Read); // zero-length: not recorded
+        sys.set_requester(3);
+        sys.stream(0x4000, 100, AccessKind::Read);
+        sys.pipelined(0x5000, 4, AccessKind::Write);
+        let trace = sys.take_trace();
+        assert_eq!(
+            trace,
+            vec![
+                AccessRecord {
+                    requester: 0,
+                    addr: 0x2000,
+                    len: 16,
+                    kind: AccessKind::Write
+                },
+                AccessRecord {
+                    requester: 3,
+                    addr: 0x4000,
+                    len: 100,
+                    kind: AccessKind::Read
+                },
+                AccessRecord {
+                    requester: 3,
+                    addr: 0x5000,
+                    len: 4,
+                    kind: AccessKind::Write
+                },
+            ]
+        );
+        assert_eq!(trace[1].end(), 0x4000 + 100);
+        // take_trace drains; reset clears any residue.
+        assert!(sys.take_trace().is_empty());
+        sys.access(0x6000, 8, AccessKind::Read);
+        sys.reset();
+        assert!(sys.take_trace().is_empty());
     }
 
     #[test]

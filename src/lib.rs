@@ -42,6 +42,7 @@
 
 pub use hyperprotobench as hyperbench;
 pub use protoacc as accel;
+pub use protoacc_absint as absint;
 pub use protoacc_bench as bench;
 pub use protoacc_cpu as cpu;
 pub use protoacc_fleet as fleet;

@@ -1,0 +1,313 @@
+//! End-to-end tests of the serve-model race/hazard sanitizer: an
+//! instrumented [`ServeCluster`] run replayed through
+//! [`protoacc_suite::absint::sanitize`] and the lint severity machinery.
+//!
+//! * a clean concurrent run (per-request destination objects) produces no
+//!   findings;
+//! * deliberately sharing one destination object across simultaneous
+//!   deserializations trips PA009 (arena aliasing);
+//! * tampered command records trip PA008 (lifecycle ordering);
+//! * artificially tightened envelopes trip PA007 — proving the envelope
+//!   check actually compares against the measured service times.
+
+use protoacc_suite::absint::{self, Envelope, FindingKind, ServiceBounds};
+use protoacc_suite::accel::{
+    AccelConfig, CommandRecord, DispatchPolicy, Request, RequestOp, ServeCluster, ServeConfig,
+};
+use protoacc_suite::lint::{findings_to_diagnostics, DiagCode, LintConfig, Severity};
+use protoacc_suite::mem::{MemConfig, Memory};
+use protoacc_suite::runtime::{
+    object, reference, write_adts, BumpArena, MessageLayouts, MessageValue, Value,
+};
+use protoacc_suite::schema::{parse_proto, MessageId, Schema};
+
+const ARENA_BASE: u64 = 0x1_0000_0000;
+const ARENA_STRIDE: u64 = 1 << 24;
+
+struct Fixture {
+    schema: Schema,
+    id: MessageId,
+    mem: Memory,
+    adt_ptr: u64,
+    min_field: u32,
+    max_field: u32,
+    hasbits_offset: u64,
+    object_size: u64,
+    input_addr: u64,
+    input_len: u64,
+    obj_ptr: u64,
+    dests: BumpArena,
+}
+
+fn fixture() -> Fixture {
+    let schema = parse_proto(
+        "message Req { optional uint64 id = 1; optional string body = 2; \
+         optional bytes blob = 3; }",
+    )
+    .unwrap();
+    let id = schema.id_by_name("Req").unwrap();
+    let layouts = MessageLayouts::compute(&schema);
+    let mut mem = Memory::new(MemConfig::default());
+    let mut setup = BumpArena::new(0x1000, 1 << 20);
+    let adts = write_adts(&schema, &layouts, &mut mem.data, &mut setup).unwrap();
+    let mut msg = MessageValue::new(id);
+    msg.set(1, Value::UInt64(42)).unwrap();
+    msg.set(2, Value::Str("sanitize this serving run".into()))
+        .unwrap();
+    msg.set(3, Value::Bytes(vec![0xAB; 400])).unwrap();
+    let wire = reference::encode(&msg, &schema).unwrap();
+    let input_addr = 0x20_0000;
+    mem.data.write_bytes(input_addr, &wire);
+    let layout = layouts.layout(id);
+    let mut obj_arena = BumpArena::new(0x30_0000, 1 << 20);
+    let obj_ptr =
+        object::write_message(&mut mem.data, &schema, &layouts, &mut obj_arena, &msg).unwrap();
+    Fixture {
+        id,
+        mem,
+        adt_ptr: adts.addr(id),
+        min_field: layout.min_field(),
+        max_field: layout.max_field(),
+        hasbits_offset: layout.hasbits_offset(),
+        object_size: layout.object_size(),
+        input_addr,
+        input_len: wire.len() as u64,
+        obj_ptr,
+        dests: BumpArena::new(0x40_0000, 1 << 24),
+        schema,
+    }
+}
+
+impl Fixture {
+    fn deser_request(&mut self, arrival: u64, fresh_dest: bool, shared_dest: u64) -> Request {
+        let dest_obj = if fresh_dest {
+            self.dests.alloc(self.object_size, 8).unwrap()
+        } else {
+            shared_dest
+        };
+        Request {
+            arrival,
+            op: RequestOp::Deserialize {
+                adt_ptr: self.adt_ptr,
+                input_addr: self.input_addr,
+                input_len: self.input_len,
+                dest_obj,
+                min_field: self.min_field,
+            },
+        }
+    }
+
+    fn ser_request(&self, arrival: u64) -> Request {
+        Request {
+            arrival,
+            op: RequestOp::Serialize {
+                adt_ptr: self.adt_ptr,
+                obj_ptr: self.obj_ptr,
+                hasbits_offset: self.hasbits_offset,
+                min_field: self.min_field,
+                max_field: self.max_field,
+            },
+        }
+    }
+
+    /// Runs `requests` on an instrumented cluster and returns it.
+    fn run(&mut self, instances: usize, requests: &[Request]) -> ServeCluster {
+        let mut cluster = ServeCluster::new(
+            ServeConfig {
+                instances,
+                queue_depth: 64,
+                policy: DispatchPolicy::Fifo,
+                ..ServeConfig::default()
+            },
+            ARENA_BASE,
+            ARENA_STRIDE,
+        );
+        cluster.set_trace_footprints(true);
+        cluster.run(&mut self.mem, requests).unwrap();
+        cluster
+    }
+
+    /// Static per-record service bounds from the absint envelopes.
+    fn bounds(&self, records: &[CommandRecord]) -> Vec<ServiceBounds> {
+        let layouts = MessageLayouts::compute(&self.schema);
+        let accel = AccelConfig::default();
+        let mem_cfg = MemConfig::default();
+        let denv = Envelope::deser(&self.schema, &layouts, self.id, &accel, &mem_cfg);
+        let senv = Envelope::ser(&self.schema, &layouts, self.id, &accel, &mem_cfg);
+        records
+            .iter()
+            .map(|r| {
+                let env = if r.deser { &denv } else { &senv };
+                let b = env.service_bounds(r.wire_bytes, r.sharers);
+                ServiceBounds {
+                    seq: r.seq,
+                    lower: b.lower,
+                    upper: b.upper,
+                }
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn clean_concurrent_run_produces_no_findings() {
+    let mut f = fixture();
+    // Simultaneous arrivals across 2 instances: genuine time overlap, but
+    // every deserialization gets its own destination object.
+    let requests: Vec<Request> = (0..12)
+        .map(|i| {
+            if i % 3 == 2 {
+                f.ser_request(0)
+            } else {
+                f.deser_request(0, true, 0)
+            }
+        })
+        .collect();
+    let cluster = f.run(2, &requests);
+    assert!(
+        cluster.records().iter().any(|r| r.sharers > 1),
+        "fixture must actually exercise concurrency"
+    );
+    let bounds = f.bounds(cluster.records());
+    let findings = absint::sanitize(
+        cluster.records(),
+        cluster.footprints(),
+        2,
+        requests.len() as u64,
+        cluster.dropped(),
+        &bounds,
+    );
+    assert!(findings.is_empty(), "clean run flagged: {findings:?}");
+}
+
+#[test]
+fn shared_destination_across_instances_trips_pa009() {
+    let mut f = fixture();
+    let shared = f.dests.alloc(f.object_size, 8).unwrap();
+    // Two simultaneous deserializations into the SAME destination object:
+    // with 2 instances both run at cycle 0 and their write ranges collide.
+    let requests = vec![
+        f.deser_request(0, false, shared),
+        f.deser_request(0, false, shared),
+    ];
+    let cluster = f.run(2, &requests);
+    let bounds = f.bounds(cluster.records());
+    let findings = absint::sanitize(
+        cluster.records(),
+        cluster.footprints(),
+        2,
+        requests.len() as u64,
+        cluster.dropped(),
+        &bounds,
+    );
+    let aliasing: Vec<_> = findings
+        .iter()
+        .filter(|x| x.kind == FindingKind::Aliasing)
+        .collect();
+    assert!(!aliasing.is_empty(), "shared dest must alias: {findings:?}");
+    // And nothing else fired: the hazard is isolated to PA009.
+    assert_eq!(aliasing.len(), findings.len(), "{findings:?}");
+
+    // Through the lint mapping it denies as PA009.
+    let diags = findings_to_diagnostics(&findings, &LintConfig::default());
+    assert!(diags
+        .iter()
+        .all(|d| d.code == DiagCode::ArenaAliasing && d.severity == Severity::Deny));
+
+    // Serializing the shared object concurrently only *reads* it: no hazard.
+    let requests = vec![f.ser_request(0), f.ser_request(0)];
+    let cluster = f.run(2, &requests);
+    let bounds = f.bounds(cluster.records());
+    let findings = absint::sanitize(
+        cluster.records(),
+        cluster.footprints(),
+        2,
+        2,
+        cluster.dropped(),
+        &bounds,
+    );
+    assert!(
+        findings.is_empty(),
+        "read-read sharing flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn tampered_records_trip_pa008() {
+    let mut f = fixture();
+    let requests: Vec<Request> = (0..6).map(|_| f.deser_request(0, true, 0)).collect();
+    let cluster = f.run(2, &requests);
+    let mut records = cluster.records().to_vec();
+
+    // Rewind one dispatch before its enqueue: a causality violation no
+    // legal scheduler can produce.
+    records[3].dispatch = records[3].enqueue.saturating_sub(1);
+    let findings = absint::check_lifecycle(&records, 2, requests.len() as u64, 0);
+    assert!(
+        findings
+            .iter()
+            .any(|x| x.kind == FindingKind::Lifecycle && x.seq == Some(records[3].seq)),
+        "{findings:?}"
+    );
+
+    // Duplicate sequence numbers are double-retirement.
+    let mut records = cluster.records().to_vec();
+    records[1].seq = records[0].seq;
+    let findings = absint::check_lifecycle(&records, 2, requests.len() as u64, 1);
+    assert!(
+        findings.iter().any(|x| x.kind == FindingKind::Lifecycle),
+        "{findings:?}"
+    );
+
+    // Accounting: completed + dropped must equal offered.
+    let findings = absint::check_lifecycle(cluster.records(), 2, requests.len() as u64 + 5, 0);
+    assert!(
+        findings
+            .iter()
+            .any(|x| x.kind == FindingKind::Lifecycle && x.seq.is_none()),
+        "{findings:?}"
+    );
+
+    // The untampered records are clean.
+    let findings = absint::check_lifecycle(cluster.records(), 2, requests.len() as u64, 0);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn tightened_envelopes_trip_pa007() {
+    let mut f = fixture();
+    let requests: Vec<Request> = (0..4).map(|_| f.deser_request(0, true, 0)).collect();
+    let cluster = f.run(1, &requests);
+    let honest = f.bounds(cluster.records());
+    assert!(
+        absint::check_envelopes(cluster.records(), &honest).is_empty(),
+        "honest envelopes must pass"
+    );
+
+    // Claim every command finishes in at most 1 cycle: every record is now
+    // out of envelope, proving the check reads the measured service times.
+    let impossible: Vec<ServiceBounds> = honest
+        .iter()
+        .map(|b| ServiceBounds {
+            seq: b.seq,
+            lower: 0,
+            upper: 1,
+        })
+        .collect();
+    let findings = absint::check_envelopes(cluster.records(), &impossible);
+    assert_eq!(findings.len(), cluster.records().len());
+    assert!(findings.iter().all(|x| x.kind == FindingKind::Envelope));
+
+    // A floor above the measured time also violates (two-sided check).
+    let too_high: Vec<ServiceBounds> = cluster
+        .records()
+        .iter()
+        .map(|r| ServiceBounds {
+            seq: r.seq,
+            lower: r.service + 1,
+            upper: u64::MAX,
+        })
+        .collect();
+    let findings = absint::check_envelopes(cluster.records(), &too_high);
+    assert_eq!(findings.len(), cluster.records().len());
+}
