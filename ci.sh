@@ -14,7 +14,15 @@
 #                           nondeterministic multi-instance replay, or any
 #                           PA007/PA008/PA009 sanitizer finding: envelope
 #                           violations, lifecycle reordering, arena aliasing)
-#   7. envelope soundness   cross-validation that measured deser/ser cycles
+#   7. fault smoke          serve_tail_latency --smoke --faults
+#                           (every fault class — instance crash/hang/slow,
+#                           memory ECC/stall, wire corruption — must serve
+#                           100% of admitted load, deterministically, with
+#                           watchdogs derived from the absint envelopes)
+#   8. corruption diff      10k seeded corrupted inputs: accelerator and
+#                           CPU reference must agree on every accept/reject
+#                           verdict and error class
+#   9. envelope soundness   cross-validation that measured deser/ser cycles
 #                           stay inside the absint [lower, upper] envelopes
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -40,6 +48,12 @@ cargo run --offline -q -p protoacc-lint --bin protoacc-lint -- \
 
 echo "== serving-model smoke + sanitizer (invariants, determinism, PA007-PA009) =="
 cargo run --offline -q --release -p protoacc-bench --bin serve_tail_latency -- --smoke --sanitize
+
+echo "== graceful-degradation smoke (fault classes x serve cluster) =="
+cargo run --offline -q --release -p protoacc-bench --bin serve_tail_latency -- --smoke --faults
+
+echo "== corruption differential (accel vs CPU verdict parity) =="
+cargo test --offline -q --test corruption_differential --test fault_matrix
 
 echo "== envelope soundness cross-validation =="
 cargo test --offline -q --test envelope_soundness --test serve_sanitizer

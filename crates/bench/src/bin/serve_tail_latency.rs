@@ -25,16 +25,30 @@
 //! its statically derived `[lower, upper]` cycle envelope (PA007).
 //! Violations are rendered through the `protoacc-lint` severity machinery
 //! and fail the process. Combines with `--smoke` for the CI gate.
+//!
+//! `--faults` sweeps the `protoacc-faults` injection planes (instance
+//! crash/hang/slow scripts, memory ECC/stall arming, wire bit flips)
+//! across kill-rates, with every request carrying its statically derived
+//! watchdog ceiling and the software CPU codec wired in as the last rung of
+//! the degradation ladder. Reports p99, goodput, and where on the ladder
+//! each cell's load landed. `--smoke --faults` is the CI variant: every
+//! class must serve 100% of admitted load, twice, identically.
 
 use std::process::ExitCode;
 
-use protoacc::{AccelConfig, DispatchPolicy, Request, RequestOp, ServeCluster, ServeConfig};
+use protoacc::{
+    AccelConfig, DispatchPolicy, InstanceFault, Request, RequestOp, ServeCluster, ServeConfig,
+};
 use protoacc_absint::{Envelope, ServiceBounds};
+use protoacc_faults::memory::{arm_random_ecc, arm_random_stalls};
+use protoacc_faults::wire::corrupt;
+use protoacc_faults::WIRE_FAULTS;
+use protoacc_faults::{random_script, InstanceFaultPlan, SoftwareFallback};
 use protoacc_fleet::traffic::{TrafficEvent, TrafficMix};
 use protoacc_lint::{findings_to_diagnostics, LintConfig, LintReport};
-use protoacc_mem::{MemConfig, Memory};
-use protoacc_runtime::{object, reference, write_adts, BumpArena, MessageLayouts};
-use xrand::StdRng;
+use protoacc_mem::{Cycles, MemConfig, Memory};
+use protoacc_runtime::{object, reference, write_adts, AdtTables, BumpArena, MessageLayouts};
+use xrand::{Rng, StdRng};
 
 /// Seed for synthesizing the prototype population.
 const MIX_SEED: u64 = 0xF1EE7;
@@ -59,14 +73,17 @@ struct StagedProto {
 }
 
 /// Writes ADTs, wire inputs, and object graphs for every prototype into a
-/// fresh memory image. Deterministic: addresses depend only on the mix.
-fn stage(mix: &TrafficMix, mem: &mut Memory) -> Vec<StagedProto> {
+/// fresh memory image, returning the staged prototypes plus the ADT tables
+/// (the software-fallback codec resolves ADT pointers back to message
+/// types). Deterministic: addresses depend only on the mix.
+fn stage(mix: &TrafficMix, mem: &mut Memory) -> (Vec<StagedProto>, AdtTables) {
     let layouts = MessageLayouts::compute(&mix.schema);
     let mut setup = BumpArena::new(0x1_0000, 1 << 26);
     let adts = write_adts(&mix.schema, &layouts, &mut mem.data, &mut setup).unwrap();
     let mut input_cursor = 0x2000_0000u64;
     let mut objects = BumpArena::new(0x8000_0000, 1 << 30);
-    mix.prototypes
+    let staged = mix
+        .prototypes
         .iter()
         .map(|p| {
             let wire = reference::encode(&p.message, &mix.schema).unwrap();
@@ -95,7 +112,8 @@ fn stage(mix: &TrafficMix, mem: &mut Memory) -> Vec<StagedProto> {
                 max_field: layout.max_field(),
             }
         })
-        .collect()
+        .collect();
+    (staged, adts)
 }
 
 fn to_requests(events: &[TrafficEvent], staged: &[StagedProto]) -> Vec<Request> {
@@ -105,6 +123,7 @@ fn to_requests(events: &[TrafficEvent], staged: &[StagedProto]) -> Vec<Request> 
             let s = staged[e.prototype];
             Request {
                 arrival: e.arrival,
+                watchdog: None,
                 op: if e.deser {
                     RequestOp::Deserialize {
                         adt_ptr: s.adt_ptr,
@@ -143,6 +162,7 @@ fn to_requests_isolated(
             let s = staged[e.prototype];
             Request {
                 arrival: e.arrival,
+                watchdog: None,
                 op: if e.deser {
                     RequestOp::Deserialize {
                         adt_ptr: s.adt_ptr,
@@ -192,7 +212,7 @@ fn sanitize_mode() -> bool {
         let mut srng = StdRng::seed_from_u64(STREAM_SEED);
         let events = mix.stream(&mut srng, 96, 2_000.0);
         let mut mem = Memory::new(MemConfig::default());
-        let staged = stage(&mix, &mut mem);
+        let (staged, _adts) = stage(&mix, &mut mem);
         let mut dests = BumpArena::new(0xC000_0000, 1 << 28);
         let requests = to_requests_isolated(&events, &staged, &mut dests);
         let mut cluster = ServeCluster::new(
@@ -291,7 +311,7 @@ impl RunResult {
 /// Stages a fresh memory image and runs one stream through one cluster.
 fn run_stream(mix: &TrafficMix, events: &[TrafficEvent], config: ServeConfig) -> RunResult {
     let mut mem = Memory::new(MemConfig::default());
-    let staged = stage(mix, &mut mem);
+    let (staged, _adts) = stage(mix, &mut mem);
     let requests = to_requests(events, &staged);
     let mut cluster = ServeCluster::new(config, ARENA_BASE, ARENA_STRIDE);
     cluster
@@ -329,6 +349,352 @@ fn config(instances: usize, queue_depth: usize, policy: DispatchPolicy) -> Serve
         policy,
         ..ServeConfig::default()
     }
+}
+
+/// Seed for fault-injection schedules (instance scripts, armed memory
+/// faults, wire corruption routing).
+const FAULT_SEED: u64 = 0xFA_17;
+/// Guest region for corrupted copies of the staged wire inputs.
+const CORRUPT_BASE: u64 = 0x3000_0000;
+/// Guest regions for the software fallback codec's private arena and
+/// serializer output.
+const FB_ARENA: (u64, u64) = (0x4000_0000, 1 << 24);
+const FB_OUT: u64 = 0x5000_0000;
+
+/// The fault classes the `--faults` sweep injects, one per plane rung:
+/// instance-plane crash/hang/slow scripts, memory-plane ECC and stall
+/// arming, and wire-plane bit flips.
+const FAULT_CLASSES: [&str; 6] = ["crash", "hang", "slow", "ecc", "stall", "flip"];
+
+/// Wire-plane corruption routing: the per-prototype corrupted input copies
+/// (`(addr, len)`), the fraction of deserializations routed at them, and
+/// the seeded router.
+type CorruptRouting<'a> = Option<(&'a [(u64, u64)], f64, &'a mut StdRng)>;
+
+/// Deser/ser envelopes per prototype: the static watchdog ceilings.
+fn envelopes(mix: &TrafficMix, layouts: &MessageLayouts) -> Vec<(Envelope, Envelope)> {
+    let accel = AccelConfig::default();
+    let mem_cfg = MemConfig::default();
+    mix.prototypes
+        .iter()
+        .map(|p| {
+            (
+                Envelope::deser(&mix.schema, layouts, p.type_id, &accel, &mem_cfg),
+                Envelope::ser(&mix.schema, layouts, p.type_id, &accel, &mem_cfg),
+            )
+        })
+        .collect()
+}
+
+/// Like [`to_requests`], but every request carries the absint-derived
+/// watchdog ceiling (`service_bounds(wire_len, instances).upper`): no
+/// correct command can exceed it, so a hung or pathologically slow attempt
+/// is killed and retried instead of wedging its instance. For the `flip`
+/// fault class, `corrupted` routes a seeded fraction of deserializations to
+/// a bit-flipped copy of their input.
+fn to_requests_watchdogged(
+    events: &[TrafficEvent],
+    staged: &[StagedProto],
+    envs: &[(Envelope, Envelope)],
+    instances: usize,
+    corrupted: CorruptRouting<'_>,
+) -> Vec<Request> {
+    let mut corrupted = corrupted;
+    events
+        .iter()
+        .map(|e| {
+            let s = staged[e.prototype];
+            let (deser_env, ser_env) = &envs[e.prototype];
+            if e.deser {
+                let (input_addr, input_len) = match corrupted.as_mut() {
+                    Some((copies, rate, rng)) => {
+                        if rng.gen_bool(*rate) {
+                            copies[e.prototype]
+                        } else {
+                            (s.input_addr, s.input_len)
+                        }
+                    }
+                    None => (s.input_addr, s.input_len),
+                };
+                Request {
+                    arrival: e.arrival,
+                    watchdog: Some(deser_env.service_bounds(input_len.max(1), instances).upper),
+                    op: RequestOp::Deserialize {
+                        adt_ptr: s.adt_ptr,
+                        input_addr,
+                        input_len,
+                        dest_obj: s.dest_obj,
+                        min_field: s.min_field,
+                    },
+                }
+            } else {
+                Request {
+                    arrival: e.arrival,
+                    watchdog: Some(ser_env.service_bounds(s.input_len, instances).upper),
+                    op: RequestOp::Serialize {
+                        adt_ptr: s.adt_ptr,
+                        obj_ptr: s.obj_ptr,
+                        hasbits_offset: s.hasbits_offset,
+                        min_field: s.min_field,
+                        max_field: s.max_field,
+                    },
+                }
+            }
+        })
+        .collect()
+}
+
+/// Outcome of one fault-injected cluster run.
+struct FaultRunResult {
+    offered: u64,
+    completed: usize,
+    dropped: u64,
+    served: u64,
+    ok: u64,
+    fallback: u64,
+    rejected: u64,
+    failed: u64,
+    retries: u64,
+    quarantined: usize,
+    p99: u64,
+    gbits: f64,
+}
+
+impl FaultRunResult {
+    fn fingerprint(&self) -> String {
+        format!(
+            "offered={} completed={} dropped={} served={} ok={} fallback={} rejected={} \
+             failed={} retries={} quarantined={} p99={} gbits={:.6}",
+            self.offered,
+            self.completed,
+            self.dropped,
+            self.served,
+            self.ok,
+            self.fallback,
+            self.rejected,
+            self.failed,
+            self.retries,
+            self.quarantined,
+            self.p99,
+            self.gbits
+        )
+    }
+}
+
+/// One cell of the fault sweep: stages a fresh memory image, injects
+/// `class` at intensity `rate`, and replays `events` through an
+/// `instances`-wide cluster with the software CPU fallback wired in.
+///
+/// `rate` is the kill-rate axis: the probability each instance is faulted
+/// (instance plane), the fraction of deserializations fed corrupted bytes
+/// (wire plane), or armed faults per offered request (memory plane).
+///
+/// Note the records of a faulted run are *not* fed to the absint lifecycle
+/// sanitizer: commands that degraded to the CPU carry the
+/// `FALLBACK_INSTANCE` sentinel and retried commands legitimately overlap
+/// their own earlier attempts, so `--sanitize` stays a nominal-run gate.
+fn run_faulted(
+    mix: &TrafficMix,
+    events: &[TrafficEvent],
+    instances: usize,
+    class: &str,
+    rate: f64,
+) -> FaultRunResult {
+    let layouts = MessageLayouts::compute(&mix.schema);
+    let envs = envelopes(mix, &layouts);
+    let mut mem = Memory::new(MemConfig::default());
+    let (staged, adts) = stage(mix, &mut mem);
+    // Mix the class name into the seed so each cell draws an independent
+    // (but replayable) schedule.
+    let class_hash = class
+        .bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(u64::from(b)));
+    let mut frng = StdRng::seed_from_u64(FAULT_SEED ^ class_hash);
+
+    // Wire plane: stage one corrupted copy per prototype (cycling through
+    // the wire fault classes) and route a seeded `rate` fraction of
+    // deserializations at them.
+    let mut corrupt_cursor = CORRUPT_BASE;
+    let copies: Vec<(u64, u64)> = mix
+        .prototypes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let wire = reference::encode(&p.message, &mix.schema).unwrap();
+            let bad = corrupt(&wire, WIRE_FAULTS[i % WIRE_FAULTS.len()], &mut frng);
+            let addr = corrupt_cursor;
+            mem.data.write_bytes(addr, &bad);
+            corrupt_cursor += bad.len() as u64 + 64;
+            (addr, bad.len() as u64)
+        })
+        .collect();
+    let routing = (class == "flip").then_some((copies.as_slice(), rate, &mut frng));
+    let requests = to_requests_watchdogged(events, &staged, &envs, instances, routing);
+
+    // Memory plane: arm one-shot faults inside the staged wire inputs so
+    // the deserializer's streaming reads trip them.
+    let regions: Vec<(u64, u64)> = staged.iter().map(|s| (s.input_addr, s.input_len)).collect();
+    let armed = ((events.len() as f64 * rate).round() as usize).max(1);
+    match class {
+        "ecc" => arm_random_ecc(&mut mem.system, &regions, armed, &mut frng),
+        "stall" => arm_random_stalls(&mut mem.system, &regions, armed, 1 << 32, &mut frng),
+        _ => {}
+    }
+
+    // Instance plane: a seeded crash/hang/slow script over the offered
+    // window.
+    let horizon: Cycles = events.last().map_or(1, |e| e.arrival.max(1));
+    let plan = match class {
+        "crash" => InstanceFaultPlan::crash_only(rate),
+        "hang" => InstanceFaultPlan::hang_only(rate),
+        "slow" => InstanceFaultPlan::slow_only(rate),
+        _ => InstanceFaultPlan::nominal(),
+    };
+    let faults: Vec<InstanceFault> = random_script(&plan, instances, horizon, &mut frng);
+
+    let mut fb = SoftwareFallback::new(&mix.schema, &layouts, &adts, FB_ARENA, FB_OUT);
+    let mut cluster = ServeCluster::new(
+        config(instances, 256, DispatchPolicy::Fifo),
+        ARENA_BASE,
+        ARENA_STRIDE,
+    );
+    cluster
+        .run_with(&mut mem, &requests, &faults, Some(&mut fb))
+        .expect("serve run succeeds");
+    let (ok, fallback, rejected, failed) = cluster.status_counts();
+    FaultRunResult {
+        offered: cluster.offered(),
+        completed: cluster.records().len(),
+        dropped: cluster.dropped(),
+        served: cluster.served(),
+        ok,
+        fallback,
+        rejected,
+        failed,
+        retries: cluster.retries(),
+        quarantined: cluster.quarantined_instances().len(),
+        p99: cluster.latency_percentile(99.0),
+        gbits: cluster.throughput_gbits(),
+    }
+}
+
+/// `--faults`: graceful-degradation sweep. Fault classes x kill-rates on a
+/// 4-instance cluster, reporting how much of the offered load was served
+/// (and on which rung of the degradation ladder), the retry bill, p99
+/// latency, and goodput (completed wire bytes over the makespan — rejected
+/// and failed commands move zero bytes).
+fn faults_full() -> ExitCode {
+    let mut rng = StdRng::seed_from_u64(MIX_SEED);
+    let mix = TrafficMix::build(&mut rng, 8);
+    let instances = 4;
+    let mut srng = StdRng::seed_from_u64(STREAM_SEED);
+    let events = mix.stream(&mut srng, 256, 2_000.0);
+    println!(
+        "Fault sweep: {} requests, {instances} instances, watchdog = absint upper bound",
+        events.len()
+    );
+    println!(
+        "{:<8} {:>6} {:>9} {:>8} {:>6} {:>9} {:>9} {:>7} {:>8} {:>6} {:>12} {:>10}",
+        "class",
+        "rate",
+        "served%",
+        "ok",
+        "fb",
+        "rejected",
+        "failed",
+        "drops",
+        "retries",
+        "quar",
+        "p99 cyc",
+        "Gbits/s"
+    );
+    let nominal = run_faulted(&mix, &events, instances, "none", 0.0);
+    let mut ok = true;
+    for class in std::iter::once("none").chain(FAULT_CLASSES) {
+        let rates: &[f64] = if class == "none" {
+            &[0.0]
+        } else {
+            &[0.25, 0.5, 1.0]
+        };
+        for &rate in rates {
+            let res = run_faulted(&mix, &events, instances, class, rate);
+            if res.failed > 0 {
+                ok = false;
+            }
+            println!(
+                "{class:<8} {rate:>6.2} {:>8.1}% {:>8} {:>6} {:>9} {:>9} {:>7} {:>8} {:>6} {:>12} {:>10.3}",
+                res.served as f64 / res.completed.max(1) as f64 * 100.0,
+                res.ok,
+                res.fallback,
+                res.rejected,
+                res.failed,
+                res.dropped,
+                res.retries,
+                res.quarantined,
+                res.p99,
+                res.gbits
+            );
+        }
+    }
+    println!();
+    println!(
+        "(nominal p99 = {} cycles; every row above must serve 100% of admitted load —\n\
+         a Failed command means the degradation ladder has a hole)",
+        nominal.p99
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        println!("serve_faults: commands failed outright");
+        ExitCode::FAILURE
+    }
+}
+
+/// `--smoke --faults`: the CI gate for graceful degradation. Every fault
+/// class at kill-rate 0.5 runs twice on a small stream; any Failed command,
+/// shed load, unrecovered hang, or replay divergence fails the process.
+fn faults_smoke() -> ExitCode {
+    let mut rng = StdRng::seed_from_u64(MIX_SEED);
+    let mix = TrafficMix::build(&mut rng, 8);
+    let instances = 4;
+    let mut failures = 0;
+    for class in FAULT_CLASSES {
+        let mut srng = StdRng::seed_from_u64(STREAM_SEED);
+        let events = mix.stream(&mut srng, 48, 3_000.0);
+        let a = run_faulted(&mix, &events, instances, class, 0.5);
+        let b = run_faulted(&mix, &events, instances, class, 0.5);
+        let label = format!("faults class={class} rate=0.5");
+        if a.failed > 0 {
+            println!("FAIL [{label}]: {} command(s) failed outright", a.failed);
+            failures += 1;
+        }
+        if a.dropped > 0 {
+            println!("FAIL [{label}]: {} request(s) shed under faults", a.dropped);
+            failures += 1;
+        }
+        if a.served != a.completed as u64 {
+            println!(
+                "FAIL [{label}]: served {} of {} admitted requests",
+                a.served, a.completed
+            );
+            failures += 1;
+        }
+        if a.fingerprint() != b.fingerprint() {
+            println!(
+                "FAIL [{label}]: nondeterministic replay\n  run1: {}\n  run2: {}",
+                a.fingerprint(),
+                b.fingerprint()
+            );
+            failures += 1;
+        }
+        println!("ok   [{label}] {}", a.fingerprint());
+    }
+    if failures > 0 {
+        println!("serve_faults_smoke: {failures} failure(s)");
+        return ExitCode::FAILURE;
+    }
+    println!("serve_faults_smoke OK");
+    ExitCode::SUCCESS
 }
 
 /// Tiny CI grid: every config runs twice; invariant violations or report
@@ -497,8 +863,16 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let smoke_flag = args.iter().any(|a| a == "--smoke");
     let sanitize_flag = args.iter().any(|a| a == "--sanitize");
+    let faults_flag = args.iter().any(|a| a == "--faults");
     if sanitize_flag && !sanitize_mode() {
         return ExitCode::FAILURE;
+    }
+    if faults_flag {
+        return if smoke_flag {
+            faults_smoke()
+        } else {
+            faults_full()
+        };
     }
     if smoke_flag {
         smoke()

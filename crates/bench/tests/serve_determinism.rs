@@ -53,6 +53,7 @@ fn serve_report(instances: usize, policy: DispatchPolicy) -> String {
             let layout = layouts.layout(type_id);
             Request {
                 arrival: e.arrival,
+                watchdog: None,
                 op: if e.deser {
                     RequestOp::Deserialize {
                         adt_ptr: adts.addr(type_id),

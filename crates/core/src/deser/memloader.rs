@@ -67,7 +67,10 @@ impl Memloader {
     /// `limit`.
     pub fn peek_bytes(&self, n: usize, limit: usize) -> Option<&[u8]> {
         let end = limit.min(self.input.len());
-        if self.pos + n > end {
+        // Subtraction, not addition: `n` can be an adversarial declared
+        // length near `usize::MAX`, which must report "not enough bytes"
+        // rather than overflow.
+        if self.pos > end || n > end - self.pos {
             return None;
         }
         Some(&self.input[self.pos..self.pos + n])

@@ -16,11 +16,11 @@ use std::collections::BTreeMap;
 
 use protoacc_mem::{AccessKind, Cycles, Memory};
 use protoacc_runtime::{
-    AdtLayout, BumpArena, FieldEntry, TypeCode, ADT_ENTRY_BYTES, REPEATED_HEADER_BYTES,
+    reference, AdtLayout, BumpArena, FieldEntry, TypeCode, ADT_ENTRY_BYTES, REPEATED_HEADER_BYTES,
     STRING_OBJECT_BYTES, STRING_SSO_CAPACITY,
 };
-use protoacc_wire::hw::{CombVarintDecoder, Utf8Validator};
-use protoacc_wire::{FieldKey, WireError, WireType};
+use protoacc_wire::hw::{CombVarintDecoder, DecodedVarint, Utf8Validator};
+use protoacc_wire::{FieldKey, WireError, WireType, MAX_VARINT_LEN};
 
 use crate::adtcache::AdtCache;
 use crate::{AccelConfig, AccelError, AccelStats};
@@ -145,14 +145,7 @@ impl DeserUnit {
             }
 
             // --- parseKey state: combinational varint decode of the key ---
-            let decoded = {
-                let window = loader.peek_varint_window(frame_end);
-                CombVarintDecoder::decode_avail(window).ok_or(AccelError::Wire(
-                    WireError::Truncated {
-                        offset: loader.position() + window.len(),
-                    },
-                ))?
-            };
+            let decoded = varint_at(&loader, frame_end)?;
             loader.consume(decoded.len);
             fsm += 1;
             stats.varints += 1;
@@ -196,18 +189,25 @@ impl DeserUnit {
                 fsm += mem.system.pipelined(hb_addr, 1, AccessKind::Write);
             }
 
+            // Packed arrival only for repeated packable scalars — the same
+            // predicate the CPU reference decoder applies, so corrupted keys
+            // that turn a scalar field length-delimited reject identically
+            // on both paths (`scalar_size().is_some()` is the ADT-level
+            // equivalent of `FieldType::is_packable`).
             let expected_wire = entry.type_code.wire_type();
             let packed_arrival = key.wire_type() == WireType::LengthDelimited
-                && expected_wire != WireType::LengthDelimited;
-            if packed_arrival && entry.type_code.scalar_size().is_none() {
-                return Err(AccelError::BadAdtEntry {
-                    field_number: key.field_number(),
-                });
-            }
+                && expected_wire != WireType::LengthDelimited
+                && entry.repeated
+                && entry.type_code.scalar_size().is_some();
             if !packed_arrival && key.wire_type() != expected_wire {
-                return Err(AccelError::Wire(WireError::InvalidWireType {
-                    raw: key.wire_type().as_raw(),
-                }));
+                // FSM error state: a defined field whose arriving wire type
+                // contradicts its descriptor (same verdict class as the CPU
+                // reference decoder).
+                return Err(AccelError::Runtime(
+                    protoacc_runtime::RuntimeError::WireTypeMismatch {
+                        field_number: key.field_number(),
+                    },
+                ));
             }
 
             match entry.type_code {
@@ -246,7 +246,9 @@ impl DeserUnit {
                 }
                 TypeCode::Message => {
                     let len = self.read_length(&mut loader, frame_end, &mut fsm, stats)?;
-                    if loader.position() + len > frame_end {
+                    // Compared as a subtraction so an adversarial 64-bit
+                    // declared length cannot overflow the position addition.
+                    if len > frame_end - loader.position() {
                         return Err(AccelError::Wire(WireError::LengthOutOfBounds {
                             declared: len as u64,
                             remaining: frame_end - loader.position(),
@@ -276,6 +278,17 @@ impl DeserUnit {
                         fsm += mem.system.pipelined(slot, 8, AccessKind::Write);
                         None
                     };
+                    // FSM error state: sub-message nesting past the decode
+                    // depth limit (the new frame would sit at depth
+                    // `frames.len()`, with the root at 0 — the same count
+                    // the CPU reference decoder guards at message entry).
+                    if frames.len() > reference::MAX_DECODE_DEPTH {
+                        return Err(AccelError::Runtime(
+                            protoacc_runtime::RuntimeError::DepthExceeded {
+                                limit: reference::MAX_DECODE_DEPTH,
+                            },
+                        ));
+                    }
                     // Push message-level metadata (Section 4.4.9).
                     let end = loader.position() + len;
                     stats.stack_pushes += 1;
@@ -295,7 +308,7 @@ impl DeserUnit {
                 _scalar => {
                     if packed_arrival {
                         let len = self.read_length(&mut loader, frame_end, &mut fsm, stats)?;
-                        if loader.position() + len > frame_end {
+                        if len > frame_end - loader.position() {
                             return Err(AccelError::Wire(WireError::LengthOutOfBounds {
                                 declared: len as u64,
                                 remaining: frame_end - loader.position(),
@@ -379,14 +392,7 @@ impl DeserUnit {
         fsm: &mut Cycles,
         stats: &mut AccelStats,
     ) -> Result<usize, AccelError> {
-        let decoded = {
-            let window = loader.peek_varint_window(limit);
-            CombVarintDecoder::decode_avail(window).ok_or(AccelError::Wire(
-                WireError::Truncated {
-                    offset: loader.position() + window.len(),
-                },
-            ))?
-        };
+        let decoded = varint_at(loader, limit)?;
         loader.consume(decoded.len);
         *fsm += 1;
         stats.varints += 1;
@@ -458,25 +464,16 @@ impl DeserUnit {
         fsm: &mut Cycles,
     ) -> Result<usize, AccelError> {
         let consumed = match wire_type {
-            WireType::Varint => {
-                let window = loader.peek_varint_window(limit);
-                let d = CombVarintDecoder::decode_avail(window).ok_or(AccelError::Wire(
-                    WireError::Truncated {
-                        offset: loader.position() + window.len(),
-                    },
-                ))?;
-                d.len
-            }
+            WireType::Varint => varint_at(loader, limit)?.len,
             WireType::Bits32 => 4,
             WireType::Bits64 => 8,
             WireType::LengthDelimited => {
-                let window = loader.peek_varint_window(limit);
-                let d = CombVarintDecoder::decode_avail(window).ok_or(AccelError::Wire(
-                    WireError::Truncated {
-                        offset: loader.position() + window.len(),
-                    },
-                ))?;
-                d.len + d.value as usize
+                let d = varint_at(loader, limit)?;
+                // A declared 64-bit length near usize::MAX must reject as
+                // truncation, not overflow the addition.
+                d.len
+                    .checked_add(d.value as usize)
+                    .ok_or(AccelError::Wire(WireError::Truncated { offset: limit }))?
             }
             WireType::StartGroup | WireType::EndGroup => {
                 return Err(AccelError::Wire(WireError::InvalidWireType {
@@ -484,7 +481,7 @@ impl DeserUnit {
                 }))
             }
         };
-        if loader.position() + consumed > limit {
+        if consumed > limit.saturating_sub(loader.position()) {
             return Err(AccelError::Wire(WireError::Truncated { offset: limit }));
         }
         loader.consume(consumed);
@@ -560,6 +557,25 @@ impl DeserUnit {
     }
 }
 
+/// Decodes the varint at the loader cursor, distinguishing a genuinely
+/// non-terminating varint (a full 10-byte window with every continuation bit
+/// set — `VarintOverflow`, matching the software reference decoder) from one
+/// cut short by the frame or buffer end (`Truncated`).
+fn varint_at(loader: &Memloader, limit: usize) -> Result<DecodedVarint, AccelError> {
+    let window = loader.peek_varint_window(limit);
+    CombVarintDecoder::decode_avail(window).ok_or(AccelError::Wire(
+        if window.len() >= MAX_VARINT_LEN {
+            WireError::VarintOverflow {
+                offset: loader.position(),
+            }
+        } else {
+            WireError::Truncated {
+                offset: loader.position() + window.len(),
+            }
+        },
+    ))
+}
+
 /// Decodes one scalar (varint or fixed) value, returning its in-memory bits.
 fn decode_scalar(
     loader: &mut Memloader,
@@ -570,14 +586,7 @@ fn decode_scalar(
 ) -> Result<u64, AccelError> {
     match type_code.wire_type() {
         WireType::Varint => {
-            let decoded = {
-                let window = loader.peek_varint_window(limit);
-                CombVarintDecoder::decode_avail(window).ok_or(AccelError::Wire(
-                    WireError::Truncated {
-                        offset: loader.position() + window.len(),
-                    },
-                ))?
-            };
+            let decoded = varint_at(loader, limit)?;
             loader.consume(decoded.len);
             *fsm += 1; // single-cycle combinational decode (+ zigzag stage)
             stats.varints += 1;

@@ -91,9 +91,10 @@ mod error;
 mod stats;
 
 pub use config::AccelConfig;
-pub use error::AccelError;
+pub use error::{AccelError, DecodeFault, FaultCategory};
 pub use rocc::ProtoAccelerator;
 pub use serve::{
-    CommandFootprint, CommandRecord, DispatchPolicy, Request, RequestOp, ServeCluster, ServeConfig,
+    CommandFootprint, CommandRecord, CommandStatus, DispatchPolicy, FallbackCodec, InstanceFault,
+    InstanceFaultKind, Request, RequestOp, ServeCluster, ServeConfig, FALLBACK_INSTANCE,
 };
 pub use stats::AccelStats;

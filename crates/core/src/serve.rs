@@ -25,7 +25,90 @@ use std::collections::BinaryHeap;
 
 use protoacc_mem::{AccessKind, AccessRecord, Cycles, Memory, RequesterStats};
 
-use crate::{AccelConfig, AccelError, AccelStats, ProtoAccelerator};
+use crate::{AccelConfig, AccelError, AccelStats, DecodeFault, ProtoAccelerator};
+
+/// Sentinel instance index for commands served by the software CPU
+/// fallback path (or failed outright) rather than an accelerator instance.
+pub const FALLBACK_INSTANCE: usize = usize::MAX;
+
+/// Modeled occupancy of a command that hangs with no watchdog or deadline
+/// configured: large enough to dominate any report, small enough that
+/// overflow-checked arithmetic on timestamps stays safe.
+const HUNG_COMMAND_CYCLES: Cycles = 1 << 40;
+
+/// How a command ultimately resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandStatus {
+    /// Completed correctly on an accelerator instance.
+    Ok,
+    /// Completed correctly on the software CPU fallback path.
+    Fallback,
+    /// Definitively rejected with a typed verdict (malformed input or a
+    /// fallback-path rejection). A rejection is a *served* response: the
+    /// client got an answer, and the differential harness checks its class
+    /// against the CPU reference decoder.
+    Rejected(DecodeFault),
+    /// Exhausted its retries with no fallback available: the only status
+    /// that counts as *not* served.
+    Failed(DecodeFault),
+}
+
+impl CommandStatus {
+    /// Whether the client received a definitive response (success or a
+    /// typed rejection).
+    pub fn is_served(self) -> bool {
+        !matches!(self, CommandStatus::Failed(_))
+    }
+
+    /// Whether the command produced correct output (on either path).
+    pub fn is_ok(self) -> bool {
+        matches!(self, CommandStatus::Ok | CommandStatus::Fallback)
+    }
+}
+
+/// What a scripted instance-plane fault does to its instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceFaultKind {
+    /// The instance dies at `at`: an in-flight command is cut off at that
+    /// cycle, and the instance accepts no further work.
+    Crash,
+    /// The instance wedges at `at`: an in-flight command never completes on
+    /// its own (only a watchdog or deadline recovers it), and the instance
+    /// accepts no further work.
+    Hang,
+    /// Unit cycles of commands dispatched in `[at, until)` are multiplied
+    /// by `factor` (thermal throttling, a misbehaving neighbor).
+    Slow {
+        /// Service-time multiplier.
+        factor: u64,
+        /// End of the slow window.
+        until: Cycles,
+    },
+}
+
+/// One scripted instance-plane fault, precomputed by the fault injector so
+/// replays stay deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceFault {
+    /// Target instance index.
+    pub instance: usize,
+    /// Cycle the fault takes effect.
+    pub at: Cycles,
+    /// What happens.
+    pub kind: InstanceFaultKind,
+}
+
+/// The software codec path the cluster degrades to when no accelerator
+/// instance can serve a command. Implemented outside this crate (the
+/// fault-injection layer wraps `protoacc-cpu`'s instrumented codec) so the
+/// core model does not depend on the CPU baselines.
+pub trait FallbackCodec {
+    /// Executes `op` on the software path. Returns the cycles consumed —
+    /// charged even when the verdict is a rejection, because rejecting
+    /// malformed input costs real parse work — and the wire bytes moved on
+    /// success.
+    fn execute(&mut self, mem: &mut Memory, op: &RequestOp) -> (Cycles, Result<u64, AccelError>);
+}
 
 /// How the command queue binds admitted commands to instances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +176,12 @@ pub struct Request {
     pub arrival: Cycles,
     /// What to do.
     pub op: RequestOp,
+    /// Watchdog cycle ceiling for one service attempt. Derived statically
+    /// from the abstract-interpretation envelope's upper bound for the
+    /// request's message type and wire length: no correct command can run
+    /// longer, so an attempt that does is killed (`DecodeFault::WatchdogKill`)
+    /// instead of wedging the instance. `None` disables the watchdog.
+    pub watchdog: Option<Cycles>,
 }
 
 /// Per-command accounting: the three queue timestamps plus attribution.
@@ -116,6 +205,10 @@ pub struct CommandRecord {
     pub deser: bool,
     /// Instances busy (including this one) while it ran.
     pub sharers: usize,
+    /// How the command resolved.
+    pub status: CommandStatus,
+    /// Service attempts consumed (1 = no retries).
+    pub attempts: u32,
 }
 
 impl CommandRecord {
@@ -178,6 +271,18 @@ pub struct ServeConfig {
     pub policy: DispatchPolicy,
     /// Per-instance accelerator configuration.
     pub accel: AccelConfig,
+    /// Retries after a retryable (hardware/resource) fault before the
+    /// command degrades to the fallback path. Deterministic rejections are
+    /// never retried — the verdict would not change.
+    pub max_retries: u32,
+    /// Base backoff between retry attempts, doubled per attempt.
+    pub retry_backoff: Cycles,
+    /// Retryable faults an instance may absorb before it is quarantined and
+    /// receives no further dispatches.
+    pub quarantine_threshold: u32,
+    /// Cluster-wide per-attempt deadline, combined (min) with each request's
+    /// own watchdog ceiling. `None` disables it.
+    pub deadline: Option<Cycles>,
 }
 
 impl Default for ServeConfig {
@@ -187,6 +292,10 @@ impl Default for ServeConfig {
             queue_depth: 64,
             policy: DispatchPolicy::Fifo,
             accel: AccelConfig::default(),
+            max_retries: 2,
+            retry_backoff: 64,
+            quarantine_threshold: 3,
+            deadline: None,
         }
     }
 }
@@ -204,6 +313,83 @@ struct InstanceRegions {
 /// between batches, as Section 4.3's software-managed arenas allow).
 const RECYCLE_FRACTION: u64 = 8;
 
+/// Per-instance view of an [`InstanceFault`] script, compiled once per run.
+struct FaultScript {
+    crash_at: Vec<Option<Cycles>>,
+    hang_at: Vec<Option<Cycles>>,
+    slow: Vec<Option<(Cycles, Cycles, u64)>>,
+}
+
+impl FaultScript {
+    fn compile(faults: &[InstanceFault], instances: usize) -> Self {
+        let mut s = FaultScript {
+            crash_at: vec![None; instances],
+            hang_at: vec![None; instances],
+            slow: vec![None; instances],
+        };
+        for f in faults {
+            assert!(
+                f.instance < instances,
+                "fault targets instance {} of a {instances}-instance cluster",
+                f.instance
+            );
+            match f.kind {
+                InstanceFaultKind::Crash => {
+                    let e = &mut s.crash_at[f.instance];
+                    *e = Some(e.map_or(f.at, |p| p.min(f.at)));
+                }
+                InstanceFaultKind::Hang => {
+                    let e = &mut s.hang_at[f.instance];
+                    *e = Some(e.map_or(f.at, |p| p.min(f.at)));
+                }
+                InstanceFaultKind::Slow { factor, until } => {
+                    s.slow[f.instance] = Some((f.at, until, factor.max(1)));
+                }
+            }
+        }
+        s
+    }
+
+    /// Whether the instance is scripted down (crashed or hung) at `now`.
+    fn down(&self, instance: usize, now: Cycles) -> bool {
+        self.crash_at[instance].is_some_and(|c| c <= now)
+            || self.hang_at[instance].is_some_and(|h| h <= now)
+    }
+
+    /// Unit cycles after any active slow-down window.
+    fn slowed(&self, instance: usize, dispatch: Cycles, unit_cycles: Cycles) -> Cycles {
+        match self.slow[instance] {
+            Some((at, until, factor)) if dispatch >= at && dispatch < until => {
+                unit_cycles.saturating_mul(factor)
+            }
+            _ => unit_cycles,
+        }
+    }
+
+    /// Whether a hang strikes before the attempt would complete.
+    fn hangs(&self, instance: usize, dispatch: Cycles, service: Cycles) -> bool {
+        self.hang_at[instance].is_some_and(|h| h < dispatch.saturating_add(service))
+    }
+
+    /// Truncated service time if a crash strikes before completion.
+    fn crash_cut(&self, instance: usize, dispatch: Cycles, service: Cycles) -> Option<Cycles> {
+        match self.crash_at[instance] {
+            Some(c) if c < dispatch.saturating_add(service) => {
+                Some(c.saturating_sub(dispatch).max(1))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of one service attempt on an accelerator instance.
+struct Attempt {
+    service: Cycles,
+    sharers: usize,
+    verdict: Result<u64, DecodeFault>,
+    instance_dead: bool,
+}
+
 /// N accelerator instances sharing one memory system behind a command queue.
 #[derive(Debug)]
 pub struct ServeCluster {
@@ -216,6 +402,17 @@ pub struct ServeCluster {
     dropped: u64,
     trace_footprints: bool,
     footprints: Vec<CommandFootprint>,
+    /// Footprint captured by the most recent attempt; promoted to
+    /// `footprints` once its command resolves (retries overwrite it, so
+    /// records and footprints stay 1:1).
+    last_footprint: Option<CommandFootprint>,
+    /// Retryable faults absorbed per instance (quarantine counter).
+    fault_counts: Vec<u32>,
+    /// Instances killed by a scripted crash or hang.
+    dead: Vec<bool>,
+    /// The software fallback path is one serialized virtual CPU server.
+    cpu_busy_until: Cycles,
+    retries: u64,
 }
 
 impl ServeCluster {
@@ -247,6 +444,11 @@ impl ServeCluster {
             dropped: 0,
             trace_footprints: false,
             footprints: Vec::new(),
+            last_footprint: None,
+            fault_counts: vec![0; config.instances],
+            dead: vec![false; config.instances],
+            cpu_busy_until: 0,
+            retries: 0,
             config,
             accels,
             regions,
@@ -271,15 +473,50 @@ impl ServeCluster {
         &self.config
     }
 
-    /// Offers `requests` (must be sorted by arrival time) to the cluster,
-    /// running every admitted command to completion.
+    /// Offers `requests` (must be sorted by arrival time) to the cluster
+    /// with no injected faults and no fallback path. Equivalent to
+    /// [`ServeCluster::run_with`] with an empty fault script.
     ///
     /// # Errors
     ///
-    /// Propagates accelerator-unit failures (malformed input, arena
-    /// exhaustion). Queue overflow is not an error — those requests are
-    /// shed and counted in [`ServeCluster::dropped`].
+    /// Reserved for driver-level failures; the model resolves malformed
+    /// inputs to [`CommandStatus::Rejected`] records with a typed verdict
+    /// rather than aborting the run, and queue overflow is counted in
+    /// [`ServeCluster::dropped`].
     pub fn run(&mut self, mem: &mut Memory, requests: &[Request]) -> Result<(), AccelError> {
+        self.run_with(mem, requests, &[], None)
+    }
+
+    /// Offers `requests` under a scripted instance-fault scenario, with an
+    /// optional software fallback path.
+    ///
+    /// The degradation ladder, per command:
+    ///
+    /// 1. run on an available instance; a deterministic decode fault is a
+    ///    final [`CommandStatus::Rejected`] verdict (never retried — the
+    ///    verdict would not change);
+    /// 2. a hardware or resource fault (ECC, stall, crash, hang, watchdog
+    ///    kill, arena exhaustion) is retried on another instance after an
+    ///    exponentially growing backoff, up to [`ServeConfig::max_retries`]
+    ///    times; each such fault counts toward the faulting instance's
+    ///    quarantine threshold;
+    /// 3. with retries exhausted — or no live instance at all — the command
+    ///    runs on the software `fallback` codec (serialized behind one
+    ///    virtual CPU server: slower, but still a served response);
+    /// 4. only with no fallback does a command end [`CommandStatus::Failed`].
+    ///
+    /// # Errors
+    ///
+    /// Reserved for driver-level failures; decode and hardware faults are
+    /// recorded per command, not propagated.
+    pub fn run_with(
+        &mut self,
+        mem: &mut Memory,
+        requests: &[Request],
+        faults: &[InstanceFault],
+        mut fallback: Option<&mut dyn FallbackCodec>,
+    ) -> Result<(), AccelError> {
+        let script = FaultScript::compile(faults, self.config.instances);
         // Dispatch times of admitted-but-not-yet-dispatched commands, as a
         // min-heap so occupancy at any arrival time is cheap to maintain.
         let mut pending: BinaryHeap<Reverse<Cycles>> = BinaryHeap::new();
@@ -298,89 +535,328 @@ impl ServeCluster {
                 self.dropped += 1;
                 continue;
             }
-            let instance = match self.config.policy {
-                DispatchPolicy::Fifo => {
-                    // Earliest-free instance; ties break toward the lowest
-                    // index for determinism.
-                    let mut best = 0;
-                    for (i, &b) in self.busy_until.iter().enumerate() {
-                        if b < self.busy_until[best] {
-                            best = i;
-                        }
+            let mut now = req.arrival;
+            let mut attempts: u32 = 0;
+            let mut exclude = None;
+            let mut last_fault = DecodeFault::InstanceFailure;
+            let record = loop {
+                // The cluster notices scripted deaths as the clock passes
+                // them, whether or not a command was in flight.
+                for i in 0..self.config.instances {
+                    if script.down(i, now) {
+                        self.dead[i] = true;
                     }
-                    best
                 }
-                DispatchPolicy::RoundRobin => seq % self.config.instances,
+                let Some(instance) = self.pick_instance(seq, now, exclude, &script) else {
+                    break self.degrade(
+                        mem,
+                        req,
+                        seq,
+                        now,
+                        attempts.max(1),
+                        last_fault,
+                        &mut fallback,
+                    );
+                };
+                attempts += 1;
+                let dispatch = now.max(self.busy_until[instance]);
+                if attempts == 1 {
+                    pending.push(Reverse(dispatch));
+                }
+                let a = self.attempt(mem, req, seq, instance, dispatch, &script);
+                self.busy_until[instance] = dispatch + a.service;
+                let done = |status: CommandStatus, wire_bytes: u64| CommandRecord {
+                    seq,
+                    enqueue: req.arrival,
+                    dispatch,
+                    complete: dispatch + a.service,
+                    service: a.service,
+                    instance,
+                    wire_bytes,
+                    deser: req.op.is_deser(),
+                    sharers: a.sharers,
+                    status,
+                    attempts,
+                };
+                match a.verdict {
+                    Ok(wire_bytes) => break done(CommandStatus::Ok, wire_bytes),
+                    Err(fault) if !fault.category().is_retryable() => {
+                        break done(CommandStatus::Rejected(fault), 0);
+                    }
+                    Err(fault) => {
+                        self.fault_counts[instance] += 1;
+                        if a.instance_dead {
+                            self.dead[instance] = true;
+                        }
+                        last_fault = fault;
+                        if attempts > self.config.max_retries {
+                            break self.degrade(
+                                mem,
+                                req,
+                                seq,
+                                dispatch + a.service,
+                                attempts,
+                                fault,
+                                &mut fallback,
+                            );
+                        }
+                        self.retries += 1;
+                        let backoff = self
+                            .config
+                            .retry_backoff
+                            .saturating_mul(1 << u64::from(attempts - 1).min(16));
+                        now = (dispatch + a.service).saturating_add(backoff);
+                        exclude = Some(instance);
+                    }
+                }
             };
-            let dispatch = req.arrival.max(self.busy_until[instance]);
-            pending.push(Reverse(dispatch));
-            // Bandwidth contention: every instance still busy at dispatch
-            // time shares the memory interface with this command.
-            let sharers = 1 + self
-                .busy_until
-                .iter()
-                .enumerate()
-                .filter(|&(i, &b)| i != instance && b > dispatch)
-                .count();
-            mem.system.set_sharers(sharers);
-            mem.system.set_requester(instance);
-            self.recycle_if_low(instance);
             if self.trace_footprints {
-                // Drop any stale trace so the capture covers only this
-                // command's unit run.
-                mem.system.set_tracing(true);
-                let _ = mem.system.take_trace();
+                let fp = self.last_footprint.take().unwrap_or(CommandFootprint {
+                    seq,
+                    reads: Vec::new(),
+                    writes: Vec::new(),
+                });
+                self.footprints.push(fp);
             }
-            let accel = &mut self.accels[instance];
-            let (unit_cycles, wire_bytes) = match req.op {
-                RequestOp::Deserialize {
-                    adt_ptr,
-                    input_addr,
-                    input_len,
-                    dest_obj,
-                    min_field,
-                } => {
-                    accel.deser_info(adt_ptr, dest_obj);
-                    let run = accel.do_proto_deser(mem, input_addr, input_len, min_field)?;
-                    accel.block_for_deser_completion();
-                    (run.cycles, run.wire_bytes)
-                }
-                RequestOp::Serialize {
-                    adt_ptr,
-                    obj_ptr,
-                    hasbits_offset,
-                    min_field,
-                    max_field,
-                } => {
-                    accel.ser_info(hasbits_offset, min_field, max_field);
-                    let run = accel.do_proto_ser(mem, adt_ptr, obj_ptr)?;
-                    accel.block_for_ser_completion();
-                    (run.cycles, run.out_len)
-                }
-            };
-            mem.system.set_sharers(1);
-            if self.trace_footprints {
-                let trace = mem.system.take_trace();
-                mem.system.set_tracing(false);
-                self.footprints
-                    .push(CommandFootprint::from_trace(seq, &trace));
-            }
-            let service = self.config.accel.rocc_dispatch_cycles + unit_cycles;
-            let complete = dispatch + service;
-            self.busy_until[instance] = complete;
-            self.records.push(CommandRecord {
-                seq,
-                enqueue: req.arrival,
-                dispatch,
-                complete,
-                service,
-                instance,
-                wire_bytes,
-                deser: req.op.is_deser(),
-                sharers,
-            });
+            self.records.push(record);
         }
         Ok(())
+    }
+
+    /// Picks an instance for dispatch at `now`, honoring the policy, the
+    /// fault script, quarantine state, and an optional excluded instance
+    /// (the one that just faulted). Returns `None` when no instance can
+    /// serve at all.
+    fn pick_instance(
+        &self,
+        seq: usize,
+        now: Cycles,
+        exclude: Option<usize>,
+        script: &FaultScript,
+    ) -> Option<usize> {
+        let n = self.config.instances;
+        let pick = |skip: Option<usize>| -> Option<usize> {
+            let ok = |i: usize| {
+                !self.dead[i]
+                    && self.fault_counts[i] < self.config.quarantine_threshold
+                    && !script.down(i, now)
+                    && Some(i) != skip
+            };
+            match self.config.policy {
+                DispatchPolicy::RoundRobin if skip.is_none() => {
+                    // Static binding, skipping over unavailable instances.
+                    (0..n).map(|k| (seq + k) % n).find(|&i| ok(i))
+                }
+                _ => {
+                    // Earliest-free usable instance, lowest index on ties.
+                    // Also the retry rule under either policy: a retry goes
+                    // wherever capacity frees up first.
+                    (0..n)
+                        .filter(|&i| ok(i))
+                        .min_by_key(|&i| (self.busy_until[i], i))
+                }
+            }
+        };
+        // If only the just-faulted instance survives, retry there rather
+        // than give up on the accelerators entirely.
+        pick(exclude).or_else(|| if exclude.is_some() { pick(None) } else { None })
+    }
+
+    /// One service attempt on `instance` dispatched at `dispatch`. Folds in
+    /// scripted instance faults, injected memory faults, and the
+    /// watchdog/deadline ceiling; the caller charges the returned service
+    /// time to the instance.
+    fn attempt(
+        &mut self,
+        mem: &mut Memory,
+        req: &Request,
+        seq: usize,
+        instance: usize,
+        dispatch: Cycles,
+        script: &FaultScript,
+    ) -> Attempt {
+        // Bandwidth contention: every instance still busy at dispatch time
+        // shares the memory interface with this command.
+        let sharers = 1 + self
+            .busy_until
+            .iter()
+            .enumerate()
+            .filter(|&(i, &b)| i != instance && b > dispatch)
+            .count();
+        mem.system.set_sharers(sharers);
+        mem.system.set_requester(instance);
+        self.recycle_if_low(instance);
+        if self.trace_footprints {
+            // Drop any stale trace so the capture covers only this
+            // command's unit run.
+            mem.system.set_tracing(true);
+            let _ = mem.system.take_trace();
+        }
+        let accel = &mut self.accels[instance];
+        let raw = match req.op {
+            RequestOp::Deserialize {
+                adt_ptr,
+                input_addr,
+                input_len,
+                dest_obj,
+                min_field,
+            } => {
+                accel.deser_info(adt_ptr, dest_obj);
+                match accel.do_proto_deser(mem, input_addr, input_len, min_field) {
+                    Ok(run) => {
+                        accel.block_for_deser_completion();
+                        Ok((run.cycles, run.wire_bytes))
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            RequestOp::Serialize {
+                adt_ptr,
+                obj_ptr,
+                hasbits_offset,
+                min_field,
+                max_field,
+            } => {
+                accel.ser_info(hasbits_offset, min_field, max_field);
+                match accel.do_proto_ser(mem, adt_ptr, obj_ptr) {
+                    Ok(run) => {
+                        accel.block_for_ser_completion();
+                        Ok((run.cycles, run.out_len))
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        };
+        mem.system.set_sharers(1);
+        // An injected memory fault (ECC, stall) outranks the functional
+        // result: the hardware detected it during the transfer.
+        let raw = match mem.system.take_fault() {
+            Some(f) => Err(AccelError::Mem(f)),
+            None => raw,
+        };
+        if self.trace_footprints {
+            let trace = mem.system.take_trace();
+            mem.system.set_tracing(false);
+            self.last_footprint = Some(CommandFootprint::from_trace(seq, &trace));
+        }
+        let (mut service, mut verdict) = match raw {
+            Ok((unit_cycles, wire_bytes)) => (
+                self.config.accel.rocc_dispatch_cycles
+                    + script.slowed(instance, dispatch, unit_cycles),
+                Ok(wire_bytes),
+            ),
+            Err(e) => (self.reject_service(&req.op), Err(DecodeFault::classify(&e))),
+        };
+        let mut instance_dead = false;
+        // A hang leaves the command running forever; only a ceiling below
+        // recovers the slot.
+        if script.hangs(instance, dispatch, service) {
+            service = HUNG_COMMAND_CYCLES;
+            verdict = Err(DecodeFault::InstanceFailure);
+            instance_dead = true;
+        }
+        // A crash cuts the attempt short at the crash cycle.
+        if let Some(cut) = script.crash_cut(instance, dispatch, service) {
+            service = cut;
+            verdict = Err(DecodeFault::InstanceFailure);
+            instance_dead = true;
+        }
+        // Watchdog / deadline ceiling: the attempt is killed at the ceiling
+        // instead of holding the instance.
+        let ceiling = match (req.watchdog, self.config.deadline) {
+            (Some(w), Some(d)) => Some(w.min(d)),
+            (w, d) => w.or(d),
+        };
+        if let Some(limit) = ceiling {
+            if service > limit {
+                service = limit.max(1);
+                verdict = Err(DecodeFault::WatchdogKill);
+            }
+        }
+        Attempt {
+            service,
+            sharers,
+            verdict,
+            instance_dead,
+        }
+    }
+
+    /// Steps 3–4 of the degradation ladder: software fallback if available,
+    /// else a [`CommandStatus::Failed`] record. `now` is when the command
+    /// gave up on the accelerators.
+    #[allow(clippy::too_many_arguments)]
+    fn degrade(
+        &mut self,
+        mem: &mut Memory,
+        req: &Request,
+        seq: usize,
+        now: Cycles,
+        attempts: u32,
+        fault: DecodeFault,
+        fallback: &mut Option<&mut dyn FallbackCodec>,
+    ) -> CommandRecord {
+        let base = CommandRecord {
+            seq,
+            enqueue: req.arrival,
+            dispatch: now,
+            complete: now + 1,
+            service: 1,
+            instance: FALLBACK_INSTANCE,
+            wire_bytes: 0,
+            deser: req.op.is_deser(),
+            sharers: 1,
+            status: CommandStatus::Failed(fault),
+            attempts,
+        };
+        let Some(fb) = fallback.as_deref_mut() else {
+            return base;
+        };
+        let dispatch = now.max(self.cpu_busy_until);
+        mem.system.set_sharers(1);
+        // Attribute software-path traffic to a requester id one past the
+        // accelerator instances.
+        mem.system.set_requester(self.config.instances);
+        if self.trace_footprints {
+            mem.system.set_tracing(true);
+            let _ = mem.system.take_trace();
+        }
+        let (cycles, result) = fb.execute(mem, &req.op);
+        // The software path can trip injected memory faults too.
+        let result = match mem.system.take_fault() {
+            Some(f) => Err(AccelError::Mem(f)),
+            None => result,
+        };
+        if self.trace_footprints {
+            let trace = mem.system.take_trace();
+            mem.system.set_tracing(false);
+            self.last_footprint = Some(CommandFootprint::from_trace(seq, &trace));
+        }
+        let service = cycles.max(1);
+        self.cpu_busy_until = dispatch + service;
+        let status = match result {
+            Ok(_) => CommandStatus::Fallback,
+            Err(ref e) => CommandStatus::Rejected(DecodeFault::classify(e)),
+        };
+        CommandRecord {
+            dispatch,
+            complete: dispatch + service,
+            service,
+            wire_bytes: result.unwrap_or(0),
+            status,
+            ..base
+        }
+    }
+
+    /// Modeled occupancy of an attempt that ends in a fault verdict: the
+    /// unit streamed (deser) or scanned (ser) input up to the fault, so
+    /// charge the dispatch overhead plus one pass at window bandwidth.
+    fn reject_service(&self, op: &RequestOp) -> Cycles {
+        let bytes = match *op {
+            RequestOp::Deserialize { input_len, .. } => input_len,
+            RequestOp::Serialize { .. } => self.config.accel.window_bytes as u64,
+        };
+        self.config.accel.rocc_dispatch_cycles
+            + bytes.div_ceil(self.config.accel.window_bytes as u64).max(1)
     }
 
     /// Reassigns an instance's arenas when nearly exhausted (software-side
@@ -415,6 +891,40 @@ impl ServeCluster {
     /// Requests shed because the queue was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Retry attempts performed across the run.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Commands that received a definitive response (everything except
+    /// [`CommandStatus::Failed`]).
+    pub fn served(&self) -> u64 {
+        self.records.iter().filter(|r| r.status.is_served()).count() as u64
+    }
+
+    /// Commands resolved with each terminal status, as
+    /// `(ok, fallback, rejected, failed)`.
+    pub fn status_counts(&self) -> (u64, u64, u64, u64) {
+        let mut c = (0, 0, 0, 0);
+        for r in &self.records {
+            match r.status {
+                CommandStatus::Ok => c.0 += 1,
+                CommandStatus::Fallback => c.1 += 1,
+                CommandStatus::Rejected(_) => c.2 += 1,
+                CommandStatus::Failed(_) => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// Instances no longer eligible for dispatch: scripted dead (crash or
+    /// hang consumed) or past the quarantine threshold.
+    pub fn quarantined_instances(&self) -> Vec<usize> {
+        (0..self.config.instances)
+            .filter(|&i| self.dead[i] || self.fault_counts[i] >= self.config.quarantine_threshold)
+            .collect()
     }
 
     /// Completion time of the last command (0 if none ran).
@@ -491,15 +1001,19 @@ impl ServeCluster {
             if r.latency() < r.service {
                 return Err(format!("cmd {}: latency below service time", r.seq));
             }
-            if r.dispatch < per_instance_last[r.instance] {
-                return Err(format!(
-                    "cmd {}: overlaps previous command on instance {}",
-                    r.seq, r.instance
-                ));
-            }
-            per_instance_last[r.instance] = r.complete;
-            if r.sharers == 0 || r.sharers > self.config.instances {
-                return Err(format!("cmd {}: impossible sharer count", r.seq));
+            // Fallback/failed records carry the sentinel instance; they run
+            // on the virtual CPU server, outside the per-instance timeline.
+            if r.instance != FALLBACK_INSTANCE {
+                if r.dispatch < per_instance_last[r.instance] {
+                    return Err(format!(
+                        "cmd {}: overlaps previous command on instance {}",
+                        r.seq, r.instance
+                    ));
+                }
+                per_instance_last[r.instance] = r.complete;
+                if r.sharers == 0 || r.sharers > self.config.instances {
+                    return Err(format!("cmd {}: impossible sharer count", r.seq));
+                }
             }
         }
         Ok(())
@@ -570,6 +1084,7 @@ mod tests {
         (0..n)
             .map(|i| Request {
                 arrival: i as Cycles * gap,
+                watchdog: None,
                 op: if i % 2 == 0 {
                     RequestOp::Deserialize {
                         adt_ptr: f.adt_ptr,
@@ -740,6 +1255,257 @@ mod tests {
         let mut quiet = ServeCluster::new(ServeConfig::default(), 0x1_0000_0000, 1 << 24);
         quiet.run(&mut f2.mem, &reqs2).unwrap();
         assert!(quiet.footprints().is_empty());
+    }
+
+    /// Fixed-cost software codec stub for fallback-path unit tests.
+    struct StubFallback {
+        cycles: Cycles,
+        calls: u64,
+    }
+
+    impl FallbackCodec for StubFallback {
+        fn execute(
+            &mut self,
+            _mem: &mut Memory,
+            op: &RequestOp,
+        ) -> (Cycles, Result<u64, AccelError>) {
+            self.calls += 1;
+            let bytes = match *op {
+                RequestOp::Deserialize { input_len, .. } => input_len,
+                RequestOp::Serialize { .. } => 8,
+            };
+            (self.cycles, Ok(bytes))
+        }
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_without_retry() {
+        let mut f = fixture();
+        // Truncate the wire input mid-message: a deterministic decode fault.
+        let reqs = vec![Request {
+            arrival: 0,
+            watchdog: None,
+            op: RequestOp::Deserialize {
+                adt_ptr: f.adt_ptr,
+                input_addr: f.input_addr,
+                input_len: f.input_len - 1,
+                dest_obj: f.dest_obj,
+                min_field: f.min_field,
+            },
+        }];
+        let mut cluster = ServeCluster::new(ServeConfig::default(), 0x1_0000_0000, 1 << 24);
+        cluster.run(&mut f.mem, &reqs).unwrap();
+        cluster.check_invariants().unwrap();
+        let r = &cluster.records()[0];
+        assert!(matches!(r.status, CommandStatus::Rejected(_)));
+        assert_eq!(r.attempts, 1, "deterministic faults must not retry");
+        assert_eq!(r.wire_bytes, 0);
+        assert_eq!(cluster.retries(), 0);
+        assert!(r.status.is_served());
+    }
+
+    #[test]
+    fn crash_mid_run_fails_over_and_still_serves_everything() {
+        let mut f = fixture();
+        let reqs = mixed_requests(&f, 24, 500);
+        let mut cluster = ServeCluster::new(
+            ServeConfig {
+                instances: 4,
+                ..ServeConfig::default()
+            },
+            0x1_0000_0000,
+            1 << 24,
+        );
+        // Instance 0 dies one third into the arrival window.
+        let faults = [InstanceFault {
+            instance: 0,
+            at: 4_000,
+            kind: InstanceFaultKind::Crash,
+        }];
+        cluster.run_with(&mut f.mem, &reqs, &faults, None).unwrap();
+        cluster.check_invariants().unwrap();
+        assert_eq!(cluster.records().len(), 24);
+        assert_eq!(cluster.served(), 24, "survivors must absorb the load");
+        assert!(cluster.quarantined_instances().contains(&0));
+        // Nothing dispatches to the dead instance after the crash.
+        for r in cluster.records() {
+            if r.instance == 0 {
+                assert!(r.dispatch < 4_000 || matches!(r.status, CommandStatus::Ok));
+            }
+            assert!(r.status.is_ok(), "cmd {} resolved {:?}", r.seq, r.status);
+        }
+    }
+
+    #[test]
+    fn hang_without_watchdog_is_capped_and_retried_elsewhere() {
+        let mut f = fixture();
+        let reqs = mixed_requests(&f, 4, 10);
+        let mut cluster = ServeCluster::new(
+            ServeConfig {
+                instances: 2,
+                ..ServeConfig::default()
+            },
+            0x1_0000_0000,
+            1 << 24,
+        );
+        let faults = [InstanceFault {
+            instance: 0,
+            at: 5,
+            kind: InstanceFaultKind::Hang,
+        }];
+        cluster.run_with(&mut f.mem, &reqs, &faults, None).unwrap();
+        cluster.check_invariants().unwrap();
+        assert_eq!(cluster.served(), 4);
+        assert!(cluster.retries() >= 1, "the hung attempt must retry");
+        // Every command ends up on the surviving instance.
+        for r in cluster.records() {
+            assert_eq!(r.instance, 1);
+            assert!(r.status.is_ok());
+        }
+    }
+
+    #[test]
+    fn watchdog_kills_hung_command_at_the_ceiling() {
+        let mut f = fixture();
+        let ceiling = 10_000;
+        let mut reqs = mixed_requests(&f, 1, 0);
+        reqs[0].watchdog = Some(ceiling);
+        let mut cluster = ServeCluster::new(ServeConfig::default(), 0x1_0000_0000, 1 << 24);
+        let faults = [InstanceFault {
+            instance: 0,
+            at: 1,
+            kind: InstanceFaultKind::Hang,
+        }];
+        cluster.run_with(&mut f.mem, &reqs, &faults, None).unwrap();
+        cluster.check_invariants().unwrap();
+        let r = &cluster.records()[0];
+        // The only instance hung: the watchdog kills the attempt at the
+        // ceiling, the retry finds the instance dead, and with no fallback
+        // the command fails — bounded, rather than hanging the simulation.
+        assert_eq!(r.status, CommandStatus::Failed(DecodeFault::WatchdogKill));
+        assert!(
+            r.dispatch <= ceiling + cluster.config().retry_backoff,
+            "watchdog must bound the occupied time"
+        );
+        assert!(cluster.makespan() < HUNG_COMMAND_CYCLES);
+    }
+
+    #[test]
+    fn all_instances_down_degrades_to_software_fallback() {
+        let mut f = fixture();
+        let reqs = mixed_requests(&f, 8, 100);
+        let mut cluster = ServeCluster::new(
+            ServeConfig {
+                instances: 2,
+                ..ServeConfig::default()
+            },
+            0x1_0000_0000,
+            1 << 24,
+        );
+        let faults = [
+            InstanceFault {
+                instance: 0,
+                at: 0,
+                kind: InstanceFaultKind::Crash,
+            },
+            InstanceFault {
+                instance: 1,
+                at: 0,
+                kind: InstanceFaultKind::Crash,
+            },
+        ];
+        let mut fb = StubFallback {
+            cycles: 5_000,
+            calls: 0,
+        };
+        cluster
+            .run_with(&mut f.mem, &reqs, &faults, Some(&mut fb))
+            .unwrap();
+        cluster.check_invariants().unwrap();
+        assert_eq!(cluster.served(), 8, "fallback must absorb all load");
+        assert_eq!(fb.calls, 8);
+        let (ok, fallback, rejected, failed) = cluster.status_counts();
+        assert_eq!((ok, fallback, rejected, failed), (0, 8, 0, 0));
+        // The software path is serialized: completions stack up behind one
+        // virtual CPU server.
+        let mut last = 0;
+        for r in cluster.records() {
+            assert_eq!(r.instance, FALLBACK_INSTANCE);
+            assert!(r.dispatch >= last);
+            last = r.complete;
+        }
+    }
+
+    #[test]
+    fn slow_instance_inflates_service_inside_the_window() {
+        let f = fixture();
+        let reqs = mixed_requests(&f, 2, 1_000_000);
+        let run = |faults: &[InstanceFault]| {
+            let mut f = fixture();
+            let mut cluster = ServeCluster::new(ServeConfig::default(), 0x1_0000_0000, 1 << 24);
+            cluster.run_with(&mut f.mem, &reqs, faults, None).unwrap();
+            cluster
+                .records()
+                .iter()
+                .map(|r| r.service)
+                .collect::<Vec<_>>()
+        };
+        let clean = run(&[]);
+        let slowed = run(&[InstanceFault {
+            instance: 0,
+            at: 0,
+            kind: InstanceFaultKind::Slow {
+                factor: 8,
+                until: 500_000,
+            },
+        }]);
+        assert!(slowed[0] > clean[0], "first command hits the slow window");
+        assert_eq!(slowed[1], clean[1], "second dispatches after the window");
+    }
+
+    #[test]
+    fn ecc_fault_retries_on_the_same_instance_when_alone() {
+        let mut f = fixture();
+        let reqs = mixed_requests(&f, 2, 100_000);
+        let mut cluster = ServeCluster::new(ServeConfig::default(), 0x1_0000_0000, 1 << 24);
+        // One transient ECC error on the wire input: the first attempt
+        // trips it, and with no other instance the retry lands back on the
+        // same (now clean) instance.
+        f.mem.system.arm_ecc(f.input_addr);
+        cluster.run_with(&mut f.mem, &reqs, &[], None).unwrap();
+        cluster.check_invariants().unwrap();
+        assert_eq!(cluster.served(), 2);
+        assert_eq!(cluster.retries(), 1);
+        let r = &cluster.records()[0];
+        assert_eq!(r.status, CommandStatus::Ok);
+        assert_eq!(r.attempts, 2);
+        assert_eq!(cluster.records()[1].attempts, 1);
+    }
+
+    #[test]
+    fn memory_fault_quarantines_the_instance_at_threshold() {
+        let mut f = fixture();
+        let reqs = mixed_requests(&f, 10, 50_000);
+        let mut cluster = ServeCluster::new(
+            ServeConfig {
+                instances: 2,
+                quarantine_threshold: 1,
+                ..ServeConfig::default()
+            },
+            0x1_0000_0000,
+            1 << 24,
+        );
+        // The first command's ECC hit immediately quarantines instance 0;
+        // everything (including the retry) runs on instance 1 afterwards.
+        f.mem.system.arm_ecc(f.input_addr);
+        cluster.run_with(&mut f.mem, &reqs, &[], None).unwrap();
+        cluster.check_invariants().unwrap();
+        assert_eq!(cluster.served(), 10);
+        assert_eq!(cluster.quarantined_instances(), vec![0]);
+        for r in cluster.records() {
+            assert!(r.status.is_ok(), "cmd {} resolved {:?}", r.seq, r.status);
+            assert_eq!(r.instance, 1);
+        }
     }
 
     #[test]

@@ -65,16 +65,44 @@ impl<'a> SoftwareCodec<'a> {
         dest_obj: u64,
         arena: &mut BumpArena,
     ) -> Result<CodecRun, RuntimeError> {
+        self.try_deserialize(
+            mem, schema, layouts, type_id, input_addr, input_len, dest_obj, arena,
+        )
+        .1
+    }
+
+    /// Like [`SoftwareCodec::deserialize`], but also returns the cycles
+    /// consumed up to the point of failure: rejecting malformed input costs
+    /// real parse work, which the serve cluster's CPU-fallback path must
+    /// charge even when the verdict is a rejection.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_deserialize(
+        &self,
+        mem: &mut Memory,
+        schema: &Schema,
+        layouts: &MessageLayouts,
+        type_id: MessageId,
+        input_addr: u64,
+        input_len: u64,
+        dest_obj: u64,
+        arena: &mut BumpArena,
+    ) -> (Cycles, Result<CodecRun, RuntimeError>) {
         let mut run = CodecRun {
             cycles: self.cost.frontend_flush_cycles,
             ..CodecRun::default()
         };
         let input = mem.data.read_vec(input_addr, input_len as usize);
-        self.deser_message(
+        let verdict = self.deser_message(
             mem, schema, layouts, type_id, &input, input_addr, dest_obj, arena, &mut run, 0,
-        )?;
-        run.wire_bytes = input_len;
-        Ok(run)
+        );
+        let cycles = run.cycles;
+        match verdict {
+            Ok(()) => {
+                run.wire_bytes = input_len;
+                (cycles, Ok(run))
+            }
+            Err(e) => (cycles, Err(e)),
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -136,17 +164,23 @@ impl<'a> SoftwareCodec<'a> {
                 );
                 run.cycles += self.cost.varint_decode_byte * len_len as u64;
                 pos += len_len;
-                let end = pos + body_len as usize;
-                if end > input.len() {
+                // Compared against the remaining bytes so an adversarial
+                // 64-bit length cannot overflow the position addition.
+                if body_len > (input.len() - pos) as u64 {
                     return Err(WireError::LengthOutOfBounds {
                         declared: body_len,
                         remaining: input.len() - pos,
                     }
                     .into());
                 }
+                let end = pos + body_len as usize;
                 while pos < end {
+                    // Clamp elements to the declared body: upstream protobuf
+                    // reads packed bodies under a pushed limit, so an element
+                    // crossing the boundary is a truncation, not license to
+                    // keep consuming the enclosing frame.
                     let (elem, elem_bytes) =
-                        self.deser_scalar_element(mem, input, input_base, pos, field, run)?;
+                        self.deser_scalar_element(mem, &input[..end], input_base, pos, field, run)?;
                     pos += elem_bytes;
                     repeated
                         .entry(field.number())
@@ -352,7 +386,7 @@ impl<'a> SoftwareCodec<'a> {
         run.cycles += self.cost.varint_decode_byte * len_len as u64;
         *pos += len_len;
         let payload_off = *pos;
-        if payload_off + len as usize > input.len() {
+        if len > (input.len() - payload_off) as u64 {
             return Err(WireError::LengthOutOfBounds {
                 declared: len,
                 remaining: input.len() - payload_off,
@@ -410,7 +444,11 @@ impl<'a> SoftwareCodec<'a> {
             WireType::Bits64 => 8,
             WireType::LengthDelimited => {
                 let (len, len_len) = varint::decode(&input[pos..])?;
-                len_len + len as usize
+                len_len
+                    .checked_add(len as usize)
+                    .ok_or(WireError::Truncated {
+                        offset: input.len(),
+                    })?
             }
             WireType::StartGroup | WireType::EndGroup => {
                 return Err(WireError::InvalidWireType {
@@ -419,7 +457,7 @@ impl<'a> SoftwareCodec<'a> {
                 .into())
             }
         };
-        if pos + consumed > input.len() {
+        if consumed > input.len() - pos {
             return Err(WireError::Truncated {
                 offset: input.len(),
             }

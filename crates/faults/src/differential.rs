@@ -1,0 +1,261 @@
+//! Accelerator-vs-CPU differential verdicts: the same bytes through the
+//! accelerator model and the CPU reference decoder must produce the same
+//! accept/reject verdict, with rejections in the same
+//! [`protoacc::DecodeFault`] class.
+//!
+//! This is the contract that makes the accelerator a drop-in replacement
+//! even on hostile input: an application that swaps the software parser for
+//! the hardware one must see the same messages accepted and the same error
+//! class on the ones rejected — never an accept on one side and a reject on
+//! the other.
+
+use protoacc::{AccelConfig, DecodeFault, ProtoAccelerator};
+use protoacc_cpu::{CostTable, SoftwareCodec};
+use protoacc_mem::{MemConfig, Memory};
+use protoacc_runtime::{write_adts, AdtTables, BumpArena, MessageLayouts};
+use protoacc_schema::{MessageId, Schema};
+
+/// Guest memory map for one harness (all regions disjoint by construction).
+const SETUP_BASE: u64 = 0x1_0000;
+const SETUP_LEN: u64 = 1 << 22;
+const INPUT_BASE: u64 = 0x60_0000;
+const ACCEL_ARENA_BASE: u64 = 0x100_0000;
+const ACCEL_ARENA_LEN: u64 = 1 << 22;
+const CPU_ARENA_BASE: u64 = 0x200_0000;
+const CPU_ARENA_LEN: u64 = 1 << 22;
+
+/// One decoder's answer for one input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The input decoded successfully.
+    Accept,
+    /// The input was rejected with this fault class.
+    Reject(DecodeFault),
+}
+
+impl Verdict {
+    /// Whether this verdict is an accept.
+    pub fn is_accept(self) -> bool {
+        matches!(self, Verdict::Accept)
+    }
+}
+
+/// One input on which the two decoders disagreed.
+#[derive(Debug, Clone)]
+pub struct VerdictMismatch {
+    /// Caller-supplied label (fault class, trial number, ...).
+    pub label: String,
+    /// What the accelerator said.
+    pub accel: Verdict,
+    /// What the CPU reference said.
+    pub cpu: Verdict,
+    /// The offending bytes, for replay.
+    pub input: Vec<u8>,
+}
+
+/// Tally of a differential run.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Inputs examined.
+    pub trials: usize,
+    /// Inputs both decoders accepted.
+    pub accepted: usize,
+    /// Inputs both decoders rejected with the same fault class.
+    pub rejected: usize,
+    /// Disagreements (verdict or fault class).
+    pub mismatches: Vec<VerdictMismatch>,
+}
+
+impl DiffReport {
+    /// True when every trial agreed.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// One-line summary for test failure messages.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} trials: {} accepted, {} rejected, {} mismatches{}",
+            self.trials,
+            self.accepted,
+            self.rejected,
+            self.mismatches.len(),
+            self.mismatches
+                .first()
+                .map(|m| format!(
+                    " (first: {} accel={:?} cpu={:?} input={:02x?})",
+                    m.label,
+                    m.accel,
+                    m.cpu,
+                    &m.input[..m.input.len().min(48)]
+                ))
+                .unwrap_or_default()
+        )
+    }
+}
+
+/// Runs the same bytes through a fresh accelerator and the CPU reference
+/// decoder and compares verdicts.
+///
+/// The guest memory, ADT tables, and destination objects are staged once at
+/// construction; each trial restages only the input bytes and resets the
+/// decode arenas, so a 10k-mutation sweep stays cheap and every trial is
+/// independent of the last.
+pub struct DifferentialHarness {
+    schema: Schema,
+    layouts: MessageLayouts,
+    type_id: MessageId,
+    cost: CostTable,
+    mem: Memory,
+    adts: AdtTables,
+    dest_accel: u64,
+    dest_cpu: u64,
+    cpu_arena: BumpArena,
+}
+
+impl DifferentialHarness {
+    /// Stages a harness for `type_id` of `schema`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schema's ADT tables or two destination objects do not
+    /// fit the setup region — only plausible for schemas far beyond the
+    /// benchmark suite's size.
+    pub fn new(schema: &Schema, type_id: MessageId) -> Self {
+        let layouts = MessageLayouts::compute(schema);
+        let mut mem = Memory::new(MemConfig::default());
+        let mut setup = BumpArena::new(SETUP_BASE, SETUP_LEN);
+        let adts = write_adts(schema, &layouts, &mut mem.data, &mut setup)
+            .expect("ADT tables fit the setup region");
+        let object_size = layouts.layout(type_id).object_size();
+        let dest_accel = setup.alloc(object_size, 8).expect("accel dest object fits");
+        let dest_cpu = setup.alloc(object_size, 8).expect("cpu dest object fits");
+        DifferentialHarness {
+            schema: schema.clone(),
+            layouts,
+            type_id,
+            cost: CostTable::boom(),
+            mem,
+            adts,
+            dest_accel,
+            dest_cpu,
+            cpu_arena: BumpArena::new(CPU_ARENA_BASE, CPU_ARENA_LEN),
+        }
+    }
+
+    /// Decodes `bytes` on both sides and returns `(accelerator, cpu)`
+    /// verdicts. Never panics, whatever the bytes.
+    pub fn verdicts(&mut self, bytes: &[u8]) -> (Verdict, Verdict) {
+        self.mem.data.write_bytes(INPUT_BASE, bytes);
+
+        // Accelerator side: fresh frontend, re-assigned arena.
+        let mut accel = ProtoAccelerator::new(AccelConfig::default());
+        accel.deser_assign_arena(ACCEL_ARENA_BASE, ACCEL_ARENA_LEN);
+        accel.deser_info(self.adts.addr(self.type_id), self.dest_accel);
+        let min_field = self.layouts.layout(self.type_id).min_field();
+        let accel_verdict =
+            match accel.do_proto_deser(&mut self.mem, INPUT_BASE, bytes.len() as u64, min_field) {
+                Ok(_) => Verdict::Accept,
+                Err(e) => Verdict::Reject(DecodeFault::classify(&e)),
+            };
+
+        // CPU reference side: fresh arena.
+        self.cpu_arena.reset();
+        let codec = SoftwareCodec::new(&self.cost);
+        let (_, result) = codec.try_deserialize(
+            &mut self.mem,
+            &self.schema,
+            &self.layouts,
+            self.type_id,
+            INPUT_BASE,
+            bytes.len() as u64,
+            self.dest_cpu,
+            &mut self.cpu_arena,
+        );
+        let cpu_verdict = match result {
+            Ok(_) => Verdict::Accept,
+            Err(e) => Verdict::Reject(DecodeFault::from_runtime(&e)),
+        };
+        (accel_verdict, cpu_verdict)
+    }
+
+    /// Runs one trial and tallies it into `report`; mismatching inputs are
+    /// captured for replay.
+    pub fn observe(&mut self, label: &str, bytes: &[u8], report: &mut DiffReport) {
+        let (accel, cpu) = self.verdicts(bytes);
+        report.trials += 1;
+        if accel == cpu {
+            if accel.is_accept() {
+                report.accepted += 1;
+            } else {
+                report.rejected += 1;
+            }
+        } else {
+            report.mismatches.push(VerdictMismatch {
+                label: label.to_owned(),
+                accel,
+                cpu,
+                input: bytes.to_vec(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{corrupt, WIRE_FAULTS};
+    use protoacc_runtime::{reference, MessageValue, Value};
+    use protoacc_schema::{FieldType, SchemaBuilder};
+    use xrand::StdRng;
+
+    fn setup() -> (Schema, MessageId, Vec<u8>) {
+        let mut b = SchemaBuilder::new();
+        let root = b.declare("Root");
+        b.message(root)
+            .optional("n", FieldType::UInt64, 1)
+            .optional("s", FieldType::String, 2)
+            .repeated("r", FieldType::Int32, 3);
+        let schema = b.build().unwrap();
+        let mut m = MessageValue::new(root);
+        m.set_unchecked(1, Value::UInt64(77));
+        m.set_unchecked(2, Value::Str("differential".into()));
+        m.set_repeated(3, vec![Value::Int32(-4), Value::Int32(19)]);
+        let wire = reference::encode(&m, &schema).unwrap();
+        (schema, root, wire)
+    }
+
+    #[test]
+    fn clean_input_accepts_on_both_sides() {
+        let (schema, root, wire) = setup();
+        let mut h = DifferentialHarness::new(&schema, root);
+        assert_eq!(h.verdicts(&wire), (Verdict::Accept, Verdict::Accept));
+    }
+
+    #[test]
+    fn every_wire_fault_class_agrees_on_a_small_sweep() {
+        let (schema, root, wire) = setup();
+        let mut h = DifferentialHarness::new(&schema, root);
+        let mut rng = StdRng::seed_from_u64(0xD1FF);
+        let mut report = DiffReport::default();
+        for fault in WIRE_FAULTS {
+            for _ in 0..64 {
+                let mutated = corrupt(&wire, fault, &mut rng);
+                h.observe(fault.label(), &mutated, &mut report);
+            }
+        }
+        assert!(report.is_clean(), "{}", report.summary());
+        assert_eq!(report.trials, 64 * WIRE_FAULTS.len());
+        assert!(report.rejected > 0, "sweep never produced a rejection");
+    }
+
+    #[test]
+    fn trials_are_independent() {
+        let (schema, root, wire) = setup();
+        let mut h = DifferentialHarness::new(&schema, root);
+        // A hostile input must not poison the verdict on a clean one.
+        let _ = h.verdicts(&[0xFF; 32]);
+        assert_eq!(h.verdicts(&wire), (Verdict::Accept, Verdict::Accept));
+        assert_eq!(h.verdicts(&[]), (Verdict::Accept, Verdict::Accept));
+    }
+}

@@ -1,0 +1,181 @@
+//! Instance-plane injection: seeded crash/hang/slow-down scripts for
+//! [`protoacc::ServeCluster::run_with`].
+//!
+//! An [`InstanceFaultPlan`] describes *how likely* each fault class is per
+//! instance over a run horizon; [`random_script`] expands it into the
+//! concrete, replayable [`protoacc::InstanceFault`] schedule the cluster
+//! consumes. Same plan + same seed → byte-identical schedule.
+
+use protoacc::{InstanceFault, InstanceFaultKind};
+use protoacc_mem::Cycles;
+use xrand::Rng;
+
+/// Per-instance fault probabilities over one run horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceFaultPlan {
+    /// Probability an instance crashes (permanently dead from a random
+    /// cycle onward).
+    pub crash: f64,
+    /// Probability an instance hangs: the command dispatched across the
+    /// hang cycle never completes on its own, so only a watchdog (or the
+    /// hung-command cap) gets the cluster its instance slot back.
+    pub hang: f64,
+    /// Probability an instance degrades to a slow window (thermal
+    /// throttling, row-hammer mitigation, a noisy neighbor).
+    pub slow: f64,
+    /// Inclusive range the slow window's service multiplier is drawn from.
+    pub slow_factor: (u64, u64),
+}
+
+impl InstanceFaultPlan {
+    /// No instance-plane faults at all.
+    pub fn nominal() -> Self {
+        InstanceFaultPlan {
+            crash: 0.0,
+            hang: 0.0,
+            slow: 0.0,
+            slow_factor: (2, 8),
+        }
+    }
+
+    /// Crash-only plan: each instance dies with probability `rate`.
+    pub fn crash_only(rate: f64) -> Self {
+        InstanceFaultPlan {
+            crash: rate,
+            ..Self::nominal()
+        }
+    }
+
+    /// Hang-only plan.
+    pub fn hang_only(rate: f64) -> Self {
+        InstanceFaultPlan {
+            hang: rate,
+            ..Self::nominal()
+        }
+    }
+
+    /// Slow-only plan with the default factor range.
+    pub fn slow_only(rate: f64) -> Self {
+        InstanceFaultPlan {
+            slow: rate,
+            ..Self::nominal()
+        }
+    }
+}
+
+/// Expands `plan` into a concrete fault schedule for `instances` instances
+/// over `[0, horizon)` cycles. Fault times are uniform over the horizon;
+/// slow windows extend up to a quarter of the horizon past their onset.
+/// Deterministic in `rng`; an empty horizon or zero instances yields an
+/// empty script.
+pub fn random_script(
+    plan: &InstanceFaultPlan,
+    instances: usize,
+    horizon: Cycles,
+    rng: &mut impl Rng,
+) -> Vec<InstanceFault> {
+    let mut script = Vec::new();
+    if horizon == 0 {
+        return script;
+    }
+    for instance in 0..instances {
+        if rng.gen_bool(plan.crash.clamp(0.0, 1.0)) {
+            script.push(InstanceFault {
+                instance,
+                at: rng.gen_range(0..horizon),
+                kind: InstanceFaultKind::Crash,
+            });
+        }
+        if rng.gen_bool(plan.hang.clamp(0.0, 1.0)) {
+            script.push(InstanceFault {
+                instance,
+                at: rng.gen_range(0..horizon),
+                kind: InstanceFaultKind::Hang,
+            });
+        }
+        if rng.gen_bool(plan.slow.clamp(0.0, 1.0)) {
+            let at = rng.gen_range(0..horizon);
+            let (lo, hi) = plan.slow_factor;
+            let factor = rng.gen_range(lo.min(hi)..=hi.max(lo)).max(1);
+            let window = (horizon / 4).max(1);
+            script.push(InstanceFault {
+                instance,
+                at,
+                kind: InstanceFaultKind::Slow {
+                    factor,
+                    until: at.saturating_add(window),
+                },
+            });
+        }
+    }
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrand::StdRng;
+
+    #[test]
+    fn nominal_plan_produces_no_faults() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let script = random_script(&InstanceFaultPlan::nominal(), 8, 100_000, &mut rng);
+        assert!(script.is_empty());
+    }
+
+    #[test]
+    fn certain_crash_hits_every_instance_inside_the_horizon() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let script = random_script(&InstanceFaultPlan::crash_only(1.0), 4, 50_000, &mut rng);
+        assert_eq!(script.len(), 4);
+        for (i, f) in script.iter().enumerate() {
+            assert_eq!(f.instance, i);
+            assert!(f.at < 50_000);
+            assert!(matches!(f.kind, InstanceFaultKind::Crash));
+        }
+    }
+
+    #[test]
+    fn slow_windows_are_bounded_and_factors_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = InstanceFaultPlan {
+            slow: 1.0,
+            slow_factor: (3, 3),
+            ..InstanceFaultPlan::nominal()
+        };
+        let script = random_script(&plan, 6, 40_000, &mut rng);
+        assert_eq!(script.len(), 6);
+        for f in &script {
+            let InstanceFaultKind::Slow { factor, until } = f.kind else {
+                panic!("expected slow fault, got {:?}", f.kind);
+            };
+            assert_eq!(factor, 3);
+            assert!(until > f.at && until <= f.at + 10_000);
+        }
+    }
+
+    #[test]
+    fn scripts_are_deterministic_per_seed() {
+        let plan = InstanceFaultPlan {
+            crash: 0.5,
+            hang: 0.5,
+            slow: 0.5,
+            slow_factor: (2, 8),
+        };
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_script(&plan, 16, 1_000_000, &mut rng)
+                .iter()
+                .map(|f| (f.instance, f.at, format!("{:?}", f.kind)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn zero_horizon_is_empty() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(random_script(&InstanceFaultPlan::crash_only(1.0), 4, 0, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! Deterministic fault injection for the protoacc model.
+//!
+//! The paper's accelerator sits between two unforgiving interfaces:
+//! attacker-controllable wire bytes on one side and a shared memory
+//! hierarchy plus replicated hardware instances on the other. This crate
+//! injects faults into all three planes — every injection derived from a
+//! seed, so any observed behavior replays exactly:
+//!
+//! * **Wire plane** ([`wire`]) — bit flips, truncation, length-field
+//!   overruns, non-terminating varints, wire-type tampering, and recursion
+//!   depth bombs, aimed at the deserializer FSM's error states.
+//! * **Memory plane** ([`memory`]) — one-shot ECC errors and unbounded
+//!   stalls armed on address ranges through
+//!   [`protoacc_mem::MemSystem::arm_ecc`] / `arm_stall`.
+//! * **Instance plane** ([`instance`]) — scripted crash/hang/slow-down
+//!   schedules for [`protoacc::ServeCluster::run_with`].
+//!
+//! Two consumers close the loop:
+//!
+//! * [`fallback::SoftwareFallback`] is the serve cluster's last rung: the
+//!   instrumented CPU codec wrapped as a [`protoacc::FallbackCodec`], so
+//!   offered load is still served (slower, measured) with every accelerator
+//!   instance down.
+//! * [`differential`] runs the same bytes through the accelerator model and
+//!   the CPU reference decoder and demands the *same verdict class*
+//!   ([`protoacc::DecodeFault`]) from both — the contract that makes the
+//!   accelerator a drop-in replacement even on hostile input.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod differential;
+pub mod fallback;
+pub mod instance;
+pub mod memory;
+pub mod wire;
+
+pub use differential::{DiffReport, DifferentialHarness, Verdict};
+pub use fallback::SoftwareFallback;
+pub use instance::{random_script, InstanceFaultPlan};
+pub use wire::{depth_bomb, mutate, WireFault, WIRE_FAULTS};

@@ -1,0 +1,99 @@
+//! Memory-plane injection: seeded arming of one-shot ECC errors and
+//! unbounded stalls on the address ranges a workload actually touches.
+//!
+//! The faults themselves live in [`protoacc_mem::MemSystem`] (`arm_ecc`,
+//! `arm_stall`, `take_fault`); this module only picks *where* to arm them,
+//! deterministically from a seed, so a run that tripped a fault replays
+//! byte-identically.
+
+use protoacc_mem::{Cycles, MemSystem};
+use xrand::Rng;
+
+/// Arms `count` one-shot ECC errors at seeded addresses inside `regions`
+/// (half-open `[base, base + len)` ranges, e.g. the staged wire inputs).
+pub fn arm_random_ecc(
+    system: &mut MemSystem,
+    regions: &[(u64, u64)],
+    count: usize,
+    rng: &mut impl Rng,
+) {
+    for addr in pick_addrs(regions, count, rng) {
+        system.arm_ecc(addr);
+    }
+}
+
+/// Arms `count` one-shot stalls of `extra` cycles each at seeded addresses
+/// inside `regions`. An `extra` beyond any watchdog ceiling models the
+/// "unbounded stall" fault: without a watchdog the command would never
+/// return in any useful time.
+pub fn arm_random_stalls(
+    system: &mut MemSystem,
+    regions: &[(u64, u64)],
+    count: usize,
+    extra: Cycles,
+    rng: &mut impl Rng,
+) {
+    for addr in pick_addrs(regions, count, rng) {
+        system.arm_stall(addr, extra);
+    }
+}
+
+fn pick_addrs(regions: &[(u64, u64)], count: usize, rng: &mut impl Rng) -> Vec<u64> {
+    let usable: Vec<(u64, u64)> = regions
+        .iter()
+        .copied()
+        .filter(|&(_, len)| len > 0)
+        .collect();
+    if usable.is_empty() {
+        return Vec::new();
+    }
+    (0..count)
+        .map(|_| {
+            let (base, len) = usable[rng.gen_range(0..usable.len())];
+            base + rng.gen_range(0..len)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_mem::{AccessKind, MemConfig, Memory};
+    use xrand::StdRng;
+
+    #[test]
+    fn armed_faults_land_inside_the_regions_and_fire() {
+        let mut mem = Memory::new(MemConfig::default());
+        let mut rng = StdRng::seed_from_u64(11);
+        let regions = [(0x1000, 0x100), (0x8000, 0x40)];
+        arm_random_ecc(&mut mem.system, &regions, 4, &mut rng);
+        // Probe byte-by-byte: a wide access overlapping several armed
+        // faults latches only the first, so narrow probes count them all
+        // (barring a same-address collision, which this seed avoids).
+        let mut fired = 0;
+        for &(base, len) in &regions {
+            for off in 0..len {
+                mem.system.access(base + off, 1, AccessKind::Read);
+                if mem.system.take_fault().is_some() {
+                    fired += 1;
+                }
+            }
+        }
+        assert_eq!(fired, 4);
+        // Everything disarmed: a second sweep is clean.
+        for &(base, len) in &regions {
+            mem.system.access(base, len as usize, AccessKind::Read);
+        }
+        assert!(mem.system.take_fault().is_none());
+    }
+
+    #[test]
+    fn empty_regions_arm_nothing() {
+        let mut mem = Memory::new(MemConfig::default());
+        let mut rng = StdRng::seed_from_u64(11);
+        arm_random_stalls(&mut mem.system, &[(0x1000, 0)], 8, 1000, &mut rng);
+        assert!(!mem.system.fault_pending());
+        mem.system.access(0x1000, 64, AccessKind::Read);
+        assert!(mem.system.take_fault().is_none());
+    }
+}

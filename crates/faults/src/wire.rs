@@ -1,0 +1,272 @@
+//! Wire-plane corruption: seeded generators that turn a well-formed wire
+//! message into each class of malformed input the deserializer FSM must
+//! reject through a typed error state, never a panic or a hang.
+
+use protoacc_wire::{varint, FieldKey, WireType, MAX_VARINT_LEN};
+use xrand::Rng;
+
+/// The wire-plane fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum WireFault {
+    /// One random bit flipped anywhere in the buffer (the classic single
+    ///-event upset; lands in keys, lengths, and payloads alike).
+    BitFlip,
+    /// The buffer cut at a random offset: every field boundary becomes a
+    /// potential mid-field truncation.
+    Truncate,
+    /// A length-delimited field's length varint inflated past the end of
+    /// the buffer.
+    LengthOverrun,
+    /// A varint field appended whose continuation bits never terminate
+    /// (11 bytes with the high bit set — past the 10-byte proto2 maximum).
+    NonTerminatingVarint,
+    /// The first field key's wire-type bits replaced, producing undefined
+    /// wire types (6, 7), deprecated groups (3, 4), or a defined type that
+    /// contradicts the schema.
+    WireTypeTamper,
+}
+
+/// Every wire-plane fault class, for sweeps.
+pub const WIRE_FAULTS: [WireFault; 5] = [
+    WireFault::BitFlip,
+    WireFault::Truncate,
+    WireFault::LengthOverrun,
+    WireFault::NonTerminatingVarint,
+    WireFault::WireTypeTamper,
+];
+
+impl WireFault {
+    /// Short stable name for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WireFault::BitFlip => "bit-flip",
+            WireFault::Truncate => "truncate",
+            WireFault::LengthOverrun => "length-overrun",
+            WireFault::NonTerminatingVarint => "varint-overflow",
+            WireFault::WireTypeTamper => "wiretype-tamper",
+        }
+    }
+}
+
+/// Applies `fault` to a copy of `bytes`. Total: every fault class produces
+/// *some* mutation on every input (degenerate inputs degrade to a bit flip
+/// or a one-byte buffer). The result is not guaranteed to be rejected —
+/// a bit flip inside a string payload is still well-formed — which is
+/// exactly what the differential harness wants: accept/accept must agree
+/// too.
+pub fn corrupt(bytes: &[u8], fault: WireFault, rng: &mut impl Rng) -> Vec<u8> {
+    match fault {
+        WireFault::BitFlip => bit_flip(bytes, rng),
+        WireFault::Truncate => truncate(bytes, rng),
+        WireFault::LengthOverrun => length_overrun(bytes, rng),
+        WireFault::NonTerminatingVarint => non_terminating_varint(bytes, rng),
+        WireFault::WireTypeTamper => wire_type_tamper(bytes, rng),
+    }
+}
+
+/// Picks a fault class uniformly and applies it.
+pub fn mutate(bytes: &[u8], rng: &mut impl Rng) -> (WireFault, Vec<u8>) {
+    let fault = WIRE_FAULTS[rng.gen_range(0..WIRE_FAULTS.len())];
+    (fault, corrupt(bytes, fault, rng))
+}
+
+/// A recursion depth bomb: `depth` nested length-delimited frames on field
+/// `field_number`, innermost empty. Fed to a schema whose `field_number` is
+/// a recursive message-typed field, this drives the decoder `depth` levels
+/// deep on a buffer of only `O(3 * depth)` bytes — the decoder must fail
+/// with its depth limit, not exhaust its stack.
+pub fn depth_bomb(field_number: u32, depth: usize) -> Vec<u8> {
+    let key = FieldKey::new(field_number, WireType::LengthDelimited)
+        .expect("depth_bomb: invalid field number");
+    let mut body: Vec<u8> = Vec::new();
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(body.len() + 2 * MAX_VARINT_LEN);
+        varint::encode(key.encoded(), &mut next);
+        varint::encode(body.len() as u64, &mut next);
+        next.extend_from_slice(&body);
+        body = next;
+    }
+    body
+}
+
+fn bit_flip(bytes: &[u8], rng: &mut impl Rng) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if out.is_empty() {
+        return vec![rng.gen_range(0..=255u8)];
+    }
+    let pos = rng.gen_range(0..out.len());
+    out[pos] ^= 1u8 << rng.gen_range(0..8u8);
+    out
+}
+
+fn truncate(bytes: &[u8], rng: &mut impl Rng) -> Vec<u8> {
+    if bytes.is_empty() {
+        return bit_flip(bytes, rng);
+    }
+    bytes[..rng.gen_range(0..bytes.len())].to_vec()
+}
+
+fn length_overrun(bytes: &[u8], rng: &mut impl Rng) -> Vec<u8> {
+    let lengths = scan_top_level_lengths(bytes);
+    let Some(&(pos, len_len, _)) = lengths
+        .get(rng.gen_range(0..lengths.len().max(1)))
+        .or_else(|| lengths.first())
+    else {
+        // No length-delimited field to inflate; degrade to a bit flip so
+        // the mutation is never a no-op.
+        return bit_flip(bytes, rng);
+    };
+    // Declare more bytes than the whole buffer holds.
+    let declared = bytes.len() as u64 + rng.gen_range(1..=1u64 << 20);
+    let mut out = bytes[..pos].to_vec();
+    varint::encode(declared, &mut out);
+    out.extend_from_slice(&bytes[pos + len_len..]);
+    out
+}
+
+fn non_terminating_varint(bytes: &[u8], rng: &mut impl Rng) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    let field = rng.gen_range(1..=15u32);
+    let key = FieldKey::new(field, WireType::Varint).expect("small field number");
+    varint::encode(key.encoded(), &mut out);
+    // One byte past the 10-byte maximum, every continuation bit set.
+    for _ in 0..=MAX_VARINT_LEN {
+        out.push(0x80 | rng.gen_range(0..0x80u8));
+    }
+    out
+}
+
+fn wire_type_tamper(bytes: &[u8], rng: &mut impl Rng) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    let Some(first) = out.first_mut() else {
+        return bit_flip(bytes, rng);
+    };
+    // XOR a non-zero value into the low three bits: the wire type changes,
+    // the field number (in the same byte) does not.
+    *first ^= rng.gen_range(1..8u8);
+    out
+}
+
+/// Positions of top-level length-delimited length varints:
+/// `(offset, encoded_len, declared)`. Stops at the first malformed record,
+/// so it is safe on arbitrary bytes.
+fn scan_top_level_lengths(bytes: &[u8]) -> Vec<(usize, usize, u64)> {
+    let mut found = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let Ok((raw, key_len)) = varint::decode(&bytes[pos..]) else {
+            break;
+        };
+        let Ok(key) = FieldKey::from_encoded(raw) else {
+            break;
+        };
+        pos += key_len;
+        match key.wire_type() {
+            WireType::Varint => {
+                let Ok((_, n)) = varint::decode(&bytes[pos..]) else {
+                    break;
+                };
+                pos += n;
+            }
+            WireType::LengthDelimited => {
+                let Ok((len, n)) = varint::decode(&bytes[pos..]) else {
+                    break;
+                };
+                found.push((pos, n, len));
+                pos += n;
+                let Some(next) = pos.checked_add(len as usize) else {
+                    break;
+                };
+                if next > bytes.len() {
+                    break;
+                }
+                pos = next;
+            }
+            other => {
+                let Some(fixed) = other.fixed_payload_len() else {
+                    break; // groups: nothing to skip over
+                };
+                pos += fixed;
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrand::StdRng;
+
+    fn sample_wire() -> Vec<u8> {
+        // field 1 varint 300, field 2 string "hello", field 3 fixed32.
+        let mut out = Vec::new();
+        varint::encode(
+            FieldKey::new(1, WireType::Varint).unwrap().encoded(),
+            &mut out,
+        );
+        varint::encode(300, &mut out);
+        varint::encode(
+            FieldKey::new(2, WireType::LengthDelimited)
+                .unwrap()
+                .encoded(),
+            &mut out,
+        );
+        varint::encode(5, &mut out);
+        out.extend_from_slice(b"hello");
+        varint::encode(
+            FieldKey::new(3, WireType::Bits32).unwrap().encoded(),
+            &mut out,
+        );
+        out.extend_from_slice(&7u32.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn every_fault_mutates_every_input() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for input in [Vec::new(), vec![0x08], sample_wire()] {
+            for fault in WIRE_FAULTS {
+                let out = corrupt(&input, fault, &mut rng);
+                assert_ne!(out, input, "{fault:?} was a no-op on {input:x?}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_overrun_targets_a_real_length_field() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let wire = sample_wire();
+        let out = corrupt(&wire, WireFault::LengthOverrun, &mut rng);
+        // The mutated buffer still starts with the untouched varint field.
+        assert_eq!(out[..2], wire[..2]);
+        // Re-scanning finds a declared length past the end of the buffer.
+        let lengths = scan_top_level_lengths(&out);
+        assert!(
+            lengths
+                .iter()
+                .any(|&(_, _, declared)| declared > out.len() as u64),
+            "no overrunning length in {out:x?}"
+        );
+    }
+
+    #[test]
+    fn depth_bomb_nests_exactly() {
+        let bomb = depth_bomb(15, 3);
+        // key(15, LD) = 0x7a; three nested frames: 7a 02 7a 00 is depth 2.
+        assert_eq!(bomb, vec![0x7a, 0x04, 0x7a, 0x02, 0x7a, 0x00]);
+        assert!(depth_bomb(15, 200).len() < 1024, "bombs stay tiny");
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let wire = sample_wire();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..32).map(|_| mutate(&wire, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -131,10 +131,16 @@ pub enum DiagCode {
     /// real multi-instance accelerator would corrupt data on.
     /// Sanitizer-only.
     ArenaAliasing,
+    /// PA010: the static service-time ceiling of a message type (the
+    /// abstract-interpretation envelope's upper bound at the configured
+    /// maximum wire length) exceeds the configured watchdog cycle budget —
+    /// a worst-case-but-correct command would be killed by the serve
+    /// layer's watchdog, so the budget (or the schema) must change.
+    WatchdogBudget,
 }
 
 /// Every diagnostic code, in PA-number order.
-pub const ALL_CODES: [DiagCode; 9] = [
+pub const ALL_CODES: [DiagCode; 10] = [
     DiagCode::StackSpill,
     DiagCode::WideKey,
     DiagCode::SparseHasbits,
@@ -144,6 +150,7 @@ pub const ALL_CODES: [DiagCode; 9] = [
     DiagCode::EnvelopeViolation,
     DiagCode::LifecycleOrder,
     DiagCode::ArenaAliasing,
+    DiagCode::WatchdogBudget,
 ];
 
 impl DiagCode {
@@ -159,6 +166,7 @@ impl DiagCode {
             DiagCode::EnvelopeViolation => "PA007",
             DiagCode::LifecycleOrder => "PA008",
             DiagCode::ArenaAliasing => "PA009",
+            DiagCode::WatchdogBudget => "PA010",
         }
     }
 
@@ -174,6 +182,7 @@ impl DiagCode {
             DiagCode::EnvelopeViolation => "envelope-violation",
             DiagCode::LifecycleOrder => "lifecycle-order",
             DiagCode::ArenaAliasing => "arena-aliasing",
+            DiagCode::WatchdogBudget => "watchdog-budget",
         }
     }
 
@@ -253,6 +262,14 @@ pub struct LintConfig {
     /// Default 1/64: past that sparsity, a dense mapping table's extra
     /// 32-bit read per field (Section 4.2) buys nothing.
     pub density_floor: f64,
+    /// Maximum wire length (bytes) the deployment admits per message; the
+    /// wire length the per-type watchdog ceiling is evaluated at.
+    pub max_wire_bytes: u64,
+    /// Watchdog cycle budget the serve layer is configured with. When set,
+    /// any type whose static service ceiling at [`max_wire_bytes`]
+    /// (`LintConfig::max_wire_bytes`) exceeds it fires PA010. `None`
+    /// disables the check.
+    pub watchdog_budget: Option<Cycles>,
     /// `(code, severity)` overrides, later entries winning.
     pub overrides: Vec<(DiagCode, Severity)>,
 }
@@ -263,6 +280,8 @@ impl Default for LintConfig {
             accel: AccelConfig::default(),
             mem: MemConfig::default(),
             density_floor: 1.0 / 64.0,
+            max_wire_bytes: 4096,
+            watchdog_budget: None,
             overrides: Vec::new(),
         }
     }
@@ -349,7 +368,11 @@ pub enum Nesting {
 /// * 1 — implicit: no `schema_version` key, no envelope fields.
 /// * 2 — adds `schema_version` plus per-type `deser_envelope` and
 ///   `ser_envelope` `[lower, upper]` arrays.
-pub const SCHEMA_VERSION: u32 = 2;
+/// * 3 — adds the per-type `watchdog_ceiling` field (static deserialize
+///   service-time upper bound at the configured maximum wire length — the
+///   value a serve deployment would program its watchdog with) and the
+///   PA010 `watchdog-budget` code.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Wire length (bytes) at which the per-type report envelopes are
 /// evaluated. Envelopes are a function of length; 256 bytes is the paper's
@@ -377,6 +400,12 @@ pub struct TypeSummary {
     /// Two-sided serialization cycle envelope at
     /// [`ENVELOPE_REFERENCE_BYTES`] of wire output, single-tenant.
     pub ser_envelope: Interval,
+    /// Static watchdog ceiling: the deserialize *service*-time upper bound
+    /// (envelope upper plus RoCC dispatch) at [`LintConfig::max_wire_bytes`]
+    /// of wire input, single-tenant. No correct single-tenant command on
+    /// this type can run longer, so a serve deployment programs its
+    /// watchdog with exactly this value.
+    pub watchdog_ceiling: Cycles,
 }
 
 /// Full analyzer output for one schema.
@@ -525,9 +554,10 @@ impl LintReport {
                 t.deser_envelope.lower, t.deser_envelope.upper
             ));
             out.push_str(&format!(
-                "\"ser_envelope\": [{}, {}]}}",
+                "\"ser_envelope\": [{}, {}], ",
                 t.ser_envelope.lower, t.ser_envelope.upper
             ));
+            out.push_str(&format!("\"watchdog_ceiling\": {}}}", t.watchdog_ceiling));
         }
         if self.types.is_empty() {
             out.push_str("],\n");
@@ -633,10 +663,11 @@ pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
         let nesting = nesting_of(schema, id, &config.accel);
         let working_set = layouts.adt_working_set(schema, id);
         let bound = static_bound(schema, id, &config.accel);
-        let deser_envelope = Envelope::deser(schema, &layouts, id, &config.accel, &config.mem)
-            .bounds(ENVELOPE_REFERENCE_BYTES, 1);
+        let deser_env = Envelope::deser(schema, &layouts, id, &config.accel, &config.mem);
+        let deser_envelope = deser_env.bounds(ENVELOPE_REFERENCE_BYTES, 1);
         let ser_envelope = Envelope::ser(schema, &layouts, id, &config.accel, &config.mem)
             .bounds(ENVELOPE_REFERENCE_BYTES, 1);
+        let watchdog_ceiling = deser_env.service_bounds(config.max_wire_bytes, 1).upper;
 
         let mut push = |code: DiagCode, default: Severity, field: Option<&str>, detail: String| {
             let severity = config.severity_or(code, default);
@@ -781,6 +812,25 @@ pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
             }
         }
 
+        // PA010 watchdog-budget: static ceiling vs the deployment's budget.
+        if let Some(budget) = config.watchdog_budget {
+            if watchdog_ceiling > budget {
+                push(
+                    DiagCode::WatchdogBudget,
+                    Severity::Warn,
+                    None,
+                    format!(
+                        "static service ceiling is {watchdog_ceiling} cycles at \
+                         {} wire bytes, over the configured {budget}-cycle \
+                         watchdog budget; a worst-case-but-correct command \
+                         would be killed (raise the budget or shrink \
+                         `max_wire_bytes`)",
+                        config.max_wire_bytes
+                    ),
+                );
+            }
+        }
+
         report.types.push(TypeSummary {
             type_name: msg.name().to_string(),
             nesting,
@@ -789,6 +839,7 @@ pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
             bound,
             deser_envelope,
             ser_envelope,
+            watchdog_ceiling,
         });
     }
     report
@@ -809,6 +860,7 @@ pub fn findings_to_diagnostics(findings: &[Finding], config: &LintConfig) -> Vec
                 FindingKind::Envelope => DiagCode::EnvelopeViolation,
                 FindingKind::Lifecycle => DiagCode::LifecycleOrder,
                 FindingKind::Aliasing => DiagCode::ArenaAliasing,
+                FindingKind::Watchdog => DiagCode::WatchdogBudget,
             };
             let severity = config.severity(code);
             if severity == Severity::Allow {
@@ -1051,6 +1103,57 @@ mod tests {
             assert_eq!(DiagCode::parse(s), Some(code));
             assert_eq!(code.default_severity(), Severity::Deny);
         }
-        assert_eq!(ALL_CODES.len(), 9);
+        assert_eq!(DiagCode::parse("PA010"), Some(DiagCode::WatchdogBudget));
+        assert_eq!(
+            DiagCode::parse("watchdog-budget"),
+            Some(DiagCode::WatchdogBudget)
+        );
+        assert_eq!(DiagCode::WatchdogBudget.default_severity(), Severity::Warn);
+        assert_eq!(ALL_CODES.len(), 10);
+    }
+
+    #[test]
+    fn watchdog_budget_fires_only_when_ceiling_exceeds_budget() {
+        let schema =
+            parse_proto("message Blob { optional bytes payload = 1; optional uint64 id = 2; }")
+                .unwrap();
+        // No budget configured: the check is off.
+        let silent = lint_schema(&schema, &LintConfig::default());
+        assert!(
+            !silent
+                .diagnostics
+                .iter()
+                .any(|d| d.code == DiagCode::WatchdogBudget),
+            "PA010 must not fire with no budget configured"
+        );
+        let ceiling = silent.types[0].watchdog_ceiling;
+        assert!(ceiling > 0);
+        // Budget at the ceiling: a worst-case command just fits.
+        let fits = lint_schema(
+            &schema,
+            &LintConfig {
+                watchdog_budget: Some(ceiling),
+                ..LintConfig::default()
+            },
+        );
+        assert!(!fits
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::WatchdogBudget));
+        // One cycle short: PA010 warns.
+        let starved = lint_schema(
+            &schema,
+            &LintConfig {
+                watchdog_budget: Some(ceiling - 1),
+                ..LintConfig::default()
+            },
+        );
+        let diag = starved
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::WatchdogBudget)
+            .expect("PA010 fires when the ceiling exceeds the budget");
+        assert_eq!(diag.severity, Severity::Warn);
+        assert!(diag.detail.contains("watchdog budget"));
     }
 }

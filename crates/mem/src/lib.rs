@@ -40,7 +40,7 @@ pub mod tlb;
 pub use cache::{CacheConfig, CacheModel, CacheStats};
 pub use guest::{GuestMemory, PAGE_SIZE};
 pub use system::{
-    AccessKind, AccessRecord, MemConfig, MemStats, MemSystem, Memory, RequesterStats,
+    AccessKind, AccessRecord, MemConfig, MemFault, MemStats, MemSystem, Memory, RequesterStats,
 };
 pub use tlb::{Tlb, TlbConfig};
 

@@ -120,6 +120,59 @@ impl AccessRecord {
     }
 }
 
+/// A hardware fault raised by the simulated memory system.
+///
+/// Faults are injected (armed) by a test harness or the fault-injection
+/// layer (`protoacc-faults`); the hierarchy itself never produces them
+/// spontaneously, so untouched configurations behave exactly as before.
+/// A raised fault is latched and must be drained with
+/// [`MemSystem::take_fault`] — the accelerator model polls after each
+/// transfer and converts a latched fault into a typed error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemFault {
+    /// An uncorrectable (detected, not silently corrupting) DRAM ECC error
+    /// on an access overlapping `addr`.
+    Ecc {
+        /// Address the armed fault was registered for.
+        addr: u64,
+    },
+    /// An access overlapping `addr` stalled: the interface charged `extra`
+    /// additional cycles and reported the hang. `extra` is chosen large
+    /// enough that any watchdog ceiling fires first.
+    Stall {
+        /// Address the armed fault was registered for.
+        addr: u64,
+        /// Extra cycles the stalled access cost.
+        extra: Cycles,
+    },
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemFault::Ecc { addr } => write!(f, "uncorrectable ECC error at {addr:#x}"),
+            MemFault::Stall { addr, extra } => {
+                write!(f, "memory stall at {addr:#x} (+{extra} cycles)")
+            }
+        }
+    }
+}
+
+/// One armed (not yet triggered) fault: fires on the first access whose
+/// byte range covers `addr`, then disarms.
+#[derive(Debug, Clone, Copy)]
+struct ArmedFault {
+    addr: u64,
+    kind: ArmedFaultKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ArmedFaultKind {
+    Ecc,
+    Stall { extra: Cycles },
+}
+
 /// Aggregate statistics for a [`MemSystem`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MemStats {
@@ -156,6 +209,8 @@ pub struct MemSystem {
     sharers: u64,
     tracing: bool,
     trace: Vec<AccessRecord>,
+    armed: Vec<ArmedFault>,
+    fault: Option<MemFault>,
 }
 
 impl MemSystem {
@@ -175,7 +230,80 @@ impl MemSystem {
             sharers: 1,
             tracing: false,
             trace: Vec::new(),
+            armed: Vec::new(),
+            fault: None,
         }
+    }
+
+    /// Arms a one-shot uncorrectable ECC fault: the first subsequent access
+    /// whose byte range covers `addr` raises [`MemFault::Ecc`] (latched
+    /// until [`MemSystem::take_fault`]) and charges one extra DRAM latency
+    /// for the detection/re-read.
+    pub fn arm_ecc(&mut self, addr: u64) {
+        self.armed.push(ArmedFault {
+            addr,
+            kind: ArmedFaultKind::Ecc,
+        });
+    }
+
+    /// Arms a one-shot stall fault: the first subsequent access covering
+    /// `addr` costs `extra` additional cycles and latches
+    /// [`MemFault::Stall`]. Callers pick `extra` far above any command's
+    /// static cycle ceiling so a watchdog observes the hang.
+    pub fn arm_stall(&mut self, addr: u64, extra: Cycles) {
+        self.armed.push(ArmedFault {
+            addr,
+            kind: ArmedFaultKind::Stall { extra },
+        });
+    }
+
+    /// Drains the latched fault, if any. At most one fault is latched at a
+    /// time; later triggers while one is pending are dropped (the first
+    /// error aborts the command anyway).
+    pub fn take_fault(&mut self) -> Option<MemFault> {
+        self.fault.take()
+    }
+
+    /// Whether a fault is latched and not yet drained.
+    pub fn fault_pending(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Triggers any armed fault covered by `[addr, addr + len)`; returns the
+    /// extra cycle charge. The empty-`armed` fast path keeps untouched
+    /// configurations branch-cheap.
+    fn check_faults(&mut self, addr: u64, len: usize) -> Cycles {
+        if self.armed.is_empty() {
+            return 0;
+        }
+        let end = addr.saturating_add(len as u64);
+        let mut extra_cycles: Cycles = 0;
+        let mut i = 0;
+        while i < self.armed.len() {
+            let f = self.armed[i];
+            if f.addr >= addr && f.addr < end {
+                let (fault, charge) = match f.kind {
+                    ArmedFaultKind::Ecc => {
+                        (MemFault::Ecc { addr: f.addr }, self.config.dram_latency)
+                    }
+                    ArmedFaultKind::Stall { extra } => (
+                        MemFault::Stall {
+                            addr: f.addr,
+                            extra,
+                        },
+                        extra,
+                    ),
+                };
+                if self.fault.is_none() {
+                    self.fault = Some(fault);
+                }
+                extra_cycles = extra_cycles.saturating_add(charge);
+                self.armed.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        extra_cycles
     }
 
     /// Turns access tracing on or off. While on, every non-empty
@@ -268,6 +396,7 @@ impl MemSystem {
         for line in first_line..=last_line {
             cost += self.probe(line);
         }
+        let cost = cost.saturating_add(self.check_faults(addr, len));
         self.note(len, cost);
         cost
     }
@@ -305,7 +434,7 @@ impl MemSystem {
         let overlap = self.effective_overlap();
         let hidden = sum.saturating_sub(worst) / overlap;
         let bus = len.div_ceil(BUS_WIDTH_BYTES) as u64 * self.sharers;
-        let cost = tlb_cost + worst + hidden + bus;
+        let cost = (tlb_cost + worst + hidden + bus).saturating_add(self.check_faults(addr, len));
         let _ = kind;
         let _ = lines;
         self.note(len, cost);
@@ -337,6 +466,7 @@ impl MemSystem {
         }
         let overlap = self.effective_overlap();
         cost += len.div_ceil(BUS_WIDTH_BYTES) as u64 * self.sharers + probe_sum / overlap;
+        let cost = cost.saturating_add(self.check_faults(addr, len));
         let _ = kind;
         self.note(len, cost);
         cost
@@ -398,6 +528,8 @@ impl MemSystem {
             *r = RequesterStats::default();
         }
         self.trace.clear();
+        self.armed.clear();
+        self.fault = None;
     }
 
     /// Pre-touches an address range so it is LLC-resident (used to model
@@ -668,6 +800,54 @@ mod tests {
         sys.access(0x6000, 8, AccessKind::Read);
         sys.reset();
         assert!(sys.take_trace().is_empty());
+    }
+
+    #[test]
+    fn armed_ecc_fault_fires_once_and_latches() {
+        let mut sys = MemSystem::new(MemConfig::default());
+        sys.arm_ecc(0x1004);
+        assert!(sys.take_fault().is_none(), "arming alone raises nothing");
+        // Access that misses the armed address: no fault.
+        sys.access(0x2000, 8, AccessKind::Read);
+        assert!(!sys.fault_pending());
+        // Covering access trips it and pays the detection re-read.
+        let mut clean = MemSystem::new(MemConfig::default());
+        clean.access(0x2000, 8, AccessKind::Read);
+        let clean_cost = clean.access(0x1000, 8, AccessKind::Read);
+        let faulted_cost = sys.access(0x1000, 8, AccessKind::Read);
+        assert_eq!(faulted_cost, clean_cost + MemConfig::default().dram_latency);
+        assert_eq!(sys.take_fault(), Some(MemFault::Ecc { addr: 0x1004 }));
+        // One-shot: the same access is clean afterwards, and drained stays
+        // drained.
+        assert!(sys.take_fault().is_none());
+        sys.access(0x1000, 8, AccessKind::Read);
+        assert!(!sys.fault_pending());
+    }
+
+    #[test]
+    fn armed_stall_inflates_cycles_and_reset_disarms() {
+        let mut sys = MemSystem::new(MemConfig::default());
+        let base = sys.stream(0x4000, 256, AccessKind::Read);
+        sys.reset();
+        sys.arm_stall(0x4010, 1 << 40);
+        let stalled = sys.stream(0x4000, 256, AccessKind::Read);
+        assert!(
+            stalled >= base + (1 << 40),
+            "stall must dominate: {stalled}"
+        );
+        assert_eq!(
+            sys.take_fault(),
+            Some(MemFault::Stall {
+                addr: 0x4010,
+                extra: 1 << 40
+            })
+        );
+        // reset() clears both armed and latched faults.
+        sys.arm_stall(0x4010, 100);
+        sys.arm_ecc(0x4010);
+        sys.reset();
+        sys.stream(0x4000, 256, AccessKind::Read);
+        assert!(sys.take_fault().is_none());
     }
 
     #[test]

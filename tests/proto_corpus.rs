@@ -211,3 +211,52 @@ fn build_tablet(schema: &Schema) -> MessageValue {
     tablet.set_unchecked(4, Value::Fixed64(77));
     tablet
 }
+
+/// Every prefix of every corpus message's encoding must decode or cleanly
+/// error — never panic, never hang — and the accelerator's verdict must
+/// match the CPU reference decoder's at every cut point.
+#[test]
+fn corpus_wire_truncated_at_every_offset_errors_cleanly() {
+    use protoacc_suite::faults::DifferentialHarness;
+    for (file, root, build) in corpus_messages() {
+        let schema = load(file);
+        let type_id = schema.id_by_name(root).unwrap_or_else(|| panic!("{root}"));
+        let message = build(&schema);
+        let wire = reference::encode(&message, &schema).unwrap();
+        let mut harness = DifferentialHarness::new(&schema, type_id);
+        for cut in 0..wire.len() {
+            let (accel, cpu) = harness.verdicts(&wire[..cut]);
+            assert_eq!(
+                accel,
+                cpu,
+                "{file} truncated at byte {cut}/{}: accel {accel:?} vs cpu {cpu:?}",
+                wire.len()
+            );
+        }
+        let (accel, cpu) = harness.verdicts(&wire);
+        assert!(
+            accel.is_accept() && cpu.is_accept(),
+            "{file}: untruncated wire must decode on both sides"
+        );
+    }
+}
+
+/// A recursion depth bomb on the storage schema's recursive field
+/// (`Row.tombstone_shadow = 15`) must be rejected with the typed depth
+/// fault on both decoders — bounded work, no stack exhaustion, no panic.
+#[test]
+fn storage_row_depth_bomb_is_rejected_with_depth_exceeded() {
+    use protoacc_suite::accel::DecodeFault;
+    use protoacc_suite::faults::{depth_bomb, DifferentialHarness, Verdict};
+    let schema = load("storage_row.proto");
+    let row_id = schema.id_by_name("Row").unwrap();
+    let mut harness = DifferentialHarness::new(&schema, row_id);
+    let bomb = depth_bomb(15, 300);
+    let (accel, cpu) = harness.verdicts(&bomb);
+    assert_eq!(accel, Verdict::Reject(DecodeFault::DepthExceeded));
+    assert_eq!(cpu, Verdict::Reject(DecodeFault::DepthExceeded));
+    // Under the limit the same nesting decodes fine on both sides.
+    let shallow = depth_bomb(15, 10);
+    let (accel, cpu) = harness.verdicts(&shallow);
+    assert!(accel.is_accept() && cpu.is_accept(), "{accel:?} / {cpu:?}");
+}

@@ -87,6 +87,7 @@ impl Fixture {
         };
         Request {
             arrival,
+            watchdog: None,
             op: RequestOp::Deserialize {
                 adt_ptr: self.adt_ptr,
                 input_addr: self.input_addr,
@@ -100,6 +101,7 @@ impl Fixture {
     fn ser_request(&self, arrival: u64) -> Request {
         Request {
             arrival,
+            watchdog: None,
             op: RequestOp::Serialize {
                 adt_ptr: self.adt_ptr,
                 obj_ptr: self.obj_ptr,
