@@ -24,6 +24,12 @@
 #                           verdict and error class
 #   9. envelope soundness   cross-validation that measured deser/ser cycles
 #                           stay inside the absint [lower, upper] envelopes
+#  10. trace round trip     serve_tail_latency --smoke --trace emits a
+#                           Chrome-trace JSON (tracing proven to be a pure
+#                           observer, accounting audit exact, trace-derived
+#                           sanitizer inputs match the live cluster), then
+#                           profile_report --reparse re-parses the file and
+#                           re-runs the accounting audit offline
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -57,5 +63,12 @@ cargo test --offline -q --test corruption_differential --test fault_matrix
 
 echo "== envelope soundness cross-validation =="
 cargo test --offline -q --test envelope_soundness --test serve_sanitizer
+
+echo "== trace round trip (emit, re-parse, accounting audit) =="
+cargo run --offline -q --release -p protoacc-bench --bin serve_tail_latency -- \
+    --smoke --trace target/ci_trace.json
+cargo run --offline -q --release -p protoacc-bench --bin profile_report -- \
+    --reparse target/ci_trace.json
+cargo test --offline -q --test trace_accounting
 
 echo "CI OK"

@@ -1,0 +1,298 @@
+//! Reconstructing sanitizer inputs from a structured trace stream.
+//!
+//! The sanitizer normally consumes [`CommandRecord`]s and
+//! [`CommandFootprint`]s handed over directly by the serving model. With the
+//! `protoacc-trace` layer attached, the same facts flow through the event
+//! stream: `cmd_complete` events carry the full record image, and
+//! `mem_access` events carry every byte range each requester touched. This
+//! module rebuilds both inputs from events alone, so PA007–PA009 can run
+//! off a trace file with no access to the cluster that produced it.
+//!
+//! Reconstruction is exact for everything the sanitizer checks, with one
+//! deliberate loss: the trace records *that* a command was rejected or
+//! failed, not the typed [`DecodeFault`] detail, so rebuilt statuses carry a
+//! representative fault. Compare statuses by discriminant, not by value.
+
+use protoacc::serve::{CommandFootprint, CommandStatus};
+use protoacc::{CommandRecord, DecodeFault};
+use protoacc_trace::{CmdOutcome, TraceEvent};
+
+use crate::{sanitize, Finding, ServiceBounds};
+
+/// Rebuilds the per-command records plus the `(offered, dropped)` totals
+/// from a trace stream.
+///
+/// Every admitted command emits `cmd_enqueue` and exactly one
+/// `cmd_complete`; shed arrivals emit `cmd_drop` instead. Statuses are
+/// rebuilt from the outcome tag with a representative fault (the typed
+/// detail does not survive the trace).
+#[must_use]
+pub fn records_from_trace(events: &[TraceEvent]) -> (Vec<CommandRecord>, u64, u64) {
+    let mut records = Vec::new();
+    let mut enqueued: u64 = 0;
+    let mut dropped: u64 = 0;
+    for e in events {
+        match *e {
+            TraceEvent::CmdEnqueue { .. } => enqueued += 1,
+            TraceEvent::CmdDrop { .. } => dropped += 1,
+            TraceEvent::CmdComplete {
+                seq,
+                enqueue,
+                dispatch,
+                complete,
+                service,
+                instance,
+                wire_bytes,
+                deser,
+                sharers,
+                attempts,
+                outcome,
+            } => records.push(CommandRecord {
+                seq,
+                enqueue,
+                dispatch,
+                complete,
+                service,
+                instance,
+                wire_bytes,
+                deser,
+                sharers,
+                attempts,
+                status: match outcome {
+                    CmdOutcome::Ok => CommandStatus::Ok,
+                    CmdOutcome::Fallback => CommandStatus::Fallback,
+                    CmdOutcome::Rejected => CommandStatus::Rejected(DecodeFault::SchemaMismatch),
+                    CmdOutcome::Failed => CommandStatus::Failed(DecodeFault::InstanceFailure),
+                },
+            }),
+            _ => {}
+        }
+    }
+    (records, enqueued + dropped, dropped)
+}
+
+/// Rebuilds per-command memory footprints from a trace stream.
+///
+/// Attribution follows the event stream's execution order, mirroring the
+/// serving model's own capture rules: a `cmd_dispatch` binds its instance's
+/// subsequent `mem_access` events to that command (a retry dispatch resets
+/// the command's footprint, matching the model's keep-the-last-attempt
+/// rule), and a `cmd_fallback` binds the software path's requester id
+/// (`instances`) to the command, replacing the accelerator-attempt footprint
+/// once CPU traffic actually flows.
+#[must_use]
+pub fn footprints_from_trace(events: &[TraceEvent], instances: usize) -> Vec<CommandFootprint> {
+    use std::collections::HashMap;
+    type RangeLists = (Vec<(u64, u64)>, Vec<(u64, u64)>);
+    // requester id -> seq currently executing on it.
+    let mut current: HashMap<usize, usize> = HashMap::new();
+    // seq -> raw (reads, writes) ranges.
+    let mut acc: HashMap<usize, RangeLists> = HashMap::new();
+    // seqs whose accelerator-attempt footprint is to be discarded as soon as
+    // fallback-path traffic arrives.
+    let mut fallback_pending: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut order: Vec<usize> = Vec::new();
+    for e in events {
+        match *e {
+            TraceEvent::CmdDispatch { seq, instance, .. } => {
+                current.insert(instance, seq);
+                // A (re-)dispatch restarts the command's capture.
+                acc.insert(seq, (Vec::new(), Vec::new()));
+            }
+            TraceEvent::CmdFallback { seq, .. } => {
+                current.insert(instances, seq);
+                fallback_pending.insert(seq);
+                acc.entry(seq).or_default();
+            }
+            TraceEvent::CmdComplete { seq, .. } => order.push(seq),
+            TraceEvent::MemAccess {
+                requester,
+                addr,
+                len,
+                write,
+                ..
+            } => {
+                let Some(&seq) = current.get(&requester) else {
+                    continue;
+                };
+                if requester == instances && fallback_pending.remove(&seq) {
+                    acc.insert(seq, (Vec::new(), Vec::new()));
+                }
+                let entry = acc.entry(seq).or_default();
+                let range = (addr, addr + len);
+                if write {
+                    entry.1.push(range);
+                } else {
+                    entry.0.push(range);
+                }
+            }
+            _ => {}
+        }
+    }
+    let merge = |mut ranges: Vec<(u64, u64)>| -> Vec<(u64, u64)> {
+        ranges.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::new();
+        for (lo, hi) in ranges {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        merged
+    };
+    order
+        .into_iter()
+        .map(|seq| {
+            let (reads, writes) = acc.remove(&seq).unwrap_or_default();
+            CommandFootprint {
+                seq,
+                reads: merge(reads),
+                writes: merge(writes),
+            }
+        })
+        .collect()
+}
+
+/// Runs the full sanitizer ([`sanitize`]) over inputs reconstructed from a
+/// trace stream: the PA007–PA009 checks see exactly what they would have
+/// seen from the live cluster.
+#[must_use]
+pub fn sanitize_trace(
+    events: &[TraceEvent],
+    instances: usize,
+    bounds: &[ServiceBounds],
+) -> Vec<Finding> {
+    let (records, offered, dropped) = records_from_trace(events);
+    let footprints = footprints_from_trace(events, instances);
+    sanitize(&records, &footprints, instances, offered, dropped, bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(seq: usize, instance: usize, outcome: CmdOutcome) -> TraceEvent {
+        TraceEvent::CmdComplete {
+            seq,
+            enqueue: 0,
+            dispatch: 10,
+            complete: 30,
+            service: 20,
+            instance,
+            wire_bytes: 64,
+            deser: true,
+            sharers: 1,
+            attempts: 1,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn records_rebuild_with_accounting_totals() {
+        let events = vec![
+            TraceEvent::CmdEnqueue {
+                seq: 0,
+                at: 0,
+                wire_bytes: 64,
+                deser: true,
+            },
+            TraceEvent::CmdDrop { seq: 1, at: 0 },
+            complete(0, 0, CmdOutcome::Ok),
+        ];
+        let (records, offered, dropped) = records_from_trace(&events);
+        assert_eq!(records.len(), 1);
+        assert_eq!((offered, dropped), (2, 1));
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[0].status, CommandStatus::Ok);
+        assert_eq!(records[0].service, 20);
+    }
+
+    #[test]
+    fn footprints_attribute_accesses_and_reset_on_retry() {
+        let access = |requester: usize, addr: u64, write: bool| TraceEvent::MemAccess {
+            requester,
+            at: 12,
+            cycles: 4,
+            addr,
+            len: 16,
+            write,
+            mode: protoacc_trace::MemAccessMode::Blocking,
+            tlb_walk_cycles: 0,
+            l1_hits: 1,
+            l2_hits: 0,
+            llc_hits: 0,
+            dram_accesses: 0,
+        };
+        let events = vec![
+            TraceEvent::CmdDispatch {
+                seq: 0,
+                at: 10,
+                instance: 0,
+                attempt: 1,
+            },
+            access(0, 0x1000, false),
+            // Retry on instance 1: the first attempt's ranges are discarded.
+            TraceEvent::CmdDispatch {
+                seq: 0,
+                at: 50,
+                instance: 1,
+                attempt: 2,
+            },
+            access(1, 0x2000, false),
+            access(1, 0x3000, true),
+            complete(0, 1, CmdOutcome::Ok),
+        ];
+        let fps = footprints_from_trace(&events, 2);
+        assert_eq!(fps.len(), 1);
+        assert_eq!(fps[0].reads, vec![(0x2000, 0x2010)]);
+        assert_eq!(fps[0].writes, vec![(0x3000, 0x3010)]);
+    }
+
+    #[test]
+    fn fallback_traffic_replaces_the_accelerator_attempt_footprint() {
+        let access = |requester: usize, addr: u64| TraceEvent::MemAccess {
+            requester,
+            at: 12,
+            cycles: 4,
+            addr,
+            len: 8,
+            write: false,
+            mode: protoacc_trace::MemAccessMode::Blocking,
+            tlb_walk_cycles: 0,
+            l1_hits: 1,
+            l2_hits: 0,
+            llc_hits: 0,
+            dram_accesses: 0,
+        };
+        let events = vec![
+            TraceEvent::CmdDispatch {
+                seq: 3,
+                at: 10,
+                instance: 0,
+                attempt: 1,
+            },
+            access(0, 0x1000),
+            TraceEvent::CmdFallback { seq: 3, at: 40 },
+            access(2, 0x9000), // CPU requester for a 2-instance cluster
+            complete(3, protoacc_trace::FALLBACK_TRACK, CmdOutcome::Fallback),
+        ];
+        let fps = footprints_from_trace(&events, 2);
+        assert_eq!(fps.len(), 1);
+        assert_eq!(fps[0].reads, vec![(0x9000, 0x9008)]);
+    }
+
+    #[test]
+    fn sanitize_trace_flags_a_lifecycle_leak() {
+        // One enqueue, no terminal event: accounting must complain.
+        let events = vec![TraceEvent::CmdEnqueue {
+            seq: 0,
+            at: 0,
+            wire_bytes: 8,
+            deser: true,
+        }];
+        let findings = sanitize_trace(&events, 1, &[]);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f.kind, crate::FindingKind::Lifecycle)));
+    }
+}

@@ -46,6 +46,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod from_trace;
+
 use std::collections::HashMap;
 
 use protoacc::serve::CommandFootprint;

@@ -308,24 +308,17 @@ impl RunResult {
     }
 }
 
-/// Stages a fresh memory image and runs one stream through one cluster.
-fn run_stream(mix: &TrafficMix, events: &[TrafficEvent], config: ServeConfig) -> RunResult {
-    let mut mem = Memory::new(MemConfig::default());
-    let (staged, _adts) = stage(mix, &mut mem);
-    let requests = to_requests(events, &staged);
-    let mut cluster = ServeCluster::new(config, ARENA_BASE, ARENA_STRIDE);
-    cluster
-        .run(&mut mem, &requests)
-        .expect("serve run succeeds");
+/// Collapses one finished cluster run into the report numbers.
+fn summarize(cluster: &ServeCluster, mem: &Memory, instances: usize) -> RunResult {
     let records = cluster.records();
     let mean_service = if records.is_empty() {
         0.0
     } else {
         records.iter().map(|r| r.service).sum::<u64>() as f64 / records.len() as f64
     };
-    let per_instance = (0..config.instances)
+    let per_instance = (0..instances)
         .map(|i| {
-            let s = cluster.instance_mem_stats(&mem, i);
+            let s = cluster.instance_mem_stats(mem, i);
             (s.accesses, s.bytes, s.llc_hits, s.dram_fraction())
         })
         .collect();
@@ -340,6 +333,202 @@ fn run_stream(mix: &TrafficMix, events: &[TrafficEvent], config: ServeConfig) ->
         per_instance,
         invariants: cluster.check_invariants(),
     }
+}
+
+/// Stages a fresh memory image and runs one stream through one cluster.
+fn run_stream(mix: &TrafficMix, events: &[TrafficEvent], config: ServeConfig) -> RunResult {
+    let mut mem = Memory::new(MemConfig::default());
+    let (staged, _adts) = stage(mix, &mut mem);
+    let requests = to_requests(events, &staged);
+    let mut cluster = ServeCluster::new(config, ARENA_BASE, ARENA_STRIDE);
+    cluster
+        .run(&mut mem, &requests)
+        .expect("serve run succeeds");
+    summarize(&cluster, &mem, config.instances)
+}
+
+/// Everything one traced (or untraced reference) cell produces.
+struct TracedCell {
+    result: RunResult,
+    records: Vec<protoacc::CommandRecord>,
+    footprints: Vec<protoacc::serve::CommandFootprint>,
+    offered: u64,
+    dropped: u64,
+    expected: Vec<protoacc_trace::ExpectedStats>,
+}
+
+/// Runs one isolated-destination cell, optionally with the event tracer
+/// attached. Footprint capture is on in both cases so the traced and
+/// untraced runs are exercised identically.
+fn traced_cell(
+    mix: &TrafficMix,
+    events: &[TrafficEvent],
+    cfg: ServeConfig,
+    tracer: Option<protoacc_trace::SharedTracer>,
+) -> TracedCell {
+    let mut mem = Memory::new(MemConfig::default());
+    let (staged, _adts) = stage(mix, &mut mem);
+    let mut dests = BumpArena::new(0xC000_0000, 1 << 28);
+    let requests = to_requests_isolated(events, &staged, &mut dests);
+    let mut cluster = ServeCluster::new(cfg, ARENA_BASE, ARENA_STRIDE);
+    cluster.set_trace_footprints(true);
+    let attached = tracer.is_some();
+    if attached {
+        cluster.set_tracer(tracer);
+    }
+    cluster
+        .run(&mut mem, &requests)
+        .expect("serve run succeeds");
+    if attached {
+        cluster.set_tracer(None);
+    }
+    let expected = (0..cfg.instances)
+        .map(|i| {
+            let s = cluster.instance_stats(i);
+            s.debug_assert_unsaturated();
+            protoacc_trace::ExpectedStats {
+                instance: i,
+                deser_ops: s.deser_ops,
+                deser_cycles: s.deser_cycles,
+                ser_ops: s.ser_ops,
+                ser_cycles: s.ser_cycles,
+                saturated: s.saturated,
+            }
+        })
+        .collect();
+    TracedCell {
+        result: summarize(&cluster, &mem, cfg.instances),
+        records: cluster.records().to_vec(),
+        footprints: cluster.footprints().to_vec(),
+        offered: cluster.offered(),
+        dropped: cluster.dropped(),
+        expected,
+    }
+}
+
+/// `--trace <out.json>`: runs one cell untraced and once with the
+/// structured-event tracer attached, then checks the whole trace contract:
+///
+/// 1. the traced run's report is bit-identical to the untraced run (tracing
+///    is a pure observer);
+/// 2. the accounting audit passes: per-instance `DeserOp`/`SerOp` span sums
+///    equal the `AccelStats` counters exactly, and no command span leaks;
+/// 3. records, footprints, and sanitizer verdicts reconstructed *from the
+///    trace alone* (`protoacc_absint::from_trace`) match the live cluster's;
+/// 4. the Chrome-trace JSON export lands at `path` with the per-instance
+///    stats image embedded, so `profile_report --reparse` can re-run the
+///    audit offline.
+fn trace_mode(path: &str) -> bool {
+    let mut rng = StdRng::seed_from_u64(MIX_SEED);
+    let mix = TrafficMix::build(&mut rng, 8);
+    let cfg = config(2, 16, DispatchPolicy::Fifo);
+    let mut srng = StdRng::seed_from_u64(STREAM_SEED);
+    let events = mix.stream(&mut srng, 48, 5_000.0);
+
+    let base = traced_cell(&mix, &events, cfg, None);
+    let log = protoacc_trace::TraceLog::shared();
+    let cell = traced_cell(&mix, &events, cfg, Some(log.clone()));
+    let evs = std::mem::take(&mut log.borrow_mut().events);
+
+    let mut ok = true;
+    if base.result.fingerprint() != cell.result.fingerprint() {
+        println!(
+            "FAIL [trace]: tracing perturbed the run\n  untraced: {}\n  traced:   {}",
+            base.result.fingerprint(),
+            cell.result.fingerprint()
+        );
+        ok = false;
+    }
+
+    let report = protoacc_trace::audit(&evs, &cell.expected);
+    if report.ok() {
+        println!(
+            "ok   [trace audit] {} instance(s): traced span sums match AccelStats exactly",
+            report.per_instance.len()
+        );
+    } else {
+        for p in &report.problems {
+            println!("FAIL [trace audit]: {p}");
+        }
+        ok = false;
+    }
+
+    // Trace-derived records must reproduce the live cluster's, down to the
+    // status discriminant (the typed fault detail does not survive export).
+    let (trecords, toffered, tdropped) = protoacc_absint::from_trace::records_from_trace(&evs);
+    if (toffered, tdropped) != (cell.offered, cell.dropped) || trecords.len() != cell.records.len()
+    {
+        println!(
+            "FAIL [trace derive]: {}/{toffered}/{tdropped} trace-derived records/offered/dropped \
+             vs live {}/{}/{}",
+            trecords.len(),
+            cell.records.len(),
+            cell.offered,
+            cell.dropped
+        );
+        ok = false;
+    } else {
+        for (t, l) in trecords.iter().zip(&cell.records) {
+            let same = t.seq == l.seq
+                && t.enqueue == l.enqueue
+                && t.dispatch == l.dispatch
+                && t.complete == l.complete
+                && t.service == l.service
+                && t.instance == l.instance
+                && t.wire_bytes == l.wire_bytes
+                && t.deser == l.deser
+                && t.sharers == l.sharers
+                && t.attempts == l.attempts
+                && std::mem::discriminant(&t.status) == std::mem::discriminant(&l.status);
+            if !same {
+                println!(
+                    "FAIL [trace derive]: record {} diverged: {t:?} vs {l:?}",
+                    t.seq
+                );
+                ok = false;
+            }
+        }
+    }
+    let tfps = protoacc_absint::from_trace::footprints_from_trace(&evs, cfg.instances);
+    if tfps != cell.footprints {
+        println!(
+            "FAIL [trace derive]: {} trace-derived footprint(s) diverge from the live capture",
+            tfps.len()
+        );
+        ok = false;
+    }
+    // Both sanitizer paths must agree (and be clean) on this nominal run.
+    let live = protoacc_absint::sanitize(
+        &cell.records,
+        &cell.footprints,
+        cfg.instances,
+        cell.offered,
+        cell.dropped,
+        &[],
+    );
+    let derived = protoacc_absint::from_trace::sanitize_trace(&evs, cfg.instances, &[]);
+    if !live.is_empty() || !derived.is_empty() {
+        println!(
+            "FAIL [trace sanitize]: live {} finding(s), trace-derived {} finding(s)",
+            live.len(),
+            derived.len()
+        );
+        ok = false;
+    }
+
+    let json = protoacc_trace::chrome::export(&evs, &cell.expected);
+    if let Err(e) = std::fs::write(path, &json) {
+        println!("FAIL [trace]: writing {path}: {e}");
+        return false;
+    }
+    if ok {
+        println!(
+            "serve_trace OK ({} events, {} bytes -> {path})",
+            evs.len(),
+            json.len()
+        );
+    }
+    ok
 }
 
 fn config(instances: usize, queue_depth: usize, policy: DispatchPolicy) -> ServeConfig {
@@ -864,8 +1053,18 @@ fn main() -> ExitCode {
     let smoke_flag = args.iter().any(|a| a == "--smoke");
     let sanitize_flag = args.iter().any(|a| a == "--sanitize");
     let faults_flag = args.iter().any(|a| a == "--faults");
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     if sanitize_flag && !sanitize_mode() {
         return ExitCode::FAILURE;
+    }
+    if let Some(path) = &trace_path {
+        if !trace_mode(path) {
+            return ExitCode::FAILURE;
+        }
     }
     if faults_flag {
         return if smoke_flag {
@@ -876,7 +1075,7 @@ fn main() -> ExitCode {
     }
     if smoke_flag {
         smoke()
-    } else if sanitize_flag {
+    } else if sanitize_flag || trace_path.is_some() {
         ExitCode::SUCCESS
     } else {
         full()

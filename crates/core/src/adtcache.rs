@@ -26,12 +26,13 @@ impl AdtCache {
     }
 
     /// Loads `len` bytes of ADT state at `addr`: 1 cycle on hit, a blocking
-    /// memory access on miss.
-    pub(crate) fn load(&mut self, system: &mut MemSystem, addr: u64, len: usize) -> Cycles {
+    /// memory access on miss. Returns `(cycles, hit)` so callers can trace
+    /// hit/miss without re-deriving it from the cost.
+    pub(crate) fn load(&mut self, system: &mut MemSystem, addr: u64, len: usize) -> (Cycles, bool) {
         if let Some(pos) = self.entries.iter().position(|&a| a == addr) {
             let a = self.entries.remove(pos);
             self.entries.push(a);
-            return 1;
+            return (1, true);
         }
         if self.entries.len() == self.capacity {
             self.entries.remove(0);
@@ -39,7 +40,7 @@ impl AdtCache {
         self.entries.push(addr);
         self.misses += 1;
         // The FSM blocks in the typeInfo state for this response.
-        1 + system.access(addr, len, AccessKind::Read)
+        (1 + system.access(addr, len, AccessKind::Read), false)
     }
 
     pub(crate) fn misses(&self) -> u64 {
@@ -60,9 +61,10 @@ mod tests {
     fn hit_costs_one_cycle() {
         let mut sys = MemSystem::new(MemConfig::default());
         let mut cache = AdtCache::new(4);
-        let cold = cache.load(&mut sys, 0x100, 16);
+        let (cold, hit) = cache.load(&mut sys, 0x100, 16);
         assert!(cold > 1);
-        assert_eq!(cache.load(&mut sys, 0x100, 16), 1);
+        assert!(!hit);
+        assert_eq!(cache.load(&mut sys, 0x100, 16), (1, true));
         assert_eq!(cache.misses(), 1);
     }
 
@@ -74,8 +76,8 @@ mod tests {
         cache.load(&mut sys, 0x200, 16);
         cache.load(&mut sys, 0x100, 16); // refresh 0x100
         cache.load(&mut sys, 0x300, 16); // evict 0x200
-        assert_eq!(cache.load(&mut sys, 0x100, 16), 1);
-        assert!(cache.load(&mut sys, 0x200, 16) > 1);
+        assert_eq!(cache.load(&mut sys, 0x100, 16), (1, true));
+        assert!(cache.load(&mut sys, 0x200, 16).0 > 1);
     }
 
     #[test]
@@ -84,6 +86,6 @@ mod tests {
         let mut cache = AdtCache::new(2);
         cache.load(&mut sys, 0x100, 16);
         cache.clear();
-        assert!(cache.load(&mut sys, 0x100, 16) > 1);
+        assert!(cache.load(&mut sys, 0x100, 16).0 > 1);
     }
 }

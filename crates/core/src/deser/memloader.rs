@@ -12,6 +12,9 @@
 
 use protoacc_wire::MAX_VARINT_LEN;
 
+/// Bytes presented to the FSM per memloader window (Section 4.4.2).
+pub const WINDOW_BYTES: usize = 16;
+
 /// The memloader's consumer-side view of the serialized input.
 #[derive(Debug, Clone)]
 pub struct Memloader {

@@ -80,6 +80,9 @@ struct Frame {
 pub struct DeserUnit {
     config: AccelConfig,
     adt_cache: AdtCache,
+    tracer: Option<protoacc_trace::SharedTracer>,
+    trace_instance: usize,
+    trace_origin: Cycles,
 }
 
 impl DeserUnit {
@@ -88,7 +91,73 @@ impl DeserUnit {
         DeserUnit {
             adt_cache: AdtCache::new(config.adt_cache_entries),
             config,
+            tracer: None,
+            trace_instance: 0,
+            trace_origin: 0,
         }
+    }
+
+    /// Attaches (or detaches) a structured event tracer. Tracing is purely
+    /// observational: cycle results are identical with and without it.
+    pub fn set_tracer(&mut self, tracer: Option<protoacc_trace::SharedTracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Instance id stamped on emitted events.
+    pub fn set_trace_instance(&mut self, instance: usize) {
+        self.trace_instance = instance;
+    }
+
+    /// Base timestamp for the next op's events (e.g. its dispatch time on
+    /// the serve cluster's queue clock); FSM-relative offsets are added.
+    pub fn set_trace_origin(&mut self, origin: Cycles) {
+        self.trace_origin = origin;
+    }
+
+    fn emit(&self, event: protoacc_trace::TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(event);
+        }
+    }
+
+    fn emit_fsm(&self, fsm: Cycles, state: protoacc_trace::FsmState, field_number: u32) {
+        if self.tracer.is_some() {
+            self.emit(protoacc_trace::TraceEvent::FsmTransition {
+                instance: self.trace_instance,
+                at: self.trace_origin + fsm,
+                state,
+                field_number,
+            });
+        }
+    }
+
+    fn emit_adt(&self, fsm: Cycles, hit: bool, cycles: Cycles) {
+        if self.tracer.is_some() {
+            self.emit(protoacc_trace::TraceEvent::AdtAccess {
+                instance: self.trace_instance,
+                at: self.trace_origin + fsm,
+                unit: protoacc_trace::AdtUnit::Deser,
+                hit,
+                cycles,
+            });
+        }
+    }
+
+    /// Closes the span of the previously opened field, if any, and opens
+    /// one for `field_number` at FSM time `fsm`.
+    fn roll_field_span(&self, pending: &mut Option<(u32, Cycles)>, next: Option<u32>, fsm: Cycles) {
+        if self.tracer.is_none() {
+            return;
+        }
+        if let Some((field_number, start)) = pending.take() {
+            self.emit(protoacc_trace::TraceEvent::Field {
+                instance: self.trace_instance,
+                start: self.trace_origin + start,
+                cycles: fsm - start,
+                field_number,
+            });
+        }
+        *pending = next.map(|f| (f, fsm));
     }
 
     /// Executes one deserialization: input at `input_addr`/`input_len`,
@@ -118,8 +187,21 @@ impl DeserUnit {
         let stream_cycles = mem
             .system
             .stream(input_addr, input_len as usize, AccessKind::Read);
+        if self.tracer.is_some() {
+            self.emit(protoacc_trace::TraceEvent::MemloaderStream {
+                instance: self.trace_instance,
+                start: self.trace_origin,
+                cycles: stream_cycles,
+                bytes: input_len,
+                windows: input_len.div_ceil(memloader::WINDOW_BYTES as u64),
+            });
+        }
         let input = mem.data.read_vec(input_addr, input_len as usize);
         let mut loader = Memloader::new(input, input_addr);
+        // Span bookkeeping for the per-field trace: `(field_number, fsm at
+        // key parse)` of the field currently being handled. Only ever
+        // `Some` while a tracer is attached.
+        let mut open_field: Option<(u32, Cycles)> = None;
 
         let root_adt = self.load_adt_header(mem, adt_ptr, &mut fsm);
         let mut frames = vec![Frame {
@@ -137,6 +219,8 @@ impl DeserUnit {
                 // End of (sub-)message: close regions and pop the stack.
                 let frame = frames.pop().expect("frame present");
                 fsm += 1;
+                self.roll_field_span(&mut open_field, None, fsm);
+                self.emit_fsm(fsm, protoacc_trace::FsmState::CloseFrame, 0);
                 self.close_frame(mem, arena, frame, &mut frames, &mut fsm, stats)?;
                 if frames.len() >= self.config.stack_depth {
                     fsm += self.config.stack_spill_cycles;
@@ -145,27 +229,35 @@ impl DeserUnit {
             }
 
             // --- parseKey state: combinational varint decode of the key ---
+            let fsm_at_key = fsm;
             let decoded = varint_at(&loader, frame_end)?;
             loader.consume(decoded.len);
             fsm += 1;
             stats.varints += 1;
             let key = FieldKey::from_encoded(decoded.value)?;
             fields += 1;
+            self.roll_field_span(&mut open_field, Some(key.field_number()), fsm_at_key);
+            self.emit_fsm(fsm, protoacc_trace::FsmState::ParseKey, key.field_number());
 
             let Some(entry_addr) = frames[top].adt.entry_addr(key.field_number()) else {
                 // Field number outside the defined range: skip the value.
+                self.emit_fsm(fsm, protoacc_trace::FsmState::Skip, key.field_number());
                 self.skip_value(&mut loader, key.wire_type(), frame_end, &mut fsm)?;
                 continue;
             };
 
             // --- typeInfo state: block for the ADT loader response ---
-            fsm += self
-                .adt_cache
-                .load(&mut mem.system, entry_addr, ADT_ENTRY_BYTES as usize);
+            let (adt_cost, adt_hit) =
+                self.adt_cache
+                    .load(&mut mem.system, entry_addr, ADT_ENTRY_BYTES as usize);
+            fsm += adt_cost;
+            self.emit_adt(fsm, adt_hit, adt_cost);
+            self.emit_fsm(fsm, protoacc_trace::FsmState::TypeInfo, key.field_number());
             let mut entry_bytes = [0u8; ADT_ENTRY_BYTES as usize];
             mem.data.read_bytes(entry_addr, &mut entry_bytes);
             let entry = FieldEntry::from_bytes(&entry_bytes);
             if !entry.is_defined() {
+                self.emit_fsm(fsm, protoacc_trace::FsmState::Skip, key.field_number());
                 self.skip_value(&mut loader, key.wire_type(), frame_end, &mut fsm)?;
                 continue;
             }
@@ -212,6 +304,7 @@ impl DeserUnit {
 
             match entry.type_code {
                 TypeCode::Str | TypeCode::Bytes => {
+                    self.emit_fsm(fsm, protoacc_trace::FsmState::Write, key.field_number());
                     let len = self.read_length(&mut loader, frame_end, &mut fsm, stats)?;
                     let payload = loader
                         .peek_bytes(len, frame_end)
@@ -245,6 +338,7 @@ impl DeserUnit {
                     }
                 }
                 TypeCode::Message => {
+                    self.emit_fsm(fsm, protoacc_trace::FsmState::OpenFrame, key.field_number());
                     let len = self.read_length(&mut loader, frame_end, &mut fsm, stats)?;
                     // Compared as a subtraction so an adversarial 64-bit
                     // declared length cannot overflow the position addition.
@@ -306,6 +400,7 @@ impl DeserUnit {
                     });
                 }
                 _scalar => {
+                    self.emit_fsm(fsm, protoacc_trace::FsmState::Write, key.field_number());
                     if packed_arrival {
                         let len = self.read_length(&mut loader, frame_end, &mut fsm, stats)?;
                         if len > frame_end - loader.position() {
@@ -359,6 +454,7 @@ impl DeserUnit {
             }
         }
 
+        self.roll_field_span(&mut open_field, None, fsm);
         stats.fields += fields;
         let cycles = self.config.rocc_dispatch_cycles + fsm.max(stream_cycles);
         Ok(DeserRun {
@@ -381,7 +477,9 @@ impl DeserUnit {
     }
 
     fn load_adt_header(&mut self, mem: &mut Memory, adt_ptr: u64, fsm: &mut Cycles) -> AdtLayout {
-        *fsm += self.adt_cache.load(&mut mem.system, adt_ptr, 64);
+        let (cost, hit) = self.adt_cache.load(&mut mem.system, adt_ptr, 64);
+        *fsm += cost;
+        self.emit_adt(*fsm, hit, cost);
         AdtLayout::read(&mem.data, adt_ptr)
     }
 

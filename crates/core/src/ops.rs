@@ -102,7 +102,7 @@ impl OpsUnit {
     ) -> Result<OpsRun, AccelError> {
         let mut run = OpsRun::default();
         run.cycles += self.config.rocc_dispatch_cycles;
-        run.cycles += self.adt_cache.load(&mut mem.system, adt_ptr, 64);
+        run.cycles += self.adt_cache.load(&mut mem.system, adt_ptr, 64).0;
         let adt = AdtLayout::read(&mem.data, adt_ptr);
         let bytes = (adt.span().div_ceil(8).div_ceil(8) * 8) as usize;
         mem.data
@@ -131,7 +131,7 @@ impl OpsUnit {
         run: &mut OpsRun,
         depth: usize,
     ) -> Result<(), AccelError> {
-        run.cycles += self.adt_cache.load(&mut mem.system, adt_ptr, 64);
+        run.cycles += self.adt_cache.load(&mut mem.system, adt_ptr, 64).0;
         let adt = AdtLayout::read(&mem.data, adt_ptr);
         let span = adt.span();
         if span == 0 {
@@ -158,9 +158,10 @@ impl OpsUnit {
             run.cycles += 1;
             run.fields += 1;
             let entry_addr = adt.entries + bit * ADT_ENTRY_BYTES;
-            run.cycles +=
-                self.adt_cache
-                    .load(&mut mem.system, entry_addr, ADT_ENTRY_BYTES as usize);
+            run.cycles += self
+                .adt_cache
+                .load(&mut mem.system, entry_addr, ADT_ENTRY_BYTES as usize)
+                .0;
             let mut entry_bytes = [0u8; ADT_ENTRY_BYTES as usize];
             mem.data.read_bytes(entry_addr, &mut entry_bytes);
             let entry = FieldEntry::from_bytes(&entry_bytes);
@@ -248,7 +249,7 @@ impl OpsUnit {
         run: &mut OpsRun,
         depth: usize,
     ) -> Result<u64, AccelError> {
-        run.cycles += self.adt_cache.load(&mut mem.system, adt_ptr, 64);
+        run.cycles += self.adt_cache.load(&mut mem.system, adt_ptr, 64).0;
         let adt = AdtLayout::read(&mem.data, adt_ptr);
         let new_obj = arena.alloc(adt.object_size, 8)?;
         stats.allocs += 1;

@@ -68,6 +68,9 @@ pub struct ProtoAccelerator {
     pending_ser_cycles: Cycles,
     pending_ops_cycles: Cycles,
     stats: AccelStats,
+    tracer: Option<protoacc_trace::SharedTracer>,
+    trace_instance: usize,
+    trace_origin: Cycles,
 }
 
 impl ProtoAccelerator {
@@ -89,6 +92,9 @@ impl ProtoAccelerator {
             pending_ser_cycles: 0,
             pending_ops_cycles: 0,
             stats: AccelStats::default(),
+            tracer: None,
+            trace_instance: 0,
+            trace_origin: 0,
             config,
         }
     }
@@ -96,6 +102,35 @@ impl ProtoAccelerator {
     /// The configuration this accelerator was built with.
     pub fn config(&self) -> &AccelConfig {
         &self.config
+    }
+
+    /// Attaches (or detaches, with `None`) a structured-event tracer to both
+    /// units. Tracing is a pure observer and never perturbs cycle totals.
+    pub fn set_tracer(&mut self, tracer: Option<protoacc_trace::SharedTracer>) {
+        self.deser_unit.set_tracer(tracer.clone());
+        self.ser_unit.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Sets the instance id stamped onto this accelerator's trace events.
+    pub fn set_trace_instance(&mut self, instance: usize) {
+        self.deser_unit.set_trace_instance(instance);
+        self.ser_unit.set_trace_instance(instance);
+        self.trace_instance = instance;
+    }
+
+    /// Sets the cluster-cycle origin for unit-relative trace timestamps
+    /// (typically the dispatch cycle of the request being served).
+    pub fn set_trace_origin(&mut self, origin: Cycles) {
+        self.deser_unit.set_trace_origin(origin);
+        self.ser_unit.set_trace_origin(origin);
+        self.trace_origin = origin;
+    }
+
+    fn emit(&self, event: protoacc_trace::TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(event);
+        }
     }
 
     /// Accumulated statistics.
@@ -208,6 +243,20 @@ impl ProtoAccelerator {
         self.stats.deser_cycles += run.cycles;
         self.stats.deser_wire_bytes += run.wire_bytes;
         self.pending_deser_cycles += run.cycles;
+        // Audit anchor: the DeserOp span duration is exactly the quantity
+        // added to `stats.deser_cycles` above, so traced spans must sum to
+        // the reported total.
+        if self.tracer.is_some() {
+            self.emit(protoacc_trace::TraceEvent::DeserOp {
+                instance: self.trace_instance,
+                start: self.trace_origin,
+                cycles: run.cycles,
+                fsm_cycles: run.fsm_cycles,
+                stream_cycles: run.stream_cycles,
+                wire_bytes: run.wire_bytes,
+                fields: run.fields,
+            });
+        }
         Ok(run)
     }
 
@@ -265,6 +314,20 @@ impl ProtoAccelerator {
         self.stats.ser_cycles += run.cycles;
         self.stats.ser_wire_bytes += run.out_len;
         self.pending_ser_cycles += run.cycles;
+        // Audit anchor: span duration == the quantity added to
+        // `stats.ser_cycles` above.
+        if self.tracer.is_some() {
+            self.emit(protoacc_trace::TraceEvent::SerOp {
+                instance: self.trace_instance,
+                start: self.trace_origin,
+                cycles: run.cycles,
+                frontend_cycles: run.frontend_cycles,
+                fsu_cycles: run.fsu_cycles,
+                memwriter_cycles: run.memwriter_cycles,
+                out_len: run.out_len,
+                fields: run.fields,
+            });
+        }
         Ok(run)
     }
 

@@ -27,11 +27,15 @@ impl FsuPool {
     }
 
     /// Dispatches one handle-field-op costing `cycles` to the next unit.
-    pub fn dispatch(&mut self, cycles: Cycles) {
+    /// Returns `(unit index, unit busy time before this op)` so observers can
+    /// reconstruct the op's slot in that unit's busy timeline.
+    pub fn dispatch(&mut self, cycles: Cycles) -> (usize, Cycles) {
         let unit = self.next;
+        let start = self.busy[unit];
         self.busy[unit] += cycles;
         self.next = (self.next + 1) % self.busy.len();
         self.ops += 1;
+        (unit, start)
     }
 
     /// Busy time of the most-loaded unit: the pool's completion bound.

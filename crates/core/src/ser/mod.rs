@@ -46,6 +46,9 @@ pub struct SerRun {
 pub struct SerUnit {
     config: AccelConfig,
     adt_cache: AdtCache,
+    tracer: Option<protoacc_trace::SharedTracer>,
+    trace_instance: usize,
+    trace_origin: Cycles,
 }
 
 impl SerUnit {
@@ -54,6 +57,44 @@ impl SerUnit {
         SerUnit {
             adt_cache: AdtCache::new(config.adt_cache_entries),
             config,
+            tracer: None,
+            trace_instance: 0,
+            trace_origin: 0,
+        }
+    }
+
+    /// Attaches (or detaches, with `None`) a structured-event tracer.
+    /// Tracing is a pure observer: it never changes cycle accounting.
+    pub fn set_tracer(&mut self, tracer: Option<protoacc_trace::SharedTracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Sets the instance id stamped onto emitted events.
+    pub fn set_trace_instance(&mut self, instance: usize) {
+        self.trace_instance = instance;
+    }
+
+    /// Sets the cluster-cycle origin that unit-relative timestamps are
+    /// rebased onto.
+    pub fn set_trace_origin(&mut self, origin: Cycles) {
+        self.trace_origin = origin;
+    }
+
+    fn emit(&self, event: protoacc_trace::TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(event);
+        }
+    }
+
+    fn emit_adt(&self, frontend: Cycles, hit: bool, cycles: Cycles) {
+        if self.tracer.is_some() {
+            self.emit(protoacc_trace::TraceEvent::AdtAccess {
+                instance: self.trace_instance,
+                at: self.trace_origin + frontend,
+                unit: protoacc_trace::AdtUnit::Ser,
+                hit,
+                cycles,
+            });
         }
     }
 
@@ -93,6 +134,14 @@ impl SerUnit {
         let out_len = cursor_before - out_addr;
         let memwriter_cycles = writer.cycles() - writer_cycles_before;
         let fsu_cycles = pool.max_busy();
+        if self.tracer.is_some() && memwriter_cycles > 0 {
+            self.emit(protoacc_trace::TraceEvent::MemwriterFlush {
+                instance: self.trace_instance,
+                start: self.trace_origin,
+                cycles: memwriter_cycles,
+                bytes: out_len,
+            });
+        }
         stats.fields += fields;
         let cycles =
             self.config.rocc_dispatch_cycles + frontend.max(fsu_cycles).max(memwriter_cycles);
@@ -131,7 +180,9 @@ impl SerUnit {
         stats: &mut AccelStats,
         depth: usize,
     ) -> Result<(), AccelError> {
-        *frontend += self.adt_cache.load(&mut mem.system, adt_ptr, 64);
+        let (adt_cost, adt_hit) = self.adt_cache.load(&mut mem.system, adt_ptr, 64);
+        *frontend += adt_cost;
+        self.emit_adt(*frontend, adt_hit, adt_cost);
         let adt = AdtLayout::read(&mem.data, adt_ptr);
         let span = adt.span();
         if span == 0 {
@@ -165,9 +216,11 @@ impl SerUnit {
                     .access(adt.base + 4096 + bit * 4, 4, AccessKind::Read);
             }
             let entry_addr = adt.entries + bit * ADT_ENTRY_BYTES;
-            *frontend += self
-                .adt_cache
-                .load(&mut mem.system, entry_addr, ADT_ENTRY_BYTES as usize);
+            let (entry_cost, entry_hit) =
+                self.adt_cache
+                    .load(&mut mem.system, entry_addr, ADT_ENTRY_BYTES as usize);
+            *frontend += entry_cost;
+            self.emit_adt(*frontend, entry_hit, entry_cost);
             let mut entry_bytes = [0u8; ADT_ENTRY_BYTES as usize];
             mem.data.read_bytes(entry_addr, &mut entry_bytes);
             let entry = FieldEntry::from_bytes(&entry_bytes);
@@ -229,7 +282,16 @@ impl SerUnit {
 
             // Non-sub-message field: one handle-field-op to an FSU.
             let fsu_cost = self.ser_field(mem, writer, entry, number, slot, stats)?;
-            pool.dispatch(fsu_cost);
+            let (unit, start_busy) = pool.dispatch(fsu_cost);
+            if self.tracer.is_some() {
+                self.emit(protoacc_trace::TraceEvent::FsuOp {
+                    instance: self.trace_instance,
+                    unit,
+                    start: self.trace_origin + start_busy,
+                    cycles: fsu_cost,
+                    field_number: number,
+                });
+            }
         }
         Ok(())
     }

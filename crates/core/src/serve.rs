@@ -413,6 +413,10 @@ pub struct ServeCluster {
     /// The software fallback path is one serialized virtual CPU server.
     cpu_busy_until: Cycles,
     retries: u64,
+    /// Structured-event tracer threaded through the instances, the memory
+    /// system, and the queue itself. `None` (the default) keeps every trace
+    /// hook a dead branch, so cycle accounting is bit-identical either way.
+    tracer: Option<protoacc_trace::SharedTracer>,
 }
 
 impl ServeCluster {
@@ -449,9 +453,28 @@ impl ServeCluster {
             dead: vec![false; config.instances],
             cpu_busy_until: 0,
             retries: 0,
+            tracer: None,
             config,
             accels,
             regions,
+        }
+    }
+
+    /// Attaches (or detaches, with `None`) a structured-event tracer. The
+    /// tracer is threaded into every accelerator instance; the shared memory
+    /// system joins it for the duration of each [`ServeCluster::run_with`].
+    /// Tracing observes the run — it never changes cycle accounting.
+    pub fn set_tracer(&mut self, tracer: Option<protoacc_trace::SharedTracer>) {
+        for (i, accel) in self.accels.iter_mut().enumerate() {
+            accel.set_tracer(tracer.clone());
+            accel.set_trace_instance(i);
+        }
+        self.tracer = tracer;
+    }
+
+    fn emit(&self, event: protoacc_trace::TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(event);
         }
     }
 
@@ -517,6 +540,9 @@ impl ServeCluster {
         mut fallback: Option<&mut dyn FallbackCodec>,
     ) -> Result<(), AccelError> {
         let script = FaultScript::compile(faults, self.config.instances);
+        if let Some(t) = &self.tracer {
+            mem.system.set_event_tracer(Some(t.clone()));
+        }
         // Dispatch times of admitted-but-not-yet-dispatched commands, as a
         // min-heap so occupancy at any arrival time is cheap to maintain.
         let mut pending: BinaryHeap<Reverse<Cycles>> = BinaryHeap::new();
@@ -533,7 +559,24 @@ impl ServeCluster {
             }
             if pending.len() >= self.config.queue_depth {
                 self.dropped += 1;
+                if self.tracer.is_some() {
+                    self.emit(protoacc_trace::TraceEvent::CmdDrop {
+                        seq,
+                        at: req.arrival,
+                    });
+                }
                 continue;
+            }
+            if self.tracer.is_some() {
+                self.emit(protoacc_trace::TraceEvent::CmdEnqueue {
+                    seq,
+                    at: req.arrival,
+                    wire_bytes: match req.op {
+                        RequestOp::Deserialize { input_len, .. } => input_len,
+                        RequestOp::Serialize { .. } => 0,
+                    },
+                    deser: req.op.is_deser(),
+                });
             }
             let mut now = req.arrival;
             let mut attempts: u32 = 0;
@@ -562,6 +605,14 @@ impl ServeCluster {
                 let dispatch = now.max(self.busy_until[instance]);
                 if attempts == 1 {
                     pending.push(Reverse(dispatch));
+                }
+                if self.tracer.is_some() {
+                    self.emit(protoacc_trace::TraceEvent::CmdDispatch {
+                        seq,
+                        at: dispatch,
+                        instance,
+                        attempt: attempts,
+                    });
                 }
                 let a = self.attempt(mem, req, seq, instance, dispatch, &script);
                 self.busy_until[instance] = dispatch + a.service;
@@ -601,6 +652,14 @@ impl ServeCluster {
                             );
                         }
                         self.retries += 1;
+                        if self.tracer.is_some() {
+                            self.emit(protoacc_trace::TraceEvent::CmdRetry {
+                                seq,
+                                at: dispatch + a.service,
+                                instance,
+                                attempt: attempts,
+                            });
+                        }
                         let backoff = self
                             .config
                             .retry_backoff
@@ -618,7 +677,32 @@ impl ServeCluster {
                 });
                 self.footprints.push(fp);
             }
+            if self.tracer.is_some() {
+                self.emit(protoacc_trace::TraceEvent::CmdComplete {
+                    seq: record.seq,
+                    enqueue: record.enqueue,
+                    dispatch: record.dispatch,
+                    complete: record.complete,
+                    service: record.service,
+                    // FALLBACK_INSTANCE and FALLBACK_TRACK are the same
+                    // sentinel, so the instance maps through unchanged.
+                    instance: record.instance,
+                    wire_bytes: record.wire_bytes,
+                    deser: record.deser,
+                    sharers: record.sharers,
+                    attempts: record.attempts,
+                    outcome: match record.status {
+                        CommandStatus::Ok => protoacc_trace::CmdOutcome::Ok,
+                        CommandStatus::Fallback => protoacc_trace::CmdOutcome::Fallback,
+                        CommandStatus::Rejected(_) => protoacc_trace::CmdOutcome::Rejected,
+                        CommandStatus::Failed(_) => protoacc_trace::CmdOutcome::Failed,
+                    },
+                });
+            }
             self.records.push(record);
+        }
+        if self.tracer.is_some() {
+            mem.system.set_event_tracer(None);
         }
         Ok(())
     }
@@ -685,6 +769,12 @@ impl ServeCluster {
             .count();
         mem.system.set_sharers(sharers);
         mem.system.set_requester(instance);
+        if self.tracer.is_some() {
+            // Unit-relative trace timestamps rebase onto this attempt's
+            // dispatch cycle.
+            self.accels[instance].set_trace_origin(dispatch);
+            mem.system.set_trace_origin(dispatch);
+        }
         self.recycle_if_low(instance);
         if self.trace_footprints {
             // Drop any stale trace so the capture covers only this
@@ -808,6 +898,9 @@ impl ServeCluster {
             status: CommandStatus::Failed(fault),
             attempts,
         };
+        if self.tracer.is_some() {
+            self.emit(protoacc_trace::TraceEvent::CmdFallback { seq, at: now });
+        }
         let Some(fb) = fallback.as_deref_mut() else {
             return base;
         };
@@ -816,6 +909,9 @@ impl ServeCluster {
         // Attribute software-path traffic to a requester id one past the
         // accelerator instances.
         mem.system.set_requester(self.config.instances);
+        if self.tracer.is_some() {
+            mem.system.set_trace_origin(dispatch);
+        }
         if self.trace_footprints {
             mem.system.set_tracing(true);
             let _ = mem.system.take_trace();
@@ -937,8 +1033,38 @@ impl ServeCluster {
         self.records.iter().map(|r| r.wire_bytes).sum()
     }
 
-    /// Aggregate throughput in Gbits/s over the makespan.
+    /// The active service window: first dispatch to last completion across
+    /// completed commands. `None` if nothing ran.
+    pub fn service_window(&self) -> Option<(Cycles, Cycles)> {
+        let first = self.records.iter().map(|r| r.dispatch).min()?;
+        let last = self.records.iter().map(|r| r.complete).max()?;
+        Some((first, last))
+    }
+
+    /// Goodput in Gbits/s over the active service window (first dispatch to
+    /// last completion).
+    ///
+    /// Dividing by [`ServeCluster::makespan`] — which starts at cycle 0 —
+    /// understates the cluster whenever the request stream is sparse or
+    /// warms up slowly: idle lead-in and the gap after the last arrival get
+    /// charged as if the cluster were busy. The makespan-based quantity is
+    /// still available as [`ServeCluster::offered_window_gbits`].
     pub fn throughput_gbits(&self) -> f64 {
+        let Some((first, last)) = self.service_window() else {
+            return 0.0;
+        };
+        let window = last - first;
+        if window == 0 {
+            return 0.0;
+        }
+        self.completed_wire_bytes() as f64 * 8.0 * self.config.accel.freq_ghz / window as f64
+    }
+
+    /// Throughput in Gbits/s over the full offered window (cycle 0 through
+    /// the makespan) — the arrival-clock-inclusive quantity
+    /// [`ServeCluster::throughput_gbits`] used to report. Meaningful when
+    /// the offered load itself is the denominator of interest.
+    pub fn offered_window_gbits(&self) -> f64 {
         let makespan = self.makespan();
         if makespan == 0 {
             return 0.0;
@@ -965,11 +1091,12 @@ impl ServeCluster {
         if self.records.is_empty() {
             return 0;
         }
-        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
         let mut latencies: Vec<Cycles> = self.records.iter().map(CommandRecord::latency).collect();
         latencies.sort_unstable();
-        let rank = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
-        latencies[rank.min(latencies.len() - 1)]
+        // The rank rule is shared with `protoacc_trace::Histogram` so the
+        // exact path here and the metrics-registry histogram path cannot
+        // disagree by more than bucket quantization.
+        latencies[protoacc_trace::nearest_rank(p, latencies.len())]
     }
 
     /// Checks the queue-accounting invariants, returning a description of
@@ -1211,6 +1338,30 @@ mod tests {
         assert_eq!(two.latency_percentile(-30.0), lats[0]);
         assert_eq!(two.latency_percentile(400.0), lats[1]);
         assert_eq!(two.latency_percentile(f64::NAN), lats[0]);
+    }
+
+    #[test]
+    fn goodput_is_computed_over_the_service_window_not_the_makespan() {
+        let mut f = fixture();
+        // Deliberately sparse stream: one burst after a long idle lead-in.
+        // The makespan starts at cycle 0, so dividing by it charges all the
+        // idle warm-up to the cluster.
+        let mut reqs = mixed_requests(&f, 4, 0);
+        for r in &mut reqs {
+            r.arrival = 5_000_000;
+        }
+        let mut cluster = ServeCluster::new(ServeConfig::default(), 0x1_0000_0000, 1 << 24);
+        cluster.run(&mut f.mem, &reqs).unwrap();
+        cluster.check_invariants().unwrap();
+        let (first, last) = cluster.service_window().unwrap();
+        assert!(first >= 5_000_000, "window starts at first dispatch");
+        let freq = cluster.config().accel.freq_ghz;
+        let expect = cluster.completed_wire_bytes() as f64 * 8.0 * freq / (last - first) as f64;
+        assert!((cluster.throughput_gbits() - expect).abs() < 1e-12);
+        // The old quantity is preserved under its own name and, on this
+        // stream, understates goodput by orders of magnitude.
+        assert!(cluster.offered_window_gbits() < cluster.throughput_gbits() / 100.0);
+        assert!(cluster.offered_window_gbits() > 0.0);
     }
 
     #[test]

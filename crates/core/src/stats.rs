@@ -36,6 +36,12 @@ pub struct AccelStats {
     pub copy_ops: u64,
     /// Clear operations completed.
     pub clear_ops: u64,
+    /// Set when any counter overflowed and clamped during a
+    /// [`AccelStats::merge`]. A saturated block's totals are lower bounds,
+    /// not exact values — reports must surface this instead of printing
+    /// silently-capped numbers, and the trace-accounting audit refuses to
+    /// certify a saturated block (it cannot: the exact sum is gone).
+    pub saturated: bool,
 }
 
 impl AccelStats {
@@ -44,27 +50,53 @@ impl AccelStats {
     /// Counters saturate instead of wrapping: fleet-scale aggregations add
     /// stats from millions of operations, and with `overflow-checks` on in
     /// dev/test profiles a wrapped counter would otherwise abort the run.
+    /// Saturation is no longer silent, though — any clamped counter sets
+    /// [`AccelStats::saturated`] on the result, and merging an
+    /// already-saturated block keeps the flag sticky.
     pub fn merge(&mut self, other: &AccelStats) {
-        self.deser_cycles = self.deser_cycles.saturating_add(other.deser_cycles);
-        self.ser_cycles = self.ser_cycles.saturating_add(other.ser_cycles);
-        self.deser_ops = self.deser_ops.saturating_add(other.deser_ops);
-        self.ser_ops = self.ser_ops.saturating_add(other.ser_ops);
-        self.deser_wire_bytes = self.deser_wire_bytes.saturating_add(other.deser_wire_bytes);
-        self.ser_wire_bytes = self.ser_wire_bytes.saturating_add(other.ser_wire_bytes);
-        self.fields = self.fields.saturating_add(other.fields);
-        self.varints = self.varints.saturating_add(other.varints);
-        self.allocs = self.allocs.saturating_add(other.allocs);
-        self.stack_pushes = self.stack_pushes.saturating_add(other.stack_pushes);
-        self.stack_spills = self.stack_spills.saturating_add(other.stack_spills);
-        self.adt_misses = self.adt_misses.saturating_add(other.adt_misses);
-        self.merge_ops = self.merge_ops.saturating_add(other.merge_ops);
-        self.copy_ops = self.copy_ops.saturating_add(other.copy_ops);
-        self.clear_ops = self.clear_ops.saturating_add(other.clear_ops);
+        let mut clamped = false;
+        let mut add = |dst: &mut u64, src: u64| {
+            let (sum, overflowed) = dst.overflowing_add(src);
+            if overflowed {
+                clamped = true;
+                *dst = u64::MAX;
+            } else {
+                *dst = sum;
+            }
+        };
+        add(&mut self.deser_cycles, other.deser_cycles);
+        add(&mut self.ser_cycles, other.ser_cycles);
+        add(&mut self.deser_ops, other.deser_ops);
+        add(&mut self.ser_ops, other.ser_ops);
+        add(&mut self.deser_wire_bytes, other.deser_wire_bytes);
+        add(&mut self.ser_wire_bytes, other.ser_wire_bytes);
+        add(&mut self.fields, other.fields);
+        add(&mut self.varints, other.varints);
+        add(&mut self.allocs, other.allocs);
+        add(&mut self.stack_pushes, other.stack_pushes);
+        add(&mut self.stack_spills, other.stack_spills);
+        add(&mut self.adt_misses, other.adt_misses);
+        add(&mut self.merge_ops, other.merge_ops);
+        add(&mut self.copy_ops, other.copy_ops);
+        add(&mut self.clear_ops, other.clear_ops);
+        self.saturated = self.saturated || other.saturated || clamped;
     }
 
     /// Total cycles across both directions, saturating.
     pub fn total_cycles(&self) -> Cycles {
         self.deser_cycles.saturating_add(self.ser_cycles)
+    }
+
+    /// Asserts (in builds with debug assertions) that no counter has been
+    /// clamped. Report renderers call this before printing totals so a
+    /// saturated long-run sweep fails loudly in tests instead of shipping
+    /// silently-capped numbers; release builds surface the flag in the
+    /// report text instead.
+    pub fn debug_assert_unsaturated(&self) {
+        debug_assert!(
+            !self.saturated,
+            "AccelStats saturated: a merge clamped at least one counter, totals are lower bounds"
+        );
     }
 }
 
@@ -90,10 +122,12 @@ mod tests {
         assert_eq!(a.fields, 5);
         assert_eq!(a.varints, 7);
         assert_eq!(a.total_cycles(), 15);
+        assert!(!a.saturated, "clean merges must not raise the flag");
+        a.debug_assert_unsaturated();
     }
 
     #[test]
-    fn merge_saturates_instead_of_wrapping() {
+    fn merge_saturates_and_raises_the_flag() {
         let mut a = AccelStats {
             deser_cycles: Cycles::MAX - 1,
             ..Default::default()
@@ -105,5 +139,36 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.deser_cycles, Cycles::MAX);
         assert_eq!(a.total_cycles(), Cycles::MAX);
+        assert!(a.saturated, "overflow must be detected, not silent");
+    }
+
+    #[test]
+    fn saturation_flag_is_sticky_across_merges() {
+        let mut a = AccelStats {
+            deser_cycles: Cycles::MAX,
+            ..Default::default()
+        };
+        a.merge(&AccelStats {
+            deser_cycles: 1,
+            ..Default::default()
+        });
+        assert!(a.saturated);
+        let mut clean = AccelStats::default();
+        clean.merge(&a);
+        assert!(
+            clean.saturated,
+            "merging a saturated block marks the aggregate"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "AccelStats saturated")]
+    fn debug_assert_fires_on_saturated_blocks() {
+        let s = AccelStats {
+            saturated: true,
+            ..Default::default()
+        };
+        s.debug_assert_unsaturated();
     }
 }

@@ -211,6 +211,14 @@ pub struct MemSystem {
     trace: Vec<AccessRecord>,
     armed: Vec<ArmedFault>,
     fault: Option<MemFault>,
+    /// Structured event sink (`protoacc-trace`); `None` (the default) is
+    /// the zero-cost path — instrumentation never feeds back into cycle
+    /// arithmetic, it only observes.
+    event_tracer: Option<protoacc_trace::SharedTracer>,
+    /// `(timeline base, self.cycles when the base was set)`: event
+    /// timestamps are `base + (cycles_at_issue - cycles_at_base)`, letting
+    /// the serve layer pin memory events onto its queue clock.
+    trace_origin: (Cycles, Cycles),
 }
 
 impl MemSystem {
@@ -232,7 +240,31 @@ impl MemSystem {
             trace: Vec::new(),
             armed: Vec::new(),
             fault: None,
+            event_tracer: None,
+            trace_origin: (0, 0),
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a structured event tracer.
+    /// While attached, every non-empty `access`/`stream`/`pipelined` call
+    /// emits a [`protoacc_trace::TraceEvent::MemAccess`] with its cache-
+    /// level breakdown. Purely observational: cycle accounting is
+    /// identical with and without a tracer.
+    pub fn set_event_tracer(&mut self, tracer: Option<protoacc_trace::SharedTracer>) {
+        self.event_tracer = tracer;
+    }
+
+    /// Whether a structured event tracer is attached.
+    pub fn event_tracing(&self) -> bool {
+        self.event_tracer.is_some()
+    }
+
+    /// Pins the event timeline: subsequent events are stamped
+    /// `at + (cycles_since_this_call)`. The serve layer calls this with
+    /// each attempt's dispatch time so memory events line up with the
+    /// cluster's queue clock.
+    pub fn set_trace_origin(&mut self, at: Cycles) {
+        self.trace_origin = (at, self.cycles);
     }
 
     /// Arms a one-shot uncorrectable ECC fault: the first subsequent access
@@ -383,7 +415,8 @@ impl MemSystem {
             return 0;
         }
         self.trace_access(addr, len, kind);
-        let mut cost = self.tlb.translate(addr);
+        let snap = self.snap_for_event();
+        let mut tlb_cost = self.tlb.translate(addr);
         let line_bytes = self.config.l1.line_bytes as u64;
         let first_line = addr / line_bytes;
         let last_line = (addr + len as u64 - 1) / line_bytes;
@@ -391,13 +424,23 @@ impl MemSystem {
         let first_page = addr / crate::PAGE_SIZE as u64;
         let last_page = (addr + len as u64 - 1) / crate::PAGE_SIZE as u64;
         for page in first_page + 1..=last_page {
-            cost += self.tlb.translate(page * crate::PAGE_SIZE as u64);
+            tlb_cost += self.tlb.translate(page * crate::PAGE_SIZE as u64);
         }
+        let mut cost = tlb_cost;
         for line in first_line..=last_line {
             cost += self.probe(line);
         }
         let cost = cost.saturating_add(self.check_faults(addr, len));
         self.note(len, cost);
+        self.emit_mem_event(
+            snap,
+            protoacc_trace::MemAccessMode::Blocking,
+            addr,
+            len,
+            kind,
+            cost,
+            tlb_cost,
+        );
         cost
     }
 
@@ -410,6 +453,7 @@ impl MemSystem {
             return 0;
         }
         self.trace_access(addr, len, kind);
+        let snap = self.snap_for_event();
         let line_bytes = self.config.l1.line_bytes as u64;
         let first_line = addr / line_bytes;
         let last_line = (addr + len as u64 - 1) / line_bytes;
@@ -435,9 +479,17 @@ impl MemSystem {
         let hidden = sum.saturating_sub(worst) / overlap;
         let bus = len.div_ceil(BUS_WIDTH_BYTES) as u64 * self.sharers;
         let cost = (tlb_cost + worst + hidden + bus).saturating_add(self.check_faults(addr, len));
-        let _ = kind;
         let _ = lines;
         self.note(len, cost);
+        self.emit_mem_event(
+            snap,
+            protoacc_trace::MemAccessMode::Stream,
+            addr,
+            len,
+            kind,
+            cost,
+            tlb_cost,
+        );
         cost
     }
 
@@ -451,12 +503,17 @@ impl MemSystem {
             return 0;
         }
         self.trace_access(addr, len, kind);
-        let mut cost = self.tlb.translate(addr);
-        let first_page = addr / crate::PAGE_SIZE as u64;
-        let last_page = (addr + len as u64 - 1) / crate::PAGE_SIZE as u64;
-        for page in first_page + 1..=last_page {
-            cost += self.tlb.translate(page * crate::PAGE_SIZE as u64);
-        }
+        let snap = self.snap_for_event();
+        let tlb_cost = {
+            let mut t = self.tlb.translate(addr);
+            let first_page = addr / crate::PAGE_SIZE as u64;
+            let last_page = (addr + len as u64 - 1) / crate::PAGE_SIZE as u64;
+            for page in first_page + 1..=last_page {
+                t += self.tlb.translate(page * crate::PAGE_SIZE as u64);
+            }
+            t
+        };
+        let mut cost = tlb_cost;
         let line_bytes = self.config.l1.line_bytes as u64;
         let first_line = addr / line_bytes;
         let last_line = (addr + len as u64 - 1) / line_bytes;
@@ -467,9 +524,65 @@ impl MemSystem {
         let overlap = self.effective_overlap();
         cost += len.div_ceil(BUS_WIDTH_BYTES) as u64 * self.sharers + probe_sum / overlap;
         let cost = cost.saturating_add(self.check_faults(addr, len));
-        let _ = kind;
         self.note(len, cost);
+        self.emit_mem_event(
+            snap,
+            protoacc_trace::MemAccessMode::Pipelined,
+            addr,
+            len,
+            kind,
+            cost,
+            tlb_cost,
+        );
         cost
+    }
+
+    /// Captures the pre-access requester counters and memory clock when an
+    /// event tracer is attached; `None` otherwise (the zero-cost path).
+    fn snap_for_event(&self) -> Option<(RequesterStats, Cycles)> {
+        if self.event_tracer.is_some() {
+            Some((self.requesters[self.requester], self.cycles))
+        } else {
+            None
+        }
+    }
+
+    /// Emits one [`protoacc_trace::TraceEvent::MemAccess`] with the
+    /// cache-level deltas accumulated since `snap`. A no-op when no tracer
+    /// is attached (`snap` is `None`).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_mem_event(
+        &self,
+        snap: Option<(RequesterStats, Cycles)>,
+        mode: protoacc_trace::MemAccessMode,
+        addr: u64,
+        len: usize,
+        kind: AccessKind,
+        cost: Cycles,
+        tlb_cost: Cycles,
+    ) {
+        let (Some((before, start_cycles)), Some(tracer)) = (snap, self.event_tracer.as_ref())
+        else {
+            return;
+        };
+        let now = self.requesters[self.requester];
+        let at = self.trace_origin.0 + start_cycles.saturating_sub(self.trace_origin.1);
+        tracer
+            .borrow_mut()
+            .record(protoacc_trace::TraceEvent::MemAccess {
+                requester: self.requester,
+                at,
+                cycles: cost,
+                addr,
+                len: len as u64,
+                write: matches!(kind, AccessKind::Write),
+                mode,
+                tlb_walk_cycles: tlb_cost,
+                l1_hits: now.l1_hits - before.l1_hits,
+                l2_hits: now.l2_hits - before.l2_hits,
+                llc_hits: now.llc_hits - before.llc_hits,
+                dram_accesses: now.dram_accesses - before.dram_accesses,
+            });
     }
 
     fn probe(&mut self, line: u64) -> Cycles {
@@ -530,6 +643,7 @@ impl MemSystem {
         self.trace.clear();
         self.armed.clear();
         self.fault = None;
+        self.trace_origin = (0, 0);
     }
 
     /// Pre-touches an address range so it is LLC-resident (used to model

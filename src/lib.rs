@@ -51,5 +51,6 @@ pub use protoacc_lint as lint;
 pub use protoacc_mem as mem;
 pub use protoacc_runtime as runtime;
 pub use protoacc_schema as schema;
+pub use protoacc_trace as trace;
 pub use protoacc_wire as wire;
 pub use xrand;
