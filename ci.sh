@@ -9,6 +9,13 @@
 #   4. full workspace tests cargo test --workspace
 #   5. schema lint gate     protoacc-lint --format json protos/
 #                           (fails on any deny-level diagnostic)
+#   5b. descriptor ingestion protoacc-lint --descriptor-set protos/chain
+#                           (binary FileDescriptorSet fixtures decoded by the
+#                           in-tree fdset decoder; emits target/BENCH_lint.json
+#                           with per-input wall time and finding counts), plus
+#                           the text-vs-binary differential gate and the
+#                           decoder robustness suite (truncation at every
+#                           offset, seeded wire faults, descriptor depth bomb)
 #   6. serve smoke+sanitize serve_tail_latency --smoke --sanitize
 #                           (fails on queue-invariant violations,
 #                           nondeterministic multi-instance replay, or any
@@ -51,6 +58,18 @@ echo "== protoacc-lint gate over protos/ =="
 # the build log either way.
 cargo run --offline -q -p protoacc-lint --bin protoacc-lint -- \
     --format json --fail-on deny protos/
+
+echo "== descriptor-set ingestion gate (binary fixtures, bench, differential) =="
+# The same gate over the binary descriptor-set corpus: schemas arrive through
+# the runtime fdset decoder instead of the .proto parser. BENCH_lint.json
+# records lint+absint wall time and finding counts per input.
+cargo run --offline -q -p protoacc-lint --bin protoacc-lint -- \
+    --format json --fail-on deny \
+    --descriptor-set protos/chain --bench-out target/BENCH_lint.json
+# Text and binary front-ends must produce byte-identical reports, the corpus
+# must trip each of PA011-PA015, and the decoder must be total under
+# truncation, seeded wire faults, and descriptor-shaped depth bombs.
+cargo test --offline -q --test descriptor_ingestion --test descriptor_robustness
 
 echo "== serving-model smoke + sanitizer (invariants, determinism, PA007-PA009) =="
 cargo run --offline -q --release -p protoacc-bench --bin serve_tail_latency -- --smoke --sanitize

@@ -558,6 +558,132 @@ impl Envelope {
 }
 
 // ---------------------------------------------------------------------------
+// Wire amplification (PA012) and cross-message composition (PA015)
+// ---------------------------------------------------------------------------
+
+/// Affine upper bound on the decoded in-memory footprint of one message as a
+/// function of its wire length: `footprint ≤ base_bytes + per_wire_byte · L`.
+///
+/// `base_bytes` is the root object the runtime materializes before reading a
+/// single wire byte; `per_wire_byte` is the steepest bytes-per-wire-byte
+/// slope any schema-conformant record can achieve (the *wire amplification
+/// factor* — the static twin of a decompression bomb). A two-byte record
+/// `key + len(0)` referencing a message type, for example, forces allocation
+/// and zero-initialization of the entire child object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmplificationBound {
+    /// Root object size materialized at wire length zero.
+    pub base_bytes: u64,
+    /// Worst-case decoded bytes added per wire byte consumed.
+    pub per_wire_byte: f64,
+}
+
+impl AmplificationBound {
+    /// Evaluates the footprint ceiling for a `wire_len`-byte message.
+    #[must_use]
+    pub fn footprint_upper(&self, wire_len: u64) -> u64 {
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let slope_bytes = (self.per_wire_byte * wire_len as f64).ceil() as u64;
+        self.base_bytes.saturating_add(slope_bytes)
+    }
+}
+
+/// Smallest wire size of one value of `ft` (packed elements have no key).
+fn min_value_wire_bytes(ft: FieldType) -> u64 {
+    match ft {
+        FieldType::Double | FieldType::Fixed64 | FieldType::SFixed64 => 8,
+        FieldType::Float | FieldType::Fixed32 | FieldType::SFixed32 => 4,
+        // Varint-encoded types and length-delimited types (empty payload
+        // after a 1-byte length) bottom out at one byte.
+        _ => 1,
+    }
+}
+
+/// Computes the [`AmplificationBound`] for messages rooted at `root` by
+/// joining the per-record footprint/wire ratio over every reachable field.
+///
+/// Per-field slopes (key = encoded key length, `v` = minimal value bytes):
+///
+/// * scalar: an 8-byte slot rewritten per record → `8 / (key + v)`;
+/// * repeated scalar: an 8-byte element appended per record → same ratio;
+/// * packed scalar: 8 bytes of element storage per `v` payload bytes;
+/// * string/bytes: a [`STRING_OBJECT_BYTES`]-byte object (+8-byte element
+///   slot) per empty record, plus one heap byte per payload byte;
+/// * message: the child's entire zero-initialized object (+8-byte slot) per
+///   empty record — the dominant amplifier for large child types.
+///
+/// [`STRING_OBJECT_BYTES`]: protoacc_runtime::STRING_OBJECT_BYTES
+#[must_use]
+pub fn amplification_bound(
+    schema: &Schema,
+    layouts: &MessageLayouts,
+    root: MessageId,
+) -> AmplificationBound {
+    let mut slope = 0.0f64;
+    for (_, _, f) in schema.walk_fields(root) {
+        let key = FieldKey::new(f.number(), f.field_type().wire_type())
+            .map_or(MAX_VARINT_LEN, FieldKey::encoded_len) as u64;
+        let v = min_value_wire_bytes(f.field_type());
+        let (mem, wire) = match f.field_type() {
+            FieldType::String | FieldType::Bytes => {
+                (protoacc_runtime::STRING_OBJECT_BYTES + 8, key + 1)
+            }
+            FieldType::Message(sub) => (layouts.layout(sub).object_size() + 8, key + 1),
+            _ if f.is_packed() => (8, v),
+            _ => (8, key + v),
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let mut ratio = mem as f64 / wire as f64;
+        if matches!(f.field_type(), FieldType::String | FieldType::Bytes) {
+            // Payload bytes land in heap storage one-for-one on top of the
+            // per-record object cost.
+            ratio += 1.0;
+        }
+        slope = slope.max(ratio);
+    }
+    AmplificationBound {
+        base_bytes: layouts.layout(root).object_size(),
+        per_wire_byte: slope,
+    }
+}
+
+/// Static ceiling on the *composed* service time of one `root`-typed
+/// command: the deserialization service ceiling for a `max_wire_bytes`-long
+/// input **plus** the worst-case sub-object machinery for every reachable
+/// child type (sub-ADT header miss, zero-init of the child object, spilled
+/// stack push/pop, close bookkeeping).
+///
+/// The per-type envelope already charges the worst single record cost per
+/// wire byte, but it joins over field kinds — it never has to pay *every*
+/// child type's object at once. A parent whose children individually pass
+/// the PA010 watchdog check can still compose past the budget; this sum is
+/// the deny test PA015 applies.
+#[must_use]
+pub fn composed_service_ceiling(
+    schema: &Schema,
+    layouts: &MessageLayouts,
+    root: MessageId,
+    accel: &AccelConfig,
+    mem: &MemConfig,
+    max_wire_bytes: u64,
+) -> Cycles {
+    let env = Envelope::deser(schema, layouts, root, accel, mem);
+    let mut total = env.service_bounds(max_wire_bytes, 1).upper;
+    for id in schema.reachable(root) {
+        if id == root {
+            continue;
+        }
+        let sub = (1 + access_upper(mem, 64))
+            .saturating_add(pipelined_upper(mem, layouts.layout(id).object_size(), 1))
+            .saturating_add(2 * (1 + accel.stack_spill_cycles))
+            .saturating_add(2);
+        total = total.saturating_add(sub);
+    }
+    total
+}
+
+// ---------------------------------------------------------------------------
 // Sanitizer
 // ---------------------------------------------------------------------------
 
@@ -903,6 +1029,56 @@ mod tests {
         assert!(
             lower >= accel.rocc_dispatch_cycles + 2 + 4 * 100,
             "lower {lower}"
+        );
+    }
+
+    #[test]
+    fn amplification_bound_tracks_the_dominant_field() {
+        let (schema, layouts) = fixture();
+        let person = schema.id_by_name("Person").unwrap();
+        let phone = schema.id_by_name("Phone").unwrap();
+        let b = amplification_bound(&schema, &layouts, person);
+        assert_eq!(b.base_bytes, layouts.layout(person).object_size());
+        // The string fields materialize a 32-byte object plus an 8-byte slot
+        // per 2-byte empty record, plus a heap byte per payload byte — a
+        // steeper slope than the 40-byte Phone object per empty record.
+        let expected = f64::from(u32::try_from(protoacc_runtime::STRING_OBJECT_BYTES + 8).unwrap())
+            / 2.0
+            + 1.0;
+        let phone_slope =
+            f64::from(u32::try_from(layouts.layout(phone).object_size() + 8).unwrap()) / 2.0;
+        assert!(expected > phone_slope);
+        assert!(
+            (b.per_wire_byte - expected).abs() < 1e-9,
+            "slope {} expected {expected}",
+            b.per_wire_byte
+        );
+        assert_eq!(b.footprint_upper(0), b.base_bytes);
+        assert!(b.footprint_upper(100) > b.footprint_upper(10));
+        // A packed-only message amplifies at exactly 8 bytes per wire byte.
+        let s = parse_proto("message P { repeated uint64 v = 1 [packed=true]; }").unwrap();
+        let l = MessageLayouts::compute(&s);
+        let p = amplification_bound(&s, &l, s.id_by_name("P").unwrap());
+        assert!((p.per_wire_byte - 8.0).abs() < 1e-9, "{}", p.per_wire_byte);
+    }
+
+    #[test]
+    fn composed_ceiling_dominates_the_plain_service_ceiling() {
+        let (schema, layouts) = fixture();
+        let root = schema.id_by_name("Person").unwrap();
+        let accel = AccelConfig::default();
+        let m = mem();
+        let env = Envelope::deser(&schema, &layouts, root, &accel, &m);
+        let plain = env.service_bounds(4096, 1).upper;
+        let composed = composed_service_ceiling(&schema, &layouts, root, &accel, &m, 4096);
+        // Person reaches Phone, so the composed ceiling strictly exceeds the
+        // per-type one; a leaf type composes to exactly its own ceiling.
+        assert!(composed > plain, "composed {composed} plain {plain}");
+        let leaf = schema.id_by_name("Phone").unwrap();
+        let leaf_env = Envelope::deser(&schema, &layouts, leaf, &accel, &m);
+        assert_eq!(
+            composed_service_ceiling(&schema, &layouts, leaf, &accel, &m, 4096),
+            leaf_env.service_bounds(4096, 1).upper
         );
     }
 

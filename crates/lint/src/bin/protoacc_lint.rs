@@ -1,9 +1,13 @@
-//! `protoacc-lint`: lint `.proto` files against the accelerator model.
+//! `protoacc-lint`: lint `.proto` files and binary descriptor sets against
+//! the accelerator model.
 //!
 //! ```text
 //! protoacc-lint [OPTIONS] PATH...
 //!
 //! PATH                 a .proto file or a directory scanned recursively
+//! --descriptor-set P   a binary FileDescriptorSet (.binpb) file, or a
+//!                      directory scanned recursively for .binpb files;
+//!                      repeatable, combinable with PATH inputs
 //! --format human|json  output format (default human)
 //! --fail-on SEV        exit 1 when a diagnostic at/above SEV exists
 //!                      (deny|warn|never; default deny)
@@ -11,8 +15,15 @@
 //! --warn CODE          downgrade/force a check to warn
 //! --deny CODE          upgrade a check to deny
 //! --stack-depth N      override the modeled metadata stack depth
+//! --watchdog-budget N  serve watchdog cycle budget (enables PA010/PA015)
 //! --utf8               lint under proto3 semantics (UTF-8 validation)
+//! --bench-out FILE     write per-input wall time + finding counts as JSON
 //! ```
+//!
+//! Both front-ends lower to the same `Schema`, so a schema produces
+//! byte-identical reports whether it arrives as text or as a binary
+//! descriptor set — the differential gate in `tests/descriptor_ingestion.rs`
+//! holds the two paths together.
 //!
 //! Exit codes: 0 clean (below the `--fail-on` threshold), 1 gate failure,
 //! 2 usage or parse error.
@@ -21,9 +32,10 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
-use protoacc_lint::{lint_schema, DiagCode, LintConfig, LintReport, Severity};
-use protoacc_schema::parse_proto;
+use protoacc_lint::{lint_schema, DiagCode, LintConfig, LintReport, Severity, ALL_CODES};
+use protoacc_schema::{parse_descriptor_set, parse_proto};
 
 #[derive(Debug, PartialEq, Eq, Clone, Copy)]
 enum Format {
@@ -31,16 +43,36 @@ enum Format {
     Json,
 }
 
+/// Which front-end an input file goes through.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum InputKind {
+    Proto,
+    DescriptorSet,
+}
+
+impl InputKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            InputKind::Proto => "proto",
+            InputKind::DescriptorSet => "descriptor-set",
+        }
+    }
+}
+
 struct Options {
     format: Format,
     fail_on: Option<Severity>,
     config: LintConfig,
     paths: Vec<PathBuf>,
+    descriptor_sets: Vec<PathBuf>,
+    bench_out: Option<PathBuf>,
 }
 
 fn usage() -> String {
     "usage: protoacc-lint [--format human|json] [--fail-on deny|warn|never] \
-     [--allow CODE] [--warn CODE] [--deny CODE] [--stack-depth N] [--utf8] PATH..."
+     [--allow CODE] [--warn CODE] [--deny CODE] [--stack-depth N] \
+     [--watchdog-budget N] [--utf8] [--descriptor-set PATH]... \
+     [--bench-out FILE] PATH..."
         .to_string()
 }
 
@@ -50,6 +82,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         fail_on: Some(Severity::Deny),
         config: LintConfig::default(),
         paths: Vec::new(),
+        descriptor_sets: Vec::new(),
+        bench_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -90,6 +124,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("bad stack depth `{v}`\n{}", usage()))?;
             }
+            "--watchdog-budget" => {
+                let v = value("--watchdog-budget")?;
+                opts.config.watchdog_budget = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad watchdog budget `{v}`\n{}", usage()))?,
+                );
+            }
+            "--descriptor-set" => {
+                opts.descriptor_sets.push(PathBuf::from(value(arg)?));
+            }
+            "--bench-out" => {
+                opts.bench_out = Some(PathBuf::from(value(arg)?));
+            }
             "--utf8" => opts.config.accel.validate_utf8 = true,
             "--help" | "-h" => return Err(usage()),
             p if p.starts_with("--") => {
@@ -98,15 +145,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             p => opts.paths.push(PathBuf::from(p)),
         }
     }
-    if opts.paths.is_empty() {
+    if opts.paths.is_empty() && opts.descriptor_sets.is_empty() {
         return Err(format!("no input paths\n{}", usage()));
     }
     Ok(opts)
 }
 
-/// Collects `.proto` files: a file path is taken as-is, a directory is
+/// Collects files with `ext`: a file path is taken as-is, a directory is
 /// scanned recursively with deterministic (sorted) ordering.
-fn collect_protos(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+fn collect_files(path: &Path, ext: &str, out: &mut Vec<PathBuf>) -> Result<(), String> {
     if path.is_file() {
         out.push(path.to_path_buf());
         return Ok(());
@@ -122,33 +169,123 @@ fn collect_protos(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     entries.sort();
     for entry in entries {
         if entry.is_dir() {
-            collect_protos(&entry, out)?;
-        } else if entry.extension().is_some_and(|e| e == "proto") {
+            collect_files(&entry, ext, out)?;
+        } else if entry.extension().is_some_and(|e| e == ext) {
             out.push(entry);
         }
     }
     Ok(())
 }
 
+/// One per-input row of the `--bench-out` report.
+struct BenchRow {
+    path: String,
+    kind: InputKind,
+    types: usize,
+    deny: usize,
+    warn: usize,
+    wall_ms: f64,
+}
+
+fn render_bench(rows: &[BenchRow], report: &LintReport, total_ms: f64) -> String {
+    let mut out = String::from("{\n  \"inputs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"kind\": \"{}\", \"types\": {}, \
+             \"deny\": {}, \"warn\": {}, \"wall_ms\": {:.3}}}",
+            r.path.replace('\\', "/"),
+            r.kind.as_str(),
+            r.types,
+            r.deny,
+            r.warn,
+            r.wall_ms
+        ));
+    }
+    out.push_str(if rows.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"codes\": {");
+    for (i, code) in ALL_CODES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "\"{}\": {}",
+            code.code(),
+            report.with_code(*code).count()
+        ));
+    }
+    out.push_str("},\n");
+    out.push_str(&format!(
+        "  \"total\": {{\"files\": {}, \"types\": {}, \"deny\": {}, \
+         \"warn\": {}, \"wall_ms\": {:.3}}}\n}}\n",
+        rows.len(),
+        report.types.len(),
+        report.deny_count(),
+        report.warn_count(),
+        total_ms
+    ));
+    out
+}
+
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args)?;
 
-    let mut files = Vec::new();
-    for path in &opts.paths {
-        collect_protos(path, &mut files)?;
-    }
-    if files.is_empty() {
-        return Err("no .proto files found under the given paths".to_string());
+    let mut inputs: Vec<(PathBuf, InputKind)> = Vec::new();
+    {
+        let mut protos = Vec::new();
+        for path in &opts.paths {
+            collect_files(path, "proto", &mut protos)?;
+        }
+        if !opts.paths.is_empty() && protos.is_empty() {
+            return Err("no .proto files found under the given paths".to_string());
+        }
+        inputs.extend(protos.into_iter().map(|p| (p, InputKind::Proto)));
+        let mut sets = Vec::new();
+        for path in &opts.descriptor_sets {
+            collect_files(path, "binpb", &mut sets)?;
+        }
+        if !opts.descriptor_sets.is_empty() && sets.is_empty() {
+            return Err("no .binpb files found under the --descriptor-set paths".to_string());
+        }
+        inputs.extend(sets.into_iter().map(|p| (p, InputKind::DescriptorSet)));
     }
 
+    let started = Instant::now();
     let mut report = LintReport::default();
-    for file in &files {
-        let source =
-            std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
-        let schema =
-            parse_proto(&source).map_err(|e| format!("{}: parse error: {e}", file.display()))?;
-        report.merge(lint_schema(&schema, &opts.config));
+    let mut rows = Vec::with_capacity(inputs.len());
+    for (file, kind) in &inputs {
+        let file_start = Instant::now();
+        let schema = match kind {
+            InputKind::Proto => {
+                let source = std::fs::read_to_string(file)
+                    .map_err(|e| format!("{}: {e}", file.display()))?;
+                parse_proto(&source).map_err(|e| format!("{}: parse error: {e}", file.display()))?
+            }
+            InputKind::DescriptorSet => {
+                let bytes = std::fs::read(file).map_err(|e| format!("{}: {e}", file.display()))?;
+                parse_descriptor_set(&bytes)
+                    .map_err(|e| format!("{}: descriptor error: {e}", file.display()))?
+            }
+        };
+        let one = lint_schema(&schema, &opts.config);
+        rows.push(BenchRow {
+            path: file.display().to_string(),
+            kind: *kind,
+            types: one.types.len(),
+            deny: one.deny_count(),
+            warn: one.warn_count(),
+            wall_ms: file_start.elapsed().as_secs_f64() * 1000.0,
+        });
+        report.merge(one);
+    }
+    let total_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    if let Some(out) = &opts.bench_out {
+        std::fs::write(out, render_bench(&rows, &report, total_ms))
+            .map_err(|e| format!("{}: {e}", out.display()))?;
     }
 
     match opts.format {
@@ -217,6 +354,7 @@ mod tests {
         assert!(parse_args(&args(&["--format", "xml", "p"])).is_err());
         assert!(parse_args(&args(&["--deny", "PA999", "p"])).is_err());
         assert!(parse_args(&args(&["--bogus", "p"])).is_err());
+        assert!(parse_args(&args(&["--watchdog-budget", "abc", "p"])).is_err());
     }
 
     #[test]
@@ -225,5 +363,41 @@ mod tests {
         assert_eq!(o.fail_on, None);
         let o = parse_args(&args(&["--fail-on", "warn", "p"])).unwrap();
         assert_eq!(o.fail_on, Some(Severity::Warn));
+    }
+
+    #[test]
+    fn descriptor_set_inputs_stand_alone() {
+        // --descriptor-set alone satisfies the input requirement.
+        let o = parse_args(&args(&["--descriptor-set", "protos/chain"])).unwrap();
+        assert!(o.paths.is_empty());
+        assert_eq!(o.descriptor_sets, vec![PathBuf::from("protos/chain")]);
+        // New knobs parse.
+        let o = parse_args(&args(&[
+            "--watchdog-budget",
+            "500000",
+            "--bench-out",
+            "bench.json",
+            "p",
+        ]))
+        .unwrap();
+        assert_eq!(o.config.watchdog_budget, Some(500_000));
+        assert_eq!(o.bench_out, Some(PathBuf::from("bench.json")));
+    }
+
+    #[test]
+    fn bench_report_is_balanced_json() {
+        let rows = vec![BenchRow {
+            path: "protos/x.proto".to_string(),
+            kind: InputKind::Proto,
+            types: 2,
+            deny: 0,
+            warn: 1,
+            wall_ms: 0.25,
+        }];
+        let json = render_bench(&rows, &LintReport::default(), 0.5);
+        assert!(json.contains("\"kind\": \"proto\""));
+        assert!(json.contains("\"PA011\": 0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

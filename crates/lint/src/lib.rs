@@ -21,6 +21,12 @@
 //! | PA007 | envelope-violation | static `[lower, upper]` cycle envelope (dynamic, via `protoacc-absint`) |
 //! | PA008 | lifecycle-order    | serve-model command happens-before (dynamic) |
 //! | PA009 | arena-aliasing     | overlapping in-flight command buffers (dynamic) |
+//! | PA010 | watchdog-budget    | static service ceiling vs the serve watchdog |
+//! | PA011 | recursion-cycle    | message reference cycles with no depth bound |
+//! | PA012 | wire-amplification | decoded-footprint / wire-byte ratio ceiling   |
+//! | PA013 | field-fragmentation| sparse field-number spans (hasbits/dispatch) |
+//! | PA014 | unpacked-repeated  | repeated scalars missing the packed fast path|
+//! | PA015 | composed-envelope  | cross-message composed ceiling vs watchdog   |
 //!
 //! PA007–PA009 are *sanitizer* codes: they are never produced by
 //! [`lint_schema`] itself but by replaying a serving-model trace through
@@ -46,10 +52,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use protoacc::AccelConfig;
-use protoacc_absint::{Envelope, Finding, FindingKind, Interval};
+use protoacc_absint::{
+    amplification_bound, composed_service_ceiling, Envelope, Finding, FindingKind, Interval,
+};
 use protoacc_mem::{Cycles, MemConfig};
 use protoacc_runtime::{MessageLayouts, MessageValue};
 use protoacc_schema::{FieldType, Label, MessageId, Schema};
@@ -137,10 +146,35 @@ pub enum DiagCode {
     /// a worst-case-but-correct command would be killed by the serve
     /// layer's watchdog, so the budget (or the schema) must change.
     WatchdogBudget,
+    /// PA011: the message type lies on a reference cycle, so wire input
+    /// alone chooses the nesting depth — the static twin of the fault
+    /// plane's depth bomb, bounded at runtime only by the serve watchdog.
+    /// Unlike PA001 (which flags the stack-spill cost), this reports the
+    /// cycle itself, with the shortest path back to the type.
+    RecursionCycle,
+    /// PA012: the worst-case decoded in-memory footprint grows faster than
+    /// the configured bytes-per-wire-byte limit (`amplification_limit`) —
+    /// a decompression-bomb-shaped type that inflates in memory before the
+    /// watchdog can see a single cycle overrun.
+    WireAmplification,
+    /// PA013: the type's field numbers span a range wider than
+    /// `fragmentation_span`; hasbits words, dense-mapping tables, and
+    /// serializer span scans all scale with the *span*, not the field
+    /// count, so sparse numbering bloats every per-message structure.
+    FieldFragmentation,
+    /// PA014: a repeated scalar field is not `[packed = true]`, so every
+    /// element pays its own wire key and FSM record instead of streaming
+    /// through the packed-element fast path.
+    UnpackedRepeated,
+    /// PA015: the *composed* worst-case service ceiling (this type plus the
+    /// sub-object machinery of every reachable child type) exceeds the
+    /// watchdog budget even though the type's own PA010 ceiling fits — the
+    /// composition gap a per-type check cannot see.
+    ComposedEnvelope,
 }
 
 /// Every diagnostic code, in PA-number order.
-pub const ALL_CODES: [DiagCode; 10] = [
+pub const ALL_CODES: [DiagCode; 15] = [
     DiagCode::StackSpill,
     DiagCode::WideKey,
     DiagCode::SparseHasbits,
@@ -151,6 +185,11 @@ pub const ALL_CODES: [DiagCode; 10] = [
     DiagCode::LifecycleOrder,
     DiagCode::ArenaAliasing,
     DiagCode::WatchdogBudget,
+    DiagCode::RecursionCycle,
+    DiagCode::WireAmplification,
+    DiagCode::FieldFragmentation,
+    DiagCode::UnpackedRepeated,
+    DiagCode::ComposedEnvelope,
 ];
 
 impl DiagCode {
@@ -167,6 +206,11 @@ impl DiagCode {
             DiagCode::LifecycleOrder => "PA008",
             DiagCode::ArenaAliasing => "PA009",
             DiagCode::WatchdogBudget => "PA010",
+            DiagCode::RecursionCycle => "PA011",
+            DiagCode::WireAmplification => "PA012",
+            DiagCode::FieldFragmentation => "PA013",
+            DiagCode::UnpackedRepeated => "PA014",
+            DiagCode::ComposedEnvelope => "PA015",
         }
     }
 
@@ -183,6 +227,11 @@ impl DiagCode {
             DiagCode::LifecycleOrder => "lifecycle-order",
             DiagCode::ArenaAliasing => "arena-aliasing",
             DiagCode::WatchdogBudget => "watchdog-budget",
+            DiagCode::RecursionCycle => "recursion-cycle",
+            DiagCode::WireAmplification => "wire-amplification",
+            DiagCode::FieldFragmentation => "field-fragmentation",
+            DiagCode::UnpackedRepeated => "unpacked-repeated",
+            DiagCode::ComposedEnvelope => "composed-envelope",
         }
     }
 
@@ -270,6 +319,16 @@ pub struct LintConfig {
     /// (`LintConfig::max_wire_bytes`) exceeds it fires PA010. `None`
     /// disables the check.
     pub watchdog_budget: Option<Cycles>,
+    /// PA012 threshold: maximum tolerated decoded-footprint growth in bytes
+    /// per wire byte. Default 64 — one cache line materialized per wire
+    /// byte consumed; past that, a small hostile message inflates memory
+    /// orders of magnitude faster than it streams in.
+    pub amplification_limit: f64,
+    /// PA013 threshold: widest tolerated field-number span per type.
+    /// Default 65536 — past that, span-proportional structures (16-byte ADT
+    /// entries, hasbits words, serializer scans) cross the megabyte scale
+    /// for a single message type.
+    pub fragmentation_span: u64,
     /// `(code, severity)` overrides, later entries winning.
     pub overrides: Vec<(DiagCode, Severity)>,
 }
@@ -282,6 +341,8 @@ impl Default for LintConfig {
             density_floor: 1.0 / 64.0,
             max_wire_bytes: 4096,
             watchdog_budget: None,
+            amplification_limit: 64.0,
+            fragmentation_span: 65536,
             overrides: Vec::new(),
         }
     }
@@ -372,7 +433,11 @@ pub enum Nesting {
 ///   service-time upper bound at the configured maximum wire length — the
 ///   value a serve deployment would program its watchdog with) and the
 ///   PA010 `watchdog-budget` code.
-pub const SCHEMA_VERSION: u32 = 3;
+/// * 4 — adds the whole-schema graph analyses PA011–PA015 and the per-type
+///   `amplification` (worst-case decoded bytes per wire byte) and
+///   `composed_ceiling` (cross-message composed service ceiling at the
+///   configured maximum wire length) fields.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Wire length (bytes) at which the per-type report envelopes are
 /// evaluated. Envelopes are a function of length; 256 bytes is the paper's
@@ -406,6 +471,16 @@ pub struct TypeSummary {
     /// this type can run longer, so a serve deployment programs its
     /// watchdog with exactly this value.
     pub watchdog_ceiling: Cycles,
+    /// Worst-case decoded-footprint growth in bytes per wire byte (the
+    /// slope of [`protoacc_absint::AmplificationBound`]); PA012 compares it
+    /// against [`LintConfig::amplification_limit`].
+    pub amplification: f64,
+    /// Cross-message composed service ceiling at
+    /// [`LintConfig::max_wire_bytes`]: the PA010 ceiling plus the
+    /// sub-object machinery of every reachable child type
+    /// ([`protoacc_absint::composed_service_ceiling`]); PA015 compares it
+    /// against the watchdog budget.
+    pub composed_ceiling: Cycles,
 }
 
 /// Full analyzer output for one schema.
@@ -557,7 +632,9 @@ impl LintReport {
                 "\"ser_envelope\": [{}, {}], ",
                 t.ser_envelope.lower, t.ser_envelope.upper
             ));
-            out.push_str(&format!("\"watchdog_ceiling\": {}}}", t.watchdog_ceiling));
+            out.push_str(&format!("\"watchdog_ceiling\": {}, ", t.watchdog_ceiling));
+            out.push_str(&format!("\"amplification\": {:.3}, ", t.amplification));
+            out.push_str(&format!("\"composed_ceiling\": {}}}", t.composed_ceiling));
         }
         if self.types.is_empty() {
             out.push_str("],\n");
@@ -654,6 +731,61 @@ pub fn predicts_spill(value: &MessageValue, config: &AccelConfig) -> bool {
     value.depth() > config.stack_depth
 }
 
+/// Message types directly referenced by fields of `id`.
+fn successors(schema: &Schema, id: MessageId) -> impl Iterator<Item = MessageId> + '_ {
+    schema.message(id).fields().iter().filter_map(|f| {
+        if let FieldType::Message(sub) = f.field_type() {
+            Some(sub)
+        } else {
+            None
+        }
+    })
+}
+
+/// Shortest reference cycle through `root`, as the list of type names
+/// `root -> ... -> root`, or `None` when `root` lies on no cycle.
+///
+/// Breadth-first search from `root`'s successors back to `root`: the first
+/// arrival wins, so the reported path is a minimal witness of the PA011
+/// unbounded-recursion finding.
+pub fn shortest_cycle(schema: &Schema, root: MessageId) -> Option<Vec<String>> {
+    let mut prev: HashMap<MessageId, MessageId> = HashMap::new();
+    let mut queue = VecDeque::new();
+    for s in successors(schema, root) {
+        if s == root {
+            let name = schema.message(root).name().to_string();
+            return Some(vec![name.clone(), name]);
+        }
+        if let std::collections::hash_map::Entry::Vacant(slot) = prev.entry(s) {
+            slot.insert(root);
+            queue.push_back(s);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        for s in successors(schema, cur) {
+            if s == root {
+                let mut rev = vec![root, cur];
+                let mut at = cur;
+                while at != root {
+                    at = prev[&at];
+                    rev.push(at);
+                }
+                rev.reverse();
+                return Some(
+                    rev.into_iter()
+                        .map(|id| schema.message(id).name().to_string())
+                        .collect(),
+                );
+            }
+            if !prev.contains_key(&s) && s != root {
+                prev.insert(s, cur);
+                queue.push_back(s);
+            }
+        }
+    }
+    None
+}
+
 /// Runs every check over every message type of `schema`.
 pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
     let layouts = MessageLayouts::compute(schema);
@@ -668,6 +800,15 @@ pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
         let ser_envelope = Envelope::ser(schema, &layouts, id, &config.accel, &config.mem)
             .bounds(ENVELOPE_REFERENCE_BYTES, 1);
         let watchdog_ceiling = deser_env.service_bounds(config.max_wire_bytes, 1).upper;
+        let amplification = amplification_bound(schema, &layouts, id);
+        let composed_ceiling = composed_service_ceiling(
+            schema,
+            &layouts,
+            id,
+            &config.accel,
+            &config.mem,
+            config.max_wire_bytes,
+        );
 
         let mut push = |code: DiagCode, default: Severity, field: Option<&str>, detail: String| {
             let severity = config.severity_or(code, default);
@@ -716,6 +857,23 @@ pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
             Nesting::Finite(_) => {}
         }
 
+        // PA011 recursion-cycle: the cycle itself, with a minimal witness
+        // path. PA001 above prices the stack spills; this flags that wire
+        // input alone chooses the nesting depth at all.
+        if let Some(cycle) = shortest_cycle(schema, id) {
+            push(
+                DiagCode::RecursionCycle,
+                Severity::Warn,
+                None,
+                format!(
+                    "lies on the reference cycle {}; nesting depth is chosen \
+                     entirely by wire input (the static twin of the depth-bomb \
+                     fault plane), bounded at runtime only by the serve watchdog",
+                    cycle.join(" -> ")
+                ),
+            );
+        }
+
         // PA006 adt-thrash: root-level descriptor working set.
         if working_set > config.accel.adt_cache_entries as u64 {
             push(
@@ -744,6 +902,41 @@ pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
                     layout.field_number_span(),
                     layout.static_density(),
                     config.density_floor
+                ),
+            );
+        }
+
+        // PA013 field-fragmentation: span-proportional structures.
+        let span = layout.field_number_span();
+        if span > config.fragmentation_span {
+            push(
+                DiagCode::FieldFragmentation,
+                Severity::Warn,
+                None,
+                format!(
+                    "{} field(s) span {span} field numbers (limit {}); hasbits \
+                     words, dense-mapping tables and serializer span scans all \
+                     scale with the span, not the field count",
+                    layout.defined_fields(),
+                    config.fragmentation_span
+                ),
+            );
+        }
+
+        // PA012 wire-amplification: decoded-footprint growth per wire byte.
+        if amplification.per_wire_byte > config.amplification_limit {
+            push(
+                DiagCode::WireAmplification,
+                Severity::Warn,
+                None,
+                format!(
+                    "worst-case decoded footprint grows {:.1} bytes per wire \
+                     byte (limit {:.1}): a {}-byte message can materialize \
+                     ~{} bytes before the watchdog sees a single cycle overrun",
+                    amplification.per_wire_byte,
+                    config.amplification_limit,
+                    config.max_wire_bytes,
+                    amplification.footprint_upper(config.max_wire_bytes)
                 ),
             );
         }
@@ -810,6 +1003,22 @@ pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
                     );
                 }
             }
+
+            // PA014 unpacked-repeated.
+            if f.is_repeated() && !f.is_packed() && f.field_type().is_packable() {
+                let key_len = FieldKey::new(f.number(), f.field_type().wire_type())
+                    .map_or(MAX_VARINT_LEN, FieldKey::encoded_len);
+                push(
+                    DiagCode::UnpackedRepeated,
+                    Severity::Warn,
+                    Some(f.name()),
+                    format!(
+                        "repeated scalar is not [packed = true]: every element \
+                         pays a {key_len}-byte wire key and its own FSM record \
+                         instead of streaming through the packed fast path"
+                    ),
+                );
+            }
         }
 
         // PA010 watchdog-budget: static ceiling vs the deployment's budget.
@@ -829,6 +1038,27 @@ pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
                     ),
                 );
             }
+
+            // PA015 composed-envelope: the composition gap specifically —
+            // the type's own ceiling fits the budget (else PA010 already
+            // covers it) but the cross-message composition does not.
+            if composed_ceiling > budget && watchdog_ceiling <= budget {
+                let children = schema.reachable(id).len().saturating_sub(1);
+                push(
+                    DiagCode::ComposedEnvelope,
+                    Severity::Warn,
+                    None,
+                    format!(
+                        "composed worst-case ceiling is {composed_ceiling} \
+                         cycles at {} wire bytes, over the {budget}-cycle \
+                         watchdog budget, even though this type's own ceiling \
+                         ({watchdog_ceiling}) fits: the sub-object machinery \
+                         of {children} reachable child type(s) composes past \
+                         the budget",
+                        config.max_wire_bytes
+                    ),
+                );
+            }
         }
 
         report.types.push(TypeSummary {
@@ -840,6 +1070,8 @@ pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
             deser_envelope,
             ser_envelope,
             watchdog_ceiling,
+            amplification: amplification.per_wire_byte,
+            composed_ceiling,
         });
     }
     report
@@ -1109,7 +1341,150 @@ mod tests {
             Some(DiagCode::WatchdogBudget)
         );
         assert_eq!(DiagCode::WatchdogBudget.default_severity(), Severity::Warn);
-        assert_eq!(ALL_CODES.len(), 10);
+        assert_eq!(ALL_CODES.len(), 15);
+        // The new whole-schema codes parse both ways and warn by default.
+        for (code, pa, name) in [
+            (DiagCode::RecursionCycle, "PA011", "recursion-cycle"),
+            (DiagCode::WireAmplification, "PA012", "wire-amplification"),
+            (DiagCode::FieldFragmentation, "PA013", "field-fragmentation"),
+            (DiagCode::UnpackedRepeated, "PA014", "unpacked-repeated"),
+            (DiagCode::ComposedEnvelope, "PA015", "composed-envelope"),
+        ] {
+            assert_eq!(DiagCode::parse(pa), Some(code));
+            assert_eq!(DiagCode::parse(name), Some(code));
+            assert_eq!(code.default_severity(), Severity::Warn);
+        }
+    }
+
+    #[test]
+    fn pa011_reports_the_shortest_cycle_path() {
+        let r = lint(
+            "message A { optional B b = 1; }\n\
+             message B { optional C c = 1; optional A a = 2; }\n\
+             message C { optional uint32 leaf = 1; }",
+        );
+        let d: Vec<_> = r.with_code(DiagCode::RecursionCycle).collect();
+        // A and B lie on the A -> B -> A cycle; C does not.
+        assert_eq!(d.len(), 2, "{:?}", r.diagnostics);
+        assert!(d[0].detail.contains("A -> B -> A"), "{}", d[0].detail);
+        assert!(d[1].detail.contains("B -> A -> B"), "{}", d[1].detail);
+        // Self-loops report the two-entry path.
+        let r = lint("message Node { optional Node next = 1; }");
+        let d: Vec<_> = r.with_code(DiagCode::RecursionCycle).collect();
+        assert_eq!(d.len(), 1);
+        assert!(d[0].detail.contains("Node -> Node"), "{}", d[0].detail);
+        // Acyclic nesting stays silent.
+        let r = lint("message P { optional C c = 1; } message C { optional bool b = 1; }");
+        assert_eq!(r.with_code(DiagCode::RecursionCycle).count(), 0);
+    }
+
+    #[test]
+    fn pa012_fires_on_amplifying_types_only() {
+        // A message whose 2-byte empty records materialize a large child
+        // object: > 64 bytes per wire byte needs object_size + 8 > 128,
+        // i.e. a child with >= 14 scalar slots (8 bytes each) plus header.
+        let mut src = String::from("message Fat {\n");
+        for i in 1..=20 {
+            src.push_str(&format!("  optional fixed64 f{i} = {i};\n"));
+        }
+        src.push_str("}\nmessage Bomb { repeated Fat children = 1; }");
+        let r = lint(&src);
+        let d: Vec<_> = r.with_code(DiagCode::WireAmplification).collect();
+        assert_eq!(d.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(d[0].message_type, "Bomb");
+        let bomb = r.types.iter().find(|t| t.type_name == "Bomb").unwrap();
+        assert!(bomb.amplification > 64.0, "{}", bomb.amplification);
+        // Plain scalar types amplify mildly and stay silent.
+        let r = lint("message Thin { optional uint64 a = 1; optional string s = 2; }");
+        assert_eq!(r.with_code(DiagCode::WireAmplification).count(), 0);
+        assert!(r.types[0].amplification > 0.0);
+    }
+
+    #[test]
+    fn pa013_fires_past_the_span_limit() {
+        let r = lint("message Sparse { optional uint32 a = 1; optional uint32 b = 100000; }");
+        assert_eq!(r.with_code(DiagCode::FieldFragmentation).count(), 1);
+        let r = lint("message Dense { optional uint32 a = 1; optional uint32 b = 65536; }");
+        assert_eq!(r.with_code(DiagCode::FieldFragmentation).count(), 0);
+    }
+
+    #[test]
+    fn pa014_fires_on_unpacked_packable_repeats_only() {
+        let r = lint("message M { repeated uint64 vals = 1; }");
+        let d: Vec<_> = r.with_code(DiagCode::UnpackedRepeated).collect();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].field.as_deref(), Some("vals"));
+        // Packed scalars, repeated strings, and repeated messages are fine.
+        let r = lint(
+            "message M { repeated uint64 vals = 1 [packed = true]; \
+             repeated string tags = 2; repeated M kids = 3; }",
+        );
+        assert_eq!(r.with_code(DiagCode::UnpackedRepeated).count(), 0);
+    }
+
+    #[test]
+    fn pa015_fires_only_in_the_composition_gap() {
+        let src = "message Parent { optional A a = 1; optional B b = 2; optional C c = 3; }\n\
+                   message A { optional uint64 x = 1; }\n\
+                   message B { optional uint64 x = 1; }\n\
+                   message C { optional uint64 x = 1; }";
+        let schema = parse_proto(src).unwrap();
+        let base = lint_schema(&schema, &LintConfig::default());
+        let parent = base.types.iter().find(|t| t.type_name == "Parent").unwrap();
+        assert!(parent.composed_ceiling > parent.watchdog_ceiling);
+        // Budget in the gap: own ceiling fits, composition does not.
+        let gap_budget = parent.watchdog_ceiling;
+        let r = lint_schema(
+            &schema,
+            &LintConfig {
+                watchdog_budget: Some(gap_budget),
+                ..LintConfig::default()
+            },
+        );
+        let d: Vec<_> = r.with_code(DiagCode::ComposedEnvelope).collect();
+        assert_eq!(d.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(d[0].message_type, "Parent");
+        // PA010 must not also fire for Parent at this budget.
+        assert!(!r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::WatchdogBudget && d.message_type == "Parent"));
+        // Budget below the own ceiling: PA010 owns the finding, not PA015.
+        let r = lint_schema(
+            &schema,
+            &LintConfig {
+                watchdog_budget: Some(parent.watchdog_ceiling - 1),
+                ..LintConfig::default()
+            },
+        );
+        assert!(!r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::ComposedEnvelope && d.message_type == "Parent"));
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::WatchdogBudget && d.message_type == "Parent"));
+        // Budget above the composed ceiling: silence.
+        let r = lint_schema(
+            &schema,
+            &LintConfig {
+                watchdog_budget: Some(parent.composed_ceiling),
+                ..LintConfig::default()
+            },
+        );
+        assert_eq!(r.with_code(DiagCode::ComposedEnvelope).count(), 0);
+        // No budget configured: the check is off.
+        assert_eq!(base.with_code(DiagCode::ComposedEnvelope).count(), 0);
+    }
+
+    #[test]
+    fn json_carries_amplification_and_composed_ceiling() {
+        let r = lint("message Point { optional int32 x = 1; optional int32 y = 2; }");
+        let json = r.render_json();
+        assert!(json.contains("\"amplification\": "));
+        assert!(json.contains("\"composed_ceiling\": "));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

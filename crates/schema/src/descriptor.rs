@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use crate::{FieldType, SchemaError};
-use protoacc_wire::MAX_FIELD_NUMBER;
+use protoacc_wire::{is_reserved_field_number, MAX_FIELD_NUMBER};
 
 /// Index of a message type within its [`Schema`].
 ///
@@ -51,6 +51,8 @@ impl FieldDescriptor {
     /// # Errors
     ///
     /// * [`SchemaError::InvalidFieldNumber`] for number 0 or above 2^29-1.
+    /// * [`SchemaError::ReservedFieldNumber`] for numbers in the
+    ///   implementation-reserved 19000–19999 range.
     /// * [`SchemaError::InvalidPacked`] if `packed` is set on a non-repeated
     ///   field or an unpackable type.
     pub fn new(
@@ -63,6 +65,9 @@ impl FieldDescriptor {
         let name = name.into();
         if number == 0 || number > MAX_FIELD_NUMBER {
             return Err(SchemaError::InvalidFieldNumber { number });
+        }
+        if is_reserved_field_number(number) {
+            return Err(SchemaError::ReservedFieldNumber { number });
         }
         if packed && (label != Label::Repeated || !field_type.is_packable()) {
             return Err(SchemaError::InvalidPacked { field: name });
@@ -180,9 +185,13 @@ impl MessageDescriptor {
 
     /// The span of defined field numbers (`max - min + 1`), i.e. the number
     /// of slots the sparse hasbits array and the ADT entry region need.
+    ///
+    /// Computed in `u64` so the extreme single-field-at-2^29-1 and
+    /// full-range (1..=2^29-1) cases cannot overflow even on 32-bit
+    /// `usize` targets.
     pub fn field_number_span(&self) -> usize {
         match (self.min_field_number(), self.max_field_number()) {
-            (Some(min), Some(max)) => (max - min + 1) as usize,
+            (Some(min), Some(max)) => (u64::from(max) - u64::from(min) + 1) as usize,
             _ => 0,
         }
     }
@@ -427,6 +436,43 @@ mod tests {
             false
         )
         .is_err());
+    }
+
+    #[test]
+    fn reserved_range_boundaries_are_exact() {
+        let mk = |n| FieldDescriptor::new("f", n, FieldType::Bool, Label::Optional, false);
+        assert!(mk(18_999).is_ok());
+        assert!(matches!(
+            mk(19_000),
+            Err(SchemaError::ReservedFieldNumber { number: 19_000 })
+        ));
+        assert!(matches!(
+            mk(19_999),
+            Err(SchemaError::ReservedFieldNumber { number: 19_999 })
+        ));
+        assert!(mk(20_000).is_ok());
+    }
+
+    #[test]
+    fn span_and_extrema_at_the_field_number_ceiling() {
+        // A single field at the 2^29-1 maximum: span is 1, not the number.
+        let m = MessageDescriptor::new("M", vec![field("top", MAX_FIELD_NUMBER, FieldType::Bool)])
+            .unwrap();
+        assert_eq!(m.min_field_number(), Some(MAX_FIELD_NUMBER));
+        assert_eq!(m.max_field_number(), Some(MAX_FIELD_NUMBER));
+        assert_eq!(m.field_number_span(), 1);
+
+        // The widest legal message: field 1 and field 2^29-1 together span
+        // the entire number space without overflowing.
+        let m = MessageDescriptor::new(
+            "W",
+            vec![
+                field("lo", 1, FieldType::Bool),
+                field("hi", MAX_FIELD_NUMBER, FieldType::Bool),
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.field_number_span(), MAX_FIELD_NUMBER as usize);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 use std::error::Error;
 use std::fmt;
 
+use protoacc_wire::WireError;
+
 /// Error produced while building or parsing a schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -44,6 +46,31 @@ pub enum SchemaError {
         /// The offending message name.
         name: String,
     },
+    /// A field number fell inside the implementation-reserved 19000–19999
+    /// range the protobuf language forbids schemas from defining.
+    ReservedFieldNumber {
+        /// The offending number.
+        number: u32,
+    },
+    /// A binary descriptor payload was malformed at the wire level
+    /// (truncated varint, over-long length, bad wire type, ...).
+    Wire {
+        /// The underlying wire-format error.
+        error: WireError,
+    },
+    /// A binary descriptor decoded cleanly at the wire level but was
+    /// structurally invalid (missing name, bad label/type enum value,
+    /// over-deep `nested_type` recursion, non-proto2 syntax, ...).
+    Descriptor {
+        /// Description of the structural problem.
+        message: String,
+    },
+}
+
+impl From<WireError> for SchemaError {
+    fn from(error: WireError) -> Self {
+        SchemaError::Wire { error }
+    }
 }
 
 impl fmt::Display for SchemaError {
@@ -69,6 +96,18 @@ impl fmt::Display for SchemaError {
             }
             SchemaError::EmptyMessage { name } => {
                 write!(f, "message `{name}` has no fields")
+            }
+            SchemaError::ReservedFieldNumber { number } => {
+                write!(
+                    f,
+                    "field number {number} lies in the reserved 19000-19999 range"
+                )
+            }
+            SchemaError::Wire { error } => {
+                write!(f, "malformed descriptor payload: {error}")
+            }
+            SchemaError::Descriptor { message } => {
+                write!(f, "invalid descriptor: {message}")
             }
         }
     }

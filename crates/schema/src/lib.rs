@@ -30,6 +30,7 @@
 pub mod builder;
 pub mod density;
 pub mod descriptor;
+pub mod fdset;
 pub mod parser;
 pub mod render;
 pub mod types;
@@ -40,6 +41,7 @@ pub use builder::{MessageBuilder, SchemaBuilder};
 pub use density::{density_bucket, usage_density, DENSITY_BUCKETS};
 pub use descriptor::{FieldDescriptor, Label, MessageDescriptor, MessageId, Schema};
 pub use error::SchemaError;
+pub use fdset::{encode_descriptor_set, parse_descriptor_set, MAX_DESCRIPTOR_NESTING};
 pub use parser::parse_proto;
 pub use render::render_proto;
 pub use types::{FieldType, PerfClass, ScalarKind};

@@ -56,3 +56,18 @@ pub const MAX_FIELD_NUMBER: u32 = (1 << 29) - 1;
 /// Smallest valid field number. Field number zero is reserved; the paper's
 /// serializer frontend uses it as an end-of-message sentinel (Section 4.5.3).
 pub const MIN_FIELD_NUMBER: u32 = 1;
+
+/// First field number of the range the protobuf language reserves for the
+/// implementation (19000–19999). Schemas must not define fields here.
+pub const FIRST_RESERVED_FIELD_NUMBER: u32 = 19_000;
+
+/// Last field number of the implementation-reserved range (inclusive).
+pub const LAST_RESERVED_FIELD_NUMBER: u32 = 19_999;
+
+/// Whether `number` falls inside the implementation-reserved 19000–19999
+/// range. The wire layer itself stays permissive (unknown fields with any
+/// number must still be skippable); the schema layer rejects definitions.
+#[must_use]
+pub fn is_reserved_field_number(number: u32) -> bool {
+    (FIRST_RESERVED_FIELD_NUMBER..=LAST_RESERVED_FIELD_NUMBER).contains(&number)
+}

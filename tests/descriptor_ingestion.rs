@@ -1,0 +1,218 @@
+//! Differential gate for binary descriptor-set ingestion.
+//!
+//! The whole point of `protoacc_schema::fdset` is that a schema produces
+//! the *same* analysis whichever front-end ingested it: `.proto` text
+//! through `parser.rs`, or a binary `FileDescriptorSet` through the wire
+//! decoder. This suite holds the two paths together:
+//!
+//! * every `.proto` under `protos/` (the legacy suites and the
+//!   blockchain-flavored unseen-schema corpus) must produce **byte-identical
+//!   lint + absint JSON** after a round trip through the binary encoder and
+//!   decoder;
+//! * the checked-in `.binpb` fixtures must stay in sync with their `.proto`
+//!   siblings (re-bless with `PROTOACC_FDSET_BLESS=1`);
+//! * the corpus must deliberately trip each of the whole-schema analyses
+//!   PA011–PA015;
+//! * rendering an ingested schema back to `.proto` text must re-parse to an
+//!   equivalent `Schema` (lowering-drift canary between the front-ends).
+
+use std::path::{Path, PathBuf};
+
+use protoacc_suite::lint::{lint_schema, DiagCode, LintConfig, LintReport};
+use protoacc_suite::schema::{
+    encode_descriptor_set, parse_descriptor_set, parse_proto, render_proto, Schema,
+};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// Every `.proto` under `protos/`, recursively, in sorted order.
+fn all_protos() -> Vec<PathBuf> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for e in entries {
+            if e.is_dir() {
+                walk(&e, out);
+            } else if e.extension().is_some_and(|x| x == "proto") {
+                out.push(e);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(&repo_path("protos"), &mut out);
+    assert!(out.len() >= 7, "proto corpus went missing: {out:?}");
+    out
+}
+
+fn load_text(path: &Path) -> Schema {
+    let src = std::fs::read_to_string(path).unwrap();
+    parse_proto(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name().unwrap().to_string_lossy().into_owned()
+}
+
+fn assert_schemas_equivalent(a: &Schema, b: &Schema, context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: type count differs");
+    for ((ia, ma), (ib, mb)) in a.iter().zip(b.iter()) {
+        assert_eq!(ia, ib, "{context}: MessageId order differs");
+        assert_eq!(ma, mb, "{context}: descriptor for `{}` differs", ma.name());
+    }
+}
+
+/// The tentpole acceptance gate: for every schema in `protos/`, the lint
+/// report (all PA001–PA015 findings plus the absint envelopes, ceilings and
+/// amplification figures in the JSON) is byte-identical between the
+/// text-parsed and the binary-ingested schema — under the default config
+/// *and* under a watchdog budget that arms PA010/PA015.
+#[test]
+fn text_and_binary_ingestion_produce_byte_identical_reports() {
+    let budgeted = LintConfig {
+        watchdog_budget: Some(10_500_000),
+        ..LintConfig::default()
+    };
+    for path in all_protos() {
+        let text_schema = load_text(&path);
+        let bytes = encode_descriptor_set(&text_schema, &file_name(&path));
+        let bin_schema = parse_descriptor_set(&bytes)
+            .unwrap_or_else(|e| panic!("{}: re-ingestion failed: {e}", path.display()));
+        assert_schemas_equivalent(&text_schema, &bin_schema, &file_name(&path));
+        for config in [&LintConfig::default(), &budgeted] {
+            let text_json = lint_schema(&text_schema, config).render_json();
+            let bin_json = lint_schema(&bin_schema, config).render_json();
+            assert_eq!(
+                text_json,
+                bin_json,
+                "{}: lint JSON differs between front-ends",
+                path.display()
+            );
+        }
+    }
+}
+
+/// The checked-in binary fixtures are exactly what the in-tree encoder
+/// produces from their `.proto` siblings, so `--descriptor-set` runs in CI
+/// analyze the same schemas the text gate does. Re-bless after an
+/// intentional schema or encoder change:
+///
+/// ```text
+/// PROTOACC_FDSET_BLESS=1 cargo test --test descriptor_ingestion
+/// ```
+#[test]
+fn checked_in_binpb_fixtures_match_their_proto_siblings() {
+    let mut seen = 0;
+    for path in all_protos() {
+        if !path.parent().is_some_and(|p| p.ends_with("chain")) {
+            continue;
+        }
+        seen += 1;
+        let schema = load_text(&path);
+        let bytes = encode_descriptor_set(&schema, &file_name(&path));
+        let binpb = path.with_extension("binpb");
+        if std::env::var_os("PROTOACC_FDSET_BLESS").is_some() {
+            std::fs::write(&binpb, &bytes).unwrap();
+            continue;
+        }
+        let checked_in = std::fs::read(&binpb).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing fixture ({e}); bless with PROTOACC_FDSET_BLESS=1",
+                binpb.display()
+            )
+        });
+        assert_eq!(
+            checked_in,
+            bytes,
+            "{}: fixture drifted from its .proto sibling; re-bless if intentional",
+            binpb.display()
+        );
+        // And the fixture ingests back to the same schema.
+        let bin_schema = parse_descriptor_set(&checked_in).unwrap();
+        assert_schemas_equivalent(&schema, &bin_schema, &file_name(&path));
+    }
+    assert_eq!(seen, 4, "expected 4 chain corpus fixtures");
+}
+
+/// Each of the new whole-schema analyses has at least one deliberate
+/// tripwire in the unseen-schema corpus, loaded through the *binary*
+/// front-end (the schemas the analyzer has never seen at build time).
+#[test]
+fn corpus_trips_every_new_analysis_code() {
+    let mut merged = LintReport::default();
+    let mut consensus = None;
+    for path in all_protos() {
+        if !path.parent().is_some_and(|p| p.ends_with("chain")) {
+            continue;
+        }
+        let schema =
+            parse_descriptor_set(&encode_descriptor_set(&load_text(&path), &file_name(&path)))
+                .unwrap();
+        if file_name(&path) == "consensus.proto" {
+            consensus = Some(schema.clone());
+        }
+        merged.merge(lint_schema(&schema, &LintConfig::default()));
+    }
+    for (code, expected_type) in [
+        (DiagCode::RecursionCycle, "GossipEnvelope"),
+        (DiagCode::WireAmplification, "StateChunk"),
+        (DiagCode::FieldFragmentation, "Vote"),
+        (DiagCode::UnpackedRepeated, "Transaction"),
+    ] {
+        assert!(
+            merged
+                .with_code(code)
+                .any(|d| d.message_type == expected_type),
+            "{code} missing its deliberate corpus tripwire on {expected_type}: {:?}",
+            merged.diagnostics
+        );
+    }
+    // Nothing in the corpus denies under the default config — the CI gate
+    // over protos/ must keep passing.
+    assert_eq!(merged.deny_count(), 0, "{:?}", merged.diagnostics);
+
+    // PA015: Block's own ceiling fits a budget its composition exceeds.
+    let consensus = consensus.expect("consensus.proto present in the chain corpus");
+    let base = lint_schema(&consensus, &LintConfig::default());
+    let block = base.types.iter().find(|t| t.type_name == "Block").unwrap();
+    assert!(
+        block.composed_ceiling > block.watchdog_ceiling,
+        "Block must have a composition gap"
+    );
+    let armed = lint_schema(
+        &consensus,
+        &LintConfig {
+            watchdog_budget: Some(block.watchdog_ceiling),
+            ..LintConfig::default()
+        },
+    );
+    assert!(
+        armed
+            .with_code(DiagCode::ComposedEnvelope)
+            .any(|d| d.message_type == "Block"),
+        "PA015 missing on Block at budget {}: {:?}",
+        block.watchdog_ceiling,
+        armed.diagnostics
+    );
+}
+
+/// Satellite: rendering a binary-ingested schema back to `.proto` text and
+/// re-parsing it through `parser.rs` reproduces an equivalent `Schema` —
+/// any lowering drift between the two front-ends breaks this loop.
+#[test]
+fn ingested_schemas_survive_the_render_reparse_round_trip() {
+    for path in all_protos() {
+        let name = file_name(&path);
+        let bytes = encode_descriptor_set(&load_text(&path), &name);
+        let ingested = parse_descriptor_set(&bytes).unwrap();
+        let rendered = render_proto(&ingested);
+        let reparsed = parse_proto(&rendered)
+            .unwrap_or_else(|e| panic!("{name}: rendered text failed to re-parse: {e}"));
+        assert_schemas_equivalent(&ingested, &reparsed, &format!("{name} (render loop)"));
+    }
+}

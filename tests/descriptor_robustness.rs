@@ -1,0 +1,142 @@
+//! Robustness gate for the binary descriptor-set decoder.
+//!
+//! A descriptor set is *runtime input*: the analyzer ingests schemas it has
+//! never seen, so `parse_descriptor_set` must be total — every byte string
+//! yields either a `Schema` or a typed [`SchemaError`], never a panic, a
+//! hang, or a stack overflow. This suite drives the decoder with the same
+//! seeded corruption generators the serve cluster's fault plane uses
+//! (`crates/faults`), applied to the checked-in corpus fixtures:
+//!
+//! * truncation at **every** byte offset of every fixture;
+//! * seeded bit flips and each structured wire fault in
+//!   [`WIRE_FAULTS`](protoacc_suite::faults::WIRE_FAULTS);
+//! * a descriptor-shaped depth bomb (`nested_type` frames all the way
+//!   down), which must hit the `MAX_DESCRIPTOR_NESTING` guard, not the
+//!   call stack.
+
+use std::path::{Path, PathBuf};
+
+use protoacc_suite::faults::{depth_bomb, WIRE_FAULTS};
+use protoacc_suite::schema::{parse_descriptor_set, SchemaError, MAX_DESCRIPTOR_NESTING};
+use protoacc_suite::wire::WireWriter;
+use protoacc_suite::xrand::{Rng, StdRng};
+
+fn fixture_bytes() -> Vec<(PathBuf, Vec<u8>)> {
+    let chain = Path::new(env!("CARGO_MANIFEST_DIR")).join("protos/chain");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&chain)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "binpb"))
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), 4, "expected 4 corpus fixtures in {chain:?}");
+    entries
+        .into_iter()
+        .map(|p| {
+            let bytes = std::fs::read(&p).unwrap();
+            (p, bytes)
+        })
+        .collect()
+}
+
+/// Feeds one mutated input through the decoder and asserts totality: the
+/// only acceptable failure mode is a typed error whose `Display` renders.
+fn assert_total(input: &[u8], context: &str) {
+    match parse_descriptor_set(input) {
+        Ok(schema) => {
+            // A mutation can land in skipped unknown fields and still yield
+            // a valid schema; that is fine as long as the result is sound.
+            assert!(schema.validate().is_ok(), "{context}: unsound Ok schema");
+        }
+        Err(e) => {
+            assert!(!e.to_string().is_empty(), "{context}: blank error display");
+        }
+    }
+}
+
+/// Every prefix of every fixture decodes or fails with a typed error —
+/// truncation can cut a varint, a length header, a UTF-8 string, or a
+/// nested frame at any byte, and none of those may escape the error type.
+#[test]
+fn truncation_at_every_offset_is_total() {
+    for (path, bytes) in fixture_bytes() {
+        for cut in 0..bytes.len() {
+            assert_total(
+                &bytes[..cut],
+                &format!("{} truncated to {cut} bytes", path.display()),
+            );
+        }
+        // The empty set is a valid (empty) schema edge, checked above at
+        // cut = 0; the full fixture must still parse cleanly.
+        assert!(
+            parse_descriptor_set(&bytes).is_ok(),
+            "{}: pristine fixture must parse",
+            path.display()
+        );
+    }
+}
+
+/// Seeded structured corruption: every wire fault class from the serve
+/// cluster's fault plane, applied at many seeds, never breaks totality.
+#[test]
+fn seeded_wire_faults_yield_typed_errors_only() {
+    let mut rng = StdRng::seed_from_u64(0xDE5C_0DE5);
+    for (path, bytes) in fixture_bytes() {
+        for fault in WIRE_FAULTS {
+            for round in 0..64 {
+                let mutated = protoacc_suite::faults::wire::corrupt(&bytes, fault, &mut rng);
+                assert_total(
+                    &mutated,
+                    &format!("{} {fault:?} round {round}", path.display()),
+                );
+            }
+        }
+    }
+}
+
+/// Dense random bit flips (up to several per input) on top of the
+/// structured faults — the classic storage/transport corruption model.
+#[test]
+fn seeded_bit_flips_yield_typed_errors_only() {
+    let mut rng = StdRng::seed_from_u64(0xB17_F11B5);
+    for (path, bytes) in fixture_bytes() {
+        for round in 0..256 {
+            let mut mutated = bytes.clone();
+            for _ in 0..rng.gen_range(1usize..=4) {
+                let at = rng.gen_range(0..mutated.len());
+                mutated[at] ^= 1 << rng.gen_range(0u8..8);
+            }
+            assert_total(
+                &mutated,
+                &format!("{} bit-flip round {round}", path.display()),
+            );
+        }
+    }
+}
+
+/// A `FileDescriptorSet` whose message carries `nested_type` frames nested
+/// far past [`MAX_DESCRIPTOR_NESTING`] is rejected by the depth guard with
+/// a typed error — the decoder's recursion is bounded by the guard, not by
+/// the thread's stack.
+#[test]
+fn descriptor_depth_bomb_is_rejected_not_overflowed() {
+    // Field 3 of DescriptorProto is `nested_type`, so the generic wire-level
+    // depth bomb from the fault plane is, byte for byte, a descriptor whose
+    // message nesting equals the bomb depth.
+    let bomb = depth_bomb(3, MAX_DESCRIPTOR_NESTING * 64);
+    let mut file = WireWriter::new();
+    file.write_length_delimited_field(4, &bomb).unwrap(); // message_type
+    let mut set = WireWriter::new();
+    set.write_length_delimited_field(1, file.as_bytes())
+        .unwrap(); // file
+    let err = parse_descriptor_set(set.as_bytes()).unwrap_err();
+    assert!(
+        matches!(err, SchemaError::Descriptor { .. }),
+        "expected a typed descriptor error, got: {err}"
+    );
+    assert!(
+        err.to_string().contains("depth"),
+        "depth-guard error should mention depth: {err}"
+    );
+}
