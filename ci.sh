@@ -29,6 +29,10 @@
 #   8. corruption diff      10k seeded corrupted inputs: accelerator and
 #                           CPU reference must agree on every accept/reject
 #                           verdict and error class
+#   8b. fast-path gate      varint boundary sweep (scalar/SWAR/hw three-way),
+#                           fastpath-vs-CPU differential suite, and
+#                           bench_codec --smoke (fails on any byte or verdict
+#                           divergence; emits target/BENCH_codec.json)
 #   9. envelope soundness   cross-validation that measured deser/ser cycles
 #                           stay inside the absint [lower, upper] envelopes
 #  10. trace round trip     serve_tail_latency --smoke --trace emits a
@@ -79,6 +83,17 @@ cargo run --offline -q --release -p protoacc-bench --bin serve_tail_latency -- -
 
 echo "== corruption differential (accel vs CPU verdict parity) =="
 cargo test --offline -q --test corruption_differential --test fault_matrix
+
+echo "== fast-path codec gate (varint boundary, differential, smoke bench) =="
+# Three-way varint end-of-buffer agreement (scalar / SWAR / hardware model),
+# then the fastpath-vs-CPU differential: byte-identical encodes, identical
+# verdicts under truncation and seeded mutation, over hyperbench and both
+# protos/ ingestion paths.
+cargo test --offline -q --test varint_boundary --test fastpath_differential
+# Smoke bench doubles as a divergence gate: exits nonzero on any verdict or
+# byte divergence and emits target/BENCH_codec.json next to BENCH_lint.json.
+cargo run --offline -q --release -p protoacc-bench --bin bench_codec -- \
+    --smoke --out target/BENCH_codec.json
 
 echo "== envelope soundness cross-validation =="
 cargo test --offline -q --test envelope_soundness --test serve_sanitizer

@@ -1,0 +1,446 @@
+//! Host-throughput benchmark for the native fast-path codec
+//! (`protoacc-fastpath`) against `crates/cpu`'s instrumented codec and the
+//! reference value-tree codec, over all HyperProtoBench suites plus the
+//! `protos/chain` binary-descriptor corpus.
+//!
+//! Unlike the figure generators (which report *simulated* cycles), every
+//! number here is host wall-clock GB/s — this binary answers "how fast is
+//! the suite's own software protobuf engine", the baseline the paper's
+//! accelerator claims are anchored to.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_codec [--smoke] [--out target/BENCH_codec.json]
+//!             [--count N] [--seed S]
+//! ```
+//!
+//! `--smoke` shrinks populations and timing windows for CI, but always runs
+//! the full correctness gate: byte-identical encodes vs the reference
+//! encoder, value-identical round trips, and verdict-identical decodes vs
+//! `crates/cpu` over clean, truncated, and seeded-mutated inputs. Any
+//! divergence is reported in the JSON and fails the process.
+
+use std::time::Instant;
+
+use hyperprotobench::{generate_suite, populate::populate_messages, ServiceProfile};
+use protoacc_bench::{geomean, Workload};
+use protoacc_cpu::{CostTable, SoftwareCodec};
+use protoacc_fastpath::{DecodeArena, FastCodec};
+use protoacc_faults::{mutate, DiffReport, FastpathHarness};
+use protoacc_mem::Memory;
+use protoacc_runtime::{object, reference, BumpArena, MessageLayouts};
+use protoacc_schema::parse_descriptor_set;
+use xrand::StdRng;
+
+/// Per-workload measured throughput (GB/s, host wall-clock).
+struct Row {
+    name: String,
+    wire_bytes: u64,
+    fast_deser: f64,
+    fast_ser: f64,
+    cpu_deser: f64,
+    cpu_ser: f64,
+    ref_deser: f64,
+    ref_ser: f64,
+}
+
+/// Correctness-gate tally across all workloads.
+#[derive(Default)]
+struct Gate {
+    report: DiffReport,
+    encode_divergences: usize,
+    roundtrip_divergences: usize,
+}
+
+fn arg(name: &str) -> Option<String> {
+    std::env::args().skip_while(|a| a != name).nth(1)
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn main() {
+    let smoke = flag("--smoke");
+    let out_path = arg("--out").unwrap_or_else(|| "target/BENCH_codec.json".to_string());
+    let count: usize = arg("--count")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 4 } else { 16 });
+    let seed: u64 = arg("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC0DEC);
+    // Timing window per measurement; smoke mode only needs plausible numbers.
+    let target_secs = if smoke { 0.02 } else { 0.25 };
+
+    let workloads = build_workloads(count, seed);
+    if workloads.is_empty() {
+        eprintln!("bench_codec: no workloads (run from the repository root)");
+        std::process::exit(2);
+    }
+
+    // Correctness gate first: the throughput of a wrong codec is irrelevant.
+    let mut gate = Gate::default();
+    let mutations = if smoke { 24 } else { 120 };
+    for w in &workloads {
+        differential_gate(w, mutations, seed, &mut gate);
+    }
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<26} {:>10} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "workload", "wire B", "fast de", "fast ser", "cpu de", "cpu ser", "ref de", "ref ser"
+    );
+    for w in &workloads {
+        let row = measure_workload(w, target_secs);
+        println!(
+            "{:<26} {:>10} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>11.3}",
+            row.name,
+            row.wire_bytes,
+            row.fast_deser,
+            row.fast_ser,
+            row.cpu_deser,
+            row.cpu_ser,
+            row.ref_deser,
+            row.ref_ser
+        );
+        rows.push(row);
+    }
+
+    let g_fast_de = geomean(&rows.iter().map(|r| r.fast_deser).collect::<Vec<_>>());
+    let g_fast_se = geomean(&rows.iter().map(|r| r.fast_ser).collect::<Vec<_>>());
+    let g_cpu_de = geomean(&rows.iter().map(|r| r.cpu_deser).collect::<Vec<_>>());
+    let g_cpu_se = geomean(&rows.iter().map(|r| r.cpu_ser).collect::<Vec<_>>());
+    let g_ref_de = geomean(&rows.iter().map(|r| r.ref_deser).collect::<Vec<_>>());
+    let g_ref_se = geomean(&rows.iter().map(|r| r.ref_ser).collect::<Vec<_>>());
+    let deser_speedup = g_fast_de / g_cpu_de;
+    println!(
+        "geomean: fastpath {g_fast_de:.3}/{g_fast_se:.3} GB/s, cpu codec {g_cpu_de:.3}/{g_cpu_se:.3}, \
+         reference {g_ref_de:.3}/{g_ref_se:.3} (deser speedup vs cpu: {deser_speedup:.1}x)"
+    );
+    println!(
+        "differential: {} ({} encode, {} round-trip divergences)",
+        gate.report.summary(),
+        gate.encode_divergences,
+        gate.roundtrip_divergences
+    );
+
+    let json = render_json(
+        if smoke { "smoke" } else { "full" },
+        &rows,
+        &[
+            g_fast_de,
+            g_fast_se,
+            g_cpu_de,
+            g_cpu_se,
+            g_ref_de,
+            g_ref_se,
+            deser_speedup,
+        ],
+        &gate,
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("bench_codec: {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out_path}");
+
+    let divergent =
+        !gate.report.is_clean() || gate.encode_divergences > 0 || gate.roundtrip_divergences > 0;
+    if divergent {
+        eprintln!("bench_codec: DIVERGENCE between fastpath and cpu codec — failing");
+        std::process::exit(1);
+    }
+    if !smoke && deser_speedup < 2.0 {
+        eprintln!(
+            "bench_codec: fastpath deser geomean only {deser_speedup:.2}x cpu codec (< 2x floor)"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The six HyperProtoBench suites plus every `protos/chain/*.binpb`
+/// descriptor-set schema, each with a seeded population.
+fn build_workloads(count: usize, seed: u64) -> Vec<Workload> {
+    let mut out: Vec<Workload> = generate_suite(count, seed)
+        .into_iter()
+        .map(|bench| Workload {
+            name: bench.profile.name.to_string(),
+            schema: bench.schema,
+            type_id: bench.type_id,
+            messages: bench.messages,
+        })
+        .collect();
+    let chain = ["consensus", "gossip", "state_sync", "transaction"];
+    for (i, stem) in chain.iter().enumerate() {
+        let path = format!("protos/chain/{stem}.binpb");
+        let Ok(bytes) = std::fs::read(&path) else {
+            eprintln!("bench_codec: skipping {path} (not found)");
+            continue;
+        };
+        let schema = match parse_descriptor_set(&bytes) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench_codec: skipping {path}: {e}");
+                continue;
+            }
+        };
+        // Root: the last top-level message, the corpus convention.
+        let root = schema
+            .iter()
+            .filter(|(_, m)| !m.name().contains('.'))
+            .map(|(id, _)| id)
+            .last()
+            .expect("descriptor set has at least one message");
+        let shape = ServiceProfile::bench(4).shape;
+        let messages = populate_messages(
+            &schema,
+            root,
+            &shape,
+            seed.wrapping_add(1000 + i as u64),
+            count,
+        );
+        out.push(Workload {
+            name: format!("chain/{stem}"),
+            schema,
+            type_id: root,
+            messages,
+        });
+    }
+    out
+}
+
+/// Byte-identity, round-trip, and verdict agreement for one workload.
+fn differential_gate(w: &Workload, mutations: usize, seed: u64, gate: &mut Gate) {
+    let mut h = FastpathHarness::new(&w.schema, w.type_id);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF_5EED);
+    let mut arena = DecodeArena::new();
+    for m in &w.messages {
+        let wire = reference::encode(m, &w.schema).expect("workload encodes");
+        // Encode byte-identity against the reference encoder.
+        match h.codec().encode_value(m) {
+            Ok(fast_wire) if fast_wire == wire => {}
+            _ => gate.encode_divergences += 1,
+        }
+        // Decode round trip: value-identical tree, byte-identical re-encode.
+        let codec = h.codec().clone();
+        match codec.decode(w.type_id, &wire, &mut arena) {
+            Ok(obj) => {
+                let back = codec.to_value(w.type_id, &wire, &arena, obj);
+                if !back.bits_eq(m) {
+                    gate.roundtrip_divergences += 1;
+                }
+                if codec.encode_decoded(w.type_id, &wire, &arena, obj) != wire {
+                    gate.roundtrip_divergences += 1;
+                }
+            }
+            Err(_) => gate.roundtrip_divergences += 1,
+        }
+        // Verdict agreement: clean, truncated at sampled offsets, mutated.
+        h.observe("clean", &wire, &mut gate.report);
+        let stride = (wire.len() / 32).max(1);
+        for cut in (0..wire.len()).step_by(stride) {
+            h.observe("truncate", &wire[..cut], &mut gate.report);
+        }
+        for _ in 0..mutations {
+            let (fault, mutated) = mutate(&wire, &mut rng);
+            h.observe(fault.label(), &mutated, &mut gate.report);
+        }
+    }
+}
+
+fn measure_workload(w: &Workload, target_secs: f64) -> Row {
+    let wires: Vec<Vec<u8>> = w
+        .messages
+        .iter()
+        .map(|m| reference::encode(m, &w.schema).expect("workload encodes"))
+        .collect();
+    let per_pass: u64 = wires.iter().map(|b| b.len() as u64).sum();
+    let codec = FastCodec::new(&w.schema);
+
+    // Fast path, deserialize: arena decode per message.
+    let mut arena = DecodeArena::new();
+    let fast_deser = throughput(per_pass, target_secs, 1 << 14, || {
+        let mut sink = 0u32;
+        for wire in &wires {
+            sink ^= codec
+                .decode(w.type_id, wire, &mut arena)
+                .expect("workload decodes");
+        }
+        std::hint::black_box(sink);
+    });
+
+    // Fast path, serialize: straight from decoded arena objects.
+    let decoded: Vec<(DecodeArena, u32)> = wires
+        .iter()
+        .map(|wire| {
+            let mut a = DecodeArena::new();
+            let obj = codec
+                .decode(w.type_id, wire, &mut a)
+                .expect("workload decodes");
+            (a, obj)
+        })
+        .collect();
+    let fast_ser = throughput(per_pass, target_secs, 1 << 14, || {
+        for (wire, (a, obj)) in wires.iter().zip(&decoded) {
+            std::hint::black_box(codec.encode_decoded(w.type_id, wire, a, *obj).len());
+        }
+    });
+
+    // Reference value-tree codec (host software baseline).
+    let ref_deser = throughput(per_pass, target_secs, 1 << 12, || {
+        for wire in &wires {
+            std::hint::black_box(
+                reference::decode(wire, w.type_id, &w.schema).expect("workload decodes"),
+            );
+        }
+    });
+    let ref_ser = throughput(per_pass, target_secs, 1 << 12, || {
+        for m in &w.messages {
+            std::hint::black_box(
+                reference::encode(m, &w.schema)
+                    .expect("workload encodes")
+                    .len(),
+            );
+        }
+    });
+
+    // crates/cpu instrumented codec, host wall-clock (it decodes through
+    // simulated guest memory; that cost is part of what it is).
+    let (cpu_deser, cpu_ser) = measure_cpu(w, &wires, per_pass, target_secs);
+
+    Row {
+        name: w.name.clone(),
+        wire_bytes: per_pass,
+        fast_deser,
+        fast_ser,
+        cpu_deser,
+        cpu_ser,
+        ref_deser,
+        ref_ser,
+    }
+}
+
+/// Guest-memory map for the cpu-codec measurement.
+const INPUT_BASE: u64 = 0x2000_0000;
+const OBJECTS_BASE: u64 = 0x8000_0000;
+const OUTPUT_BASE: u64 = 0x4000_0000;
+const ARENA_BASE: u64 = 0x1_0000_0000;
+const ARENA_LEN: u64 = 1 << 30;
+
+fn measure_cpu(w: &Workload, wires: &[Vec<u8>], per_pass: u64, target_secs: f64) -> (f64, f64) {
+    let cost = CostTable::boom();
+    let layouts = MessageLayouts::compute(&w.schema);
+    let mut mem = Memory::new(cost.mem);
+    let codec = SoftwareCodec::new(&cost);
+
+    let mut inputs = Vec::with_capacity(wires.len());
+    let mut cursor = INPUT_BASE;
+    for wire in wires {
+        mem.data.write_bytes(cursor, wire);
+        inputs.push((cursor, wire.len() as u64));
+        cursor += wire.len() as u64 + 16;
+    }
+    let object_size = layouts.layout(w.type_id).object_size();
+    let mut arena = BumpArena::new(ARENA_BASE, ARENA_LEN);
+    let deser = throughput(per_pass, target_secs, 256, || {
+        arena.reset();
+        for &(addr, len) in &inputs {
+            let dest = arena.alloc(object_size, 8).expect("bench arena fits");
+            codec
+                .deserialize(
+                    &mut mem, &w.schema, &layouts, w.type_id, addr, len, dest, &mut arena,
+                )
+                .expect("workload deserializes");
+        }
+    });
+
+    let mut obj_arena = BumpArena::new(OBJECTS_BASE, ARENA_LEN);
+    let objects: Vec<u64> = w
+        .messages
+        .iter()
+        .map(|m| {
+            object::write_message(&mut mem.data, &w.schema, &layouts, &mut obj_arena, m)
+                .expect("workload materializes")
+        })
+        .collect();
+    let ser = throughput(per_pass, target_secs, 256, || {
+        let mut out = OUTPUT_BASE;
+        for &obj in &objects {
+            let (_, len) = codec
+                .serialize(&mut mem, &w.schema, &layouts, w.type_id, obj, out)
+                .expect("workload serializes");
+            out += len + 64;
+        }
+    });
+    (deser, ser)
+}
+
+/// Runs `pass` once to warm up, then repeatedly until `target_secs` elapses
+/// (or `max_passes`), returning GB/s over the timed passes.
+fn throughput(
+    bytes_per_pass: u64,
+    target_secs: f64,
+    max_passes: usize,
+    mut pass: impl FnMut(),
+) -> f64 {
+    pass(); // warm-up
+    let start = Instant::now();
+    let mut passes = 0usize;
+    loop {
+        pass();
+        passes += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if (elapsed >= target_secs && passes >= 3) || passes >= max_passes {
+            let total = bytes_per_pass as f64 * passes as f64;
+            return total / elapsed / 1e9;
+        }
+    }
+}
+
+fn render_json(mode: &str, rows: &[Row], geo: &[f64; 7], gate: &Gate) -> String {
+    let mut out = format!("{{\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n  \"unit\": \"GB/s host wall-clock\",\n  \"workloads\": [");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"wire_bytes\": {}, \
+             \"fastpath\": {{\"deser_gbps\": {:.4}, \"ser_gbps\": {:.4}}}, \
+             \"cpu_codec\": {{\"deser_gbps\": {:.4}, \"ser_gbps\": {:.4}}}, \
+             \"reference\": {{\"deser_gbps\": {:.4}, \"ser_gbps\": {:.4}}}, \
+             \"deser_speedup_vs_cpu\": {:.2}}}",
+            r.name,
+            r.wire_bytes,
+            r.fast_deser,
+            r.fast_ser,
+            r.cpu_deser,
+            r.cpu_ser,
+            r.ref_deser,
+            r.ref_ser,
+            r.fast_deser / r.cpu_deser
+        ));
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"geomean\": {{\"fast_deser_gbps\": {:.4}, \"fast_ser_gbps\": {:.4}, \
+         \"cpu_deser_gbps\": {:.4}, \"cpu_ser_gbps\": {:.4}, \
+         \"ref_deser_gbps\": {:.4}, \"ref_ser_gbps\": {:.4}, \
+         \"deser_speedup_vs_cpu\": {:.2}}},\n",
+        geo[0], geo[1], geo[2], geo[3], geo[4], geo[5], geo[6]
+    ));
+    out.push_str(&format!(
+        "  \"differential\": {{\"trials\": {}, \"accepted\": {}, \"rejected\": {}, \
+         \"verdict_mismatches\": {}, \"encode_divergences\": {}, \
+         \"roundtrip_divergences\": {}}}\n}}\n",
+        gate.report.trials,
+        gate.report.accepted,
+        gate.report.rejected,
+        gate.report.mismatches.len(),
+        gate.encode_divergences,
+        gate.roundtrip_divergences
+    ));
+    out
+}

@@ -1,0 +1,918 @@
+//! The fast-path codec: SWAR-varint decode through precompiled dispatch
+//! tables into an arena, and reverse-order (memwriter) serialization.
+//!
+//! [`FastCodec`] is `Codec`-shaped like [`protoacc_cpu`'s software codec]
+//! and is held to that codec's *exact* observable semantics: byte-identical
+//! encodes, identical accept/reject verdicts (same `RuntimeError` classes,
+//! hence same `DecodeFault` mapping) on every corruption class, identical
+//! value trees on accepts. Every divergence the differential suite surfaces
+//! is a bug in one of the two engines and gets fixed in place, not papered
+//! over.
+//!
+//! [`protoacc_cpu`'s software codec]: https://github.com/ — crates/cpu
+
+use crate::arena::{pack_str, unpack_str, DecodeArena};
+use crate::dispatch::{CompiledSchema, FieldEntry, Op};
+use crate::reverse::ReverseWriter;
+use crate::swar;
+use protoacc_runtime::object::value_from_bits;
+use protoacc_runtime::reference::MAX_DECODE_DEPTH;
+use protoacc_runtime::{FieldPayload, MessageValue, RuntimeError, Value, REPEATED_HEADER_BYTES};
+use protoacc_schema::{FieldType, MessageId, Schema};
+use protoacc_wire::{zigzag, FieldKey, WireError, WireType};
+
+/// A compiled, reusable fast-path codec for one schema.
+#[derive(Debug, Clone)]
+pub struct FastCodec {
+    compiled: CompiledSchema,
+}
+
+/// Accumulator for one repeated field within one message frame.
+struct RepAccum {
+    number: u32,
+    elems: Vec<u64>,
+}
+
+/// Decode state shared down the recursion: the compiled schema plus a
+/// recycling pool for repeated-field element buffers, so steady-state decode
+/// of repeated-heavy messages does no per-frame heap allocation.
+struct Decoder<'c> {
+    cs: &'c CompiledSchema,
+    pool: Vec<Vec<u64>>,
+}
+
+impl FastCodec {
+    /// Compiles `schema` into dispatch tables.
+    pub fn new(schema: &Schema) -> Self {
+        FastCodec {
+            compiled: CompiledSchema::compile(schema),
+        }
+    }
+
+    /// The compiled schema backing this codec.
+    pub fn compiled(&self) -> &CompiledSchema {
+        &self.compiled
+    }
+
+    /// The source schema.
+    pub fn schema(&self) -> &Schema {
+        self.compiled.schema()
+    }
+
+    /// Decodes `input` as one `type_id` message into `arena`, returning the
+    /// root object's offset. The arena is reset first; string and bytes
+    /// fields borrow from `input`, so `input` must stay alive (and
+    /// unmodified) as long as the decoded object is read.
+    ///
+    /// # Errors
+    ///
+    /// The same `RuntimeError` classes as `crates/cpu`'s
+    /// `SoftwareCodec::deser_message` on the same inputs — that equivalence
+    /// is the differential suite's core invariant.
+    pub fn decode(
+        &self,
+        type_id: MessageId,
+        input: &[u8],
+        arena: &mut DecodeArena,
+    ) -> Result<u32, RuntimeError> {
+        arena.reset();
+        let cm = self.compiled.message(type_id);
+        let obj = arena.alloc_zeroed(cm.object_size as usize)?;
+        let mut dec = Decoder {
+            cs: &self.compiled,
+            pool: Vec::new(),
+        };
+        dec.frame(arena, input, 0, input.len(), type_id, obj, 0)?;
+        Ok(obj)
+    }
+
+    /// Decodes and immediately converts to a [`MessageValue`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Same classification as [`FastCodec::decode`].
+    pub fn decode_to_value(
+        &self,
+        type_id: MessageId,
+        input: &[u8],
+        arena: &mut DecodeArena,
+    ) -> Result<MessageValue, RuntimeError> {
+        let obj = self.decode(type_id, input, arena)?;
+        Ok(self.to_value(type_id, input, arena, obj))
+    }
+
+    /// Converts a decoded arena object back into a [`MessageValue`] tree.
+    /// `input` must be the buffer the object was decoded from (string slots
+    /// borrow from it).
+    pub fn to_value(
+        &self,
+        type_id: MessageId,
+        input: &[u8],
+        arena: &DecodeArena,
+        obj: u32,
+    ) -> MessageValue {
+        let cm = self.compiled.message(type_id);
+        let descriptor = self.compiled.schema().message(type_id);
+        let mut message = MessageValue::new(type_id);
+        for &number in &cm.numbers {
+            let entry = cm.entry(number).expect("listed number has an entry");
+            if !arena.bit(
+                obj + cm.hasbits_offset + entry.hasbit_byte,
+                entry.hasbit_mask,
+            ) {
+                continue;
+            }
+            let ft = descriptor
+                .field_by_number(number)
+                .expect("listed number is in the descriptor")
+                .field_type();
+            let slot = obj + entry.slot_offset;
+            if entry.repeated {
+                let header = arena.read_u64(slot) as u32;
+                let data = arena.read_u64(header) as u32;
+                let count = arena.read_u64(header + 8) as usize;
+                let elem = u32::from(entry.elem_size);
+                let values = (0..count)
+                    .map(|i| self.elem_value(ft, entry, input, arena, data + i as u32 * elem))
+                    .collect();
+                message.set_repeated(number, values);
+            } else {
+                let value = match entry.op {
+                    Op::Bytes => borrowed_value(ft, input, arena.read_u64(slot)),
+                    Op::Msg => {
+                        let sub = entry.sub.expect("Msg op has a sub type");
+                        let sub_obj = arena.read_u64(slot) as u32;
+                        Value::Message(self.to_value(sub, input, arena, sub_obj))
+                    }
+                    _ => value_from_bits(ft, arena.read_scalar(slot, entry.elem_size as usize)),
+                };
+                message.set_unchecked(number, value);
+            }
+        }
+        message
+    }
+
+    /// One repeated element from the arena's element array.
+    fn elem_value(
+        &self,
+        ft: FieldType,
+        entry: &FieldEntry,
+        input: &[u8],
+        arena: &DecodeArena,
+        at: u32,
+    ) -> Value {
+        match entry.op {
+            Op::Bytes => borrowed_value(ft, input, arena.read_u64(at)),
+            Op::Msg => {
+                let sub = entry.sub.expect("Msg op has a sub type");
+                Value::Message(self.to_value(sub, input, arena, arena.read_u64(at) as u32))
+            }
+            _ => value_from_bits(ft, arena.read_scalar(at, entry.elem_size as usize)),
+        }
+    }
+
+    /// Serializes a [`MessageValue`] tree in one reverse-order pass.
+    ///
+    /// Byte-identical to `protoacc_runtime::reference::encode` (and hence to
+    /// `crates/cpu`'s serializer): fields ascending, sub-messages
+    /// depth-first. Prepending fields in *descending* order produces exactly
+    /// that layout without a ByteSize pass.
+    ///
+    /// # Errors
+    ///
+    /// `UnknownField` / `TypeMismatch` on value trees that do not fit the
+    /// schema, like the reference encoder.
+    pub fn encode_value(&self, message: &MessageValue) -> Result<Vec<u8>, RuntimeError> {
+        let mut w = ReverseWriter::new();
+        self.rencode_value(message, &mut w)?;
+        Ok(w.into_bytes())
+    }
+
+    fn rencode_value(
+        &self,
+        message: &MessageValue,
+        w: &mut ReverseWriter,
+    ) -> Result<(), RuntimeError> {
+        let descriptor = self.compiled.schema().message(message.type_id());
+        let pairs: Vec<(u32, &FieldPayload)> = message.iter().collect();
+        for &(number, payload) in pairs.iter().rev() {
+            let field = descriptor
+                .field_by_number(number)
+                .ok_or(RuntimeError::UnknownField {
+                    field_number: number,
+                })?;
+            let values: &[Value] = match payload {
+                FieldPayload::Single(v) => std::slice::from_ref(v),
+                FieldPayload::Repeated(vs) => vs,
+            };
+            if field.is_packed() {
+                let before = w.len();
+                for v in values.iter().rev() {
+                    prepend_packed_element(v, field.number(), w)?;
+                }
+                let body = (w.len() - before) as u64;
+                w.prepend_varint(body);
+                w.prepend_varint(
+                    FieldKey::new(number, WireType::LengthDelimited)
+                        .map_err(RuntimeError::from)?
+                        .encoded(),
+                );
+                continue;
+            }
+            for v in values.iter().rev() {
+                self.rencode_field_value(number, field.field_type(), v, w)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn rencode_field_value(
+        &self,
+        number: u32,
+        ft: FieldType,
+        value: &Value,
+        w: &mut ReverseWriter,
+    ) -> Result<(), RuntimeError> {
+        if !value.matches(ft) {
+            return Err(RuntimeError::TypeMismatch {
+                field_number: number,
+                expected: format!("{ft:?}"),
+            });
+        }
+        let key = FieldKey::new(number, ft.wire_type())
+            .map_err(RuntimeError::from)?
+            .encoded();
+        match value {
+            Value::Bool(v) => w.prepend_varint(u64::from(*v)),
+            Value::Int32(v) => w.prepend_varint(*v as i64 as u64),
+            Value::Int64(v) => w.prepend_varint(*v as u64),
+            Value::UInt32(v) => w.prepend_varint(u64::from(*v)),
+            Value::UInt64(v) => w.prepend_varint(*v),
+            Value::SInt32(v) => w.prepend_varint(u64::from(zigzag::encode32(*v))),
+            Value::SInt64(v) => w.prepend_varint(zigzag::encode64(*v)),
+            Value::Enum(v) => w.prepend_varint(*v as i64 as u64),
+            Value::Fixed32(v) => w.prepend_fixed32(*v),
+            Value::SFixed32(v) => w.prepend_fixed32(*v as u32),
+            Value::Float(v) => w.prepend_fixed32(v.to_bits()),
+            Value::Fixed64(v) => w.prepend_fixed64(*v),
+            Value::SFixed64(v) => w.prepend_fixed64(*v as u64),
+            Value::Double(v) => w.prepend_fixed64(v.to_bits()),
+            Value::Str(s) => {
+                w.prepend_slice(s.as_bytes());
+                w.prepend_varint(s.len() as u64);
+            }
+            Value::Bytes(b) => {
+                w.prepend_slice(b);
+                w.prepend_varint(b.len() as u64);
+            }
+            Value::Message(m) => {
+                let before = w.len();
+                self.rencode_value(m, w)?;
+                w.prepend_varint((w.len() - before) as u64);
+            }
+        }
+        w.prepend_varint(key);
+        Ok(())
+    }
+
+    /// Serializes a decoded arena object straight back to wire bytes, never
+    /// materializing a value tree. `input` must be the buffer the object was
+    /// decoded from.
+    ///
+    /// Byte-identical to decoding to a value tree and reference-encoding it.
+    pub fn encode_decoded(
+        &self,
+        type_id: MessageId,
+        input: &[u8],
+        arena: &DecodeArena,
+        obj: u32,
+    ) -> Vec<u8> {
+        let mut w = ReverseWriter::with_capacity(input.len() + input.len() / 2 + 64);
+        self.rencode_obj(type_id, input, arena, obj, &mut w);
+        w.into_bytes()
+    }
+
+    fn rencode_obj(
+        &self,
+        type_id: MessageId,
+        input: &[u8],
+        arena: &DecodeArena,
+        obj: u32,
+        w: &mut ReverseWriter,
+    ) {
+        let cm = self.compiled.message(type_id);
+        for &number in cm.numbers.iter().rev() {
+            let entry = cm.entry(number).expect("listed number has an entry");
+            if !arena.bit(
+                obj + cm.hasbits_offset + entry.hasbit_byte,
+                entry.hasbit_mask,
+            ) {
+                continue;
+            }
+            let slot = obj + entry.slot_offset;
+            if entry.repeated {
+                let header = arena.read_u64(slot) as u32;
+                let data = arena.read_u64(header) as u32;
+                let count = arena.read_u64(header + 8) as usize;
+                let elem = u32::from(entry.elem_size);
+                if entry.packed {
+                    let before = w.len();
+                    for i in (0..count).rev() {
+                        let bits = arena.read_scalar(data + i as u32 * elem, elem as usize);
+                        self.prepend_scalar(entry, bits, w);
+                    }
+                    w.prepend_varint((w.len() - before) as u64);
+                    w.prepend_varint(entry.packed_key_encoded);
+                } else {
+                    for i in (0..count).rev() {
+                        self.prepend_element(entry, input, arena, data + i as u32 * elem, w);
+                        w.prepend_varint(entry.key_encoded);
+                    }
+                }
+            } else {
+                match entry.op {
+                    Op::Bytes => {
+                        let (off, len) = unpack_str(arena.read_u64(slot));
+                        w.prepend_slice(&input[off..off + len]);
+                        w.prepend_varint(len as u64);
+                    }
+                    Op::Msg => {
+                        let sub = entry.sub.expect("Msg op has a sub type");
+                        let sub_obj = arena.read_u64(slot) as u32;
+                        let before = w.len();
+                        self.rencode_obj(sub, input, arena, sub_obj, w);
+                        w.prepend_varint((w.len() - before) as u64);
+                    }
+                    _ => {
+                        let bits = arena.read_scalar(slot, entry.elem_size as usize);
+                        self.prepend_scalar(entry, bits, w);
+                    }
+                }
+                w.prepend_varint(entry.key_encoded);
+            }
+        }
+    }
+
+    /// One repeated element's payload bytes (no key).
+    fn prepend_element(
+        &self,
+        entry: &FieldEntry,
+        input: &[u8],
+        arena: &DecodeArena,
+        at: u32,
+        w: &mut ReverseWriter,
+    ) {
+        match entry.op {
+            Op::Bytes => {
+                let (off, len) = unpack_str(arena.read_u64(at));
+                w.prepend_slice(&input[off..off + len]);
+                w.prepend_varint(len as u64);
+            }
+            Op::Msg => {
+                let sub = entry.sub.expect("Msg op has a sub type");
+                let before = w.len();
+                self.rencode_obj(sub, input, arena, arena.read_u64(at) as u32, w);
+                w.prepend_varint((w.len() - before) as u64);
+            }
+            _ => self.prepend_scalar(entry, arena.read_scalar(at, entry.elem_size as usize), w),
+        }
+    }
+
+    /// One scalar payload from normalized slot bits, applying the inverse of
+    /// the decode-side bit transform (sign extension for int32/enum, zigzag
+    /// for sint types) exactly as `crates/cpu::wire_varint_from_bits` does.
+    fn prepend_scalar(&self, entry: &FieldEntry, bits: u64, w: &mut ReverseWriter) {
+        match entry.op {
+            Op::VarintI32 => w.prepend_varint(bits as u32 as i32 as i64 as u64),
+            Op::VarintZig32 => w.prepend_varint(u64::from(zigzag::encode32(bits as u32 as i32))),
+            Op::VarintZig64 => w.prepend_varint(zigzag::encode64(bits as i64)),
+            Op::VarintRaw | Op::VarintU32 | Op::VarintBool => w.prepend_varint(bits),
+            Op::Fixed32 => w.prepend_fixed32(bits as u32),
+            Op::Fixed64 => w.prepend_fixed64(bits),
+            Op::Bytes | Op::Msg => unreachable!("length-delimited ops handled by callers"),
+        }
+    }
+}
+
+/// A borrowed string/bytes slot as a [`Value`].
+fn borrowed_value(ft: FieldType, input: &[u8], word: u64) -> Value {
+    let (off, len) = unpack_str(word);
+    let payload = &input[off..off + len];
+    match ft {
+        FieldType::String => Value::Str(String::from_utf8_lossy(payload).into_owned()),
+        _ => Value::Bytes(payload.to_vec()),
+    }
+}
+
+/// Packed element for the value-tree encoder; mirrors
+/// `reference::encode_packed_element` but reports out-of-line values as a
+/// typed error instead of panicking.
+fn prepend_packed_element(
+    value: &Value,
+    number: u32,
+    w: &mut ReverseWriter,
+) -> Result<(), RuntimeError> {
+    match value {
+        Value::Bool(v) => w.prepend_varint(u64::from(*v)),
+        Value::Int32(v) => w.prepend_varint(*v as i64 as u64),
+        Value::Int64(v) => w.prepend_varint(*v as u64),
+        Value::UInt32(v) => w.prepend_varint(u64::from(*v)),
+        Value::UInt64(v) => w.prepend_varint(*v),
+        Value::SInt32(v) => w.prepend_varint(u64::from(zigzag::encode32(*v))),
+        Value::SInt64(v) => w.prepend_varint(zigzag::encode64(*v)),
+        Value::Enum(v) => w.prepend_varint(*v as i64 as u64),
+        Value::Fixed32(v) => w.prepend_fixed32(*v),
+        Value::SFixed32(v) => w.prepend_fixed32(*v as u32),
+        Value::Float(v) => w.prepend_fixed32(v.to_bits()),
+        Value::Fixed64(v) => w.prepend_fixed64(*v),
+        Value::SFixed64(v) => w.prepend_fixed64(*v as u64),
+        Value::Double(v) => w.prepend_fixed64(v.to_bits()),
+        Value::Str(_) | Value::Bytes(_) | Value::Message(_) => {
+            return Err(RuntimeError::TypeMismatch {
+                field_number: number,
+                expected: "packable scalar".to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Normalizes a decoded varint payload into slot bits — the same transforms
+/// `crates/cpu`'s scalar path applies.
+#[inline]
+fn decode_bits(op: Op, raw: u64) -> u64 {
+    match op {
+        Op::VarintI32 => u64::from(raw as u32),
+        Op::VarintU32 => raw & 0xffff_ffff,
+        Op::VarintBool => u64::from(raw != 0),
+        Op::VarintZig32 => u64::from(zigzag::decode32(raw as u32) as u32),
+        Op::VarintZig64 => zigzag::decode64(raw) as u64,
+        _ => raw,
+    }
+}
+
+impl Decoder<'_> {
+    /// Decodes one message frame spanning `full[start..end]` into `obj`.
+    ///
+    /// Error ordering and classification deliberately mirror
+    /// `crates/cpu::SoftwareCodec::deser_message` step for step; comments
+    /// mark the decision points the differential suite exercises.
+    #[allow(clippy::too_many_arguments)]
+    fn frame(
+        &mut self,
+        arena: &mut DecodeArena,
+        full: &[u8],
+        start: usize,
+        end: usize,
+        type_id: MessageId,
+        obj: u32,
+        depth: usize,
+    ) -> Result<(), RuntimeError> {
+        if depth > MAX_DECODE_DEPTH {
+            return Err(RuntimeError::DepthExceeded {
+                limit: MAX_DECODE_DEPTH,
+            });
+        }
+        let cs = self.cs;
+        let cm = cs.message(type_id);
+        let mut accums: Vec<RepAccum> = Vec::new();
+        let mut pos = start;
+        while pos < end {
+            let (key_raw, key_len) = swar::decode(&full[pos..end])?;
+            pos += key_len;
+            let key = FieldKey::from_encoded(key_raw)?;
+            let number = key.field_number();
+            let wt = key.wire_type();
+            let Some(&entry) = cm.entry(number) else {
+                pos += skip_len(&full[..end], pos, wt)?;
+                continue;
+            };
+            // Packed arrival: a length-delimited body for a packable
+            // repeated field whose scalar wire type is not LD itself.
+            if wt == WireType::LengthDelimited
+                && entry.wire != WireType::LengthDelimited
+                && entry.repeated
+                && entry.packable
+            {
+                let (body_len, len_len) = swar::decode(&full[pos..end])?;
+                pos += len_len;
+                let remaining = end - pos;
+                if body_len > remaining as u64 {
+                    return Err(RuntimeError::Wire(WireError::LengthOutOfBounds {
+                        declared: body_len,
+                        remaining,
+                    }));
+                }
+                // Elements decode against the *clamped* body end: an element
+                // straddling the body boundary is Truncated, never silently
+                // completed from the bytes that follow the packed run.
+                let body_end = pos + body_len as usize;
+                if pos < body_end {
+                    // An accumulator (and hence the hasbit) appears only
+                    // once at least one element exists: an empty packed body
+                    // leaves the field absent, exactly like crates/cpu.
+                    let acc = self.accum(&mut accums, number);
+                    while pos < body_end {
+                        let (bits, n) = scalar_element(&full[..body_end], pos, &entry)?;
+                        accums[acc].elems.push(bits);
+                        pos += n;
+                    }
+                }
+                continue;
+            }
+            if wt != entry.wire {
+                return Err(RuntimeError::WireTypeMismatch {
+                    field_number: number,
+                });
+            }
+            match entry.op {
+                Op::Bytes => {
+                    let (payload_off, len) = length_prefix(full, pos, end)?;
+                    pos = payload_off + len;
+                    let word = pack_str(payload_off, len);
+                    if entry.repeated {
+                        let acc = self.accum(&mut accums, number);
+                        accums[acc].elems.push(word);
+                    } else {
+                        arena.write_u64(obj + entry.slot_offset, word);
+                        arena.set_bit(
+                            obj + cm.hasbits_offset + entry.hasbit_byte,
+                            entry.hasbit_mask,
+                        );
+                    }
+                }
+                Op::Msg => {
+                    let (payload_off, len) = length_prefix(full, pos, end)?;
+                    pos = payload_off + len;
+                    let sub = entry.sub.expect("Msg op has a sub type");
+                    // Allocation precedes the sub-parse (arena exhaustion
+                    // surfaces before the sub-frame's own errors), and a
+                    // repeated singular arrival overwrites the slot with the
+                    // fresh object: last-one-wins, no merge — both mirroring
+                    // crates/cpu.
+                    let sub_obj = arena.alloc_zeroed(cs.message(sub).object_size as usize)?;
+                    self.frame(
+                        arena,
+                        full,
+                        payload_off,
+                        payload_off + len,
+                        sub,
+                        sub_obj,
+                        depth + 1,
+                    )?;
+                    if entry.repeated {
+                        let acc = self.accum(&mut accums, number);
+                        accums[acc].elems.push(u64::from(sub_obj));
+                    } else {
+                        arena.write_u64(obj + entry.slot_offset, u64::from(sub_obj));
+                        arena.set_bit(
+                            obj + cm.hasbits_offset + entry.hasbit_byte,
+                            entry.hasbit_mask,
+                        );
+                    }
+                }
+                _ => {
+                    let (bits, n) = scalar_element(&full[..end], pos, &entry)?;
+                    pos += n;
+                    if entry.repeated {
+                        let acc = self.accum(&mut accums, number);
+                        accums[acc].elems.push(bits);
+                    } else {
+                        arena.write_scalar(obj + entry.slot_offset, bits, entry.elem_size as usize);
+                        arena.set_bit(
+                            obj + cm.hasbits_offset + entry.hasbit_byte,
+                            entry.hasbit_mask,
+                        );
+                    }
+                }
+            }
+        }
+        // Materialize repeated fields in ascending field-number order (the
+        // BTreeMap order crates/cpu materializes in).
+        accums.sort_unstable_by_key(|a| a.number);
+        for acc in &mut accums {
+            let entry = cm
+                .entry(acc.number)
+                .expect("accum numbers are known fields");
+            let elem = usize::from(entry.elem_size);
+            let count = acc.elems.len();
+            let header = arena.alloc_zeroed(REPEATED_HEADER_BYTES as usize)?;
+            let data = arena.alloc_zeroed(count * elem)?;
+            arena.write_u64(header, u64::from(data));
+            arena.write_u64(header + 8, count as u64);
+            arena.write_u64(header + 16, count as u64);
+            for (i, &bits) in acc.elems.iter().enumerate() {
+                arena.write_scalar(data + (i * elem) as u32, bits, elem);
+            }
+            arena.write_u64(obj + entry.slot_offset, u64::from(header));
+            arena.set_bit(
+                obj + cm.hasbits_offset + entry.hasbit_byte,
+                entry.hasbit_mask,
+            );
+            self.pool.push(std::mem::take(&mut acc.elems));
+        }
+        Ok(())
+    }
+
+    /// Index of the accumulator for `number`, creating one (with a recycled
+    /// element buffer) on first arrival.
+    fn accum(&mut self, accums: &mut Vec<RepAccum>, number: u32) -> usize {
+        if let Some(i) = accums.iter().position(|a| a.number == number) {
+            return i;
+        }
+        let mut elems = self.pool.pop().unwrap_or_default();
+        elems.clear();
+        accums.push(RepAccum { number, elems });
+        accums.len() - 1
+    }
+}
+
+/// Bytes consumed skipping an unknown field's payload at `pos` in
+/// `frame` — classification identical to `crates/cpu::skip_value`.
+fn skip_len(frame: &[u8], pos: usize, wt: WireType) -> Result<usize, RuntimeError> {
+    let consumed = match wt {
+        WireType::Varint => swar::decode(&frame[pos..])?.1,
+        WireType::Bits32 => 4,
+        WireType::Bits64 => 8,
+        WireType::LengthDelimited => {
+            let (len, len_len) = swar::decode(&frame[pos..])?;
+            // Oversized declared lengths overflow-check into Truncated here
+            // (not LengthOutOfBounds): unknown-field skips never got a
+            // bounds verdict in crates/cpu and the fast path must agree.
+            len_len
+                .checked_add(len as usize)
+                .ok_or(WireError::Truncated {
+                    offset: frame.len(),
+                })?
+        }
+        WireType::StartGroup | WireType::EndGroup => {
+            return Err(RuntimeError::Wire(WireError::InvalidWireType {
+                raw: wt.as_raw(),
+            }));
+        }
+    };
+    if consumed > frame.len() - pos {
+        return Err(RuntimeError::Wire(WireError::Truncated {
+            offset: frame.len(),
+        }));
+    }
+    Ok(consumed)
+}
+
+/// Decodes a length prefix at `pos`, returning `(payload_offset, len)`
+/// bounds-checked against `end` — `crates/cpu::deser_length_prefix`.
+fn length_prefix(full: &[u8], pos: usize, end: usize) -> Result<(usize, usize), RuntimeError> {
+    let (len, len_len) = swar::decode(&full[pos..end])?;
+    let payload_off = pos + len_len;
+    let remaining = end - payload_off;
+    if len > remaining as u64 {
+        return Err(RuntimeError::Wire(WireError::LengthOutOfBounds {
+            declared: len,
+            remaining,
+        }));
+    }
+    Ok((payload_off, len as usize))
+}
+
+/// One scalar payload at `pos` in `clamped` (which ends at the enclosing
+/// frame or packed-body boundary), returning normalized slot bits and the
+/// bytes consumed — `crates/cpu::deser_scalar_element`.
+fn scalar_element(
+    clamped: &[u8],
+    pos: usize,
+    entry: &FieldEntry,
+) -> Result<(u64, usize), RuntimeError> {
+    match entry.op {
+        Op::Fixed32 => {
+            if pos + 4 > clamped.len() {
+                return Err(RuntimeError::Wire(WireError::Truncated {
+                    offset: clamped.len(),
+                }));
+            }
+            let bits = u32::from_le_bytes(clamped[pos..pos + 4].try_into().expect("4 bytes"));
+            Ok((u64::from(bits), 4))
+        }
+        Op::Fixed64 => {
+            if pos + 8 > clamped.len() {
+                return Err(RuntimeError::Wire(WireError::Truncated {
+                    offset: clamped.len(),
+                }));
+            }
+            let bits = u64::from_le_bytes(clamped[pos..pos + 8].try_into().expect("8 bytes"));
+            Ok((bits, 8))
+        }
+        Op::Bytes | Op::Msg => Err(RuntimeError::WireTypeMismatch {
+            field_number: entry.number,
+        }),
+        _ => {
+            let (raw, n) = swar::decode(&clamped[pos..])?;
+            Ok((decode_bits(entry.op, raw), n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_runtime::reference;
+    use protoacc_schema::SchemaBuilder;
+
+    fn test_schema() -> (Schema, MessageId, MessageId) {
+        let mut b = SchemaBuilder::new();
+        let inner = b.declare("Inner");
+        b.message(inner)
+            .optional("id", FieldType::UInt64, 1)
+            .optional("label", FieldType::String, 2);
+        let root = b.declare("Root");
+        b.message(root)
+            .optional("a", FieldType::Int32, 1)
+            .optional("b", FieldType::SInt64, 2)
+            .optional("name", FieldType::String, 3)
+            .optional("blob", FieldType::Bytes, 4)
+            .optional("sub", FieldType::Message(inner), 5)
+            .repeated("subs", FieldType::Message(inner), 6)
+            .packed("nums", FieldType::SInt32, 7)
+            .repeated("tags", FieldType::String, 8)
+            .optional("f32", FieldType::Fixed32, 9)
+            .optional("f64", FieldType::SFixed64, 10)
+            .optional("flag", FieldType::Bool, 11)
+            .packed("doubles", FieldType::Double, 12);
+        (b.build().unwrap(), root, inner)
+    }
+
+    fn sample(root: MessageId, inner: MessageId) -> MessageValue {
+        let mut sub = MessageValue::new(inner);
+        sub.set_unchecked(1, Value::UInt64(77));
+        sub.set_unchecked(2, Value::Str("inner".into()));
+        let mut m = MessageValue::new(root);
+        m.set_unchecked(1, Value::Int32(-42));
+        m.set_unchecked(2, Value::SInt64(i64::MIN));
+        m.set_unchecked(3, Value::Str("hello".into()));
+        m.set_unchecked(4, Value::Bytes(vec![0, 159, 146, 150]));
+        m.set_unchecked(5, Value::Message(sub.clone()));
+        m.set_repeated(6, vec![Value::Message(sub.clone()), Value::Message(sub)]);
+        m.set_repeated(
+            7,
+            vec![
+                Value::SInt32(i32::MIN),
+                Value::SInt32(-1),
+                Value::SInt32(0),
+                Value::SInt32(i32::MAX),
+            ],
+        );
+        m.set_repeated(8, vec![Value::Str("x".into()), Value::Str(String::new())]);
+        m.set_unchecked(9, Value::Fixed32(0xdead_beef));
+        m.set_unchecked(10, Value::SFixed64(-5));
+        m.set_unchecked(11, Value::Bool(true));
+        m.set_repeated(12, vec![Value::Double(-0.0), Value::Double(1.5e300)]);
+        m
+    }
+
+    #[test]
+    fn encode_is_byte_identical_to_reference() {
+        let (schema, root, inner) = test_schema();
+        let codec = FastCodec::new(&schema);
+        let m = sample(root, inner);
+        let fast = codec.encode_value(&m).unwrap();
+        let reference = reference::encode(&m, &schema).unwrap();
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn decode_round_trips_through_arena_and_back() {
+        let (schema, root, inner) = test_schema();
+        let codec = FastCodec::new(&schema);
+        let m = sample(root, inner);
+        let wire = reference::encode(&m, &schema).unwrap();
+        let mut arena = DecodeArena::new();
+        let obj = codec.decode(root, &wire, &mut arena).unwrap();
+        let back = codec.to_value(root, &wire, &arena, obj);
+        assert!(m.bits_eq(&back), "decoded tree differs");
+        let re = codec.encode_decoded(root, &wire, &arena, obj);
+        assert_eq!(re, wire, "arena re-serialization differs");
+    }
+
+    /// Regression (divergence sweep): a packed element whose varint carries
+    /// a continuation bit into the byte *after* the packed body must be
+    /// Truncated, not completed from the next field's bytes.
+    #[test]
+    fn packed_element_is_clamped_to_the_declared_body() {
+        let (schema, root, _) = test_schema();
+        let codec = FastCodec::new(&schema);
+        // Field 7 (packed sint32): key 0x3a, len 1, body [0x96 = continuation
+        // set], then a perfectly valid field 1 varint afterward.
+        let bytes = [0x3a, 0x01, 0x96, 0x08, 0x05];
+        let mut arena = DecodeArena::new();
+        let err = codec.decode(root, &bytes, &mut arena).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Wire(WireError::Truncated { .. })),
+            "{err:?}"
+        );
+    }
+
+    /// Regression (divergence sweep): empty packed body decodes to an
+    /// *absent* field, matching crates/cpu's accumulator semantics.
+    #[test]
+    fn empty_packed_body_leaves_field_absent() {
+        let (schema, root, _) = test_schema();
+        let codec = FastCodec::new(&schema);
+        let bytes = [0x3a, 0x00];
+        let mut arena = DecodeArena::new();
+        let obj = codec.decode(root, &bytes, &mut arena).unwrap();
+        let back = codec.to_value(root, &bytes, &arena, obj);
+        assert!(back.get(7).is_none(), "empty packed body must stay absent");
+    }
+
+    /// Regression (divergence sweep): zigzag extremes round-trip bit-exactly
+    /// through the 32-bit slot truncation.
+    #[test]
+    fn zigzag_extremes_round_trip() {
+        let (schema, root, _) = test_schema();
+        let codec = FastCodec::new(&schema);
+        for v in [i32::MIN, -1, 0, 1, i32::MAX] {
+            let mut m = MessageValue::new(root);
+            m.set_repeated(7, vec![Value::SInt32(v)]);
+            let wire = codec.encode_value(&m).unwrap();
+            assert_eq!(wire, reference::encode(&m, &schema).unwrap(), "sint32 {v}");
+            let mut arena = DecodeArena::new();
+            let back = codec.decode_to_value(root, &wire, &mut arena).unwrap();
+            assert!(m.bits_eq(&back), "sint32 {v}");
+        }
+        for v in [i64::MIN, -1, 0, i64::MAX] {
+            let mut m = MessageValue::new(root);
+            m.set_unchecked(2, Value::SInt64(v));
+            let wire = codec.encode_value(&m).unwrap();
+            assert_eq!(wire, reference::encode(&m, &schema).unwrap(), "sint64 {v}");
+            let mut arena = DecodeArena::new();
+            let back = codec.decode_to_value(root, &wire, &mut arena).unwrap();
+            assert!(m.bits_eq(&back), "sint64 {v}");
+        }
+    }
+
+    #[test]
+    fn singular_submessage_is_last_one_wins() {
+        let (schema, root, inner) = test_schema();
+        let codec = FastCodec::new(&schema);
+        let mut first = MessageValue::new(inner);
+        first.set_unchecked(1, Value::UInt64(1));
+        let mut second = MessageValue::new(inner);
+        second.set_unchecked(2, Value::Str("two".into()));
+        let mut m1 = MessageValue::new(root);
+        m1.set_unchecked(5, Value::Message(first));
+        let mut m2 = MessageValue::new(root);
+        m2.set_unchecked(5, Value::Message(second.clone()));
+        let mut wire = codec.encode_value(&m1).unwrap();
+        wire.extend_from_slice(&codec.encode_value(&m2).unwrap());
+        let mut arena = DecodeArena::new();
+        let back = codec.decode_to_value(root, &wire, &mut arena).unwrap();
+        let expected = {
+            let mut m = MessageValue::new(root);
+            m.set_unchecked(5, Value::Message(second));
+            m
+        };
+        assert!(expected.bits_eq(&back), "second arrival must win, no merge");
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let mut b = SchemaBuilder::new();
+        let node = b.declare("Node");
+        b.message(node)
+            .optional("next", FieldType::Message(node), 1);
+        let schema = b.build().unwrap();
+        let codec = FastCodec::new(&schema);
+        // 150 nested frames: key 0x0a + length prefix each.
+        let mut wire = Vec::new();
+        for _ in 0..150 {
+            let mut next = vec![0x0a];
+            protoacc_wire::varint::encode(wire.len() as u64, &mut next);
+            next.extend_from_slice(&wire);
+            wire = next;
+        }
+        let mut arena = DecodeArena::new();
+        let err = codec.decode(node, &wire, &mut arena).unwrap_err();
+        assert!(matches!(err, RuntimeError::DepthExceeded { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped_and_groups_rejected() {
+        let (schema, root, _) = test_schema();
+        let codec = FastCodec::new(&schema);
+        // Unknown field 100 (varint), then known field 1.
+        let mut wire = Vec::new();
+        protoacc_wire::varint::encode(100 << 3, &mut wire);
+        wire.push(0x7f);
+        wire.extend_from_slice(&[0x08, 0x05]);
+        let mut arena = DecodeArena::new();
+        let back = codec.decode_to_value(root, &wire, &mut arena).unwrap();
+        assert_eq!(back.get_single(1), Some(&Value::Int32(5)));
+        // Unknown field with a group wire type is InvalidWireType.
+        let mut wire = Vec::new();
+        protoacc_wire::varint::encode(100 << 3 | 3, &mut wire);
+        let err = codec.decode(root, &wire, &mut arena).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Wire(WireError::InvalidWireType { .. })),
+            "{err:?}"
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! Per-schema precompiled field-dispatch tables.
+//!
+//! The paper's deserializer resolves each field number to an FSM state with
+//! a single descriptor-table (ADT) lookup instead of the switch-over-fields
+//! the C++ parse loop compiles to. This module is the software analogue: at
+//! schema-compile time every message type gets a dense table indexed by
+//! `field_number - min_field`, each entry a flat [`FieldEntry`] carrying the
+//! decode micro-op, the expected wire type, the slot offset, and the
+//! precomputed hasbit position. The hot decode loop then dispatches with one
+//! bounds-checked load and a match over [`Op`] — no descriptor walk, no
+//! hashing, no per-field branching beyond the op itself.
+//!
+//! Schemas with pathologically sparse numbering (span beyond
+//! [`DENSE_SPAN_LIMIT`]) fall back to a sorted table and binary search so
+//! table memory stays proportional to defined fields, mirroring the layout
+//! engine's sparse-hasbits reasoning (Section 4.2).
+
+use protoacc_runtime::{MessageLayouts, SlotKind};
+use protoacc_schema::{FieldType, MessageId, Schema};
+use protoacc_wire::WireType;
+
+/// Widest field-number span a message may have before its dispatch table
+/// switches from dense indexing to binary search.
+pub const DENSE_SPAN_LIMIT: u64 = 4096;
+
+/// Decode/encode micro-op for one field — the FSM state analogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Varint stored raw (int64, uint64).
+    VarintRaw,
+    /// Varint truncated to 32 bits, sign pattern preserved (int32, enum).
+    VarintI32,
+    /// Varint masked to 32 bits (uint32).
+    VarintU32,
+    /// Varint normalized to 0/1 (bool).
+    VarintBool,
+    /// Zigzag-decoded 32-bit varint (sint32).
+    VarintZig32,
+    /// Zigzag-decoded 64-bit varint (sint64).
+    VarintZig64,
+    /// Little-endian 4-byte load (fixed32, sfixed32, float).
+    Fixed32,
+    /// Little-endian 8-byte load (fixed64, sfixed64, double).
+    Fixed64,
+    /// Length-delimited payload borrowed from the input (string, bytes).
+    Bytes,
+    /// Length-delimited sub-message frame.
+    Msg,
+}
+
+impl Op {
+    fn from_field_type(ft: FieldType) -> Op {
+        match ft {
+            FieldType::Int64 | FieldType::UInt64 => Op::VarintRaw,
+            FieldType::Int32 | FieldType::Enum => Op::VarintI32,
+            FieldType::UInt32 => Op::VarintU32,
+            FieldType::Bool => Op::VarintBool,
+            FieldType::SInt32 => Op::VarintZig32,
+            FieldType::SInt64 => Op::VarintZig64,
+            FieldType::Float | FieldType::Fixed32 | FieldType::SFixed32 => Op::Fixed32,
+            FieldType::Double | FieldType::Fixed64 | FieldType::SFixed64 => Op::Fixed64,
+            FieldType::String | FieldType::Bytes => Op::Bytes,
+            FieldType::Message(_) => Op::Msg,
+        }
+    }
+}
+
+/// One field's flattened dispatch entry.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldEntry {
+    /// Field number (redundant with the table position; kept for error
+    /// payloads and the sparse path).
+    pub number: u32,
+    /// The decode micro-op.
+    pub op: Op,
+    /// Expected wire type when not a packed arrival.
+    pub wire: WireType,
+    /// Whether the field is `repeated`.
+    pub repeated: bool,
+    /// Whether the field's type may arrive packed.
+    pub packable: bool,
+    /// Whether the field is declared `packed` (serialization side).
+    pub packed: bool,
+    /// Byte offset of the field's slot inside the message object.
+    pub slot_offset: u32,
+    /// In-memory element size (1/4/8) for scalar slots and repeated scalar
+    /// arrays; 8 for pointer-shaped slots.
+    pub elem_size: u8,
+    /// Byte offset of this field's hasbit within the hasbits array.
+    pub hasbit_byte: u32,
+    /// Bit mask within that byte.
+    pub hasbit_mask: u8,
+    /// Sub-message type for `Op::Msg` entries.
+    pub sub: Option<MessageId>,
+    /// Precomputed wire key (`number << 3 | wire_type`) for serialization.
+    pub key_encoded: u64,
+    /// Precomputed length-delimited wire key for packed serialization.
+    pub packed_key_encoded: u64,
+}
+
+/// Dispatch table for one message type.
+#[derive(Debug, Clone)]
+enum Table {
+    /// Indexed by `number - min_field`; holes are `None`.
+    Dense(Vec<Option<FieldEntry>>),
+    /// Sorted by field number; binary-searched.
+    Sparse(Vec<FieldEntry>),
+}
+
+/// Compiled form of one message type: layout facts plus the dispatch table.
+#[derive(Debug, Clone)]
+pub struct CompiledMessage {
+    /// Total object size (8-byte aligned), from the layout engine.
+    pub object_size: u32,
+    /// Offset of the hasbits array inside the object.
+    pub hasbits_offset: u32,
+    /// Smallest defined field number (dense-table base).
+    pub min_field: u32,
+    /// Defined field numbers in ascending order (the serializer walks these
+    /// in reverse for the memwriter's back-to-front pass).
+    pub numbers: Vec<u32>,
+    table: Table,
+}
+
+impl CompiledMessage {
+    /// The dispatch entry for `number`, or `None` for unknown fields.
+    #[inline]
+    pub fn entry(&self, number: u32) -> Option<&FieldEntry> {
+        match &self.table {
+            Table::Dense(t) => t
+                .get(number.wrapping_sub(self.min_field) as usize)
+                .and_then(Option::as_ref),
+            Table::Sparse(t) => t
+                .binary_search_by_key(&number, |e| e.number)
+                .ok()
+                .map(|i| &t[i]),
+        }
+    }
+}
+
+/// A schema compiled for the fast path: per-message dispatch tables plus the
+/// shared object layouts.
+#[derive(Debug, Clone)]
+pub struct CompiledSchema {
+    schema: Schema,
+    layouts: MessageLayouts,
+    messages: Vec<CompiledMessage>,
+}
+
+impl CompiledSchema {
+    /// Compiles every message type of `schema`.
+    pub fn compile(schema: &Schema) -> Self {
+        let layouts = MessageLayouts::compute(schema);
+        let messages = schema
+            .iter()
+            .map(|(id, descriptor)| {
+                let layout = layouts.layout(id);
+                let mut entries: Vec<FieldEntry> = descriptor
+                    .fields()
+                    .iter()
+                    .map(|field| {
+                        let number = field.number();
+                        let slot = layout.slot(number).expect("every field has a slot");
+                        let (byte, bit) = layout.hasbit_position(number);
+                        let elem_size = match slot.kind {
+                            SlotKind::Scalar(k) => k.size() as u8,
+                            _ => field
+                                .field_type()
+                                .scalar_kind()
+                                .map_or(8, |k| k.size() as u8),
+                        };
+                        FieldEntry {
+                            number,
+                            op: Op::from_field_type(field.field_type()),
+                            wire: field.field_type().wire_type(),
+                            repeated: field.is_repeated(),
+                            packable: field.field_type().is_packable(),
+                            packed: field.is_packed(),
+                            slot_offset: slot.offset as u32,
+                            elem_size,
+                            hasbit_byte: byte as u32,
+                            hasbit_mask: 1u8 << bit,
+                            sub: match field.field_type() {
+                                FieldType::Message(sub) => Some(sub),
+                                _ => None,
+                            },
+                            key_encoded: protoacc_wire::FieldKey::new(
+                                number,
+                                field.field_type().wire_type(),
+                            )
+                            .expect("schema-validated field number")
+                            .encoded(),
+                            packed_key_encoded: protoacc_wire::FieldKey::new(
+                                number,
+                                WireType::LengthDelimited,
+                            )
+                            .expect("schema-validated field number")
+                            .encoded(),
+                        }
+                    })
+                    .collect();
+                entries.sort_unstable_by_key(|e| e.number);
+                let numbers: Vec<u32> = entries.iter().map(|e| e.number).collect();
+                let span = layout.field_number_span();
+                let table = if span <= DENSE_SPAN_LIMIT {
+                    let mut dense = vec![None; span as usize];
+                    for e in entries {
+                        dense[(e.number - layout.min_field()) as usize] = Some(e);
+                    }
+                    Table::Dense(dense)
+                } else {
+                    Table::Sparse(entries)
+                };
+                CompiledMessage {
+                    object_size: layout.object_size() as u32,
+                    hasbits_offset: layout.hasbits_offset() as u32,
+                    min_field: layout.min_field(),
+                    numbers,
+                    table,
+                }
+            })
+            .collect();
+        CompiledSchema {
+            schema: schema.clone(),
+            layouts,
+            messages,
+        }
+    }
+
+    /// The source schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The shared object layouts.
+    pub fn layouts(&self) -> &MessageLayouts {
+        &self.layouts
+    }
+
+    /// The compiled form of one message type.
+    #[inline]
+    pub fn message(&self, id: MessageId) -> &CompiledMessage {
+        &self.messages[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_schema::SchemaBuilder;
+
+    #[test]
+    fn dense_table_resolves_all_fields_and_rejects_unknowns() {
+        let mut b = SchemaBuilder::new();
+        let inner = b.declare("Inner");
+        b.message(inner).optional("x", FieldType::Bool, 1);
+        let root = b.declare("Root");
+        b.message(root)
+            .optional("a", FieldType::Int32, 3)
+            .repeated("b", FieldType::String, 7)
+            .packed("c", FieldType::UInt64, 9)
+            .optional("m", FieldType::Message(inner), 12);
+        let schema = b.build().unwrap();
+        let cs = CompiledSchema::compile(&schema);
+        let cm = cs.message(root);
+        assert_eq!(cm.min_field, 3);
+        assert_eq!(cm.numbers, vec![3, 7, 9, 12]);
+        let a = cm.entry(3).unwrap();
+        assert_eq!(a.op, Op::VarintI32);
+        assert!(!a.repeated);
+        let b_ = cm.entry(7).unwrap();
+        assert_eq!(b_.op, Op::Bytes);
+        assert!(b_.repeated && !b_.packable);
+        let c = cm.entry(9).unwrap();
+        assert!(c.packed && c.packable && c.repeated);
+        assert_eq!(c.elem_size, 8);
+        let m = cm.entry(12).unwrap();
+        assert_eq!(m.op, Op::Msg);
+        assert_eq!(m.sub, Some(inner));
+        for unknown in [0u32, 1, 2, 4, 8, 13, 1000, u32::MAX] {
+            assert!(cm.entry(unknown).is_none(), "field {unknown}");
+        }
+    }
+
+    #[test]
+    fn sparse_numbering_falls_back_to_binary_search() {
+        let mut b = SchemaBuilder::new();
+        let root = b.declare("Sparse");
+        b.message(root)
+            .optional("lo", FieldType::UInt64, 1)
+            .optional("hi", FieldType::UInt64, 200_000);
+        let schema = b.build().unwrap();
+        let cs = CompiledSchema::compile(&schema);
+        let cm = cs.message(root);
+        assert!(matches!(cm.table, Table::Sparse(_)));
+        assert!(cm.entry(1).is_some());
+        assert!(cm.entry(200_000).is_some());
+        assert!(cm.entry(100_000).is_none());
+        assert!(cm.entry(0).is_none());
+    }
+}

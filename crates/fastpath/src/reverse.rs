@@ -1,0 +1,206 @@
+//! Reverse-order serialization buffer — the software analogue of the
+//! paper's memwriter (Section 5.2).
+//!
+//! The protobuf wire format nests length-prefixed frames, so a forward
+//! writer must either run a separate ByteSize pass (what the C++ library and
+//! `crates/cpu` do) or seek back to patch lengths. The memwriter trick
+//! sidesteps both: serialize *backwards*, children first. By the time a
+//! sub-message's length prefix is written, its body already sits in the
+//! buffer and the length is simply the byte count produced since the frame
+//! started — one pass, no patching, no size cache.
+//!
+//! Data grows from the end of the buffer toward the front; `head` is the
+//! offset of the most recently written byte. Growth copies the existing
+//! tail to the end of a larger buffer, preserving all offsets relative to
+//! the *end*.
+
+use protoacc_wire::{varint, MAX_VARINT_LEN};
+
+/// A buffer that is written back-to-front.
+#[derive(Debug, Clone)]
+pub struct ReverseWriter {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl ReverseWriter {
+    /// Creates a writer with `capacity` bytes of initial headroom.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ReverseWriter {
+            buf: vec![0u8; capacity],
+            head: capacity,
+        }
+    }
+
+    /// Creates an empty writer (grows on first prepend).
+    pub fn new() -> Self {
+        Self::with_capacity(256)
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    /// Ensures at least `need` bytes of headroom in front of `head`.
+    ///
+    /// `need == head` is an exact fit and must NOT grow; `need == 0` must be
+    /// a no-op even on a zero-capacity buffer — both were called out as
+    /// risky edges in the divergence sweep and are pinned by tests below.
+    #[inline]
+    fn ensure(&mut self, need: usize) {
+        if need <= self.head {
+            return;
+        }
+        let data_len = self.len();
+        let new_cap = (self.buf.len() * 2).max(data_len + need).max(64);
+        let mut grown = vec![0u8; new_cap];
+        let new_head = new_cap - data_len;
+        grown[new_head..].copy_from_slice(&self.buf[self.head..]);
+        self.buf = grown;
+        self.head = new_head;
+    }
+
+    /// Prepends raw bytes.
+    #[inline]
+    pub fn prepend_slice(&mut self, bytes: &[u8]) {
+        self.ensure(bytes.len());
+        self.head -= bytes.len();
+        self.buf[self.head..self.head + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Prepends one byte.
+    #[inline]
+    pub fn prepend_byte(&mut self, byte: u8) {
+        self.ensure(1);
+        self.head -= 1;
+        self.buf[self.head] = byte;
+    }
+
+    /// Prepends the varint encoding of `value`.
+    #[inline]
+    pub fn prepend_varint(&mut self, value: u64) {
+        let mut scratch = [0u8; MAX_VARINT_LEN];
+        let n = varint::encode_to_array(value, &mut scratch);
+        self.prepend_slice(&scratch[..n]);
+    }
+
+    /// Prepends a little-endian fixed32.
+    #[inline]
+    pub fn prepend_fixed32(&mut self, value: u32) {
+        self.prepend_slice(&value.to_le_bytes());
+    }
+
+    /// Prepends a little-endian fixed64.
+    #[inline]
+    pub fn prepend_fixed64(&mut self, value: u64) {
+        self.prepend_slice(&value.to_le_bytes());
+    }
+
+    /// The bytes written so far, front to back.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+
+    /// Consumes the writer, returning the written bytes.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.buf.split_off(self.head)
+    }
+
+    /// Discards all written bytes, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.head = self.buf.len();
+    }
+}
+
+impl Default for ReverseWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepends_accumulate_front_to_back() {
+        let mut w = ReverseWriter::with_capacity(8);
+        w.prepend_slice(b"world");
+        w.prepend_byte(b' ');
+        w.prepend_slice(b"hello");
+        assert_eq!(w.as_slice(), b"hello world");
+        assert_eq!(w.len(), 11);
+        assert_eq!(w.into_bytes(), b"hello world");
+    }
+
+    /// Regression: a zero-length prepend on a full (head == 0) or
+    /// zero-capacity buffer must neither grow nor underflow `head`.
+    #[test]
+    fn zero_length_prepend_is_a_noop_even_when_full() {
+        let mut w = ReverseWriter::with_capacity(0);
+        w.prepend_slice(&[]);
+        assert_eq!(w.len(), 0);
+        assert!(w.is_empty());
+        let mut w = ReverseWriter::with_capacity(4);
+        w.prepend_slice(&[1, 2, 3, 4]);
+        assert_eq!(w.head, 0);
+        let cap_before = w.buf.len();
+        w.prepend_slice(&[]);
+        assert_eq!(w.buf.len(), cap_before, "zero-length prepend must not grow");
+        assert_eq!(w.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    /// Regression: an exact-fit prepend (need == head) must succeed without
+    /// growing and leave head at exactly zero.
+    #[test]
+    fn exact_fit_prepend_does_not_grow() {
+        let mut w = ReverseWriter::with_capacity(10);
+        w.prepend_slice(&[9; 3]);
+        assert_eq!(w.head, 7);
+        let cap_before = w.buf.len();
+        w.prepend_slice(&[7; 7]);
+        assert_eq!(w.buf.len(), cap_before, "exact fit must not grow");
+        assert_eq!(w.head, 0);
+        assert_eq!(w.as_slice(), &[7, 7, 7, 7, 7, 7, 7, 9, 9, 9]);
+    }
+
+    #[test]
+    fn growth_preserves_written_suffix() {
+        let mut w = ReverseWriter::with_capacity(2);
+        for i in 0..100u8 {
+            w.prepend_byte(i);
+        }
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 100);
+        for (i, &b) in bytes.iter().enumerate() {
+            assert_eq!(b, 99 - i as u8);
+        }
+    }
+
+    #[test]
+    fn varint_prepend_matches_forward_encoding() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 21, 1 << 56, u64::MAX] {
+            let mut w = ReverseWriter::new();
+            w.prepend_varint(v);
+            let mut fwd = Vec::new();
+            varint::encode(v, &mut fwd);
+            assert_eq!(w.as_slice(), fwd.as_slice(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut w = ReverseWriter::with_capacity(16);
+        w.prepend_slice(b"abc");
+        w.clear();
+        assert!(w.is_empty());
+        w.prepend_slice(b"xy");
+        assert_eq!(w.as_slice(), b"xy");
+    }
+}

@@ -1,0 +1,203 @@
+//! SWAR (SIMD-within-a-register) varint decoding.
+//!
+//! The byte-at-a-time loop in [`protoacc_wire::varint::decode`] spends one
+//! dependent branch per encoded byte — the serial bottleneck Figure 2 of the
+//! paper attributes most deserialization cycles to. This module replaces it
+//! with a word-at-a-time decoder: one 8-byte little-endian load, a single
+//! `trailing_zeros` over the inverted continuation-bit mask to find the
+//! terminator, and a three-step parallel fold that compacts the eight 7-bit
+//! payload groups into a value — no per-byte loop for varints up to 8 bytes
+//! (values below 2^56, i.e. effectively all field keys, lengths, and the
+//! vast majority of scalar payloads in fleet traffic).
+//!
+//! Varints of 9–10 bytes and buffers shorter than a full word fall back to
+//! the scalar path so that the error classification — `Truncated` when the
+//! buffer ends mid-varint, `VarintOverflow` when ten continuation bytes
+//! appear — is *identical* to [`protoacc_wire::varint::decode`] and the
+//! hardware model's windowed decoder. That three-way agreement is locked in
+//! by `tests/varint_boundary.rs`.
+
+use protoacc_wire::{varint, WireError};
+
+/// MSB (continuation bit) of every byte lane.
+const CONT_MASK: u64 = 0x8080_8080_8080_8080;
+
+/// Compacts eight 7-bit payload groups (one per byte lane, continuation
+/// bits already cleared or about to be masked) into a single value.
+///
+/// Each fold step merges adjacent lanes: 7-bit groups into 14-bit groups,
+/// then 28-bit, then the final 56-bit value. All lanes move in parallel —
+/// the software analogue of the paper's masked OR tree that settles in one
+/// clock.
+#[inline]
+fn fold(word: u64) -> u64 {
+    let x = word & !CONT_MASK;
+    let x = (x & 0x007f_007f_007f_007f) | ((x & 0x7f00_7f00_7f00_7f00) >> 1);
+    let x = (x & 0x0000_3fff_0000_3fff) | ((x & 0x3fff_0000_3fff_0000) >> 2);
+    (x & 0x0fff_ffff) | ((x & 0x0fff_ffff_0000_0000) >> 4)
+}
+
+/// Decodes a varint from the front of `input`, word-at-a-time.
+///
+/// Drop-in replacement for [`protoacc_wire::varint::decode`]: same values
+/// (bits beyond the 64th silently discarded, as upstream protobuf does),
+/// same byte counts, and the same error classification at every buffer
+/// boundary.
+///
+/// # Errors
+///
+/// * [`WireError::Truncated`] if `input` ends mid-varint.
+/// * [`WireError::VarintOverflow`] if no terminating byte appears within the
+///   10-byte maximum.
+#[inline]
+pub fn decode(input: &[u8]) -> Result<(u64, usize), WireError> {
+    let Some(first8) = input.first_chunk::<8>() else {
+        // Fewer than 8 bytes left: the scalar loop is already cheap here and
+        // owns the Truncated-vs-value classification at the buffer end.
+        return varint::decode(input);
+    };
+    let word = u64::from_le_bytes(*first8);
+    if word & 0x80 == 0 {
+        // Single-byte fast path: the overwhelmingly common case (field keys
+        // and small scalars).
+        return Ok((word & 0x7f, 1));
+    }
+    let stops = !word & CONT_MASK;
+    if stops != 0 {
+        // Terminator within the loaded word. trailing_zeros finds the first
+        // clear continuation bit; /8 converts to a byte lane index.
+        let n = (stops.trailing_zeros() as usize) / 8 + 1;
+        let masked = if n == 8 {
+            word
+        } else {
+            word & ((1u64 << (8 * n)) - 1)
+        };
+        return Ok((fold(masked), n));
+    }
+    // All 8 loaded bytes carry continuation bits: 9- or 10-byte slow path.
+    let low = fold(word);
+    if let Some(&b8) = input.get(8) {
+        // Byte 8 contributes bits 56..=62.
+        let value = low | (u64::from(b8 & 0x7f) << 56);
+        if b8 & 0x80 == 0 {
+            return Ok((value, 9));
+        }
+        if let Some(&b9) = input.get(9) {
+            // Byte 9 contributes only bit 63; higher bits are discarded,
+            // matching the scalar decoder and upstream protobuf.
+            let value = value | (u64::from(b9 & 0x7f) << 63);
+            if b9 & 0x80 == 0 {
+                return Ok((value, 10));
+            }
+            return Err(WireError::VarintOverflow { offset: 0 });
+        }
+    }
+    Err(WireError::Truncated {
+        offset: input.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoacc_wire::MAX_VARINT_LEN;
+    use xrand::{Rng, StdRng};
+
+    /// Exhaustive agreement with the scalar decoder over boundary-heavy
+    /// alphabets and every length 0..=6.
+    #[test]
+    fn agrees_with_scalar_decoder_exhaustively_short() {
+        let alphabet = [0x00u8, 0x01, 0x7f, 0x80, 0x81, 0xff];
+        for len in 0..=6usize {
+            let mut buf = vec![0u8; len];
+            let mut counters = vec![0usize; len];
+            'odometer: loop {
+                for (b, &c) in buf.iter_mut().zip(&counters) {
+                    *b = alphabet[c];
+                }
+                assert_eq!(decode(&buf), varint::decode(&buf), "input {buf:02x?}");
+                // Odometer increment over the alphabet.
+                let mut i = 0;
+                loop {
+                    if i == len {
+                        break 'odometer;
+                    }
+                    counters[i] += 1;
+                    if counters[i] < alphabet.len() {
+                        break;
+                    }
+                    counters[i] = 0;
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Continuation-run patterns around the 8/9/10-byte edges where the SWAR
+    /// word boundary and the varint length limit interact.
+    #[test]
+    fn agrees_with_scalar_decoder_at_word_boundaries() {
+        for len in 7..=12usize {
+            for tail in [0x00u8, 0x7f, 0x80, 0xff] {
+                for pattern in 0..(1u32 << (len - 1)) {
+                    let mut buf = vec![0u8; len];
+                    for (i, b) in buf.iter_mut().enumerate().take(len - 1) {
+                        *b = if pattern >> i & 1 == 1 { 0xff } else { 0x80 };
+                    }
+                    buf[len - 1] = tail;
+                    assert_eq!(decode(&buf), varint::decode(&buf), "input {buf:02x?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_every_length_bucket() {
+        for k in 0..=9 {
+            for v in [
+                (1u64 << (7 * k)).wrapping_sub(1),
+                1u64 << (7 * k),
+                u64::MAX >> (63 - 7 * k.min(9)),
+            ] {
+                let mut buf = Vec::new();
+                let n = varint::encode(v, &mut buf);
+                // Trailing garbage must not perturb the decoded prefix.
+                buf.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+                assert_eq!(decode(&buf).unwrap(), (v, n), "value {v:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn discards_bits_past_64_like_the_scalar_decoder() {
+        let buf = [0x81, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x7f];
+        assert_eq!(decode(&buf).unwrap(), ((1u64 << 63) | 1, 10));
+        assert_eq!(decode(&buf).unwrap(), varint::decode(&buf).unwrap());
+    }
+
+    #[test]
+    fn classifies_truncation_and_overflow() {
+        assert_eq!(decode(&[]), Err(WireError::Truncated { offset: 0 }));
+        assert_eq!(decode(&[0x80]), Err(WireError::Truncated { offset: 1 }));
+        assert_eq!(decode(&[0x80; 9]), Err(WireError::Truncated { offset: 9 }));
+        assert_eq!(
+            decode(&[0xff; MAX_VARINT_LEN]),
+            Err(WireError::VarintOverflow { offset: 0 })
+        );
+        assert_eq!(
+            decode(&[0xff; 16]),
+            Err(WireError::VarintOverflow { offset: 0 })
+        );
+    }
+
+    #[test]
+    fn seeded_random_sweep_matches_scalar_decoder() {
+        let mut rng = StdRng::seed_from_u64(0x05AA_B1E5);
+        for _ in 0..20_000 {
+            let len = rng.gen_range(0usize..14);
+            let mut buf = vec![0u8; len];
+            rng.fill(&mut buf[..]);
+            assert_eq!(decode(&buf), varint::decode(&buf), "input {buf:02x?}");
+        }
+    }
+}

@@ -146,20 +146,28 @@ impl DifferentialHarness {
     /// Decodes `bytes` on both sides and returns `(accelerator, cpu)`
     /// verdicts. Never panics, whatever the bytes.
     pub fn verdicts(&mut self, bytes: &[u8]) -> (Verdict, Verdict) {
-        self.mem.data.write_bytes(INPUT_BASE, bytes);
+        (self.accel_verdict(bytes), self.cpu_verdict(bytes))
+    }
 
-        // Accelerator side: fresh frontend, re-assigned arena.
+    /// The accelerator model's verdict for `bytes`: fresh frontend,
+    /// re-assigned arena, never panics.
+    pub fn accel_verdict(&mut self, bytes: &[u8]) -> Verdict {
+        self.mem.data.write_bytes(INPUT_BASE, bytes);
         let mut accel = ProtoAccelerator::new(AccelConfig::default());
         accel.deser_assign_arena(ACCEL_ARENA_BASE, ACCEL_ARENA_LEN);
         accel.deser_info(self.adts.addr(self.type_id), self.dest_accel);
         let min_field = self.layouts.layout(self.type_id).min_field();
-        let accel_verdict =
-            match accel.do_proto_deser(&mut self.mem, INPUT_BASE, bytes.len() as u64, min_field) {
-                Ok(_) => Verdict::Accept,
-                Err(e) => Verdict::Reject(DecodeFault::classify(&e)),
-            };
+        match accel.do_proto_deser(&mut self.mem, INPUT_BASE, bytes.len() as u64, min_field) {
+            Ok(_) => Verdict::Accept,
+            Err(e) => Verdict::Reject(DecodeFault::classify(&e)),
+        }
+    }
 
-        // CPU reference side: fresh arena.
+    /// The CPU reference codec's verdict for `bytes`: fresh arena, never
+    /// panics. This is the oracle side for both the accelerator model and
+    /// the native fast-path codec.
+    pub fn cpu_verdict(&mut self, bytes: &[u8]) -> Verdict {
+        self.mem.data.write_bytes(INPUT_BASE, bytes);
         self.cpu_arena.reset();
         let codec = SoftwareCodec::new(&self.cost);
         let (_, result) = codec.try_deserialize(
@@ -172,11 +180,10 @@ impl DifferentialHarness {
             self.dest_cpu,
             &mut self.cpu_arena,
         );
-        let cpu_verdict = match result {
+        match result {
             Ok(_) => Verdict::Accept,
             Err(e) => Verdict::Reject(DecodeFault::from_runtime(&e)),
-        };
-        (accel_verdict, cpu_verdict)
+        }
     }
 
     /// Runs one trial and tallies it into `report`; mismatching inputs are

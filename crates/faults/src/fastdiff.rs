@@ -1,0 +1,133 @@
+//! Fast-path-vs-CPU differential verdicts.
+//!
+//! Same contract as [`crate::differential`], with the native fast-path codec
+//! ([`protoacc_fastpath::FastCodec`]) in the seat the accelerator model
+//! normally occupies: every input must produce the same accept/reject
+//! verdict — rejections in the same [`protoacc::DecodeFault`] class — from
+//! the SWAR/dispatch-table engine and from `crates/cpu`'s instrumented
+//! codec. The fast path is only allowed to be *faster*, never observably
+//! different; any disagreement this harness surfaces is a real bug in one of
+//! the two engines.
+
+use crate::differential::{DiffReport, DifferentialHarness, Verdict, VerdictMismatch};
+use protoacc::DecodeFault;
+use protoacc_fastpath::{DecodeArena, FastCodec};
+use protoacc_schema::{MessageId, Schema};
+
+/// Runs the same bytes through the fast-path codec and the CPU reference
+/// codec and compares verdicts.
+///
+/// The compiled dispatch tables, guest memory, and destination objects are
+/// staged once at construction; each trial only restages input bytes and
+/// resets arenas.
+pub struct FastpathHarness {
+    diff: DifferentialHarness,
+    codec: FastCodec,
+    arena: DecodeArena,
+    type_id: MessageId,
+}
+
+impl FastpathHarness {
+    /// Stages a harness for `type_id` of `schema`.
+    ///
+    /// # Panics
+    ///
+    /// As [`DifferentialHarness::new`] (setup-region capacity only).
+    pub fn new(schema: &Schema, type_id: MessageId) -> Self {
+        FastpathHarness {
+            diff: DifferentialHarness::new(schema, type_id),
+            codec: FastCodec::new(schema),
+            arena: DecodeArena::new(),
+            type_id,
+        }
+    }
+
+    /// The compiled fast-path codec (for byte-identity encode checks on top
+    /// of the verdict comparison).
+    pub fn codec(&self) -> &FastCodec {
+        &self.codec
+    }
+
+    /// Decodes `bytes` on both sides and returns `(fastpath, cpu)` verdicts.
+    /// Never panics, whatever the bytes.
+    pub fn verdicts(&mut self, bytes: &[u8]) -> (Verdict, Verdict) {
+        let fast = match self.codec.decode(self.type_id, bytes, &mut self.arena) {
+            Ok(_) => Verdict::Accept,
+            Err(e) => Verdict::Reject(DecodeFault::from_runtime(&e)),
+        };
+        (fast, self.diff.cpu_verdict(bytes))
+    }
+
+    /// Runs one trial and tallies it into `report`; mismatching inputs are
+    /// captured for replay (the fast path's verdict lands in the report's
+    /// `accel` seat).
+    pub fn observe(&mut self, label: &str, bytes: &[u8], report: &mut DiffReport) {
+        let (fast, cpu) = self.verdicts(bytes);
+        report.trials += 1;
+        if fast == cpu {
+            if fast.is_accept() {
+                report.accepted += 1;
+            } else {
+                report.rejected += 1;
+            }
+        } else {
+            report.mismatches.push(VerdictMismatch {
+                label: label.to_owned(),
+                accel: fast,
+                cpu,
+                input: bytes.to_vec(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{corrupt, WIRE_FAULTS};
+    use protoacc_runtime::{reference, MessageValue, Value};
+    use protoacc_schema::{FieldType, SchemaBuilder};
+    use xrand::StdRng;
+
+    fn setup() -> (Schema, MessageId, Vec<u8>) {
+        let mut b = SchemaBuilder::new();
+        let root = b.declare("Root");
+        b.message(root)
+            .optional("n", FieldType::UInt64, 1)
+            .optional("s", FieldType::String, 2)
+            .repeated("r", FieldType::Int32, 3)
+            .packed("p", FieldType::SInt64, 4);
+        let schema = b.build().unwrap();
+        let mut m = MessageValue::new(root);
+        m.set_unchecked(1, Value::UInt64(77));
+        m.set_unchecked(2, Value::Str("fastpath".into()));
+        m.set_repeated(3, vec![Value::Int32(-4), Value::Int32(19)]);
+        m.set_repeated(4, vec![Value::SInt64(i64::MIN), Value::SInt64(3)]);
+        let wire = reference::encode(&m, &schema).unwrap();
+        (schema, root, wire)
+    }
+
+    #[test]
+    fn clean_input_accepts_on_both_sides() {
+        let (schema, root, wire) = setup();
+        let mut h = FastpathHarness::new(&schema, root);
+        assert_eq!(h.verdicts(&wire), (Verdict::Accept, Verdict::Accept));
+        assert_eq!(h.verdicts(&[]), (Verdict::Accept, Verdict::Accept));
+    }
+
+    #[test]
+    fn every_wire_fault_class_agrees_on_a_small_sweep() {
+        let (schema, root, wire) = setup();
+        let mut h = FastpathHarness::new(&schema, root);
+        let mut rng = StdRng::seed_from_u64(0xFA57);
+        let mut report = DiffReport::default();
+        for fault in WIRE_FAULTS {
+            for _ in 0..64 {
+                let mutated = corrupt(&wire, fault, &mut rng);
+                h.observe(fault.label(), &mutated, &mut report);
+            }
+        }
+        assert!(report.is_clean(), "{}", report.summary());
+        assert!(report.rejected > 0, "sweep never produced a rejection");
+    }
+}

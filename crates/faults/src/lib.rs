@@ -24,18 +24,22 @@
 //! * [`differential`] runs the same bytes through the accelerator model and
 //!   the CPU reference decoder and demands the *same verdict class*
 //!   ([`protoacc::DecodeFault`]) from both — the contract that makes the
-//!   accelerator a drop-in replacement even on hostile input.
+//!   accelerator a drop-in replacement even on hostile input. [`fastdiff`]
+//!   holds the native fast-path codec (`protoacc-fastpath`) to the same
+//!   contract against the same CPU oracle.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod differential;
 pub mod fallback;
+pub mod fastdiff;
 pub mod instance;
 pub mod memory;
 pub mod wire;
 
 pub use differential::{DiffReport, DifferentialHarness, Verdict};
 pub use fallback::SoftwareFallback;
+pub use fastdiff::FastpathHarness;
 pub use instance::{random_script, InstanceFaultPlan};
 pub use wire::{depth_bomb, mutate, WireFault, WIRE_FAULTS};

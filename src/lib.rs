@@ -45,6 +45,7 @@ pub use protoacc as accel;
 pub use protoacc_absint as absint;
 pub use protoacc_bench as bench;
 pub use protoacc_cpu as cpu;
+pub use protoacc_fastpath as fastpath;
 pub use protoacc_faults as faults;
 pub use protoacc_fleet as fleet;
 pub use protoacc_lint as lint;
