@@ -16,6 +16,14 @@
 #                           the text-vs-binary differential gate and the
 #                           decoder robustness suite (truncation at every
 #                           offset, seeded wire faults, descriptor depth bomb)
+#   5c. translation validation protoacc-lint --verify --fail-on deny
+#                           (PA016-PA020: the verifier re-proves slot-overlap
+#                           freedom, dispatch totality, entry consistency,
+#                           hw/sw ADT equivalence, and table memory bounds
+#                           over the compiled artifacts of protos/ + chain),
+#                           then bench_verify runs the seeded table/ADT
+#                           mutation campaign (>=99% detection, clean
+#                           schemas silent; emits target/BENCH_verify.json)
 #   6. serve smoke+sanitize serve_tail_latency --smoke --sanitize
 #                           (fails on queue-invariant violations,
 #                           nondeterministic multi-instance replay, or any
@@ -74,6 +82,21 @@ cargo run --offline -q -p protoacc-lint --bin protoacc-lint -- \
 # must trip each of PA011-PA015, and the decoder must be total under
 # truncation, seeded wire faults, and descriptor-shaped depth bombs.
 cargo test --offline -q --test descriptor_ingestion --test descriptor_robustness
+
+echo "== translation validation (PA016-PA020 verifier + mutation campaign) =="
+# The verifier treats MessageLayouts / CompiledSchema / the hardware ADT
+# image as untrusted compiler output and re-proves PA016-PA020 from the
+# schema alone; any violation on the in-tree corpus denies.
+cargo run --offline -q -p protoacc-lint --bin protoacc-lint -- \
+    --format json --fail-on deny --verify \
+    protos/ --descriptor-set protos/chain
+# Mutation-proven detection: seeded corruptions of the compiled dispatch
+# tables and ADT image must be flagged at >=99% while every clean workload
+# verifies silently. BENCH_verify.json records per-workload wall time and
+# the per-mutation detection tallies.
+cargo run --offline -q --release -p protoacc-bench --bin bench_verify -- \
+    --smoke --out target/BENCH_verify.json
+cargo test --offline -q --test verify_mutation
 
 echo "== serving-model smoke + sanitizer (invariants, determinism, PA007-PA009) =="
 cargo run --offline -q --release -p protoacc-bench --bin serve_tail_latency -- --smoke --sanitize

@@ -53,7 +53,7 @@ use std::collections::HashMap;
 use protoacc::serve::CommandFootprint;
 use protoacc::{AccelConfig, CommandRecord};
 use protoacc_mem::{Cycles, MemConfig, BUS_WIDTH_BYTES, PAGE_SIZE};
-use protoacc_runtime::MessageLayouts;
+use protoacc_runtime::{AdtLayout, MessageLayouts};
 use protoacc_schema::{FieldType, MessageId, Schema};
 use protoacc_wire::{FieldKey, MAX_VARINT_LEN};
 
@@ -586,6 +586,55 @@ impl AmplificationBound {
         #[allow(clippy::cast_sign_loss)]
         let slope_bytes = (self.per_wire_byte * wire_len as f64).ceil() as u64;
         self.base_bytes.saturating_add(slope_bytes)
+    }
+}
+
+/// Span-proportional memory cost of one message type's compiled dispatch
+/// artifacts — the static twin of the blowup PA013 warns about, sharpened
+/// from "span looks wide" to "these many bytes of table memory".
+///
+/// Two structures scale with the *field-number span* rather than the defined
+/// field count: the fast path's dense dispatch table (one slot per number in
+/// `min..=max`) and the hardware ADT image (header + a 16-byte entry per
+/// span slot + the is_submessage bit field, [`AdtLayout::footprint`]). The
+/// verifier's PA020 check evaluates this model per type against a byte
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableFootprint {
+    /// Field-number span (`max - min + 1`, 0 for an empty message).
+    pub span: u64,
+    /// Software dense dispatch table bytes; 0 when the fast path falls back
+    /// to a sparse (field-count-proportional) table for this span.
+    pub sw_table_bytes: u64,
+    /// Hardware ADT image bytes — always span-proportional; the simulated
+    /// accelerator has no sparse fallback (Section 4.2).
+    pub hw_adt_bytes: u64,
+}
+
+impl TableFootprint {
+    /// The larger of the two span-proportional costs — what PA020 compares
+    /// against its budget.
+    #[must_use]
+    pub fn worst_bytes(&self) -> u64 {
+        self.sw_table_bytes.max(self.hw_adt_bytes)
+    }
+}
+
+/// Evaluates the [`TableFootprint`] model for a message spanning `span`
+/// field numbers, with `sw_entry_bytes` per software dense-table slot and a
+/// dense-table eligibility limit of `dense_limit` (the fast path's
+/// `DENSE_SPAN_LIMIT`).
+#[must_use]
+pub fn table_footprint(span: u64, sw_entry_bytes: u64, dense_limit: u64) -> TableFootprint {
+    let sw_table_bytes = if span <= dense_limit {
+        span.saturating_mul(sw_entry_bytes)
+    } else {
+        0
+    };
+    TableFootprint {
+        span,
+        sw_table_bytes,
+        hw_adt_bytes: AdtLayout::footprint(span),
     }
 }
 

@@ -1,0 +1,313 @@
+//! Translation-validation benchmark + mutation campaign for
+//! `protoacc-verify` (PA016–PA020).
+//!
+//! Two gates, both required:
+//!
+//! 1. **Clean silence** — every in-tree workload (the six HyperProtoBench
+//!    suites, `protos/*.proto`, and every `protos/chain/*.binpb` descriptor
+//!    set) must verify with zero violations, timed per workload.
+//! 2. **Mutation detection** — every seeded corruption from the
+//!    `protoacc-faults` table plane (12 software dispatch-table mutations ×
+//!    10 hardware ADT-image mutations) is applied repeatedly and the
+//!    verifier must flag at least 99% of the applied mutants.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_verify [--smoke] [--out target/BENCH_verify.json] [--seed S]
+//! ```
+//!
+//! `--smoke` shrinks the per-mutation trial count for CI but keeps every
+//! mutation kind and every workload in play. Exit codes: 0 both gates pass,
+//! 1 a clean workload produced violations or the detection rate fell below
+//! the floor, 2 setup error.
+
+use std::time::Instant;
+
+use hyperprotobench::generate_suite;
+use protoacc_fastpath::CompiledSchema;
+use protoacc_faults::{mutate_adt, mutate_compiled, ADT_MUTATIONS, TABLE_MUTATIONS};
+use protoacc_runtime::MessageLayouts;
+use protoacc_schema::{parse_descriptor_set, parse_proto, Schema};
+use protoacc_verify::{
+    build_adt_image, check_adt_image, verify_schema, verify_software, VerifyConfig,
+};
+use xrand::StdRng;
+
+/// Minimum fraction of applied mutants the verifier must detect.
+const DETECTION_FLOOR: f64 = 0.99;
+
+/// One clean-verification row.
+struct CleanRow {
+    name: String,
+    types: usize,
+    violations: usize,
+    wall_ms: f64,
+}
+
+/// Per-mutation-kind campaign tally.
+struct MutationRow {
+    plane: &'static str,
+    label: &'static str,
+    attempted: usize,
+    applied: usize,
+    detected: usize,
+}
+
+fn arg(name: &str) -> Option<String> {
+    std::env::args().skip_while(|a| a != name).nth(1)
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn main() {
+    let smoke = flag("--smoke");
+    let out_path = arg("--out").unwrap_or_else(|| "target/BENCH_verify.json".to_string());
+    let seed: u64 = arg("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x7AB1E);
+    let trials_per_workload = if smoke { 2 } else { 8 };
+
+    let workloads = build_workloads(seed);
+    if workloads.is_empty() {
+        eprintln!("bench_verify: no workloads (run from the repository root)");
+        std::process::exit(2);
+    }
+
+    // Gate 1: every clean workload verifies silently, timed.
+    let config = VerifyConfig::default();
+    let mut clean_rows = Vec::with_capacity(workloads.len());
+    println!(
+        "{:<26} {:>6} {:>11} {:>10}",
+        "workload", "types", "violations", "wall ms"
+    );
+    for (name, schema) in &workloads {
+        let start = Instant::now();
+        let report = verify_schema(schema, &config);
+        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+        println!(
+            "{:<26} {:>6} {:>11} {:>10.3}",
+            name,
+            report.types_checked,
+            report.violations.len(),
+            wall_ms
+        );
+        for v in &report.violations {
+            eprintln!("  {} {}: {}", v.property.code(), v.type_name, v.detail);
+        }
+        clean_rows.push(CleanRow {
+            name: name.clone(),
+            types: report.types_checked,
+            violations: report.violations.len(),
+            wall_ms,
+        });
+    }
+    let silent = clean_rows.iter().all(|r| r.violations == 0);
+
+    // Gate 2: the mutation campaign.
+    let mutation_rows = run_campaign(&workloads, &config, trials_per_workload, seed);
+    let attempted: usize = mutation_rows.iter().map(|r| r.attempted).sum();
+    let applied: usize = mutation_rows.iter().map(|r| r.applied).sum();
+    let detected: usize = mutation_rows.iter().map(|r| r.detected).sum();
+    let rate = if applied == 0 {
+        0.0
+    } else {
+        detected as f64 / applied as f64
+    };
+    println!(
+        "\n{:<10} {:<22} {:>9} {:>8} {:>9}",
+        "plane", "mutation", "attempted", "applied", "detected"
+    );
+    for r in &mutation_rows {
+        println!(
+            "{:<10} {:<22} {:>9} {:>8} {:>9}",
+            r.plane, r.label, r.attempted, r.applied, r.detected
+        );
+        if r.detected < r.applied {
+            eprintln!(
+                "bench_verify: {} mutation `{}` escaped detection ({}/{})",
+                r.plane, r.label, r.detected, r.applied
+            );
+        }
+    }
+    println!(
+        "campaign: {applied}/{attempted} applied, {detected} detected ({:.2}% rate)",
+        rate * 100.0
+    );
+
+    let json = render_json(
+        if smoke { "smoke" } else { "full" },
+        &clean_rows,
+        &mutation_rows,
+        silent,
+        rate,
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("bench_verify: {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out_path}");
+
+    if !silent {
+        eprintln!("bench_verify: a clean in-tree workload produced violations — failing");
+        std::process::exit(1);
+    }
+    if rate < DETECTION_FLOOR {
+        eprintln!(
+            "bench_verify: detection rate {rate:.4} below the {DETECTION_FLOOR} floor — failing"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The six HyperProtoBench suites (schemas only), every `protos/*.proto`,
+/// and every `protos/chain/*.binpb` descriptor set.
+fn build_workloads(seed: u64) -> Vec<(String, Schema)> {
+    let mut out: Vec<(String, Schema)> = generate_suite(1, seed)
+        .into_iter()
+        .map(|bench| (bench.profile.name.to_string(), bench.schema))
+        .collect();
+    for stem in ["addressbook", "storage_row", "telemetry"] {
+        let path = format!("protos/{stem}.proto");
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            eprintln!("bench_verify: skipping {path} (not found)");
+            continue;
+        };
+        match parse_proto(&source) {
+            Ok(schema) => out.push((stem.to_string(), schema)),
+            Err(e) => eprintln!("bench_verify: skipping {path}: {e}"),
+        }
+    }
+    for stem in ["consensus", "gossip", "state_sync", "transaction"] {
+        let path = format!("protos/chain/{stem}.binpb");
+        let Ok(bytes) = std::fs::read(&path) else {
+            eprintln!("bench_verify: skipping {path} (not found)");
+            continue;
+        };
+        match parse_descriptor_set(&bytes) {
+            Ok(schema) => out.push((format!("chain/{stem}"), schema)),
+            Err(e) => eprintln!("bench_verify: skipping {path}: {e}"),
+        }
+    }
+    out
+}
+
+/// Applies every mutation kind `trials` times per workload, in both planes,
+/// and counts how many applied mutants the verifier flags.
+fn run_campaign(
+    workloads: &[(String, Schema)],
+    config: &VerifyConfig,
+    trials: usize,
+    seed: u64,
+) -> Vec<MutationRow> {
+    let mut rows = Vec::new();
+    for (kind_idx, &mutation) in TABLE_MUTATIONS.iter().enumerate() {
+        let mut row = MutationRow {
+            plane: "software",
+            label: mutation.label(),
+            attempted: 0,
+            applied: 0,
+            detected: 0,
+        };
+        for (w_idx, (_, schema)) in workloads.iter().enumerate() {
+            let layouts = MessageLayouts::compute(schema);
+            let compiled = CompiledSchema::compile(schema);
+            assert!(
+                verify_software(schema, &layouts, &compiled, config).is_empty(),
+                "clean baseline must be silent before mutating"
+            );
+            for trial in 0..trials {
+                row.attempted += 1;
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (kind_idx as u64) << 24 ^ (w_idx as u64) << 12 ^ trial as u64,
+                );
+                let Some((mutated, _)) = mutate_compiled(schema, &compiled, mutation, &mut rng)
+                else {
+                    continue;
+                };
+                row.applied += 1;
+                if !verify_software(schema, &layouts, &mutated, config).is_empty() {
+                    row.detected += 1;
+                }
+            }
+        }
+        rows.push(row);
+    }
+    for (kind_idx, &mutation) in ADT_MUTATIONS.iter().enumerate() {
+        let mut row = MutationRow {
+            plane: "adt",
+            label: mutation.label(),
+            attempted: 0,
+            applied: 0,
+            detected: 0,
+        };
+        for (w_idx, (_, schema)) in workloads.iter().enumerate() {
+            let layouts = MessageLayouts::compute(schema);
+            let compiled = CompiledSchema::compile(schema);
+            for trial in 0..trials {
+                row.attempted += 1;
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ 0xADu64 << 32
+                        ^ (kind_idx as u64) << 24
+                        ^ (w_idx as u64) << 12
+                        ^ trial as u64,
+                );
+                let (mut mem, adts) = build_adt_image(schema, &layouts);
+                if mutate_adt(schema, &mut mem, &adts, mutation, &mut rng).is_none() {
+                    continue;
+                }
+                row.applied += 1;
+                if !check_adt_image(schema, &compiled, &mem, &adts).is_empty() {
+                    row.detected += 1;
+                }
+            }
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+fn render_json(
+    mode: &str,
+    clean: &[CleanRow],
+    mutations: &[MutationRow],
+    silent: bool,
+    rate: f64,
+) -> String {
+    let mut out =
+        format!("{{\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n  \"workloads\": [");
+    for (i, r) in clean.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"types\": {}, \"violations\": {}, \"wall_ms\": {:.3}}}",
+            r.name, r.types, r.violations, r.wall_ms
+        ));
+    }
+    out.push_str("\n  ],\n  \"mutations\": [");
+    for (i, r) in mutations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"plane\": \"{}\", \"label\": \"{}\", \"attempted\": {}, \
+             \"applied\": {}, \"detected\": {}}}",
+            r.plane, r.label, r.attempted, r.applied, r.detected
+        ));
+    }
+    let attempted: usize = mutations.iter().map(|r| r.attempted).sum();
+    let applied: usize = mutations.iter().map(|r| r.applied).sum();
+    let detected: usize = mutations.iter().map(|r| r.detected).sum();
+    out.push_str(&format!(
+        "\n  ],\n  \"campaign\": {{\"attempted\": {attempted}, \"applied\": {applied}, \
+         \"detected\": {detected}, \"detection_rate\": {rate:.4}, \
+         \"detection_floor\": {DETECTION_FLOOR}, \"clean_workloads_silent\": {silent}}}\n}}\n"
+    ));
+    out
+}

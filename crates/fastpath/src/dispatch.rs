@@ -98,13 +98,52 @@ pub struct FieldEntry {
     pub packed_key_encoded: u64,
 }
 
-/// Dispatch table for one message type.
+/// Which shape a message's dispatch table compiled to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// Direct-indexed by `number - min_field`.
+    Dense,
+    /// Sorted entries, binary-searched.
+    Sparse,
+}
+
+impl TableKind {
+    /// Short stable name for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TableKind::Dense => "dense",
+            TableKind::Sparse => "sparse",
+        }
+    }
+}
+
+/// Raw image of one message's dispatch table.
+///
+/// This is the exact internal representation, exposed so the static
+/// verifier (`protoacc-verify`) can audit it and so the table-mutation
+/// plane (`protoacc_faults::tables`) can seed corruptions into otherwise
+/// well-formed compiled schemas. Normal decoding never touches it.
 #[derive(Debug, Clone)]
-enum Table {
+pub enum TableImage {
     /// Indexed by `number - min_field`; holes are `None`.
     Dense(Vec<Option<FieldEntry>>),
     /// Sorted by field number; binary-searched.
     Sparse(Vec<FieldEntry>),
+}
+
+/// Encodes the wire key for `number`/`wire` exactly as the compiled tables
+/// store it — the single source of truth for pre-encoded dispatch keys.
+/// Both `CompiledSchema::compile` and the verifier's independent
+/// re-derivation call this helper.
+///
+/// # Panics
+///
+/// Panics when `number` is outside the valid field-number range; compiled
+/// schemas are built from validated [`Schema`]s where that cannot happen.
+pub fn encoded_key(number: u32, wire: WireType) -> u64 {
+    protoacc_wire::FieldKey::new(number, wire)
+        .expect("schema-validated field number")
+        .encoded()
 }
 
 /// Compiled form of one message type: layout facts plus the dispatch table.
@@ -119,7 +158,7 @@ pub struct CompiledMessage {
     /// Defined field numbers in ascending order (the serializer walks these
     /// in reverse for the memwriter's back-to-front pass).
     pub numbers: Vec<u32>,
-    table: Table,
+    table: TableImage,
 }
 
 impl CompiledMessage {
@@ -127,13 +166,74 @@ impl CompiledMessage {
     #[inline]
     pub fn entry(&self, number: u32) -> Option<&FieldEntry> {
         match &self.table {
-            Table::Dense(t) => t
+            TableImage::Dense(t) => t
                 .get(number.wrapping_sub(self.min_field) as usize)
                 .and_then(Option::as_ref),
-            Table::Sparse(t) => t
+            TableImage::Sparse(t) => t
                 .binary_search_by_key(&number, |e| e.number)
                 .ok()
                 .map(|i| &t[i]),
+        }
+    }
+
+    /// Which table shape this message compiled to.
+    pub fn table_kind(&self) -> TableKind {
+        match &self.table {
+            TableImage::Dense(_) => TableKind::Dense,
+            TableImage::Sparse(_) => TableKind::Sparse,
+        }
+    }
+
+    /// Every stored dispatch entry, in table order (ascending field number
+    /// for tables produced by [`CompiledSchema::compile`]). Dense holes are
+    /// skipped. Introspection for the verifier; the decode loop never
+    /// iterates.
+    pub fn entries(&self) -> impl Iterator<Item = &FieldEntry> + '_ {
+        match &self.table {
+            TableImage::Dense(t) => EntryIter::Dense(t.iter()),
+            TableImage::Sparse(t) => EntryIter::Sparse(t.iter()),
+        }
+    }
+
+    /// The raw table image, for auditing.
+    pub fn table_image(&self) -> &TableImage {
+        &self.table
+    }
+
+    /// Rebuilds a compiled message from raw parts — the entry point the
+    /// table-mutation plane uses to construct deliberately corrupted
+    /// artifacts for the verifier's detection-rate gate. No validation is
+    /// performed; that is the point.
+    pub fn from_image(
+        object_size: u32,
+        hasbits_offset: u32,
+        min_field: u32,
+        numbers: Vec<u32>,
+        table: TableImage,
+    ) -> Self {
+        CompiledMessage {
+            object_size,
+            hasbits_offset,
+            min_field,
+            numbers,
+            table,
+        }
+    }
+}
+
+/// Iterator over stored entries of either table shape.
+enum EntryIter<'a> {
+    Dense(std::slice::Iter<'a, Option<FieldEntry>>),
+    Sparse(std::slice::Iter<'a, FieldEntry>),
+}
+
+impl<'a> Iterator for EntryIter<'a> {
+    type Item = &'a FieldEntry;
+
+    fn next(&mut self) -> Option<&'a FieldEntry> {
+        match self {
+            EntryIter::Dense(it) => it.by_ref().flatten().next(),
+            EntryIter::Sparse(it) => it.next(),
         }
     }
 }
@@ -184,18 +284,8 @@ impl CompiledSchema {
                                 FieldType::Message(sub) => Some(sub),
                                 _ => None,
                             },
-                            key_encoded: protoacc_wire::FieldKey::new(
-                                number,
-                                field.field_type().wire_type(),
-                            )
-                            .expect("schema-validated field number")
-                            .encoded(),
-                            packed_key_encoded: protoacc_wire::FieldKey::new(
-                                number,
-                                WireType::LengthDelimited,
-                            )
-                            .expect("schema-validated field number")
-                            .encoded(),
+                            key_encoded: encoded_key(number, field.field_type().wire_type()),
+                            packed_key_encoded: encoded_key(number, WireType::LengthDelimited),
                         }
                     })
                     .collect();
@@ -207,9 +297,9 @@ impl CompiledSchema {
                     for e in entries {
                         dense[(e.number - layout.min_field()) as usize] = Some(e);
                     }
-                    Table::Dense(dense)
+                    TableImage::Dense(dense)
                 } else {
-                    Table::Sparse(entries)
+                    TableImage::Sparse(entries)
                 };
                 CompiledMessage {
                     object_size: layout.object_size() as u32,
@@ -241,6 +331,27 @@ impl CompiledSchema {
     #[inline]
     pub fn message(&self, id: MessageId) -> &CompiledMessage {
         &self.messages[id.index()]
+    }
+
+    /// Reassembles a compiled schema from externally supplied per-message
+    /// tables (indexed by [`MessageId::index`]). Companion to
+    /// [`CompiledMessage::from_image`] for the mutation plane; performs no
+    /// validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `messages.len()` differs from the schema's message count.
+    pub fn from_parts(schema: &Schema, messages: Vec<CompiledMessage>) -> Self {
+        assert_eq!(
+            messages.len(),
+            schema.iter().count(),
+            "one compiled message per schema type"
+        );
+        CompiledSchema {
+            schema: schema.clone(),
+            layouts: MessageLayouts::compute(schema),
+            messages,
+        }
     }
 }
 
@@ -292,10 +403,110 @@ mod tests {
         let schema = b.build().unwrap();
         let cs = CompiledSchema::compile(&schema);
         let cm = cs.message(root);
-        assert!(matches!(cm.table, Table::Sparse(_)));
+        assert_eq!(cm.table_kind(), TableKind::Sparse);
         assert!(cm.entry(1).is_some());
         assert!(cm.entry(200_000).is_some());
         assert!(cm.entry(100_000).is_none());
         assert!(cm.entry(0).is_none());
+    }
+
+    /// Compiles a two-field message whose numbers are `min` and
+    /// `min + span - 1`, i.e. exactly `span` wide.
+    fn compile_span(min: u32, span: u64) -> CompiledSchema {
+        let mut b = SchemaBuilder::new();
+        let root = b.declare("Span");
+        let hi = min + u32::try_from(span).unwrap() - 1;
+        b.message(root)
+            .optional("lo", FieldType::UInt64, min)
+            .optional("hi", FieldType::UInt64, hi);
+        CompiledSchema::compile(&b.build().unwrap())
+    }
+
+    #[test]
+    fn span_at_dense_limit_stays_dense() {
+        let cs = compile_span(1, DENSE_SPAN_LIMIT);
+        let cm = cs.message(cs.schema().iter().next().unwrap().0);
+        assert_eq!(cm.table_kind(), TableKind::Dense);
+        let hi = u32::try_from(DENSE_SPAN_LIMIT).unwrap();
+        assert!(cm.entry(1).is_some());
+        assert!(cm.entry(hi).is_some());
+        assert!(cm.entry(2).is_none(), "interior hole must reject");
+        assert!(cm.entry(hi + 1).is_none(), "past-end must reject");
+    }
+
+    #[test]
+    fn span_one_past_dense_limit_goes_sparse() {
+        let cs = compile_span(1, DENSE_SPAN_LIMIT + 1);
+        let cm = cs.message(cs.schema().iter().next().unwrap().0);
+        assert_eq!(cm.table_kind(), TableKind::Sparse);
+        let hi = u32::try_from(DENSE_SPAN_LIMIT).unwrap() + 1;
+        assert!(cm.entry(1).is_some());
+        assert!(cm.entry(hi).is_some());
+        assert!(cm.entry(2).is_none());
+        assert!(cm.entry(hi + 1).is_none());
+    }
+
+    #[test]
+    fn lookups_below_min_field_reject_on_both_kinds() {
+        // Dense table based at min_field 1000: probes below min must not
+        // wrap into valid indices.
+        let dense = compile_span(1000, DENSE_SPAN_LIMIT);
+        let dm = dense.message(dense.schema().iter().next().unwrap().0);
+        assert_eq!(dm.table_kind(), TableKind::Dense);
+        assert_eq!(dm.min_field, 1000);
+        for below in [0u32, 1, 2, 500, 999] {
+            assert!(dm.entry(below).is_none(), "dense field {below}");
+        }
+        // Sparse table with the same base.
+        let sparse = compile_span(1000, DENSE_SPAN_LIMIT + 1);
+        let sm = sparse.message(sparse.schema().iter().next().unwrap().0);
+        assert_eq!(sm.table_kind(), TableKind::Sparse);
+        for below in [0u32, 1, 2, 500, 999] {
+            assert!(sm.entry(below).is_none(), "sparse field {below}");
+        }
+    }
+
+    #[test]
+    fn entries_iterate_in_ascending_number_order() {
+        let mut b = SchemaBuilder::new();
+        let root = b.declare("Iter");
+        b.message(root)
+            .optional("c", FieldType::Bool, 9)
+            .optional("a", FieldType::Int32, 2)
+            .optional("b", FieldType::String, 5);
+        let schema = b.build().unwrap();
+        let cs = CompiledSchema::compile(&schema);
+        let cm = cs.message(root);
+        let nums: Vec<u32> = cm.entries().map(|e| e.number).collect();
+        assert_eq!(nums, vec![2, 5, 9]);
+        assert_eq!(nums, cm.numbers);
+    }
+
+    #[test]
+    fn from_image_round_trips_the_compiled_table() {
+        let mut b = SchemaBuilder::new();
+        let root = b.declare("Round");
+        b.message(root)
+            .optional("a", FieldType::Int32, 1)
+            .optional("b", FieldType::UInt64, 4);
+        let schema = b.build().unwrap();
+        let cs = CompiledSchema::compile(&schema);
+        let cm = cs.message(root);
+        let rebuilt = CompiledMessage::from_image(
+            cm.object_size,
+            cm.hasbits_offset,
+            cm.min_field,
+            cm.numbers.clone(),
+            cm.table_image().clone(),
+        );
+        assert_eq!(rebuilt.table_kind(), cm.table_kind());
+        for n in &cm.numbers {
+            assert_eq!(
+                rebuilt.entry(*n).map(|e| e.slot_offset),
+                cm.entry(*n).map(|e| e.slot_offset)
+            );
+        }
+        let cs2 = CompiledSchema::from_parts(&schema, vec![rebuilt]);
+        assert!(cs2.message(root).entry(4).is_some());
     }
 }

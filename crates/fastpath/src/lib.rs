@@ -30,5 +30,8 @@ pub mod swar;
 
 pub use arena::{pack_str, unpack_str, DecodeArena};
 pub use codec::FastCodec;
-pub use dispatch::{CompiledMessage, CompiledSchema, FieldEntry, Op};
+pub use dispatch::{
+    encoded_key, CompiledMessage, CompiledSchema, FieldEntry, Op, TableImage, TableKind,
+    DENSE_SPAN_LIMIT,
+};
 pub use reverse::ReverseWriter;

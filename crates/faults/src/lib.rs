@@ -14,6 +14,10 @@
 //!   [`protoacc_mem::MemSystem::arm_ecc`] / `arm_stall`.
 //! * **Instance plane** ([`instance`]) — scripted crash/hang/slow-down
 //!   schedules for [`protoacc::ServeCluster::run_with`].
+//! * **Table plane** ([`tables`]) — seeded corruptions of compiled dispatch
+//!   tables and hardware ADT images (offset bumps, mask swaps, op
+//!   substitutions, dropped/duplicated entries), the adversary behind the
+//!   `protoacc-verify` translation validator's detection-rate gate.
 //!
 //! Two consumers close the loop:
 //!
@@ -36,10 +40,14 @@ pub mod fallback;
 pub mod fastdiff;
 pub mod instance;
 pub mod memory;
+pub mod tables;
 pub mod wire;
 
 pub use differential::{DiffReport, DifferentialHarness, Verdict};
 pub use fallback::SoftwareFallback;
 pub use fastdiff::FastpathHarness;
 pub use instance::{random_script, InstanceFaultPlan};
+pub use tables::{
+    mutate_adt, mutate_compiled, AdtMutation, TableMutation, ADT_MUTATIONS, TABLE_MUTATIONS,
+};
 pub use wire::{depth_bomb, mutate, WireFault, WIRE_FAULTS};

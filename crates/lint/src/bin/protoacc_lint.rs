@@ -18,6 +18,9 @@
 //! --watchdog-budget N  serve watchdog cycle budget (enables PA010/PA015)
 //! --utf8               lint under proto3 semantics (UTF-8 validation)
 //! --bench-out FILE     write per-input wall time + finding counts as JSON
+//! --verify             also run the PA016–PA020 translation validator over
+//!                      the compiled dispatch tables and hardware ADT image
+//! --dense-table-budget N  PA020 per-type table byte budget (default 8 MiB)
 //! ```
 //!
 //! Both front-ends lower to the same `Schema`, so a schema produces
@@ -34,7 +37,9 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use protoacc_lint::{lint_schema, DiagCode, LintConfig, LintReport, Severity, ALL_CODES};
+use protoacc_lint::{
+    lint_schema, lint_schema_verified, DiagCode, LintConfig, LintReport, Severity, ALL_CODES,
+};
 use protoacc_schema::{parse_descriptor_set, parse_proto};
 
 #[derive(Debug, PartialEq, Eq, Clone, Copy)]
@@ -66,13 +71,14 @@ struct Options {
     paths: Vec<PathBuf>,
     descriptor_sets: Vec<PathBuf>,
     bench_out: Option<PathBuf>,
+    verify: bool,
 }
 
 fn usage() -> String {
     "usage: protoacc-lint [--format human|json] [--fail-on deny|warn|never] \
      [--allow CODE] [--warn CODE] [--deny CODE] [--stack-depth N] \
      [--watchdog-budget N] [--utf8] [--descriptor-set PATH]... \
-     [--bench-out FILE] PATH..."
+     [--bench-out FILE] [--verify] [--dense-table-budget N] PATH..."
         .to_string()
 }
 
@@ -84,6 +90,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         paths: Vec::new(),
         descriptor_sets: Vec::new(),
         bench_out: None,
+        verify: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -137,6 +144,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--bench-out" => {
                 opts.bench_out = Some(PathBuf::from(value(arg)?));
             }
+            "--dense-table-budget" => {
+                let v = value("--dense-table-budget")?;
+                opts.config.dense_table_budget = v
+                    .parse()
+                    .map_err(|_| format!("bad dense table budget `{v}`\n{}", usage()))?;
+            }
+            "--verify" => opts.verify = true,
             "--utf8" => opts.config.accel.validate_utf8 = true,
             "--help" | "-h" => return Err(usage()),
             p if p.starts_with("--") => {
@@ -270,7 +284,11 @@ fn run() -> Result<ExitCode, String> {
                     .map_err(|e| format!("{}: descriptor error: {e}", file.display()))?
             }
         };
-        let one = lint_schema(&schema, &opts.config);
+        let one = if opts.verify {
+            lint_schema_verified(&schema, &opts.config)
+        } else {
+            lint_schema(&schema, &opts.config)
+        };
         rows.push(BenchRow {
             path: file.display().to_string(),
             kind: *kind,
@@ -382,6 +400,20 @@ mod tests {
         .unwrap();
         assert_eq!(o.config.watchdog_budget, Some(500_000));
         assert_eq!(o.bench_out, Some(PathBuf::from("bench.json")));
+    }
+
+    #[test]
+    fn verify_flags_parse() {
+        let o = parse_args(&args(&["--verify", "--dense-table-budget", "4096", "p"])).unwrap();
+        assert!(o.verify);
+        assert_eq!(o.config.dense_table_budget, 4096);
+        let o = parse_args(&args(&["p"])).unwrap();
+        assert!(!o.verify);
+        assert_eq!(
+            o.config.dense_table_budget,
+            LintConfig::default().dense_table_budget
+        );
+        assert!(parse_args(&args(&["--dense-table-budget", "lots", "p"])).is_err());
     }
 
     #[test]

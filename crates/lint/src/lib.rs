@@ -59,6 +59,7 @@ use protoacc::AccelConfig;
 use protoacc_absint::{
     amplification_bound, composed_service_ceiling, Envelope, Finding, FindingKind, Interval,
 };
+use protoacc_fastpath::{CompiledSchema, TableKind};
 use protoacc_mem::{Cycles, MemConfig};
 use protoacc_runtime::{MessageLayouts, MessageValue};
 use protoacc_schema::{FieldType, Label, MessageId, Schema};
@@ -171,10 +172,30 @@ pub enum DiagCode {
     /// watchdog budget even though the type's own PA010 ceiling fits — the
     /// composition gap a per-type check cannot see.
     ComposedEnvelope,
+    /// PA016: a layout region (vptr, hasbits array, or a field slot)
+    /// escapes `object_size` or aliases another region — the translation
+    /// validator disproved slot-overlap freedom of the compiled artifacts.
+    /// Verifier-only.
+    SlotOverlap,
+    /// PA017: a dispatch table resolves an undefined field number, fails to
+    /// resolve a defined one, or its dense/sparse access paths disagree
+    /// entry-for-entry. Verifier-only.
+    DispatchTotality,
+    /// PA018: a compiled dispatch entry's op, wire type, element size, slot
+    /// offset, hasbit position, or pre-encoded key disagrees with an
+    /// independent re-derivation from the schema. Verifier-only.
+    EntryConsistency,
+    /// PA019: the hardware ADT image in guest memory diverges from the
+    /// software fast-path table — header word or field entry. Verifier-only.
+    AdtEquivalence,
+    /// PA020: a type's span-proportional table memory (software dense table
+    /// or hardware ADT image) exceeds the configured byte budget —
+    /// PA013's span heuristic sharpened to measured bytes. Verifier-only.
+    TableBlowup,
 }
 
 /// Every diagnostic code, in PA-number order.
-pub const ALL_CODES: [DiagCode; 15] = [
+pub const ALL_CODES: [DiagCode; 20] = [
     DiagCode::StackSpill,
     DiagCode::WideKey,
     DiagCode::SparseHasbits,
@@ -190,6 +211,11 @@ pub const ALL_CODES: [DiagCode; 15] = [
     DiagCode::FieldFragmentation,
     DiagCode::UnpackedRepeated,
     DiagCode::ComposedEnvelope,
+    DiagCode::SlotOverlap,
+    DiagCode::DispatchTotality,
+    DiagCode::EntryConsistency,
+    DiagCode::AdtEquivalence,
+    DiagCode::TableBlowup,
 ];
 
 impl DiagCode {
@@ -211,6 +237,11 @@ impl DiagCode {
             DiagCode::FieldFragmentation => "PA013",
             DiagCode::UnpackedRepeated => "PA014",
             DiagCode::ComposedEnvelope => "PA015",
+            DiagCode::SlotOverlap => "PA016",
+            DiagCode::DispatchTotality => "PA017",
+            DiagCode::EntryConsistency => "PA018",
+            DiagCode::AdtEquivalence => "PA019",
+            DiagCode::TableBlowup => "PA020",
         }
     }
 
@@ -232,6 +263,11 @@ impl DiagCode {
             DiagCode::FieldFragmentation => "field-fragmentation",
             DiagCode::UnpackedRepeated => "unpacked-repeated",
             DiagCode::ComposedEnvelope => "composed-envelope",
+            DiagCode::SlotOverlap => "slot-overlap",
+            DiagCode::DispatchTotality => "dispatch-totality",
+            DiagCode::EntryConsistency => "entry-consistency",
+            DiagCode::AdtEquivalence => "adt-equivalence",
+            DiagCode::TableBlowup => "dense-table-blowup",
         }
     }
 
@@ -241,13 +277,20 @@ impl DiagCode {
     /// the stack depth) denies by default among the static codes; everything
     /// else — including recursive types whose instance depth is
     /// data-dependent — warns. The sanitizer codes (PA007–PA009) always
-    /// report genuine model violations, so they all deny.
+    /// report genuine model violations, so they all deny, and so do the
+    /// translation-validation codes PA016–PA019: a disproved table/layout
+    /// property is a compiler bug that silently corrupts data, never a
+    /// schema style concern. PA020 is a budget threshold, so it warns.
     pub fn default_severity(self) -> Severity {
         match self {
             DiagCode::StackSpill
             | DiagCode::EnvelopeViolation
             | DiagCode::LifecycleOrder
-            | DiagCode::ArenaAliasing => Severity::Deny,
+            | DiagCode::ArenaAliasing
+            | DiagCode::SlotOverlap
+            | DiagCode::DispatchTotality
+            | DiagCode::EntryConsistency
+            | DiagCode::AdtEquivalence => Severity::Deny,
             _ => Severity::Warn,
         }
     }
@@ -329,6 +372,11 @@ pub struct LintConfig {
     /// entries, hasbits words, serializer scans) cross the megabyte scale
     /// for a single message type.
     pub fragmentation_span: u64,
+    /// PA020 threshold (verifier mode): widest tolerated span-proportional
+    /// table footprint per type, in bytes — the larger of the software
+    /// dense dispatch table and the hardware ADT image. Default
+    /// [`protoacc_verify::DEFAULT_DENSE_TABLE_BUDGET`] (8 MiB).
+    pub dense_table_budget: u64,
     /// `(code, severity)` overrides, later entries winning.
     pub overrides: Vec<(DiagCode, Severity)>,
 }
@@ -343,6 +391,7 @@ impl Default for LintConfig {
             watchdog_budget: None,
             amplification_limit: 64.0,
             fragmentation_span: 65536,
+            dense_table_budget: protoacc_verify::DEFAULT_DENSE_TABLE_BUDGET,
             overrides: Vec::new(),
         }
     }
@@ -437,7 +486,11 @@ pub enum Nesting {
 ///   `amplification` (worst-case decoded bytes per wire byte) and
 ///   `composed_ceiling` (cross-message composed service ceiling at the
 ///   configured maximum wire length) fields.
-pub const SCHEMA_VERSION: u32 = 4;
+/// * 5 — adds the translation-validation codes PA016–PA020
+///   (`protoacc-verify`, enabled by `--verify`) and the per-type
+///   `table_kind` ("dense"/"sparse" dispatch table shape) and
+///   `table_bytes` (worst span-proportional table footprint) fields.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Wire length (bytes) at which the per-type report envelopes are
 /// evaluated. Envelopes are a function of length; 256 bytes is the paper's
@@ -481,6 +534,12 @@ pub struct TypeSummary {
     /// ([`protoacc_absint::composed_service_ceiling`]); PA015 compares it
     /// against the watchdog budget.
     pub composed_ceiling: Cycles,
+    /// Which dispatch-table shape the fast path compiled for this type.
+    pub table_kind: TableKind,
+    /// Worst span-proportional table footprint in bytes (the larger of the
+    /// software dense table and the hardware ADT image); PA020 compares it
+    /// against [`LintConfig::dense_table_budget`].
+    pub table_bytes: u64,
 }
 
 /// Full analyzer output for one schema.
@@ -634,7 +693,12 @@ impl LintReport {
             ));
             out.push_str(&format!("\"watchdog_ceiling\": {}, ", t.watchdog_ceiling));
             out.push_str(&format!("\"amplification\": {:.3}, ", t.amplification));
-            out.push_str(&format!("\"composed_ceiling\": {}}}", t.composed_ceiling));
+            out.push_str(&format!("\"composed_ceiling\": {}, ", t.composed_ceiling));
+            out.push_str(&format!(
+                "\"table_kind\": {}, ",
+                json_str(t.table_kind.as_str())
+            ));
+            out.push_str(&format!("\"table_bytes\": {}}}", t.table_bytes));
         }
         if self.types.is_empty() {
             out.push_str("],\n");
@@ -789,8 +853,11 @@ pub fn shortest_cycle(schema: &Schema, root: MessageId) -> Option<Vec<String>> {
 /// Runs every check over every message type of `schema`.
 pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
     let layouts = MessageLayouts::compute(schema);
+    let compiled = CompiledSchema::compile(schema);
+    let stats = protoacc_verify::table_stats(schema, &compiled);
     let mut report = LintReport::default();
     for (id, msg) in schema.iter() {
+        let table = &stats[id.index()];
         let layout = layouts.layout(id);
         let nesting = nesting_of(schema, id, &config.accel);
         let working_set = layouts.adt_working_set(schema, id);
@@ -1072,6 +1139,8 @@ pub fn lint_schema(schema: &Schema, config: &LintConfig) -> LintReport {
             watchdog_ceiling,
             amplification: amplification.per_wire_byte,
             composed_ceiling,
+            table_kind: table.kind,
+            table_bytes: table.table_bytes,
         });
     }
     report
@@ -1107,6 +1176,58 @@ pub fn findings_to_diagnostics(findings: &[Finding], config: &LintConfig) -> Vec
             })
         })
         .collect()
+}
+
+/// Maps translation-validator [`protoacc_verify::Violation`]s onto the lint
+/// diagnostic machinery, so PA016–PA020 share severity overrides and
+/// exit-code behavior with the static checks.
+///
+/// PA016–PA019 disprove compiler output, not schema style, so they default
+/// to [`Severity::Deny`]; PA020 is a capacity judgment and defaults to
+/// [`Severity::Warn`].
+pub fn violations_to_diagnostics(
+    violations: &[protoacc_verify::Violation],
+    config: &LintConfig,
+) -> Vec<Diagnostic> {
+    violations
+        .iter()
+        .filter_map(|v| {
+            let code = match v.property {
+                protoacc_verify::Property::SlotOverlap => DiagCode::SlotOverlap,
+                protoacc_verify::Property::DispatchTotality => DiagCode::DispatchTotality,
+                protoacc_verify::Property::EntryConsistency => DiagCode::EntryConsistency,
+                protoacc_verify::Property::AdtEquivalence => DiagCode::AdtEquivalence,
+                protoacc_verify::Property::TableBlowup => DiagCode::TableBlowup,
+            };
+            let severity = config.severity(code);
+            if severity == Severity::Allow {
+                return None;
+            }
+            Some(Diagnostic {
+                code,
+                severity,
+                message_type: v.type_name.clone(),
+                field: None,
+                detail: v.detail.clone(),
+            })
+        })
+        .collect()
+}
+
+/// [`lint_schema`] plus the `protoacc-verify` translation validator: runs
+/// the static checks, then re-proves PA016–PA020 over the compiled dispatch
+/// tables, layout maps, and hardware ADT image, appending any violations as
+/// diagnostics (the `--verify` CLI mode).
+pub fn lint_schema_verified(schema: &Schema, config: &LintConfig) -> LintReport {
+    let mut report = lint_schema(schema, config);
+    let verify_config = protoacc_verify::VerifyConfig {
+        dense_table_budget: config.dense_table_budget,
+    };
+    let verdict = protoacc_verify::verify_schema(schema, &verify_config);
+    report
+        .diagnostics
+        .extend(violations_to_diagnostics(&verdict.violations, config));
+    report
 }
 
 #[cfg(test)]
@@ -1341,7 +1462,7 @@ mod tests {
             Some(DiagCode::WatchdogBudget)
         );
         assert_eq!(DiagCode::WatchdogBudget.default_severity(), Severity::Warn);
-        assert_eq!(ALL_CODES.len(), 15);
+        assert_eq!(ALL_CODES.len(), 20);
         // The new whole-schema codes parse both ways and warn by default.
         for (code, pa, name) in [
             (DiagCode::RecursionCycle, "PA011", "recursion-cycle"),
@@ -1354,6 +1475,24 @@ mod tests {
             assert_eq!(DiagCode::parse(name), Some(code));
             assert_eq!(code.default_severity(), Severity::Warn);
         }
+        // Verifier codes: PA016–PA019 disprove compiler output (deny);
+        // PA020 is a capacity judgment (warn).
+        for (code, pa, name) in [
+            (DiagCode::SlotOverlap, "PA016", "slot-overlap"),
+            (DiagCode::DispatchTotality, "PA017", "dispatch-totality"),
+            (DiagCode::EntryConsistency, "PA018", "entry-consistency"),
+            (DiagCode::AdtEquivalence, "PA019", "adt-equivalence"),
+        ] {
+            assert_eq!(DiagCode::parse(pa), Some(code));
+            assert_eq!(DiagCode::parse(name), Some(code));
+            assert_eq!(code.default_severity(), Severity::Deny);
+        }
+        assert_eq!(DiagCode::parse("PA020"), Some(DiagCode::TableBlowup));
+        assert_eq!(
+            DiagCode::parse("dense-table-blowup"),
+            Some(DiagCode::TableBlowup)
+        );
+        assert_eq!(DiagCode::TableBlowup.default_severity(), Severity::Warn);
     }
 
     #[test]
@@ -1530,5 +1669,61 @@ mod tests {
             .expect("PA010 fires when the ceiling exceeds the budget");
         assert_eq!(diag.severity, Severity::Warn);
         assert!(diag.detail.contains("watchdog budget"));
+    }
+
+    #[test]
+    fn verified_lint_is_clean_and_carries_table_stats() {
+        let schema =
+            parse_proto("message Point { optional int32 x = 1; optional int32 y = 2; }").unwrap();
+        let r = lint_schema_verified(&schema, &LintConfig::default());
+        assert!(r.is_clean(), "unexpected: {:?}", r.diagnostics);
+        assert_eq!(r.types[0].table_kind, TableKind::Dense);
+        assert!(r.types[0].table_bytes > 0);
+        let json = r.render_json();
+        assert!(json.contains("\"table_kind\": \"dense\""));
+        assert!(json.contains("\"table_bytes\": "));
+    }
+
+    #[test]
+    fn verified_lint_fires_pa020_under_a_tight_budget() {
+        let schema =
+            parse_proto("message Point { optional int32 x = 1; optional int32 y = 2; }").unwrap();
+        let tight = LintConfig {
+            dense_table_budget: 1,
+            ..LintConfig::default()
+        };
+        let r = lint_schema_verified(&schema, &tight);
+        let d: Vec<_> = r.with_code(DiagCode::TableBlowup).collect();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].severity, Severity::Warn);
+        assert_eq!(d[0].message_type, "Point");
+    }
+
+    #[test]
+    fn violations_map_onto_diagnostics_with_overrides() {
+        let violations = vec![
+            protoacc_verify::Violation {
+                property: protoacc_verify::Property::SlotOverlap,
+                type_name: "T".to_string(),
+                detail: "slots alias".to_string(),
+            },
+            protoacc_verify::Violation {
+                property: protoacc_verify::Property::AdtEquivalence,
+                type_name: "T".to_string(),
+                detail: "adt diverges".to_string(),
+            },
+        ];
+        let diags = violations_to_diagnostics(&violations, &LintConfig::default());
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].code, DiagCode::SlotOverlap);
+        assert_eq!(diags[0].severity, Severity::Deny);
+        assert_eq!(diags[1].code, DiagCode::AdtEquivalence);
+        let mut quiet = LintConfig::default();
+        quiet
+            .overrides
+            .push((DiagCode::SlotOverlap, Severity::Allow));
+        let diags = violations_to_diagnostics(&violations, &quiet);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::AdtEquivalence);
     }
 }

@@ -10,7 +10,7 @@
 //! PROTOACC_LINT_BLESS=1 cargo test -p protoacc-lint --test json_golden
 //! ```
 
-use protoacc_lint::{lint_schema, LintConfig};
+use protoacc_lint::{lint_schema, lint_schema_verified, violations_to_diagnostics, LintConfig};
 use protoacc_schema::parse_proto;
 
 /// Schema chosen to exercise every output shape: a warn diagnostic
@@ -38,6 +38,75 @@ fn json_report_matches_golden_file() {
         "JSON report drifted from the golden file; if intentional, re-bless \
          (and bump SCHEMA_VERSION on breaking changes)"
     );
+}
+
+/// Pins the JSON rendering of every verifier code PA016–PA020. Clean
+/// in-tree schemas never trip PA016–PA019 (that is the point of translation
+/// validation), so those four are staged as synthetic
+/// [`protoacc_verify::Violation`]s through the same
+/// [`violations_to_diagnostics`] mapping the `--verify` mode uses; PA020 is
+/// produced for real by shrinking the table budget below the golden
+/// schema's footprint.
+#[test]
+fn verify_report_matches_golden_file() {
+    let schema = parse_proto(GOLDEN_PROTO).unwrap();
+    let tight = LintConfig {
+        dense_table_budget: 1,
+        ..LintConfig::default()
+    };
+    let mut report = lint_schema_verified(&schema, &tight);
+
+    let synthetic: Vec<protoacc_verify::Violation> = [
+        (
+            protoacc_verify::Property::SlotOverlap,
+            "slot [8, 16) for field 2 aliases slot [8, 16) for field 3",
+        ),
+        (
+            protoacc_verify::Property::DispatchTotality,
+            "dense table resolves undefined field number 7",
+        ),
+        (
+            protoacc_verify::Property::EntryConsistency,
+            "field 2 op: schema implies Varint64, table holds Fixed64",
+        ),
+        (
+            protoacc_verify::Property::AdtEquivalence,
+            "field 2 hw offset 24 != sw offset 16",
+        ),
+    ]
+    .into_iter()
+    .map(|(property, detail)| protoacc_verify::Violation {
+        property,
+        type_name: "Node".to_string(),
+        detail: detail.to_string(),
+    })
+    .collect();
+    report
+        .diagnostics
+        .extend(violations_to_diagnostics(&synthetic, &tight));
+    let json = report.render_json();
+
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/verify_report.json"
+    );
+    if std::env::var_os("PROTOACC_LINT_BLESS").is_some() {
+        std::fs::write(golden_path, &json).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing; bless with PROTOACC_LINT_BLESS=1");
+    assert_eq!(
+        json, golden,
+        "verify JSON report drifted from the golden file; if intentional, \
+         re-bless (and bump SCHEMA_VERSION on breaking changes)"
+    );
+    for code in ["PA016", "PA017", "PA018", "PA019", "PA020"] {
+        assert!(
+            golden.contains(&format!("\"code\": \"{code}\"")),
+            "golden must cover {code}"
+        );
+    }
 }
 
 #[test]

@@ -175,6 +175,14 @@ impl MessageLayout {
         numbers
     }
 
+    /// Every `(field_number, slot)` pair in ascending field-number order —
+    /// the verifier's view of the layout for overlap/bounds auditing.
+    pub fn slots(&self) -> Vec<(u32, FieldSlot)> {
+        let mut pairs: Vec<(u32, FieldSlot)> = self.slots.iter().map(|(n, s)| (*n, *s)).collect();
+        pairs.sort_unstable_by_key(|(n, _)| *n);
+        pairs
+    }
+
     /// Sparse hasbits position of a field: `(byte offset within the hasbits
     /// array, bit index)`. The accelerator indexes the array directly by
     /// `field_number - min_field` (Section 4.2).

@@ -53,5 +53,6 @@ pub use protoacc_mem as mem;
 pub use protoacc_runtime as runtime;
 pub use protoacc_schema as schema;
 pub use protoacc_trace as trace;
+pub use protoacc_verify as verify;
 pub use protoacc_wire as wire;
 pub use xrand;

@@ -18,7 +18,7 @@
 
 use std::path::{Path, PathBuf};
 
-use protoacc_suite::lint::{lint_schema, DiagCode, LintConfig, LintReport};
+use protoacc_suite::lint::{lint_schema, lint_schema_verified, DiagCode, LintConfig, LintReport};
 use protoacc_suite::schema::{
     encode_descriptor_set, parse_descriptor_set, parse_proto, render_proto, Schema,
 };
@@ -198,6 +198,65 @@ fn corpus_trips_every_new_analysis_code() {
         "PA015 missing on Block at budget {}: {:?}",
         block.watchdog_ceiling,
         armed.diagnostics
+    );
+}
+
+/// PA016–PA020 over every checked-in `protos/chain/*.binpb`: the
+/// translation validator re-proves the compiled artifact plane for every
+/// binary-ingested corpus schema, silently (the compiler's real output is
+/// correct), and its `--verify` JSON is byte-identical between the
+/// text-parsed and descriptor-set front-ends — including under a table
+/// budget tight enough to arm PA020 on the fragmented `Vote` type.
+#[test]
+fn verifier_runs_clean_and_identically_over_binpb_fixtures() {
+    // chain/Vote's hardware ADT footprint is ~4 MiB (span 250000); a 1 MiB
+    // budget arms PA020 there while the default 8 MiB stays silent.
+    let tight = LintConfig {
+        dense_table_budget: 1 << 20,
+        ..LintConfig::default()
+    };
+    let mut seen = 0;
+    let mut pa020_fired = false;
+    for path in all_protos() {
+        if !path.parent().is_some_and(|p| p.ends_with("chain")) {
+            continue;
+        }
+        seen += 1;
+        let name = file_name(&path);
+        let text_schema = load_text(&path);
+        let binpb = path.with_extension("binpb");
+        let bin_schema = parse_descriptor_set(&std::fs::read(&binpb).unwrap()).unwrap();
+
+        let default_report = lint_schema_verified(&bin_schema, &LintConfig::default());
+        for code in [
+            DiagCode::SlotOverlap,
+            DiagCode::DispatchTotality,
+            DiagCode::EntryConsistency,
+            DiagCode::AdtEquivalence,
+            DiagCode::TableBlowup,
+        ] {
+            assert_eq!(
+                default_report.with_code(code).count(),
+                0,
+                "{name}: {code} fired on a clean binary-ingested schema"
+            );
+        }
+        for config in [&LintConfig::default(), &tight] {
+            let text_json = lint_schema_verified(&text_schema, config).render_json();
+            let bin_json = lint_schema_verified(&bin_schema, config).render_json();
+            assert_eq!(
+                text_json, bin_json,
+                "{name}: --verify JSON differs between front-ends"
+            );
+        }
+        pa020_fired |= lint_schema_verified(&bin_schema, &tight)
+            .with_code(DiagCode::TableBlowup)
+            .any(|d| d.message_type == "Vote");
+    }
+    assert_eq!(seen, 4, "expected 4 chain corpus fixtures");
+    assert!(
+        pa020_fired,
+        "PA020 must arm on Vote under the 1 MiB table budget"
     );
 }
 
