@@ -49,6 +49,15 @@
 #                           sanitizer inputs match the live cluster), then
 #                           profile_report --reparse re-parses the file and
 #                           re-runs the accounting audit offline
+#  11. rpc serving gate    serve_rpc --smoke sweeps offered load through 2x
+#                           saturation under open- and closed-loop traffic
+#                           (fails on an accounting leak — every offered
+#                           request must land in exactly one of ok/fallback/
+#                           rejected/failed/shed —, a queue-overflow drop,
+#                           nondeterministic replay, goodput at 2x below 80%
+#                           of peak, or an inert admission controller; emits
+#                           target/BENCH_rpc.json), plus the frame-corruption
+#                           corpus and the loop-discipline equivalence test
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -127,5 +136,10 @@ cargo run --offline -q --release -p protoacc-bench --bin serve_tail_latency -- \
 cargo run --offline -q --release -p protoacc-bench --bin profile_report -- \
     --reparse target/ci_trace.json
 cargo test --offline -q --test trace_accounting
+
+echo "== rpc serving gate (framing, admission shedding, loop disciplines) =="
+cargo run --offline -q --release -p protoacc-bench --bin serve_rpc -- \
+    --smoke --out target/BENCH_rpc.json
+cargo test --offline -q --test rpc_frames --test rpc_loop_equivalence
 
 echo "CI OK"

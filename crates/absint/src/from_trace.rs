@@ -23,18 +23,23 @@ use crate::{sanitize, Finding, ServiceBounds};
 /// from a trace stream.
 ///
 /// Every admitted command emits `cmd_enqueue` and exactly one
-/// `cmd_complete`; shed arrivals emit `cmd_drop` instead. Statuses are
-/// rebuilt from the outcome tag with a representative fault (the typed
-/// detail does not survive the trace).
+/// `cmd_complete`; overflow drops emit `cmd_drop` instead, and
+/// admission-shed commands emit `cmd_shed` (plus a terminal `cmd_complete`,
+/// but deliberately no `cmd_enqueue` — they never occupy a queue slot), so
+/// the offered total is `enqueued + dropped + shed`. Statuses are rebuilt
+/// from the outcome tag with a representative fault (the typed detail does
+/// not survive the trace).
 #[must_use]
 pub fn records_from_trace(events: &[TraceEvent]) -> (Vec<CommandRecord>, u64, u64) {
     let mut records = Vec::new();
     let mut enqueued: u64 = 0;
     let mut dropped: u64 = 0;
+    let mut shed: u64 = 0;
     for e in events {
         match *e {
             TraceEvent::CmdEnqueue { .. } => enqueued += 1,
             TraceEvent::CmdDrop { .. } => dropped += 1,
+            TraceEvent::CmdShed { .. } => shed += 1,
             TraceEvent::CmdComplete {
                 seq,
                 enqueue,
@@ -63,12 +68,13 @@ pub fn records_from_trace(events: &[TraceEvent]) -> (Vec<CommandRecord>, u64, u6
                     CmdOutcome::Fallback => CommandStatus::Fallback,
                     CmdOutcome::Rejected => CommandStatus::Rejected(DecodeFault::SchemaMismatch),
                     CmdOutcome::Failed => CommandStatus::Failed(DecodeFault::InstanceFailure),
+                    CmdOutcome::Shed => CommandStatus::Shed,
                 },
             }),
             _ => {}
         }
     }
-    (records, enqueued + dropped, dropped)
+    (records, enqueued + dropped + shed, dropped)
 }
 
 /// Rebuilds per-command memory footprints from a trace stream.
@@ -198,13 +204,23 @@ mod tests {
             },
             TraceEvent::CmdDrop { seq: 1, at: 0 },
             complete(0, 0, CmdOutcome::Ok),
+            // Admission-shed command: cmd_shed + terminal complete, no
+            // cmd_enqueue — it still counts toward the offered total.
+            TraceEvent::CmdShed {
+                seq: 2,
+                at: 0,
+                deadline: 100,
+                estimate: 900,
+            },
+            complete(2, protoacc_trace::FALLBACK_TRACK, CmdOutcome::Shed),
         ];
         let (records, offered, dropped) = records_from_trace(&events);
-        assert_eq!(records.len(), 1);
-        assert_eq!((offered, dropped), (2, 1));
+        assert_eq!(records.len(), 2);
+        assert_eq!((offered, dropped), (3, 1));
         assert_eq!(records[0].seq, 0);
         assert_eq!(records[0].status, CommandStatus::Ok);
         assert_eq!(records[0].service, 20);
+        assert_eq!(records[1].status, CommandStatus::Shed);
     }
 
     #[test]

@@ -124,6 +124,8 @@ fn to_requests(events: &[TrafficEvent], staged: &[StagedProto]) -> Vec<Request> 
             Request {
                 arrival: e.arrival,
                 watchdog: None,
+                deadline: None,
+                cost: None,
                 op: if e.deser {
                     RequestOp::Deserialize {
                         adt_ptr: s.adt_ptr,
@@ -163,6 +165,8 @@ fn to_requests_isolated(
             Request {
                 arrival: e.arrival,
                 watchdog: None,
+                deadline: None,
+                cost: None,
                 op: if e.deser {
                     RequestOp::Deserialize {
                         adt_ptr: s.adt_ptr,
@@ -608,6 +612,8 @@ fn to_requests_watchdogged(
                 Request {
                     arrival: e.arrival,
                     watchdog: Some(deser_env.service_bounds(input_len.max(1), instances).upper),
+                    deadline: None,
+                    cost: None,
                     op: RequestOp::Deserialize {
                         adt_ptr: s.adt_ptr,
                         input_addr,
@@ -620,6 +626,8 @@ fn to_requests_watchdogged(
                 Request {
                     arrival: e.arrival,
                     watchdog: Some(ser_env.service_bounds(s.input_len, instances).upper),
+                    deadline: None,
+                    cost: None,
                     op: RequestOp::Serialize {
                         adt_ptr: s.adt_ptr,
                         obj_ptr: s.obj_ptr,
@@ -750,7 +758,7 @@ fn run_faulted(
     cluster
         .run_with(&mut mem, &requests, &faults, Some(&mut fb))
         .expect("serve run succeeds");
-    let (ok, fallback, rejected, failed) = cluster.status_counts();
+    let (ok, fallback, rejected, failed, _) = cluster.status_counts();
     FaultRunResult {
         offered: cluster.offered(),
         completed: cluster.records().len(),

@@ -54,6 +54,8 @@ fn serve_report(instances: usize, policy: DispatchPolicy) -> String {
             Request {
                 arrival: e.arrival,
                 watchdog: None,
+                deadline: None,
+                cost: None,
                 op: if e.deser {
                     RequestOp::Deserialize {
                         adt_ptr: adts.addr(type_id),

@@ -48,16 +48,23 @@ pub enum CommandStatus {
     /// client got an answer, and the differential harness checks its class
     /// against the CPU reference decoder.
     Rejected(DecodeFault),
-    /// Exhausted its retries with no fallback available: the only status
-    /// that counts as *not* served.
+    /// Exhausted its retries with no fallback available: together with
+    /// [`CommandStatus::Shed`], the statuses that count as *not* served.
     Failed(DecodeFault),
+    /// Shed by admission control before enqueue: the envelope-derived cost
+    /// estimate predicted the request's deadline would be blown, so the
+    /// cluster pushed back immediately instead of queueing doomed work.
+    /// Distinct from [`CommandStatus::Rejected`] (the input was fine) and
+    /// [`CommandStatus::Failed`] (no capacity was consumed trying).
+    Shed,
 }
 
 impl CommandStatus {
     /// Whether the client received a definitive response (success or a
-    /// typed rejection).
+    /// typed rejection). Shed requests got a fast pushback, not an answer,
+    /// so they do not count.
     pub fn is_served(self) -> bool {
-        !matches!(self, CommandStatus::Failed(_))
+        !matches!(self, CommandStatus::Failed(_) | CommandStatus::Shed)
     }
 
     /// Whether the command produced correct output (on either path).
@@ -182,6 +189,17 @@ pub struct Request {
     /// longer, so an attempt that does is killed (`DecodeFault::WatchdogKill`)
     /// instead of wedging the instance. `None` disables the watchdog.
     pub watchdog: Option<Cycles>,
+    /// Absolute completion deadline propagated from the transport layer's
+    /// frame metadata (arrival + the client's budget). Admission control
+    /// sheds the request up front when [`Request::cost`] predicts a miss,
+    /// and an admitted attempt's ceiling is min-combined with the budget
+    /// remaining at dispatch. `None` disables both.
+    pub deadline: Option<Cycles>,
+    /// Admission-control cost estimate for one uncontended service attempt:
+    /// the abstract-interpretation envelope's upper bound
+    /// (`Envelope::service_bounds(...).upper`). Only consulted when
+    /// [`Request::deadline`] is also set.
+    pub cost: Option<Cycles>,
 }
 
 /// Per-command accounting: the three queue timestamps plus attribution.
@@ -280,6 +298,12 @@ pub struct ServeConfig {
     /// Retryable faults an instance may absorb before it is quarantined and
     /// receives no further dispatches.
     pub quarantine_threshold: u32,
+    /// Consecutive successful completions on an instance that forgive one
+    /// absorbed retryable fault (the counter decays by one and the streak
+    /// restarts). Keeps a long-lived instance from sitting permanently one
+    /// transient fault away from quarantine. `0` disables decay (the old
+    /// sticky behavior).
+    pub quarantine_decay: u32,
     /// Cluster-wide per-attempt deadline, combined (min) with each request's
     /// own watchdog ceiling. `None` disables it.
     pub deadline: Option<Cycles>,
@@ -295,6 +319,7 @@ impl Default for ServeConfig {
             max_retries: 2,
             retry_backoff: 64,
             quarantine_threshold: 3,
+            quarantine_decay: 64,
             deadline: None,
         }
     }
@@ -408,6 +433,11 @@ pub struct ServeCluster {
     last_footprint: Option<CommandFootprint>,
     /// Retryable faults absorbed per instance (quarantine counter).
     fault_counts: Vec<u32>,
+    /// Consecutive successful completions per instance since its last
+    /// retryable fault, for quarantine-counter decay.
+    ok_streaks: Vec<u32>,
+    /// Requests shed by admission control (deadline-based, before enqueue).
+    shed: u64,
     /// Instances killed by a scripted crash or hang.
     dead: Vec<bool>,
     /// The software fallback path is one serialized virtual CPU server.
@@ -450,6 +480,8 @@ impl ServeCluster {
             footprints: Vec::new(),
             last_footprint: None,
             fault_counts: vec![0; config.instances],
+            ok_streaks: vec![0; config.instances],
+            shed: 0,
             dead: vec![false; config.instances],
             cpu_busy_until: 0,
             retries: 0,
@@ -557,115 +589,127 @@ impl ServeCluster {
             while pending.peek().is_some_and(|Reverse(d)| *d <= req.arrival) {
                 pending.pop();
             }
-            if pending.len() >= self.config.queue_depth {
-                self.dropped += 1;
+            // Admission control runs before enqueue: a doomed request is
+            // shed immediately instead of consuming a queue slot.
+            let shed = self.admission_shed(req, seq, &script);
+            let record = if let Some(rec) = shed {
+                rec
+            } else {
+                if pending.len() >= self.config.queue_depth {
+                    self.dropped += 1;
+                    if self.tracer.is_some() {
+                        self.emit(protoacc_trace::TraceEvent::CmdDrop {
+                            seq,
+                            at: req.arrival,
+                        });
+                    }
+                    continue;
+                }
                 if self.tracer.is_some() {
-                    self.emit(protoacc_trace::TraceEvent::CmdDrop {
+                    self.emit(protoacc_trace::TraceEvent::CmdEnqueue {
                         seq,
                         at: req.arrival,
+                        wire_bytes: match req.op {
+                            RequestOp::Deserialize { input_len, .. } => input_len,
+                            RequestOp::Serialize { .. } => 0,
+                        },
+                        deser: req.op.is_deser(),
                     });
                 }
-                continue;
-            }
-            if self.tracer.is_some() {
-                self.emit(protoacc_trace::TraceEvent::CmdEnqueue {
-                    seq,
-                    at: req.arrival,
-                    wire_bytes: match req.op {
-                        RequestOp::Deserialize { input_len, .. } => input_len,
-                        RequestOp::Serialize { .. } => 0,
-                    },
-                    deser: req.op.is_deser(),
-                });
-            }
-            let mut now = req.arrival;
-            let mut attempts: u32 = 0;
-            let mut exclude = None;
-            let mut last_fault = DecodeFault::InstanceFailure;
-            let record = loop {
-                // The cluster notices scripted deaths as the clock passes
-                // them, whether or not a command was in flight.
-                for i in 0..self.config.instances {
-                    if script.down(i, now) {
-                        self.dead[i] = true;
+                let mut now = req.arrival;
+                let mut attempts: u32 = 0;
+                let mut exclude = None;
+                let mut last_fault = DecodeFault::InstanceFailure;
+                loop {
+                    // The cluster notices scripted deaths as the clock passes
+                    // them, whether or not a command was in flight.
+                    for i in 0..self.config.instances {
+                        if script.down(i, now) {
+                            self.dead[i] = true;
+                        }
                     }
-                }
-                let Some(instance) = self.pick_instance(seq, now, exclude, &script) else {
-                    break self.degrade(
-                        mem,
-                        req,
+                    let Some(instance) = self.pick_instance(seq, now, exclude, &script) else {
+                        break self.degrade(
+                            mem,
+                            req,
+                            seq,
+                            now,
+                            attempts.max(1),
+                            last_fault,
+                            &mut fallback,
+                        );
+                    };
+                    attempts += 1;
+                    let dispatch = now.max(self.busy_until[instance]);
+                    if attempts == 1 {
+                        pending.push(Reverse(dispatch));
+                    }
+                    if self.tracer.is_some() {
+                        self.emit(protoacc_trace::TraceEvent::CmdDispatch {
+                            seq,
+                            at: dispatch,
+                            instance,
+                            attempt: attempts,
+                        });
+                    }
+                    let a = self.attempt(mem, req, seq, instance, dispatch, &script);
+                    self.busy_until[instance] = dispatch + a.service;
+                    let done = |status: CommandStatus, wire_bytes: u64| CommandRecord {
                         seq,
-                        now,
-                        attempts.max(1),
-                        last_fault,
-                        &mut fallback,
-                    );
-                };
-                attempts += 1;
-                let dispatch = now.max(self.busy_until[instance]);
-                if attempts == 1 {
-                    pending.push(Reverse(dispatch));
-                }
-                if self.tracer.is_some() {
-                    self.emit(protoacc_trace::TraceEvent::CmdDispatch {
-                        seq,
-                        at: dispatch,
+                        enqueue: req.arrival,
+                        dispatch,
+                        complete: dispatch + a.service,
+                        service: a.service,
                         instance,
-                        attempt: attempts,
-                    });
-                }
-                let a = self.attempt(mem, req, seq, instance, dispatch, &script);
-                self.busy_until[instance] = dispatch + a.service;
-                let done = |status: CommandStatus, wire_bytes: u64| CommandRecord {
-                    seq,
-                    enqueue: req.arrival,
-                    dispatch,
-                    complete: dispatch + a.service,
-                    service: a.service,
-                    instance,
-                    wire_bytes,
-                    deser: req.op.is_deser(),
-                    sharers: a.sharers,
-                    status,
-                    attempts,
-                };
-                match a.verdict {
-                    Ok(wire_bytes) => break done(CommandStatus::Ok, wire_bytes),
-                    Err(fault) if !fault.category().is_retryable() => {
-                        break done(CommandStatus::Rejected(fault), 0);
-                    }
-                    Err(fault) => {
-                        self.fault_counts[instance] += 1;
-                        if a.instance_dead {
-                            self.dead[instance] = true;
+                        wire_bytes,
+                        deser: req.op.is_deser(),
+                        sharers: a.sharers,
+                        status,
+                        attempts,
+                    };
+                    match a.verdict {
+                        Ok(wire_bytes) => {
+                            self.note_success(instance);
+                            break done(CommandStatus::Ok, wire_bytes);
                         }
-                        last_fault = fault;
-                        if attempts > self.config.max_retries {
-                            break self.degrade(
-                                mem,
-                                req,
-                                seq,
-                                dispatch + a.service,
-                                attempts,
-                                fault,
-                                &mut fallback,
-                            );
+                        Err(fault) if !fault.category().is_retryable() => {
+                            self.note_success(instance);
+                            break done(CommandStatus::Rejected(fault), 0);
                         }
-                        self.retries += 1;
-                        if self.tracer.is_some() {
-                            self.emit(protoacc_trace::TraceEvent::CmdRetry {
-                                seq,
-                                at: dispatch + a.service,
-                                instance,
-                                attempt: attempts,
-                            });
+                        Err(fault) => {
+                            self.fault_counts[instance] += 1;
+                            self.ok_streaks[instance] = 0;
+                            if a.instance_dead {
+                                self.dead[instance] = true;
+                            }
+                            last_fault = fault;
+                            if attempts > self.config.max_retries {
+                                break self.degrade(
+                                    mem,
+                                    req,
+                                    seq,
+                                    dispatch + a.service,
+                                    attempts,
+                                    fault,
+                                    &mut fallback,
+                                );
+                            }
+                            self.retries += 1;
+                            if self.tracer.is_some() {
+                                self.emit(protoacc_trace::TraceEvent::CmdRetry {
+                                    seq,
+                                    at: dispatch + a.service,
+                                    instance,
+                                    attempt: attempts,
+                                });
+                            }
+                            let backoff = self
+                                .config
+                                .retry_backoff
+                                .saturating_mul(1 << u64::from(attempts - 1).min(16));
+                            now = (dispatch + a.service).saturating_add(backoff);
+                            exclude = Some(instance);
                         }
-                        let backoff = self
-                            .config
-                            .retry_backoff
-                            .saturating_mul(1 << u64::from(attempts - 1).min(16));
-                        now = (dispatch + a.service).saturating_add(backoff);
-                        exclude = Some(instance);
                     }
                 }
             };
@@ -696,6 +740,7 @@ impl ServeCluster {
                         CommandStatus::Fallback => protoacc_trace::CmdOutcome::Fallback,
                         CommandStatus::Rejected(_) => protoacc_trace::CmdOutcome::Rejected,
                         CommandStatus::Failed(_) => protoacc_trace::CmdOutcome::Failed,
+                        CommandStatus::Shed => protoacc_trace::CmdOutcome::Shed,
                     },
                 });
             }
@@ -705,6 +750,68 @@ impl ServeCluster {
             mem.system.set_event_tracer(None);
         }
         Ok(())
+    }
+
+    /// The shed rung of the degradation ladder (above retry): a request
+    /// carrying both a deadline and a cost estimate is turned away before
+    /// enqueue when even the earliest eligible instance's free time plus
+    /// one envelope-ceiling service attempt already blows the deadline.
+    /// The shed consumes no queue slot and no instance time; the record's
+    /// one-cycle pushback lives on the fallback sentinel track.
+    fn admission_shed(
+        &mut self,
+        req: &Request,
+        seq: usize,
+        script: &FaultScript,
+    ) -> Option<CommandRecord> {
+        let deadline = req.deadline?;
+        let cost = req.cost?;
+        let instance = self.pick_instance(seq, req.arrival, None, script)?;
+        let estimate = req
+            .arrival
+            .max(self.busy_until[instance])
+            .saturating_add(cost);
+        if estimate <= deadline {
+            return None;
+        }
+        self.shed += 1;
+        if self.tracer.is_some() {
+            self.emit(protoacc_trace::TraceEvent::CmdShed {
+                seq,
+                at: req.arrival,
+                deadline,
+                estimate,
+            });
+        }
+        Some(CommandRecord {
+            seq,
+            enqueue: req.arrival,
+            dispatch: req.arrival,
+            complete: req.arrival + 1,
+            service: 1,
+            instance: FALLBACK_INSTANCE,
+            wire_bytes: 0,
+            deser: req.op.is_deser(),
+            sharers: 1,
+            status: CommandStatus::Shed,
+            attempts: 0,
+        })
+    }
+
+    /// Credits one successful completion toward `instance`'s quarantine
+    /// decay: after [`ServeConfig::quarantine_decay`] consecutive clean
+    /// completions, one absorbed retryable fault is forgiven.
+    fn note_success(&mut self, instance: usize) {
+        let decay = self.config.quarantine_decay;
+        if decay == 0 || self.fault_counts[instance] == 0 {
+            self.ok_streaks[instance] = 0;
+            return;
+        }
+        self.ok_streaks[instance] += 1;
+        if self.ok_streaks[instance] >= decay {
+            self.fault_counts[instance] -= 1;
+            self.ok_streaks[instance] = 0;
+        }
     }
 
     /// Picks an instance for dispatch at `now`, honoring the policy, the
@@ -852,11 +959,18 @@ impl ServeCluster {
             instance_dead = true;
         }
         // Watchdog / deadline ceiling: the attempt is killed at the ceiling
-        // instead of holding the instance.
-        let ceiling = match (req.watchdog, self.config.deadline) {
-            (Some(w), Some(d)) => Some(w.min(d)),
-            (w, d) => w.or(d),
-        };
+        // instead of holding the instance. A request deadline propagated
+        // from the transport layer min-combines as the budget remaining at
+        // dispatch (an attempt that would finish past the client's deadline
+        // is worthless, so it is cut off there).
+        let ceiling = [
+            req.watchdog,
+            self.config.deadline,
+            req.deadline.map(|d| d.saturating_sub(dispatch)),
+        ]
+        .into_iter()
+        .flatten()
+        .min();
         if let Some(limit) = ceiling {
             if service > limit {
                 service = limit.max(1);
@@ -989,6 +1103,12 @@ impl ServeCluster {
         self.dropped
     }
 
+    /// Requests shed by admission control before enqueue (deadline-based
+    /// load shedding; distinct from queue-overflow [`ServeCluster::dropped`]).
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
     /// Retry attempts performed across the run.
     pub fn retries(&self) -> u64 {
         self.retries
@@ -1001,15 +1121,16 @@ impl ServeCluster {
     }
 
     /// Commands resolved with each terminal status, as
-    /// `(ok, fallback, rejected, failed)`.
-    pub fn status_counts(&self) -> (u64, u64, u64, u64) {
-        let mut c = (0, 0, 0, 0);
+    /// `(ok, fallback, rejected, failed, shed)`.
+    pub fn status_counts(&self) -> (u64, u64, u64, u64, u64) {
+        let mut c = (0, 0, 0, 0, 0);
         for r in &self.records {
             match r.status {
                 CommandStatus::Ok => c.0 += 1,
                 CommandStatus::Fallback => c.1 += 1,
                 CommandStatus::Rejected(_) => c.2 += 1,
                 CommandStatus::Failed(_) => c.3 += 1,
+                CommandStatus::Shed => c.4 += 1,
             }
         }
         c
@@ -1212,6 +1333,8 @@ mod tests {
             .map(|i| Request {
                 arrival: i as Cycles * gap,
                 watchdog: None,
+                deadline: None,
+                cost: None,
                 op: if i % 2 == 0 {
                     RequestOp::Deserialize {
                         adt_ptr: f.adt_ptr,
@@ -1436,6 +1559,8 @@ mod tests {
         let reqs = vec![Request {
             arrival: 0,
             watchdog: None,
+            deadline: None,
+            cost: None,
             op: RequestOp::Deserialize {
                 adt_ptr: f.adt_ptr,
                 input_addr: f.input_addr,
@@ -1575,8 +1700,8 @@ mod tests {
         cluster.check_invariants().unwrap();
         assert_eq!(cluster.served(), 8, "fallback must absorb all load");
         assert_eq!(fb.calls, 8);
-        let (ok, fallback, rejected, failed) = cluster.status_counts();
-        assert_eq!((ok, fallback, rejected, failed), (0, 8, 0, 0));
+        let (ok, fallback, rejected, failed, shed) = cluster.status_counts();
+        assert_eq!((ok, fallback, rejected, failed, shed), (0, 8, 0, 0, 0));
         // The software path is serialized: completions stack up behind one
         // virtual CPU server.
         let mut last = 0;
@@ -1657,6 +1782,127 @@ mod tests {
             assert!(r.status.is_ok(), "cmd {} resolved {:?}", r.seq, r.status);
             assert_eq!(r.instance, 1);
         }
+    }
+
+    fn deser_requests(f: &Fixture, n: usize, gap: Cycles) -> Vec<Request> {
+        (0..n)
+            .map(|i| Request {
+                arrival: i as Cycles * gap,
+                watchdog: None,
+                deadline: None,
+                cost: None,
+                op: RequestOp::Deserialize {
+                    adt_ptr: f.adt_ptr,
+                    input_addr: f.input_addr,
+                    input_len: f.input_len,
+                    dest_obj: f.dest_obj,
+                    min_field: f.min_field,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn admission_sheds_doomed_requests_before_enqueue() {
+        let mut f = fixture();
+        // A burst of simultaneous arrivals, each claiming a cost estimate
+        // and a deadline only the first few can meet: the backlog estimate
+        // (busy_until + cost) grows past the deadline, and everything past
+        // that point is shed up front rather than queued to time out.
+        let cost = 50_000;
+        let mut reqs = mixed_requests(&f, 16, 0);
+        for r in &mut reqs {
+            r.arrival = 0;
+            // Slack covers the cost estimate plus a little backlog: once
+            // earlier commands push busy_until past the slack, later
+            // arrivals' estimates blow the deadline and they are shed.
+            r.deadline = Some(cost + 1_000);
+            r.cost = Some(cost);
+        }
+        let mut cluster = ServeCluster::new(ServeConfig::default(), 0x1_0000_0000, 1 << 24);
+        cluster.run(&mut f.mem, &reqs).unwrap();
+        cluster.check_invariants().unwrap();
+        let (ok, fallback, rejected, failed, shed) = cluster.status_counts();
+        assert!(shed > 0, "an overloaded burst must shed");
+        assert!(ok > 0, "the head of the burst must still be served");
+        assert_eq!((fallback, rejected, failed), (0, 0, 0));
+        assert_eq!(cluster.shed(), shed);
+        assert_eq!(cluster.dropped(), 0, "admission ran before queue overflow");
+        // Every offered command is accounted to exactly one terminal status.
+        assert_eq!(ok + fallback + rejected + failed + shed, cluster.offered());
+        for r in cluster.records() {
+            if r.status == CommandStatus::Shed {
+                assert_eq!(r.instance, FALLBACK_INSTANCE);
+                assert_eq!(r.attempts, 0, "shed consumes no service attempt");
+                assert_eq!(r.service, 1, "shed is a one-cycle pushback");
+                assert!(!r.status.is_served());
+                assert!(!r.status.is_ok());
+            }
+        }
+        // Shed commands never occupied an instance: the served commands are
+        // exactly those the accelerator ran.
+        assert_eq!(cluster.served(), ok);
+    }
+
+    #[test]
+    fn request_deadline_propagates_into_the_attempt_ceiling() {
+        // Without a cost estimate admission cannot shed, so the deadline
+        // rides into the dispatch path and kills the attempt at the
+        // remaining budget — the min-combine with the watchdog.
+        let mut f = fixture();
+        let mut reqs = mixed_requests(&f, 1, 0);
+        reqs[0].deadline = Some(3); // hopeless: service needs far more
+        let mut cluster = ServeCluster::new(ServeConfig::default(), 0x1_0000_0000, 1 << 24);
+        cluster.run(&mut f.mem, &reqs).unwrap();
+        cluster.check_invariants().unwrap();
+        let r = &cluster.records()[0];
+        assert_eq!(r.status, CommandStatus::Failed(DecodeFault::WatchdogKill));
+
+        // A generous deadline changes nothing.
+        let mut f2 = fixture();
+        let mut ok_reqs = mixed_requests(&f2, 1, 0);
+        ok_reqs[0].deadline = Some(1 << 40);
+        let mut relaxed = ServeCluster::new(ServeConfig::default(), 0x1_0000_0000, 1 << 24);
+        relaxed.run(&mut f2.mem, &ok_reqs).unwrap();
+        assert_eq!(relaxed.records()[0].status, CommandStatus::Ok);
+    }
+
+    #[test]
+    fn quarantine_counter_decays_after_a_run_of_successes() {
+        // One instance, threshold 2: two absorbed faults would quarantine
+        // it. With decay enabled, a run of clean completions between the
+        // faults forgives the first one, so the instance stays in rotation;
+        // with decay disabled (the old sticky behavior) the second fault
+        // quarantines it and — with no fallback — later commands fail.
+        let run = |decay: u32| {
+            let mut f = fixture();
+            let cfg = ServeConfig {
+                quarantine_threshold: 2,
+                quarantine_decay: decay,
+                ..ServeConfig::default()
+            };
+            let mut cluster = ServeCluster::new(cfg, 0x1_0000_0000, 1 << 24);
+            let first = deser_requests(&f, 8, 100_000);
+            let second = deser_requests(&f, 4, 100_000);
+            f.mem.system.arm_ecc(f.input_addr);
+            cluster.run(&mut f.mem, &first).unwrap();
+            f.mem.system.arm_ecc(f.input_addr);
+            cluster.run(&mut f.mem, &second).unwrap();
+            cluster.check_invariants().unwrap();
+            (
+                cluster.quarantined_instances(),
+                cluster.status_counts(),
+                cluster.offered(),
+            )
+        };
+        let (quarantined, (ok, _, _, failed, _), offered) = run(4);
+        assert_eq!(quarantined, Vec::<usize>::new(), "decay forgave the fault");
+        assert_eq!(failed, 0);
+        assert_eq!(ok, offered, "every command served on the accelerator");
+
+        let (sticky_quarantined, (_, _, _, sticky_failed, _), _) = run(0);
+        assert_eq!(sticky_quarantined, vec![0], "sticky counter quarantines");
+        assert!(sticky_failed > 0, "no instance and no fallback => failures");
     }
 
     #[test]

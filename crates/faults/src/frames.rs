@@ -1,0 +1,184 @@
+//! Frame-plane corruption: seeded generators over the RPC transport's
+//! 5-byte length-prefixed frames (`protoacc-rpc`'s `flag + u32 BE length +
+//! payload` convention), mirroring the wire-plane generators in
+//! [`wire`](crate::wire). Every fault class the frame decoder must answer
+//! with a typed `FrameError` — truncated prefixes, truncated bodies,
+//! lengths past the decoder ceiling, reserved flag bytes — plus a
+//! length-field jitter class that desynchronizes framing mid-stream.
+
+use xrand::Rng;
+
+/// Bytes in the frame prefix (flag byte + big-endian `u32` length), kept in
+/// sync with `protoacc_rpc::FRAME_HEADER_LEN` by test.
+pub const FRAME_PREFIX_LEN: usize = 5;
+
+/// The frame-plane fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FrameFault {
+    /// The stream cut inside the 5-byte prefix.
+    HeaderTruncate,
+    /// The stream cut inside the declared payload.
+    BodyTruncate,
+    /// The length field inflated to declare far more than any decoder
+    /// ceiling admits.
+    OversizeLength,
+    /// The flag byte replaced with a reserved value (2..=255).
+    ReservedFlag,
+    /// One random bit flipped inside the 4 length bytes: framing
+    /// desynchronizes, turning the remainder of the stream into garbage
+    /// the decoder must still reject cleanly.
+    LengthJitter,
+}
+
+/// Every frame-plane fault class, for sweeps.
+pub const FRAME_FAULTS: [FrameFault; 5] = [
+    FrameFault::HeaderTruncate,
+    FrameFault::BodyTruncate,
+    FrameFault::OversizeLength,
+    FrameFault::ReservedFlag,
+    FrameFault::LengthJitter,
+];
+
+impl FrameFault {
+    /// Short stable name for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FrameFault::HeaderTruncate => "header-truncate",
+            FrameFault::BodyTruncate => "body-truncate",
+            FrameFault::OversizeLength => "oversize-length",
+            FrameFault::ReservedFlag => "reserved-flag",
+            FrameFault::LengthJitter => "length-jitter",
+        }
+    }
+}
+
+/// Applies `fault` to a copy of an encoded frame. Total: every class
+/// mutates every input (degenerate inputs degrade to a truncation or a
+/// one-byte reserved flag). As with the wire plane, the result is
+/// guaranteed to *differ*, not guaranteed to be rejected — `LengthJitter`
+/// can land on a still-parsable stream, and the differential harness wants
+/// accept/accept agreement too.
+pub fn corrupt(frame: &[u8], fault: FrameFault, rng: &mut impl Rng) -> Vec<u8> {
+    match fault {
+        FrameFault::HeaderTruncate => header_truncate(frame, rng),
+        FrameFault::BodyTruncate => body_truncate(frame, rng),
+        FrameFault::OversizeLength => oversize_length(frame, rng),
+        FrameFault::ReservedFlag => reserved_flag(frame, rng),
+        FrameFault::LengthJitter => length_jitter(frame, rng),
+    }
+}
+
+/// Picks a fault class uniformly and applies it.
+pub fn mutate(frame: &[u8], rng: &mut impl Rng) -> (FrameFault, Vec<u8>) {
+    let fault = FRAME_FAULTS[rng.gen_range(0..FRAME_FAULTS.len())];
+    (fault, corrupt(frame, fault, rng))
+}
+
+fn header_truncate(frame: &[u8], rng: &mut impl Rng) -> Vec<u8> {
+    let ceiling = frame.len().min(FRAME_PREFIX_LEN);
+    if ceiling == 0 {
+        // Nothing to cut: a lone reserved flag byte is the smallest
+        // guaranteed mutation.
+        return vec![rng.gen_range(2..=255u8)];
+    }
+    frame[..rng.gen_range(0..ceiling)].to_vec()
+}
+
+fn body_truncate(frame: &[u8], rng: &mut impl Rng) -> Vec<u8> {
+    if frame.len() <= FRAME_PREFIX_LEN {
+        return header_truncate(frame, rng);
+    }
+    frame[..rng.gen_range(FRAME_PREFIX_LEN..frame.len())].to_vec()
+}
+
+fn oversize_length(frame: &[u8], rng: &mut impl Rng) -> Vec<u8> {
+    if frame.len() < FRAME_PREFIX_LEN {
+        return header_truncate(frame, rng);
+    }
+    let mut out = frame.to_vec();
+    // Top bits forced on: the declared length lands in the gigabytes, past
+    // any sane decoder ceiling, regardless of the original value.
+    let declared = 0xC000_0000u32 | rng.gen_range(0..=0x3FFF_FFFFu32);
+    out[1..FRAME_PREFIX_LEN].copy_from_slice(&declared.to_be_bytes());
+    out
+}
+
+fn reserved_flag(frame: &[u8], rng: &mut impl Rng) -> Vec<u8> {
+    let mut out = frame.to_vec();
+    let flag = rng.gen_range(2..=255u8);
+    match out.first_mut() {
+        Some(b) => *b = flag,
+        None => out.push(flag),
+    }
+    out
+}
+
+fn length_jitter(frame: &[u8], rng: &mut impl Rng) -> Vec<u8> {
+    if frame.len() < FRAME_PREFIX_LEN {
+        return header_truncate(frame, rng);
+    }
+    let mut out = frame.to_vec();
+    let pos = 1 + rng.gen_range(0..4usize);
+    out[pos] ^= 1u8 << rng.gen_range(0..8u8);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrand::StdRng;
+
+    /// A hand-built well-formed frame: flag 0, 6-byte payload.
+    fn sample_frame() -> Vec<u8> {
+        let mut out = vec![0u8, 0, 0, 0, 6];
+        out.extend_from_slice(b"framed");
+        out
+    }
+
+    #[test]
+    fn every_fault_mutates_every_input() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for input in [Vec::new(), vec![0u8, 0, 0], sample_frame()] {
+            for fault in FRAME_FAULTS {
+                for trial in 0..16 {
+                    let out = corrupt(&input, fault, &mut rng);
+                    assert_ne!(out, input, "{fault:?} no-op on {input:x?} trial {trial}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversize_always_blows_any_reasonable_ceiling() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..64 {
+            let out = corrupt(&sample_frame(), FrameFault::OversizeLength, &mut rng);
+            let declared = u32::from_be_bytes([out[1], out[2], out[3], out[4]]);
+            assert!(u64::from(declared) > (1 << 30), "declared {declared}");
+        }
+    }
+
+    #[test]
+    fn reserved_flag_never_produces_a_valid_flag() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for _ in 0..64 {
+            let out = corrupt(&sample_frame(), FrameFault::ReservedFlag, &mut rng);
+            assert!(out[0] > 1, "flag byte {} is valid", out[0]);
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let frame = sample_frame();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..32)
+                .map(|_| mutate(&frame, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -18,6 +18,10 @@
 //!   tables and hardware ADT images (offset bumps, mask swaps, op
 //!   substitutions, dropped/duplicated entries), the adversary behind the
 //!   `protoacc-verify` translation validator's detection-rate gate.
+//! * **Frame plane** ([`frames`]) — corruptions of the RPC transport's
+//!   5-byte length-prefixed frames (truncated prefixes and bodies,
+//!   oversized declared lengths, reserved flag bytes, length-field jitter),
+//!   aimed at `protoacc-rpc`'s streaming frame decoder.
 //!
 //! Two consumers close the loop:
 //!
@@ -38,6 +42,7 @@
 pub mod differential;
 pub mod fallback;
 pub mod fastdiff;
+pub mod frames;
 pub mod instance;
 pub mod memory;
 pub mod tables;
@@ -46,6 +51,7 @@ pub mod wire;
 pub use differential::{DiffReport, DifferentialHarness, Verdict};
 pub use fallback::SoftwareFallback;
 pub use fastdiff::FastpathHarness;
+pub use frames::{FrameFault, FRAME_FAULTS};
 pub use instance::{random_script, InstanceFaultPlan};
 pub use tables::{
     mutate_adt, mutate_compiled, AdtMutation, TableMutation, ADT_MUTATIONS, TABLE_MUTATIONS,

@@ -126,10 +126,26 @@ impl TrafficMix {
         total as f64 / self.prototypes.len() as f64
     }
 
+    /// Draws one request's `(prototype, deser)` pair: uniform over the
+    /// population, direction from the GWP mix. The single sampling rule
+    /// shared by the open-loop [`stream`](TrafficMix::stream) and the
+    /// closed-loop [`ClosedLoop`] disciplines, so both replay the same
+    /// workload distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, bool) {
+        (
+            rng.gen_range(0..self.prototypes.len()),
+            rng.gen_bool(self.deser_fraction),
+        )
+    }
+
     /// Generates `n` requests with exponential interarrivals of mean
     /// `mean_gap_cycles` (the offered load knob: smaller gap = higher load),
     /// each uniformly picking a prototype and drawing its direction from the
     /// GWP mix. Arrivals are non-decreasing.
+    ///
+    /// This is the *open-loop* discipline: arrivals ignore completions, so
+    /// offered load keeps pouring in past saturation. Pair with
+    /// [`ClosedLoop`] for the discipline where clients wait.
     pub fn stream<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
@@ -139,16 +155,101 @@ impl TrafficMix {
         let mut clock = 0.0f64;
         (0..n)
             .map(|_| {
-                // Inverse-CDF exponential: -ln(1-u) * mean, u in [0, 1).
-                let u: f64 = rng.gen_range(0.0..1.0);
-                clock += -(1.0 - u).ln() * mean_gap_cycles;
+                clock += exp_sample(rng, mean_gap_cycles);
+                let (prototype, deser) = self.sample(rng);
                 TrafficEvent {
                     arrival: clock as u64,
-                    prototype: rng.gen_range(0..self.prototypes.len()),
-                    deser: rng.gen_bool(self.deser_fraction),
+                    prototype,
+                    deser,
                 }
             })
             .collect()
+    }
+}
+
+/// One exponential draw of the given mean (inverse-CDF: `-ln(1-u) * mean`,
+/// `u` in `[0, 1)`).
+fn exp_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -(1.0 - u).ln() * mean
+}
+
+/// Closed-loop client population: each of `users` clients issues one
+/// request, waits for its completion, thinks for an exponentially
+/// distributed time, then issues the next. Offered load is *self-limiting*
+/// — at most `users` requests are ever outstanding, and a slow server
+/// automatically slows the arrival process — which is exactly the
+/// discipline open-loop generators fail to model past saturation.
+///
+/// The generator is pull-based because arrivals depend on completions only
+/// the server knows: the serving harness alternates
+/// [`next_issue`](ClosedLoop::next_issue) (who sends next, and when) with
+/// [`complete`](ClosedLoop::complete) (feeding the finished request's
+/// completion time back). Determinism: for a fixed seed and a fixed
+/// completion schedule, the issue sequence is identical.
+#[derive(Debug, Clone)]
+pub struct ClosedLoop {
+    mean_think_cycles: f64,
+    /// Per-user next-issue time; `None` while a request is in flight.
+    ready_at: Vec<Option<u64>>,
+}
+
+impl ClosedLoop {
+    /// Creates `users` clients, all ready to issue at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// If `users` is zero — an empty population issues nothing.
+    #[must_use]
+    pub fn new(users: usize, mean_think_cycles: f64) -> Self {
+        assert!(users > 0, "a closed loop needs at least one user");
+        ClosedLoop {
+            mean_think_cycles,
+            ready_at: vec![Some(0); users],
+        }
+    }
+
+    /// Number of clients in the population.
+    #[must_use]
+    pub fn users(&self) -> usize {
+        self.ready_at.len()
+    }
+
+    /// Clients currently waiting on a response.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.ready_at.iter().filter(|r| r.is_none()).count()
+    }
+
+    /// Picks the next client to issue: the ready one with the earliest
+    /// issue time (ties to the lowest index, keeping replay deterministic).
+    /// Returns `(user, issue_cycle)` and marks the client busy until its
+    /// [`complete`](ClosedLoop::complete) call. `None` when every client is
+    /// waiting on a response.
+    pub fn next_issue(&mut self) -> Option<(usize, u64)> {
+        let (user, at) = self
+            .ready_at
+            .iter()
+            .enumerate()
+            .filter_map(|(u, r)| r.map(|at| (u, at)))
+            .min_by_key(|&(u, at)| (at, u))?;
+        self.ready_at[user] = None;
+        Some((user, at))
+    }
+
+    /// Feeds a completion back: `user`'s response arrived at `at`, the
+    /// client thinks for an exponential time, then becomes ready again.
+    ///
+    /// # Panics
+    ///
+    /// If `user` was not in flight — a completion must match an issue.
+    pub fn complete<R: Rng + ?Sized>(&mut self, user: usize, at: u64, rng: &mut R) {
+        assert!(
+            self.ready_at[user].is_none(),
+            "completion for user {user} with no request in flight"
+        );
+        let think = exp_sample(rng, self.mean_think_cycles) as u64;
+        self.ready_at[user] = Some(at.saturating_add(think));
     }
 }
 
@@ -275,6 +376,59 @@ mod tests {
         let slow_span = s1.last().unwrap().arrival;
         let fast_span = fast.last().unwrap().arrival;
         assert!(fast_span < slow_span);
+    }
+
+    #[test]
+    fn closed_loop_bounds_in_flight_and_replays_deterministically() {
+        // Simulate a fixed-service-time server: each issued request
+        // completes a constant 500 cycles after it is issued.
+        let drive = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut loop_ = ClosedLoop::new(3, 2_000.0);
+            let mut issues = Vec::new();
+            for _ in 0..48 {
+                assert!(loop_.in_flight() <= loop_.users());
+                let (user, at) = loop_.next_issue().expect("a client is always ready");
+                issues.push((user, at));
+                loop_.complete(user, at + 500, &mut rng);
+            }
+            issues
+        };
+        assert_eq!(drive(11), drive(11), "replay diverged");
+        assert_ne!(drive(11), drive(12), "think times ignore the seed");
+
+        // With every client in flight the loop has nothing to issue.
+        let mut loop_ = ClosedLoop::new(2, 1_000.0);
+        let (u0, _) = loop_.next_issue().unwrap();
+        let (u1, _) = loop_.next_issue().unwrap();
+        assert_eq!(loop_.next_issue(), None);
+        assert_eq!(loop_.in_flight(), 2);
+        assert_ne!(u0, u1);
+        // A completion reopens exactly one slot, after the think time.
+        let mut rng = StdRng::seed_from_u64(5);
+        loop_.complete(u0, 10_000, &mut rng);
+        let (again, at) = loop_.next_issue().unwrap();
+        assert_eq!(again, u0);
+        assert!(at >= 10_000, "issue precedes the completion it waits on");
+    }
+
+    #[test]
+    fn closed_loop_think_time_throttles_the_issue_rate() {
+        let span_of = |mean_think: f64| {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut loop_ = ClosedLoop::new(2, mean_think);
+            let mut last = 0;
+            for _ in 0..64 {
+                let (user, at) = loop_.next_issue().unwrap();
+                last = last.max(at);
+                loop_.complete(user, at + 100, &mut rng);
+            }
+            last
+        };
+        assert!(
+            span_of(10_000.0) > span_of(100.0) * 4,
+            "longer think times must stretch the issue schedule"
+        );
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! gRPC-style length-prefixed framing.
+//!
+//! Every message on a connection travels inside a 5-byte-prefixed frame,
+//! byte-compatible with the `application/grpc+proto` wire convention:
+//!
+//! ```text
+//! +------------+--------------------+---------------------+
+//! | flag (1 B) | length (4 B, BE)   | payload (length B)  |
+//! +------------+--------------------+---------------------+
+//! ```
+//!
+//! The flag byte is `0` (uncompressed) or `1` (compressed); all other
+//! values are reserved and rejected with a typed error. The length is a
+//! big-endian `u32` covering the payload only. Decoding is *total*: any
+//! byte sequence either yields frames or a [`FrameError`] — never a panic,
+//! never an unbounded allocation (the declared length is checked against a
+//! configurable ceiling before any buffering happens).
+//!
+//! Two decode surfaces share one validation path: [`decode_frame`] for a
+//! complete buffer (truncation is an error), and the incremental
+//! [`FrameDecoder`] for a connection byte stream (truncation means "wait
+//! for more bytes"; only [`FrameDecoder::finish`] at connection teardown
+//! turns a partial frame into an error).
+
+use std::error::Error;
+use std::fmt;
+
+/// Bytes in the frame prefix: 1 flag byte + 4 length bytes.
+pub const FRAME_HEADER_LEN: usize = 5;
+
+/// Default ceiling on a frame's declared payload length (4 MiB). A frame
+/// declaring more is rejected *before* any payload is buffered, so a
+/// corrupt or hostile length field cannot drive allocation.
+pub const DEFAULT_MAX_FRAME_LEN: u64 = 1 << 22;
+
+/// Flag byte of an uncompressed frame.
+pub const FLAG_UNCOMPRESSED: u8 = 0;
+/// Flag byte of a compressed frame.
+pub const FLAG_COMPRESSED: u8 = 1;
+
+/// Typed frame-plane decode error. Every malformed frame maps to exactly
+/// one of these; the connection that produced it has lost framing sync and
+/// must be torn down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ended inside the 5-byte prefix.
+    TruncatedHeader {
+        /// Prefix bytes actually present (`< FRAME_HEADER_LEN`).
+        have: usize,
+    },
+    /// The prefix declared more payload bytes than the buffer holds.
+    TruncatedBody {
+        /// Declared payload length.
+        declared: u32,
+        /// Payload bytes actually present.
+        have: u64,
+    },
+    /// The declared payload length exceeds the decoder's ceiling.
+    Oversized {
+        /// Declared payload length.
+        declared: u32,
+        /// The ceiling it exceeded.
+        max: u64,
+    },
+    /// The flag byte is neither 0 (uncompressed) nor 1 (compressed).
+    ReservedFlag {
+        /// The offending flag byte.
+        flag: u8,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TruncatedHeader { have } => {
+                write!(
+                    f,
+                    "frame prefix truncated: {have} of {FRAME_HEADER_LEN} bytes"
+                )
+            }
+            FrameError::TruncatedBody { declared, have } => {
+                write!(
+                    f,
+                    "frame body truncated: {have} of {declared} declared bytes"
+                )
+            }
+            FrameError::Oversized { declared, max } => {
+                write!(f, "frame declares {declared} bytes, ceiling is {max}")
+            }
+            FrameError::ReservedFlag { flag } => {
+                write!(f, "reserved frame flag {flag:#04x}")
+            }
+        }
+    }
+}
+
+impl Error for FrameError {}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The flag byte's compressed bit.
+    pub compressed: bool,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes one frame: flag byte, big-endian `u32` length, payload.
+///
+/// # Panics
+///
+/// If `payload` exceeds `u32::MAX` bytes (unrepresentable in the prefix).
+#[must_use]
+pub fn encode_frame(compressed: bool, payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("frame payload fits a u32 length");
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.push(if compressed {
+        FLAG_COMPRESSED
+    } else {
+        FLAG_UNCOMPRESSED
+    });
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates the 5-byte prefix at the head of `buf` against `max_len`.
+/// Returns the compressed bit and declared length.
+fn decode_prefix(buf: &[u8], max_len: u64) -> Result<(bool, u32), FrameError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::TruncatedHeader { have: buf.len() });
+    }
+    let flag = buf[0];
+    if flag > FLAG_COMPRESSED {
+        return Err(FrameError::ReservedFlag { flag });
+    }
+    let declared = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]);
+    if u64::from(declared) > max_len {
+        return Err(FrameError::Oversized {
+            declared,
+            max: max_len,
+        });
+    }
+    Ok((flag == FLAG_COMPRESSED, declared))
+}
+
+/// Decodes one complete frame from the head of `buf`, returning it plus the
+/// total bytes consumed (prefix + payload). A partial frame is an error
+/// here — use [`FrameDecoder`] for byte streams that grow over time.
+pub fn decode_frame(buf: &[u8], max_len: u64) -> Result<(Frame, usize), FrameError> {
+    let (compressed, declared) = decode_prefix(buf, max_len)?;
+    let body = &buf[FRAME_HEADER_LEN..];
+    if (body.len() as u64) < u64::from(declared) {
+        return Err(FrameError::TruncatedBody {
+            declared,
+            have: body.len() as u64,
+        });
+    }
+    let payload = body[..declared as usize].to_vec();
+    Ok((
+        Frame {
+            compressed,
+            payload,
+        },
+        FRAME_HEADER_LEN + declared as usize,
+    ))
+}
+
+/// Incremental frame decoder over one connection's byte stream.
+///
+/// Bytes arrive in arbitrary chunks via [`push`](FrameDecoder::push);
+/// [`next_frame`](FrameDecoder::next_frame) yields complete frames as they
+/// materialize. A malformed prefix (reserved flag, oversized length)
+/// *poisons* the decoder — framing sync is unrecoverable once the length
+/// field can't be trusted — and every later call returns the same error.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    max_len: u64,
+    fault: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    /// Creates a decoder enforcing `max_len` as the payload-length ceiling.
+    #[must_use]
+    pub fn new(max_len: u64) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_len,
+            fault: None,
+        }
+    }
+
+    /// Appends stream bytes. Bytes pushed after a framing fault are
+    /// discarded — the connection is already dead.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.fault.is_none() {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Unconsumed buffered bytes (a partial frame in flight).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Yields the next complete frame, `Ok(None)` if more bytes are needed,
+    /// or the (sticky) framing fault.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        if let Some(fault) = self.fault {
+            return Err(fault);
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let (compressed, declared) = match decode_prefix(avail, self.max_len) {
+            Ok(p) => p,
+            Err(e) => {
+                self.fault = Some(e);
+                return Err(e);
+            }
+        };
+        let total = FRAME_HEADER_LEN + declared as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = avail[FRAME_HEADER_LEN..total].to_vec();
+        self.pos += total;
+        // Reclaim consumed space once it dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(Frame {
+            compressed,
+            payload,
+        }))
+    }
+
+    /// Connection teardown: a clean stream ends on a frame boundary. Any
+    /// buffered partial frame becomes the truncation error it would have
+    /// been in one-shot decoding, and a poisoned decoder reports its fault.
+    pub fn finish(&self) -> Result<(), FrameError> {
+        if let Some(fault) = self.fault {
+            return Err(fault);
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.is_empty() {
+            return Ok(());
+        }
+        if avail.len() < FRAME_HEADER_LEN {
+            return Err(FrameError::TruncatedHeader { have: avail.len() });
+        }
+        let (_, declared) = decode_prefix(avail, self.max_len)?;
+        Err(FrameError::TruncatedBody {
+            declared,
+            have: (avail.len() - FRAME_HEADER_LEN) as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_one_shot_decode() {
+        for (compressed, payload) in [(false, b"".to_vec()), (true, vec![0xAB; 300])] {
+            let wire = encode_frame(compressed, &payload);
+            assert_eq!(wire.len(), FRAME_HEADER_LEN + payload.len());
+            let (frame, used) = decode_frame(&wire, DEFAULT_MAX_FRAME_LEN).unwrap();
+            assert_eq!(used, wire.len());
+            assert_eq!(frame.compressed, compressed);
+            assert_eq!(frame.payload, payload);
+        }
+    }
+
+    #[test]
+    fn every_truncation_offset_is_a_typed_error() {
+        let wire = encode_frame(false, b"hello");
+        for cut in 0..wire.len() {
+            let err = decode_frame(&wire[..cut], DEFAULT_MAX_FRAME_LEN).unwrap_err();
+            if cut < FRAME_HEADER_LEN {
+                assert_eq!(err, FrameError::TruncatedHeader { have: cut });
+            } else {
+                assert_eq!(
+                    err,
+                    FrameError::TruncatedBody {
+                        declared: 5,
+                        have: (cut - FRAME_HEADER_LEN) as u64,
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_flags_and_oversized_lengths_reject() {
+        let mut wire = encode_frame(false, b"x");
+        wire[0] = 0x7F;
+        assert_eq!(
+            decode_frame(&wire, DEFAULT_MAX_FRAME_LEN).unwrap_err(),
+            FrameError::ReservedFlag { flag: 0x7F }
+        );
+        let wire = encode_frame(false, &[0u8; 64]);
+        assert_eq!(
+            decode_frame(&wire, 16).unwrap_err(),
+            FrameError::Oversized {
+                declared: 64,
+                max: 16
+            }
+        );
+    }
+
+    #[test]
+    fn streaming_decoder_reassembles_byte_dribble() {
+        let mut wire = encode_frame(false, b"first");
+        wire.extend_from_slice(&encode_frame(true, b"second frame"));
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        let mut got = Vec::new();
+        for b in &wire {
+            dec.push(&[*b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload, b"first");
+        assert!(got[1].compressed);
+        assert_eq!(got[1].payload, b"second frame");
+        assert_eq!(dec.buffered(), 0);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn streaming_faults_are_sticky_and_finish_flags_partial_tails() {
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        dec.push(&[0x02, 0, 0, 0, 1, 0xAA]);
+        let err = dec.next_frame().unwrap_err();
+        assert_eq!(err, FrameError::ReservedFlag { flag: 0x02 });
+        dec.push(&encode_frame(false, b"ignored"));
+        assert_eq!(dec.next_frame().unwrap_err(), err);
+        assert_eq!(dec.finish().unwrap_err(), err);
+
+        let mut tail = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        tail.push(&encode_frame(false, b"abc")[..6]);
+        assert_eq!(tail.next_frame().unwrap(), None);
+        assert_eq!(
+            tail.finish().unwrap_err(),
+            FrameError::TruncatedBody {
+                declared: 3,
+                have: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! The per-request RPC header riding inside each frame payload.
+//!
+//! A frame's payload opens with a compact varint-coded header carrying the
+//! routing metadata the serving layer needs *before* any message bytes are
+//! touched: which method (staged prototype) the request targets, the
+//! direction (deserialize or serialize), and the client's completion budget
+//! in cycles. Everything after the header is the opaque message body —
+//! in this simulation the actual wire bytes live pre-staged in guest
+//! memory, so the body is carried by reference, not copied through the
+//! frame.
+//!
+//! Layout (all varints per `protoacc-wire` conventions):
+//!
+//! ```text
+//! varint method | 1 byte direction (0 = serialize, 1 = deserialize)
+//!               | varint deadline+1 (0 = no deadline)
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use protoacc_mem::Cycles;
+use protoacc_wire::varint;
+
+/// Direction byte of a serialization request.
+const DIR_SER: u8 = 0;
+/// Direction byte of a deserialization request.
+const DIR_DESER: u8 = 1;
+
+/// Decoded request metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcHeader {
+    /// Index into the server's method table.
+    pub method: u32,
+    /// Deserialize (`true`) or serialize (`false`).
+    pub deser: bool,
+    /// Completion budget in cycles, relative to the request's arrival.
+    /// `None` means the client set no deadline: the request can never be
+    /// shed by admission control, only dropped on queue overflow.
+    pub deadline: Option<Cycles>,
+}
+
+/// Typed header decode error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeaderError {
+    /// The payload ended inside the header.
+    Truncated,
+    /// A header varint violated the wire format (overflow past 10 bytes).
+    Varint(protoacc_wire::WireError),
+    /// The direction byte is neither 0 nor 1.
+    Direction(u8),
+    /// The method index does not fit a `u32`.
+    MethodRange(u64),
+}
+
+impl fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeaderError::Truncated => write!(f, "rpc header truncated"),
+            HeaderError::Varint(e) => write!(f, "rpc header varint: {e}"),
+            HeaderError::Direction(d) => write!(f, "rpc header direction byte {d}"),
+            HeaderError::MethodRange(m) => write!(f, "rpc method index {m} exceeds u32"),
+        }
+    }
+}
+
+impl Error for HeaderError {}
+
+impl RpcHeader {
+    /// Encodes the header into `out`, returning the bytes written.
+    pub fn encode(&self, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        varint::encode(u64::from(self.method), out);
+        out.push(if self.deser { DIR_DESER } else { DIR_SER });
+        varint::encode(self.deadline.map_or(0, |d| d.saturating_add(1)), out);
+        out.len() - start
+    }
+
+    /// Encodes the header as a standalone payload.
+    #[must_use]
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a header from the head of `payload`, returning it plus the
+    /// bytes consumed. Trailing bytes are the opaque message body and are
+    /// left untouched.
+    pub fn decode(payload: &[u8]) -> Result<(RpcHeader, usize), HeaderError> {
+        let read_varint = |buf: &[u8]| -> Result<(u64, usize), HeaderError> {
+            match varint::decode(buf) {
+                Ok(v) => Ok(v),
+                Err(protoacc_wire::WireError::Truncated { .. }) => Err(HeaderError::Truncated),
+                Err(e) => Err(HeaderError::Varint(e)),
+            }
+        };
+        let (method_raw, mut pos) = read_varint(payload)?;
+        let method = u32::try_from(method_raw).map_err(|_| HeaderError::MethodRange(method_raw))?;
+        let dir = *payload.get(pos).ok_or(HeaderError::Truncated)?;
+        pos += 1;
+        let deser = match dir {
+            DIR_SER => false,
+            DIR_DESER => true,
+            other => return Err(HeaderError::Direction(other)),
+        };
+        let (deadline_raw, used) = read_varint(&payload[pos..])?;
+        pos += used;
+        let deadline = deadline_raw.checked_sub(1);
+        Ok((
+            RpcHeader {
+                method,
+                deser,
+                deadline,
+            },
+            pos,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headers_round_trip_with_and_without_deadlines() {
+        for header in [
+            RpcHeader {
+                method: 0,
+                deser: true,
+                deadline: None,
+            },
+            RpcHeader {
+                method: 300,
+                deser: false,
+                deadline: Some(0),
+            },
+            RpcHeader {
+                method: u32::MAX,
+                deser: true,
+                deadline: Some(1 << 40),
+            },
+        ] {
+            let mut payload = header.to_payload();
+            payload.extend_from_slice(b"opaque body");
+            let (decoded, used) = RpcHeader::decode(&payload).unwrap();
+            assert_eq!(decoded, header);
+            assert_eq!(&payload[used..], b"opaque body");
+        }
+    }
+
+    #[test]
+    fn malformed_headers_map_to_typed_errors() {
+        assert_eq!(RpcHeader::decode(&[]).unwrap_err(), HeaderError::Truncated);
+        // Method varint present, direction byte missing.
+        assert_eq!(
+            RpcHeader::decode(&[0x05]).unwrap_err(),
+            HeaderError::Truncated
+        );
+        // Bad direction byte.
+        assert_eq!(
+            RpcHeader::decode(&[0x05, 0x07, 0x00]).unwrap_err(),
+            HeaderError::Direction(7)
+        );
+        // Direction fine, deadline varint missing.
+        assert_eq!(
+            RpcHeader::decode(&[0x05, 0x01]).unwrap_err(),
+            HeaderError::Truncated
+        );
+        // Method index past u32.
+        let mut buf = Vec::new();
+        varint::encode(u64::from(u32::MAX) + 1, &mut buf);
+        buf.extend_from_slice(&[0x01, 0x00]);
+        assert_eq!(
+            RpcHeader::decode(&buf).unwrap_err(),
+            HeaderError::MethodRange(u64::from(u32::MAX) + 1)
+        );
+        // Non-terminating varint surfaces the wire error.
+        let overflow = [0x80u8; 11];
+        assert!(matches!(
+            RpcHeader::decode(&overflow).unwrap_err(),
+            HeaderError::Varint(protoacc_wire::WireError::VarintOverflow { .. })
+        ));
+    }
+}

@@ -1,0 +1,35 @@
+//! Overload-robust framed RPC serving layer for the protoacc model.
+//!
+//! The paper's accelerator lives behind an RPC stack in production: Google
+//! fleet traffic reaches protobuf codecs through framed transports with
+//! per-request deadlines, bounded per-connection concurrency, and servers
+//! that must *degrade gracefully* — shedding work they cannot finish in
+//! time instead of queueing it to die. This crate models that serving
+//! layer in front of [`protoacc::serve::ServeCluster`]:
+//!
+//! * [`frame`] — gRPC-style 5-byte length-prefixed frames (flag byte +
+//!   big-endian `u32` length) with a total, typed decode path
+//!   ([`FrameError`]) and an incremental per-connection [`FrameDecoder`];
+//! * [`header`] — the varint-coded request header carrying method routing,
+//!   direction, and the client's cycle deadline budget;
+//! * [`server`] — [`RpcServer`]: per-connection credit-window flow
+//!   control, method-table resolution, and the wiring that carries frame
+//!   deadlines and abstract-interpretation cost ceilings into the
+//!   cluster's admission controller (which sheds doomed requests *before*
+//!   they consume a queue slot).
+//!
+//! Combined with the serve cluster's existing rungs, the degradation
+//! ladder reads, from least to most disruptive: **shed at admission** →
+//! retry with backoff → instance quarantine (with streak decay) →
+//! watchdog/deadline kill → CPU software fallback.
+
+pub mod frame;
+pub mod header;
+pub mod server;
+
+pub use frame::{
+    decode_frame, encode_frame, Frame, FrameDecoder, FrameError, DEFAULT_MAX_FRAME_LEN,
+    FLAG_COMPRESSED, FLAG_UNCOMPRESSED, FRAME_HEADER_LEN,
+};
+pub use header::{HeaderError, RpcHeader};
+pub use server::{IncomingFrame, Method, RpcConfig, RpcServer, RpcStats};

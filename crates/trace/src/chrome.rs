@@ -112,6 +112,39 @@ fn evt_json(e: &TraceEvent) -> EventJson {
                 ("at", num(at)),
             ],
         },
+        TraceEvent::CmdShed {
+            seq,
+            at,
+            deadline,
+            estimate,
+        } => EventJson {
+            name: format!("shed#{seq}"),
+            pid: 0,
+            tid: 0,
+            ts: at,
+            dur: None,
+            args: vec![
+                ("kind", json_str(kind)),
+                ("seq", num(seq as u64)),
+                ("at", num(at)),
+                ("deadline", num(deadline)),
+                ("estimate", num(estimate)),
+            ],
+        },
+        TraceEvent::FrameDecode { conn, at, len, ok } => EventJson {
+            name: format!("frame@{conn}"),
+            pid: 0,
+            tid: 0,
+            ts: at,
+            dur: None,
+            args: vec![
+                ("kind", json_str(kind)),
+                ("conn", num(conn as u64)),
+                ("at", num(at)),
+                ("len", num(len)),
+                ("ok", ok.to_string()),
+            ],
+        },
         TraceEvent::CmdDispatch {
             seq,
             at,
@@ -770,6 +803,18 @@ fn event_from_args(args: &Json) -> Result<Option<TraceEvent>, String> {
             seq: u("seq")? as usize,
             at: u("at")?,
         },
+        "cmd_shed" => TraceEvent::CmdShed {
+            seq: u("seq")? as usize,
+            at: u("at")?,
+            deadline: u("deadline")?,
+            estimate: u("estimate")?,
+        },
+        "frame_decode" => TraceEvent::FrameDecode {
+            conn: u("conn")? as usize,
+            at: u("at")?,
+            len: u("len")?,
+            ok: b("ok")?,
+        },
         "cmd_dispatch" => TraceEvent::CmdDispatch {
             seq: u("seq")? as usize,
             at: u("at")?,
@@ -1062,6 +1107,31 @@ mod tests {
                 outcome: CmdOutcome::Fallback,
             },
             TraceEvent::CmdDrop { seq: 1, at: 11 },
+            TraceEvent::CmdShed {
+                seq: 2,
+                at: 13,
+                deadline: 500,
+                estimate: 900,
+            },
+            TraceEvent::FrameDecode {
+                conn: 3,
+                at: 9,
+                len: 77,
+                ok: false,
+            },
+            TraceEvent::CmdComplete {
+                seq: 2,
+                enqueue: 13,
+                dispatch: 13,
+                complete: 14,
+                service: 1,
+                instance: FALLBACK_TRACK,
+                wire_bytes: 0,
+                deser: false,
+                sharers: 1,
+                attempts: 0,
+                outcome: CmdOutcome::Shed,
+            },
         ]
     }
 

@@ -162,6 +162,9 @@ pub enum CmdOutcome {
     Rejected,
     /// Failed after exhausting retries and the fallback ladder.
     Failed,
+    /// Shed by admission control before enqueue: the envelope cost
+    /// estimate predicted the request's deadline would be blown.
+    Shed,
 }
 
 impl CmdOutcome {
@@ -173,6 +176,7 @@ impl CmdOutcome {
             CmdOutcome::Fallback => "fallback",
             CmdOutcome::Rejected => "rejected",
             CmdOutcome::Failed => "failed",
+            CmdOutcome::Shed => "shed",
         }
     }
 
@@ -182,6 +186,7 @@ impl CmdOutcome {
             "fallback" => CmdOutcome::Fallback,
             "rejected" => CmdOutcome::Rejected,
             "failed" => CmdOutcome::Failed,
+            "shed" => CmdOutcome::Shed,
             _ => return None,
         })
     }
@@ -210,6 +215,33 @@ pub enum TraceEvent {
         seq: usize,
         /// Queue-clock drop time.
         at: Cycles,
+    },
+    /// A request was shed by admission control before enqueue: the
+    /// envelope-derived cost estimate predicted its deadline would be
+    /// blown. A matching [`TraceEvent::CmdComplete`] with
+    /// [`CmdOutcome::Shed`] follows, so span/record accounting stays 1:1.
+    CmdShed {
+        /// Command sequence number.
+        seq: usize,
+        /// Queue-clock shed time (the request's arrival).
+        at: Cycles,
+        /// Absolute deadline the request carried.
+        deadline: Cycles,
+        /// Envelope-derived completion estimate that blew the deadline.
+        estimate: Cycles,
+    },
+    /// One RPC frame was decoded (or rejected) at the framed transport in
+    /// front of the serve queue.
+    FrameDecode {
+        /// Connection index the frame arrived on.
+        conn: usize,
+        /// Queue-clock decode time.
+        at: Cycles,
+        /// Declared payload length from the 5-byte prefix (0 when the
+        /// prefix itself was truncated).
+        len: u64,
+        /// `true` for a clean decode, `false` for a typed `FrameError`.
+        ok: bool,
     },
     /// A command attempt was dispatched to an instance.
     CmdDispatch {
@@ -413,6 +445,8 @@ impl TraceEvent {
         match self {
             TraceEvent::CmdEnqueue { .. } => "cmd_enqueue",
             TraceEvent::CmdDrop { .. } => "cmd_drop",
+            TraceEvent::CmdShed { .. } => "cmd_shed",
+            TraceEvent::FrameDecode { .. } => "frame_decode",
             TraceEvent::CmdDispatch { .. } => "cmd_dispatch",
             TraceEvent::CmdRetry { .. } => "cmd_retry",
             TraceEvent::CmdFallback { .. } => "cmd_fallback",
@@ -557,6 +591,7 @@ mod tests {
             CmdOutcome::Fallback,
             CmdOutcome::Rejected,
             CmdOutcome::Failed,
+            CmdOutcome::Shed,
         ] {
             assert_eq!(CmdOutcome::from_label(o.label()), Some(o));
         }

@@ -210,6 +210,13 @@ impl MetricsRegistry {
             match e {
                 TraceEvent::CmdEnqueue { .. } => reg.inc("cmd_enqueued", 1),
                 TraceEvent::CmdDrop { .. } => reg.inc("cmd_dropped", 1),
+                TraceEvent::CmdShed { .. } => reg.inc("cmd_shed", 1),
+                TraceEvent::FrameDecode { ok, .. } => {
+                    reg.inc("frames_decoded", 1);
+                    if !ok {
+                        reg.inc("frames_rejected", 1);
+                    }
+                }
                 TraceEvent::CmdDispatch { .. } => reg.inc("cmd_dispatched", 1),
                 TraceEvent::CmdRetry { .. } => reg.inc("cmd_retried", 1),
                 TraceEvent::CmdFallback { .. } => reg.inc("cmd_fallback", 1),

@@ -50,6 +50,7 @@ pub use protoacc_faults as faults;
 pub use protoacc_fleet as fleet;
 pub use protoacc_lint as lint;
 pub use protoacc_mem as mem;
+pub use protoacc_rpc as rpc;
 pub use protoacc_runtime as runtime;
 pub use protoacc_schema as schema;
 pub use protoacc_trace as trace;

@@ -158,6 +158,8 @@ impl Rig {
                     Request {
                         arrival,
                         watchdog: Some(self.ser_watchdog(p)),
+                        deadline: None,
+                        cost: None,
                         op: RequestOp::Serialize {
                             adt_ptr: s.adt_ptr,
                             obj_ptr: s.obj_ptr,
@@ -170,6 +172,8 @@ impl Rig {
                     Request {
                         arrival,
                         watchdog: Some(self.deser_watchdog(p, s.input_len)),
+                        deadline: None,
+                        cost: None,
                         op: RequestOp::Deserialize {
                             adt_ptr: s.adt_ptr,
                             input_addr: s.input_addr,
@@ -259,6 +263,8 @@ fn wire_plane_matrix_resolves_every_fault_class_to_a_typed_verdict() {
                 requests.push(Request {
                     arrival,
                     watchdog: Some(rig.deser_watchdog(p, bad.len().max(1) as u64)),
+                    deadline: None,
+                    cost: None,
                     op: RequestOp::Deserialize {
                         adt_ptr: s.adt_ptr,
                         input_addr: cursor,
@@ -275,7 +281,7 @@ fn wire_plane_matrix_resolves_every_fault_class_to_a_typed_verdict() {
     let offered = requests.len();
     let cluster = rig.run(&requests, config(2), &[]);
     assert_all_served(&cluster, offered);
-    let (_, fallback, rejected, failed) = cluster.status_counts();
+    let (_, fallback, rejected, failed, _) = cluster.status_counts();
     assert_eq!(failed, 0);
     // Wire corruption is an input property: no hardware fault fired, so
     // nothing should have needed the fallback path.
@@ -313,7 +319,7 @@ fn memory_plane_ecc_and_stall_faults_are_retried_to_completion() {
     let offered = requests.len();
     let cluster = rig.run(&requests, config(2), &[]);
     assert_all_served(&cluster, offered);
-    let (_, _, rejected, failed) = cluster.status_counts();
+    let (_, _, rejected, failed, _) = cluster.status_counts();
     assert_eq!(failed, 0);
     assert_eq!(rejected, 0, "clean inputs must never be rejected");
     assert!(
@@ -345,7 +351,7 @@ fn memory_plane_with_no_retry_budget_degrades_to_the_software_fallback() {
     };
     let cluster = rig.run(&requests, cfg, &[]);
     assert_all_served(&cluster, offered);
-    let (_, fallback, _, failed) = cluster.status_counts();
+    let (_, fallback, _, failed, _) = cluster.status_counts();
     assert_eq!(failed, 0);
     assert!(fallback > 0, "no command reached the CPU fallback rung");
     assert!(
@@ -389,7 +395,7 @@ fn instance_plane_crash_hang_and_slow_are_recovered_by_watchdog_and_failover() {
         };
         let cluster = rig.run(&requests, cfg, &[fault]);
         assert_all_served(&cluster, offered);
-        let (_, _, rejected, failed) = cluster.status_counts();
+        let (_, _, rejected, failed, _) = cluster.status_counts();
         assert_eq!(failed, 0, "[{label}] commands failed outright");
         assert_eq!(rejected, 0, "[{label}] clean inputs were rejected");
         assert!(
@@ -414,7 +420,7 @@ fn all_instances_down_still_serves_the_full_load_via_the_cpu() {
         .collect();
     let cluster = rig.run(&requests, config(2), &faults);
     assert_all_served(&cluster, offered);
-    let (ok, fallback, rejected, failed) = cluster.status_counts();
+    let (ok, fallback, rejected, failed, _) = cluster.status_counts();
     assert_eq!(
         (ok, rejected, failed),
         (0, 0, 0),
@@ -448,7 +454,7 @@ fn randomized_instance_fault_scripts_replay_deterministically_and_serve_everythi
             let faults = random_script(&plan, 3, 40_000, &mut frng);
             let cluster = rig.run(&requests, config(4), &faults);
             assert_all_served(&cluster, requests.len());
-            let (_, _, _, failed) = cluster.status_counts();
+            let (_, _, _, failed, _) = cluster.status_counts();
             assert_eq!(failed, 0, "seed {seed} failed commands");
             (
                 cluster.status_counts(),
@@ -477,7 +483,7 @@ fn killing_one_of_four_instances_mid_run_serves_everything_with_measured_p99_cos
     assert_all_served(&nominal, offered);
     assert_eq!(
         nominal.status_counts(),
-        (offered as u64, 0, 0, 0),
+        (offered as u64, 0, 0, 0, 0),
         "watchdog ceilings killed correct commands in the nominal run"
     );
     let p99_nominal = nominal.latency_percentile(99.0);
@@ -491,7 +497,7 @@ fn killing_one_of_four_instances_mid_run_serves_everything_with_measured_p99_cos
     let mut faulted_rig = Rig::stage(6, 4);
     let faulted = faulted_rig.run(&requests, config(4), &[fault]);
     assert_all_served(&faulted, offered);
-    let (ok, fallback, rejected, failed) = faulted.status_counts();
+    let (ok, fallback, rejected, failed, _) = faulted.status_counts();
     assert_eq!((rejected, failed), (0, 0));
     assert_eq!(
         ok + fallback,

@@ -1,0 +1,254 @@
+//! Frame-corruption corpus for the RPC transport (`protoacc-rpc`).
+//!
+//! The framing contract is *totality*: any byte sequence fed to either
+//! decode surface — one-shot [`decode_frame`] or the streaming
+//! [`FrameDecoder`] — yields frames or a typed [`FrameError`], never a
+//! panic, never a hang, never an unbounded allocation. This corpus checks
+//! it exhaustively where the space is small (every truncation offset, every
+//! reserved flag byte) and by seeded sweep over the `protoacc-faults`
+//! frame-plane generators where it is not.
+
+use protoacc_suite::faults::frames::{corrupt, mutate, FrameFault, FRAME_PREFIX_LEN};
+use protoacc_suite::rpc::{
+    decode_frame, encode_frame, FrameDecoder, FrameError, DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN,
+};
+use protoacc_suite::xrand::{Rng, StdRng};
+
+/// Payload shapes the corpus builds frames around: empty, tiny, and large
+/// enough that body truncation has room to land anywhere.
+fn corpus_frames() -> Vec<Vec<u8>> {
+    [
+        (false, Vec::new()),
+        (false, vec![0xA5; 1]),
+        (true, vec![0x5A; 37]),
+        (false, (0..=255u8).collect::<Vec<u8>>()),
+    ]
+    .into_iter()
+    .map(|(compressed, payload)| encode_frame(compressed, &payload))
+    .collect()
+}
+
+/// Drains a decoder with a hang guard: a decoder that keeps yielding
+/// frames past what the byte budget admits is broken, not busy.
+fn drain(dec: &mut FrameDecoder, budget: usize) -> Result<usize, FrameError> {
+    let mut frames = 0;
+    loop {
+        match dec.next_frame() {
+            Ok(None) => return Ok(frames),
+            Err(e) => return Err(e),
+            Ok(Some(_)) => {
+                frames += 1;
+                assert!(
+                    frames <= budget / FRAME_HEADER_LEN + 1,
+                    "decoder yielded more frames than the byte budget admits"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn frame_prefix_constants_agree_across_crates() {
+    // The faults crate mirrors the transport's prefix layout without
+    // depending on it; this is the tripwire if either side drifts.
+    assert_eq!(FRAME_PREFIX_LEN, FRAME_HEADER_LEN);
+}
+
+#[test]
+fn every_truncation_offset_is_typed_on_both_surfaces() {
+    for wire in corpus_frames() {
+        let declared = (wire.len() - FRAME_HEADER_LEN) as u32;
+        for cut in 0..wire.len() {
+            let expect = if cut < FRAME_HEADER_LEN {
+                FrameError::TruncatedHeader { have: cut }
+            } else {
+                FrameError::TruncatedBody {
+                    declared,
+                    have: (cut - FRAME_HEADER_LEN) as u64,
+                }
+            };
+            // One-shot: truncation is an immediate typed error.
+            assert_eq!(
+                decode_frame(&wire[..cut], DEFAULT_MAX_FRAME_LEN).unwrap_err(),
+                expect,
+                "cut at {cut} of {}",
+                wire.len()
+            );
+            // Streaming: a partial frame is "wait for more bytes" until
+            // teardown, where it becomes the same typed truncation.
+            let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+            dec.push(&wire[..cut]);
+            assert_eq!(dec.next_frame().unwrap(), None);
+            if cut == 0 {
+                dec.finish().unwrap();
+            } else {
+                assert_eq!(dec.finish().unwrap_err(), expect);
+            }
+        }
+        // The uncut frame decodes cleanly on both surfaces.
+        let (frame, used) = decode_frame(&wire, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(used, wire.len());
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        dec.push(&wire);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), frame);
+        dec.finish().unwrap();
+    }
+}
+
+#[test]
+fn every_reserved_flag_value_rejects() {
+    let body = encode_frame(false, b"payload");
+    for flag in 2..=255u8 {
+        let mut wire = body.clone();
+        wire[0] = flag;
+        assert_eq!(
+            decode_frame(&wire, DEFAULT_MAX_FRAME_LEN).unwrap_err(),
+            FrameError::ReservedFlag { flag }
+        );
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        dec.push(&wire);
+        assert_eq!(
+            dec.next_frame().unwrap_err(),
+            FrameError::ReservedFlag { flag }
+        );
+        // The fault is sticky: framing sync is unrecoverable.
+        assert_eq!(
+            dec.next_frame().unwrap_err(),
+            FrameError::ReservedFlag { flag }
+        );
+    }
+}
+
+#[test]
+fn oversized_declared_lengths_reject_before_buffering() {
+    let max = DEFAULT_MAX_FRAME_LEN;
+    for declared in [max as u32 + 1, max as u32 * 2, u32::MAX] {
+        let mut wire = vec![0u8];
+        wire.extend_from_slice(&declared.to_be_bytes());
+        // No payload follows at all: the ceiling check must fire off the
+        // prefix alone, before any buffering could be attempted.
+        assert_eq!(
+            decode_frame(&wire, max).unwrap_err(),
+            FrameError::Oversized { declared, max }
+        );
+        let mut dec = FrameDecoder::new(max);
+        dec.push(&wire);
+        assert_eq!(
+            dec.next_frame().unwrap_err(),
+            FrameError::Oversized { declared, max }
+        );
+    }
+}
+
+/// Per-class verdicts on single-frame inputs: each generator's corruption
+/// maps to the error family it aims at (length jitter is excluded — a
+/// jittered length can land anywhere, including on a still-decodable
+/// frame).
+#[test]
+fn fault_classes_map_to_their_error_families() {
+    let mut rng = StdRng::seed_from_u64(0xF4A3_0001);
+    for wire in corpus_frames() {
+        for trial in 0..64 {
+            let bad = corrupt(&wire, FrameFault::ReservedFlag, &mut rng);
+            assert!(
+                matches!(
+                    decode_frame(&bad, DEFAULT_MAX_FRAME_LEN),
+                    Err(FrameError::ReservedFlag { .. })
+                ),
+                "reserved-flag trial {trial}"
+            );
+            let bad = corrupt(&wire, FrameFault::OversizeLength, &mut rng);
+            assert!(
+                matches!(
+                    decode_frame(&bad, DEFAULT_MAX_FRAME_LEN),
+                    Err(FrameError::Oversized { .. })
+                ),
+                "oversize trial {trial}"
+            );
+            let bad = corrupt(&wire, FrameFault::HeaderTruncate, &mut rng);
+            assert!(
+                matches!(
+                    decode_frame(&bad, DEFAULT_MAX_FRAME_LEN),
+                    Err(FrameError::TruncatedHeader { .. } | FrameError::ReservedFlag { .. })
+                ),
+                "header-truncate trial {trial}"
+            );
+            let bad = corrupt(&wire, FrameFault::BodyTruncate, &mut rng);
+            assert!(
+                matches!(
+                    decode_frame(&bad, DEFAULT_MAX_FRAME_LEN),
+                    Err(FrameError::TruncatedHeader { .. } | FrameError::TruncatedBody { .. })
+                ),
+                "body-truncate trial {trial}"
+            );
+        }
+    }
+}
+
+/// The seeded sweep: multi-frame streams mutated by every fault class, fed
+/// to the streaming decoder in seeded chunk sizes. Every outcome must be a
+/// clean drain or a typed error; the drain is hang-guarded and faults are
+/// sticky.
+#[test]
+fn seeded_sweep_is_total_on_chunked_streams() {
+    let mut rng = StdRng::seed_from_u64(0xF4A3_0002);
+    let frames = corpus_frames();
+    for round in 0..200 {
+        // A stream of 1-4 frames drawn from the corpus.
+        let mut stream = Vec::new();
+        for _ in 0..rng.gen_range(1..=4usize) {
+            stream.extend_from_slice(&frames[rng.gen_range(0..frames.len())]);
+        }
+        let (fault, bad) = mutate(&stream, &mut rng);
+        assert_ne!(bad, stream, "round {round}: {fault:?} must mutate");
+
+        // One-shot walk over the mutated buffer: consume frames until an
+        // error or exhaustion, bounded by construction (every frame eats
+        // at least the 5-byte prefix).
+        let mut off = 0;
+        let one_shot: Result<usize, FrameError> = loop {
+            if off == bad.len() {
+                break Ok(off);
+            }
+            match decode_frame(&bad[off..], DEFAULT_MAX_FRAME_LEN) {
+                Ok((_, used)) => off += used,
+                Err(e) => break Err(e),
+            }
+        };
+
+        // Streaming drain in seeded chunks, then teardown.
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        let mut cursor = 0;
+        let mut stream_err: Option<FrameError> = None;
+        while cursor < bad.len() && stream_err.is_none() {
+            let take = rng.gen_range(1..=(bad.len() - cursor).min(7));
+            dec.push(&bad[cursor..cursor + take]);
+            cursor += take;
+            if let Err(e) = drain(&mut dec, bad.len()) {
+                stream_err = Some(e);
+            }
+        }
+        let teardown = dec.finish();
+
+        // Agreement: a poisoned stream reports the same error one-shot
+        // decoding hit; a clean one-shot walk means a clean teardown —
+        // unless the walk ended mid-frame, which teardown types as
+        // truncation.
+        match (one_shot, stream_err) {
+            (Err(a), Some(b)) => {
+                assert_eq!(a, b, "round {round}: surfaces disagree on {fault:?}");
+            }
+            (Err(a), None) => {
+                // One-shot truncation errors are "wait for more" in the
+                // stream until teardown reports them.
+                assert_eq!(teardown.unwrap_err(), a, "round {round} ({fault:?})");
+            }
+            (Ok(_), Some(b)) => {
+                panic!("round {round}: stream errored {b:?} where one-shot drained ({fault:?})")
+            }
+            (Ok(_), None) => teardown.unwrap_or_else(|e| {
+                panic!("round {round}: clean drain but teardown error {e:?} ({fault:?})")
+            }),
+        }
+    }
+}

@@ -88,6 +88,8 @@ impl Fixture {
         Request {
             arrival,
             watchdog: None,
+            deadline: None,
+            cost: None,
             op: RequestOp::Deserialize {
                 adt_ptr: self.adt_ptr,
                 input_addr: self.input_addr,
@@ -102,6 +104,8 @@ impl Fixture {
         Request {
             arrival,
             watchdog: None,
+            deadline: None,
+            cost: None,
             op: RequestOp::Serialize {
                 adt_ptr: self.adt_ptr,
                 obj_ptr: self.obj_ptr,

@@ -80,6 +80,8 @@ fn run_service(instances: usize, faults: &[InstanceFault]) -> TracedRun {
         requests.push(Request {
             arrival,
             watchdog: None,
+            deadline: None,
+            cost: None,
             op,
         });
     }
