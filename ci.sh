@@ -58,6 +58,17 @@
 #                           of peak, or an inert admission controller; emits
 #                           target/BENCH_rpc.json), plus the frame-corruption
 #                           corpus and the loop-discipline equivalence test
+#  12. sharded engine gate  serve_tail_latency --smoke --shards 4 must print
+#                           a fingerprint byte-identical to --shards 1 (the
+#                           sequential reference); each invocation also
+#                           self-checks 1-vs-N workers and audits the
+#                           stitched multi-shard trace log. Then the
+#                           equivalence suite (tests/serve_sharded.rs:
+#                           clean / faulted / shed-heavy workloads at
+#                           workers 1/2/4/8) and a short --bench-shards
+#                           scaling run emitting target/BENCH_shard.json
+#                           (fails if the sharded engine regresses below
+#                           1.0x at the hardware's parallel width)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -139,7 +150,24 @@ cargo test --offline -q --test trace_accounting
 
 echo "== rpc serving gate (framing, admission shedding, loop disciplines) =="
 cargo run --offline -q --release -p protoacc-bench --bin serve_rpc -- \
-    --smoke --out target/BENCH_rpc.json
+    --smoke --shards 2 --out target/BENCH_rpc.json
 cargo test --offline -q --test rpc_frames --test rpc_loop_equivalence
+
+echo "== sharded engine gate (parallel == sequential, bit-for-bit) =="
+# Two separate invocations at different worker counts must print the same
+# merged fingerprint; each one also self-checks its N-worker run against
+# its own 1-worker reference and audits the stitched multi-shard trace.
+cargo run --offline -q --release -p protoacc-bench --bin serve_tail_latency -- \
+    --smoke --shards 4 | tee target/shard_gate_4.txt
+cargo run --offline -q --release -p protoacc-bench --bin serve_tail_latency -- \
+    --shards 1 | tee target/shard_gate_1.txt
+diff <(grep '^sharded fingerprint:' target/shard_gate_4.txt) \
+     <(grep '^sharded fingerprint:' target/shard_gate_1.txt)
+cargo test --offline -q --release --test serve_sharded
+# Short scaling run (the repo-root BENCH_shard.json records the full
+# 10^6-command sweep); fails on nondeterminism across worker counts or a
+# speedup regression below 1.0x at the hardware's parallel width.
+cargo run --offline -q --release -p protoacc-bench --bin serve_tail_latency -- \
+    --bench-shards target/BENCH_shard.json --commands 60000
 
 echo "CI OK"

@@ -129,7 +129,7 @@ fn request_frame(methods: &[Method], method: usize, deser: bool, with_deadline: 
         deser,
         deadline: with_deadline.then(|| cost.saturating_mul(DEADLINE_SLACK)),
     };
-    encode_frame(false, &header.to_payload())
+    encode_frame(false, &header.to_payload()).expect("request header fits the frame ceiling")
 }
 
 fn server(methods: Vec<Method>) -> RpcServer {
@@ -335,9 +335,20 @@ fn render_json(mode: &str, service: f64, cells: &[Cell]) -> String {
     out
 }
 
-/// Runs the whole sweep, gating every cell. Returns the cells plus the
-/// failure count.
-fn sweep(n_req: usize, check_determinism: bool) -> (f64, Vec<Cell>, usize) {
+/// One sweep cell's inputs. The grid is a pure function of the
+/// calibration, fixed before any cell runs, so cells can simulate on
+/// worker threads (`--shards N`) and still report in grid order.
+struct CellSpec {
+    discipline: &'static str,
+    rho: f64,
+    gap: f64,
+    users: usize,
+}
+
+/// Runs the whole sweep on up to `shards` worker threads, gating every
+/// cell. Returns the cells (in fixed grid order, independent of worker
+/// scheduling) plus the failure count.
+fn sweep(n_req: usize, check_determinism: bool, shards: usize) -> (f64, Vec<Cell>, usize) {
     let mut rng = StdRng::seed_from_u64(MIX_SEED);
     let mix = TrafficMix::build(&mut rng, 8);
 
@@ -362,57 +373,83 @@ fn sweep(n_req: usize, check_determinism: bool) -> (f64, Vec<Cell>, usize) {
         records.iter().map(|r| r.service).sum::<u64>() as f64 / records.len().max(1) as f64
     };
 
-    let mut failures = 0;
-    let mut cells = Vec::new();
-    for &rho in &RHOS {
-        let gap = service / (INSTANCES as f64 * rho);
-        let users = ((rho * INSTANCES as f64 * 2.0).round() as usize).max(1);
-        for name in ["open", "closed"] {
-            let cell = if name == "open" {
-                open_loop_cell(&mix, rho, n_req, gap, true)
-            } else {
-                closed_loop_cell(&mix, rho, users, n_req, service)
-            };
-            let label = format!("{name} rho={rho}");
-            if !cell.accounting_ok() {
-                println!(
-                    "FAIL [{label}]: accounting leak: {} + {} + {} + {} + {} + {} != {}",
-                    cell.ok,
-                    cell.fallback,
-                    cell.rejected,
-                    cell.failed,
-                    cell.shed,
-                    cell.dropped,
-                    cell.offered
-                );
-                failures += 1;
-            }
-            if cell.dropped > 0 {
-                println!(
-                    "FAIL [{label}]: {} request(s) dropped into the void \
-                     (admission control must shed, not overflow)",
-                    cell.dropped
-                );
-                failures += 1;
-            }
-            if check_determinism {
-                let again = if name == "open" {
-                    open_loop_cell(&mix, rho, n_req, gap, true)
-                } else {
-                    closed_loop_cell(&mix, rho, users, n_req, service)
-                };
-                if cell.fingerprint() != again.fingerprint() {
-                    println!(
-                        "FAIL [{label}]: nondeterministic replay\n  run1: {}\n  run2: {}",
-                        cell.fingerprint(),
-                        again.fingerprint()
-                    );
-                    failures += 1;
-                }
-            }
-            println!("ok   [{label}] {}", cell.fingerprint());
-            cells.push(cell);
+    // The grid is fixed up front; each cell stages its own memory image and
+    // server, so cells share nothing and can run on worker threads. Results
+    // land in grid order regardless of scheduling.
+    let specs: Vec<CellSpec> = RHOS
+        .iter()
+        .flat_map(|&rho| {
+            let gap = service / (INSTANCES as f64 * rho);
+            let users = ((rho * INSTANCES as f64 * 2.0).round() as usize).max(1);
+            [
+                CellSpec {
+                    discipline: "open",
+                    rho,
+                    gap,
+                    users,
+                },
+                CellSpec {
+                    discipline: "closed",
+                    rho,
+                    gap,
+                    users,
+                },
+            ]
+        })
+        .collect();
+    let run_cell = |_: usize, spec: &CellSpec| {
+        if spec.discipline == "open" {
+            open_loop_cell(&mix, spec.rho, n_req, spec.gap, true)
+        } else {
+            closed_loop_cell(&mix, spec.rho, spec.users, n_req, service)
         }
+    };
+    let cells = protoacc::run_indexed(&specs, shards, run_cell);
+
+    let mut failures = 0;
+    if check_determinism {
+        // The 1-worker pass is the sequential reference: with --shards > 1
+        // this is the sequential-vs-sharded equivalence gate, and at
+        // --shards 1 it degenerates to the run-twice replay check.
+        let reference = protoacc::run_indexed(&specs, 1, run_cell);
+        for (cell, again) in cells.iter().zip(&reference) {
+            if cell.fingerprint() != again.fingerprint() {
+                println!(
+                    "FAIL [{} rho={}]: diverged from the sequential reference\n  \
+                     sharded:    {}\n  sequential: {}",
+                    cell.discipline,
+                    cell.rho,
+                    cell.fingerprint(),
+                    again.fingerprint()
+                );
+                failures += 1;
+            }
+        }
+    }
+    for cell in &cells {
+        let label = format!("{} rho={}", cell.discipline, cell.rho);
+        if !cell.accounting_ok() {
+            println!(
+                "FAIL [{label}]: accounting leak: {} + {} + {} + {} + {} + {} != {}",
+                cell.ok,
+                cell.fallback,
+                cell.rejected,
+                cell.failed,
+                cell.shed,
+                cell.dropped,
+                cell.offered
+            );
+            failures += 1;
+        }
+        if cell.dropped > 0 {
+            println!(
+                "FAIL [{label}]: {} request(s) dropped into the void \
+                 (admission control must shed, not overflow)",
+                cell.dropped
+            );
+            failures += 1;
+        }
+        println!("ok   [{label}] {}", cell.fingerprint());
     }
 
     // Overload gates, per discipline: goodput at the 2x cell must hold at
@@ -447,13 +484,15 @@ fn sweep(n_req: usize, check_determinism: bool) -> (f64, Vec<Cell>, usize) {
 fn main() -> ExitCode {
     let smoke = flag("--smoke");
     let out_path = arg("--out").unwrap_or_else(|| "target/BENCH_rpc.json".to_string());
+    let shards: usize =
+        arg("--shards").map_or(1, |s| s.parse().expect("--shards takes a worker count"));
     let n_req = if smoke { 160 } else { 512 };
 
     println!(
         "RPC serving gate: {INSTANCES} instances, deadline = {DEADLINE_SLACK} x admission cost, \
-         {n_req} requests per cell"
+         {n_req} requests per cell, {shards} worker(s)"
     );
-    let (service, cells, failures) = sweep(n_req, smoke);
+    let (service, cells, failures) = sweep(n_req, smoke, shards);
     println!("calibration: mean uncontended service = {service:.0} cycles\n");
     println!(
         "{:<10} {:>6} {:>8} {:>7} {:>4} {:>9} {:>7} {:>6} {:>9} {:>12} {:>12} {:>12}",

@@ -35,9 +35,11 @@
 //! class must serve 100% of admitted load, twice, identically.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use protoacc::{
     AccelConfig, DispatchPolicy, InstanceFault, Request, RequestOp, ServeCluster, ServeConfig,
+    ShardOutcome, ShardedCluster,
 };
 use protoacc_absint::{Envelope, ServiceBounds};
 use protoacc_faults::memory::{arm_random_ecc, arm_random_stalls};
@@ -1056,16 +1058,250 @@ fn full() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// --- Sharded engine ----------------------------------------------------
+
+/// Number of cells in the fixed shard decomposition. The sweep is *always*
+/// cut into this many independently seeded cells regardless of worker
+/// count — `--shards N` only picks how many threads run them — so the
+/// merged report is a pure function of the seeds, and N workers must agree
+/// bit-for-bit with 1 worker (the sequential reference).
+const SHARD_CELLS: usize = 8;
+/// Accelerator instances per shard cell. Within a cell, the instances
+/// share the cell's private LLC slice and contend exactly as the
+/// sequential model does.
+const SHARD_INSTANCES: usize = 2;
+
+/// One cell of the fixed decomposition: its index plus its independently
+/// seeded traffic stream.
+struct ShardCell {
+    shard: usize,
+    events: Vec<TrafficEvent>,
+}
+
+/// Builds the fixed decomposition: `SHARD_CELLS` streams drawn through the
+/// SplitMix64 seed split, each replayable from `(STREAM_SEED, shard)`
+/// alone.
+fn shard_cells(mix: &TrafficMix, per_shard: usize, gap: f64) -> Vec<ShardCell> {
+    mix.shard_streams(STREAM_SEED, SHARD_CELLS, per_shard, gap)
+        .into_iter()
+        .enumerate()
+        .map(|(shard, events)| ShardCell { shard, events })
+        .collect()
+}
+
+/// Runs one shard end-to-end on the calling thread: a private memory
+/// system holding the cell's `1/SHARD_CELLS` LLC slice, private staging,
+/// a private cluster, and (optionally) a private trace log. Everything is
+/// built inside this function so workers never share simulation state —
+/// the outcome is a pure function of `(mix, cell)`.
+fn run_shard_cell(mix: &TrafficMix, cell: &ShardCell, traced: bool) -> ShardOutcome {
+    let mut mem = Memory::new(MemConfig::default().llc_slice(SHARD_CELLS));
+    let (staged, _adts) = stage(mix, &mut mem);
+    let requests = to_requests(&cell.events, &staged);
+    let mut cluster = ServeCluster::new(
+        config(SHARD_INSTANCES, 32, DispatchPolicy::Fifo),
+        ARENA_BASE,
+        ARENA_STRIDE,
+    );
+    let log = traced.then(protoacc_trace::TraceLog::shared);
+    if let Some(log) = &log {
+        cluster.set_tracer(Some(log.clone()));
+    }
+    cluster
+        .run(&mut mem, &requests)
+        .expect("serve run succeeds");
+    cluster.set_tracer(None);
+    let events = log.map_or_else(Vec::new, |l| std::mem::take(&mut l.borrow_mut().events));
+    ShardOutcome::capture(cell.shard, &cluster, &mem, events)
+}
+
+/// Simulates the fixed decomposition on up to `workers` threads and merges
+/// deterministically in shard-index order.
+fn run_sharded(
+    mix: &TrafficMix,
+    cells: &[ShardCell],
+    workers: usize,
+    traced: bool,
+) -> ShardedCluster {
+    ShardedCluster::run(cells, workers, |_, cell| run_shard_cell(mix, cell, traced))
+}
+
+/// `--shards N`: the sequential-vs-sharded equivalence gate. Runs the
+/// fixed decomposition once on 1 worker (the sequential reference) and
+/// once on `workers`, tracing both, and requires bit-identical
+/// fingerprints, clean per-shard queue invariants, and a passing
+/// accounting audit over the stitched multi-shard trace log. The
+/// fingerprint is printed on its own line so CI can also diff it across
+/// separate invocations (`--shards 4` vs `--shards 1`).
+fn shard_smoke(workers: usize) -> bool {
+    let mut rng = StdRng::seed_from_u64(MIX_SEED);
+    let mix = TrafficMix::build(&mut rng, 8);
+    let cells = shard_cells(&mix, 48, 3_000.0);
+    let sequential = run_sharded(&mix, &cells, 1, true);
+    let sharded = run_sharded(&mix, &cells, workers, true);
+    let mut ok = true;
+    if let Err(e) = sharded.check_invariants() {
+        println!("FAIL [shards={workers}]: invariant violated: {e}");
+        ok = false;
+    }
+    if sequential.fingerprint() != sharded.fingerprint() {
+        println!(
+            "FAIL [shards={workers}]: sharded run diverged from sequential\n  \
+             seq:     {}\n  sharded: {}",
+            sequential.fingerprint(),
+            sharded.fingerprint()
+        );
+        ok = false;
+    }
+    let report = protoacc_trace::audit(&sharded.stitched_events(), &sharded.expected_stats());
+    if report.ok() {
+        println!(
+            "ok   [shards={workers} stitched audit] {} instance(s) across {} shard(s)",
+            report.per_instance.len(),
+            cells.len()
+        );
+    } else {
+        for p in &report.problems {
+            println!("FAIL [shards={workers} stitched audit]: {p}");
+        }
+        ok = false;
+    }
+    println!("sharded fingerprint: {}", sharded.fingerprint());
+    if ok {
+        println!(
+            "serve_shard_smoke OK ({} cells x {SHARD_INSTANCES} instances, {workers} worker(s))",
+            cells.len()
+        );
+    }
+    ok
+}
+
+/// `--bench-shards <out.json>`: wall-clock scaling of the sharded engine.
+/// Runs the same fixed decomposition at worker counts 1/2/4/8, requires
+/// every run's fingerprint to match the 1-worker reference, and writes the
+/// speedup table as JSON. Fails if 4 workers are not at least as fast as
+/// 1 (speedup < 1.0x).
+fn bench_shards(path: &str, total_commands: usize) -> ExitCode {
+    let mut rng = StdRng::seed_from_u64(MIX_SEED);
+    let mix = TrafficMix::build(&mut rng, 16);
+    let per_shard = (total_commands / SHARD_CELLS).max(1);
+    let cells = shard_cells(&mix, per_shard, 2_000.0);
+    println!(
+        "Shard scaling: {} commands over {SHARD_CELLS} cells x {SHARD_INSTANCES} instances",
+        per_shard * SHARD_CELLS
+    );
+    println!(
+        "{:<8} {:>10} {:>9} {:>12} {:>12} {:>13}",
+        "shards", "wall s", "speedup", "completed", "p99 cyc", "agg Gbits/s"
+    );
+    let mut reference: Option<String> = None;
+    let mut base_wall = 0.0f64;
+    let mut rows = Vec::new();
+    let mut deterministic = true;
+    let mut ok = true;
+    for &workers in &[1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let run = run_sharded(&mix, &cells, workers, false);
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        if let Err(e) = run.check_invariants() {
+            println!("FAIL [shards={workers}]: invariant violated: {e}");
+            ok = false;
+        }
+        let fp = run.fingerprint();
+        match &reference {
+            None => {
+                reference = Some(fp);
+                base_wall = wall;
+            }
+            Some(r) if *r != fp => {
+                println!("FAIL [shards={workers}]: fingerprint diverged from the 1-worker run");
+                deterministic = false;
+                ok = false;
+            }
+            Some(_) => {}
+        }
+        let speedup = base_wall / wall;
+        println!(
+            "{workers:<8} {wall:>10.3} {speedup:>8.2}x {:>12} {:>12} {:>13.3}",
+            run.completed(),
+            run.latency_percentile(99.0),
+            run.aggregate_gbits()
+        );
+        rows.push((workers, wall, speedup));
+    }
+    // Speedup floor: at the largest worker count the hardware can actually
+    // run in parallel (capped at 4), the sharded engine must not be slower
+    // than sequential — the merge and thread pool cost nothing at this
+    // granularity. Worker counts past the hardware width are recorded for
+    // the table but are pure oversubscription, so they are not gated.
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let gate_workers = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&w| w <= threads)
+        .max()
+        .unwrap_or(1);
+    let gate_speedup = rows
+        .iter()
+        .find(|r| r.0 == gate_workers)
+        .map_or(0.0, |r| r.2);
+    if gate_speedup < 1.0 {
+        println!(
+            "FAIL [bench-shards]: speedup at {gate_workers} worker(s) regressed below 1.0x \
+             ({gate_speedup:.2}x on {threads} hardware thread(s))"
+        );
+        ok = false;
+    }
+    use std::fmt::Write as _;
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"bench\": \"serve_shard\",");
+    let _ = writeln!(json, "  \"cells\": {SHARD_CELLS},");
+    let _ = writeln!(json, "  \"instances_per_cell\": {SHARD_INSTANCES},");
+    let _ = writeln!(json, "  \"commands\": {},", per_shard * SHARD_CELLS);
+    let _ = writeln!(json, "  \"hardware_threads\": {threads},");
+    let _ = writeln!(json, "  \"deterministic\": {deterministic},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, (workers, wall, speedup)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {workers}, \"wall_s\": {wall:.6}, \"speedup\": {speedup:.4}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(path, &json) {
+        println!("FAIL [bench-shards]: writing {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("bench-shards: wrote {path}");
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let smoke_flag = args.iter().any(|a| a == "--smoke");
     let sanitize_flag = args.iter().any(|a| a == "--sanitize");
     let faults_flag = args.iter().any(|a| a == "--faults");
-    let trace_path = args
-        .iter()
-        .position(|a| a == "--trace")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let arg_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let trace_path = arg_of("--trace");
+    let shard_workers: Option<usize> =
+        arg_of("--shards").map(|s| s.parse().expect("--shards takes a worker count"));
+    let commands: usize =
+        arg_of("--commands").map_or(1_000_000, |s| s.parse().expect("--commands takes a count"));
+    if let Some(path) = arg_of("--bench-shards") {
+        return bench_shards(&path, commands);
+    }
     if sanitize_flag && !sanitize_mode() {
         return ExitCode::FAILURE;
     }
@@ -1082,8 +1318,22 @@ fn main() -> ExitCode {
         };
     }
     if smoke_flag {
-        smoke()
-    } else if sanitize_flag || trace_path.is_some() {
+        let code = smoke();
+        if let Some(workers) = shard_workers {
+            if !shard_smoke(workers) {
+                return ExitCode::FAILURE;
+            }
+        }
+        return code;
+    }
+    if let Some(workers) = shard_workers {
+        return if shard_smoke(workers) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if sanitize_flag || trace_path.is_some() {
         ExitCode::SUCCESS
     } else {
         full()

@@ -84,6 +84,7 @@ pub mod priorwork;
 pub mod rocc;
 pub mod ser;
 pub mod serve;
+pub mod shard;
 
 mod adtcache;
 mod config;
@@ -97,4 +98,5 @@ pub use serve::{
     CommandFootprint, CommandRecord, CommandStatus, DispatchPolicy, FallbackCodec, InstanceFault,
     InstanceFaultKind, Request, RequestOp, ServeCluster, ServeConfig, FALLBACK_INSTANCE,
 };
+pub use shard::{run_indexed, ShardOutcome, ShardedCluster};
 pub use stats::AccelStats;

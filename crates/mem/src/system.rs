@@ -60,6 +60,38 @@ impl Default for MemConfig {
     }
 }
 
+impl MemConfig {
+    /// Memory configuration for one of `groups` independent shard groups
+    /// splitting the shared last-level resources.
+    ///
+    /// Way-partitioning an LLC across instance groups (the standard CAT-style
+    /// slicing) gives each group a private slice: within a shard the paper's
+    /// contention model is unchanged — instances still fight over the slice
+    /// and the outstanding-miss budget — while *across* shards there is no
+    /// coupling at all, which is what makes sharded simulation exact rather
+    /// than approximate. The slice keeps the parent's associativity and line
+    /// size (capacity shrinks by dropping sets, rounded to the power-of-two
+    /// geometry the cache model requires) and divides the outstanding-miss
+    /// budget, clamping both so even extreme `groups` stay constructible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is zero.
+    #[must_use]
+    pub fn llc_slice(&self, groups: usize) -> MemConfig {
+        assert!(groups > 0, "shard group count must be nonzero");
+        let g = groups.next_power_of_two();
+        // Smallest legal slice: one set of `ways` lines.
+        let min = self.llc.ways * self.llc.line_bytes;
+        let sliced = (self.llc.size_bytes / g).max(min);
+        MemConfig {
+            llc: CacheConfig::new(sliced, self.llc.ways, self.llc.line_bytes),
+            max_outstanding: (self.max_outstanding / g).max(1),
+            ..*self
+        }
+    }
+}
+
 /// One requester's share of a shared hierarchy's traffic.
 ///
 /// When several accelerator instances (or an instance and a core) share an
@@ -985,5 +1017,30 @@ mod tests {
             contended.stream(0x10_0000, len, AccessKind::Read),
             alone.stream(0x10_0000, len, AccessKind::Read)
         );
+    }
+
+    #[test]
+    fn llc_slice_partitions_capacity_and_outstanding_budget() {
+        let base = MemConfig::default();
+        let quarter = base.llc_slice(4);
+        assert_eq!(quarter.llc.size_bytes, base.llc.size_bytes / 4);
+        assert_eq!(quarter.llc.ways, base.llc.ways);
+        assert_eq!(quarter.llc.line_bytes, base.llc.line_bytes);
+        assert_eq!(quarter.max_outstanding, base.max_outstanding / 4);
+        // L1/L2 are per-instance hardware, never sliced.
+        assert_eq!(quarter.l1.size_bytes, base.l1.size_bytes);
+        assert_eq!(quarter.l2.size_bytes, base.l2.size_bytes);
+
+        // Non-power-of-two groups round up to the po2 geometry the cache
+        // model requires; one group is the identity slice.
+        assert_eq!(base.llc_slice(3).llc.size_bytes, base.llc.size_bytes / 4);
+        assert_eq!(base.llc_slice(1).llc.size_bytes, base.llc.size_bytes);
+
+        // Extreme slicing clamps to one set and one outstanding miss but
+        // must stay constructible.
+        let tiny = base.llc_slice(1 << 30);
+        assert_eq!(tiny.llc.size_bytes, base.llc.ways * base.llc.line_bytes);
+        assert_eq!(tiny.max_outstanding, 1);
+        let _ = MemSystem::new(tiny);
     }
 }

@@ -55,10 +55,13 @@ pub enum FrameError {
         /// Payload bytes actually present.
         have: u64,
     },
-    /// The declared payload length exceeds the decoder's ceiling.
+    /// The declared (decode) or actual (encode) payload length exceeds the
+    /// frame-length ceiling. `u64` so the encode path can report payloads
+    /// too large even for the wire format's `u32` length field.
     Oversized {
-        /// Declared payload length.
-        declared: u32,
+        /// Payload length: declared by the prefix on decode, measured from
+        /// the payload slice on encode.
+        declared: u64,
         /// The ceiling it exceeded.
         max: u64,
     },
@@ -105,14 +108,36 @@ pub struct Frame {
     pub payload: Vec<u8>,
 }
 
-/// Encodes one frame: flag byte, big-endian `u32` length, payload.
+/// Encodes one frame: flag byte, big-endian `u32` length, payload, under
+/// the default [`DEFAULT_MAX_FRAME_LEN`] ceiling.
 ///
-/// # Panics
-///
-/// If `payload` exceeds `u32::MAX` bytes (unrepresentable in the prefix).
-#[must_use]
-pub fn encode_frame(compressed: bool, payload: &[u8]) -> Vec<u8> {
-    let len = u32::try_from(payload.len()).expect("frame payload fits a u32 length");
+/// Encoding is as total as decoding: a payload above the ceiling (or above
+/// `u32::MAX`, unrepresentable in the prefix) returns the same typed
+/// [`FrameError::Oversized`] the decode path would raise, instead of
+/// panicking. A frame this function accepts is always accepted by a
+/// decoder configured with the same ceiling.
+pub fn encode_frame(compressed: bool, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    encode_frame_with_limit(compressed, payload, DEFAULT_MAX_FRAME_LEN)
+}
+
+/// [`encode_frame`] with an explicit payload-length ceiling, for producers
+/// that must agree with a [`FrameDecoder`] configured with a non-default
+/// `max_len`. The effective ceiling is `min(max_len, u32::MAX)` — the wire
+/// format cannot declare more than a `u32` regardless of configuration.
+pub fn encode_frame_with_limit(
+    compressed: bool,
+    payload: &[u8],
+    max_len: u64,
+) -> Result<Vec<u8>, FrameError> {
+    let ceiling = max_len.min(u64::from(u32::MAX));
+    if payload.len() as u64 > ceiling {
+        return Err(FrameError::Oversized {
+            declared: payload.len() as u64,
+            max: ceiling,
+        });
+    }
+    // Fits in u32 by the ceiling check above.
+    let len = payload.len() as u32;
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
     out.push(if compressed {
         FLAG_COMPRESSED
@@ -121,7 +146,7 @@ pub fn encode_frame(compressed: bool, payload: &[u8]) -> Vec<u8> {
     });
     out.extend_from_slice(&len.to_be_bytes());
     out.extend_from_slice(payload);
-    out
+    Ok(out)
 }
 
 /// Validates the 5-byte prefix at the head of `buf` against `max_len`.
@@ -137,7 +162,7 @@ fn decode_prefix(buf: &[u8], max_len: u64) -> Result<(bool, u32), FrameError> {
     let declared = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]);
     if u64::from(declared) > max_len {
         return Err(FrameError::Oversized {
-            declared,
+            declared: u64::from(declared),
             max: max_len,
         });
     }
@@ -270,7 +295,7 @@ mod tests {
     #[test]
     fn frames_round_trip_through_one_shot_decode() {
         for (compressed, payload) in [(false, b"".to_vec()), (true, vec![0xAB; 300])] {
-            let wire = encode_frame(compressed, &payload);
+            let wire = encode_frame(compressed, &payload).unwrap();
             assert_eq!(wire.len(), FRAME_HEADER_LEN + payload.len());
             let (frame, used) = decode_frame(&wire, DEFAULT_MAX_FRAME_LEN).unwrap();
             assert_eq!(used, wire.len());
@@ -281,7 +306,7 @@ mod tests {
 
     #[test]
     fn every_truncation_offset_is_a_typed_error() {
-        let wire = encode_frame(false, b"hello");
+        let wire = encode_frame(false, b"hello").unwrap();
         for cut in 0..wire.len() {
             let err = decode_frame(&wire[..cut], DEFAULT_MAX_FRAME_LEN).unwrap_err();
             if cut < FRAME_HEADER_LEN {
@@ -300,13 +325,13 @@ mod tests {
 
     #[test]
     fn reserved_flags_and_oversized_lengths_reject() {
-        let mut wire = encode_frame(false, b"x");
+        let mut wire = encode_frame(false, b"x").unwrap();
         wire[0] = 0x7F;
         assert_eq!(
             decode_frame(&wire, DEFAULT_MAX_FRAME_LEN).unwrap_err(),
             FrameError::ReservedFlag { flag: 0x7F }
         );
-        let wire = encode_frame(false, &[0u8; 64]);
+        let wire = encode_frame(false, &[0u8; 64]).unwrap();
         assert_eq!(
             decode_frame(&wire, 16).unwrap_err(),
             FrameError::Oversized {
@@ -317,9 +342,38 @@ mod tests {
     }
 
     #[test]
+    fn oversized_payload_encodes_to_typed_error_not_panic() {
+        // Encode-side ceiling agrees with the decode-side ceiling: a payload
+        // the encoder rejects is exactly one a decoder with the same limit
+        // would reject, with the same typed error.
+        let payload = [0u8; 64];
+        let err = encode_frame_with_limit(false, &payload, 16).unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::Oversized {
+                declared: 64,
+                max: 16
+            }
+        );
+        // Anything the encoder accepts, a decoder with the same limit accepts.
+        let wire = encode_frame_with_limit(true, &payload, 64).unwrap();
+        let (frame, _) = decode_frame(&wire, 64).unwrap();
+        assert_eq!(frame.payload, payload);
+        // The default-ceiling wrapper enforces DEFAULT_MAX_FRAME_LEN.
+        let big = vec![0u8; DEFAULT_MAX_FRAME_LEN as usize + 1];
+        assert_eq!(
+            encode_frame(false, &big).unwrap_err(),
+            FrameError::Oversized {
+                declared: DEFAULT_MAX_FRAME_LEN + 1,
+                max: DEFAULT_MAX_FRAME_LEN
+            }
+        );
+    }
+
+    #[test]
     fn streaming_decoder_reassembles_byte_dribble() {
-        let mut wire = encode_frame(false, b"first");
-        wire.extend_from_slice(&encode_frame(true, b"second frame"));
+        let mut wire = encode_frame(false, b"first").unwrap();
+        wire.extend_from_slice(&encode_frame(true, b"second frame").unwrap());
         let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
         let mut got = Vec::new();
         for b in &wire {
@@ -342,12 +396,12 @@ mod tests {
         dec.push(&[0x02, 0, 0, 0, 1, 0xAA]);
         let err = dec.next_frame().unwrap_err();
         assert_eq!(err, FrameError::ReservedFlag { flag: 0x02 });
-        dec.push(&encode_frame(false, b"ignored"));
+        dec.push(&encode_frame(false, b"ignored").unwrap());
         assert_eq!(dec.next_frame().unwrap_err(), err);
         assert_eq!(dec.finish().unwrap_err(), err);
 
         let mut tail = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
-        tail.push(&encode_frame(false, b"abc")[..6]);
+        tail.push(&encode_frame(false, b"abc").unwrap()[..6]);
         assert_eq!(tail.next_frame().unwrap(), None);
         assert_eq!(
             tail.finish().unwrap_err(),

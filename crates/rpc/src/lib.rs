@@ -28,8 +28,8 @@ pub mod header;
 pub mod server;
 
 pub use frame::{
-    decode_frame, encode_frame, Frame, FrameDecoder, FrameError, DEFAULT_MAX_FRAME_LEN,
-    FLAG_COMPRESSED, FLAG_UNCOMPRESSED, FRAME_HEADER_LEN,
+    decode_frame, encode_frame, encode_frame_with_limit, Frame, FrameDecoder, FrameError,
+    DEFAULT_MAX_FRAME_LEN, FLAG_COMPRESSED, FLAG_UNCOMPRESSED, FRAME_HEADER_LEN,
 };
 pub use header::{HeaderError, RpcHeader};
 pub use server::{IncomingFrame, Method, RpcConfig, RpcServer, RpcStats};

@@ -462,7 +462,7 @@ mod tests {
             deser,
             deadline,
         };
-        encode_frame(false, &header.to_payload())
+        encode_frame(false, &header.to_payload()).expect("request header fits the frame ceiling")
     }
 
     #[test]

@@ -33,9 +33,11 @@ use std::rc::Rc;
 pub mod audit;
 pub mod chrome;
 pub mod metrics;
+pub mod stitch;
 
 pub use audit::{audit, render_profile, AuditReport, ExpectedStats, InstanceAudit};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use stitch::{event_time, retag, stitch, ShardTags};
 
 /// Cycle count. Mirrors `protoacc_mem::Cycles`; redeclared here so the
 /// trace crate has no dependencies and can sit below every model crate.

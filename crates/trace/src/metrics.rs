@@ -118,7 +118,10 @@ impl Histogram {
     /// Nearest-rank percentile resolved to the containing bucket's upper
     /// bound. Uses the exact same rank rule as
     /// `ServeCluster::latency_percentile`, so the bucket this walks to is
-    /// the bucket the exact percentile value lives in.
+    /// the bucket the exact percentile value lives in — including for
+    /// degenerate `p`: NaN clamps to the minimum and out-of-range `p`
+    /// clamps to `[0, 100]`, on both paths, never a panic or an
+    /// out-of-bounds rank.
     #[must_use]
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
@@ -311,7 +314,9 @@ impl MetricsRegistry {
 }
 
 /// Exact nearest-rank percentile over an unsorted sample set — the
-/// reference the histogram path is validated against in tests.
+/// reference the histogram path is validated against in tests. Shares
+/// [`nearest_rank`]'s clamping: NaN resolves to the minimum sample and `p`
+/// outside `[0, 100]` clamps to the nearest bound.
 #[must_use]
 pub fn exact_percentile(samples: &[Cycles], p: f64) -> Cycles {
     if samples.is_empty() {
@@ -388,6 +393,13 @@ mod tests {
                 99.0,
                 100.0,
                 f64::from(rng.gen_range(0u32..101)),
+                // Degenerate percentiles: both paths must clamp (never
+                // panic or index out of range) and keep agreeing.
+                f64::NAN,
+                -3.0,
+                250.0,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
             ] {
                 let exact = exact_percentile(&samples, p);
                 let approx = h.percentile(p);
@@ -399,6 +411,28 @@ mod tests {
                 assert!(approx >= exact, "bucket upper bound bounds the exact value");
             }
         }
+    }
+
+    #[test]
+    fn degenerate_percentiles_clamp_identically_on_both_paths() {
+        let samples: Vec<u64> = vec![10, 20, 30, 40, 50];
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        // NaN and anything below 0 resolve to the minimum sample's bucket;
+        // anything above 100 resolves to the maximum's.
+        for p in [f64::NAN, -1.0, -1e18, f64::NEG_INFINITY, 0.0] {
+            assert_eq!(exact_percentile(&samples, p), 10, "p={p}");
+            assert_eq!(h.percentile(p), h.percentile(0.0), "p={p}");
+        }
+        for p in [100.0, 101.0, 1e18, f64::INFINITY] {
+            assert_eq!(exact_percentile(&samples, p), 50, "p={p}");
+            assert_eq!(h.percentile(p), h.percentile(100.0), "p={p}");
+        }
+        // Empty inputs short-circuit to 0 for any p, NaN included.
+        assert_eq!(exact_percentile(&[], f64::NAN), 0);
+        assert_eq!(Histogram::new().percentile(f64::NAN), 0);
     }
 
     #[test]

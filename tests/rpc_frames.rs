@@ -24,7 +24,7 @@ fn corpus_frames() -> Vec<Vec<u8>> {
         (false, (0..=255u8).collect::<Vec<u8>>()),
     ]
     .into_iter()
-    .map(|(compressed, payload)| encode_frame(compressed, &payload))
+    .map(|(compressed, payload)| encode_frame(compressed, &payload).unwrap())
     .collect()
 }
 
@@ -97,7 +97,7 @@ fn every_truncation_offset_is_typed_on_both_surfaces() {
 
 #[test]
 fn every_reserved_flag_value_rejects() {
-    let body = encode_frame(false, b"payload");
+    let body = encode_frame(false, b"payload").unwrap();
     for flag in 2..=255u8 {
         let mut wire = body.clone();
         wire[0] = flag;
@@ -129,13 +129,19 @@ fn oversized_declared_lengths_reject_before_buffering() {
         // prefix alone, before any buffering could be attempted.
         assert_eq!(
             decode_frame(&wire, max).unwrap_err(),
-            FrameError::Oversized { declared, max }
+            FrameError::Oversized {
+                declared: u64::from(declared),
+                max
+            }
         );
         let mut dec = FrameDecoder::new(max);
         dec.push(&wire);
         assert_eq!(
             dec.next_frame().unwrap_err(),
-            FrameError::Oversized { declared, max }
+            FrameError::Oversized {
+                declared: u64::from(declared),
+                max
+            }
         );
     }
 }

@@ -107,7 +107,7 @@ fn request_frame(method: usize, deser: bool) -> Vec<u8> {
         deser,
         deadline: None,
     };
-    encode_frame(false, &header.to_payload())
+    encode_frame(false, &header.to_payload()).expect("request header fits the frame ceiling")
 }
 
 /// One cell's observable outcome: served count plus the sorted latency
